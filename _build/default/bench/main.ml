@@ -1,0 +1,765 @@
+(* Benchmark harness: regenerates every table/figure of the evaluation
+   (see DESIGN.md's per-experiment index and EXPERIMENTS.md for the
+   paper-vs-measured record).
+
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- --only E1    -- one experiment
+     dune exec bench/main.exe -- --fast       -- smaller scales (CI)
+
+   Experiments:
+     E1  recovery time vs dataset size (the headline demo result)
+     E2  OLTP throughput: volatile vs log-based vs NVM durability
+     E3  throughput sensitivity to NVM latency (simulated time)
+     E4  persistence-primitive cost per transaction + micro-benchmarks
+     E5  delta->main merge behaviour
+     E6  NVM instant-restart breakdown across scales
+     T1  dataset / workload characteristics *)
+
+module Engine = Core.Engine
+module Region = Nvm.Region
+module Ycsb = Workload.Ycsb
+module Tpcc = Workload.Tpcc_lite
+module Prng = Util.Prng
+module Tabular = Util.Tabular
+
+let mib = 1024 * 1024
+let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+
+let tmpdir () =
+  let d = Filename.temp_file "hyrise_bench" "" in
+  Sys.remove d;
+  d
+
+let log_config ?(group = 8) ?(fsync = true) () =
+  { Wal.Log.dir = tmpdir (); group_commit_size = group; fsync }
+
+let nvm_engine size = Engine.create (Engine.default_config ~size Engine.Nvm)
+
+let volatile_engine size =
+  Engine.create (Engine.default_config ~size Engine.Volatile)
+
+let log_engine ?group ?fsync size =
+  Engine.create
+    {
+      Engine.region = Region.config_with_size size;
+      durability = Engine.Logging (log_config ?group ?fsync ());
+    }
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* E1: recovery time vs dataset size                                   *)
+(* ------------------------------------------------------------------ *)
+
+let e1 ~fast () =
+  header
+    "E1  Recovery time vs dataset size (paper: 92.2 GB -> 53 s log, < 1 s NVM)";
+  let scales = if fast then 3 else 5 in
+  let table =
+    Tabular.create ~title:"E1: restart time after power failure"
+      [
+        ("rows", Tabular.Right);
+        ("data on NVM", Tabular.Right);
+        ("log bytes", Tabular.Right);
+        ("log replay", Tabular.Right);
+        ("ckpt+log replay", Tabular.Right);
+        ("Hyrise-NV", Tabular.Right);
+        ("speedup", Tabular.Right);
+      ]
+  in
+  for s = 0 to scales - 1 do
+    let rows = 1_000 * (1 lsl s) in
+    let size = 48 * mib * (1 lsl s) in
+    let ycfg = { Ycsb.default_config with rows } in
+    Printf.printf "  scale %d (%d rows) ...\n%!" s rows;
+    let populate engine =
+      let sess = Ycsb.setup engine (Prng.create 1L) ycfg in
+      ignore (Ycsb.run sess (Prng.create 2L) ~ops:(rows / 5));
+      sess
+    in
+    let time_recovery engine =
+      let crashed = Engine.crash engine Region.Drop_unfenced in
+      let t0 = now_ns () in
+      let engine', stats = Engine.recover crashed in
+      (now_ns () - t0, engine', stats)
+    in
+    (* pure log replay (no checkpoint) *)
+    let e_log = log_engine ~fsync:false size in
+    ignore (populate e_log);
+    let log_bytes = Engine.log_bytes e_log in
+    let t_log, _, _ = time_recovery e_log in
+    (* same load, but checkpointed: replay covers only a small tail *)
+    let e_ck = log_engine ~fsync:false size in
+    let sess = populate e_ck in
+    ignore (Engine.checkpoint e_ck);
+    ignore (Ycsb.run sess (Prng.create 3L) ~ops:(rows / 20));
+    let t_ck, _, _ = time_recovery e_ck in
+    (* Hyrise-NV *)
+    let e_nvm = nvm_engine size in
+    ignore (populate e_nvm);
+    let data_bytes = Engine.data_bytes e_nvm in
+    let t_nvm, _, _ = time_recovery e_nvm in
+    Tabular.add_row table
+      [
+        Tabular.fmt_int rows;
+        Tabular.fmt_bytes data_bytes;
+        Tabular.fmt_bytes log_bytes;
+        Tabular.fmt_ns t_log;
+        Tabular.fmt_ns t_ck;
+        Tabular.fmt_ns t_nvm;
+        Printf.sprintf "%.0fx" (float_of_int t_log /. float_of_int t_nvm);
+      ]
+  done;
+  Tabular.print table;
+  print_endline
+    "expected shape: log replay grows ~linearly with data; Hyrise-NV stays flat."
+
+(* ------------------------------------------------------------------ *)
+(* E2: OLTP throughput per durability mechanism                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_tpcc engine ops =
+  let sess =
+    Tpcc.setup engine ~warehouses:2 ~districts_per_wh:4 ~customers_per_district:10
+  in
+  let rng = Prng.create 7L in
+  (* warmup *)
+  ignore (Tpcc.run sess rng ~ops:(ops / 10) ());
+  let t0 = now_ns () in
+  let stats = Tpcc.run sess rng ~ops () in
+  let dt = now_ns () - t0 in
+  (stats, dt)
+
+let e2 ~fast () =
+  header "E2  OLTP throughput under each durability mechanism (TPC-C-lite)";
+  let ops = if fast then 1_500 else 5_000 in
+  let size = 96 * mib in
+  let table =
+    Tabular.create ~title:"E2: transaction throughput"
+      [
+        ("durability", Tabular.Left);
+        ("committed", Tabular.Right);
+        ("wall ns/txn", Tabular.Right);
+        ("device ns/txn", Tabular.Right);
+        ("p50", Tabular.Right);
+        ("p99", Tabular.Right);
+        ("est. txn/s", Tabular.Right);
+        ("vs volatile", Tabular.Right);
+      ]
+  in
+  let measure mk =
+    (* best of two runs to damp GC/layout noise *)
+    let once () =
+      Gc.compact ();
+      let engine = mk () in
+      let region = Engine.region engine in
+      let sess =
+        Tpcc.setup engine ~warehouses:2 ~districts_per_wh:4
+          ~customers_per_district:10
+      in
+      let rng = Prng.create 7L in
+      ignore (Tpcc.run sess rng ~ops:(ops / 10) ());
+      Region.reset_stats region;
+      let lat = Util.Histogram.create () in
+      let t0 = now_ns () in
+      let stats = Tpcc.run sess rng ~latencies:lat ~ops () in
+      let dt = now_ns () - t0 in
+      let s = Region.stats region in
+      (* extra device time the durability mechanism costs on NVM: the
+         write-backs and fences (volatile/log modes issue none) *)
+      let dev =
+        (s.Region.writebacks * Region.default_config.Region.writeback_ns)
+        + (s.Region.fences * Region.default_config.Region.fence_ns)
+      in
+      (stats.Tpcc.committed, dt, dev, lat)
+    in
+    let ((_, dt1, _, _) as r1) = once () in
+    let ((_, dt2, _, _) as r2) = once () in
+    if dt2 < dt1 then r2 else r1
+  in
+  let base = ref 0.0 in
+  List.iter
+    (fun (name, mk) ->
+      Printf.printf "  %s ...\n%!" name;
+      let committed, dt, dev, lat = measure mk in
+      let wall_per = dt / max 1 committed in
+      let dev_per = dev / max 1 committed in
+      let est = 1e9 /. float_of_int (wall_per + dev_per) in
+      if !base = 0.0 then base := est;
+      Tabular.add_row table
+        [
+          name;
+          Tabular.fmt_int committed;
+          Tabular.fmt_int wall_per;
+          Tabular.fmt_int dev_per;
+          Tabular.fmt_ns (Util.Histogram.percentile lat 50.0);
+          Tabular.fmt_ns (Util.Histogram.percentile lat 99.0);
+          Tabular.fmt_float ~decimals:0 est;
+          Printf.sprintf "%.0f%%" (est /. !base *. 100.0);
+        ])
+    [
+      ("volatile (no durability)", fun () -> volatile_engine size);
+      ("log, group commit 8 + fsync", fun () -> log_engine ~group:8 ~fsync:true size);
+      ("log, fsync every commit", fun () -> log_engine ~group:1 ~fsync:true size);
+      ("Hyrise-NV (all data on NVM)", fun () -> nvm_engine size);
+    ];
+  Tabular.print table;
+  print_endline
+    "expected shape: NVM within a modest factor of volatile; per-commit fsync\n\
+     logging pays the most, group commit recovers part of it."
+
+(* ------------------------------------------------------------------ *)
+(* E3: sensitivity to NVM latency                                      *)
+(* ------------------------------------------------------------------ *)
+
+let e3 ~fast () =
+  header "E3  Throughput sensitivity to NVM latency (simulated device time)";
+  let ops = if fast then 800 else 2_000 in
+  let size = 96 * mib in
+  let table =
+    Tabular.create ~title:"E3: NVM latency sweep (TPC-C-lite)"
+      [
+        ("load ns", Tabular.Right);
+        ("writeback ns", Tabular.Right);
+        ("device ns/txn", Tabular.Right);
+        ("est. txn/s", Tabular.Right);
+        ("vs 90 ns", Tabular.Right);
+      ]
+  in
+  (* CPU-side cost per transaction, measured once (latency-independent) *)
+  let cpu_ns_per_txn =
+    let engine = nvm_engine size in
+    let stats, dt = run_tpcc engine ops in
+    dt / max 1 stats.Tpcc.committed
+  in
+  let base = ref 0.0 in
+  List.iter
+    (fun (load_ns, writeback_ns) ->
+      Printf.printf "  latency %d/%d ...\n%!" load_ns writeback_ns;
+      let engine = nvm_engine size in
+      let region = Engine.region engine in
+      Region.set_latencies region ~load_ns ~store_ns:(load_ns / 3) ~writeback_ns
+        ~fence_ns:20;
+      let sess =
+        Tpcc.setup engine ~warehouses:2 ~districts_per_wh:4
+          ~customers_per_district:10
+      in
+      let rng = Prng.create 7L in
+      Region.reset_stats region;
+      let stats = Tpcc.run sess rng ~ops () in
+      let sim = (Region.stats region).Region.sim_ns in
+      let dev_per_txn = sim / max 1 stats.Tpcc.committed in
+      let est_tps = 1e9 /. float_of_int (cpu_ns_per_txn + dev_per_txn) in
+      if !base = 0.0 then base := est_tps;
+      Tabular.add_row table
+        [
+          string_of_int load_ns;
+          string_of_int writeback_ns;
+          Tabular.fmt_int dev_per_txn;
+          Tabular.fmt_float ~decimals:0 est_tps;
+          Printf.sprintf "%.0f%%" (est_tps /. !base *. 100.0);
+        ])
+    [ (90, 120); (200, 240); (300, 360); (500, 550); (700, 780) ];
+  Tabular.print table;
+  print_endline
+    "expected shape: graceful degradation as NVM latency grows 90 -> 700 ns\n\
+     (device time is a fraction of the whole transaction)."
+
+(* ------------------------------------------------------------------ *)
+(* E4: persistence-primitive cost per transaction + micro-benchmarks   *)
+(* ------------------------------------------------------------------ *)
+
+let e4 ~fast () =
+  header "E4  Persistence primitives: cost per committed transaction";
+  let ops = if fast then 500 else 1_500 in
+  let size = 64 * mib in
+  let table =
+    Tabular.create ~title:"E4: write-backs and fences per transaction"
+      [
+        ("durability", Tabular.Left);
+        ("stores/txn", Tabular.Right);
+        ("writebacks/txn", Tabular.Right);
+        ("fences/txn", Tabular.Right);
+        ("log bytes/txn", Tabular.Right);
+      ]
+  in
+  List.iter
+    (fun (name, mk) ->
+      let engine : Engine.t = mk () in
+      let sess =
+        Tpcc.setup engine ~warehouses:1 ~districts_per_wh:2
+          ~customers_per_district:10
+      in
+      let region = Engine.region engine in
+      let log0 = Engine.log_bytes engine in
+      Region.reset_stats region;
+      let stats = Tpcc.run sess (Prng.create 3L) ~ops () in
+      let s = Region.stats region in
+      let n = max 1 stats.Tpcc.committed in
+      Tabular.add_row table
+        [
+          name;
+          Tabular.fmt_int (s.Region.stores / n);
+          Tabular.fmt_int (s.Region.writebacks / n);
+          Tabular.fmt_int (s.Region.fences / n);
+          Tabular.fmt_int ((Engine.log_bytes engine - log0) / n);
+        ])
+    [
+      ("volatile", fun () -> volatile_engine size);
+      ("log (group 8)", fun () -> log_engine ~group:8 ~fsync:false size);
+      ("Hyrise-NV", fun () -> nvm_engine size);
+    ];
+  Tabular.print table;
+
+  (* Bechamel micro-benchmarks of the primitives themselves *)
+  print_endline "micro-benchmarks (Bechamel, monotonic clock):";
+  let open Bechamel in
+  let region = Region.create (Region.config_with_size (4 * mib)) in
+  let alloc =
+    Nvm_alloc.Allocator.format (Region.create (Region.config_with_size (64 * mib)))
+  in
+  let vec = Pstruct.Pvector.create alloc in
+  let hash = Pstruct.Phash.create alloc in
+  let tree = Pstruct.Pbtree.create alloc in
+  let counter = ref 0 in
+  let tests =
+    [
+      Test.make ~name:"region store 8B"
+        (Staged.stage (fun () -> Region.set_i64 region 512 42L));
+      Test.make ~name:"region store+persist 8B"
+        (Staged.stage (fun () ->
+             Region.set_i64 region 1024 42L;
+             Region.persist region 1024 8));
+      Test.make ~name:"pvector append+publish"
+        (Staged.stage (fun () ->
+             ignore (Pstruct.Pvector.append vec 7L);
+             Pstruct.Pvector.publish vec));
+      Test.make ~name:"phash insert (durable)"
+        (Staged.stage (fun () ->
+             incr counter;
+             Pstruct.Phash.insert hash (Int64.of_int !counter) 1L));
+      Test.make ~name:"pbtree insert (durable)"
+        (Staged.stage (fun () ->
+             incr counter;
+             Pstruct.Pbtree.insert tree (Int64.of_int !counter) 1L));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-28s %10.1f ns/op\n" name est
+          | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+        ols)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* E5: merge behaviour                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let e5 ~fast () =
+  header "E5  Delta->main merge: duration and compaction vs delta size";
+  let scales = if fast then 3 else 4 in
+  let table =
+    Tabular.create ~title:"E5: merge of the YCSB table"
+      [
+        ("delta rows", Tabular.Right);
+        ("survivors", Tabular.Right);
+        ("bytes before", Tabular.Right);
+        ("bytes after", Tabular.Right);
+        ("merge (NVM)", Tabular.Right);
+        ("merge (volatile)", Tabular.Right);
+        ("NVM device time", Tabular.Right);
+      ]
+  in
+  for s = 0 to scales - 1 do
+    let rows = 2_000 * (1 lsl s) in
+    Printf.printf "  delta of %d rows ...\n%!" rows;
+    let run mk =
+      let engine = mk (64 * mib * (1 lsl s)) in
+      let cfg = { Ycsb.default_config with rows; zipf_theta = 0.9 } in
+      let sess = Ycsb.setup engine (Prng.create 1L) cfg in
+      ignore (Ycsb.run sess (Prng.create 2L) ~ops:(rows / 2));
+      Gc.compact ();
+      let region = Engine.region engine in
+      Region.reset_stats region;
+      let t0 = now_ns () in
+      let stats = Engine.merge engine Ycsb.table_name in
+      ((Region.stats region).Region.sim_ns, now_ns () - t0, stats)
+    in
+    let dev_nvm, t_nvm, stats = run nvm_engine in
+    let _, t_vol, _ = run volatile_engine in
+    Tabular.add_row table
+      [
+        Tabular.fmt_int stats.Storage.Merge.rows_in;
+        Tabular.fmt_int stats.Storage.Merge.rows_out;
+        Tabular.fmt_bytes stats.Storage.Merge.bytes_before;
+        Tabular.fmt_bytes stats.Storage.Merge.bytes_after;
+        Tabular.fmt_ns t_nvm;
+        Tabular.fmt_ns t_vol;
+        Tabular.fmt_ns dev_nvm;
+      ]
+  done;
+  Tabular.print table;
+  print_endline
+    "expected shape: merge time ~linear in delta size; persisting the new\n\
+     main adds device time linear in the merged size."
+
+(* ------------------------------------------------------------------ *)
+(* E6: instant-restart breakdown                                       *)
+(* ------------------------------------------------------------------ *)
+
+let e6 ~fast () =
+  header "E6  Hyrise-NV restart breakdown across dataset scales";
+  let scales = if fast then 3 else 5 in
+  let table =
+    Tabular.create ~title:"E6: where the (sub-second) restart time goes"
+      [
+        ("rows", Tabular.Right);
+        ("heap scan", Tabular.Right);
+        ("catalog+attach", Tabular.Right);
+        ("MVCC rollback", Tabular.Right);
+        ("total", Tabular.Right);
+        ("rolled back", Tabular.Right);
+      ]
+  in
+  for s = 0 to scales - 1 do
+    let rows = 1_000 * (1 lsl s) in
+    let size = 48 * mib * (1 lsl s) in
+    Printf.printf "  scale %d (%d rows) ...\n%!" s rows;
+    let engine = nvm_engine size in
+    let sess =
+      Ycsb.setup engine (Prng.create 1L) { Ycsb.default_config with rows }
+    in
+    ignore (Ycsb.run sess (Prng.create 2L) ~ops:(rows / 5));
+    (* crash with a transaction in flight so rollback has work to do *)
+    let txn = Engine.begin_txn engine in
+    for i = 0 to 9 do
+      ignore
+        (Engine.insert engine txn Ycsb.table_name
+           (Array.append
+              [| Storage.Value.Int (10_000_000 + i) |]
+              (Array.init Ycsb.default_config.Ycsb.fields (fun _ ->
+                   Storage.Value.Text "inflight"))))
+    done;
+    let crashed = Engine.crash engine Region.Drop_unfenced in
+    let _, stats = Engine.recover crashed in
+    match stats.Engine.detail with
+    | Engine.Rv_nvm { heap_open_ns; attach_ns; rollback_ns; rolled_back_rows; _ }
+      ->
+        Tabular.add_row table
+          [
+            Tabular.fmt_int rows;
+            Tabular.fmt_ns heap_open_ns;
+            Tabular.fmt_ns attach_ns;
+            Tabular.fmt_ns rollback_ns;
+            Tabular.fmt_ns stats.Engine.wall_ns;
+            Tabular.fmt_int rolled_back_rows;
+          ]
+    | _ -> ()
+  done;
+  Tabular.print table;
+  print_endline
+    "expected shape: attach is O(tables) (indexes rebuild lazily on first\n\
+     use, as in SOFORT-style instant recovery); rollback depends on in-flight\n\
+     work only; the heap scan grows with allocator blocks, orders of\n\
+     magnitude slower than log replay grows with data."
+
+(* ------------------------------------------------------------------ *)
+(* T1: dataset characteristics                                         *)
+(* ------------------------------------------------------------------ *)
+
+let t1 ~fast () =
+  header "T1  Dataset and workload characteristics";
+  let scales = if fast then 3 else 5 in
+  let table =
+    Tabular.create ~title:"T1: per-scale dataset characteristics (YCSB load)"
+      [
+        ("scale", Tabular.Right);
+        ("rows", Tabular.Right);
+        ("NVM bytes", Tabular.Right);
+        ("bytes/row", Tabular.Right);
+        ("log bytes", Tabular.Right);
+        ("checkpoint bytes", Tabular.Right);
+      ]
+  in
+  for s = 0 to scales - 1 do
+    let rows = 1_000 * (1 lsl s) in
+    let size = 48 * mib * (1 lsl s) in
+    let ycfg = { Ycsb.default_config with rows } in
+    let e_nvm = nvm_engine size in
+    ignore (Ycsb.setup e_nvm (Prng.create 1L) ycfg);
+    let lc = log_config ~group:1 ~fsync:false () in
+    let e_log =
+      Engine.create
+        {
+          Engine.region = Region.config_with_size size;
+          durability = Engine.Logging lc;
+        }
+    in
+    ignore (Ycsb.setup e_log (Prng.create 1L) ycfg);
+    let log_bytes = Engine.log_bytes e_log in
+    ignore (Engine.checkpoint e_log);
+    let ckpt_bytes =
+      try (Unix.stat (Wal.Checkpoint.path ~dir:lc.Wal.Log.dir)).Unix.st_size
+      with Unix.Unix_error _ -> 0
+    in
+    Tabular.add_row table
+      [
+        string_of_int s;
+        Tabular.fmt_int rows;
+        Tabular.fmt_bytes (Engine.data_bytes e_nvm);
+        Tabular.fmt_int (Engine.data_bytes e_nvm / rows);
+        Tabular.fmt_bytes log_bytes;
+        Tabular.fmt_bytes ckpt_bytes;
+      ]
+  done;
+  Tabular.print table
+
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: design choices DESIGN.md calls out                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A1: the group-commit window trades durability for throughput *)
+let a1 ~fast () =
+  header "A1  Ablation: group-commit window (log durability)";
+  let ops = if fast then 800 else 2_500 in
+  let size = 64 * mib in
+  let table =
+    Tabular.create ~title:"A1: fsync batching vs throughput vs loss window"
+      [
+        ("group size", Tabular.Right);
+        ("txn/s", Tabular.Right);
+        ("fsyncs", Tabular.Right);
+        ("txns lost at crash", Tabular.Right);
+      ]
+  in
+  List.iter
+    (fun group ->
+      Printf.printf "  group %d ...\n%!" group;
+      let engine = log_engine ~group ~fsync:true size in
+      let sess =
+        Tpcc.setup engine ~warehouses:2 ~districts_per_wh:4
+          ~customers_per_district:10
+      in
+      let rng = Prng.create 7L in
+      let t0 = now_ns () in
+      let stats = Tpcc.run sess rng ~ops () in
+      let dt = now_ns () - t0 in
+      let flushes = Engine.log_flushes engine in
+      let committed_before = stats.Tpcc.committed in
+      let last_before = Engine.last_cid engine in
+      let e2, _ = Engine.recover (Engine.crash engine Region.Drop_unfenced) in
+      let lost = Int64.to_int (Int64.sub last_before (Engine.last_cid e2)) in
+      Tabular.add_row table
+        [
+          string_of_int group;
+          Tabular.fmt_float ~decimals:0
+            (float_of_int committed_before *. 1e9 /. float_of_int dt);
+          Tabular.fmt_int flushes;
+          string_of_int lost;
+        ])
+    [ 1; 4; 16; 64 ];
+  Tabular.print table;
+  print_endline
+    "expected shape: throughput rises with the window; so does the number of\n\
+     committed-but-lost transactions after a crash."
+
+(* A2: commit publication protocol (fence batching) *)
+let a2 ~fast () =
+  header "A2  Ablation: commit publication protocol (fences per transaction)";
+  let ops = if fast then 600 else 1_500 in
+  let size = 64 * mib in
+  let table =
+    Tabular.create ~title:"A2: fence count and throughput per publish mode"
+      [
+        ("publish mode", Tabular.Left);
+        ("fences/txn", Tabular.Right);
+        ("writebacks/txn", Tabular.Right);
+        ("device ns/txn", Tabular.Right);
+      ]
+  in
+  List.iter
+    (fun (name, mode) ->
+      let engine =
+        Engine.create ~publish_mode:mode (Engine.default_config ~size Engine.Nvm)
+      in
+      let sess =
+        Tpcc.setup engine ~warehouses:1 ~districts_per_wh:2
+          ~customers_per_district:10
+      in
+      let region = Engine.region engine in
+      Region.reset_stats region;
+      let stats = Tpcc.run sess (Prng.create 3L) ~ops () in
+      let s = Region.stats region in
+      let n = max 1 stats.Tpcc.committed in
+      Tabular.add_row table
+        [
+          name;
+          Tabular.fmt_int (s.Region.fences / n);
+          Tabular.fmt_int (s.Region.writebacks / n);
+          Tabular.fmt_int (s.Region.sim_ns / n);
+        ])
+    [
+      ("per-vector (naive)", `Per_vector);
+      ("per-table", `Per_table);
+      ("batched (Hyrise-NV)", `Batched);
+    ];
+  Tabular.print table;
+  print_endline
+    "expected shape: batching cuts commit fences to O(1); remaining fences\n\
+     come from durable dictionary/index inserts."
+
+(* A3: secondary index benefit for point lookups *)
+let a3 ~fast () =
+  header "A3  Ablation: persistent secondary index vs delta scan";
+  let rows = if fast then 4_000 else 16_000 in
+  let size = 128 * mib in
+  let table =
+    Tabular.create ~title:"A3: point lookup latency on the delta partition"
+      [
+        ("delta rows", Tabular.Right);
+        ("indexed lookup", Tabular.Right);
+        ("scan lookup", Tabular.Right);
+        ("speedup", Tabular.Right);
+      ]
+  in
+  let build ~indexed =
+    let engine = nvm_engine size in
+    Engine.create_table engine ~name:"t"
+      [|
+        Storage.Schema.column ~indexed "k" Storage.Value.Int_t;
+        Storage.Schema.column "v" Storage.Value.Int_t;
+      |];
+    let batch = 256 in
+    let n = ref 0 in
+    while !n < rows do
+      Engine.with_txn engine (fun txn ->
+          for _ = 1 to batch do
+            incr n;
+            ignore
+              (Engine.insert engine txn "t"
+                 [| Storage.Value.Int !n; Storage.Value.Int (!n * 2) |])
+          done)
+    done;
+    engine
+  in
+  let time_lookups engine =
+    let rng = Prng.create 11L in
+    let t0 = now_ns () in
+    let q = 200 in
+    Engine.with_txn engine (fun txn ->
+        for _ = 1 to q do
+          ignore
+            (Engine.lookup engine txn "t" ~col:"k"
+               (Storage.Value.Int (1 + Prng.int rng rows)))
+        done);
+    (now_ns () - t0) / q
+  in
+  let e_idx = build ~indexed:true and e_scan = build ~indexed:false in
+  let t_idx = time_lookups e_idx and t_scan = time_lookups e_scan in
+  Tabular.add_row table
+    [
+      Tabular.fmt_int rows;
+      Tabular.fmt_ns t_idx;
+      Tabular.fmt_ns t_scan;
+      Printf.sprintf "%.0fx" (float_of_int t_scan /. float_of_int t_idx);
+    ];
+  Tabular.print table;
+  print_endline
+    "expected shape: the persistent index turns O(delta) scans into\n\
+     O(log delta) lookups; the gap widens with delta size."
+
+(* A4: dictionary compression: delta vs merged-main footprint *)
+let a4 ~fast () =
+  header "A4  Ablation: dictionary + bit-packing compression at merge";
+  let rows = if fast then 4_000 else 10_000 in
+  let table =
+    Tabular.create ~title:"A4: footprint of the same data, delta vs main"
+      [
+        ("distinct values", Tabular.Right);
+        ("delta bytes", Tabular.Right);
+        ("main bytes", Tabular.Right);
+        ("compression", Tabular.Right);
+        ("bits/entry", Tabular.Right);
+      ]
+  in
+  List.iter
+    (fun distinct ->
+      let engine = nvm_engine (128 * mib) in
+      Engine.create_table engine ~name:"t"
+        [| Storage.Schema.column "v" Storage.Value.Int_t |];
+      let rng = Prng.create 5L in
+      let n = ref 0 in
+      while !n < rows do
+        Engine.with_txn engine (fun txn ->
+            for _ = 1 to 256 do
+              incr n;
+              ignore
+                (Engine.insert engine txn "t"
+                   [| Storage.Value.Int (Prng.int rng distinct) |])
+            done)
+      done;
+      let before = Engine.data_bytes engine in
+      ignore (Engine.merge engine "t");
+      let after = Engine.data_bytes engine in
+      let tbl = Engine.table engine "t" in
+      let bits =
+        (* bits per entry of the packed attribute vector *)
+        let dict = Storage.Table.main_dictionary_size tbl 0 in
+        let rec lg b = if dict <= 1 lsl b then b else lg (b + 1) in
+        lg 0
+      in
+      Tabular.add_row table
+        [
+          Tabular.fmt_int distinct;
+          Tabular.fmt_bytes before;
+          Tabular.fmt_bytes after;
+          Printf.sprintf "%.1fx" (float_of_int before /. float_of_int after);
+          string_of_int bits;
+        ])
+    [ 2; 16; 256; 4096 ];
+  Tabular.print table;
+  print_endline
+    "expected shape: fewer distinct values -> narrower bit-packed vectors\n\
+     -> higher compression of the merged main."
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+    ("T1", t1); ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4) ]
+
+let () =
+  let only = ref [] and fast = ref false in
+  Array.iteri
+    (fun i arg ->
+      match arg with
+      | "--fast" -> fast := true
+      | "--only" when i + 1 < Array.length Sys.argv ->
+          only := Sys.argv.(i + 1) :: !only
+      | _ -> ())
+    Sys.argv;
+  let selected =
+    if !only = [] then experiments
+    else List.filter (fun (name, _) -> List.mem name !only) experiments
+  in
+  print_endline "Hyrise-NV reproduction benchmarks";
+  print_endline
+    (if !fast then "(fast mode: reduced scales)"
+     else "(full scales; use --fast for a quicker run)");
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (_, f) -> f ~fast:!fast ()) selected;
+  Printf.printf "\nall selected experiments done in %.1f s\n"
+    (Unix.gettimeofday () -. t0)

@@ -1,0 +1,243 @@
+(* hyrise_nv — command-line driver for the Hyrise-NV reproduction.
+
+   The demonstration flow of the ICDE'16 demo paper:
+
+     hyrise_nv load --rows 50000 --image db.img     # populate, save NVM image
+     hyrise_nv restart --image db.img               # instant restart from it
+     hyrise_nv demo --scales 3                      # log vs NVM side by side
+     hyrise_nv torture --rounds 10                  # adversarial crash loop *)
+
+module Engine = Core.Engine
+module Region = Nvm.Region
+module Ycsb = Workload.Ycsb
+module Tpcc = Workload.Tpcc_lite
+module Prng = Util.Prng
+module Tabular = Util.Tabular
+open Cmdliner
+
+let mib = 1024 * 1024
+
+let size_arg =
+  let doc = "Simulated NVM region size in MiB." in
+  Arg.(value & opt int 64 & info [ "size-mb" ] ~docv:"MIB" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed; equal seeds reproduce identical runs." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+(* -- load -- *)
+
+let load rows image size_mb seed =
+  let cfg = Engine.default_config ~size:(size_mb * mib) Engine.Nvm in
+  let engine = Engine.create cfg in
+  let ycfg = { Ycsb.default_config with rows } in
+  Printf.printf "loading %d rows into an NVM-resident table ...\n%!" rows;
+  let t0 = Unix.gettimeofday () in
+  let sess = Ycsb.setup engine (Prng.create (Int64.of_int seed)) ycfg in
+  ignore (Ycsb.run sess (Prng.create (Int64.of_int (seed + 1))) ~ops:(rows / 10));
+  Printf.printf "loaded in %.2f s — %s of table data, last CID %Ld\n"
+    (Unix.gettimeofday () -. t0)
+    (Tabular.fmt_bytes (Engine.data_bytes engine))
+    (Engine.last_cid engine);
+  Engine.save_image engine image;
+  Printf.printf "durable NVM image written to %s (%s)\n" image
+    (Tabular.fmt_bytes (Unix.stat image).Unix.st_size)
+
+let load_cmd =
+  let rows =
+    Arg.(value & opt int 50_000 & info [ "rows" ] ~docv:"N" ~doc:"Rows to load.")
+  in
+  let image =
+    Arg.(value & opt string "db.img" & info [ "image" ] ~docv:"FILE"
+           ~doc:"Where to write the NVM image.")
+  in
+  Cmd.v
+    (Cmd.info "load" ~doc:"Populate a database and save its NVM image.")
+    Term.(const load $ rows $ image $ size_arg $ seed_arg)
+
+(* -- restart -- *)
+
+let restart image size_mb =
+  let cfg = Engine.default_config ~size:(size_mb * mib) Engine.Nvm in
+  Printf.printf "mapping %s ...\n%!" image;
+  let engine, stats = Engine.open_image cfg image in
+  Printf.printf "instant restart in %s\n" (Tabular.fmt_ns stats.Engine.wall_ns);
+  (match stats.Engine.detail with
+  | Engine.Rv_nvm { heap_open_ns; attach_ns; rollback_ns; heap_blocks; rolled_back_rows; tables } ->
+      Printf.printf
+        "  heap scan %s (%d blocks) | attach %s (%d tables) | rollback %s (%d rows)\n"
+        (Tabular.fmt_ns heap_open_ns) heap_blocks (Tabular.fmt_ns attach_ns)
+        tables (Tabular.fmt_ns rollback_ns) rolled_back_rows
+  | _ -> ());
+  Engine.with_txn engine (fun txn ->
+      Printf.printf "database is open: %d rows visible in %s, last CID %Ld\n"
+        (Engine.count engine txn Ycsb.table_name)
+        Ycsb.table_name (Engine.last_cid engine))
+
+let restart_cmd =
+  let image =
+    Arg.(value & opt string "db.img" & info [ "image" ] ~docv:"FILE"
+           ~doc:"NVM image written by $(b,load).")
+  in
+  Cmd.v
+    (Cmd.info "restart" ~doc:"Instant restart from a saved NVM image.")
+    Term.(const restart $ image $ size_arg)
+
+(* -- demo (log vs NVM) -- *)
+
+let tmpdir () =
+  let d = Filename.temp_file "hyrise_demo" "" in
+  Sys.remove d;
+  d
+
+let demo scales seed =
+  let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9)) in
+  let table =
+    Tabular.create ~title:"restart time: log-based vs Hyrise-NV"
+      [
+        ("rows", Tabular.Right);
+        ("data", Tabular.Right);
+        ("log recovery", Tabular.Right);
+        ("NVM recovery", Tabular.Right);
+        ("speedup", Tabular.Right);
+      ]
+  in
+  for s = 0 to scales - 1 do
+    let rows = 2_000 * (1 lsl s) in
+    let size = 64 * mib * (1 lsl s) in
+    let run mk =
+      let engine = mk () in
+      let cfg = { Ycsb.default_config with rows } in
+      let sess = Ycsb.setup engine (Prng.create (Int64.of_int seed)) cfg in
+      ignore (Ycsb.run sess (Prng.create (Int64.of_int (seed + 1))) ~ops:(rows / 10));
+      let bytes = Engine.data_bytes engine in
+      let crashed = Engine.crash engine Region.Drop_unfenced in
+      let t0 = now_ns () in
+      let _engine, _ = Engine.recover crashed in
+      (now_ns () - t0, bytes)
+    in
+    Printf.printf "scale %d (%d rows) ...\n%!" s rows;
+    let log_ns, _ =
+      run (fun () ->
+          Engine.create
+            {
+              Engine.region = Region.config_with_size size;
+              durability =
+                Engine.Logging
+                  { Wal.Log.dir = tmpdir (); group_commit_size = 8; fsync = false };
+            })
+    in
+    let nvm_ns, bytes =
+      run (fun () -> Engine.create (Engine.default_config ~size Engine.Nvm))
+    in
+    Tabular.add_row table
+      [
+        Tabular.fmt_int rows;
+        Tabular.fmt_bytes bytes;
+        Tabular.fmt_ns log_ns;
+        Tabular.fmt_ns nvm_ns;
+        Printf.sprintf "%.0fx" (float_of_int log_ns /. float_of_int nvm_ns);
+      ]
+  done;
+  Tabular.print table
+
+let demo_cmd =
+  let scales =
+    Arg.(value & opt int 3 & info [ "scales" ] ~docv:"N"
+           ~doc:"Number of doubling dataset scales to compare.")
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"The demo paper's comparison: log vs NVM restart.")
+    Term.(const demo $ scales $ seed_arg)
+
+(* -- torture -- *)
+
+let torture rounds seed =
+  let rng = Prng.create (Int64.of_int seed) in
+  let engine = ref (Engine.create (Engine.default_config ~size:(64 * mib) Engine.Nvm)) in
+  let sess = ref (Tpcc.setup !engine ~warehouses:2 ~districts_per_wh:3 ~customers_per_district:8) in
+  for round = 1 to rounds do
+    let stats = Tpcc.run !sess (Prng.split rng) ~ops:(50 + Prng.int rng 150) () in
+    let before = Tpcc.total_orders !sess in
+    let crashed = Engine.crash !engine (Region.Adversarial (Prng.split rng)) in
+    let e2, rstats = Engine.recover crashed in
+    engine := e2;
+    sess := Tpcc.attach e2 ~warehouses:2 ~districts_per_wh:3 ~customers_per_district:8;
+    let after = Tpcc.total_orders !sess in
+    let ok = List.for_all snd (Tpcc.consistency_check !sess) && before = after in
+    Printf.printf "round %2d: %3d committed, recovered in %8s, %s\n%!" round
+      stats.Tpcc.committed
+      (Tabular.fmt_ns rstats.Engine.wall_ns)
+      (if ok then "consistent" else "INCONSISTENT");
+    if not ok then exit 1
+  done;
+  Printf.printf "survived %d adversarial crashes\n" rounds
+
+let torture_cmd =
+  let rounds =
+    Arg.(value & opt int 10 & info [ "rounds" ] ~docv:"N" ~doc:"Crash rounds.")
+  in
+  Cmd.v
+    (Cmd.info "torture" ~doc:"Adversarial crash loop with invariant checks.")
+    Term.(const torture $ rounds $ seed_arg)
+
+(* -- repl -- *)
+
+let repl size_mb seed execute =
+  let engine =
+    ref (Engine.create (Engine.default_config ~size:(size_mb * mib) Engine.Nvm))
+  in
+  let crash_rng = Prng.create (Int64.of_int seed) in
+  let run_line line =
+    let line = String.trim line in
+    if line = "" then ()
+    else
+      match String.lowercase_ascii line with
+      | "exit" | "quit" -> raise Exit
+      | "crash" ->
+          (* the REPL-level power switch: adversarial crash + instant
+             restart, so the user can watch committed data survive *)
+          let crashed = Engine.crash !engine (Region.Adversarial crash_rng) in
+          let e2, stats = Engine.recover crashed in
+          engine := e2;
+          Printf.printf "power failed; instant restart in %s (last CID %Ld)\n"
+            (Tabular.fmt_ns stats.Engine.wall_ns)
+            (Engine.last_cid e2)
+      | _ -> (
+          match Repl.Sql.parse line with
+          | stmt -> (
+              try print_endline (Repl.Sql.execute !engine stmt) with
+              | Txn.Mvcc.Write_conflict m -> Printf.printf "conflict: %s\n" m
+              | Invalid_argument m | Failure m -> Printf.printf "error: %s\n" m
+              | Not_found -> print_endline "error: no such table")
+          | exception Repl.Sql.Parse_error m -> Printf.printf "parse error: %s\n" m)
+  in
+  match execute with
+  | Some stmts -> List.iter run_line (String.split_on_char ';' stmts)
+  | None -> (
+      print_endline "Hyrise-NV SQL repl — HELP for syntax, CRASH to test the headline, EXIT to quit";
+      try
+        while true do
+          print_string "hyrise-nv> ";
+          run_line (read_line ())
+        done
+      with Exit | End_of_file -> print_endline "bye")
+
+let repl_cmd =
+  let execute =
+    Arg.(value & opt (some string) None
+           & info [ "e"; "execute" ] ~docv:"SQL"
+               ~doc:"Run semicolon-separated statements and exit.")
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive SQL shell over an NVM engine.")
+    Term.(const repl $ size_arg $ seed_arg $ execute)
+
+let () =
+  let info =
+    Cmd.info "hyrise_nv" ~version:"1.0.0"
+      ~doc:"Hyrise-NV: instant restarts of an in-memory database on NVM"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ load_cmd; restart_cmd; demo_cmd; torture_cmd; repl_cmd ]))

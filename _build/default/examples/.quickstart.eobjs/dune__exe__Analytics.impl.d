@@ -1,0 +1,1 @@
+examples/analytics.ml: Array Core List Printf Query Storage Util Workload

@@ -1,0 +1,1 @@
+examples/crash_torture.ml: Array Core List Nvm Printf Storage Sys Util Workload

@@ -1,0 +1,1 @@
+examples/instant_restart_demo.ml: Array Core Filename Int64 Nvm Printf Sys Unix Util Wal Workload

@@ -1,0 +1,1 @@
+examples/instant_restart_demo.mli:

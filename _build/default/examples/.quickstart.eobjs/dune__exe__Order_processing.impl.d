@@ -1,0 +1,1 @@
+examples/order_processing.ml: Core List Nvm Printf Storage Unix Util Workload

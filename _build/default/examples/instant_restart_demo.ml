@@ -1,0 +1,96 @@
+(* The ICDE'16 demonstration, in miniature: load the same dataset into a
+   log-based engine and into Hyrise-NV, pull the plug on both, and watch
+   one replay its log while the other restarts instantly.
+
+   The demo paper's headline: a 92.2 GB dataset recovers in ~53 s from the
+   log but in < 1 s from NVM. We reproduce the *shape* at laptop scale —
+   log recovery grows linearly with the dataset, NVM recovery does not.
+
+     dune exec examples/instant_restart_demo.exe -- [scale]   (default 3) *)
+
+module Engine = Core.Engine
+module Region = Nvm.Region
+module Ycsb = Workload.Ycsb
+module Prng = Util.Prng
+module Tabular = Util.Tabular
+
+let tmpdir () =
+  let d = Filename.temp_file "instant_restart" "" in
+  Sys.remove d;
+  d
+
+let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+
+let load_and_crash ~mk_engine ~rows =
+  let engine = mk_engine () in
+  let cfg = { Ycsb.default_config with rows; fields = 4; field_length = 64 } in
+  let sess = Ycsb.setup engine (Prng.create 42L) cfg in
+  ignore (Ycsb.run sess (Prng.create 43L) ~ops:(rows / 10));
+  let bytes = Engine.data_bytes engine in
+  let log = Engine.log_bytes engine in
+  let crashed = Engine.crash engine Region.Drop_unfenced in
+  let t0 = now_ns () in
+  let engine, stats = Engine.recover crashed in
+  let wall = now_ns () - t0 in
+  let sess = Ycsb.attach engine cfg in
+  let recovered_rows = Ycsb.row_count sess in
+  (wall, stats, bytes, log, recovered_rows)
+
+let () =
+  let scale =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 3
+  in
+  let table =
+    Tabular.create ~title:"instant restart: log-based vs Hyrise-NV"
+      [
+        ("rows", Tabular.Right);
+        ("data on NVM", Tabular.Right);
+        ("log bytes", Tabular.Right);
+        ("log recovery", Tabular.Right);
+        ("NVM recovery", Tabular.Right);
+        ("speedup", Tabular.Right);
+      ]
+  in
+  let base_rows = 2_000 in
+  for s = 0 to scale - 1 do
+    let rows = base_rows * (1 lsl s) in
+    let size = 64 * 1024 * 1024 * (1 lsl s) in
+    Printf.printf "scale %d: loading %d rows twice (log engine, NVM engine) ...\n%!"
+      s rows;
+    let log_wall, _, _, log_sz, log_rows =
+      load_and_crash ~rows ~mk_engine:(fun () ->
+          Engine.create
+            {
+              Engine.region = Region.config_with_size size;
+              durability =
+                Engine.Logging
+                  { Wal.Log.dir = tmpdir (); group_commit_size = 8; fsync = false };
+            })
+    in
+    let nvm_wall, nvm_stats, bytes, _, nvm_rows =
+      load_and_crash ~rows ~mk_engine:(fun () ->
+          Engine.create (Engine.default_config ~size Engine.Nvm))
+    in
+    assert (abs (log_rows - nvm_rows) <= 8 (* group-commit window *));
+    Tabular.add_row table
+      [
+        Tabular.fmt_int rows;
+        Tabular.fmt_bytes bytes;
+        Tabular.fmt_bytes log_sz;
+        Tabular.fmt_ns log_wall;
+        Tabular.fmt_ns nvm_wall;
+        Printf.sprintf "%.0fx" (float_of_int log_wall /. float_of_int nvm_wall);
+      ];
+    match nvm_stats.Engine.detail with
+    | Engine.Rv_nvm { heap_open_ns; attach_ns; rollback_ns; _ } ->
+        Printf.printf
+          "  NVM breakdown: heap %s, attach %s, rollback %s\n%!"
+          (Tabular.fmt_ns heap_open_ns) (Tabular.fmt_ns attach_ns)
+          (Tabular.fmt_ns rollback_ns)
+    | _ -> ()
+  done;
+  print_newline ();
+  Tabular.print table;
+  print_endline
+    "log recovery grows with the dataset; Hyrise-NV's does not (the paper's\n\
+     92.2 GB instance: 53 s from the log, < 1 s from NVM)."

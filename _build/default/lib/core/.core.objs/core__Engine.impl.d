@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Hashtbl Int64 List Logs Nvm Nvm_alloc Option Printf Query Storage Txn Unix Wal

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Nvm Nvm_alloc Query Storage Txn Wal

@@ -1,0 +1,545 @@
+module Region = Nvm.Region
+module A = Nvm_alloc.Allocator
+module Table = Storage.Table
+module Catalog = Storage.Catalog
+module Schema = Storage.Schema
+module Value = Storage.Value
+module Cid = Storage.Cid
+module Mvcc = Txn.Mvcc
+
+let log_src = Logs.Src.create "hyrise.engine" ~doc:"Hyrise-NV engine events"
+
+module L = (val Logs.src_log log_src : Logs.LOG)
+
+type durability = Volatile | Logging of Wal.Log.config | Nvm
+
+type config = { region : Nvm.Region.config; durability : durability }
+
+let default_config ?(size = 64 * 1024 * 1024) durability =
+  { region = Region.config_with_size size; durability }
+
+type txn = Mvcc.txn
+
+exception Closed
+
+(* Engine control block (root slot 0):
+     +0 last committed CID   (the durable commit point)
+     +8 catalog handle *)
+let root_slot = 0
+
+type t = {
+  cfg : config;
+  region : Region.t;
+  alloc : A.t;
+  ctrl : int;
+  catalog : Catalog.t;
+  mutable log : Wal.Log.t option;
+  mutable epoch : int;
+  tables : (string, Table.t) Hashtbl.t;
+  ids : (string, int) Hashtbl.t; (* table name -> log table id *)
+  mutable names_by_id : string list; (* reversed creation order *)
+  mutable mgr : Mvcc.manager;
+  publish_mode : Mvcc.publish_mode;
+  mutable closed : bool;
+  mutable replaying : bool; (* suppress logging during replay *)
+}
+
+let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+
+let check_open t = if t.closed then raise Closed
+
+let config t = t.cfg
+let region t = t.region
+let allocator t = t.alloc
+let last_cid t = Mvcc.last_cid t.mgr
+
+let table_id t name =
+  match Hashtbl.find_opt t.ids name with
+  | Some id -> id
+  | None -> invalid_arg ("Engine: unknown table " ^ name)
+
+let persist_commit_hook region ctrl cid =
+  Region.set_i64 region ctrl cid;
+  Region.persist region ctrl 8
+
+let observer t event =
+  if not t.replaying then
+    match (t.log, event) with
+    | None, _ -> ()
+    | Some log, Mvcc.Ev_insert { tid; table; values } ->
+        Wal.Log.append log
+          (Wal.Log.Insert { tid; table_id = table_id t (Table.name table); values })
+    | Some log, Mvcc.Ev_commit { tid; cid; invalidated } ->
+        let invalidated =
+          List.map
+            (fun (table, row) -> (table_id t (Table.name table), row))
+            invalidated
+        in
+        Wal.Log.append log (Wal.Log.Commit { tid; cid; invalidated })
+    | Some log, Mvcc.Ev_abort { tid } ->
+        Wal.Log.append log (Wal.Log.Abort { tid })
+
+let make_manager t ~last_cid =
+  Mvcc.create_manager ~observer:(observer t) ~publish_mode:t.publish_mode
+    ~persist_commit:(persist_commit_hook t.region t.ctrl)
+    ~last_cid ()
+
+(* Build the volatile shell around an already-formatted region. *)
+let assemble ?(publish_mode = `Batched) cfg region alloc ctrl catalog ~log
+    ~epoch =
+  let t =
+    {
+      cfg;
+      region;
+      alloc;
+      ctrl;
+      catalog;
+      log;
+      epoch;
+      tables = Hashtbl.create 16;
+      ids = Hashtbl.create 16;
+      names_by_id = [];
+      mgr =
+        (* placeholder, replaced right below once [t] exists for the
+           observer closure *)
+        Mvcc.create_manager ~persist_commit:ignore ~last_cid:Cid.zero ();
+      publish_mode;
+      closed = false;
+      replaying = false;
+    }
+  in
+  t.mgr <- make_manager t ~last_cid:(Region.get_i64 region ctrl);
+  t
+
+let create_raw ?publish_mode (cfg : config) ~with_log =
+  let region = Region.create cfg.region in
+  Region.set_persist_enabled region (cfg.durability = Nvm);
+  let alloc = A.format region in
+  let catalog = Catalog.create alloc in
+  let ctrl = A.alloc alloc 16 in
+  Region.set_i64 region ctrl Cid.zero;
+  Region.set_int region (ctrl + 8) (Catalog.handle catalog);
+  Region.persist region ctrl 16;
+  A.activate alloc ctrl;
+  A.set_root alloc root_slot ctrl;
+  let log =
+    match cfg.durability with
+    | Logging lc when with_log -> Some (Wal.Log.create lc ~epoch:0)
+    | Logging _ | Volatile | Nvm -> None
+  in
+  assemble ?publish_mode cfg region alloc ctrl catalog ~log ~epoch:0
+
+let create ?publish_mode cfg = create_raw ?publish_mode cfg ~with_log:true
+
+(* -- DDL -- *)
+
+let register_table t name table =
+  Hashtbl.replace t.tables name table;
+  if not (Hashtbl.mem t.ids name) then begin
+    Hashtbl.replace t.ids name (List.length t.names_by_id);
+    t.names_by_id <- name :: t.names_by_id
+  end
+
+let create_table t ~name schema =
+  check_open t;
+  if Hashtbl.mem t.tables name then
+    invalid_arg ("Engine.create_table: duplicate table " ^ name);
+  let table = Table.create t.alloc ~name schema in
+  Catalog.add_table t.catalog ~name ~ctrl:(Table.handle table);
+  register_table t name table;
+  if not t.replaying then
+    match t.log with
+    | Some log -> Wal.Log.append log (Wal.Log.Create_table { name; schema })
+    | None -> ()
+
+let table t name =
+  check_open t;
+  match Hashtbl.find_opt t.tables name with
+  | Some table -> table
+  | None -> raise Not_found
+
+let table_names t =
+  check_open t;
+  List.rev t.names_by_id
+
+(* -- transactions -- *)
+
+let begin_txn t =
+  check_open t;
+  Mvcc.begin_txn t.mgr
+
+let commit t txn =
+  check_open t;
+  Mvcc.commit t.mgr txn
+
+let abort t txn =
+  check_open t;
+  Mvcc.abort t.mgr txn
+
+let with_txn t f =
+  let txn = begin_txn t in
+  match f txn with
+  | result ->
+      ignore (commit t txn);
+      result
+  | exception e ->
+      if Mvcc.is_active txn then abort t txn;
+      raise e
+
+(* -- DML / queries -- *)
+
+let insert t txn name values =
+  check_open t;
+  Mvcc.insert t.mgr txn (table t name) values
+
+let update t txn name row values =
+  check_open t;
+  Mvcc.update t.mgr txn (table t name) row values
+
+let delete t txn name row =
+  check_open t;
+  Mvcc.delete t.mgr txn (table t name) row
+
+let get_row t txn name row =
+  check_open t;
+  let table = table t name in
+  if row < 0 || row >= Table.row_count table then None
+  else if Mvcc.row_visible txn table row then Some (Table.get_row table row)
+  else None
+
+let scan t txn name f =
+  check_open t;
+  let table = table t name in
+  for row = 0 to Table.row_count table - 1 do
+    if Mvcc.row_visible txn table row then f row (Table.get_row table row)
+  done
+
+let select t txn name ~where =
+  let acc = ref [] in
+  scan t txn name (fun row values -> if where values then acc := (row, values) :: !acc);
+  List.rev !acc
+
+let lookup t txn name ~col value =
+  check_open t;
+  let table = table t name in
+  let ci = Schema.find_column (Table.schema table) col in
+  List.filter_map
+    (fun row ->
+      if Mvcc.row_visible txn table row then Some (row, Table.get_row table row)
+      else None)
+    (Table.rows_with_value table ci value)
+
+let count t txn name =
+  let n = ref 0 in
+  scan t txn name (fun _ _ -> incr n);
+  !n
+
+let sum_int t txn name ~col =
+  check_open t;
+  let table = table t name in
+  let ci = Schema.find_column (Table.schema table) col in
+  let acc = ref 0 in
+  for row = 0 to Table.row_count table - 1 do
+    if Mvcc.row_visible txn table row then
+      match Table.get table row ci with
+      | Value.Int v -> acc := !acc + v
+      | v ->
+          invalid_arg
+            (Printf.sprintf "Engine.sum_int: %s.%s holds %s" name col
+               (Value.to_string v))
+  done;
+  !acc
+
+let to_filters fs =
+  List.map (fun (col, pred) -> { Query.Scan.col; pred }) fs
+
+let where t txn name fs =
+  check_open t;
+  Query.Scan.select txn (table t name) ~filters:(to_filters fs)
+
+let count_where t txn name fs =
+  check_open t;
+  Query.Scan.count txn (table t name) ~filters:(to_filters fs)
+
+let aggregate t txn name ?group_by ~specs ?(filters = []) () =
+  check_open t;
+  Query.Aggregate.run txn (table t name) ?group_by ~specs
+    ~filters:(to_filters filters) ()
+
+(* -- merge / checkpoint -- *)
+
+let merge_one t name =
+  if Mvcc.active_count t.mgr > 0 then
+    invalid_arg "Engine.merge: active transactions";
+  let old_table = table t name in
+  let merged, stats, finalize =
+    Storage.Merge.run t.alloc old_table ~merge_cid:(Mvcc.last_cid t.mgr)
+  in
+  (* single durable word: the merge publication *)
+  Catalog.swap_table t.catalog ~name ~new_ctrl:(Table.handle merged);
+  finalize ();
+  Hashtbl.replace t.tables name merged;
+  L.info (fun m ->
+      m "merged %s: %d rows -> %d, %d -> %d bytes" name
+        stats.Storage.Merge.rows_in stats.Storage.Merge.rows_out
+        stats.Storage.Merge.bytes_before stats.Storage.Merge.bytes_after);
+  stats
+
+let merge t name =
+  check_open t;
+  match t.cfg.durability with
+  | Logging _ ->
+      invalid_arg
+        "Engine.merge: use Engine.checkpoint under log-based durability \
+         (a lone merge would invalidate logged row references)"
+  | Volatile | Nvm -> merge_one t name
+
+let dump_tables t =
+  List.map
+    (fun name ->
+      let table = table t name in
+      let rows = Table.main_rows table in
+      let columns =
+        Array.init
+          (Schema.arity (Table.schema table))
+          (fun ci ->
+            {
+              Wal.Checkpoint.dict =
+                Array.init
+                  (Table.main_dictionary_size table ci)
+                  (Table.main_dict_value table ci);
+              avec = Array.init rows (Table.main_vid table ci);
+            })
+      in
+      { Wal.Checkpoint.name; schema = Table.schema table; rows; columns })
+    (table_names t)
+
+let checkpoint t =
+  check_open t;
+  if Mvcc.active_count t.mgr > 0 then
+    invalid_arg "Engine.checkpoint: active transactions";
+  let stats = List.map (merge_one t) (table_names t) in
+  (match (t.cfg.durability, t.log) with
+  | Logging lc, Some log ->
+      let epoch = t.epoch + 1 in
+      ignore
+        (Wal.Checkpoint.write ~dir:lc.Wal.Log.dir
+           { Wal.Checkpoint.cid = Mvcc.last_cid t.mgr; epoch; tables = dump_tables t });
+      Wal.Log.close log;
+      t.log <- Some (Wal.Log.create lc ~epoch);
+      t.epoch <- epoch
+  | _ -> ());
+  stats
+
+let vacuum t =
+  check_open t;
+  if Mvcc.active_count t.mgr > 0 then
+    invalid_arg "Engine.vacuum: active transactions";
+  let live = Hashtbl.create 4096 in
+  Hashtbl.replace live t.ctrl ();
+  List.iter (fun b -> Hashtbl.replace live b ()) (Catalog.owned_blocks t.catalog);
+  Hashtbl.iter
+    (fun _ table ->
+      List.iter (fun b -> Hashtbl.replace live b ()) (Table.owned_blocks table))
+    t.tables;
+  let blocks, bytes = A.sweep t.alloc ~live:(Hashtbl.mem live) in
+  if blocks > 0 then
+    L.info (fun m -> m "vacuum reclaimed %d blocks (%d bytes)" blocks bytes);
+  (blocks, bytes)
+
+(* -- crash and recovery -- *)
+
+type crashed = { c_cfg : config; c_region : Region.t }
+
+let crash t mode =
+  check_open t;
+  (match t.log with Some log -> Wal.Log.crash log | None -> ());
+  Region.crash t.region mode;
+  t.closed <- true;
+  { c_cfg = t.cfg; c_region = t.region }
+
+type recovery_detail =
+  | Rv_volatile
+  | Rv_nvm of {
+      heap_open_ns : int;
+      attach_ns : int;
+      rollback_ns : int;
+      heap_blocks : int;
+      rolled_back_rows : int;
+      tables : int;
+    }
+  | Rv_log of {
+      checkpoint_load_ns : int;
+      replay_ns : int;
+      checkpoint_rows : int;
+      checkpoint_bytes : int;
+      log_records : int;
+      log_bytes : int;
+      committed_txns : int;
+    }
+
+type recovery_stats = { wall_ns : int; detail : recovery_detail }
+
+let recover_nvm cfg region =
+  let t0 = now_ns () in
+  let alloc = A.open_existing region in
+  let t1 = now_ns () in
+  let ctrl = A.get_root alloc root_slot in
+  let last = Region.get_i64 region ctrl in
+  let catalog = Catalog.attach alloc (Region.get_int region (ctrl + 8)) in
+  let e = assemble cfg region alloc ctrl catalog ~log:None ~epoch:0 in
+  List.iter
+    (fun (name, tctrl) -> register_table e name (Table.attach alloc tctrl))
+    (Catalog.tables catalog);
+  let t2 = now_ns () in
+  let rolled = ref 0 in
+  Hashtbl.iter
+    (fun _ table -> rolled := !rolled + Table.rollback_uncommitted table ~last_cid:last)
+    e.tables;
+  let t3 = now_ns () in
+  let heap_blocks =
+    match A.last_recovery alloc with
+    | Some r -> r.A.scanned_blocks
+    | None -> 0
+  in
+  L.info (fun m ->
+      m "NVM recovery: heap %dus (%d blocks), attach %dus, rollback %dus (%d rows)"
+        ((t1 - t0) / 1000) heap_blocks ((t2 - t1) / 1000) ((t3 - t2) / 1000)
+        !rolled);
+  ( e,
+    Rv_nvm
+      {
+        heap_open_ns = t1 - t0;
+        attach_ns = t2 - t1;
+        rollback_ns = t3 - t2;
+        heap_blocks;
+        rolled_back_rows = !rolled;
+        tables = Hashtbl.length e.tables;
+      } )
+
+let recover_log cfg lc =
+  (* the region lost everything: rebuild from checkpoint + log *)
+  let e = create_raw cfg ~with_log:false in
+  e.replaying <- true;
+  let t0 = now_ns () in
+  let ckpt = Wal.Checkpoint.read ~dir:lc.Wal.Log.dir in
+  let ckpt_rows = ref 0 and ckpt_bytes = ref 0 in
+  let base_cid, epoch =
+    match ckpt with
+    | None -> (Cid.zero, 0)
+    | Some c ->
+        ckpt_bytes :=
+          (try (Unix.stat (Wal.Checkpoint.path ~dir:lc.Wal.Log.dir)).Unix.st_size
+           with Unix.Unix_error _ -> 0);
+        List.iter
+          (fun td ->
+            (* columnar bulk load: rebuild the main partition directly *)
+            let columns =
+              Array.map
+                (fun cd -> (cd.Wal.Checkpoint.dict, cd.Wal.Checkpoint.avec))
+                td.Wal.Checkpoint.columns
+            in
+            let main_end = Array.make td.Wal.Checkpoint.rows Cid.infinity in
+            let table =
+              Table.replace_ctrl_for_merge e.alloc ~name:td.Wal.Checkpoint.name
+                ~schema:td.Wal.Checkpoint.schema ~columns ~main_end
+            in
+            Catalog.add_table e.catalog ~name:td.Wal.Checkpoint.name
+              ~ctrl:(Table.handle table);
+            register_table e td.Wal.Checkpoint.name table;
+            ckpt_rows := !ckpt_rows + td.Wal.Checkpoint.rows)
+          c.Wal.Checkpoint.tables;
+        (c.Wal.Checkpoint.cid, c.Wal.Checkpoint.epoch)
+  in
+  let t1 = now_ns () in
+  (* replay: reproduce physical row numbering by applying every logged
+     insert, then stamping at commit records *)
+  let records, log_bytes = Wal.Log.read_all ~dir:lc.Wal.Log.dir ~expected_epoch:epoch in
+  let staged : (int, (Table.t * int) list) Hashtbl.t = Hashtbl.create 64 in
+  let last = ref base_cid in
+  let committed = ref 0 in
+  let table_by_id id =
+    match List.nth_opt (List.rev e.names_by_id) id with
+    | Some name -> table e name
+    | None -> failwith "Engine.recover: log references unknown table"
+  in
+  List.iter
+    (fun r ->
+      match r with
+      | Wal.Log.Create_table { name; schema } -> create_table e ~name schema
+      | Wal.Log.Insert { tid; table_id; values } ->
+          let table = table_by_id table_id in
+          let row = Table.append_row table values in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt staged tid) in
+          Hashtbl.replace staged tid ((table, row) :: prev)
+      | Wal.Log.Commit { tid; cid; invalidated } ->
+          List.iter
+            (fun (table, row) -> Table.set_begin_cid table row cid)
+            (Option.value ~default:[] (Hashtbl.find_opt staged tid));
+          Hashtbl.remove staged tid;
+          List.iter
+            (fun (table_id, row) ->
+              Table.set_end_cid (table_by_id table_id) row cid)
+            invalidated;
+          if Int64.compare cid !last > 0 then last := cid;
+          incr committed
+      | Wal.Log.Abort { tid } -> Hashtbl.remove staged tid)
+    records;
+  let t2 = now_ns () in
+  e.replaying <- false;
+  persist_commit_hook e.region e.ctrl !last;
+  e.mgr <- make_manager e ~last_cid:!last;
+  e.log <- Some (Wal.Log.open_append lc ~epoch ~truncate_at:log_bytes);
+  e.epoch <- epoch;
+  L.info (fun m ->
+      m "log recovery: %d checkpoint rows, %d records replayed (%d bytes), %d txns"
+        !ckpt_rows (List.length records) log_bytes !committed);
+  ( e,
+    Rv_log
+      {
+        checkpoint_load_ns = t1 - t0;
+        replay_ns = t2 - t1;
+        checkpoint_rows = !ckpt_rows;
+        checkpoint_bytes = !ckpt_bytes;
+        log_records = List.length records;
+        log_bytes;
+        committed_txns = !committed;
+      } )
+
+let recover crashed =
+  let t0 = now_ns () in
+  let e, detail =
+    match crashed.c_cfg.durability with
+    | Volatile -> (create crashed.c_cfg, Rv_volatile)
+    | Nvm -> recover_nvm crashed.c_cfg crashed.c_region
+    | Logging lc -> recover_log crashed.c_cfg lc
+  in
+  (e, { wall_ns = now_ns () - t0; detail })
+
+let save_image t path =
+  check_open t;
+  if t.cfg.durability <> Nvm then
+    invalid_arg "Engine.save_image: only meaningful under NVM durability";
+  Region.save_to_file t.region path
+
+let open_image (cfg : config) path =
+  let t0 = now_ns () in
+  let region = Region.load_from_file cfg.region path in
+  let e, detail = recover_nvm { cfg with durability = Nvm } region in
+  (e, { wall_ns = now_ns () - t0; detail })
+
+(* -- introspection -- *)
+
+let data_bytes t =
+  check_open t;
+  Hashtbl.fold (fun _ table acc -> acc + Table.nvm_bytes table) t.tables 0
+
+let log_bytes t =
+  match t.log with Some log -> Wal.Log.bytes_written log | None -> 0
+
+let log_flushes t =
+  match t.log with Some log -> Wal.Log.flushes log | None -> 0
+
+let active_txns t = Mvcc.active_count t.mgr
+
+let mvcc t = t.mgr

@@ -1,0 +1,198 @@
+(** Hyrise-NV storage engine: the paper's contribution.
+
+    One engine instance owns an NVM region, a persistent heap, a catalog
+    of column-store tables and an MVCC transaction manager, under one of
+    three durability mechanisms:
+
+    - {!Volatile} — no durability at all (the upper bound baseline);
+    - {!Logging} — write-ahead value log with group commit plus
+      checkpoints; recovery replays the log (time grows with data);
+    - {!Nvm} — all table, index and MVCC state transactionally consistent
+      on NVM; recovery re-opens the heap, walks the catalog and rolls back
+      in-flight transactions (time independent of data size — the
+      "instant restart" the demo paper shows).
+
+    All three modes run the {e same} data structures on the same simulated
+    region; [Volatile] and [Logging] simply disable the persistence
+    primitives, which makes the throughput comparison an apples-to-apples
+    measurement of the durability mechanisms themselves. *)
+
+type durability = Volatile | Logging of Wal.Log.config | Nvm
+
+type config = { region : Nvm.Region.config; durability : durability }
+
+val default_config : ?size:int -> durability -> config
+(** [size] defaults to 64 MiB. *)
+
+type t
+
+type txn = Txn.Mvcc.txn
+
+exception Closed
+(** Raised when using an engine after [crash]. *)
+
+val create : ?publish_mode:Txn.Mvcc.publish_mode -> config -> t
+(** A fresh, empty database. For [Logging], the directory is created and
+    any previous log/checkpoint files are superseded. [publish_mode]
+    selects the commit publication protocol (ablation A2); the default
+    [`Batched] is what Hyrise-NV would do. *)
+
+val config : t -> config
+val region : t -> Nvm.Region.t
+val allocator : t -> Nvm_alloc.Allocator.t
+val last_cid : t -> Storage.Cid.t
+
+(** {1 DDL} *)
+
+val create_table : t -> name:string -> Storage.Schema.t -> unit
+(** Durable per the engine's mechanism. Raises [Invalid_argument] on
+    duplicate names. Not transactional (DDL auto-commits), as in Hyrise. *)
+
+val table_names : t -> string list
+
+val table : t -> string -> Storage.Table.t
+(** Current generation of the table (invalidated by [merge]); prefer the
+    query functions below. Raises [Not_found]. *)
+
+(** {1 Transactions} *)
+
+val begin_txn : t -> txn
+
+val commit : t -> txn -> Storage.Cid.t
+
+val abort : t -> txn -> unit
+
+val with_txn : t -> (txn -> 'a) -> 'a
+(** Run, then commit; aborts and re-raises on exception (including
+    {!Txn.Mvcc.Write_conflict}). *)
+
+(** {1 DML / queries} — table addressed by name; rows by physical id *)
+
+val insert : t -> txn -> string -> Storage.Value.t array -> int
+
+val update : t -> txn -> string -> int -> Storage.Value.t array -> int
+(** Raises {!Txn.Mvcc.Write_conflict} (caller should [abort]). *)
+
+val delete : t -> txn -> string -> int -> unit
+
+val get_row : t -> txn -> string -> int -> Storage.Value.t array option
+(** [None] when the row version is not visible to the transaction. *)
+
+val scan : t -> txn -> string -> (int -> Storage.Value.t array -> unit) -> unit
+(** All visible rows in physical order. *)
+
+val select :
+  t -> txn -> string -> where:(Storage.Value.t array -> bool) ->
+  (int * Storage.Value.t array) list
+
+val lookup :
+  t -> txn -> string -> col:string -> Storage.Value.t ->
+  (int * Storage.Value.t array) list
+(** Dictionary/index-accelerated equality lookup, visibility applied. *)
+
+val count : t -> txn -> string -> int
+
+val sum_int : t -> txn -> string -> col:string -> int
+(** Sum of an integer column over visible rows. *)
+
+(** {1 Predicate queries}
+
+    Dictionary-accelerated scans: predicates are compiled to value-id
+    tests per partition (interval on the sorted main dictionary, set on
+    the delta), so the hot loop reads only attribute-vector integers. *)
+
+val where :
+  t -> txn -> string -> (string * Query.Predicate.t) list ->
+  (int * Storage.Value.t array) list
+(** Visible rows satisfying the conjunction of per-column predicates. *)
+
+val count_where :
+  t -> txn -> string -> (string * Query.Predicate.t) list -> int
+
+val aggregate :
+  t -> txn -> string ->
+  ?group_by:string ->
+  specs:Query.Aggregate.spec list ->
+  ?filters:(string * Query.Predicate.t) list ->
+  unit ->
+  Query.Aggregate.result
+(** Grouped aggregation over a filtered scan. *)
+
+(** {1 Merge and checkpoint} *)
+
+val merge : t -> string -> Storage.Merge.stats
+(** Fold the table's delta into a new main generation (requires no active
+    transactions). In [Logging] mode use [checkpoint] instead — a lone
+    merge would invalidate the row numbering the log relies on — calling
+    this raises [Invalid_argument] there. *)
+
+val vacuum : t -> int * int
+(** Offline reachability reclamation: walk everything reachable from the
+    engine's roots (catalog, tables, their structures and arenas) and free
+    any allocated heap block outside that set. Such blocks exist only as
+    leaks from crash windows between allocation/publication or
+    retirement/free (docs/PROTOCOLS.md §7). Requires no active
+    transactions. Returns (blocks, bytes) reclaimed. *)
+
+val checkpoint : t -> Storage.Merge.stats list
+(** Merge every table; in [Logging] mode additionally dump a checkpoint
+    file and rotate the log to a new epoch. Requires no active
+    transactions. *)
+
+(** {1 Crash and recovery} *)
+
+type crashed
+(** What survives a power failure: the NVM region's durable image and
+    whatever the log device holds. *)
+
+val crash : t -> Nvm.Region.crash_mode -> crashed
+(** Simulate power failure; the engine becomes unusable ([Closed]). *)
+
+type recovery_detail =
+  | Rv_volatile  (** everything was lost; fresh empty database *)
+  | Rv_nvm of {
+      heap_open_ns : int;  (** allocator recovery scan *)
+      attach_ns : int;  (** catalog walk + table/index attach *)
+      rollback_ns : int;  (** MVCC rollback of in-flight transactions *)
+      heap_blocks : int;
+      rolled_back_rows : int;
+      tables : int;
+    }
+  | Rv_log of {
+      checkpoint_load_ns : int;
+      replay_ns : int;
+      checkpoint_rows : int;
+      checkpoint_bytes : int;
+      log_records : int;
+      log_bytes : int;
+      committed_txns : int;  (** transactions whose commit replayed *)
+    }
+
+type recovery_stats = { wall_ns : int; detail : recovery_detail }
+
+val recover : crashed -> t * recovery_stats
+(** Bring the database back per its durability mechanism. *)
+
+val save_image : t -> string -> unit
+(** Dump the durable NVM image to a file (NVM mode only) — the moral
+    equivalent of the NVDIMM keeping its contents across a reboot of a
+    different process. Raises [Invalid_argument] in other modes. *)
+
+val open_image : config -> string -> t * recovery_stats
+(** Map a saved image and run NVM recovery on it (cross-process instant
+    restart, used by the CLI demo). *)
+
+(** {1 Introspection} *)
+
+val data_bytes : t -> int
+(** NVM bytes held by table structures (T1 accounting). *)
+
+val log_bytes : t -> int
+(** Bytes written to the log device ([Logging] mode; 0 otherwise). *)
+
+val log_flushes : t -> int
+(** Number of fsync batches issued to the log device. *)
+
+val active_txns : t -> int
+
+val mvcc : t -> Txn.Mvcc.manager

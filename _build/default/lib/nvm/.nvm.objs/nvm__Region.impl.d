@@ -1,0 +1,1 @@
+lib/nvm/region.ml: Bytes Char Digest Fun Hashtbl Int64 List Printf Util

@@ -1,0 +1,381 @@
+type config = {
+  size : int;
+  line_size : int;
+  load_ns : int;
+  store_ns : int;
+  writeback_ns : int;
+  fence_ns : int;
+}
+
+let default_config =
+  {
+    size = 1 lsl 20;
+    line_size = 64;
+    load_ns = 90;
+    store_ns = 30;
+    writeback_ns = 120;
+    fence_ns = 20;
+  }
+
+let config_with_size size = { default_config with size }
+
+(* A dirty line: the volatile (cache) content of one line that may differ
+   from the durable media.  [wb_pending] snapshots taken by [writeback] sit
+   in [wb_queue] until the next fence. *)
+type t = {
+  media : Bytes.t; (* durable image *)
+  cache : (int, Bytes.t) Hashtbl.t; (* line index -> volatile content *)
+  mutable wb_queue : (int * Bytes.t) list; (* reversed order of scheduling *)
+  line_size : int;
+  line_shift : int;
+  mutable load_ns : int;
+  mutable store_ns : int;
+  mutable writeback_ns : int;
+  mutable fence_ns : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable writebacks : int;
+  mutable fences : int;
+  mutable sim_ns : int;
+  mutable persist_enabled : bool;
+  mutable fuse : int; (* -1 = disarmed; 0 = next armed op raises *)
+}
+
+let shift_of_line_size n =
+  if n <= 0 || n land (n - 1) <> 0 then
+    invalid_arg "Region.create: line_size must be a power of two";
+  let rec go n acc = if n = 1 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+let create (cfg : config) =
+  let line_shift = shift_of_line_size cfg.line_size in
+  let lines = (cfg.size + cfg.line_size - 1) / cfg.line_size in
+  let size = lines * cfg.line_size in
+  {
+    media = Bytes.make size '\000';
+    cache = Hashtbl.create 1024;
+    wb_queue = [];
+    line_size = cfg.line_size;
+    line_shift;
+    load_ns = cfg.load_ns;
+    store_ns = cfg.store_ns;
+    writeback_ns = cfg.writeback_ns;
+    fence_ns = cfg.fence_ns;
+    loads = 0;
+    stores = 0;
+    writebacks = 0;
+    fences = 0;
+    sim_ns = 0;
+    persist_enabled = true;
+    fuse = -1;
+  }
+
+let apply_cache_to_media t =
+  Hashtbl.iter
+    (fun li b -> Bytes.blit b 0 t.media (li lsl t.line_shift) t.line_size)
+    t.cache;
+  Hashtbl.reset t.cache;
+  t.wb_queue <- []
+
+let set_persist_enabled t b =
+  (* With persistence disabled the region behaves as DRAM: accesses go
+     straight to the byte array (no cache-line simulation) and a crash
+     wipes everything.  Moving the volatile view into the media keeps the
+     contents coherent across a toggle. *)
+  if b <> t.persist_enabled then apply_cache_to_media t;
+  t.persist_enabled <- b
+
+let persist_enabled t = t.persist_enabled
+
+let size t = Bytes.length t.media
+let line_size t = t.line_size
+
+let check_range t off len fn =
+  if off < 0 || len < 0 || off + len > Bytes.length t.media then
+    invalid_arg
+      (Printf.sprintf "Region.%s: range [%d,+%d) outside region of %d bytes"
+         fn off len (Bytes.length t.media))
+
+let line_of t off = off lsr t.line_shift
+
+(* Return the cache line for writing, creating it from media if clean. *)
+let dirty_line t li =
+  match Hashtbl.find_opt t.cache li with
+  | Some b -> b
+  | None ->
+      let b = Bytes.create t.line_size in
+      Bytes.blit t.media (li lsl t.line_shift) b 0 t.line_size;
+      Hashtbl.replace t.cache li b;
+      b
+
+exception Power_failure
+
+let burn_fuse t =
+  if t.fuse >= 0 then
+    if t.fuse = 0 then begin
+      t.fuse <- -1;
+      raise Power_failure
+    end
+    else t.fuse <- t.fuse - 1
+
+let charge_load t = t.loads <- t.loads + 1; t.sim_ns <- t.sim_ns + t.load_ns
+
+let charge_store t =
+  burn_fuse t;
+  t.stores <- t.stores + 1;
+  t.sim_ns <- t.sim_ns + t.store_ns
+
+(* Read [len] bytes at [off] into [dst] at [dpos], honouring dirty lines. *)
+let read_into t off len dst dpos =
+  let rec go off len dpos =
+    if len > 0 then begin
+      let li = line_of t off in
+      let line_off = off land (t.line_size - 1) in
+      let n = min len (t.line_size - line_off) in
+      (match Hashtbl.find_opt t.cache li with
+      | Some b -> Bytes.blit b line_off dst dpos n
+      | None -> Bytes.blit t.media off dst dpos n);
+      go (off + n) (len - n) (dpos + n)
+    end
+  in
+  go off len dpos
+
+let write_from t off len src spos =
+  let rec go off len spos =
+    if len > 0 then begin
+      let li = line_of t off in
+      let line_off = off land (t.line_size - 1) in
+      let n = min len (t.line_size - line_off) in
+      let b = dirty_line t li in
+      Bytes.blit src spos b line_off n;
+      go (off + n) (len - n) (spos + n)
+    end
+  in
+  go off len spos
+
+let get_i64 t off =
+  check_range t off 8 "get_i64";
+  assert (off land 7 = 0);
+  charge_load t;
+  if not t.persist_enabled then Bytes.get_int64_le t.media off
+  else
+    let li = line_of t off in
+    match Hashtbl.find_opt t.cache li with
+    | Some b -> Bytes.get_int64_le b (off land (t.line_size - 1))
+    | None -> Bytes.get_int64_le t.media off
+
+let set_i64 t off v =
+  check_range t off 8 "set_i64";
+  assert (off land 7 = 0);
+  charge_store t;
+  if not t.persist_enabled then Bytes.set_int64_le t.media off v
+  else begin
+    let li = line_of t off in
+    let b = dirty_line t li in
+    Bytes.set_int64_le b (off land (t.line_size - 1)) v
+  end
+
+let get_int t off = Int64.to_int (get_i64 t off)
+let set_int t off v = set_i64 t off (Int64.of_int v)
+
+let get_u8 t off =
+  check_range t off 1 "get_u8";
+  charge_load t;
+  if not t.persist_enabled then Char.code (Bytes.get t.media off)
+  else
+    let li = line_of t off in
+    match Hashtbl.find_opt t.cache li with
+    | Some b -> Char.code (Bytes.get b (off land (t.line_size - 1)))
+    | None -> Char.code (Bytes.get t.media off)
+
+let set_u8 t off v =
+  check_range t off 1 "set_u8";
+  charge_store t;
+  if not t.persist_enabled then Bytes.set t.media off (Char.chr (v land 0xff))
+  else begin
+    let li = line_of t off in
+    let b = dirty_line t li in
+    Bytes.set b (off land (t.line_size - 1)) (Char.chr (v land 0xff))
+  end
+
+let read_bytes t off len =
+  check_range t off len "read_bytes";
+  t.loads <- t.loads + ((len + 7) / 8);
+  t.sim_ns <- t.sim_ns + (t.load_ns * ((len + 7) / 8));
+  let dst = Bytes.create len in
+  if not t.persist_enabled then Bytes.blit t.media off dst 0 len
+  else read_into t off len dst 0;
+  dst
+
+let write_bytes t off b =
+  let len = Bytes.length b in
+  check_range t off len "write_bytes";
+  burn_fuse t;
+  t.stores <- t.stores + ((len + 7) / 8);
+  t.sim_ns <- t.sim_ns + (t.store_ns * ((len + 7) / 8));
+  if not t.persist_enabled then Bytes.blit b 0 t.media off len
+  else write_from t off len b 0
+
+let read_string t off len = Bytes.unsafe_to_string (read_bytes t off len)
+let write_string t off s = write_bytes t off (Bytes.unsafe_of_string s)
+
+let writeback t off len =
+  check_range t off len "writeback";
+  if len > 0 && t.persist_enabled then begin
+    burn_fuse t;
+    let first = line_of t off and last = line_of t (off + len - 1) in
+    for li = first to last do
+      match Hashtbl.find_opt t.cache li with
+      | None -> () (* clean line: CLWB is a no-op *)
+      | Some b ->
+          t.writebacks <- t.writebacks + 1;
+          t.sim_ns <- t.sim_ns + t.writeback_ns;
+          t.wb_queue <- (li, Bytes.copy b) :: t.wb_queue
+    done
+  end
+
+let apply_wb t (li, snapshot) =
+  Bytes.blit snapshot 0 t.media (li lsl t.line_shift) t.line_size
+
+(* Drop a cache entry that no longer differs from media, so [is_durable]
+   and crash adversaries only consider genuinely dirty lines.  Only lines
+   whose write-back was just applied can have become clean, so [fence]
+   checks exactly those. *)
+let scrub_line t li =
+  match Hashtbl.find_opt t.cache li with
+  | None -> ()
+  | Some b ->
+      let base = li lsl t.line_shift in
+      let rec equal i =
+        i >= t.line_size
+        || (Bytes.get b i = Bytes.get t.media (base + i) && equal (i + 1))
+      in
+      if equal 0 then Hashtbl.remove t.cache li
+
+let fence t =
+  if t.persist_enabled then begin
+    burn_fuse t;
+    t.fences <- t.fences + 1;
+    t.sim_ns <- t.sim_ns + t.fence_ns;
+    let applied = List.rev t.wb_queue in
+    List.iter (apply_wb t) applied;
+    t.wb_queue <- [];
+    List.iter (fun (li, _) -> scrub_line t li) applied
+  end
+
+let persist t off len =
+  writeback t off len;
+  fence t
+
+let is_durable t off len =
+  check_range t off len "is_durable";
+  if len = 0 then true
+  else begin
+    let first = line_of t off and last = line_of t (off + len - 1) in
+    let ok = ref true in
+    for li = first to last do
+      match Hashtbl.find_opt t.cache li with
+      | None -> ()
+      | Some b ->
+          (* only the intersecting byte span matters *)
+          let lo = max off (li lsl t.line_shift) in
+          let hi = min (off + len) ((li + 1) lsl t.line_shift) in
+          for i = lo to hi - 1 do
+            if
+              Bytes.get b (i land (t.line_size - 1)) <> Bytes.get t.media i
+            then ok := false
+          done
+    done;
+    (* a scheduled-but-unfenced writeback does not make data durable *)
+    !ok
+  end
+
+type crash_mode =
+  | Drop_unfenced
+  | Persist_all
+  | Adversarial of Util.Prng.t
+
+let crash t mode =
+  if not t.persist_enabled then begin
+    (* DRAM: power loss takes everything *)
+    Bytes.fill t.media 0 (Bytes.length t.media) '\000';
+    ignore mode
+  end
+  else begin
+  (match mode with
+  | Drop_unfenced -> ()
+  | Persist_all ->
+      List.iter (apply_wb t) (List.rev t.wb_queue);
+      Hashtbl.iter (fun li b -> apply_wb t (li, b)) t.cache
+  | Adversarial rng ->
+      List.iter
+        (fun wb -> if Util.Prng.bool rng then apply_wb t wb)
+        (List.rev t.wb_queue);
+      let words_per_line = t.line_size / 8 in
+      Hashtbl.iter
+        (fun li b ->
+          for w = 0 to words_per_line - 1 do
+            if Util.Prng.bool rng then
+              Bytes.blit b (w * 8) t.media ((li lsl t.line_shift) + (w * 8)) 8
+          done)
+        t.cache)
+  end;
+  t.wb_queue <- [];
+  t.fuse <- -1;
+  Hashtbl.reset t.cache
+
+type stats = {
+  loads : int;
+  stores : int;
+  writebacks : int;
+  fences : int;
+  sim_ns : int;
+}
+
+let stats (t : t) =
+  {
+    loads = t.loads;
+    stores = t.stores;
+    writebacks = t.writebacks;
+    fences = t.fences;
+    sim_ns = t.sim_ns;
+  }
+
+let reset_stats (t : t) =
+  t.loads <- 0;
+  t.stores <- 0;
+  t.writebacks <- 0;
+  t.fences <- 0;
+  t.sim_ns <- 0
+
+let arm_crash (t : t) ~after_ops =
+  if after_ops < 0 then invalid_arg "Region.arm_crash";
+  t.fuse <- after_ops
+
+let disarm_crash (t : t) = t.fuse <- -1
+
+let set_latencies (t : t) ~load_ns ~store_ns ~writeback_ns ~fence_ns =
+  t.load_ns <- load_ns;
+  t.store_ns <- store_ns;
+  t.writeback_ns <- writeback_ns;
+  t.fence_ns <- fence_ns
+
+let save_to_file (t : t) path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bytes oc t.media)
+
+let load_from_file cfg path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let media = Bytes.create len in
+      really_input ic media 0 len;
+      let t = create { cfg with size = len } in
+      Bytes.blit media 0 t.media 0 len;
+      t)
+
+let media_digest (t : t) = Digest.to_hex (Digest.bytes t.media)

@@ -1,0 +1,163 @@
+(** Simulated byte-addressable non-volatile memory region.
+
+    This module stands in for an NVDIMM mapped into the address space. It
+    models the x86 persistency semantics that Hyrise-NV's durability
+    protocols are designed against:
+
+    - Stores land in a volatile CPU-cache view; they are {e not} durable.
+    - [writeback] (CLWB/CLFLUSHOPT) schedules the cache lines covering a
+      byte range for write-back to the persistent media.
+    - [fence] (SFENCE) makes all scheduled write-backs durable.
+    - 8-byte aligned stores are the atomicity unit: on a crash, any
+      un-fenced dirty line may persist partially, but never with a torn
+      8-byte word.
+
+    [crash] simulates a power failure: the volatile view is lost and the
+    region reverts to what was durable — optionally keeping an adversarial
+    subset of un-fenced words, modelling arbitrary cache evictions.
+
+    The region additionally accounts simulated NVM time (loads, stores,
+    write-backs, fences at configurable latencies), which experiment E3
+    uses to sweep NVM write latency deterministically. *)
+
+type t
+
+type config = {
+  size : int;  (** region size in bytes; rounded up to a full line *)
+  line_size : int;  (** cache line size in bytes; must be a power of two *)
+  load_ns : int;  (** simulated latency per 8-byte load from NVM *)
+  store_ns : int;  (** simulated latency per 8-byte store to the cache *)
+  writeback_ns : int;  (** simulated latency per line write-back *)
+  fence_ns : int;  (** simulated latency per fence *)
+}
+
+val default_config : config
+(** 64-byte lines, latencies modelling early PCM-like NVM
+    (load 90 ns as in the paper's emulation baseline). *)
+
+val config_with_size : int -> config
+(** [default_config] with the given size. *)
+
+val create : config -> t
+(** Fresh region, zero-filled and durable (as if freshly formatted). *)
+
+val size : t -> int
+val line_size : t -> int
+
+(** {1 Loads and stores}
+
+    Offsets are in bytes. 64-bit accessors require 8-byte alignment; this
+    is asserted because alignment is what makes them atomic on real
+    hardware. *)
+
+val get_i64 : t -> int -> int64
+val set_i64 : t -> int -> int64 -> unit
+
+val get_int : t -> int -> int
+(** [get_int t off] reads an OCaml int stored by [set_int] (63-bit range). *)
+
+val set_int : t -> int -> int -> unit
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+
+val read_bytes : t -> int -> int -> bytes
+(** [read_bytes t off len] copies a byte range out of the volatile view. *)
+
+val write_bytes : t -> int -> bytes -> unit
+(** [write_bytes t off b] stores a byte range. Not atomic: persistence of
+    the range requires [persist], and a crash can tear it at 8-byte
+    boundaries. *)
+
+val read_string : t -> int -> int -> string
+
+val write_string : t -> int -> string -> unit
+
+(** {1 Persistence primitives} *)
+
+val writeback : t -> int -> int -> unit
+(** [writeback t off len] schedules write-back of every cache line
+    intersecting [off, off+len). Durable only after the next [fence]. *)
+
+val fence : t -> unit
+(** Make all scheduled write-backs durable, in order. *)
+
+val persist : t -> int -> int -> unit
+(** [persist t off len] = [writeback t off len; fence t]. *)
+
+val set_persist_enabled : t -> bool -> unit
+(** When disabled, [writeback]/[fence]/[persist] become free no-ops: the
+    region behaves like plain DRAM (a crash loses everything not already
+    durable). The volatile and log-based engine modes run the very same
+    data structures with persistence off, which is what makes the
+    durability-mechanism comparison apples-to-apples. *)
+
+val persist_enabled : t -> bool
+
+val is_durable : t -> int -> int -> bool
+(** [is_durable t off len] is [true] iff the volatile view and the durable
+    media agree on the whole range — i.e. a crash right now cannot change
+    its contents. Test/diagnostic helper; not available on real hardware. *)
+
+(** {1 Crash injection} *)
+
+type crash_mode =
+  | Drop_unfenced
+      (** Clean power loss: nothing that was not fenced survives. Scheduled
+          but un-fenced write-backs are lost too (CLWB completion is only
+          guaranteed by the fence). *)
+  | Persist_all  (** Every dirty line reaches the media before power dies. *)
+  | Adversarial of Util.Prng.t
+      (** Each scheduled write-back, and each dirty 8-byte word, persists
+          independently with probability 1/2 — models arbitrary cache
+          eviction. The worst case crash-consistency must survive. *)
+
+val crash : t -> crash_mode -> unit
+(** Apply the crash: resolve un-fenced state per [mode], then discard the
+    volatile view. The region remains usable — recovery code reads the
+    durable state exactly as a restarted process re-mapping the NVM file
+    would. *)
+
+(** {1 Mid-operation failure injection} *)
+
+exception Power_failure
+(** Raised by the armed store/write-back/fence that exhausts the budget
+    set by [arm_crash]. The raise happens {e before} the operation takes
+    effect — the power died first. *)
+
+val arm_crash : t -> after_ops:int -> unit
+(** Arm a simulated power failure: after [after_ops] further persistence-
+    relevant operations (stores, write-backs, fences), the next one raises
+    {!Power_failure}. Callers catch it wherever it surfaces, call [crash],
+    and exercise recovery — this is how crash-point fuzzing reaches the
+    windows {e inside} multi-step protocols. *)
+
+val disarm_crash : t -> unit
+
+(** {1 Statistics and simulated time} *)
+
+type stats = {
+  loads : int;  (** 8-byte load operations *)
+  stores : int;  (** 8-byte store operations *)
+  writebacks : int;  (** line write-backs scheduled *)
+  fences : int;
+  sim_ns : int;  (** accumulated simulated NVM time *)
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val set_latencies : t -> load_ns:int -> store_ns:int -> writeback_ns:int -> fence_ns:int -> unit
+(** Retune the cost model in place (used by the latency sweep). *)
+
+(** {1 Persistence across processes} *)
+
+val save_to_file : t -> string -> unit
+(** Write the durable media image to a file (the volatile view is NOT
+    included, exactly as a crash would lose it). *)
+
+val load_from_file : config -> string -> t
+(** Re-map a saved image. [config.size] is overridden by the file size. *)
+
+val media_digest : t -> string
+(** MD5 of the durable image; lets tests assert "nothing changed". *)

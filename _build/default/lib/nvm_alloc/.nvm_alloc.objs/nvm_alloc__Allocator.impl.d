@@ -1,0 +1,1 @@
+lib/nvm_alloc/allocator.ml: Array Hashtbl Int64 List Nvm Printf

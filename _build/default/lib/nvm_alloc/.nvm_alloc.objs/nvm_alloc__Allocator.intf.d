@@ -1,0 +1,1 @@
+lib/nvm_alloc/allocator.mli: Nvm

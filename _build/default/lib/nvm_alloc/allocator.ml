@@ -1,0 +1,397 @@
+module Region = Nvm.Region
+
+(* On-media layout:
+
+     0   magic
+     8   version
+     16  heap_start
+     24  heap_end
+     32  root table: [root_slots] x 8 bytes
+     ..  heap: sequence of blocks
+
+   Block = 32-byte header followed by the payload:
+
+     +0   payload size in bytes (multiple of 8, >= 8)
+     +8   state: 0 free / 1 reserved / 2 allocated
+     +16  pending-link address (0 = none); only meaningful when allocated
+     +24  pending-link value
+
+   The heap is always walkable from [heap_start] by hopping
+   [32 + size]; every mutation is ordered so that a crash at any point
+   leaves a valid chain (see the comments at each persist). *)
+
+let magic = 0x4E564D4845415031L (* "NVMHEAP1" *)
+let version = 1L
+let root_slots = 256
+let header_size = 32
+let min_payload = 8
+let roots_off = 32
+let heap_start_value = roots_off + (root_slots * 8)
+let min_region_size = heap_start_value + header_size + min_payload
+
+let st_free = 0L
+let st_reserved = 1L
+let st_allocated = 2L
+
+type offset = int
+
+exception Out_of_space of int
+exception Corrupt_heap of string
+
+type recovery_stats = {
+  scanned_blocks : int;
+  reclaimed_reserved : int;
+  redone_links : int;
+  coalesced : int;
+}
+
+type t = {
+  region : Region.t;
+  heap_start : int;
+  heap_end : int;
+  (* volatile segregated free lists: bin k holds free blocks whose payload
+     size s satisfies floor(log2 s) = k; keyed by header offset *)
+  bins : (int, unit) Hashtbl.t array;
+  mutable recovery : recovery_stats option;
+}
+
+let region t = t.region
+
+let round8 n = (n + 7) land lnot 7
+
+let log2_floor v =
+  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let bin_count = 62
+let bin_index size = min (log2_floor size) (bin_count - 1)
+
+(* -- header accessors (offsets are header offsets) -- *)
+
+let get_size t h = Region.get_int t.region h
+let get_state t h = Region.get_i64 t.region (h + 8)
+let get_link_addr t h = Region.get_int t.region (h + 16)
+let get_link_value t h = Region.get_i64 t.region (h + 24)
+
+let bin_add t h = Hashtbl.replace t.bins.(bin_index (get_size t h)) h ()
+let bin_remove t h = Hashtbl.remove t.bins.(bin_index (get_size t h)) h
+
+let header_of_payload p = p - header_size
+let payload_of_header h = h + header_size
+
+(* -- formatting -- *)
+
+let format region =
+  if Region.size region < min_region_size then
+    invalid_arg "Allocator.format: region too small";
+  let heap_end = Region.size region land lnot 7 in
+  (* null out the roots *)
+  for slot = 0 to root_slots - 1 do
+    Region.set_i64 region (roots_off + (slot * 8)) 0L
+  done;
+  (* single free block spanning the heap *)
+  let h = heap_start_value in
+  Region.set_int region h (heap_end - h - header_size);
+  Region.set_i64 region (h + 8) st_free;
+  Region.set_i64 region (h + 16) 0L;
+  Region.set_i64 region (h + 24) 0L;
+  Region.set_i64 region 16 (Int64.of_int h);
+  Region.set_i64 region 24 (Int64.of_int heap_end);
+  Region.set_i64 region 8 version;
+  Region.persist region 0 (h + header_size);
+  (* magic last: its durability is the commit point of formatting *)
+  Region.set_i64 region 0 magic;
+  Region.persist region 0 8;
+  let t =
+    {
+      region;
+      heap_start = h;
+      heap_end;
+      bins = Array.init bin_count (fun _ -> Hashtbl.create 16);
+      recovery = None;
+    }
+  in
+  bin_add t h;
+  t
+
+(* -- recovery -- *)
+
+let check_block t h =
+  let size = get_size t h in
+  if
+    size < min_payload
+    || size land 7 <> 0
+    || h + header_size + size > t.heap_end
+  then
+    raise
+      (Corrupt_heap
+         (Printf.sprintf "invalid block header at %d (size %d)" h size))
+
+let open_existing region =
+  if Region.size region < min_region_size then
+    raise (Corrupt_heap "region smaller than a formatted heap");
+  if Region.get_i64 region 0 <> magic then raise (Corrupt_heap "bad magic");
+  if Region.get_i64 region 8 <> version then raise (Corrupt_heap "bad version");
+  let heap_start = Region.get_int region 16 in
+  let heap_end = Region.get_int region 24 in
+  if heap_start <> heap_start_value || heap_end > Region.size region then
+    raise (Corrupt_heap "bad heap bounds");
+  let t =
+    {
+      region;
+      heap_start;
+      heap_end;
+      bins = Array.init bin_count (fun _ -> Hashtbl.create 16);
+      recovery = None;
+    }
+  in
+  let scanned = ref 0
+  and reclaimed = ref 0
+  and redone = ref 0
+  and coalesced = ref 0 in
+  (* [prev_free] is the header of the free run being grown, if any *)
+  let rec walk h prev_free =
+    if h < heap_end then begin
+      check_block t h;
+      incr scanned;
+      let size = get_size t h in
+      let state = get_state t h in
+      let next = h + header_size + size in
+      if state = st_reserved then begin
+        (* crashed between alloc and activate: reclaim *)
+        Region.set_i64 region (h + 8) st_free;
+        Region.persist region (h + 8) 8;
+        incr reclaimed
+      end;
+      let state = get_state t h in
+      if state = st_allocated then begin
+        let link_addr = get_link_addr t h in
+        if link_addr <> 0 then begin
+          (* crashed between activation and publication: redo the link *)
+          Region.set_i64 region link_addr (get_link_value t h);
+          Region.persist region link_addr 8;
+          Region.set_i64 region (h + 16) 0L;
+          Region.persist region (h + 16) 8;
+          incr redone
+        end;
+        walk next None
+      end
+      else
+        match prev_free with
+        | Some ph ->
+            (* grow the previous free block over this one; the chain stays
+               valid because ph's enlarged size is persisted atomically *)
+            let merged = get_size t ph + header_size + size in
+            Region.set_int region ph merged;
+            Region.persist region ph 8;
+            incr coalesced;
+            walk next (Some ph)
+        | None -> walk next (Some h)
+    end
+  in
+  walk heap_start None;
+  (* second pass: populate the bins *)
+  let rec collect h =
+    if h < heap_end then begin
+      let size = get_size t h in
+      if get_state t h = st_free then bin_add t h;
+      collect (h + header_size + size)
+    end
+  in
+  collect heap_start;
+  t.recovery <-
+    Some
+      {
+        scanned_blocks = !scanned;
+        reclaimed_reserved = !reclaimed;
+        redone_links = !redone;
+        coalesced = !coalesced;
+      };
+  t
+
+let last_recovery t = t.recovery
+
+(* -- allocation -- *)
+
+let find_block t nbytes =
+  let rec from_bin k =
+    if k >= bin_count then raise (Out_of_space nbytes)
+    else
+      let found = ref None in
+      (try
+         Hashtbl.iter
+           (fun h () ->
+             if get_size t h >= nbytes then begin
+               found := Some h;
+               raise Exit
+             end)
+           t.bins.(k)
+       with Exit -> ());
+      match !found with Some h -> h | None -> from_bin (k + 1)
+  in
+  from_bin (bin_index nbytes)
+
+let alloc t n =
+  if n < 0 then invalid_arg "Allocator.alloc: negative size";
+  let nbytes = max min_payload (round8 n) in
+  let h = find_block t nbytes in
+  bin_remove t h;
+  let size = get_size t h in
+  let r = t.region in
+  if size >= nbytes + header_size + min_payload then begin
+    (* Split.  The remainder header is persisted first: until h's shrunken
+       header is durable, the remainder bytes are plain free-payload and the
+       chain is untouched. *)
+    let rh = payload_of_header h + nbytes in
+    Region.set_int r rh (size - nbytes - header_size);
+    Region.set_i64 r (rh + 8) st_free;
+    Region.set_i64 r (rh + 16) 0L;
+    Region.set_i64 r (rh + 24) 0L;
+    Region.persist r rh header_size;
+    Region.set_int r h nbytes;
+    Region.set_i64 r (h + 8) st_reserved;
+    Region.set_i64 r (h + 16) 0L;
+    Region.set_i64 r (h + 24) 0L;
+    Region.persist r h header_size;
+    bin_add t rh
+  end
+  else begin
+    Region.set_i64 r (h + 8) st_reserved;
+    Region.set_i64 r (h + 16) 0L;
+    Region.set_i64 r (h + 24) 0L;
+    Region.persist r h header_size
+  end;
+  payload_of_header h
+
+let activate ?link t p =
+  let h = header_of_payload p in
+  let r = t.region in
+  if get_state t h <> st_reserved then
+    invalid_arg "Allocator.activate: block is not reserved";
+  (match link with
+  | None -> ()
+  | Some (addr, v) ->
+      if addr land 7 <> 0 then
+        invalid_arg "Allocator.activate: link address must be 8-byte aligned";
+      (* link intent must be durable before the state flips: recovery only
+         redoes links of ALLOCATED blocks *)
+      Region.set_i64 r (h + 16) (Int64.of_int addr);
+      Region.set_i64 r (h + 24) v;
+      Region.persist r (h + 16) 16);
+  Region.set_i64 r (h + 8) st_allocated;
+  Region.persist r (h + 8) 8;
+  match link with
+  | None -> ()
+  | Some (addr, v) ->
+      Region.set_i64 r addr v;
+      Region.persist r addr 8;
+      (* retire the intent so a later recovery cannot replay it onto
+         memory that has been reused since *)
+      Region.set_i64 r (h + 16) 0L;
+      Region.persist r (h + 16) 8
+
+let free t p =
+  let h = header_of_payload p in
+  let r = t.region in
+  if get_state t h <> st_allocated && get_state t h <> st_reserved then
+    invalid_arg "Allocator.free: double free";
+  Region.set_i64 r (h + 8) st_free;
+  Region.persist r (h + 8) 8;
+  (* forward coalesce: swallowing [next] only grows this block's size, so a
+     crash before the persist leaves two valid free blocks *)
+  let next = payload_of_header h + get_size t h in
+  if next < t.heap_end && get_state t next = st_free then begin
+    bin_remove t next;
+    Region.set_int r h (get_size t h + header_size + get_size t next);
+    Region.persist r h 8
+  end;
+  bin_add t h
+
+let usable_size t p = get_size t (header_of_payload p)
+
+let sweep t ~live =
+  (* collect first: freeing coalesces forward and rewrites sizes *)
+  let victims = ref [] in
+  let rec scan h =
+    if h < t.heap_end then begin
+      let size = get_size t h in
+      if get_state t h = st_allocated && not (live (payload_of_header h)) then
+        victims := (payload_of_header h, size) :: !victims;
+      scan (h + header_size + size)
+    end
+  in
+  scan t.heap_start;
+  List.iter (fun (p, _) -> free t p) !victims;
+  ( List.length !victims,
+    List.fold_left (fun acc (_, size) -> acc + size) 0 !victims )
+
+(* -- roots -- *)
+
+let check_slot slot =
+  if slot < 0 || slot >= root_slots then
+    invalid_arg "Allocator: root slot out of range"
+
+let set_root t slot off =
+  check_slot slot;
+  Region.set_i64 t.region (roots_off + (slot * 8)) (Int64.of_int off);
+  Region.persist t.region (roots_off + (slot * 8)) 8
+
+let get_root t slot =
+  check_slot slot;
+  Region.get_int t.region (roots_off + (slot * 8))
+
+(* -- introspection -- *)
+
+type block_info = {
+  offset : offset;
+  size : int;
+  state : [ `Free | `Reserved | `Allocated ];
+}
+
+let blocks t =
+  let rec go h acc =
+    if h >= t.heap_end then List.rev acc
+    else
+      let size = get_size t h in
+      let state =
+        match get_state t h with
+        | s when s = st_free -> `Free
+        | s when s = st_reserved -> `Reserved
+        | s when s = st_allocated -> `Allocated
+        | s -> raise (Corrupt_heap (Printf.sprintf "bad state %Ld at %d" s h))
+      in
+      go (h + header_size + size)
+        ({ offset = payload_of_header h; size; state } :: acc)
+  in
+  go t.heap_start []
+
+type heap_stats = {
+  heap_bytes : int;
+  live_bytes : int;
+  free_bytes : int;
+  live_blocks : int;
+  free_blocks : int;
+}
+
+let heap_stats t =
+  let live_bytes = ref 0
+  and free_bytes = ref 0
+  and live_blocks = ref 0
+  and free_blocks = ref 0 in
+  List.iter
+    (fun b ->
+      match b.state with
+      | `Allocated | `Reserved ->
+          live_bytes := !live_bytes + b.size;
+          incr live_blocks
+      | `Free ->
+          free_bytes := !free_bytes + b.size;
+          incr free_blocks)
+    (blocks t);
+  {
+    heap_bytes = t.heap_end - t.heap_start;
+    live_bytes = !live_bytes;
+    free_bytes = !free_bytes;
+    live_blocks = !live_blocks;
+    free_blocks = !free_blocks;
+  }

@@ -1,0 +1,119 @@
+(** Recovery-aware persistent allocator on a simulated NVM region.
+
+    Reproduces the allocation contract of nvm_malloc (Schwalb et al.,
+    ADMS 2015), the allocator underneath Hyrise-NV:
+
+    - {b reserve → initialize → activate}: [alloc] returns a RESERVED
+      block; the caller initializes and persists the payload, then calls
+      [activate]. A crash before activation reclaims the block at recovery,
+      so half-initialized objects can never leak into a recovered heap.
+    - {b atomic link-in-activate}: [activate] optionally takes a link — a
+      pointer word inside some reachable structure that should point to the
+      new block. The link intent is persisted in the block header before
+      the state flips to ALLOCATED, so recovery can redo the link if the
+      crash hit between activation and the pointer store. Allocation and
+      publication are thereby atomic.
+    - {b named roots}: a fixed table of root slots survives restarts;
+      recovered data structures are found by walking their root offsets.
+    - {b recovery scan}: [open_existing] walks the block headers, reclaims
+      RESERVED blocks, redoes pending links, and rebuilds the volatile
+      segregated free lists.
+
+    Offsets handed out are absolute byte offsets into the region, 8-byte
+    aligned; the allocator never moves a block (no compaction), which is
+    what permits persistent intra-heap pointers. *)
+
+type t
+
+type offset = int
+(** Absolute byte offset of a block payload within the region. *)
+
+exception Out_of_space of int
+(** Raised by [alloc] when no free block can satisfy the request; carries
+    the requested size. *)
+
+exception Corrupt_heap of string
+(** Raised by [open_existing] when the header magic or block chain is
+    invalid. *)
+
+val root_slots : int
+(** Number of named root slots (root ids are [0 .. root_slots - 1]). *)
+
+val min_region_size : int
+(** Smallest region [format] accepts. *)
+
+val format : Nvm.Region.t -> t
+(** Initialize a fresh heap over the whole region, destroying previous
+    contents. All roots are null, the heap is one free block. Durable on
+    return. *)
+
+val open_existing : Nvm.Region.t -> t
+(** Re-open a heap after a crash or restart. Performs the recovery scan.
+    Raises [Corrupt_heap] if the region was never formatted. *)
+
+val region : t -> Nvm.Region.t
+
+val alloc : t -> int -> offset
+(** [alloc t n] reserves a block with at least [n] payload bytes (rounded
+    up to 8). The block is RESERVED: it will be reclaimed by recovery until
+    [activate] is called. The payload contents are unspecified. *)
+
+val activate : ?link:offset * int64 -> t -> offset -> unit
+(** [activate t off] flips the block to ALLOCATED (durable). With
+    [~link:(addr, v)], additionally stores [v] at region offset [addr] —
+    atomically with respect to crashes: after recovery either the block is
+    free and [addr] untouched, or the block is allocated and [addr] = [v].
+    [addr] must be 8-byte aligned. *)
+
+val free : t -> offset -> unit
+(** Return a block to the free list (durable). The caller is responsible
+    for having unlinked it first; freeing a still-reachable block is the
+    use-after-free of persistent heaps. Adjacent free blocks are
+    coalesced. *)
+
+val usable_size : t -> offset -> int
+(** Actual payload capacity of an allocated or reserved block. *)
+
+val set_root : t -> int -> offset -> unit
+(** [set_root t slot off] durably stores a root pointer (0 = null).
+    Atomic: a crash observes either the old or the new value. *)
+
+val get_root : t -> int -> offset
+(** [get_root t slot] reads a root pointer; 0 means null. *)
+
+val sweep : t -> live:(offset -> bool) -> int * int
+(** [sweep t ~live] walks the heap and frees every ALLOCATED block whose
+    payload offset the predicate rejects — the offline reachability
+    reclamation that closes the allocate/publish and retire/free crash
+    windows (unreachable blocks cost space, never correctness; see
+    docs/PROTOCOLS.md §7). Returns [(blocks_freed, bytes_freed)]. The
+    caller guarantees the predicate accepts every block reachable from
+    any root. *)
+
+(** {1 Introspection} *)
+
+type block_info = { offset : offset; size : int; state : [ `Free | `Reserved | `Allocated ] }
+
+val blocks : t -> block_info list
+(** Walk the heap in address order. Diagnostic / test helper. *)
+
+type heap_stats = {
+  heap_bytes : int;  (** total heap capacity *)
+  live_bytes : int;  (** payload bytes in ALLOCATED blocks *)
+  free_bytes : int;
+  live_blocks : int;
+  free_blocks : int;
+}
+
+val heap_stats : t -> heap_stats
+
+type recovery_stats = {
+  scanned_blocks : int;
+  reclaimed_reserved : int;  (** crashed mid-allocation, returned to free *)
+  redone_links : int;  (** activate links replayed *)
+  coalesced : int;
+}
+
+val last_recovery : t -> recovery_stats option
+(** Stats from the [open_existing] that produced this handle; [None] for a
+    freshly formatted heap. *)

@@ -1,0 +1,1 @@
+lib/pstruct/parena.ml: Int64 List Nvm Nvm_alloc Pvector String

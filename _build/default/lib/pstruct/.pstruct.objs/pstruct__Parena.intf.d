@@ -1,0 +1,1 @@
+lib/pstruct/parena.mli: Nvm_alloc

@@ -1,0 +1,1 @@
+lib/pstruct/pbitvec.ml: Array Bytes Int64 Nvm Nvm_alloc Printf

@@ -1,0 +1,1 @@
+lib/pstruct/pbitvec.mli: Nvm_alloc

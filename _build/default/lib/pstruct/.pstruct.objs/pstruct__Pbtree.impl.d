@@ -1,0 +1,1 @@
+lib/pstruct/pbtree.ml: Int64 List Map Nvm Nvm_alloc Option Pvector

@@ -1,0 +1,1 @@
+lib/pstruct/pbtree.mli: Nvm_alloc

@@ -1,0 +1,1 @@
+lib/pstruct/phash.ml: Int64 Nvm Nvm_alloc

@@ -1,0 +1,1 @@
+lib/pstruct/phash.mli: Nvm_alloc

@@ -1,0 +1,1 @@
+lib/pstruct/pstring.ml: Nvm Nvm_alloc String

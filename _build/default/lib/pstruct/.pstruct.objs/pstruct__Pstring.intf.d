@@ -1,0 +1,1 @@
+lib/pstruct/pstring.mli: Nvm_alloc

@@ -1,0 +1,1 @@
+lib/pstruct/pvector.ml: Int64 Nvm Nvm_alloc Printf

@@ -1,0 +1,1 @@
+lib/pstruct/pvector.mli: Nvm_alloc

@@ -1,0 +1,116 @@
+module A = Nvm_alloc.Allocator
+module Region = Nvm.Region
+
+(* Arena control block (24 bytes):
+     +0  chunk-list vector handle (Pvector of chunk payload offsets)
+     +8  bump offset within the current chunk (bytes used)
+     +16 chunk payload capacity
+   Chunk = one allocator block of [chunk_bytes] (or larger, for oversize
+   strings); strings are stored as [len][bytes] and 8-byte aligned. *)
+
+let default_chunk_bytes = 64 * 1024
+
+type t = {
+  alloc : A.t;
+  region : Region.t;
+  handle : int;
+  chunks : Pvector.t;
+  chunk_bytes : int;
+  mutable current : int; (* payload offset of the chunk being filled; 0 = none *)
+  mutable used : int;
+}
+
+let create ?(chunk_bytes = default_chunk_bytes) alloc =
+  if chunk_bytes < 64 then invalid_arg "Parena.create: chunk too small";
+  let region = A.region alloc in
+  let chunks = Pvector.create alloc in
+  let handle = A.alloc alloc 24 in
+  Region.set_int region handle (Pvector.handle chunks);
+  Region.set_int region (handle + 8) 0;
+  Region.set_int region (handle + 16) chunk_bytes;
+  Region.persist region handle 24;
+  A.activate alloc handle;
+  { alloc; region; handle; chunks; chunk_bytes; current = 0; used = 0 }
+
+let attach alloc handle =
+  let region = A.region alloc in
+  let chunks = Pvector.attach alloc (Region.get_int region handle) in
+  let chunk_bytes = Region.get_int region (handle + 16) in
+  let used = Region.get_int region (handle + 8) in
+  let current =
+    if Pvector.length chunks = 0 then 0
+    else Pvector.get_int chunks (Pvector.length chunks - 1)
+  in
+  { alloc; region; handle; chunks; chunk_bytes; current; used }
+
+let handle t = t.handle
+
+let round8 n = (n + 7) land lnot 7
+
+let fresh_chunk t size =
+  let chunk = A.alloc t.alloc size in
+  A.activate t.alloc chunk;
+  (* register the chunk before any string in it becomes reachable, so
+     [destroy] after a crash frees it; the published length is the
+     registration commit point *)
+  ignore (Pvector.append_int t.chunks chunk);
+  Pvector.publish t.chunks;
+  chunk
+
+let write_payload t off s =
+  Region.set_int t.region off (String.length s);
+  Region.write_string t.region (off + 8) s;
+  Region.persist t.region off (8 + String.length s)
+
+let add t s =
+  let need = round8 (8 + String.length s) in
+  if need > t.chunk_bytes then begin
+    (* oversize: dedicated chunk, fully consumed; the shared bump offset
+       is untouched *)
+    let chunk = fresh_chunk t need in
+    write_payload t chunk s;
+    chunk
+  end
+  else begin
+    if t.current = 0 || t.used + need > t.chunk_bytes then begin
+      t.current <- fresh_chunk t t.chunk_bytes;
+      t.used <- 0
+      (* the durable bump may still hold the previous chunk's value; a
+         crash before the first bump below merely wastes this chunk *)
+    end;
+    let off = t.current + t.used in
+    write_payload t off s;
+    (* bump AFTER the bytes are durable: the bump is the publication *)
+    t.used <- t.used + need;
+    Region.set_int t.region (t.handle + 8) t.used;
+    Region.persist t.region (t.handle + 8) 8;
+    off
+  end
+
+let get t off =
+  let len = Region.get_int t.region off in
+  Region.read_string t.region (off + 8) len
+
+let chunk_count t = Pvector.length t.chunks
+
+let bytes_on_nvm t =
+  let total = ref 0 in
+  Pvector.iter
+    (fun chunk -> total := !total + A.usable_size t.alloc (Int64.to_int chunk))
+    t.chunks;
+  !total + 24 + Pvector.words_on_nvm t.chunks
+
+let used_bytes t =
+  (* full chunks count as fully used except the current one *)
+  let n = Pvector.length t.chunks in
+  let full = max 0 (n - 1) in
+  if t.current = 0 then 0 else (full * t.chunk_bytes) + t.used
+
+let owned_blocks t =
+  (t.handle :: Pvector.owned_blocks t.chunks)
+  @ List.map Int64.to_int (Pvector.to_list t.chunks)
+
+let destroy t =
+  Pvector.iter (fun chunk -> A.free t.alloc (Int64.to_int chunk)) t.chunks;
+  Pvector.destroy t.chunks;
+  A.free t.alloc t.handle

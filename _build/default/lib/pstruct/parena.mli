@@ -1,0 +1,49 @@
+(** Bump-allocated persistent string arena.
+
+    Dictionary strings are tiny and immortal within a table generation
+    (the store is insert-only; the merge retires whole generations), so
+    allocating each one its own heap block wastes header space and — worse
+    — makes the allocator's recovery scan linear in the number of strings.
+    The arena packs strings into large chunks instead: recovery cost is
+    per {e chunk}, and a retired generation is freed wholesale.
+
+    Publication protocol: the string bytes are persisted first, the bump
+    offset second — a crash leaves at most one unreferenced hole below the
+    bump, which the next [add] simply overwrites. An [add] larger than the
+    chunk payload gets a dedicated oversize chunk.
+
+    Strings are stored as [len][bytes] at the returned region offset —
+    exactly {!Pstring}'s layout, so {!Pstring.get}/[length_at] read arena
+    strings unchanged. *)
+
+type t
+
+val default_chunk_bytes : int
+(** Payload capacity of a chunk (64 KiB). *)
+
+val create : ?chunk_bytes:int -> Nvm_alloc.Allocator.t -> t
+(** Empty arena (no chunks yet); durable on return. *)
+
+val attach : Nvm_alloc.Allocator.t -> int -> t
+
+val handle : t -> int
+
+val add : t -> string -> int
+(** Persist a string; returns its stable offset. Durable on return. *)
+
+val get : t -> int -> string
+(** Convenience accessor (any [Pstring.get] on the same allocator works
+    too). *)
+
+val chunk_count : t -> int
+
+val bytes_on_nvm : t -> int
+(** Total chunk capacity currently allocated. *)
+
+val used_bytes : t -> int
+(** Bytes actually occupied by strings (including length headers). *)
+
+val owned_blocks : t -> int list
+
+val destroy : t -> unit
+(** Free every chunk and the arena control block. *)

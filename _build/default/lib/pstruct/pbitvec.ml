@@ -1,0 +1,99 @@
+module A = Nvm_alloc.Allocator
+module Region = Nvm.Region
+
+(* Layout: +0 length (entries)
+           +8 bits per entry
+           +16 packed data, little-endian within 64-bit words *)
+
+type t = {
+  region : Region.t;
+  alloc : A.t;
+  handle : int;
+  length : int;
+  bits : int;
+}
+
+let bits_needed max_v =
+  if max_v <= 0 then 0
+  else
+    let rec go b = if max_v < 1 lsl b then b else go (b + 1) in
+    go 1
+
+let data_words n bits = ((n * bits) + 63) / 64
+
+let build alloc values =
+  let region = A.region alloc in
+  let n = Array.length values in
+  let max_v = Array.fold_left max 0 values in
+  Array.iter (fun v -> if v < 0 then invalid_arg "Pbitvec.build: negative") values;
+  let bits = bits_needed max_v in
+  let words = data_words n bits in
+  let handle = A.alloc alloc (16 + (words * 8)) in
+  Region.set_int region handle n;
+  Region.set_int region (handle + 8) bits;
+  (* pack into a staging buffer, then one blit *)
+  let buf = Bytes.make (words * 8) '\000' in
+  if bits > 0 then
+    Array.iteri
+      (fun i v ->
+        let bit = i * bits in
+        let word = bit / 64 and shift = bit mod 64 in
+        let cur = Bytes.get_int64_le buf (word * 8) in
+        Bytes.set_int64_le buf (word * 8)
+          (Int64.logor cur (Int64.shift_left (Int64.of_int v) shift));
+        if shift + bits > 64 then begin
+          let cur = Bytes.get_int64_le buf ((word + 1) * 8) in
+          Bytes.set_int64_le buf ((word + 1) * 8)
+            (Int64.logor cur
+               (Int64.shift_right_logical (Int64.of_int v) (64 - shift)))
+        end)
+      values;
+  if words > 0 then Region.write_bytes region (handle + 16) buf;
+  Region.persist region handle (16 + (words * 8));
+  A.activate alloc handle;
+  { region; alloc; handle; length = n; bits }
+
+let attach alloc handle =
+  let region = A.region alloc in
+  {
+    region;
+    alloc;
+    handle;
+    length = Region.get_int region handle;
+    bits = Region.get_int region (handle + 8);
+  }
+
+let handle t = t.handle
+let length t = t.length
+let bits t = t.bits
+
+let get t i =
+  if i < 0 || i >= t.length then
+    invalid_arg (Printf.sprintf "Pbitvec.get: index %d out of %d" i t.length);
+  if t.bits = 0 then 0
+  else begin
+    let bit = i * t.bits in
+    let word = bit / 64 and shift = bit mod 64 in
+    let lo =
+      Int64.shift_right_logical
+        (Region.get_i64 t.region (t.handle + 16 + (word * 8)))
+        shift
+    in
+    let v =
+      if shift + t.bits > 64 then
+        Int64.logor lo
+          (Int64.shift_left
+             (Region.get_i64 t.region (t.handle + 16 + ((word + 1) * 8)))
+             (64 - shift))
+      else lo
+    in
+    Int64.to_int (Int64.logand v (Int64.sub (Int64.shift_left 1L t.bits) 1L))
+  end
+
+let to_array t = Array.init t.length (get t)
+
+let destroy t = A.free t.alloc t.handle
+
+let owned_blocks t = [ t.handle ]
+
+let bytes_on_nvm t = 16 + (data_words t.length t.bits * 8)

@@ -1,0 +1,33 @@
+(** Read-only bit-packed integer vector.
+
+    Main-partition attribute vectors store one dictionary value-id per row
+    using exactly [ceil(log2 |dict|)] bits — Hyrise's main-side
+    compression. The vector is built in one shot by the merge process,
+    persisted wholesale, and never mutated, so its crash story is simply
+    "publish the offset after persisting the block". *)
+
+type t
+
+val build : Nvm_alloc.Allocator.t -> int array -> t
+(** Pack the (non-negative) values with the minimal uniform bit width.
+    The block is durable and activated on return; linking it into a parent
+    is the caller's job (via [handle]). *)
+
+val attach : Nvm_alloc.Allocator.t -> int -> t
+
+val handle : t -> int
+
+val length : t -> int
+
+val bits : t -> int
+(** Bits per entry (0 when the vector is empty or all-zero). *)
+
+val get : t -> int -> int
+
+val to_array : t -> int array
+
+val destroy : t -> unit
+
+val owned_blocks : t -> int list
+
+val bytes_on_nvm : t -> int

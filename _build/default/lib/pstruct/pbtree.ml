@@ -1,0 +1,365 @@
+module A = Nvm_alloc.Allocator
+module Region = Nvm.Region
+
+(* Separators are (key, value) pairs ordered lexicographically: exact
+   duplicates being merged, pairs are unique, so equal keys spread across
+   many leaves still get distinct separators. *)
+module Pair = struct
+  type t = int64 * int64
+
+  let compare (k1, v1) (k2, v2) =
+    match Int64.compare k1 k2 with 0 -> Int64.compare v1 v2 | c -> c
+end
+
+module Imap = Map.Make (Pair)
+
+let leaf_capacity = 32
+
+(* Leaf (528 bytes):        +0   occupancy bitmap (bit i = slot i live)
+                            +8   next leaf offset (0 = end of chain)
+                            +16  keys,   32 x 8 bytes
+                            +272 values, 32 x 8 bytes
+   Handle block (24 bytes): +0   head leaf offset
+                            +8   leaf-chunk vector handle
+                            +16  leaves used in the last chunk
+
+   Slots are unsorted (FPTree): publication = flipping a bitmap bit, and
+   no insert ever shifts other entries.
+
+   Leaves are bump-allocated from chunks of [leaves_per_chunk] — the
+   allocator's recovery scan then costs one block per chunk, not per leaf
+   (the nvm_malloc chunking idea). The bump counter is persisted BEFORE a
+   leaf is initialized and linked, so a slot referenced by the chain can
+   never be handed out again; a crash in between merely wastes slots. *)
+
+let leaf_bytes = 16 + (leaf_capacity * 16)
+let leaves_per_chunk = 16
+let key_off leaf s = leaf + 16 + (s * 8)
+let val_off leaf s = leaf + 16 + (leaf_capacity * 8) + (s * 8)
+
+type t = {
+  alloc : A.t;
+  region : Region.t;
+  handle : int;
+  chunks : Pvector.t;
+  mutable used : int; (* leaves taken in the last chunk *)
+  (* separator (key, value) pair -> leaf; the head leaf's separator is
+     (min_int, min_int).  After [attach] the index is rebuilt lazily on
+     first use, so a restart pays nothing per tree. *)
+  mutable index : int Imap.t;
+  mutable size : int;
+  mutable built : bool;
+}
+
+let bitmap t leaf = Region.get_i64 t.region leaf
+let next t leaf = Region.get_int t.region (leaf + 8)
+let slot_live bm s = Int64.logand bm (Int64.shift_left 1L s) <> 0L
+
+let leaf_entries t leaf =
+  let bm = bitmap t leaf in
+  let acc = ref [] in
+  for s = leaf_capacity - 1 downto 0 do
+    if slot_live bm s then
+      acc :=
+        (Region.get_i64 t.region (key_off leaf s),
+         Region.get_i64 t.region (val_off leaf s))
+        :: !acc
+  done;
+  !acc
+
+let leaf_min_pair t leaf =
+  List.fold_left
+    (fun acc p ->
+      match acc with
+      | None -> Some p
+      | Some m -> if Pair.compare p m < 0 then Some p else Some m)
+    None (leaf_entries t leaf)
+
+(* take a fresh leaf slot: the bump persist precedes any use of the slot *)
+let leaf_slot t =
+  if t.used >= leaves_per_chunk || Pvector.length t.chunks = 0 then begin
+    let chunk = A.alloc t.alloc (leaves_per_chunk * leaf_bytes) in
+    A.activate t.alloc chunk;
+    (* registration first: [destroy] must reach the chunk even if the
+       bump below never lands *)
+    ignore (Pvector.append_int t.chunks chunk);
+    Pvector.publish t.chunks;
+    t.used <- 0
+  end;
+  let chunk = Pvector.get_int t.chunks (Pvector.length t.chunks - 1) in
+  let leaf = chunk + (t.used * leaf_bytes) in
+  t.used <- t.used + 1;
+  Region.set_int t.region (t.handle + 16) t.used;
+  Region.persist t.region (t.handle + 16) 8;
+  leaf
+
+let init_leaf t leaf ~next_off entries =
+  let bm = ref 0L in
+  List.iteri
+    (fun s (k, v) ->
+      Region.set_i64 t.region (key_off leaf s) k;
+      Region.set_i64 t.region (val_off leaf s) v;
+      bm := Int64.logor !bm (Int64.shift_left 1L s))
+    entries;
+  Region.set_i64 t.region leaf !bm;
+  Region.set_int t.region (leaf + 8) next_off;
+  Region.persist t.region leaf leaf_bytes
+
+let create alloc =
+  let region = A.region alloc in
+  let chunks = Pvector.create alloc in
+  let handle = A.alloc alloc 24 in
+  let t =
+    {
+      alloc;
+      region;
+      handle;
+      chunks;
+      used = leaves_per_chunk (* force a chunk on first slot *);
+      index = Imap.empty;
+      size = 0;
+      built = true;
+    }
+  in
+  Region.set_int region (handle + 8) (Pvector.handle chunks);
+  let head = leaf_slot t in
+  init_leaf t head ~next_off:0 [];
+  Region.set_int region handle head;
+  Region.persist region handle 24;
+  A.activate alloc handle;
+  t.index <- Imap.singleton (Int64.min_int, Int64.min_int) head;
+  t
+
+(* Repair an interrupted split: a slot in [leaf] whose exact (key, value)
+   pair also lives in the NEXT leaf is a stale duplicate of a moved entry
+   (steady-state leaves never share pairs, because [insert] merges exact
+   duplicates). *)
+let repair_split t leaf =
+  match next t leaf with
+  | 0 -> ()
+  | nleaf ->
+      let moved = leaf_entries t nleaf in
+      if moved <> [] then begin
+        let bm = bitmap t leaf in
+        let cleared = ref bm in
+        for s = 0 to leaf_capacity - 1 do
+          if slot_live bm s then begin
+            let k = Region.get_i64 t.region (key_off leaf s) in
+            let v = Region.get_i64 t.region (val_off leaf s) in
+            if List.mem (k, v) moved then
+              cleared :=
+                Int64.logand !cleared (Int64.lognot (Int64.shift_left 1L s))
+          end
+        done;
+        if !cleared <> bm then begin
+          Region.set_i64 t.region leaf !cleared;
+          Region.persist t.region leaf 8
+        end
+      end
+
+let build_index t =
+  t.index <- Imap.empty;
+  t.size <- 0;
+  let head = Region.get_int t.region t.handle in
+  let rec walk leaf sep =
+    repair_split t leaf;
+    t.index <- Imap.add sep leaf t.index;
+    t.size <- t.size + List.length (leaf_entries t leaf);
+    match next t leaf with
+    | 0 -> ()
+    | nleaf ->
+        (* after repair the next leaf's min is a valid separator *)
+        walk nleaf (Option.get (leaf_min_pair t nleaf))
+  in
+  walk head (Int64.min_int, Int64.min_int);
+  t.built <- true
+
+let ensure t = if not t.built then build_index t
+
+let attach alloc handle =
+  let region = A.region alloc in
+  {
+    alloc;
+    region;
+    handle;
+    chunks = Pvector.attach alloc (Region.get_int region (handle + 8));
+    used = Region.get_int region (handle + 16);
+    index = Imap.empty;
+    size = 0;
+    built = false;
+  }
+
+let handle t = t.handle
+
+let length t =
+  ensure t;
+  t.size
+
+let lookup_leaf t p =
+  match Imap.find_last_opt (fun sep -> Pair.compare sep p <= 0) t.index with
+  | Some (_, leaf) -> leaf
+  | None -> Imap.find (Int64.min_int, Int64.min_int) t.index
+
+let free_slot bm =
+  let rec go s =
+    if s >= leaf_capacity then None
+    else if slot_live bm s then go (s + 1)
+    else Some s
+  in
+  go 0
+
+let split t leaf =
+  let entries =
+    List.sort
+      (fun (k1, v1) (k2, v2) ->
+        match Int64.compare k1 k2 with 0 -> Int64.compare v1 v2 | c -> c)
+      (leaf_entries t leaf)
+  in
+  let n = List.length entries in
+  let lower = List.filteri (fun i _ -> i < n / 2) entries in
+  let upper = List.filteri (fun i _ -> i >= n / 2) entries in
+  let sep = List.hd upper in
+  let sep_key = fst sep in
+  (* 1. persist the new leaf, then atomically link it after [leaf] with a
+     single durable word *)
+  let nleaf = leaf_slot t in
+  init_leaf t nleaf ~next_off:(next t leaf) upper;
+  Region.set_int t.region (leaf + 8) nleaf;
+  Region.persist t.region (leaf + 8) 8;
+  (* 2. retire the moved slots; a crash before this is repaired on attach *)
+  let bm = ref 0L in
+  let keep = List.length lower in
+  (* recompute which slots hold the lower entries: rewrite bitmap only *)
+  let old_bm = bitmap t leaf in
+  let kept = ref 0 in
+  for s = 0 to leaf_capacity - 1 do
+    if slot_live old_bm s then begin
+      let k = Region.get_i64 t.region (key_off leaf s) in
+      let keep_slot =
+        Int64.compare k sep_key < 0
+        ||
+        (* equal keys may straddle the median: keep the ones whose value
+           sorts below the first moved entry *)
+        (Int64.compare k sep_key = 0
+        &&
+        let v = Region.get_i64 t.region (val_off leaf s) in
+        not
+          (List.exists (fun (uk, uv) -> uk = k && uv = v) upper))
+      in
+      if keep_slot && !kept < keep then begin
+        bm := Int64.logor !bm (Int64.shift_left 1L s);
+        incr kept
+      end
+    end
+  done;
+  Region.set_i64 t.region leaf !bm;
+  Region.persist t.region leaf 8;
+  t.index <- Imap.add sep nleaf t.index
+
+let insert t k v =
+  ensure t;
+  let rec go () =
+    let leaf = lookup_leaf t (k, v) in
+    (* merge exact duplicates *)
+    let dup =
+      List.exists (fun (ek, ev) -> ek = k && ev = v) (leaf_entries t leaf)
+    in
+    if not dup then begin
+      match free_slot (bitmap t leaf) with
+      | None ->
+          split t leaf;
+          go ()
+      | Some s ->
+          (* key/value durable first, bitmap bit last: atomic publication *)
+          Region.set_i64 t.region (key_off leaf s) k;
+          Region.set_i64 t.region (val_off leaf s) v;
+          Region.writeback t.region (key_off leaf s) 8;
+          Region.writeback t.region (val_off leaf s) 8;
+          Region.fence t.region;
+          Region.set_i64 t.region leaf
+            (Int64.logor (bitmap t leaf) (Int64.shift_left 1L s));
+          Region.persist t.region leaf 8;
+          t.size <- t.size + 1
+    end
+  in
+  go ()
+
+let iter_range t ~lo ~hi f =
+  ensure t;
+  if Int64.compare lo hi <= 0 then begin
+    (* start at the STRICT predecessor separator: when equal keys straddle
+       a split boundary, entries with key = lo can live one leaf to the
+       left of the leaf whose separator equals lo *)
+    let start =
+      match
+        Imap.find_last_opt
+          (fun sep -> Pair.compare sep (lo, Int64.min_int) < 0)
+          t.index
+      with
+      | Some (_, leaf) -> leaf
+      | None -> Imap.find (Int64.min_int, Int64.min_int) t.index
+    in
+    let last = ref None in
+    let rec walk leaf =
+      let entries =
+        List.sort
+          (fun (k1, v1) (k2, v2) ->
+            match Int64.compare k1 k2 with 0 -> Int64.compare v1 v2 | c -> c)
+          (leaf_entries t leaf)
+      in
+      let min_k = match entries with [] -> None | (k, _) :: _ -> Some k in
+      List.iter
+        (fun (k, v) ->
+          if Int64.compare k lo >= 0 && Int64.compare k hi <= 0 then
+            (* drop exact duplicates left by a repaired-but-unattached
+               interrupted split (they are adjacent across the boundary) *)
+            if !last <> Some (k, v) then begin
+              f k v;
+              last := Some (k, v)
+            end)
+        entries;
+      match next t leaf with
+      | 0 -> ()
+      | nleaf -> (
+          match min_k with
+          | Some mk when Int64.compare mk hi > 0 -> ()
+          | _ -> walk nleaf)
+    in
+    walk start
+  end
+
+let iter f t = iter_range t ~lo:Int64.min_int ~hi:Int64.max_int f
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun k v -> acc := (k, v) :: !acc) t;
+  List.rev !acc
+
+let find t k =
+  let result = ref None in
+  (try
+     iter_range t ~lo:k ~hi:k (fun _ v ->
+         result := Some v;
+         raise Exit)
+   with Exit -> ());
+  !result
+
+let mem t k = find t k <> None
+
+let leaf_count t =
+  ensure t;
+  Imap.cardinal t.index
+
+let destroy t =
+  Pvector.iter (fun chunk -> A.free t.alloc (Int64.to_int chunk)) t.chunks;
+  Pvector.destroy t.chunks;
+  A.free t.alloc t.handle
+
+let owned_blocks t =
+  (t.handle :: Pvector.owned_blocks t.chunks)
+  @ List.map Int64.to_int (Pvector.to_list t.chunks)
+
+let bytes_on_nvm t =
+  24
+  + Pvector.words_on_nvm t.chunks
+  + (Pvector.length t.chunks * leaves_per_chunk * leaf_bytes)

@@ -1,0 +1,61 @@
+(** Persistent B+-tree with volatile inner nodes (FPTree-style).
+
+    Hyrise-NV keeps index structures on NVM so that restarts do not pay an
+    index rebuild proportional to the table. We reproduce the published
+    FPTree recipe: {e leaves} are persistent — fixed-capacity slot arrays
+    with an occupancy bitmap, chained into a sorted linked list — while the
+    {e inner} search structure is volatile and reconstructed from the leaf
+    chain on [attach] (one key read per leaf, not per entry).
+
+    Crash consistency:
+    - an insert publishes by setting the slot's bitmap bit {e after} the
+      key and value words are durable, so a torn insert is invisible;
+    - a split first persists and atomically links the new leaf (via the
+      allocator's link-in-activate), then clears the moved slots in the
+      old leaf; a crash in between leaves identical duplicate entries in
+      two adjacent leaves, which [attach] detects and repairs.
+
+    The tree is insert-only (a multimap on exact-duplicate-free pairs), as
+    Hyrise's delta indexes are — deletion happens wholesale when the merge
+    rebuilds the index. *)
+
+type t
+
+val leaf_capacity : int
+(** Entries per leaf (32). *)
+
+val create : Nvm_alloc.Allocator.t -> t
+
+val attach : Nvm_alloc.Allocator.t -> int -> t
+(** Rebuild the volatile inner index by walking the leaf chain, repairing
+    any interrupted split on the way. Cost: O(#leaves). *)
+
+val handle : t -> int
+
+val length : t -> int
+(** Number of entries (volatile count; recomputed on [attach]). *)
+
+val insert : t -> int64 -> int64 -> unit
+(** [insert t k v] durably publishes the pair. Exact duplicates (same key
+    {e and} value) are merged; equal keys with distinct values coexist. *)
+
+val find : t -> int64 -> int64 option
+(** Any value bound to the key (the minimum one, for determinism). *)
+
+val mem : t -> int64 -> bool
+
+val iter_range : t -> lo:int64 -> hi:int64 -> (int64 -> int64 -> unit) -> unit
+(** All pairs with [lo <= key <= hi] (signed compare), in ascending key
+    order; ties ordered by value. *)
+
+val iter : (int64 -> int64 -> unit) -> t -> unit
+
+val to_list : t -> (int64 * int64) list
+
+val leaf_count : t -> int
+
+val destroy : t -> unit
+
+val owned_blocks : t -> int list
+
+val bytes_on_nvm : t -> int

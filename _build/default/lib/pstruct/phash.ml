@@ -1,0 +1,149 @@
+module A = Nvm_alloc.Allocator
+module Region = Nvm.Region
+
+(* Handle block (8 bytes):   +0 bucket-array offset
+   Bucket array:             +0 capacity (buckets, power of two)
+                             +8 buckets: capacity x (key, value)
+
+   value = EMPTY (-1) marks a free bucket; occupancy is volatile and
+   recounted on attach. *)
+
+let empty = -1L
+
+type t = {
+  alloc : A.t;
+  region : Region.t;
+  handle : int;
+  mutable table : int;
+  mutable capacity : int;
+  mutable size : int; (* -1 = unknown (after attach), recounted lazily *)
+}
+
+let bucket_off table i = table + 8 + (i * 16)
+
+let round_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+(* splitmix64 finalizer: full-avalanche hash of the key *)
+let hash k =
+  let open Int64 in
+  let z = mul (logxor k (shift_right_logical k 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  to_int (shift_right_logical (logxor z (shift_right_logical z 31)) 1)
+
+let alloc_table alloc capacity =
+  let region = A.region alloc in
+  let table = A.alloc alloc (8 + (capacity * 16)) in
+  Region.set_int region table capacity;
+  for i = 0 to capacity - 1 do
+    Region.set_i64 region (bucket_off table i + 8) empty
+  done;
+  Region.persist region table (8 + (capacity * 16));
+  table
+
+let create ?(capacity = 16) alloc =
+  let capacity = round_pow2 (max 4 capacity) in
+  let region = A.region alloc in
+  let table = alloc_table alloc capacity in
+  A.activate alloc table;
+  let handle = A.alloc alloc 8 in
+  Region.set_int region handle table;
+  Region.persist region handle 8;
+  A.activate alloc handle;
+  { alloc; region; handle; table; capacity; size = 0 }
+
+let attach alloc handle =
+  let region = A.region alloc in
+  let table = Region.get_int region handle in
+  let capacity = Region.get_int region table in
+  { alloc; region; handle; table; capacity; size = -1 }
+
+let recount t =
+  let size = ref 0 in
+  for i = 0 to t.capacity - 1 do
+    if Region.get_i64 t.region (bucket_off t.table i + 8) <> empty then
+      incr size
+  done;
+  t.size <- !size
+
+let handle t = t.handle
+
+let length t =
+  if t.size < 0 then recount t;
+  t.size
+
+let probe t k =
+  (* returns [Ok (i, value)] if found, [Error i] with the insertion slot *)
+  let mask = t.capacity - 1 in
+  let rec go i steps =
+    if steps > t.capacity then failwith "Phash: table full during probe"
+    else
+      let v = Region.get_i64 t.region (bucket_off t.table i + 8) in
+      if v = empty then Error i
+      else if Region.get_i64 t.region (bucket_off t.table i) = k then Ok (i, v)
+      else go ((i + 1) land mask) (steps + 1)
+  in
+  go (hash k land mask) 0
+
+let find t k = match probe t k with Ok (_, v) -> Some v | Error _ -> None
+let mem t k = match probe t k with Ok _ -> true | Error _ -> false
+
+let iter f t =
+  for i = 0 to t.capacity - 1 do
+    let v = Region.get_i64 t.region (bucket_off t.table i + 8) in
+    if v <> empty then f (Region.get_i64 t.region (bucket_off t.table i)) v
+  done
+
+let resize t =
+  let new_cap = t.capacity * 2 in
+  let table = alloc_table t.alloc new_cap in
+  let mask = new_cap - 1 in
+  iter
+    (fun k v ->
+      let rec slot i =
+        if Region.get_i64 t.region (bucket_off table i + 8) = empty then i
+        else slot ((i + 1) land mask)
+      in
+      let i = slot (hash k land mask) in
+      Region.set_i64 t.region (bucket_off table i) k;
+      Region.set_i64 t.region (bucket_off table i + 8) v)
+    t;
+  Region.persist t.region table (8 + (new_cap * 16));
+  (* atomic publication of the rebuilt array *)
+  A.activate ~link:(t.handle, Int64.of_int table) t.alloc table;
+  let old = t.table in
+  t.table <- table;
+  t.capacity <- new_cap;
+  A.free t.alloc old
+
+let insert t k v =
+  if Int64.compare v 0L < 0 then invalid_arg "Phash.insert: negative value";
+  if t.size < 0 then recount t;
+  if t.size * 10 >= t.capacity * 7 then resize t;
+  match probe t k with
+  | Ok _ -> invalid_arg "Phash.insert: key already bound"
+  | Error i ->
+      let off = bucket_off t.table i in
+      (* key first, value second: the value write is the publication *)
+      Region.set_i64 t.region off k;
+      Region.persist t.region off 8;
+      Region.set_i64 t.region (off + 8) v;
+      Region.persist t.region (off + 8) 8;
+      t.size <- t.size + 1
+
+let find_or_insert t k mk =
+  match find t k with
+  | Some v -> v
+  | None ->
+      let v = mk () in
+      insert t k v;
+      v
+
+let destroy t =
+  A.free t.alloc t.table;
+  A.free t.alloc t.handle
+
+let owned_blocks t = [ t.handle; t.table ]
+
+let bytes_on_nvm t = 8 + 8 + (t.capacity * 16)

@@ -1,0 +1,47 @@
+(** Insert-only persistent hash table from [int64] keys to non-negative
+    [int64] values.
+
+    Backs the delta dictionaries' value → value-id lookup. Open addressing
+    with linear probing; a bucket's {e value word} is the publication
+    point: writing the key first and the value second (each fenced) means
+    a crash can never expose a half-inserted entry — a bucket whose value
+    is still the EMPTY sentinel is simply free.
+
+    Deletion is deliberately unsupported: Hyrise's delta is insert-only
+    and the structure is rebuilt at merge, which is exactly what makes the
+    simple publication protocol sufficient. *)
+
+type t
+
+val create : ?capacity:int -> Nvm_alloc.Allocator.t -> t
+(** Fresh table; [capacity] is rounded up to a power of two. *)
+
+val attach : Nvm_alloc.Allocator.t -> int -> t
+(** Re-wrap after restart; recounts occupancy with one scan of the
+    bucket array (the table is small: one entry per {e distinct} delta
+    value). *)
+
+val handle : t -> int
+
+val length : t -> int
+
+val find : t -> int64 -> int64 option
+
+val mem : t -> int64 -> bool
+
+val insert : t -> int64 -> int64 -> unit
+(** [insert t k v] publishes the binding durably. Requires [v >= 0] and
+    that [k] is not yet bound (checked). Resizes at 70% load; the resized
+    bucket array is published atomically. *)
+
+val find_or_insert : t -> int64 -> (unit -> int64) -> int64
+(** [find_or_insert t k mk] returns the existing binding or inserts
+    [mk ()]. *)
+
+val iter : (int64 -> int64 -> unit) -> t -> unit
+
+val destroy : t -> unit
+
+val owned_blocks : t -> int list
+
+val bytes_on_nvm : t -> int

@@ -1,0 +1,22 @@
+module A = Nvm_alloc.Allocator
+module Region = Nvm.Region
+
+(* Layout: +0 length, +8 bytes. *)
+
+let add alloc s =
+  let region = A.region alloc in
+  let off = A.alloc alloc (8 + String.length s) in
+  Region.set_int region off (String.length s);
+  Region.write_string region (off + 8) s;
+  Region.persist region off (8 + String.length s);
+  A.activate alloc off;
+  off
+
+let length_at alloc off = Region.get_int (A.region alloc) off
+
+let get alloc off =
+  Region.read_string (A.region alloc) (off + 8) (length_at alloc off)
+
+let free alloc off = A.free alloc off
+
+let bytes_on_nvm s = 8 + String.length s

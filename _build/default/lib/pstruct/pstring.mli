@@ -1,0 +1,22 @@
+(** Persistent immutable strings.
+
+    Dictionary-encoded text columns store each distinct string once on NVM
+    and refer to it by offset. Strings are immutable and — the store being
+    insert-only — live until the enclosing structure is destroyed, so no
+    individual reclamation is needed between merges. *)
+
+val add : Nvm_alloc.Allocator.t -> string -> int
+(** Persist a string; returns its stable offset. The string is fully
+    durable (and its block activated) on return. *)
+
+val get : Nvm_alloc.Allocator.t -> int -> string
+(** Read back a string written by [add]. *)
+
+val length_at : Nvm_alloc.Allocator.t -> int -> int
+(** Length without copying the payload. *)
+
+val free : Nvm_alloc.Allocator.t -> int -> unit
+(** Release the string's block (used when whole partitions are dropped). *)
+
+val bytes_on_nvm : string -> int
+(** Footprint a string of this content will occupy, for size accounting. *)

@@ -1,0 +1,125 @@
+module A = Nvm_alloc.Allocator
+module Region = Nvm.Region
+
+(* Handle block (16 bytes):  +0 published size (elements)
+                             +8 data block offset
+   Data block:               +0 capacity (elements)
+                             +8 elements, 8 bytes each
+
+   The capacity lives in the data block so that relocation on growth
+   changes exactly one durable word (the data offset), which the
+   allocator's link-in-activate makes atomic. *)
+
+type t = {
+  alloc : A.t;
+  region : Region.t;
+  handle : int;
+  mutable data : int;
+  mutable capacity : int;
+  mutable size : int; (* volatile length *)
+}
+
+let elem_off data i = data + 8 + (i * 8)
+
+let create ?(capacity = 8) alloc =
+  let capacity = max 1 capacity in
+  let region = A.region alloc in
+  let data = A.alloc alloc (8 + (capacity * 8)) in
+  Region.set_int region data capacity;
+  Region.persist region data 8;
+  A.activate alloc data;
+  let handle = A.alloc alloc 16 in
+  Region.set_int region handle 0;
+  Region.set_int region (handle + 8) data;
+  Region.persist region handle 16;
+  A.activate alloc handle;
+  { alloc; region; handle; data; capacity; size = 0 }
+
+let attach alloc handle =
+  let region = A.region alloc in
+  let size = Region.get_int region handle in
+  let data = Region.get_int region (handle + 8) in
+  let capacity = Region.get_int region data in
+  { alloc; region; handle; data; capacity; size }
+
+let handle t = t.handle
+let length t = t.size
+let published_length t = Region.get_int t.region t.handle
+
+let check_index t i fn =
+  if i < 0 || i >= t.size then
+    invalid_arg (Printf.sprintf "Pvector.%s: index %d out of %d" fn i t.size)
+
+let get t i =
+  check_index t i "get";
+  Region.get_i64 t.region (elem_off t.data i)
+
+let get_int t i = Int64.to_int (get t i)
+
+let set t i v =
+  check_index t i "set";
+  let off = elem_off t.data i in
+  Region.set_i64 t.region off v;
+  Region.writeback t.region off 8
+
+let set_int t i v = set t i (Int64.of_int v)
+
+let grow t =
+  let new_cap = t.capacity * 2 in
+  let new_data = A.alloc t.alloc (8 + (new_cap * 8)) in
+  Region.set_int t.region new_data new_cap;
+  if t.size > 0 then
+    Region.write_bytes t.region (new_data + 8)
+      (Region.read_bytes t.region (t.data + 8) (t.size * 8));
+  Region.persist t.region new_data (8 + (t.size * 8));
+  (* atomic publication of the relocation *)
+  A.activate ~link:(t.handle + 8, Int64.of_int new_data) t.alloc new_data;
+  let old = t.data in
+  t.data <- new_data;
+  t.capacity <- new_cap;
+  A.free t.alloc old
+
+let append t v =
+  if t.size = t.capacity then grow t;
+  let i = t.size in
+  let off = elem_off t.data i in
+  Region.set_i64 t.region off v;
+  Region.writeback t.region off 8;
+  t.size <- i + 1;
+  i
+
+let append_int t v = append t (Int64.of_int v)
+
+let publish_unfenced t =
+  Region.set_int t.region t.handle t.size;
+  Region.writeback t.region t.handle 8
+
+let publish t =
+  (* data first, then the length word: the length is the commit point *)
+  Region.fence t.region;
+  publish_unfenced t;
+  Region.fence t.region
+
+let truncate_volatile t n =
+  if n < 0 || n > t.capacity then invalid_arg "Pvector.truncate_volatile";
+  t.size <- n
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f (get t i)
+  done
+
+let to_list t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (get t i :: acc) in
+  go (t.size - 1) []
+
+(* Free in descending address order so forward coalescing reunites the
+   blocks with the free space that follows them. *)
+let destroy t =
+  let a = min t.data t.handle and b = max t.data t.handle in
+  A.free t.alloc b;
+  A.free t.alloc a
+
+let owned_blocks t = [ t.handle; t.data ]
+
+let words_on_nvm t = 16 + 8 + (t.capacity * 8)

@@ -1,0 +1,83 @@
+(** Persistent growable vector of 64-bit words.
+
+    The workhorse of Hyrise-NV's delta partitions: attribute vectors,
+    dictionaries and MVCC vectors are all persistent vectors. The design
+    separates {e writing} from {e publishing}:
+
+    - [append] and [set] store data and schedule cache-line write-backs but
+      do not fence, so a transaction touching many vectors pays one fence
+      at commit, not one per store;
+    - [publish] is the commit point: it fences the data, then durably
+      advances the persisted length. A crash before [publish] leaves the
+      vector at its previous published length — appended words simply never
+      happened.
+
+    Growth relocates the data block and publishes the new location
+    atomically through the allocator's link-in-activate, so a crash during
+    growth is invisible. *)
+
+type t
+
+val create : ?capacity:int -> Nvm_alloc.Allocator.t -> t
+(** Allocate an empty vector. The handle block is activated; persist of the
+    caller's pointer to it is the caller's business. *)
+
+val attach : Nvm_alloc.Allocator.t -> int -> t
+(** [attach alloc handle] re-wraps a vector found at [handle] after a
+    restart. Volatile length = persisted length. *)
+
+val handle : t -> int
+(** Stable offset identifying this vector; store it in parent structures. *)
+
+val length : t -> int
+(** Volatile length (includes unpublished appends). *)
+
+val published_length : t -> int
+(** Durable length as of the last [publish]. *)
+
+val get : t -> int -> int64
+(** [get t i] for [0 <= i < length t]. *)
+
+val get_int : t -> int -> int
+
+val set : t -> int -> int64 -> unit
+(** In-place update + scheduled write-back (no fence). Used for MVCC
+    end-CID invalidations. *)
+
+val set_int : t -> int -> int -> unit
+
+val append : t -> int64 -> int
+(** [append t v] stores [v] past the end and returns its index. Scheduled
+    write-back, no fence; invisible after a crash until [publish]. *)
+
+val append_int : t -> int -> int
+
+val publish : t -> unit
+(** Fence outstanding data, then durably set the persisted length to the
+    volatile length. After [publish] returns, everything appended or [set]
+    so far survives any crash. *)
+
+val publish_unfenced : t -> unit
+(** Stage the persisted-length update (store + scheduled write-back) with
+    {e no} fence. The caller owns the ordering: the data this length
+    covers must be fenced before, and a fence after makes the new length
+    durable. Lets a transaction publish many vectors with O(1) fences. *)
+
+val truncate_volatile : t -> int -> unit
+(** Roll the volatile length back to [n] (>= published length is NOT
+    required; used by recovery to discard unpublished tails and by tests). *)
+
+val iter : (int64 -> unit) -> t -> unit
+
+val to_list : t -> int64 list
+
+val destroy : t -> unit
+(** Free the handle and data blocks. The caller must have unlinked the
+    handle first. *)
+
+val owned_blocks : t -> int list
+(** Allocator blocks this vector owns (for reachability sweeps). *)
+
+val words_on_nvm : t -> int
+(** Footprint in bytes (handle + data block capacity), for size
+    accounting. *)

@@ -1,0 +1,1 @@
+lib/query/aggregate.ml: Array Float Hashtbl List Option Printf Scan Storage

@@ -1,0 +1,1 @@
+lib/query/aggregate.mli: Scan Storage Txn

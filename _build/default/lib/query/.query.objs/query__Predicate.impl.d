@@ -1,0 +1,1 @@
+lib/query/predicate.ml: Hashtbl List Storage

@@ -1,0 +1,1 @@
+lib/query/scan.ml: List Predicate Storage Txn

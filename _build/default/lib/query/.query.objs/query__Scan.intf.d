@@ -1,0 +1,1 @@
+lib/query/scan.mli: Predicate Storage Txn

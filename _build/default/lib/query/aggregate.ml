@@ -1,0 +1,111 @@
+module Table = Storage.Table
+module Schema = Storage.Schema
+module Value = Storage.Value
+
+type spec = Count | Sum of string | Avg of string | Min of string | Max of string
+
+type cell = Num of float | Val of Value.t | Null
+
+type acc = {
+  mutable count : int;
+  mutable sum : float;
+  mutable minv : Value.t option;
+  mutable maxv : Value.t option;
+}
+
+type result = { groups : (Value.t option * cell array) list }
+
+let numeric = function
+  | Value.Int i -> float_of_int i
+  | Value.Float f -> f
+  | v ->
+      invalid_arg
+        (Printf.sprintf "Aggregate: non-numeric value %s" (Value.to_string v))
+
+let col_of table name = Schema.find_column (Table.schema table) name
+
+let run txn table ?group_by ~specs ~filters () =
+  let key_col = Option.map (col_of table) group_by in
+  let spec_cols =
+    List.map
+      (function
+        | Count -> (Count, -1)
+        | Sum c -> (Sum c, col_of table c)
+        | Avg c -> (Avg c, col_of table c)
+        | Min c -> (Min c, col_of table c)
+        | Max c -> (Max c, col_of table c))
+      specs
+  in
+  let groups : (Value.t option, acc array) Hashtbl.t = Hashtbl.create 16 in
+  let get_group k =
+    match Hashtbl.find_opt groups k with
+    | Some a -> a
+    | None ->
+        let a =
+          Array.init (List.length specs) (fun _ ->
+              { count = 0; sum = 0.0; minv = None; maxv = None })
+        in
+        Hashtbl.replace groups k a;
+        a
+  in
+  Scan.run txn table ~filters (fun r ->
+      let k = Option.map (fun ci -> Table.get table r ci) key_col in
+      let accs = get_group k in
+      List.iteri
+        (fun i (spec, ci) ->
+          let a = accs.(i) in
+          a.count <- a.count + 1;
+          match spec with
+          | Count -> ()
+          | Sum _ | Avg _ -> a.sum <- a.sum +. numeric (Table.get table r ci)
+          | Min _ ->
+              let v = Table.get table r ci in
+              a.minv <-
+                (match a.minv with
+                | None -> Some v
+                | Some m -> if Value.compare v m < 0 then Some v else Some m)
+          | Max _ ->
+              let v = Table.get table r ci in
+              a.maxv <-
+                (match a.maxv with
+                | None -> Some v
+                | Some m -> if Value.compare v m > 0 then Some v else Some m))
+        spec_cols);
+  let cell spec a =
+    match spec with
+    | Count -> Num (float_of_int a.count)
+    | Sum _ -> Num a.sum
+    | Avg _ -> if a.count = 0 then Null else Num (a.sum /. float_of_int a.count)
+    | Min _ -> ( match a.minv with Some v -> Val v | None -> Null)
+    | Max _ -> ( match a.maxv with Some v -> Val v | None -> Null)
+  in
+  let rows =
+    Hashtbl.fold
+      (fun k accs rest ->
+        (k, Array.of_list (List.mapi (fun i (spec, _) -> cell spec accs.(i)) spec_cols))
+        :: rest)
+      groups []
+  in
+  let rows =
+    (* ungrouped aggregation over zero rows still yields one group *)
+    if rows = [] && key_col = None then
+      [ (None, Array.of_list (List.map (fun (spec, _) ->
+          match spec with Count | Sum _ -> Num 0.0 | _ -> Null) spec_cols)) ]
+    else rows
+  in
+  let compare_keys a b =
+    match (fst a, fst b) with
+    | None, None -> 0
+    | None, Some _ -> -1
+    | Some _, None -> 1
+    | Some x, Some y -> Value.compare x y
+  in
+  { groups = List.sort compare_keys rows }
+
+let cell_to_string = function
+  | Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        string_of_int (int_of_float f)
+      else Printf.sprintf "%g" f
+  | Val v -> Value.to_string v
+  | Null -> "null"

@@ -1,0 +1,33 @@
+(** Grouped aggregation over filtered scans.
+
+    Runs a {!Scan} and folds each surviving row into per-group
+    accumulators. Numeric aggregates accept [Int] and [Float] columns
+    (results as floats); [Min]/[Max] work on any type by semantic
+    comparison. *)
+
+type spec =
+  | Count
+  | Sum of string
+  | Avg of string
+  | Min of string
+  | Max of string
+
+type cell = Num of float | Val of Storage.Value.t | Null
+(** [Null] when the group matched no non-null inputs (empty [Min]/[Max]). *)
+
+type result = {
+  groups : (Storage.Value.t option * cell array) list;
+      (** group key ([None] when ungrouped) -> one cell per spec, groups
+          sorted by key *)
+}
+
+val run :
+  Txn.Mvcc.txn ->
+  Storage.Table.t ->
+  ?group_by:string ->
+  specs:spec list ->
+  filters:Scan.filter list ->
+  unit ->
+  result
+
+val cell_to_string : cell -> string

@@ -1,0 +1,111 @@
+module Value = Storage.Value
+module Table = Storage.Table
+
+type comparison = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Cmp of comparison * Value.t
+  | Between of Value.t * Value.t
+  | In of Value.t list
+  | Any
+
+let eval p v =
+  match p with
+  | Any -> true
+  | Cmp (op, w) -> (
+      let c = Value.compare v w in
+      match op with
+      | Eq -> c = 0
+      | Ne -> c <> 0
+      | Lt -> c < 0
+      | Le -> c <= 0
+      | Gt -> c > 0
+      | Ge -> c >= 0)
+  | Between (a, b) -> Value.compare v a >= 0 && Value.compare v b <= 0
+  | In vs -> List.exists (Value.equal v) vs
+
+type compiled =
+  | Vid_range of int * int
+  | Vid_set of (int, unit) Hashtbl.t
+  | Vid_complement of (int, unit) Hashtbl.t
+  | Nothing
+  | Everything
+
+let matches c vid =
+  match c with
+  | Vid_range (lo, hi) -> vid >= lo && vid <= hi
+  | Vid_set s -> Hashtbl.mem s vid
+  | Vid_complement s -> not (Hashtbl.mem s vid)
+  | Nothing -> false
+  | Everything -> true
+
+(* first index whose dictionary value is >= v (lower bound), and first
+   index whose value is > v (upper bound), on the sorted main dict *)
+let bounds table ~col v =
+  let n = Table.main_dictionary_size table col in
+  let rec search pred lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if pred (Table.main_dict_value table col mid) then search pred lo mid
+      else search pred (mid + 1) hi
+  in
+  let lb = search (fun d -> Value.compare d v >= 0) 0 n in
+  let ub = search (fun d -> Value.compare d v > 0) 0 n in
+  (lb, ub)
+
+let norm_range lo hi = if lo > hi then Nothing else Vid_range (lo, hi)
+
+let compile_main _alloc table ~col p =
+  let n = Table.main_dictionary_size table col in
+  if n = 0 then match p with Any -> Everything | _ -> Nothing
+  else
+    match p with
+    | Any -> Everything
+    | Cmp (Eq, v) ->
+        let lb, ub = bounds table ~col v in
+        if lb < ub then Vid_range (lb, lb) else Nothing
+    | Cmp (Ne, v) ->
+        let lb, ub = bounds table ~col v in
+        if lb < ub then begin
+          let s = Hashtbl.create 1 in
+          Hashtbl.replace s lb ();
+          Vid_complement s
+        end
+        else Everything
+    | Cmp (Lt, v) ->
+        let lb, _ = bounds table ~col v in
+        norm_range 0 (lb - 1)
+    | Cmp (Le, v) ->
+        let _, ub = bounds table ~col v in
+        norm_range 0 (ub - 1)
+    | Cmp (Gt, v) ->
+        let _, ub = bounds table ~col v in
+        norm_range ub (n - 1)
+    | Cmp (Ge, v) ->
+        let lb, _ = bounds table ~col v in
+        norm_range lb (n - 1)
+    | Between (a, b) ->
+        let lb, _ = bounds table ~col a in
+        let _, ub = bounds table ~col b in
+        norm_range lb (ub - 1)
+    | In vs ->
+        let s = Hashtbl.create (List.length vs) in
+        List.iter
+          (fun v ->
+            let lb, ub = bounds table ~col v in
+            if lb < ub then Hashtbl.replace s lb ())
+          vs;
+        if Hashtbl.length s = 0 then Nothing else Vid_set s
+
+let compile_delta _alloc table ~col p =
+  match p with
+  | Any -> Everything
+  | _ ->
+      let n = Table.delta_dictionary_size table col in
+      let s = Hashtbl.create 16 in
+      for vid = 0 to n - 1 do
+        if eval p (Table.delta_dict_value table col vid) then
+          Hashtbl.replace s vid ()
+      done;
+      if Hashtbl.length s = 0 then Nothing else Vid_set s

@@ -1,0 +1,43 @@
+(** Column predicates and their dictionary-space compilation.
+
+    A column-store's scan advantage comes from evaluating predicates on
+    {e value-ids} instead of decoded values: for the sorted main
+    dictionary, a range predicate compiles to a value-id interval (two
+    binary searches), after which the bit-packed attribute vector is
+    filtered with integer comparisons only; for the unsorted delta
+    dictionary, the predicate is evaluated once per {e distinct} value to
+    produce a value-id set. This module implements that compilation. *)
+
+type comparison = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Cmp of comparison * Storage.Value.t
+  | Between of Storage.Value.t * Storage.Value.t  (** inclusive bounds *)
+  | In of Storage.Value.t list
+  | Any  (** always true *)
+
+val eval : t -> Storage.Value.t -> bool
+(** Reference semantics on decoded values. *)
+
+(** Compiled form for one table partition: either a value-id interval
+    (main: contiguous because the dictionary is sorted), an explicit
+    value-id set (delta), or a fallback that decodes. *)
+type compiled =
+  | Vid_range of int * int  (** inclusive; empty when lo > hi *)
+  | Vid_set of (int, unit) Hashtbl.t
+  | Vid_complement of (int, unit) Hashtbl.t
+      (** all value-ids NOT in the set (for [Ne]) *)
+  | Nothing
+  | Everything
+
+val compile_main :
+  Nvm_alloc.Allocator.t -> Storage.Table.t -> col:int -> t -> compiled
+(** Compile against the sorted main dictionary (binary searches). *)
+
+val compile_delta :
+  Nvm_alloc.Allocator.t -> Storage.Table.t -> col:int -> t -> compiled
+(** Compile against the unsorted delta dictionary (one evaluation per
+    distinct value). *)
+
+val matches : compiled -> int -> bool
+(** [matches c vid] — the per-row test, integer-only. *)

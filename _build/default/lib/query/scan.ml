@@ -1,0 +1,50 @@
+module Table = Storage.Table
+module Schema = Storage.Schema
+module Mvcc = Txn.Mvcc
+
+type filter = { col : string; pred : Predicate.t }
+
+let run txn table ~filters f =
+  let alloc = Table.allocator table in
+  let cols =
+    List.map
+      (fun { col; pred } -> (Schema.find_column (Table.schema table) col, pred))
+      filters
+  in
+  let main_compiled =
+    List.map
+      (fun (ci, pred) -> (ci, Predicate.compile_main alloc table ~col:ci pred))
+      cols
+  in
+  let delta_compiled =
+    List.map
+      (fun (ci, pred) -> (ci, Predicate.compile_delta alloc table ~col:ci pred))
+      cols
+  in
+  let main_rows = Table.main_rows table in
+  for r = 0 to main_rows - 1 do
+    if
+      List.for_all
+        (fun (ci, c) -> Predicate.matches c (Table.main_vid table ci r))
+        main_compiled
+      && Mvcc.row_visible txn table r
+    then f r
+  done;
+  for p = 0 to Table.delta_rows table - 1 do
+    if
+      List.for_all
+        (fun (ci, c) -> Predicate.matches c (Table.delta_vid table ci p))
+        delta_compiled
+      && Mvcc.row_visible txn table (main_rows + p)
+    then f (main_rows + p)
+  done
+
+let select txn table ~filters =
+  let acc = ref [] in
+  run txn table ~filters (fun r -> acc := (r, Table.get_row table r) :: !acc);
+  List.rev !acc
+
+let count txn table ~filters =
+  let n = ref 0 in
+  run txn table ~filters (fun _ -> incr n);
+  !n

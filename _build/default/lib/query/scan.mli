@@ -1,0 +1,26 @@
+(** Filtered table scans in value-id space.
+
+    A scan compiles every filter once per partition ({!Predicate}), then
+    streams the attribute vectors: bit-packed integer reads on the main,
+    plain integer reads on the delta — values are decoded only for rows
+    that pass every filter and the MVCC visibility test. *)
+
+type filter = { col : string; pred : Predicate.t }
+
+val run :
+  Txn.Mvcc.txn ->
+  Storage.Table.t ->
+  filters:filter list ->
+  (int -> unit) ->
+  unit
+(** Invoke the callback with every visible, matching physical row id, in
+    row order. *)
+
+val select :
+  Txn.Mvcc.txn ->
+  Storage.Table.t ->
+  filters:filter list ->
+  (int * Storage.Value.t array) list
+(** Materialized variant. *)
+
+val count : Txn.Mvcc.txn -> Storage.Table.t -> filters:filter list -> int

@@ -1,0 +1,1 @@
+lib/repl/sql.ml: Array Buffer Core List Nvm Printf Query Storage String Util

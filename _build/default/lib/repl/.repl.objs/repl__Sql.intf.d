@@ -1,0 +1,1 @@
+lib/repl/sql.mli: Core Query Storage

@@ -1,0 +1,582 @@
+module Engine = Core.Engine
+module Value = Storage.Value
+module Schema = Storage.Schema
+module P = Query.Predicate
+module Agg = Query.Aggregate
+module Tabular = Util.Tabular
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* -------- lexer -------- *)
+
+type token =
+  | Ident of string (* uppercased *)
+  | Raw of string (* original spelling, for names *)
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Sym of string (* ( ) , * = != <> < <= > >= *)
+  | End
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let push t = tokens := t :: !tokens in
+  let i = ref 0 in
+  let peek () = if !i < n then Some input.[!i] else None in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = ';' then incr i
+    else if c = '\'' then begin
+      (* string literal with '' escaping *)
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while not !closed do
+        match peek () with
+        | None -> fail "unterminated string literal"
+        | Some '\'' ->
+            incr i;
+            if peek () = Some '\'' then begin
+              Buffer.add_char buf '\'';
+              incr i
+            end
+            else closed := true
+        | Some ch ->
+            Buffer.add_char buf ch;
+            incr i
+      done;
+      push (Str_lit (Buffer.contents buf))
+    end
+    else if (c >= '0' && c <= '9') || (c = '-' && !i + 1 < n && input.[!i + 1] >= '0' && input.[!i + 1] <= '9')
+    then begin
+      let start = !i in
+      incr i;
+      let is_float = ref false in
+      let continue = ref true in
+      while !continue do
+        match peek () with
+        | Some ('0' .. '9') -> incr i
+        | Some ('.' | 'e' | 'E' | '+' | '-') when true -> (
+            (* only consume - / + right after an exponent *)
+            match input.[!i] with
+            | '.' ->
+                is_float := true;
+                incr i
+            | 'e' | 'E' ->
+                is_float := true;
+                incr i
+            | '+' | '-' when !i > start && (input.[!i - 1] = 'e' || input.[!i - 1] = 'E') ->
+                incr i
+            | _ -> continue := false)
+        | _ -> continue := false
+      done;
+      let s = String.sub input start (!i - start) in
+      if !is_float then
+        push (Float_lit (try float_of_string s with _ -> fail "bad number %s" s))
+      else push (Int_lit (try int_of_string s with _ -> fail "bad number %s" s))
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let start = !i in
+      while
+        match peek () with
+        | Some ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_') -> true
+        | _ -> false
+      do
+        incr i
+      done;
+      let s = String.sub input start (!i - start) in
+      push (Ident (String.uppercase_ascii s));
+      push (Raw s)
+    end
+    else begin
+      let two =
+        if !i + 1 < n then String.sub input !i 2 else ""
+      in
+      match two with
+      | "!=" | "<>" | "<=" | ">=" ->
+          push (Sym (if two = "<>" then "!=" else two));
+          i := !i + 2
+      | _ -> (
+          match c with
+          | '(' | ')' | ',' | '*' | '=' | '<' | '>' ->
+              push (Sym (String.make 1 c));
+              incr i
+          | _ -> fail "unexpected character %c" c)
+    end
+  done;
+  push End;
+  List.rev !tokens
+
+(* -------- parser (recursive descent) --------
+
+   The lexer emits Ident (uppercased) immediately followed by Raw (the
+   original spelling); [retok] pairs them back up. *)
+type tok =
+  | TWord of string * string (* UPPER, original *)
+  | TInt of int
+  | TFloat of float
+  | TStr of string
+  | TSym of string
+  | TEnd
+
+let retok tokens =
+  let rec go = function
+    | Ident u :: Raw r :: rest -> TWord (u, r) :: go rest
+    | Int_lit v :: rest -> TInt v :: go rest
+    | Float_lit v :: rest -> TFloat v :: go rest
+    | Str_lit v :: rest -> TStr v :: go rest
+    | Sym v :: rest -> TSym v :: go rest
+    | End :: rest -> TEnd :: go rest
+    | Ident _ :: rest -> go rest (* unreachable *)
+    | Raw _ :: rest -> go rest
+    | [] -> []
+  in
+  go tokens
+
+type parser_state = { mutable stream : tok list }
+
+let peek p = match p.stream with [] -> TEnd | t :: _ -> t
+
+let advance p =
+  match p.stream with [] -> () | _ :: rest -> p.stream <- rest
+
+let tok_to_string = function
+  | TWord (_, r) -> r
+  | TInt v -> string_of_int v
+  | TFloat v -> string_of_float v
+  | TStr s -> Printf.sprintf "'%s'" s
+  | TSym s -> s
+  | TEnd -> "<end>"
+
+let expect_word p w =
+  match peek p with
+  | TWord (u, _) when u = w -> advance p
+  | t -> fail "expected %s, got %s" w (tok_to_string t)
+
+let expect_sym p s =
+  match peek p with
+  | TSym s' when s' = s -> advance p
+  | t -> fail "expected '%s', got %s" s (tok_to_string t)
+
+let word_is p w = match peek p with TWord (u, _) -> u = w | _ -> false
+
+let name p =
+  match peek p with
+  | TWord (_, r) ->
+      advance p;
+      r
+  | t -> fail "expected a name, got %s" (tok_to_string t)
+
+let value p =
+  match peek p with
+  | TInt v ->
+      advance p;
+      Value.Int v
+  | TFloat v ->
+      advance p;
+      Value.Float v
+  | TStr v ->
+      advance p;
+      Value.Text v
+  | t -> fail "expected a literal, got %s" (tok_to_string t)
+
+let ty p =
+  match peek p with
+  | TWord (("INT" | "INTEGER"), _) ->
+      advance p;
+      Value.Int_t
+  | TWord (("FLOAT" | "REAL" | "DOUBLE"), _) ->
+      advance p;
+      Value.Float_t
+  | TWord (("TEXT" | "STRING" | "VARCHAR"), _) ->
+      advance p;
+      (match peek p with
+      | TSym "(" ->
+          (* tolerate VARCHAR(n) *)
+          advance p;
+          (match peek p with TInt _ -> advance p | _ -> ());
+          expect_sym p ")"
+      | _ -> ());
+      Value.Text_t
+  | t -> fail "expected a type (INT, FLOAT, TEXT), got %s" (tok_to_string t)
+
+let comparison p =
+  match peek p with
+  | TSym "=" ->
+      advance p;
+      P.Eq
+  | TSym "!=" ->
+      advance p;
+      P.Ne
+  | TSym "<" ->
+      advance p;
+      P.Lt
+  | TSym "<=" ->
+      advance p;
+      P.Le
+  | TSym ">" ->
+      advance p;
+      P.Gt
+  | TSym ">=" ->
+      advance p;
+      P.Ge
+  | t -> fail "expected a comparison, got %s" (tok_to_string t)
+
+let rec where_clauses p =
+  let col = name p in
+  let pred =
+    if word_is p "BETWEEN" then begin
+      advance p;
+      let lo = value p in
+      expect_word p "AND";
+      let hi = value p in
+      P.Between (lo, hi)
+    end
+    else if word_is p "IN" then begin
+      advance p;
+      expect_sym p "(";
+      let rec values acc =
+        let v = value p in
+        match peek p with
+        | TSym "," ->
+            advance p;
+            values (v :: acc)
+        | _ -> List.rev (v :: acc)
+      in
+      let vs = values [] in
+      expect_sym p ")";
+      P.In vs
+    end
+    else
+      let op = comparison p in
+      P.Cmp (op, value p)
+  in
+  if word_is p "AND" then begin
+    advance p;
+    (col, pred) :: where_clauses p
+  end
+  else [ (col, pred) ]
+
+let opt_where p =
+  if word_is p "WHERE" then begin
+    advance p;
+    where_clauses p
+  end
+  else []
+
+type projection = Star | Agg of Agg.spec
+
+type stmt =
+  | Create_table of { table : string; schema : Schema.t }
+  | Insert of { table : string; values : Value.t array }
+  | Select of {
+      table : string;
+      projections : projection list;
+      where : (string * P.t) list;
+      group_by : string option;
+      limit : int option;
+    }
+  | Update of {
+      table : string;
+      sets : (string * Value.t) list;
+      where : (string * P.t) list;
+    }
+  | Delete of { table : string; where : (string * P.t) list }
+  | Merge of string
+  | Checkpoint
+  | Tables
+  | Stats
+  | Help
+
+let projection p =
+  match peek p with
+  | TSym "*" ->
+      advance p;
+      Star
+  | TWord (("COUNT" | "SUM" | "AVG" | "MIN" | "MAX"), _) -> (
+      let fn = match peek p with TWord (u, _) -> u | _ -> assert false in
+      advance p;
+      expect_sym p "(";
+      let arg =
+        match peek p with
+        | TSym "*" ->
+            advance p;
+            None
+        | _ -> Some (name p)
+      in
+      expect_sym p ")";
+      match (fn, arg) with
+      | "COUNT", _ -> Agg Agg.Count
+      | "SUM", Some c -> Agg (Agg.Sum c)
+      | "AVG", Some c -> Agg (Agg.Avg c)
+      | "MIN", Some c -> Agg (Agg.Min c)
+      | "MAX", Some c -> Agg (Agg.Max c)
+      | _ -> fail "%s needs a column argument" fn)
+  | t -> fail "expected * or an aggregate, got %s" (tok_to_string t)
+
+let parse_select p =
+  let rec projections acc =
+    let pr = projection p in
+    match peek p with
+    | TSym "," ->
+        advance p;
+        projections (pr :: acc)
+    | _ -> List.rev (pr :: acc)
+  in
+  let projections = projections [] in
+  expect_word p "FROM";
+  let table = name p in
+  let where = opt_where p in
+  let group_by =
+    if word_is p "GROUP" then begin
+      advance p;
+      expect_word p "BY";
+      Some (name p)
+    end
+    else None
+  in
+  let limit =
+    if word_is p "LIMIT" then begin
+      advance p;
+      match peek p with
+      | TInt v ->
+          advance p;
+          Some v
+      | t -> fail "LIMIT expects a number, got %s" (tok_to_string t)
+    end
+    else None
+  in
+  Select { table; projections; where; group_by; limit }
+
+let parse_stmt p =
+  match peek p with
+  | TWord ("CREATE", _) ->
+      advance p;
+      expect_word p "TABLE";
+      let table = name p in
+      expect_sym p "(";
+      let rec cols acc =
+        let cname = name p in
+        let cty = ty p in
+        let indexed = word_is p "INDEXED" in
+        if indexed then advance p;
+        let col = Schema.column ~indexed cname cty in
+        match peek p with
+        | TSym "," ->
+            advance p;
+            cols (col :: acc)
+        | _ -> List.rev (col :: acc)
+      in
+      let schema = Array.of_list (cols []) in
+      expect_sym p ")";
+      Create_table { table; schema }
+  | TWord ("INSERT", _) ->
+      advance p;
+      expect_word p "INTO";
+      let table = name p in
+      expect_word p "VALUES";
+      expect_sym p "(";
+      let rec values acc =
+        let v = value p in
+        match peek p with
+        | TSym "," ->
+            advance p;
+            values (v :: acc)
+        | _ -> List.rev (v :: acc)
+      in
+      let vs = values [] in
+      expect_sym p ")";
+      Insert { table; values = Array.of_list vs }
+  | TWord ("SELECT", _) ->
+      advance p;
+      parse_select p
+  | TWord ("UPDATE", _) ->
+      advance p;
+      let table = name p in
+      expect_word p "SET";
+      let rec sets acc =
+        let col = name p in
+        expect_sym p "=";
+        let v = value p in
+        match peek p with
+        | TSym "," ->
+            advance p;
+            sets ((col, v) :: acc)
+        | _ -> List.rev ((col, v) :: acc)
+      in
+      let sets = sets [] in
+      let where = opt_where p in
+      Update { table; sets; where }
+  | TWord ("DELETE", _) ->
+      advance p;
+      expect_word p "FROM";
+      let table = name p in
+      let where = opt_where p in
+      Delete { table; where }
+  | TWord ("MERGE", _) ->
+      advance p;
+      Merge (name p)
+  | TWord ("CHECKPOINT", _) ->
+      advance p;
+      Checkpoint
+  | TWord ("TABLES", _) ->
+      advance p;
+      Tables
+  | TWord ("STATS", _) ->
+      advance p;
+      Stats
+  | TWord ("HELP", _) ->
+      advance p;
+      Help
+  | t -> fail "unknown statement start: %s" (tok_to_string t)
+
+let parse input =
+  let p = { stream = retok (tokenize input) } in
+  let stmt = parse_stmt p in
+  (match peek p with
+  | TEnd -> ()
+  | t -> fail "trailing input: %s" (tok_to_string t));
+  stmt
+
+(* -------- execution -------- *)
+
+let help_text =
+  String.concat "\n"
+    [
+      "statements:";
+      "  CREATE TABLE t (name TEXT INDEXED, qty INT, price FLOAT)";
+      "  INSERT INTO t VALUES ('widget', 3, 9.99)";
+      "  SELECT * FROM t WHERE qty >= 2 AND price < 10 LIMIT 20";
+      "  SELECT COUNT(*), SUM(qty) FROM t [WHERE ...] [GROUP BY name]";
+      "  UPDATE t SET qty = 4 WHERE name = 'widget'";
+      "  DELETE FROM t WHERE qty < 1";
+      "  MERGE t | CHECKPOINT | TABLES | STATS | HELP";
+      "predicates: = != < <= > >=, BETWEEN a AND b, IN (a, b, c)";
+    ]
+
+let render_rows engine table rows =
+  let schema = Storage.Table.schema (Engine.table engine table) in
+  let t =
+    Tabular.create ~title:(Printf.sprintf "%s (%d rows)" table (List.length rows))
+      (("#row", Tabular.Right)
+      :: Array.to_list
+           (Array.map (fun c -> (c.Schema.name, Tabular.Left)) schema))
+  in
+  List.iter
+    (fun (row, values) ->
+      Tabular.add_row t
+        (string_of_int row
+        :: Array.to_list (Array.map Value.to_string values)))
+    rows;
+  Tabular.render t
+
+let render_aggregate group_by specs (result : Agg.result) =
+  let spec_name = function
+    | Agg.Count -> "count(*)"
+    | Agg.Sum c -> "sum(" ^ c ^ ")"
+    | Agg.Avg c -> "avg(" ^ c ^ ")"
+    | Agg.Min c -> "min(" ^ c ^ ")"
+    | Agg.Max c -> "max(" ^ c ^ ")"
+  in
+  let cols =
+    (match group_by with Some g -> [ (g, Tabular.Left) ] | None -> [])
+    @ List.map (fun s -> (spec_name s, Tabular.Right)) specs
+  in
+  let t = Tabular.create ~title:"aggregate" cols in
+  List.iter
+    (fun (key, cells) ->
+      Tabular.add_row t
+        ((match (group_by, key) with
+         | Some _, Some v -> [ Value.to_string v ]
+         | Some _, None -> [ "null" ]
+         | None, _ -> [])
+        @ Array.to_list (Array.map Agg.cell_to_string cells)))
+    result.Agg.groups;
+  Tabular.render t
+
+let execute engine stmt =
+  match stmt with
+  | Help -> help_text
+  | Tables ->
+      let names = Engine.table_names engine in
+      if names = [] then "(no tables)"
+      else
+        String.concat "\n"
+          (List.map
+             (fun n ->
+               let tbl = Engine.table engine n in
+               Printf.sprintf "%-16s %8d main + %6d delta rows, %s" n
+                 (Storage.Table.main_rows tbl)
+                 (Storage.Table.delta_rows tbl)
+                 (Tabular.fmt_bytes (Storage.Table.nvm_bytes tbl)))
+             names)
+  | Stats ->
+      let s = Nvm.Region.stats (Engine.region engine) in
+      Printf.sprintf
+        "last CID %Ld | data %s | device: %s stores, %s writebacks, %s fences, %s device time"
+        (Engine.last_cid engine)
+        (Tabular.fmt_bytes (Engine.data_bytes engine))
+        (Tabular.fmt_int s.Nvm.Region.stores)
+        (Tabular.fmt_int s.Nvm.Region.writebacks)
+        (Tabular.fmt_int s.Nvm.Region.fences)
+        (Tabular.fmt_ns s.Nvm.Region.sim_ns)
+  | Create_table { table; schema } ->
+      Engine.create_table engine ~name:table schema;
+      Printf.sprintf "table %s created" table
+  | Insert { table; values } ->
+      let row =
+        Engine.with_txn engine (fun txn -> Engine.insert engine txn table values)
+      in
+      Printf.sprintf "1 row inserted (row %d)" row
+  | Merge table ->
+      let s = Engine.merge engine table in
+      Printf.sprintf "merged %s: %d rows -> %d, %s -> %s" table
+        s.Storage.Merge.rows_in s.Storage.Merge.rows_out
+        (Tabular.fmt_bytes s.Storage.Merge.bytes_before)
+        (Tabular.fmt_bytes s.Storage.Merge.bytes_after)
+  | Checkpoint ->
+      let stats = Engine.checkpoint engine in
+      Printf.sprintf "checkpointed %d tables" (List.length stats)
+  | Select { table; projections; where; group_by; limit } -> (
+      let aggs =
+        List.filter_map (function Agg a -> Some a | Star -> None) projections
+      in
+      match (aggs, List.mem Star projections) with
+      | [], _ ->
+          Engine.with_txn engine (fun txn ->
+              let rows = Engine.where engine txn table where in
+              let rows =
+                match limit with
+                | Some n -> List.filteri (fun i _ -> i < n) rows
+                | None -> rows
+              in
+              render_rows engine table rows)
+      | _ :: _, true -> fail "cannot mix * with aggregates"
+      | specs, false ->
+          Engine.with_txn engine (fun txn ->
+              render_aggregate group_by specs
+                (Engine.aggregate engine txn table ?group_by ~specs
+                   ~filters:where ())))
+  | Update { table; sets; where } ->
+      Engine.with_txn engine (fun txn ->
+          let schema = Storage.Table.schema (Engine.table engine table) in
+          let targets = Engine.where engine txn table where in
+          let n = ref 0 in
+          List.iter
+            (fun (row, values) ->
+              let values = Array.copy values in
+              List.iter
+                (fun (col, v) -> values.(Schema.find_column schema col) <- v)
+                sets;
+              ignore (Engine.update engine txn table row values);
+              incr n)
+            targets;
+          Printf.sprintf "%d rows updated" !n)
+  | Delete { table; where } ->
+      Engine.with_txn engine (fun txn ->
+          let targets = Engine.where engine txn table where in
+          List.iter (fun (row, _) -> Engine.delete engine txn table row) targets;
+          Printf.sprintf "%d rows deleted" (List.length targets))

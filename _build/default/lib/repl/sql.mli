@@ -1,0 +1,53 @@
+(** A small SQL dialect for the interactive demo (the ICDE demo paper's
+    front end, in terminal form).
+
+    Statements:
+    {v
+    CREATE TABLE t (name TEXT INDEXED, qty INT, price FLOAT)
+    INSERT INTO t VALUES ('widget', 3, 9.99)
+    SELECT * FROM t WHERE qty >= 2 AND name = 'widget' LIMIT 10
+    SELECT COUNT( * ), SUM(qty), AVG(price) FROM t GROUP BY name
+    UPDATE t SET qty = 4 WHERE name = 'widget'
+    DELETE FROM t WHERE qty < 1
+    MERGE t          -- fold the delta into a new main generation
+    CHECKPOINT       -- merge everything (and dump, under log durability)
+    TABLES | STATS | HELP
+    v}
+
+    Keywords are case-insensitive; strings are single-quoted with ['']
+    escaping; each statement runs in its own auto-committed transaction. *)
+
+type projection = Star | Agg of Query.Aggregate.spec
+
+type stmt =
+  | Create_table of { table : string; schema : Storage.Schema.t }
+  | Insert of { table : string; values : Storage.Value.t array }
+  | Select of {
+      table : string;
+      projections : projection list;
+      where : (string * Query.Predicate.t) list;
+      group_by : string option;
+      limit : int option;
+    }
+  | Update of {
+      table : string;
+      sets : (string * Storage.Value.t) list;
+      where : (string * Query.Predicate.t) list;
+    }
+  | Delete of { table : string; where : (string * Query.Predicate.t) list }
+  | Merge of string
+  | Checkpoint
+  | Tables
+  | Stats
+  | Help
+
+exception Parse_error of string
+
+val parse : string -> stmt
+(** Raises {!Parse_error} with a human-readable message. *)
+
+val execute : Core.Engine.t -> stmt -> string
+(** Run one statement (auto-commit) and render its result as text.
+    Write conflicts and engine errors surface as the result string. *)
+
+val help_text : string

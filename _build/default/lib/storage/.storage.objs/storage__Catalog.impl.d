@@ -1,0 +1,1 @@
+lib/storage/catalog.ml: Int64 List Nvm Nvm_alloc Option Pstruct

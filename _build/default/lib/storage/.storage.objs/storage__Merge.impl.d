@@ -1,0 +1,1 @@
+lib/storage/merge.ml: Array Cid Hashtbl List Map Nvm_alloc Pstruct Schema Table Value

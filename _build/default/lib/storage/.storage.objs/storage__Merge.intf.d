@@ -1,0 +1,1 @@
+lib/storage/merge.mli: Cid Nvm_alloc Table

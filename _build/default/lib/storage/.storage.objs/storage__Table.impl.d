@@ -1,0 +1,1 @@
+lib/storage/table.ml: Array Cid Int Int64 List Nvm Nvm_alloc Printf Pstruct Schema Value

@@ -1,0 +1,1 @@
+lib/storage/table.mli: Cid Nvm_alloc Schema Value

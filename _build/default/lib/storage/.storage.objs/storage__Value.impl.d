@@ -1,0 +1,1 @@
+lib/storage/value.ml: Char Float Int Int64 Printf Pstruct String

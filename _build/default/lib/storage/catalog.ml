@@ -1,0 +1,68 @@
+module A = Nvm_alloc.Allocator
+module Region = Nvm.Region
+module Pvector = Pstruct.Pvector
+
+(* Entry block (16 bytes): +0 name string offset, +8 table ctrl offset.
+   The catalog itself is a persistent vector of entry offsets. *)
+
+type t = { alloc : A.t; region : Region.t; entries : Pvector.t }
+
+let create alloc =
+  { alloc; region = A.region alloc; entries = Pvector.create alloc }
+
+let attach alloc handle =
+  { alloc; region = A.region alloc; entries = Pvector.attach alloc handle }
+
+let handle t = Pvector.handle t.entries
+
+let entry_name t e = Pstruct.Pstring.get t.alloc (Region.get_int t.region e)
+
+let find_entry t name =
+  let n = Pvector.length t.entries in
+  let rec go i =
+    if i >= n then None
+    else
+      let e = Pvector.get_int t.entries i in
+      if entry_name t e = name then Some e else go (i + 1)
+  in
+  go 0
+
+let find t name =
+  Option.map (fun e -> Region.get_int t.region (e + 8)) (find_entry t name)
+
+let add_table t ~name ~ctrl =
+  if find_entry t name <> None then
+    invalid_arg ("Catalog.add_table: duplicate table " ^ name);
+  let name_off = Pstruct.Pstring.add t.alloc name in
+  let e = A.alloc t.alloc 16 in
+  Region.set_int t.region e name_off;
+  Region.set_int t.region (e + 8) ctrl;
+  Region.persist t.region e 16;
+  A.activate t.alloc e;
+  ignore (Pvector.append_int t.entries e);
+  (* publication of the vector length is the creation commit point *)
+  Pvector.publish t.entries
+
+let swap_table t ~name ~new_ctrl =
+  match find_entry t name with
+  | None -> raise Not_found
+  | Some e ->
+      Region.set_int t.region (e + 8) new_ctrl;
+      Region.persist t.region (e + 8) 8
+
+let tables t =
+  List.map
+    (fun e ->
+      let e = Int64.to_int e in
+      (entry_name t e, Region.get_int t.region (e + 8)))
+    (Pvector.to_list t.entries)
+
+let table_count t = Pvector.length t.entries
+
+let owned_blocks t =
+  Pvector.owned_blocks t.entries
+  @ List.concat_map
+      (fun e ->
+        let e = Int64.to_int e in
+        [ e; Region.get_int t.region e ])
+      (Pvector.to_list t.entries)

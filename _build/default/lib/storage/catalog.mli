@@ -1,0 +1,36 @@
+(** Persistent table catalog.
+
+    Maps table names to table control blocks. Each table owns one 16-byte
+    entry block whose second word is the table pointer — a single 8-byte
+    word, so the delta→main merge can retire a whole table generation by
+    one atomic, durable pointer swap ([swap_table]). *)
+
+type t
+
+val create : Nvm_alloc.Allocator.t -> t
+(** Empty catalog; durable on return. Link [handle] into the engine
+    control block to make it reachable. *)
+
+val attach : Nvm_alloc.Allocator.t -> int -> t
+
+val handle : t -> int
+
+val add_table : t -> name:string -> ctrl:int -> unit
+(** Durably register a table. Raises [Invalid_argument] on duplicate
+    names. The registration is the table-creation commit point. *)
+
+val find : t -> string -> int option
+(** Current control-block offset of a table. *)
+
+val swap_table : t -> name:string -> new_ctrl:int -> unit
+(** Atomically and durably repoint a table at a new generation (merge
+    publication). Raises [Not_found] for unknown tables. *)
+
+val tables : t -> (string * int) list
+(** All (name, ctrl) pairs, in creation order. *)
+
+val table_count : t -> int
+
+val owned_blocks : t -> int list
+(** The catalog's own blocks: entry vector, entry blocks and their name
+    strings (table control blocks are reported by each table). *)

@@ -1,0 +1,11 @@
+type t = int64
+
+let zero = 0L
+let infinity = Int64.max_int
+let next = Int64.succ
+
+let visible ~begin_cid ~end_cid ~snapshot =
+  Int64.compare begin_cid snapshot <= 0 && Int64.compare snapshot end_cid < 0
+
+let pp ppf t =
+  if t = infinity then Format.fprintf ppf "inf" else Format.fprintf ppf "%Ld" t

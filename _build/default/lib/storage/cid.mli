@@ -1,0 +1,22 @@
+(** Commit identifiers and their sentinel values.
+
+    A CID is a monotonically increasing commit timestamp. Every physical
+    row carries a begin-CID and an end-CID; a row is visible to a snapshot
+    [s] iff [begin <= s < end]. [infinity] plays both the "not yet
+    committed" role for begin-CIDs (never visible) and the "not
+    invalidated" role for end-CIDs (visible forever). *)
+
+type t = int64
+
+val zero : t
+(** The CID of the initial, empty database state. *)
+
+val infinity : t
+(** Sentinel: uncommitted (as a begin-CID) / live (as an end-CID). *)
+
+val next : t -> t
+
+val visible : begin_cid:t -> end_cid:t -> snapshot:t -> bool
+(** The MVCC visibility predicate. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+module A = Nvm_alloc.Allocator
+
+type stats = {
+  rows_in : int;
+  rows_out : int;
+  dict_entries_out : int;
+  bytes_before : int;
+  bytes_after : int;
+}
+
+module Vmap = Map.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+let run alloc table ~merge_cid =
+  let rows_in = Table.row_count table in
+  let bytes_before = Table.nvm_bytes table in
+  let schema = Table.schema table in
+  let n_cols = Schema.arity schema in
+  (* surviving rows, in stable order *)
+  let survivors = ref [] in
+  for r = rows_in - 1 downto 0 do
+    let b = Table.begin_cid table r and e = Table.end_cid table r in
+    if Cid.visible ~begin_cid:b ~end_cid:e ~snapshot:merge_cid then
+      survivors := r :: !survivors
+  done;
+  let survivors = Array.of_list !survivors in
+  let rows_out = Array.length survivors in
+  (* per column: sorted distinct dictionary + re-encoded attribute vector *)
+  let dict_total = ref 0 in
+  let columns =
+    Array.init n_cols (fun i ->
+        let decoded = Array.map (fun r -> Table.get table r i) survivors in
+        let distinct =
+          Array.fold_left (fun m v -> Vmap.add v () m) Vmap.empty decoded
+        in
+        let sorted = Array.of_list (List.map fst (Vmap.bindings distinct)) in
+        let vid_of = Hashtbl.create (Array.length sorted) in
+        Array.iteri (fun vid v -> Hashtbl.replace vid_of v vid) sorted;
+        dict_total := !dict_total + Array.length sorted;
+        let avec = Array.map (fun v -> Hashtbl.find vid_of v) decoded in
+        (sorted, avec))
+  in
+  let main_end = Array.make rows_out Cid.infinity in
+  let merged =
+    Table.replace_ctrl_for_merge alloc ~name:(Table.name table) ~schema
+      ~columns ~main_end
+  in
+  let finalize () =
+    (* the old generation's string arena goes with its structures; only
+       the allocator-resident name strings need individual frees *)
+    List.iter (Pstruct.Pstring.free alloc) (Table.name_string_offsets table);
+    Table.destroy table
+  in
+  let stats =
+    {
+      rows_in;
+      rows_out;
+      dict_entries_out = !dict_total;
+      bytes_before;
+      bytes_after = Table.nvm_bytes merged;
+    }
+  in
+  (merged, stats, finalize)

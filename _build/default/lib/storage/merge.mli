@@ -1,0 +1,31 @@
+(** Delta→main merge.
+
+    Folds a table's delta partition into a new read-optimized main: dead
+    row versions are compacted away, per-column dictionaries are rebuilt
+    sorted, attribute vectors are re-encoded bit-packed. The new table
+    generation is built completely on the side and only becomes the table
+    via the caller's single-word catalog swap — the online merge of Hyrise
+    applied to NVM, where "swap and persist one pointer" is the whole
+    publication.
+
+    Must run with no active transactions (Hyrise-NV quiesces the merge the
+    same way); the caller asserts this. *)
+
+type stats = {
+  rows_in : int;  (** physical rows before (main + delta, incl. dead) *)
+  rows_out : int;  (** surviving rows in the new main *)
+  dict_entries_out : int;  (** total new dictionary entries *)
+  bytes_before : int;
+  bytes_after : int;
+}
+
+val run :
+  Nvm_alloc.Allocator.t ->
+  Table.t ->
+  merge_cid:Cid.t ->
+  Table.t * stats * (unit -> unit)
+(** [run alloc table ~merge_cid] builds the merged generation, keeping
+    rows visible at [merge_cid]. Returns the new (durable) table, stats,
+    and a [finalize] thunk that frees the old generation's structures and
+    strings — call it only {e after} the catalog swap is durable; a crash
+    before [finalize] merely leaks the old generation. *)

@@ -1,0 +1,39 @@
+type column = { name : string; ty : Value.ty; indexed : bool }
+
+type t = column array
+
+let column ?(indexed = false) name ty = { name; ty; indexed }
+
+let arity = Array.length
+
+let find_column t name =
+  let rec go i =
+    if i >= Array.length t then raise Not_found
+    else if t.(i).name = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let validate_row t row =
+  if Array.length row <> Array.length t then
+    invalid_arg
+      (Printf.sprintf "Schema.validate_row: arity %d, expected %d"
+         (Array.length row) (Array.length t));
+  Array.iteri
+    (fun i v ->
+      if Value.ty_of v <> t.(i).ty then
+        invalid_arg
+          (Printf.sprintf "Schema.validate_row: column %s expects %s, got %s"
+             t.(i).name
+             (Value.ty_to_string t.(i).ty)
+             (Value.ty_to_string (Value.ty_of v))))
+    row
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf c ->
+         Format.fprintf ppf "%s %s%s" c.name (Value.ty_to_string c.ty)
+           (if c.indexed then " indexed" else "")))
+    (Array.to_list t)

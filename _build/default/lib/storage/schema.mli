@@ -1,0 +1,22 @@
+(** Table schemas. *)
+
+type column = {
+  name : string;
+  ty : Value.ty;
+  indexed : bool;
+      (** maintain a persistent secondary index on the delta partition *)
+}
+
+type t = column array
+
+val column : ?indexed:bool -> string -> Value.ty -> column
+
+val arity : t -> int
+
+val find_column : t -> string -> int
+(** Position of a column by name. Raises [Not_found]. *)
+
+val validate_row : t -> Value.t array -> unit
+(** Raises [Invalid_argument] if the arity or a value type mismatches. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,521 @@
+module A = Nvm_alloc.Allocator
+module Region = Nvm.Region
+module Pvector = Pstruct.Pvector
+module Pbitvec = Pstruct.Pbitvec
+module Pbtree = Pstruct.Pbtree
+module Parena = Pstruct.Parena
+
+(* Control block:
+     +0  name (string offset)
+     +8  n_cols
+     +16 main_rows
+     +24 delta begin-CID vector     (row-existence authority)
+     +32 delta end-CID vector
+     +40 main end-CID vector
+     +48 main invalidation log      (flat pairs: row, cid)
+     +56 string arena               (this generation's text storage)
+     +64 column entries, stride 80:
+         +0  column name (string offset)
+         +8  type tag | indexed flag << 8
+         +16 main dictionary        (Pvector, sorted encoded values)
+         +24 main attribute vector  (Pbitvec)
+         +32 delta dictionary       (Pvector, value-id = position)
+         +40 delta dictionary index (Pbtree: dict_key -> value-id)
+         +48 delta attribute vector (Pvector of value-ids)
+         +56 delta secondary index  (Pbtree: vid<<32|row -> row; 0 = none)
+         +64 reserved
+         +72 reserved *)
+
+let col_stride = 80
+let cols_base = 64
+
+type row = int
+
+type col = {
+  cschema : Schema.column;
+  main_dict : Pvector.t;
+  main_avec : Pbitvec.t;
+  delta_dictvec : Pvector.t;
+  delta_dict_idx : Pbtree.t;
+  delta_avec : Pvector.t;
+  delta_row_idx : Pbtree.t option;
+}
+
+type t = {
+  alloc : A.t;
+  region : Region.t;
+  ctrl : int;
+  name : string;
+  schema : Schema.t;
+  main_rows : int;
+  begin_v : Pvector.t;
+  end_v : Pvector.t;
+  main_end : Pvector.t;
+  inval : Pvector.t;
+  arena : Parena.t;
+  cols : col array;
+}
+
+let handle t = t.ctrl
+let name t = t.name
+let schema t = t.schema
+let main_rows t = t.main_rows
+let delta_rows t = Pvector.length t.begin_v
+let row_count t = t.main_rows + delta_rows t
+let is_main t r = r < t.main_rows
+
+let check_row t r fn =
+  if r < 0 || r >= row_count t then
+    invalid_arg (Printf.sprintf "Table.%s: row %d out of %d" fn r (row_count t))
+
+(* -- construction -- *)
+
+let col_entry_off ctrl i = ctrl + cols_base + (i * col_stride)
+
+let write_col_entry region ctrl i ~name_off ~ty_tag ~indexed ~main_dict
+    ~main_avec ~delta_dictvec ~delta_dict_idx ~delta_avec ~delta_row_idx =
+  let e = col_entry_off ctrl i in
+  Region.set_int region e name_off;
+  Region.set_int region (e + 8) (ty_tag lor (if indexed then 256 else 0));
+  Region.set_int region (e + 16) main_dict;
+  Region.set_int region (e + 24) main_avec;
+  Region.set_int region (e + 32) delta_dictvec;
+  Region.set_int region (e + 40) delta_dict_idx;
+  Region.set_int region (e + 48) delta_avec;
+  Region.set_int region (e + 56) delta_row_idx;
+  Region.set_int region (e + 64) 0;
+  Region.set_int region (e + 72) 0
+
+let fresh_delta alloc (c : Schema.column) =
+  let delta_dictvec = Pvector.create alloc in
+  let delta_dict_idx = Pbtree.create alloc in
+  let delta_avec = Pvector.create alloc in
+  let delta_row_idx = if c.indexed then Some (Pbtree.create alloc) else None in
+  (delta_dictvec, delta_dict_idx, delta_avec, delta_row_idx)
+
+let build ~alloc ~name ~(schema : Schema.t) ~main_rows ~main_parts ~main_end_cids
+    =
+  let region = A.region alloc in
+  let n = Schema.arity schema in
+  let name_off = Pstruct.Pstring.add alloc name in
+  let begin_v = Pvector.create alloc in
+  let end_v = Pvector.create alloc in
+  let main_end = Pvector.create alloc in
+  Array.iter (fun cid -> ignore (Pvector.append main_end cid)) main_end_cids;
+  Pvector.publish main_end;
+  let inval = Pvector.create alloc in
+  let arena = Parena.create alloc in
+  let add_string = Parena.add arena in
+  let cols =
+    Array.mapi
+      (fun i (c : Schema.column) ->
+        let dict_values, avec_ids = main_parts i in
+        let dict_words = Array.map (Value.encode_with ~add_string) dict_values in
+        let main_dict = Pvector.create alloc in
+        Array.iter (fun w -> ignore (Pvector.append main_dict w)) dict_words;
+        Pvector.publish main_dict;
+        let main_avec = Pbitvec.build alloc avec_ids in
+        let delta_dictvec, delta_dict_idx, delta_avec, delta_row_idx =
+          fresh_delta alloc c
+        in
+        {
+          cschema = c;
+          main_dict;
+          main_avec;
+          delta_dictvec;
+          delta_dict_idx;
+          delta_avec;
+          delta_row_idx;
+        })
+      schema
+  in
+  let ctrl = A.alloc alloc (cols_base + (n * col_stride)) in
+  Region.set_int region ctrl name_off;
+  Region.set_int region (ctrl + 8) n;
+  Region.set_int region (ctrl + 16) main_rows;
+  Region.set_int region (ctrl + 24) (Pvector.handle begin_v);
+  Region.set_int region (ctrl + 32) (Pvector.handle end_v);
+  Region.set_int region (ctrl + 40) (Pvector.handle main_end);
+  Region.set_int region (ctrl + 48) (Pvector.handle inval);
+  Region.set_int region (ctrl + 56) (Parena.handle arena);
+  Array.iteri
+    (fun i col ->
+      write_col_entry region ctrl i
+        ~name_off:(Pstruct.Pstring.add alloc col.cschema.Schema.name)
+        ~ty_tag:(Value.ty_tag col.cschema.Schema.ty)
+        ~indexed:col.cschema.Schema.indexed
+        ~main_dict:(Pvector.handle col.main_dict)
+        ~main_avec:(Pbitvec.handle col.main_avec)
+        ~delta_dictvec:(Pvector.handle col.delta_dictvec)
+        ~delta_dict_idx:(Pbtree.handle col.delta_dict_idx)
+        ~delta_avec:(Pvector.handle col.delta_avec)
+        ~delta_row_idx:
+          (match col.delta_row_idx with
+          | Some idx -> Pbtree.handle idx
+          | None -> 0))
+    cols;
+  Region.persist region ctrl (cols_base + (n * col_stride));
+  A.activate alloc ctrl;
+  {
+    alloc;
+    region;
+    ctrl;
+    name;
+    schema;
+    main_rows;
+    begin_v;
+    end_v;
+    main_end;
+    inval;
+    arena;
+    cols;
+  }
+
+let create alloc ~name schema =
+  build ~alloc ~name ~schema ~main_rows:0
+    ~main_parts:(fun _ -> ([||], [||]))
+    ~main_end_cids:[||]
+
+let replace_ctrl_for_merge alloc ~name ~schema ~columns ~main_end =
+  build ~alloc ~name ~schema
+    ~main_rows:(Array.length main_end)
+    ~main_parts:(fun i -> columns.(i))
+    ~main_end_cids:main_end
+
+let attach alloc ctrl =
+  let region = A.region alloc in
+  let name = Pstruct.Pstring.get alloc (Region.get_int region ctrl) in
+  let n = Region.get_int region (ctrl + 8) in
+  let main_rows = Region.get_int region (ctrl + 16) in
+  let begin_v = Pvector.attach alloc (Region.get_int region (ctrl + 24)) in
+  let end_v = Pvector.attach alloc (Region.get_int region (ctrl + 32)) in
+  let main_end = Pvector.attach alloc (Region.get_int region (ctrl + 40)) in
+  let inval = Pvector.attach alloc (Region.get_int region (ctrl + 48)) in
+  let arena = Parena.attach alloc (Region.get_int region (ctrl + 56)) in
+  let delta_rows = Pvector.length begin_v in
+  (* the begin vector's published length is the row-count authority; every
+     other per-row vector was published before it, so they can only be
+     longer — truncate the stragglers *)
+  assert (Pvector.length end_v >= delta_rows);
+  Pvector.truncate_volatile end_v delta_rows;
+  let cols =
+    Array.init n (fun i ->
+        let e = col_entry_off ctrl i in
+        let cname = Pstruct.Pstring.get alloc (Region.get_int region e) in
+        let tagword = Region.get_int region (e + 8) in
+        let ty = Value.ty_of_tag (tagword land 0xff) in
+        let indexed = tagword land 256 <> 0 in
+        let delta_avec = Pvector.attach alloc (Region.get_int region (e + 48)) in
+        assert (Pvector.length delta_avec >= delta_rows);
+        Pvector.truncate_volatile delta_avec delta_rows;
+        let idx_off = Region.get_int region (e + 56) in
+        {
+          cschema = Schema.column ~indexed cname ty;
+          main_dict = Pvector.attach alloc (Region.get_int region (e + 16));
+          main_avec = Pbitvec.attach alloc (Region.get_int region (e + 24));
+          delta_dictvec =
+            Pvector.attach alloc (Region.get_int region (e + 32));
+          delta_dict_idx = Pbtree.attach alloc (Region.get_int region (e + 40));
+          delta_avec;
+          delta_row_idx =
+            (if idx_off = 0 then None else Some (Pbtree.attach alloc idx_off));
+        })
+  in
+  let schema = Array.map (fun c -> c.cschema) cols in
+  {
+    alloc;
+    region;
+    ctrl;
+    name;
+    schema;
+    main_rows;
+    begin_v;
+    end_v;
+    main_end;
+    inval;
+    arena;
+    cols;
+  }
+
+(* -- MVCC accessors -- *)
+
+let begin_cid t r =
+  check_row t r "begin_cid";
+  if is_main t r then Cid.zero else Pvector.get t.begin_v (r - t.main_rows)
+
+let end_cid t r =
+  check_row t r "end_cid";
+  if is_main t r then Pvector.get t.main_end r
+  else Pvector.get t.end_v (r - t.main_rows)
+
+let set_begin_cid t r cid =
+  check_row t r "set_begin_cid";
+  if is_main t r then invalid_arg "Table.set_begin_cid: main row";
+  Pvector.set t.begin_v (r - t.main_rows) cid
+
+let set_end_cid t r cid =
+  check_row t r "set_end_cid";
+  if is_main t r then begin
+    Pvector.set t.main_end r cid;
+    (* journal so that restart rollback never scans the whole main *)
+    ignore (Pvector.append_int t.inval r);
+    ignore (Pvector.append t.inval cid)
+  end
+  else Pvector.set t.end_v (r - t.main_rows) cid
+
+(* -- data access -- *)
+
+let encoded_value t r i =
+  check_row t r "encoded_value";
+  let col = t.cols.(i) in
+  if is_main t r then Pvector.get col.main_dict (Pbitvec.get col.main_avec r)
+  else
+    Pvector.get col.delta_dictvec
+      (Pvector.get_int col.delta_avec (r - t.main_rows))
+
+let get t r i =
+  Value.decode t.alloc t.cols.(i).cschema.Schema.ty (encoded_value t r i)
+
+let get_row t r = Array.init (Array.length t.cols) (get t r)
+
+(* -- delta dictionary -- *)
+
+let delta_vids_of_value t col v =
+  (* all delta value-ids encoding [v]: tree hits verified semantically
+     (string keys can collide) *)
+  let key = Value.dict_key v in
+  let vids = ref [] in
+  Pbtree.iter_range col.delta_dict_idx ~lo:key ~hi:key (fun _ vid ->
+      let w = Pvector.get col.delta_dictvec (Int64.to_int vid) in
+      if Value.equal (Value.decode t.alloc col.cschema.Schema.ty w) v then
+        vids := Int64.to_int vid :: !vids);
+  List.rev !vids
+
+let delta_vid_for_insert t col v =
+  match delta_vids_of_value t col v with
+  | vid :: _ -> vid
+  | [] ->
+      let w = Value.encode_with ~add_string:(Parena.add t.arena) v in
+      let vid = Pvector.append col.delta_dictvec w in
+      (* dictionary entries are shared across transactions: durable now,
+         so the tree can never reference an unpublished value-id *)
+      Pvector.publish col.delta_dictvec;
+      Pbtree.insert col.delta_dict_idx (Value.dict_key v) (Int64.of_int vid);
+      vid
+
+(* -- main dictionary -- *)
+
+let main_vid_of_value t col v =
+  let n = Pvector.length col.main_dict in
+  let rec bsearch lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let w = Pvector.get col.main_dict mid in
+      let c = Value.compare (Value.decode t.alloc col.cschema.Schema.ty w) v in
+      if c = 0 then Some mid
+      else if c < 0 then bsearch (mid + 1) hi
+      else bsearch lo mid
+  in
+  bsearch 0 n
+
+(* -- lookups -- *)
+
+let rows_with_value t i v =
+  let col = t.cols.(i) in
+  let acc = ref [] in
+  (* main: dictionary binary search, then attribute-vector scan *)
+  (match main_vid_of_value t col v with
+  | None -> ()
+  | Some vid ->
+      for r = 0 to t.main_rows - 1 do
+        if Pbitvec.get col.main_avec r = vid then acc := r :: !acc
+      done);
+  (* delta *)
+  let dr = delta_rows t in
+  (match (delta_vids_of_value t col v, col.delta_row_idx) with
+  | [], _ -> ()
+  | vids, Some idx ->
+      List.iter
+        (fun vid ->
+          let lo = Int64.shift_left (Int64.of_int vid) 32 in
+          let hi = Int64.logor lo 0xFFFFFFFFL in
+          Pbtree.iter_range idx ~lo ~hi (fun _ p ->
+              let p = Int64.to_int p in
+              (* the index may momentarily reference rows whose publication
+                 a crash rolled back *)
+              if p < dr then acc := (t.main_rows + p) :: !acc))
+        vids
+  | vids, None ->
+      for p = 0 to dr - 1 do
+        if List.mem (Pvector.get_int col.delta_avec p) vids then
+          acc := (t.main_rows + p) :: !acc
+      done);
+  List.sort_uniq Int.compare !acc
+
+(* -- writes -- *)
+
+let append_row t values =
+  Schema.validate_row t.schema values;
+  let p = delta_rows t in
+  Array.iteri
+    (fun i v ->
+      let col = t.cols.(i) in
+      let vid = delta_vid_for_insert t col v in
+      let p' = Pvector.append_int col.delta_avec vid in
+      assert (p' = p);
+      match col.delta_row_idx with
+      | None -> ()
+      | Some idx ->
+          let key =
+            Int64.logor
+              (Int64.shift_left (Int64.of_int vid) 32)
+              (Int64.of_int p)
+          in
+          Pbtree.insert idx key (Int64.of_int p))
+    values;
+  ignore (Pvector.append t.end_v Cid.infinity);
+  let p' = Pvector.append t.begin_v Cid.infinity in
+  assert (p' = p);
+  t.main_rows + p
+
+let stage_publish_secondary t =
+  Array.iter (fun col -> Pvector.publish_unfenced col.delta_avec) t.cols;
+  Pvector.publish_unfenced t.end_v;
+  Pvector.publish_unfenced t.inval
+
+let stage_publish_begin t = Pvector.publish_unfenced t.begin_v
+
+let fence t = Region.fence t.region
+
+let publish t =
+  (* one fence covers staged row data and the secondary lengths; the
+     begin length becomes durable strictly after them *)
+  stage_publish_secondary t;
+  Region.fence t.region;
+  stage_publish_begin t;
+  Region.fence t.region
+
+let publish_each_vector t =
+  Array.iter (fun col -> Pvector.publish col.delta_avec) t.cols;
+  Pvector.publish t.end_v;
+  Pvector.publish t.inval;
+  (* last: row-existence authority *)
+  Pvector.publish t.begin_v
+
+(* -- recovery -- *)
+
+let rollback_uncommitted t ~last_cid =
+  let touched = ref 0 in
+  let dr = delta_rows t in
+  for p = 0 to dr - 1 do
+    let b = Pvector.get t.begin_v p in
+    if b <> Cid.infinity && Int64.compare b last_cid > 0 then begin
+      Pvector.set t.begin_v p Cid.infinity;
+      incr touched
+    end;
+    let e = Pvector.get t.end_v p in
+    if e <> Cid.infinity && Int64.compare e last_cid > 0 then begin
+      Pvector.set t.end_v p Cid.infinity;
+      incr touched
+    end
+  done;
+  let entries = Pvector.length t.inval / 2 in
+  for k = 0 to entries - 1 do
+    let r = Pvector.get_int t.inval (2 * k) in
+    let cid = Pvector.get t.inval ((2 * k) + 1) in
+    if Int64.compare cid last_cid > 0 && Pvector.get t.main_end r = cid then begin
+      Pvector.set t.main_end r Cid.infinity;
+      incr touched
+    end
+  done;
+  Region.fence t.region;
+  !touched
+
+(* -- introspection -- *)
+
+let allocator t = t.alloc
+
+let main_vid t i r = Pbitvec.get t.cols.(i).main_avec r
+
+let delta_vid t i p = Pvector.get_int t.cols.(i).delta_avec p
+
+let main_dict_value t i vid =
+  Value.decode t.alloc t.cols.(i).cschema.Schema.ty
+    (Pvector.get t.cols.(i).main_dict vid)
+
+let delta_dict_value t i vid =
+  Value.decode t.alloc t.cols.(i).cschema.Schema.ty
+    (Pvector.get t.cols.(i).delta_dictvec vid)
+
+let owned_blocks t =
+  let col_blocks col =
+    Pvector.owned_blocks col.main_dict
+    @ Pbitvec.owned_blocks col.main_avec
+    @ Pvector.owned_blocks col.delta_dictvec
+    @ Pbtree.owned_blocks col.delta_dict_idx
+    @ Pvector.owned_blocks col.delta_avec
+    @ (match col.delta_row_idx with
+      | Some idx -> Pbtree.owned_blocks idx
+      | None -> [])
+  in
+  (t.ctrl :: Region.get_int t.region t.ctrl
+   :: List.init (Array.length t.cols) (fun i ->
+          Region.get_int t.region (col_entry_off t.ctrl i)))
+  @ Pvector.owned_blocks t.begin_v
+  @ Pvector.owned_blocks t.end_v
+  @ Pvector.owned_blocks t.main_end
+  @ Pvector.owned_blocks t.inval
+  @ Parena.owned_blocks t.arena
+  @ List.concat_map col_blocks (Array.to_list t.cols)
+
+let name_string_offsets t =
+  Region.get_int t.region t.ctrl
+  :: List.init (Array.length t.cols) (fun i ->
+         Region.get_int t.region (col_entry_off t.ctrl i))
+
+let delta_dictionary_size t i = Pvector.length t.cols.(i).delta_dictvec
+let main_dictionary_size t i = Pvector.length t.cols.(i).main_dict
+
+let nvm_bytes t =
+  let base =
+    cols_base
+    + (Array.length t.cols * col_stride)
+    + Pvector.words_on_nvm t.begin_v
+    + Pvector.words_on_nvm t.end_v
+    + Pvector.words_on_nvm t.main_end
+    + Pvector.words_on_nvm t.inval
+    + Parena.bytes_on_nvm t.arena
+  in
+  Array.fold_left
+    (fun acc col ->
+      acc
+      + Pvector.words_on_nvm col.main_dict
+      + Pbitvec.bytes_on_nvm col.main_avec
+      + Pvector.words_on_nvm col.delta_dictvec
+      + Pbtree.bytes_on_nvm col.delta_dict_idx
+      + Pvector.words_on_nvm col.delta_avec
+      +
+      match col.delta_row_idx with
+      | Some idx -> Pbtree.bytes_on_nvm idx
+      | None -> 0)
+    base t.cols
+
+let destroy t =
+  Array.iter
+    (fun col ->
+      Pvector.destroy col.main_dict;
+      Pbitvec.destroy col.main_avec;
+      Pvector.destroy col.delta_dictvec;
+      Pbtree.destroy col.delta_dict_idx;
+      Pvector.destroy col.delta_avec;
+      match col.delta_row_idx with
+      | Some idx -> Pbtree.destroy idx
+      | None -> ())
+    t.cols;
+  Pvector.destroy t.begin_v;
+  Pvector.destroy t.end_v;
+  Pvector.destroy t.main_end;
+  Pvector.destroy t.inval;
+  Parena.destroy t.arena;
+  A.free t.alloc t.ctrl

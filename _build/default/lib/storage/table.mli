@@ -1,0 +1,179 @@
+(** NVM-resident column-store table with main/delta partitions.
+
+    Physical layout per column (all on NVM, following Hyrise):
+
+    - {b main}: a sorted dictionary (persistent vector of encoded values)
+      plus a bit-packed attribute vector of value-ids — read-optimized,
+      immutable between merges;
+    - {b delta}: an unsorted append-only dictionary (persistent vector,
+      value-id = position) with a persistent tree index for value lookup,
+      plus an uncompressed attribute vector of value-ids — write-optimized;
+    - optionally a persistent secondary index on the delta partition
+      mapping (value-id, row) pairs, for indexed point lookups.
+
+    MVCC state: per delta row a begin-CID and end-CID vector; per main row
+    an end-CID vector (main rows are committed by construction — the merge
+    runs without active transactions). Invalidation of main rows is
+    additionally journaled in a small {e invalidation log} so that restart
+    rollback touches only rows written since the last merge, never the
+    whole table — this is what keeps Hyrise-NV's restart time independent
+    of the dataset size.
+
+    Rows are addressed by a single global index: [0 .. main_rows) are main
+    rows, [main_rows .. row_count) are delta rows.
+
+    Writing and committing are decoupled exactly like {!Pstruct.Pvector}:
+    [append_row] / [set_end_cid] stage data with scheduled write-backs;
+    [publish] is invoked by the transaction layer at commit, in an order
+    that makes the begin-CID vector's published length the single
+    authority for row existence. *)
+
+type t
+
+type row = int
+
+val create : Nvm_alloc.Allocator.t -> name:string -> Schema.t -> t
+(** Allocate the table's persistent structures. The returned handle must
+    be linked into a catalog (and that link persisted) to survive a
+    restart. *)
+
+val attach : Nvm_alloc.Allocator.t -> int -> t
+(** Re-wrap a table after restart. Volatile lengths are truncated to the
+    begin-CID vector's published length; MVCC rollback of in-flight
+    transactions is the engine's job (see [rollback_uncommitted]). *)
+
+val rollback_uncommitted : t -> last_cid:Cid.t -> int
+(** Undo effects of transactions whose commit never reached durability:
+    delta rows with a begin-CID beyond [last_cid] are marked dead, and
+    end-CIDs beyond [last_cid] (found via the delta scan and the main
+    invalidation log) are reset to live. Returns the number of rows
+    touched. Cost: O(delta + invalidations-since-merge). *)
+
+val handle : t -> int
+val name : t -> string
+val schema : t -> Schema.t
+
+val main_rows : t -> int
+val delta_rows : t -> int
+val row_count : t -> int
+
+val is_main : t -> row -> bool
+
+(** {1 MVCC accessors} *)
+
+val begin_cid : t -> row -> Cid.t
+(** Main rows report {!Cid.zero}. *)
+
+val end_cid : t -> row -> Cid.t
+
+val set_begin_cid : t -> row -> Cid.t -> unit
+(** Delta rows only (staged write-back, no fence). *)
+
+val set_end_cid : t -> row -> Cid.t -> unit
+(** Any row; staged. For main rows the (row, cid) pair is also journaled
+    in the invalidation log. *)
+
+(** {1 Data access} *)
+
+val get : t -> row -> int -> Value.t
+
+val get_row : t -> row -> Value.t array
+
+val rows_with_value : t -> int -> Value.t -> row list
+(** All physical rows (visibility not applied) whose column equals the
+    value: main via dictionary binary search + attribute-vector scan,
+    delta via the dictionary tree and, when the column is indexed, the
+    secondary index. Ascending row order. *)
+
+val append_row : t -> Value.t array -> row
+(** Stage a new delta row with begin = end = {!Cid.infinity}. Distinct new
+    dictionary values are made durable immediately (they are shared state);
+    the row itself becomes durable at [publish]. *)
+
+val publish : t -> unit
+(** Commit-side durability: makes staged data durable, then the secondary
+    lengths (attribute vectors, end-CIDs, invalidation log), then — behind
+    a second fence — the begin-CID vector length, the row-existence
+    authority. Two fences total. *)
+
+(** {2 Batched publication}
+
+    A transaction touching several tables needs O(1) fences, not O(columns):
+    the manager stages every table's secondary lengths, fences once (which
+    also flushes all staged row data), stages every begin length, fences
+    again, then persists the engine's last-CID. The begin length is only
+    durable after everything it governs, so the attach-time invariant
+    "secondary published length >= begin published length" holds under any
+    crash. *)
+
+val stage_publish_secondary : t -> unit
+val stage_publish_begin : t -> unit
+
+val fence : t -> unit
+(** Fence the table's region (shared by all tables of one engine). *)
+
+val publish_each_vector : t -> unit
+(** Ablation baseline: one fully-fenced publish per vector (2 fences
+    each), the naive protocol the batched commit replaces. Same crash
+    semantics, strictly more fences. *)
+
+(** {1 Partition internals (query-engine surface)}
+
+    Scans want to work in value-id space: filter the attribute vectors
+    with integer comparisons and decode only what survives. *)
+
+val allocator : t -> Nvm_alloc.Allocator.t
+
+val main_vid : t -> int -> row -> int
+(** [main_vid t col r] — value-id of main row [r] (bit-packed read). *)
+
+val delta_vid : t -> int -> int -> int
+(** [delta_vid t col i] — value-id of the [i]-th delta row. *)
+
+val main_dict_value : t -> int -> int -> Value.t
+(** Decode a main-dictionary entry by value-id (sorted order). *)
+
+val delta_dict_value : t -> int -> int -> Value.t
+(** Decode a delta-dictionary entry by value-id (insertion order). *)
+
+(** {1 Introspection} *)
+
+val nvm_bytes : t -> int
+(** Total bytes of NVM backing this table (structures only, excluding
+    allocator headers and string blocks). *)
+
+val delta_dictionary_size : t -> int -> int
+
+val main_dictionary_size : t -> int -> int
+
+val destroy : t -> unit
+(** Free every structure of this table (not the strings it encoded). *)
+
+(** {1 Merge support (used by [Merge])} *)
+
+val encoded_value : t -> row -> int -> int64
+(** Raw encoded word of a cell (main rows decode through the main dict,
+    delta rows through the delta dict). *)
+
+val owned_blocks : t -> int list
+(** Every allocator block reachable from this table (control block, name
+    strings, vectors, indexes, arena chunks) — the reachability set the
+    engine's vacuum sweeps against. *)
+
+val name_string_offsets : t -> int list
+(** Offsets of the table-name and column-name strings (for reclamation
+    when a table generation is retired). *)
+
+val replace_ctrl_for_merge :
+  Nvm_alloc.Allocator.t ->
+  name:string ->
+  schema:Schema.t ->
+  columns:(Value.t array * int array) array ->
+  main_end:Cid.t array ->
+  t
+(** Build a brand-new table whose {e main} partition holds the given
+    per-column (sorted dictionary values, attribute vector) and end-CIDs,
+    with empty delta structures. Text values are encoded into the new
+    generation's own string arena, so retiring the old generation frees
+    its strings wholesale. Fully durable on return; the caller swaps a
+    catalog pointer to publish it. *)

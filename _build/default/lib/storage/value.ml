@@ -1,0 +1,74 @@
+type ty = Int_t | Float_t | Text_t
+
+type t = Int of int | Float of float | Text of string
+
+let ty_of = function Int _ -> Int_t | Float _ -> Float_t | Text _ -> Text_t
+
+let ty_to_string = function
+  | Int_t -> "int"
+  | Float_t -> "float"
+  | Text_t -> "text"
+
+let ty_of_string = function
+  | "int" -> Int_t
+  | "float" -> Float_t
+  | "text" -> Text_t
+  | s -> invalid_arg ("Value.ty_of_string: " ^ s)
+
+let ty_tag = function Int_t -> 0 | Float_t -> 1 | Text_t -> 2
+
+let ty_of_tag = function
+  | 0 -> Int_t
+  | 1 -> Float_t
+  | 2 -> Text_t
+  | n -> invalid_arg (Printf.sprintf "Value.ty_of_tag: %d" n)
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Text x, Text y -> String.compare x y
+  | _ -> Int.compare (ty_tag (ty_of a)) (ty_tag (ty_of b))
+
+let equal a b = compare a b = 0
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Text s -> s
+
+let encode_with ~add_string = function
+  | Int i -> Int64.of_int i
+  | Float f -> Int64.bits_of_float f
+  | Text s -> Int64.of_int (add_string s)
+
+let encode alloc v = encode_with ~add_string:(Pstruct.Pstring.add alloc) v
+
+let decode alloc ty w =
+  match ty with
+  | Int_t -> Int (Int64.to_int w)
+  | Float_t -> Float (Int64.float_of_bits w)
+  | Text_t -> Text (Pstruct.Pstring.get alloc (Int64.to_int w))
+
+let fnv1a_64 s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h
+
+let dict_key = function
+  | Int i -> Int64.of_int i
+  | Float f -> Int64.bits_of_float f
+  | Text s -> fnv1a_64 s
+
+let compare_encoded alloc ty w1 w2 =
+  match ty with
+  | Int_t -> Int.compare (Int64.to_int w1) (Int64.to_int w2)
+  | Float_t -> Float.compare (Int64.float_of_bits w1) (Int64.float_of_bits w2)
+  | Text_t ->
+      String.compare
+        (Pstruct.Pstring.get alloc (Int64.to_int w1))
+        (Pstruct.Pstring.get alloc (Int64.to_int w2))

@@ -1,0 +1,50 @@
+(** Column values and their 64-bit persistent encoding.
+
+    Hyrise columns are dictionary-encoded: the data structures store
+    {e value-ids}; the dictionaries store encoded values. Every value is
+    encoded into one 64-bit word — integers directly, floats as their IEEE
+    bits, strings as the offset of a persistent string ([Pstruct.Pstring]).
+    Comparison is always by decoded semantics, not by raw word. *)
+
+type ty = Int_t | Float_t | Text_t
+
+type t = Int of int | Float of float | Text of string
+
+val ty_of : t -> ty
+
+val ty_to_string : ty -> string
+val ty_of_string : string -> ty
+(** Raises [Invalid_argument] on unknown names. Used by the catalog. *)
+
+val ty_tag : ty -> int
+val ty_of_tag : int -> ty
+
+val compare : t -> t -> int
+(** Semantic comparison; values of different types order by type tag (the
+    engine's type checker should prevent mixing, but the order is total). *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** Display form, e.g. for CLI output. *)
+
+val encode : Nvm_alloc.Allocator.t -> t -> int64
+(** Encode for storage in a dictionary. Strings are persisted into the
+    allocator's heap; the returned word is stable across restarts. *)
+
+val encode_with : add_string:(string -> int) -> t -> int64
+(** Like [encode], but strings go through the given persister (e.g. a
+    table generation's {!Pstruct.Parena}). The produced offsets must obey
+    {!Pstruct.Pstring}'s [len][bytes] layout, which the arena does. *)
+
+val decode : Nvm_alloc.Allocator.t -> ty -> int64 -> t
+
+val compare_encoded : Nvm_alloc.Allocator.t -> ty -> int64 -> int64 -> int
+(** Semantic comparison of two encoded words without materializing
+    integers/floats (strings are read from the heap). *)
+
+val dict_key : t -> int64
+(** 64-bit lookup key for dictionary indexes: the value itself for
+    integers, the IEEE bits for floats, an FNV-1a hash for strings.
+    Equal values always have equal keys; for strings distinct values may
+    collide, so index hits must be verified against the dictionary. *)

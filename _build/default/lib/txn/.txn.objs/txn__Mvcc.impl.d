@@ -1,0 +1,1 @@
+lib/txn/mvcc.ml: Hashtbl List Printf Storage

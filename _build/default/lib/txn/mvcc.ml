@@ -1,0 +1,196 @@
+module Table = Storage.Table
+module Cid = Storage.Cid
+
+exception Write_conflict of string
+exception Not_active of string
+
+type event =
+  | Ev_insert of { tid : int; table : Table.t; values : Storage.Value.t array }
+  | Ev_commit of {
+      tid : int;
+      cid : Cid.t;
+      invalidated : (Table.t * int) list;
+    }
+  | Ev_abort of { tid : int }
+
+type state = Active | Committed | Aborted
+
+(* rows are identified volatile-side by (table ctrl offset, row id) *)
+type rowkey = int * int
+
+type txn = {
+  tid : int;
+  snapshot : Cid.t;
+  mutable state : state;
+  mutable inserted : (Table.t * int) list; (* reversed order of insertion *)
+  inserted_set : (rowkey, unit) Hashtbl.t;
+  mutable invalidated : (Table.t * int) list;
+  invalidated_set : (rowkey, unit) Hashtbl.t;
+}
+
+type publish_mode = [ `Batched | `Per_table | `Per_vector ]
+
+type manager = {
+  mutable last : Cid.t;
+  mutable next_tid : int;
+  observer : event -> unit;
+  publish_mode : publish_mode;
+  persist_commit : Cid.t -> unit;
+  locks : (rowkey, int) Hashtbl.t; (* row claims: first writer wins *)
+  active : (int, txn) Hashtbl.t;
+}
+
+let create_manager ?(observer = fun _ -> ()) ?(publish_mode = `Batched)
+    ~persist_commit ~last_cid () =
+  {
+    last = last_cid;
+    next_tid = 1;
+    observer;
+    publish_mode;
+    persist_commit;
+    locks = Hashtbl.create 64;
+    active = Hashtbl.create 16;
+  }
+
+let last_cid m = m.last
+let active_count m = Hashtbl.length m.active
+
+let begin_txn m =
+  let t =
+    {
+      tid = m.next_tid;
+      snapshot = m.last;
+      state = Active;
+      inserted = [];
+      inserted_set = Hashtbl.create 8;
+      invalidated = [];
+      invalidated_set = Hashtbl.create 8;
+    }
+  in
+  m.next_tid <- m.next_tid + 1;
+  Hashtbl.replace m.active t.tid t;
+  t
+
+let tid t = t.tid
+let snapshot t = t.snapshot
+let is_active t = t.state = Active
+
+let check_active t fn =
+  if t.state <> Active then
+    raise (Not_active (Printf.sprintf "Mvcc.%s: txn %d is finished" fn t.tid))
+
+let key table row = (Table.handle table, row)
+
+let row_visible t table row =
+  let k = key table row in
+  if Hashtbl.mem t.invalidated_set k then false
+  else if Hashtbl.mem t.inserted_set k then true
+  else
+    Cid.visible ~begin_cid:(Table.begin_cid table row)
+      ~end_cid:(Table.end_cid table row) ~snapshot:t.snapshot
+
+let insert m t table values =
+  check_active t "insert";
+  let row = Table.append_row table values in
+  let k = key table row in
+  Hashtbl.replace m.locks k t.tid;
+  t.inserted <- (table, row) :: t.inserted;
+  Hashtbl.replace t.inserted_set k ();
+  m.observer (Ev_insert { tid = t.tid; table; values });
+  row
+
+let claim m t table row =
+  check_active t "claim";
+  let k = key table row in
+  (match Hashtbl.find_opt m.locks k with
+  | Some owner when owner <> t.tid ->
+      raise
+        (Write_conflict
+           (Printf.sprintf "row %d of %s claimed by txn %d" row
+              (Table.name table) owner))
+  | _ -> ());
+  if not (row_visible t table row) then
+    raise
+      (Write_conflict
+         (Printf.sprintf "row %d of %s is not visible to txn %d" row
+            (Table.name table) t.tid));
+  (* a version invalidated by a committed-later transaction conflicts even
+     though it may still be visible to our older snapshot *)
+  if Table.end_cid table row <> Cid.infinity then
+    raise
+      (Write_conflict
+         (Printf.sprintf "row %d of %s already invalidated" row
+            (Table.name table)));
+  Hashtbl.replace m.locks k t.tid;
+  t.invalidated <- (table, row) :: t.invalidated;
+  Hashtbl.replace t.invalidated_set k ()
+
+let update m t table row values =
+  claim m t table row;
+  insert m t table values
+
+let delete m t table row = claim m t table row
+
+let release_locks m t =
+  let drop (table, row) =
+    let k = key table row in
+    match Hashtbl.find_opt m.locks k with
+    | Some owner when owner = t.tid -> Hashtbl.remove m.locks k
+    | _ -> ()
+  in
+  List.iter drop t.inserted;
+  List.iter drop t.invalidated
+
+let commit m t =
+  check_active t "commit";
+  if t.inserted = [] && t.invalidated = [] then begin
+    (* read-only: nothing to make durable *)
+    t.state <- Committed;
+    Hashtbl.remove m.active t.tid;
+    t.snapshot
+  end
+  else begin
+    let cid = Cid.next m.last in
+    (* 1. stamp version timestamps (staged write-backs) *)
+    List.iter (fun (table, row) -> Table.set_begin_cid table row cid) t.inserted;
+    List.iter (fun (table, row) -> Table.set_end_cid table row cid) t.invalidated;
+    (* 2. publish every touched table with O(1) fences: secondary lengths
+       (and all staged data) first, then the begin-CID lengths — the
+       row-existence authority — behind a second fence *)
+    let touched = Hashtbl.create 4 in
+    List.iter
+      (fun (table, _) -> Hashtbl.replace touched (Table.handle table) table)
+      t.inserted;
+    List.iter
+      (fun (table, _) -> Hashtbl.replace touched (Table.handle table) table)
+      t.invalidated;
+    (match m.publish_mode with
+    | `Batched ->
+        let witness = ref None in
+        Hashtbl.iter
+          (fun _ table ->
+            witness := Some table;
+            Table.stage_publish_secondary table)
+          touched;
+        (match !witness with Some table -> Table.fence table | None -> ());
+        Hashtbl.iter (fun _ table -> Table.stage_publish_begin table) touched;
+        (match !witness with Some table -> Table.fence table | None -> ())
+    | `Per_table -> Hashtbl.iter (fun _ table -> Table.publish table) touched
+    | `Per_vector ->
+        Hashtbl.iter (fun _ table -> Table.publish_each_vector table) touched);
+    (* 3. the durable commit point *)
+    m.persist_commit cid;
+    m.observer (Ev_commit { tid = t.tid; cid; invalidated = t.invalidated });
+    m.last <- cid;
+    t.state <- Committed;
+    release_locks m t;
+    Hashtbl.remove m.active t.tid;
+    cid
+  end
+
+let abort m t =
+  check_active t "abort";
+  t.state <- Aborted;
+  release_locks m t;
+  Hashtbl.remove m.active t.tid;
+  m.observer (Ev_abort { tid = t.tid })

@@ -1,0 +1,88 @@
+(** Multi-version concurrency control, Hyrise-style insert-only.
+
+    Every write creates a new physical row version; an update additionally
+    invalidates the old version by setting its end-CID. Visibility of a
+    row version to a transaction with snapshot [s] is
+    [begin <= s < end], plus own-writes (a transaction sees its not yet
+    committed inserts and does not see rows it has itself invalidated).
+
+    Durability protocol (the paper's core claim): all version timestamps
+    live on NVM; at commit the manager stamps begin/end CIDs, publishes the
+    touched tables, and then calls the engine's [persist_commit] hook —
+    whose single durable word (the engine's last-CID) is the atomic commit
+    point. Recovery rolls every CID beyond the durable last-CID back, so a
+    transaction is either entirely visible or entirely gone.
+
+    Write conflicts follow first-writer-wins: attempting to invalidate a
+    row version that another in-flight transaction has claimed, or that a
+    transaction committed after our snapshot already invalidated, raises
+    {!Write_conflict}; the caller is expected to abort. *)
+
+type manager
+type txn
+
+exception Write_conflict of string
+exception Not_active of string
+
+(** Commit/abort notifications, used by the engine to drive durability
+    (NVM last-CID persist, or WAL records). *)
+type event =
+  | Ev_insert of { tid : int; table : Storage.Table.t; values : Storage.Value.t array }
+  | Ev_commit of {
+      tid : int;
+      cid : Storage.Cid.t;
+      invalidated : (Storage.Table.t * int) list;
+    }
+  | Ev_abort of { tid : int }
+
+(** How commit publishes the touched tables' vector lengths — same crash
+    semantics, different fence counts (ablation A2 measures the gap):
+    [`Batched] (default) stages all secondary lengths, fences once, stages
+    all begin lengths, fences again; [`Per_table] fences per table;
+    [`Per_vector] is the naive two-fences-per-vector protocol. *)
+type publish_mode = [ `Batched | `Per_table | `Per_vector ]
+
+val create_manager :
+  ?observer:(event -> unit) ->
+  ?publish_mode:publish_mode ->
+  persist_commit:(Storage.Cid.t -> unit) ->
+  last_cid:Storage.Cid.t ->
+  unit ->
+  manager
+(** [persist_commit cid] must make [cid] the durable last-CID; it is the
+    commit point. [last_cid] seeds the CID counter (recovery passes the
+    recovered value). *)
+
+val last_cid : manager -> Storage.Cid.t
+val active_count : manager -> int
+
+val begin_txn : manager -> txn
+val tid : txn -> int
+val snapshot : txn -> Storage.Cid.t
+
+val is_active : txn -> bool
+
+val row_visible : txn -> Storage.Table.t -> int -> bool
+(** MVCC visibility including own-writes. *)
+
+val insert : manager -> txn -> Storage.Table.t -> Storage.Value.t array -> int
+(** Stage a new row version; returns its physical row id (invisible to
+    everyone else until commit). *)
+
+val update :
+  manager -> txn -> Storage.Table.t -> int -> Storage.Value.t array -> int
+(** Invalidate the given (visible) version and stage its replacement.
+    Raises {!Write_conflict} if the version is claimed or already
+    invalidated. Returns the new version's row id. *)
+
+val delete : manager -> txn -> Storage.Table.t -> int -> unit
+(** Invalidate without replacement. Same conflict rules as [update]. *)
+
+val commit : manager -> txn -> Storage.Cid.t
+(** Stamp, publish, persist. Returns the commit CID (read-only
+    transactions return their snapshot and consume no CID). *)
+
+val abort : manager -> txn -> unit
+(** Release claims. Staged row versions stay physically present but dead
+    (begin-CID forever infinity) until a merge compacts them — the
+    insert-only discipline. *)

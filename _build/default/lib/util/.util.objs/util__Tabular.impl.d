@@ -1,0 +1,1 @@
+lib/util/tabular.ml: Buffer List Printf String

@@ -1,0 +1,118 @@
+(* Buckets: values 0..127 map to their own bucket; above that, each
+   half-decade in log2 space is split into 64 sub-buckets.  bucket(v) for
+   v >= 128 is [64 * (log2 v - 6) + sub], giving <= ~1.6% relative width. *)
+
+let linear_cutoff = 128
+let sub_bucket_bits = 6
+let sub_buckets = 1 lsl sub_bucket_bits
+let max_buckets = linear_cutoff + (64 * sub_buckets)
+
+type t = {
+  buckets : int array;
+  mutable count : int;
+  mutable total : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create () =
+  {
+    buckets = Array.make max_buckets 0;
+    count = 0;
+    total = 0;
+    min_v = max_int;
+    max_v = 0;
+  }
+
+let clear t =
+  Array.fill t.buckets 0 max_buckets 0;
+  t.count <- 0;
+  t.total <- 0;
+  t.min_v <- max_int;
+  t.max_v <- 0
+
+let log2_floor v =
+  (* v >= 1 *)
+  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let bucket_of_value v =
+  if v < linear_cutoff then v
+  else
+    let exp = log2_floor v in
+    (* take the [sub_bucket_bits] bits below the leading one *)
+    let sub = (v lsr (exp - sub_bucket_bits)) land (sub_buckets - 1) in
+    let idx = linear_cutoff + ((exp - 7) * sub_buckets) + sub in
+    if idx >= max_buckets then max_buckets - 1 else idx
+
+let value_of_bucket b =
+  if b < linear_cutoff then b
+  else
+    let b = b - linear_cutoff in
+    let exp = (b / sub_buckets) + 7 in
+    let sub = b mod sub_buckets in
+    (* upper edge of the bucket *)
+    (1 lsl exp) + ((sub + 1) lsl (exp - sub_bucket_bits)) - 1
+
+let record_n t v count =
+  assert (count >= 0);
+  if count > 0 then begin
+    let v = if v < 0 then 0 else v in
+    let b = bucket_of_value v in
+    t.buckets.(b) <- t.buckets.(b) + count;
+    t.count <- t.count + count;
+    t.total <- t.total + (v * count);
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+  end
+
+let record t v = record_n t v 1
+
+let count t = t.count
+let total t = t.total
+
+let check_nonempty t fn =
+  if t.count = 0 then invalid_arg (Printf.sprintf "Histogram.%s: empty" fn)
+
+let min_value t =
+  check_nonempty t "min_value";
+  t.min_v
+
+let max_value t =
+  check_nonempty t "max_value";
+  t.max_v
+
+let mean t =
+  check_nonempty t "mean";
+  float_of_int t.total /. float_of_int t.count
+
+let percentile t p =
+  check_nonempty t "percentile";
+  let p = if p < 0.0 then 0.0 else if p > 100.0 then 100.0 else p in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.count)) in
+  let rank = if rank < 1 then 1 else rank in
+  let rec go b seen =
+    if b >= max_buckets then t.max_v
+    else
+      let seen = seen + t.buckets.(b) in
+      if seen >= rank then min (value_of_bucket b) t.max_v else go (b + 1) seen
+  in
+  go 0 0
+
+let merge_into ~src ~dst =
+  for b = 0 to max_buckets - 1 do
+    dst.buckets.(b) <- dst.buckets.(b) + src.buckets.(b)
+  done;
+  dst.count <- dst.count + src.count;
+  dst.total <- dst.total + src.total;
+  if src.count > 0 then begin
+    if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+    if src.max_v > dst.max_v then dst.max_v <- src.max_v
+  end
+
+let pp_summary ppf t =
+  if t.count = 0 then Format.fprintf ppf "(empty)"
+  else
+    Format.fprintf ppf "n=%d mean=%.1f p50=%d p95=%d p99=%d max=%d" t.count
+      (mean t) (percentile t 50.0) (percentile t 95.0) (percentile t 99.0)
+      t.max_v

@@ -1,0 +1,44 @@
+(** Log-bucketed histograms for latency and size distributions.
+
+    Values are recorded as non-negative integers (typically nanoseconds or
+    bytes). Buckets grow geometrically, giving ~2% relative error across
+    twelve orders of magnitude at a fixed, small footprint — the standard
+    HdrHistogram-style trade-off used by benchmark harnesses. *)
+
+type t
+
+val create : unit -> t
+
+val clear : t -> unit
+
+val record : t -> int -> unit
+(** [record t v] adds observation [v] (clamped at 0). *)
+
+val record_n : t -> int -> int -> unit
+(** [record_n t v count] adds [count] observations of [v]. *)
+
+val count : t -> int
+(** Number of recorded observations. *)
+
+val total : t -> int
+(** Sum of all recorded observations. *)
+
+val min_value : t -> int
+(** Smallest recorded observation. Raises [Invalid_argument] if empty. *)
+
+val max_value : t -> int
+(** Largest recorded observation. Raises [Invalid_argument] if empty. *)
+
+val mean : t -> float
+(** Arithmetic mean. Raises [Invalid_argument] if empty. *)
+
+val percentile : t -> float -> int
+(** [percentile t p] with [p] in [\[0, 100\]]: an upper bound on the value at
+    the given percentile, accurate to the bucket width. Raises
+    [Invalid_argument] if empty. *)
+
+val merge_into : src:t -> dst:t -> unit
+(** Accumulate [src]'s observations into [dst]. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line summary: count, mean, p50/p95/p99, max. *)

@@ -1,0 +1,94 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 (Steele, Lea, Flood 2014): a tiny, high-quality, splittable
+   generator.  The mixing constants are the published ones. *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int t bound =
+  assert (bound > 0);
+  let mask = Int64.shift_right_logical (next_int64 t) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let float t bound =
+  let mantissa = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float mantissa /. 9007199254740992.0 *. bound
+
+let chance t p =
+  if p <= 0.0 then false else if p >= 1.0 then true else float t 1.0 < p
+
+let pick t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let alpha_string t n = String.init n (fun _ -> Char.chr (Char.code 'a' + int t 26))
+
+let split t = create (next_int64 t)
+
+module Zipf = struct
+  type gen = {
+    n : int;
+    theta : float;
+    alpha : float;
+    zetan : float;
+    eta : float;
+    zeta2 : float;
+  }
+
+  let zeta n theta =
+    let sum = ref 0.0 in
+    for i = 1 to n do
+      sum := !sum +. (1.0 /. Float.pow (float_of_int i) theta)
+    done;
+    !sum
+
+  let create ~n ~theta =
+    assert (n > 0 && theta >= 0.0 && theta < 1.0);
+    let zetan = zeta n theta in
+    let zeta2 = zeta 2 theta in
+    let alpha = 1.0 /. (1.0 -. theta) in
+    let eta =
+      (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+      /. (1.0 -. (zeta2 /. zetan))
+    in
+    { n; theta; alpha; zetan; eta; zeta2 = zeta2 }
+
+  (* Gray et al. "Quickly generating billion-record synthetic databases",
+     the generator used by YCSB. *)
+  let draw g t =
+    ignore g.zeta2;
+    let u = float t 1.0 in
+    let uz = u *. g.zetan in
+    if uz < 1.0 then 0
+    else if uz < 1.0 +. Float.pow 0.5 g.theta then 1
+    else
+      let v =
+        float_of_int g.n
+        *. Float.pow ((g.eta *. u) -. g.eta +. 1.0) g.alpha
+      in
+      let v = int_of_float v in
+      if v >= g.n then g.n - 1 else if v < 0 then 0 else v
+end

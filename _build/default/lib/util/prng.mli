@@ -1,0 +1,59 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomized components of the reproduction (workload generators,
+    crash-point fuzzing, adversarial persistence) draw from this splitmix64
+    generator so that every experiment is reproducible from a single seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator that will produce the same stream
+    as [t] from this point on. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive.
+    Requires [lo <= hi]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p] (clamped to [\[0,1\]]). *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val alpha_string : t -> int -> string
+(** [alpha_string t n] is a random lowercase ASCII string of length [n]. *)
+
+val split : t -> t
+(** [split t] derives an independent generator, advancing [t]. Used to give
+    each component of an experiment its own stream. *)
+
+module Zipf : sig
+  type gen
+  (** Zipfian distribution over [\[0, n)], used by the YCSB-style workload. *)
+
+  val create : n:int -> theta:float -> gen
+  (** Standard YCSB zipfian with skew [theta] (e.g. 0.99). Requires
+      [n > 0] and [0 <= theta < 1]. *)
+
+  val draw : gen -> t -> int
+end

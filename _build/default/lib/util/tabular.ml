@@ -1,0 +1,96 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string;
+  columns : (string * align) list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~title columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Tabular.add_row: cell count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let headers = List.map fst t.columns in
+  let widths =
+    List.mapi
+      (fun i (h, _) ->
+        let cell_width = function
+          | Cells cells -> String.length (List.nth cells i)
+          | Separator -> 0
+        in
+        List.fold_left
+          (fun acc r -> max acc (cell_width r))
+          (String.length h) rows)
+      t.columns
+  in
+  let pad align width s =
+    let n = width - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let rule = List.map (fun w -> String.make w '-') widths in
+  let line cells aligns =
+    "| "
+    ^ String.concat " | "
+        (List.map2 (fun (w, a) c -> pad a w c) (List.combine widths aligns) cells)
+    ^ " |"
+  in
+  let aligns = List.map snd t.columns in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (line headers (List.map (fun _ -> Left) aligns));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line rule (List.map (fun _ -> Left) aligns));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      (match r with
+      | Cells cells -> Buffer.add_string buf (line cells aligns)
+      | Separator -> Buffer.add_string buf (line rule (List.map (fun _ -> Left) aligns)));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let fmt_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3) + 1) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fmt_float ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f
+
+let fmt_bytes n =
+  let f = float_of_int n in
+  if f >= 1073741824.0 then Printf.sprintf "%.2f GiB" (f /. 1073741824.0)
+  else if f >= 1048576.0 then Printf.sprintf "%.2f MiB" (f /. 1048576.0)
+  else if f >= 1024.0 then Printf.sprintf "%.2f KiB" (f /. 1024.0)
+  else Printf.sprintf "%d B" n
+
+let fmt_ns n =
+  let f = float_of_int n in
+  if f >= 1e9 then Printf.sprintf "%.2f s" (f /. 1e9)
+  else if f >= 1e6 then Printf.sprintf "%.2f ms" (f /. 1e6)
+  else if f >= 1e3 then Printf.sprintf "%.2f us" (f /. 1e3)
+  else Printf.sprintf "%d ns" n

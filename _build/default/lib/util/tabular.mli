@@ -1,0 +1,37 @@
+(** Fixed-width text tables for benchmark output.
+
+    The benchmark harness prints one table per reproduced paper artifact;
+    this module renders them with right-aligned numeric columns so the
+    output can be diffed across runs. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> (string * align) list -> t
+(** [create ~title columns] starts a table with the given header. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. The row must have exactly as many cells as columns. *)
+
+val add_separator : t -> unit
+(** Insert a horizontal rule between rows. *)
+
+val render : t -> string
+(** Render the whole table, including title and rules. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+(** Cell formatting helpers. *)
+
+val fmt_int : int -> string
+(** Thousands-separated integer, e.g. [1_234_567] -> ["1,234,567"]. *)
+
+val fmt_float : ?decimals:int -> float -> string
+
+val fmt_bytes : int -> string
+(** Human-readable byte count, e.g. ["12.5 MiB"]. *)
+
+val fmt_ns : int -> string
+(** Human-readable duration from nanoseconds, e.g. ["3.2 ms"]. *)

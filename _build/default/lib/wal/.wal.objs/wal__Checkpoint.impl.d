@@ -1,0 +1,1 @@
+lib/wal/checkpoint.ml: Array Buffer Codec Filename Fun Int64 List Storage String Sys Unix

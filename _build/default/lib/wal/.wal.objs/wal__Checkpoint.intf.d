@@ -1,0 +1,1 @@
+lib/wal/checkpoint.mli: Storage

@@ -1,0 +1,1 @@
+lib/wal/codec.ml: Array Buffer Char Int32 Int64 Lazy Storage String

@@ -1,0 +1,1 @@
+lib/wal/codec.mli: Buffer Storage

@@ -1,0 +1,1 @@
+lib/wal/log.ml: Array Buffer Codec Filename Fun Int64 List Printf Storage String Sys Unix

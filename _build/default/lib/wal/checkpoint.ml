@@ -1,0 +1,111 @@
+type column_dump = {
+  dict : Storage.Value.t array; (* sorted distinct values *)
+  avec : int array; (* one dictionary index per row *)
+}
+
+type table_dump = {
+  name : string;
+  schema : Storage.Schema.t;
+  rows : int;
+  columns : column_dump array;
+}
+
+type t = { cid : Storage.Cid.t; epoch : int; tables : table_dump list }
+
+let magic = "HYRCKP02"
+
+let path ~dir = Filename.concat dir "checkpoint.bin"
+
+let encode t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Codec.w_i64 buf t.cid;
+  Codec.w_i64 buf (Int64.of_int t.epoch);
+  Codec.w_u32 buf (List.length t.tables);
+  List.iter
+    (fun td ->
+      Codec.w_string buf td.name;
+      Codec.w_schema buf td.schema;
+      Codec.w_u32 buf td.rows;
+      Codec.w_u32 buf (Array.length td.columns);
+      Array.iter
+        (fun cd ->
+          Codec.w_u32 buf (Array.length cd.dict);
+          Array.iter (Codec.w_value buf) cd.dict;
+          Array.iter (Codec.w_u32 buf) cd.avec)
+        td.columns)
+    t.tables;
+  Buffer.contents buf
+
+let decode data =
+  if
+    String.length data < String.length magic + 4
+    || String.sub data 0 (String.length magic) <> magic
+  then None
+  else begin
+    let r = Codec.reader_of_string data in
+    for _ = 1 to String.length magic do
+      ignore (Codec.r_u8 r)
+    done;
+    match
+      let cid = Codec.r_i64 r in
+      let epoch = Int64.to_int (Codec.r_i64 r) in
+      let n = Codec.r_u32 r in
+      let tables =
+        List.init n (fun _ ->
+            let name = Codec.r_string r in
+            let schema = Codec.r_schema r in
+            let rows = Codec.r_u32 r in
+            let n_cols = Codec.r_u32 r in
+            let columns =
+              Array.init n_cols (fun _ ->
+                  let dict_len = Codec.r_u32 r in
+                  let dict = Array.init dict_len (fun _ -> Codec.r_value r) in
+                  let avec = Array.init rows (fun _ -> Codec.r_u32 r) in
+                  { dict; avec })
+            in
+            { name; schema; rows; columns })
+      in
+      { cid; epoch; tables }
+    with
+    | t -> Some t
+    | exception _ -> None
+  end
+
+let write ~dir t =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let payload = encode t in
+  (* trailer CRC guards against torn writes despite the atomic rename *)
+  let buf = Buffer.create (String.length payload + 4) in
+  Buffer.add_string buf payload;
+  Buffer.add_int32_le buf (Codec.crc32 payload);
+  let final = Buffer.contents buf in
+  let tmp = path ~dir ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc final);
+  (* fsync the temp file before the rename makes it current *)
+  let fd = Unix.openfile tmp [ Unix.O_RDONLY ] 0 in
+  Unix.fsync fd;
+  Unix.close fd;
+  Sys.rename tmp (path ~dir);
+  String.length final
+
+let read ~dir =
+  let p = path ~dir in
+  if not (Sys.file_exists p) then None
+  else begin
+    let ic = open_in_bin p in
+    let data =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    if String.length data < 4 then None
+    else begin
+      let payload = String.sub data 0 (String.length data - 4) in
+      let crc = String.get_int32_le data (String.length data - 4) in
+      if Codec.crc32 payload <> crc then None else decode payload
+    end
+  end

@@ -1,0 +1,39 @@
+(** Checkpoint files for the log-based recovery baseline.
+
+    A checkpoint is a consistent {e columnar} dump of every table, taken
+    while no transactions are active and immediately after a merge (so the
+    physical row numbering of the dump equals the live numbering, which
+    keeps subsequently logged row references valid). The format mirrors
+    the main partition — sorted dictionary plus value-id vector per
+    column — so loading is a bulk rebuild of the main, not a row-by-row
+    re-insertion.
+
+    Written to a temporary file and atomically renamed; a crash
+    mid-checkpoint leaves the previous checkpoint intact, and a trailing
+    CRC rejects torn files. *)
+
+type column_dump = {
+  dict : Storage.Value.t array;  (** sorted distinct values *)
+  avec : int array;  (** one dictionary index per row *)
+}
+
+type table_dump = {
+  name : string;
+  schema : Storage.Schema.t;
+  rows : int;
+  columns : column_dump array;
+}
+
+type t = {
+  cid : Storage.Cid.t;  (** commit horizon of the dump *)
+  epoch : int;  (** the log epoch that continues this checkpoint *)
+  tables : table_dump list;
+}
+
+val write : dir:string -> t -> int
+(** Durably write the checkpoint; returns its size in bytes. *)
+
+val read : dir:string -> t option
+(** The latest checkpoint, or [None] (missing or corrupt file). *)
+
+val path : dir:string -> string

@@ -1,0 +1,127 @@
+module Value = Storage.Value
+module Schema = Storage.Schema
+
+(* -- crc32 (IEEE 802.3 polynomial, table-driven) -- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* -- writers -- *)
+
+let w_u8 buf v = Buffer.add_uint8 buf (v land 0xff)
+let w_u32 buf v = Buffer.add_int32_le buf (Int32.of_int v)
+let w_i64 buf v = Buffer.add_int64_le buf v
+
+let w_string buf s =
+  w_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let w_value buf v =
+  w_u8 buf (Value.ty_tag (Value.ty_of v));
+  match v with
+  | Value.Int i -> w_i64 buf (Int64.of_int i)
+  | Value.Float f -> w_i64 buf (Int64.bits_of_float f)
+  | Value.Text s -> w_string buf s
+
+let w_schema buf (schema : Schema.t) =
+  w_u32 buf (Schema.arity schema);
+  Array.iter
+    (fun (c : Schema.column) ->
+      w_string buf c.Schema.name;
+      w_u8 buf (Value.ty_tag c.Schema.ty);
+      w_u8 buf (if c.Schema.indexed then 1 else 0))
+    schema
+
+let frame buf payload =
+  w_u32 buf (String.length payload);
+  Buffer.add_int32_le buf (crc32 payload);
+  Buffer.add_string buf payload
+
+(* -- readers -- *)
+
+type reader = { data : string; mutable pos : int }
+
+let reader_of_string data = { data; pos = 0 }
+let pos r = r.pos
+let at_end r = r.pos >= String.length r.data
+
+exception Short
+
+let need r n = if r.pos + n > String.length r.data then raise Short
+
+let r_u8 r =
+  need r 1;
+  let v = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let r_u32 r =
+  need r 4;
+  let v = Int32.to_int (String.get_int32_le r.data r.pos) land 0xFFFFFFFF in
+  r.pos <- r.pos + 4;
+  v
+
+let r_i64 r =
+  need r 8;
+  let v = String.get_int64_le r.data r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let r_string r =
+  let n = r_u32 r in
+  need r n;
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let r_value r =
+  let ty = Value.ty_of_tag (r_u8 r) in
+  match ty with
+  | Value.Int_t -> Value.Int (Int64.to_int (r_i64 r))
+  | Value.Float_t -> Value.Float (Int64.float_of_bits (r_i64 r))
+  | Value.Text_t -> Value.Text (r_string r)
+
+let r_schema r =
+  let n = r_u32 r in
+  Array.init n (fun _ ->
+      let name = r_string r in
+      let ty = Value.ty_of_tag (r_u8 r) in
+      let indexed = r_u8 r = 1 in
+      Schema.column ~indexed name ty)
+
+let r_frame r =
+  let saved = r.pos in
+  match
+    let n = r_u32 r in
+    let crc = Int32.of_int (r_u32 r) in
+    need r n;
+    let payload = String.sub r.data r.pos n in
+    r.pos <- r.pos + n;
+    if crc32 payload = crc then Some payload else None
+  with
+  | result ->
+      (match result with None -> r.pos <- saved | Some _ -> ());
+      result
+  | exception Short ->
+      r.pos <- saved;
+      None

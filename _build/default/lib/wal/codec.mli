@@ -1,0 +1,38 @@
+(** Binary (de)serialization for log and checkpoint files.
+
+    Little-endian, length-prefixed. Every framed record carries a CRC32 of
+    its payload so replay can distinguish a torn tail write from
+    corruption. *)
+
+val crc32 : string -> int32
+
+(** {1 Writing} *)
+
+val w_u8 : Buffer.t -> int -> unit
+val w_u32 : Buffer.t -> int -> unit
+val w_i64 : Buffer.t -> int64 -> unit
+val w_string : Buffer.t -> string -> unit
+val w_value : Buffer.t -> Storage.Value.t -> unit
+val w_schema : Buffer.t -> Storage.Schema.t -> unit
+
+val frame : Buffer.t -> string -> unit
+(** [frame buf payload] appends [len][crc][payload]. *)
+
+(** {1 Reading} *)
+
+type reader
+
+val reader_of_string : string -> reader
+val pos : reader -> int
+val at_end : reader -> bool
+
+val r_u8 : reader -> int
+val r_u32 : reader -> int
+val r_i64 : reader -> int64
+val r_string : reader -> string
+val r_value : reader -> Storage.Value.t
+val r_schema : reader -> Storage.Schema.t
+
+val r_frame : reader -> string option
+(** Next framed payload, or [None] on a clean end / torn or corrupt frame
+    (replay treats both as end-of-log). *)

@@ -1,0 +1,203 @@
+type config = { dir : string; group_commit_size : int; fsync : bool }
+
+let default_config ~dir = { dir; group_commit_size = 8; fsync = true }
+
+type record =
+  | Create_table of { name : string; schema : Storage.Schema.t }
+  | Insert of { tid : int; table_id : int; values : Storage.Value.t array }
+  | Commit of {
+      tid : int;
+      cid : Storage.Cid.t;
+      invalidated : (int * int) list;
+    }
+  | Abort of { tid : int }
+
+type t = {
+  config : config;
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  mutable pending_commits : int;
+  mutable bytes_written : int;
+  mutable flushes : int;
+  mutable closed : bool;
+}
+
+let log_path ~dir = Filename.concat dir "wal.log"
+
+let magic = "HYRWAL01"
+
+let encode_record r =
+  let buf = Buffer.create 64 in
+  (match r with
+  | Create_table { name; schema } ->
+      Codec.w_u8 buf 1;
+      Codec.w_string buf name;
+      Codec.w_schema buf schema
+  | Insert { tid; table_id; values } ->
+      Codec.w_u8 buf 2;
+      Codec.w_i64 buf (Int64.of_int tid);
+      Codec.w_u32 buf table_id;
+      Codec.w_u32 buf (Array.length values);
+      Array.iter (Codec.w_value buf) values
+  | Commit { tid; cid; invalidated } ->
+      Codec.w_u8 buf 3;
+      Codec.w_i64 buf (Int64.of_int tid);
+      Codec.w_i64 buf cid;
+      Codec.w_u32 buf (List.length invalidated);
+      List.iter
+        (fun (table_id, row) ->
+          Codec.w_u32 buf table_id;
+          Codec.w_i64 buf (Int64.of_int row))
+        invalidated
+  | Abort { tid } ->
+      Codec.w_u8 buf 4;
+      Codec.w_i64 buf (Int64.of_int tid));
+  Buffer.contents buf
+
+let decode_record payload =
+  let r = Codec.reader_of_string payload in
+  match Codec.r_u8 r with
+  | 1 ->
+      let name = Codec.r_string r in
+      let schema = Codec.r_schema r in
+      Create_table { name; schema }
+  | 2 ->
+      let tid = Int64.to_int (Codec.r_i64 r) in
+      let table_id = Codec.r_u32 r in
+      let n = Codec.r_u32 r in
+      let values = Array.init n (fun _ -> Codec.r_value r) in
+      Insert { tid; table_id; values }
+  | 3 ->
+      let tid = Int64.to_int (Codec.r_i64 r) in
+      let cid = Codec.r_i64 r in
+      let n = Codec.r_u32 r in
+      let invalidated =
+        List.init n (fun _ ->
+            let table_id = Codec.r_u32 r in
+            let row = Int64.to_int (Codec.r_i64 r) in
+            (table_id, row))
+      in
+      Commit { tid; cid; invalidated }
+  | 4 -> Abort { tid = Int64.to_int (Codec.r_i64 r) }
+  | k -> failwith (Printf.sprintf "Wal.Log: unknown record kind %d" k)
+
+let create config ~epoch =
+  if not (Sys.file_exists config.dir) then Unix.mkdir config.dir 0o755;
+  let fd =
+    Unix.openfile (log_path ~dir:config.dir)
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+      0o644
+  in
+  let header = Buffer.create 16 in
+  Buffer.add_string header magic;
+  Codec.w_i64 header (Int64.of_int epoch);
+  let h = Buffer.contents header in
+  let n = Unix.write_substring fd h 0 (String.length h) in
+  assert (n = String.length h);
+  if config.fsync then Unix.fsync fd;
+  {
+    config;
+    fd;
+    buf = Buffer.create 4096;
+    pending_commits = 0;
+    bytes_written = String.length h;
+    flushes = 0;
+    closed = false;
+  }
+
+let open_append config ~epoch ~truncate_at =
+  ignore epoch;
+  let path = log_path ~dir:config.dir in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd truncate_at;
+  ignore (Unix.lseek fd truncate_at Unix.SEEK_SET);
+  {
+    config;
+    fd;
+    buf = Buffer.create 4096;
+    pending_commits = 0;
+    bytes_written = truncate_at;
+    flushes = 0;
+    closed = false;
+  }
+
+let do_flush t =
+  if Buffer.length t.buf > 0 then begin
+    let s = Buffer.contents t.buf in
+    Buffer.clear t.buf;
+    let n = Unix.write_substring t.fd s 0 (String.length s) in
+    assert (n = String.length s);
+    if t.config.fsync then Unix.fsync t.fd;
+    t.bytes_written <- t.bytes_written + String.length s;
+    t.flushes <- t.flushes + 1;
+    t.pending_commits <- 0
+  end
+
+let append t r =
+  if t.closed then invalid_arg "Wal.Log.append: closed";
+  Codec.frame t.buf (encode_record r);
+  (match r with
+  | Commit _ ->
+      t.pending_commits <- t.pending_commits + 1;
+      if t.pending_commits >= t.config.group_commit_size then do_flush t
+  | Create_table _ ->
+      (* DDL is flushed eagerly: table existence must not sit in the
+         group-commit window *)
+      do_flush t
+  | Insert _ | Abort _ -> ())
+
+let flush t =
+  if t.closed then invalid_arg "Wal.Log.flush: closed";
+  do_flush t
+
+let close t =
+  if not t.closed then begin
+    do_flush t;
+    Unix.close t.fd;
+    t.closed <- true
+  end
+
+let crash t =
+  if not t.closed then begin
+    Buffer.clear t.buf;
+    Unix.close t.fd;
+    t.closed <- true
+  end
+
+let bytes_written t = t.bytes_written
+let flushes t = t.flushes
+
+let read_all ~dir ~expected_epoch =
+  let path = log_path ~dir in
+  if not (Sys.file_exists path) then ([], 0)
+  else begin
+    let ic = open_in_bin path in
+    let data =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let hlen = String.length magic + 8 in
+    if String.length data < hlen || String.sub data 0 (String.length magic) <> magic
+    then ([], 0)
+    else begin
+      let epoch =
+        Int64.to_int (String.get_int64_le data (String.length magic))
+      in
+      if epoch <> expected_epoch then ([], 0)
+      else begin
+        let rd = Codec.reader_of_string data in
+        (* skip header *)
+        for _ = 1 to hlen do
+          ignore (Codec.r_u8 rd)
+        done;
+        let rec go acc =
+          match Codec.r_frame rd with
+          | None -> List.rev acc
+          | Some payload -> go (decode_record payload :: acc)
+        in
+        let records = go [] in
+        (records, Codec.pos rd)
+      end
+    end
+  end

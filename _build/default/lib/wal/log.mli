@@ -1,0 +1,70 @@
+(** Write-ahead value log with group commit — the recovery baseline the
+    paper measures Hyrise-NV against.
+
+    Every write operation of every transaction is logged in execution
+    order (so replay reproduces physical row numbering exactly); commit
+    and abort records decide which of them take effect. Records accumulate
+    in a volatile buffer and reach the log device when
+    [group_commit_size] commits have accumulated (or on [flush]) —
+    committed-but-unflushed transactions are lost by a crash, the classic
+    group-commit window.
+
+    The log file starts with an epoch header; a checkpoint advances the
+    epoch, so replay can tell a stale pre-checkpoint log from the one that
+    continues the checkpoint. *)
+
+type t
+
+type config = {
+  dir : string;  (** directory for [wal.log] and [checkpoint.bin] *)
+  group_commit_size : int;  (** commits per fsync batch; 1 = every commit *)
+  fsync : bool;  (** issue fdatasync on flush (off speeds up tests) *)
+}
+
+val default_config : dir:string -> config
+
+type record =
+  | Create_table of { name : string; schema : Storage.Schema.t }
+  | Insert of { tid : int; table_id : int; values : Storage.Value.t array }
+  | Commit of {
+      tid : int;
+      cid : Storage.Cid.t;
+      invalidated : (int * int) list;  (** (table_id, row) *)
+    }
+  | Abort of { tid : int }
+
+val create : config -> epoch:int -> t
+(** Start a fresh (truncated) log for the given epoch. *)
+
+val open_append : config -> epoch:int -> truncate_at:int -> t
+(** Continue an existing log after replaying it: the file is truncated at
+    [truncate_at] (the end of the last well-formed frame, discarding any
+    torn tail) and further records append under the same epoch. *)
+
+val append : t -> record -> unit
+(** Buffer a record. [Commit] and [Create_table] records trigger the group
+    commit policy; other records stay buffered until a flush they ride
+    along with. *)
+
+val flush : t -> unit
+(** Force buffered records to the device (and fsync per config). *)
+
+val close : t -> unit
+(** Flush and close. *)
+
+val crash : t -> unit
+(** Simulate power failure: discard the volatile buffer, close the fd.
+    Whatever the OS was told to write stays (we fsync on every flush, so
+    flushed = durable). *)
+
+val bytes_written : t -> int
+(** Bytes that reached the device so far. *)
+
+val flushes : t -> int
+
+val read_all : dir:string -> expected_epoch:int -> record list * int
+(** Parse the log for replay: all well-formed records up to the first torn
+    frame, plus the byte count read. Returns [[], 0] when the file is
+    missing or belongs to a different epoch. *)
+
+val log_path : dir:string -> string

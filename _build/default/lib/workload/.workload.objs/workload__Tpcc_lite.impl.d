@@ -1,0 +1,1 @@
+lib/workload/tpcc_lite.ml: Array Core Int64 List Printf Storage Txn Unix Util

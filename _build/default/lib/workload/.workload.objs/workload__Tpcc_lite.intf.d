@@ -1,0 +1,1 @@
+lib/workload/tpcc_lite.mli: Core Util

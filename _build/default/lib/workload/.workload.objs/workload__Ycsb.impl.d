@@ -1,0 +1,1 @@
+lib/workload/ycsb.ml: Array Core Hashtbl Printf Storage Txn Util

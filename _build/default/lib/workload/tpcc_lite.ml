@@ -1,0 +1,373 @@
+module Engine = Core.Engine
+module Schema = Storage.Schema
+module Value = Storage.Value
+module Prng = Util.Prng
+
+let table_names = [ "warehouse"; "district"; "customer"; "orders"; "order_line" ]
+
+(* Globally unique integer keys:
+     warehouse : w_id
+     district  : d_key = w_id * 1_000 + d_id
+     customer  : c_key = d_key * 10_000 + c_id
+     orders    : o_id  = a session counter
+   Every key column is indexed, so point transactions go through the
+   persistent dictionaries and secondary indexes. *)
+
+let d_key ~w_id ~d_id = (w_id * 1_000) + d_id
+let c_key ~w_id ~d_id ~c_id = (d_key ~w_id ~d_id * 10_000) + c_id
+
+let warehouse_schema =
+  [|
+    Schema.column ~indexed:true "w_id" Value.Int_t;
+    Schema.column "w_name" Value.Text_t;
+    Schema.column "w_ytd" Value.Int_t;
+  |]
+
+let district_schema =
+  [|
+    Schema.column ~indexed:true "d_key" Value.Int_t;
+    Schema.column "d_name" Value.Text_t;
+    Schema.column "d_ytd" Value.Int_t;
+    Schema.column "d_next_o_id" Value.Int_t;
+  |]
+
+let customer_schema =
+  [|
+    Schema.column ~indexed:true "c_key" Value.Int_t;
+    Schema.column "c_name" Value.Text_t;
+    Schema.column "c_balance" Value.Int_t;
+  |]
+
+let orders_schema =
+  [|
+    Schema.column ~indexed:true "o_id" Value.Int_t;
+    Schema.column ~indexed:true "o_c_key" Value.Int_t;
+    Schema.column "o_d_key" Value.Int_t;
+    Schema.column "o_entry_d" Value.Int_t;
+    Schema.column "o_amount" Value.Int_t;
+    Schema.column "o_delivered" Value.Int_t;
+  |]
+
+let order_line_schema =
+  [|
+    Schema.column ~indexed:true "ol_o_id" Value.Int_t;
+    Schema.column "ol_number" Value.Int_t;
+    Schema.column "ol_item" Value.Text_t;
+    Schema.column "ol_amount" Value.Int_t;
+  |]
+
+type t = {
+  engine : Engine.t;
+  warehouses : int;
+  districts : int;
+  customers : int;
+  mutable next_o_id : int;
+}
+
+let engine t = t.engine
+
+let setup engine ~warehouses ~districts_per_wh ~customers_per_district =
+  Engine.create_table engine ~name:"warehouse" warehouse_schema;
+  Engine.create_table engine ~name:"district" district_schema;
+  Engine.create_table engine ~name:"customer" customer_schema;
+  Engine.create_table engine ~name:"orders" orders_schema;
+  Engine.create_table engine ~name:"order_line" order_line_schema;
+  for w = 1 to warehouses do
+    Engine.with_txn engine (fun txn ->
+        ignore
+          (Engine.insert engine txn "warehouse"
+             [|
+               Value.Int w;
+               Value.Text (Printf.sprintf "warehouse-%d" w);
+               Value.Int 0;
+             |]);
+        for d = 1 to districts_per_wh do
+          ignore
+            (Engine.insert engine txn "district"
+               [|
+                 Value.Int (d_key ~w_id:w ~d_id:d);
+                 Value.Text (Printf.sprintf "district-%d-%d" w d);
+                 Value.Int 0;
+                 Value.Int 1;
+               |]);
+          for c = 1 to customers_per_district do
+            ignore
+              (Engine.insert engine txn "customer"
+                 [|
+                   Value.Int (c_key ~w_id:w ~d_id:d ~c_id:c);
+                   Value.Text (Printf.sprintf "customer-%d-%d-%d" w d c);
+                   Value.Int 1000;
+                 |])
+          done
+        done)
+  done;
+  {
+    engine;
+    warehouses;
+    districts = districts_per_wh;
+    customers = customers_per_district;
+    next_o_id = 0;
+  }
+
+let int_of v = match v with Value.Int i -> i | _ -> invalid_arg "Tpcc_lite: int expected"
+
+let attach engine ~warehouses ~districts_per_wh ~customers_per_district =
+  let max_o_id = ref 0 in
+  Engine.with_txn engine (fun txn ->
+      Engine.scan engine txn "orders" (fun _ values ->
+          max_o_id := max !max_o_id (int_of values.(0))));
+  {
+    engine;
+    warehouses;
+    districts = districts_per_wh;
+    customers = customers_per_district;
+    next_o_id = !max_o_id;
+  }
+
+type mix = { new_order_pct : int; payment_pct : int; delivery_pct : int }
+
+let default_mix = { new_order_pct = 44; payment_pct = 42; delivery_pct = 6 }
+
+type stats = {
+  committed : int;
+  aborted : int;
+  new_orders : int;
+  payments : int;
+  order_statuses : int;
+  deliveries : int;
+}
+
+let pick_customer t rng =
+  let w = Prng.int_in rng 1 t.warehouses in
+  let d = Prng.int_in rng 1 t.districts in
+  let c = Prng.int_in rng 1 t.customers in
+  (w, d, c)
+
+let find_one engine txn tname ~col v =
+  match Engine.lookup engine txn tname ~col v with
+  | (row, values) :: _ -> Some (row, values)
+  | [] -> None
+
+let new_order t rng txn =
+  let e = t.engine in
+  let w, d, c = pick_customer t rng in
+  let ckey = c_key ~w_id:w ~d_id:d ~c_id:c in
+  match find_one e txn "customer" ~col:"c_key" (Value.Int ckey) with
+  | None -> failwith "Tpcc_lite: missing customer"
+  | Some _ -> (
+      let dkey = d_key ~w_id:w ~d_id:d in
+      match find_one e txn "district" ~col:"d_key" (Value.Int dkey) with
+      | None -> failwith "Tpcc_lite: missing district"
+      | Some (drow, dvals) ->
+          t.next_o_id <- t.next_o_id + 1;
+          let o_id = t.next_o_id in
+          let lines = Prng.int_in rng 5 15 in
+          let total = ref 0 in
+          for ol = 1 to lines do
+            let amount = Prng.int_in rng 1 9999 in
+            total := !total + amount;
+            ignore
+              (Engine.insert e txn "order_line"
+                 [|
+                   Value.Int o_id;
+                   Value.Int ol;
+                   Value.Text (Printf.sprintf "item-%d" (Prng.int rng 100_000));
+                   Value.Int amount;
+                 |])
+          done;
+          ignore
+            (Engine.insert e txn "orders"
+               [|
+                 Value.Int o_id;
+                 Value.Int ckey;
+                 Value.Int dkey;
+                 Value.Int (Prng.int rng 1_000_000);
+                 Value.Int !total;
+                 Value.Int 0;
+               |]);
+          let next = int_of dvals.(3) + 1 in
+          ignore
+            (Engine.update e txn "district" drow
+               [| dvals.(0); dvals.(1); dvals.(2); Value.Int next |]))
+
+let payment t rng txn =
+  let e = t.engine in
+  let w, d, c = pick_customer t rng in
+  let amount = Prng.int_in rng 1 5000 in
+  (match find_one e txn "warehouse" ~col:"w_id" (Value.Int w) with
+  | Some (row, vals) ->
+      ignore
+        (Engine.update e txn "warehouse" row
+           [| vals.(0); vals.(1); Value.Int (int_of vals.(2) + amount) |])
+  | None -> failwith "Tpcc_lite: missing warehouse");
+  (match
+     find_one e txn "district" ~col:"d_key" (Value.Int (d_key ~w_id:w ~d_id:d))
+   with
+  | Some (row, vals) ->
+      ignore
+        (Engine.update e txn "district" row
+           [| vals.(0); vals.(1); Value.Int (int_of vals.(2) + amount); vals.(3) |])
+  | None -> failwith "Tpcc_lite: missing district");
+  match
+    find_one e txn "customer" ~col:"c_key"
+      (Value.Int (c_key ~w_id:w ~d_id:d ~c_id:c))
+  with
+  | Some (row, vals) ->
+      ignore
+        (Engine.update e txn "customer" row
+           [| vals.(0); vals.(1); Value.Int (int_of vals.(2) - amount) |])
+  | None -> failwith "Tpcc_lite: missing customer"
+
+let order_status t rng txn =
+  let e = t.engine in
+  let w, d, c = pick_customer t rng in
+  let ckey = c_key ~w_id:w ~d_id:d ~c_id:c in
+  let orders = Engine.lookup e txn "orders" ~col:"o_c_key" (Value.Int ckey) in
+  match List.rev orders with
+  | [] -> ()
+  | (_, ovals) :: _ ->
+      ignore (Engine.lookup e txn "order_line" ~col:"ol_o_id" ovals.(0))
+
+(* deliver the oldest undelivered order of a random district: an
+   update-heavy transaction that invalidates order versions (the merge
+   compacts them) *)
+let delivery t rng txn =
+  let e = t.engine in
+  let w = Prng.int_in rng 1 t.warehouses in
+  let d = Prng.int_in rng 1 t.districts in
+  let dkey = d_key ~w_id:w ~d_id:d in
+  let candidates =
+    Engine.lookup e txn "orders" ~col:"o_d_key" (Value.Int dkey)
+  in
+  let oldest =
+    List.fold_left
+      (fun acc (row, vals) ->
+        if int_of vals.(5) = 0 then
+          match acc with
+          | Some (_, best) when int_of best.(0) <= int_of vals.(0) -> acc
+          | _ -> Some (row, vals)
+        else acc)
+      None candidates
+  in
+  match oldest with
+  | None -> ()
+  | Some (row, vals) ->
+      let vals = Array.copy vals in
+      vals.(5) <- Value.Int 1;
+      ignore (Engine.update e txn "orders" row vals)
+
+type kind = New_order | Payment | Order_status | Delivery
+
+let pick_kind rng mix =
+  let r = Prng.int rng 100 in
+  if r < mix.new_order_pct then New_order
+  else if r < mix.new_order_pct + mix.payment_pct then Payment
+  else if r < mix.new_order_pct + mix.payment_pct + mix.delivery_pct then
+    Delivery
+  else Order_status
+
+let exec_kind t rng txn = function
+  | New_order -> new_order t rng txn
+  | Payment -> payment t rng txn
+  | Order_status -> order_status t rng txn
+  | Delivery -> delivery t rng txn
+
+let run_one t rng ?(mix = default_mix) () =
+  let kind = pick_kind rng mix in
+  let txn = Engine.begin_txn t.engine in
+  match
+    exec_kind t rng txn kind;
+    Engine.commit t.engine txn
+  with
+  | _ -> true
+  | exception Txn.Mvcc.Write_conflict _ ->
+      Engine.abort t.engine txn;
+      false
+
+let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+
+let run t rng ?(mix = default_mix) ?latencies ~ops () =
+  let stats =
+    ref
+      {
+        committed = 0;
+        aborted = 0;
+        new_orders = 0;
+        payments = 0;
+        order_statuses = 0;
+        deliveries = 0;
+      }
+  in
+  for _ = 1 to ops do
+    let kind = pick_kind rng mix in
+    let t0 = match latencies with Some _ -> now_ns () | None -> 0 in
+    let txn = Engine.begin_txn t.engine in
+    (match
+       exec_kind t rng txn kind;
+       Engine.commit t.engine txn
+     with
+    | _ ->
+        let s = !stats in
+        stats :=
+          {
+            s with
+            committed = s.committed + 1;
+            new_orders = (s.new_orders + if kind = New_order then 1 else 0);
+            payments = (s.payments + if kind = Payment then 1 else 0);
+            order_statuses =
+              (s.order_statuses + if kind = Order_status then 1 else 0);
+            deliveries = (s.deliveries + if kind = Delivery then 1 else 0);
+          }
+    | exception Txn.Mvcc.Write_conflict _ ->
+        Engine.abort t.engine txn;
+        stats := { !stats with aborted = !stats.aborted + 1 });
+    match latencies with
+    | Some h -> Util.Histogram.record h (now_ns () - t0)
+    | None -> ()
+  done;
+  !stats
+
+let district_revenue t ~w_id ~d_id =
+  let dkey = d_key ~w_id ~d_id in
+  Engine.with_txn t.engine (fun txn ->
+      List.fold_left
+        (fun acc (_, ovals) -> acc + int_of ovals.(4))
+        0
+        (Engine.lookup t.engine txn "orders" ~col:"o_d_key" (Value.Int dkey)))
+
+let total_orders t =
+  Engine.with_txn t.engine (fun txn -> Engine.count t.engine txn "orders")
+
+let consistency_check t =
+  let e = t.engine in
+  Engine.with_txn e (fun txn ->
+      (* warehouse YTD = sum of district YTD *)
+      let wh_ok = ref true in
+      Engine.scan e txn "warehouse" (fun _ wvals ->
+          let w = int_of wvals.(0) in
+          let dsum = ref 0 in
+          for d = 1 to t.districts do
+            match
+              find_one e txn "district" ~col:"d_key"
+                (Value.Int (d_key ~w_id:w ~d_id:d))
+            with
+            | Some (_, dvals) -> dsum := !dsum + int_of dvals.(2)
+            | None -> wh_ok := false
+          done;
+          if !dsum <> int_of wvals.(2) then wh_ok := false);
+      (* every order's amount = sum of its line amounts (sampled) *)
+      let ord_ok = ref true in
+      let checked = ref 0 in
+      Engine.scan e txn "orders" (fun _ ovals ->
+          if !checked < 50 then begin
+            incr checked;
+            let sum =
+              List.fold_left
+                (fun acc (_, lvals) -> acc + int_of lvals.(3))
+                0
+                (Engine.lookup e txn "order_line" ~col:"ol_o_id" ovals.(0))
+            in
+            if sum <> int_of ovals.(4) then ord_ok := false
+          end);
+      [ ("warehouse ytd = sum(district ytd)", !wh_ok);
+        ("order amount = sum(line amounts)", !ord_ok) ])

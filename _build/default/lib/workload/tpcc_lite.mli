@@ -1,0 +1,82 @@
+(** TPC-C-inspired order-processing workload (interactive OLTP).
+
+    A faithful-in-spirit subset of the workload the Hyrise-NV evaluation
+    drives: warehouses / districts / customers / orders / order lines,
+    with the three classic transaction profiles —
+
+    - {b new-order} (write-heavy): read a customer, insert an order and
+      5–15 order lines, bump the district's next-order counter;
+    - {b payment} (update-heavy): update warehouse, district and customer
+      balances;
+    - {b order-status} (read-only): find a customer's most recent order
+      and its lines;
+    - {b delivery} (update-heavy): mark a district's oldest undelivered
+      order delivered, invalidating its previous version.
+
+    Keys are globally unique integers over indexed columns, so every
+    lookup exercises the persistent dictionary and secondary index path.
+    All randomness comes from the supplied PRNG — a fixed seed reproduces
+    the exact transaction stream. *)
+
+type t
+(** A driver session bound to one engine instance. *)
+
+val table_names : string list
+
+val setup :
+  Core.Engine.t ->
+  warehouses:int ->
+  districts_per_wh:int ->
+  customers_per_district:int ->
+  t
+(** Create and populate the schema (auto-committed transactions). *)
+
+val attach :
+  Core.Engine.t ->
+  warehouses:int ->
+  districts_per_wh:int ->
+  customers_per_district:int ->
+  t
+(** Re-bind a driver to a recovered engine holding an already populated
+    instance of the same shape (recomputes the order-id counter). *)
+
+val engine : t -> Core.Engine.t
+
+type mix = {
+  new_order_pct : int;
+  payment_pct : int;
+  delivery_pct : int; (* rest: order-status *)
+}
+
+val default_mix : mix
+(** 44% new-order, 42% payment, 6% delivery, 8% order-status. *)
+
+type stats = {
+  committed : int;
+  aborted : int;
+  new_orders : int;
+  payments : int;
+  order_statuses : int;
+  deliveries : int;
+}
+
+val run :
+  t -> Util.Prng.t -> ?mix:mix -> ?latencies:Util.Histogram.t -> ops:int ->
+  unit -> stats
+(** Execute [ops] transactions. Write conflicts abort the transaction and
+    count in [aborted] (no retry). When [latencies] is given, each
+    transaction's wall time (ns) is recorded into it. *)
+
+val run_one : t -> Util.Prng.t -> ?mix:mix -> unit -> bool
+(** One transaction; [true] if it committed. *)
+
+val district_revenue : t -> w_id:int -> d_id:int -> int
+(** Analytic query: total order amount of one district (CH-benCH-style
+    query on the OLTP schema). *)
+
+val total_orders : t -> int
+
+val consistency_check : t -> (string * bool) list
+(** Invariants that must hold in any committed state: warehouse YTD equals
+    the sum of its districts' YTD, and every order's amount equals the sum
+    of its lines (checked on a sample). Used by crash tests. *)

@@ -1,0 +1,164 @@
+module Engine = Core.Engine
+module Schema = Storage.Schema
+module Value = Storage.Value
+module Prng = Util.Prng
+
+type config = {
+  rows : int;
+  field_length : int;
+  fields : int;
+  read_pct : int;
+  update_pct : int;
+  zipf_theta : float;
+}
+
+let default_config =
+  {
+    rows = 10_000;
+    field_length = 64;
+    fields = 4;
+    read_pct = 50;
+    update_pct = 40;
+    zipf_theta = 0.99;
+  }
+
+let table_name = "usertable"
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  mutable keys : int; (* keys 1..keys exist *)
+  mutable zipf : Prng.Zipf.gen option; (* lazily sized to [keys] *)
+}
+
+let engine t = t.engine
+
+let schema config =
+  Array.append
+    [| Schema.column ~indexed:true "key" Value.Int_t |]
+    (Array.init config.fields (fun i ->
+         Schema.column (Printf.sprintf "field%d" i) Value.Text_t))
+
+let make_row config rng key =
+  Array.append
+    [| Value.Int key |]
+    (Array.init config.fields (fun _ ->
+         Value.Text (Prng.alpha_string rng config.field_length)))
+
+let setup engine rng config =
+  Engine.create_table engine ~name:table_name (schema config);
+  let batch = 256 in
+  let remaining = ref config.rows in
+  let next_key = ref 0 in
+  while !remaining > 0 do
+    let n = min batch !remaining in
+    Engine.with_txn engine (fun txn ->
+        for _ = 1 to n do
+          incr next_key;
+          ignore (Engine.insert engine txn table_name (make_row config rng !next_key))
+        done);
+    remaining := !remaining - n
+  done;
+  { engine; config; keys = config.rows; zipf = None }
+
+let attach engine config =
+  let max_key = ref 0 in
+  Engine.with_txn engine (fun txn ->
+      Engine.scan engine txn table_name (fun _ values ->
+          match values.(0) with
+          | Value.Int k -> max_key := max !max_key k
+          | _ -> ()));
+  { engine; config; keys = !max_key; zipf = None }
+
+let pick_key t rng =
+  if t.config.zipf_theta <= 0.0 then 1 + Prng.int rng (max 1 t.keys)
+  else begin
+    let zipf =
+      match t.zipf with
+      | Some z -> z
+      | None ->
+          let z = Prng.Zipf.create ~n:(max 1 t.keys) ~theta:t.config.zipf_theta in
+          t.zipf <- Some z;
+          z
+    in
+    1 + Prng.Zipf.draw zipf rng
+  end
+
+type stats = { reads : int; updates : int; inserts : int; aborted : int }
+
+type kind = Read | Update | Insert
+
+let pick_kind t rng =
+  let r = Prng.int rng 100 in
+  if r < t.config.read_pct then Read
+  else if r < t.config.read_pct + t.config.update_pct then Update
+  else Insert
+
+let exec t rng txn = function
+  | Read ->
+      ignore
+        (Engine.lookup t.engine txn table_name ~col:"key"
+           (Value.Int (pick_key t rng)))
+  | Update -> (
+      let key = pick_key t rng in
+      match Engine.lookup t.engine txn table_name ~col:"key" (Value.Int key) with
+      | (row, values) :: _ ->
+          let values = Array.copy values in
+          let f = 1 + Prng.int rng t.config.fields in
+          values.(f) <- Value.Text (Prng.alpha_string rng t.config.field_length);
+          ignore (Engine.update t.engine txn table_name row values)
+      | [] -> ())
+  | Insert ->
+      (* key growth only becomes visible to the picker on commit *)
+      let key = t.keys + 1 in
+      ignore (Engine.insert t.engine txn table_name (make_row t.config rng key));
+      t.keys <- key;
+      t.zipf <- None
+
+let run_one t rng =
+  let kind = pick_kind t rng in
+  let txn = Engine.begin_txn t.engine in
+  match
+    exec t rng txn kind;
+    Engine.commit t.engine txn
+  with
+  | _ -> true
+  | exception Txn.Mvcc.Write_conflict _ ->
+      Engine.abort t.engine txn;
+      false
+
+let run t rng ~ops =
+  let reads = ref 0 and updates = ref 0 and inserts = ref 0 and aborted = ref 0 in
+  for _ = 1 to ops do
+    let kind = pick_kind t rng in
+    let txn = Engine.begin_txn t.engine in
+    match
+      exec t rng txn kind;
+      Engine.commit t.engine txn
+    with
+    | _ -> (
+        match kind with
+        | Read -> incr reads
+        | Update -> incr updates
+        | Insert -> incr inserts)
+    | exception Txn.Mvcc.Write_conflict _ ->
+        Engine.abort t.engine txn;
+        incr aborted
+  done;
+  { reads = !reads; updates = !updates; inserts = !inserts; aborted = !aborted }
+
+let row_count t =
+  Engine.with_txn t.engine (fun txn -> Engine.count t.engine txn table_name)
+
+let checksum t =
+  (* order-insensitive: sum of row digests *)
+  let acc = ref 0 in
+  Engine.with_txn t.engine (fun txn ->
+      Engine.scan t.engine txn table_name (fun _ values ->
+          let row_digest =
+            Array.fold_left
+              (fun h v -> (h * 1_000_003) + Hashtbl.hash (Value.to_string v))
+              17 values
+          in
+          acc := !acc + row_digest));
+  !acc

@@ -1,0 +1,44 @@
+(** YCSB-style key-value workload over a single wide table.
+
+    Used by the recovery experiments (E1/T1): bulk-load a parameterizable
+    number of rows, then run a read/update/insert mix with zipfian key
+    selection. The row payload width is configurable so dataset size can
+    be scaled independently of row count. *)
+
+type t
+
+type config = {
+  rows : int;  (** initial load *)
+  field_length : int;  (** bytes per text field *)
+  fields : int;  (** text fields per row *)
+  read_pct : int;
+  update_pct : int;  (** rest: inserts *)
+  zipf_theta : float;  (** 0.0 = uniform *)
+}
+
+val default_config : config
+(** 10k rows, 4 fields x 64 bytes, 50/40/10 read/update/insert,
+    theta 0.99. *)
+
+val table_name : string
+
+val setup : Core.Engine.t -> Util.Prng.t -> config -> t
+(** Create and bulk-load the table (batched transactions). *)
+
+val attach : Core.Engine.t -> config -> t
+(** Re-bind to a recovered engine (recomputes the key counter). *)
+
+val engine : t -> Core.Engine.t
+
+type stats = { reads : int; updates : int; inserts : int; aborted : int }
+
+val run : t -> Util.Prng.t -> ops:int -> stats
+
+val run_one : t -> Util.Prng.t -> bool
+
+val row_count : t -> int
+
+val checksum : t -> int
+(** Order-insensitive digest of the visible table contents; equal
+    checksums before a crash and after recovery mean no committed data was
+    lost or corrupted. *)

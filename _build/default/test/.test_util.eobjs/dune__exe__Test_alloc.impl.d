@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Int64 List Nvm Nvm_alloc Option QCheck QCheck_alcotest String Util

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Array Char Core Int64 List Nvm Nvm_alloc Printf Storage String Util

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Core Filename Fmt Gen Int64 List Nvm Printf QCheck QCheck_alcotest Storage Sys Txn Util Wal Workload

@@ -1,0 +1,1 @@
+test/test_nvm.ml: Alcotest Array Bytes Char Filename Fun Gen Int64 List Nvm Printf QCheck QCheck_alcotest String Sys Util

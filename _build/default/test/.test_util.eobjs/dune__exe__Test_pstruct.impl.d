@@ -1,0 +1,1 @@
+test/test_pstruct.ml: Alcotest Array Gen Hashtbl Int64 List Nvm Nvm_alloc Printf Pstruct QCheck QCheck_alcotest Set String Util

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Char Core Gen List Printf QCheck QCheck_alcotest Query Storage String Util

@@ -1,0 +1,1 @@
+test/test_repl.ml: Alcotest Array Core List Nvm Printf Query Repl Storage String

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Fmt Gen Int64 List Nvm Nvm_alloc Printf QCheck QCheck_alcotest Storage

@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Array Gen List Nvm Nvm_alloc QCheck QCheck_alcotest Storage Txn

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Gen Histogram List Prng QCheck QCheck_alcotest String Tabular Util

@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Array Buffer Bytes Filename Int64 List QCheck QCheck_alcotest Storage String Sys Unix Wal

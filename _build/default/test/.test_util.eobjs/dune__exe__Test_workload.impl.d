@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Core Hashtbl List Nvm Storage Util Workload

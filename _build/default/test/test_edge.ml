@@ -1,0 +1,264 @@
+(* Cross-cutting edge cases: odd configurations, empty and degenerate
+   inputs, large values, multi-table atomicity — the long tail a
+   production engine has to get right. *)
+
+module E = Core.Engine
+module Region = Nvm.Region
+module A = Nvm_alloc.Allocator
+module Value = Storage.Value
+module Schema = Storage.Schema
+module Table = Storage.Table
+module Cid = Storage.Cid
+module Prng = Util.Prng
+
+let nvm_engine ?(size = 16 * 1024 * 1024) () =
+  E.create (E.default_config ~size E.Nvm)
+
+(* -------- region configurations -------- *)
+
+let test_region_odd_size_rounds_up () =
+  let r = Region.create { Region.default_config with size = 1000 } in
+  Alcotest.(check int) "rounded to full lines" 1024 (Region.size r)
+
+let test_region_alternate_line_size () =
+  let r = Region.create { Region.default_config with size = 4096; line_size = 128 } in
+  Alcotest.(check int) "line size" 128 (Region.line_size r);
+  Region.set_i64 r 8 5L;
+  Region.persist r 8 8;
+  (* 128-byte line granularity: offset 120 shares the line *)
+  Region.set_i64 r 120 6L;
+  Region.crash r Region.Drop_unfenced;
+  Alcotest.(check int64) "persisted" 5L (Region.get_i64 r 8)
+
+let test_region_bad_line_size () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Region.create: line_size must be a power of two")
+    (fun () ->
+      ignore (Region.create { Region.default_config with line_size = 48 }))
+
+(* -------- allocator edges -------- *)
+
+let test_alloc_zero_and_tiny () =
+  let a = A.format (Region.create (Region.config_with_size 65536)) in
+  let p0 = A.alloc a 0 in
+  Alcotest.(check bool) "min payload" true (A.usable_size a p0 >= 8);
+  A.activate a p0;
+  let p1 = A.alloc a 1 in
+  Alcotest.(check bool) "rounded" true (A.usable_size a p1 >= 8);
+  A.activate a p1
+
+let test_alloc_exact_fit_no_split () =
+  let a = A.format (Region.create (Region.config_with_size 65536)) in
+  let p = A.alloc a 100 in
+  A.activate a p;
+  A.free a p;
+  (* re-allocating with a size that cannot split (remainder < min block)
+     must hand back the whole block *)
+  let p2 = A.alloc a (A.usable_size a p - 8) in
+  Alcotest.(check int) "same block reused" p p2;
+  Alcotest.(check int) "no shrink below original" (A.usable_size a p)
+    (A.usable_size a p2)
+
+let test_alloc_negative_rejected () =
+  let a = A.format (Region.create (Region.config_with_size 65536)) in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Allocator.alloc: negative size") (fun () ->
+      ignore (A.alloc a (-1)))
+
+(* -------- table / merge edges -------- *)
+
+let simple = [| Schema.column ~indexed:true "k" Value.Int_t |]
+
+let test_merge_empty_table () =
+  let a = A.format (Region.create (Region.config_with_size (4 * 1024 * 1024))) in
+  let t = Table.create a ~name:"t" simple in
+  let merged, stats, finalize = Storage.Merge.run a t ~merge_cid:Cid.zero in
+  finalize ();
+  Alcotest.(check int) "no rows" 0 stats.Storage.Merge.rows_out;
+  Alcotest.(check int) "empty main" 0 (Table.main_rows merged);
+  (* still writable *)
+  ignore (Table.append_row merged [| Value.Int 1 |])
+
+let test_merge_all_rows_dead () =
+  let a = A.format (Region.create (Region.config_with_size (4 * 1024 * 1024))) in
+  let t = Table.create a ~name:"t" simple in
+  for i = 0 to 9 do
+    let r = Table.append_row t [| Value.Int i |] in
+    Table.set_begin_cid t r 1L;
+    Table.set_end_cid t r 2L
+  done;
+  Table.publish t;
+  let merged, stats, finalize = Storage.Merge.run a t ~merge_cid:2L in
+  finalize ();
+  Alcotest.(check int) "in" 10 stats.Storage.Merge.rows_in;
+  Alcotest.(check int) "all compacted away" 0 stats.Storage.Merge.rows_out;
+  Alcotest.(check int) "dictionaries emptied" 0 (Table.main_dictionary_size merged 0)
+
+let test_double_merge () =
+  let e = nvm_engine () in
+  E.create_table e ~name:"t" simple;
+  E.with_txn e (fun txn -> ignore (E.insert e txn "t" [| Value.Int 1 |]));
+  ignore (E.merge e "t");
+  ignore (E.merge e "t");
+  E.with_txn e (fun txn -> Alcotest.(check int) "still there" 1 (E.count e txn "t"))
+
+let test_float_column_roundtrip_through_merge_and_crash () =
+  let e = nvm_engine () in
+  E.create_table e ~name:"f"
+    [| Schema.column "x" Value.Float_t; Schema.column "tag" Value.Int_t |];
+  let values = [ 0.0; -0.0; 1.5; -273.15; 1e300; 4e-300 ] in
+  E.with_txn e (fun txn ->
+      List.iteri
+        (fun i x -> ignore (E.insert e txn "f" [| Value.Float x; Value.Int i |]))
+        values);
+  ignore (E.merge e "f");
+  let e2, _ = E.recover (E.crash e Region.Drop_unfenced) in
+  E.with_txn e2 (fun txn ->
+      let got = ref [] in
+      E.scan e2 txn "f" (fun _ vals ->
+          match vals.(0) with Value.Float x -> got := x :: !got | _ -> ());
+      Alcotest.(check (list (float 0.0))) "floats survive merge+crash"
+        (List.sort compare values)
+        (List.sort compare !got))
+
+let test_large_text_values () =
+  let e = nvm_engine ~size:(32 * 1024 * 1024) () in
+  E.create_table e ~name:"t"
+    [| Schema.column ~indexed:true "k" Value.Int_t; Schema.column "blob" Value.Text_t |];
+  let blob = String.init 100_000 (fun i -> Char.chr (32 + (i mod 90))) in
+  E.with_txn e (fun txn ->
+      ignore (E.insert e txn "t" [| Value.Int 1; Value.Text blob |]));
+  let e2, _ = E.recover (E.crash e Region.Drop_unfenced) in
+  E.with_txn e2 (fun txn ->
+      match E.lookup e2 txn "t" ~col:"k" (Value.Int 1) with
+      | [ (_, [| _; Value.Text b |]) ] ->
+          Alcotest.(check int) "100k blob intact" (String.length blob)
+            (String.length b);
+          Alcotest.(check bool) "content equal" true (b = blob)
+      | _ -> Alcotest.fail "row lost")
+
+let test_many_tables_recovery () =
+  let e = nvm_engine ~size:(64 * 1024 * 1024) () in
+  for i = 0 to 19 do
+    E.create_table e ~name:(Printf.sprintf "t%02d" i) simple;
+    E.with_txn e (fun txn ->
+        ignore (E.insert e txn (Printf.sprintf "t%02d" i) [| Value.Int i |]))
+  done;
+  let e2, stats = E.recover (E.crash e Region.Drop_unfenced) in
+  (match stats.E.detail with
+  | E.Rv_nvm { tables; _ } -> Alcotest.(check int) "20 tables" 20 tables
+  | _ -> Alcotest.fail "wrong mode");
+  Alcotest.(check int) "names preserved" 20 (List.length (E.table_names e2));
+  E.with_txn e2 (fun txn ->
+      for i = 0 to 19 do
+        Alcotest.(check int)
+          (Printf.sprintf "t%02d content" i)
+          1
+          (E.count e2 txn (Printf.sprintf "t%02d" i))
+      done)
+
+let test_cross_table_transaction_atomic_under_crash () =
+  (* one transaction spanning two tables either lands in both or neither *)
+  for fuse = 0 to 30 do
+    let e = nvm_engine () in
+    E.create_table e ~name:"a" simple;
+    E.create_table e ~name:"b" simple;
+    (* a committed baseline *)
+    E.with_txn e (fun txn ->
+        ignore (E.insert e txn "a" [| Value.Int 0 |]);
+        ignore (E.insert e txn "b" [| Value.Int 0 |]));
+    let region = E.region e in
+    Region.arm_crash region ~after_ops:(fuse * 7);
+    (try
+       E.with_txn e (fun txn ->
+           ignore (E.insert e txn "a" [| Value.Int 1 |]);
+           ignore (E.insert e txn "b" [| Value.Int 1 |]))
+     with Region.Power_failure -> ());
+    Region.disarm_crash region;
+    let e2, _ =
+      E.recover (E.crash e (Region.Adversarial (Prng.create (Int64.of_int fuse))))
+    in
+    E.with_txn e2 (fun txn ->
+        let ca = E.count e2 txn "a" and cb = E.count e2 txn "b" in
+        if ca <> cb then
+          Alcotest.failf "cross-table atomicity broken at fuse %d: a=%d b=%d"
+            fuse ca cb)
+  done
+
+let test_delete_then_reinsert_same_key () =
+  let e = nvm_engine () in
+  E.create_table e ~name:"t" simple;
+  let r = E.with_txn e (fun txn -> E.insert e txn "t" [| Value.Int 7 |]) in
+  E.with_txn e (fun txn ->
+      E.delete e txn "t" r;
+      ignore (E.insert e txn "t" [| Value.Int 7 |]));
+  E.with_txn e (fun txn ->
+      Alcotest.(check int) "exactly one version visible" 1
+        (List.length (E.lookup e txn "t" ~col:"k" (Value.Int 7))))
+
+let test_empty_string_dictionary_entry () =
+  let e = nvm_engine () in
+  E.create_table e ~name:"t"
+    [| Schema.column ~indexed:true "s" Value.Text_t |];
+  E.with_txn e (fun txn ->
+      ignore (E.insert e txn "t" [| Value.Text "" |]);
+      ignore (E.insert e txn "t" [| Value.Text "" |]);
+      ignore (E.insert e txn "t" [| Value.Text "x" |]));
+  E.with_txn e (fun txn ->
+      Alcotest.(check int) "empty string lookup" 2
+        (List.length (E.lookup e txn "t" ~col:"s" (Value.Text ""))));
+  ignore (E.merge e "t");
+  E.with_txn e (fun txn ->
+      Alcotest.(check int) "after merge" 2
+        (List.length (E.lookup e txn "t" ~col:"s" (Value.Text ""))))
+
+let test_region_out_of_space_surfaces () =
+  (* exhausting the region raises Out_of_space, not corruption *)
+  let e = nvm_engine ~size:(A.min_region_size + 65536) () in
+  E.create_table e ~name:"t"
+    [| Schema.column "blob" Value.Text_t |];
+  (try
+     for _ = 1 to 10_000 do
+       E.with_txn e (fun txn ->
+           ignore (E.insert e txn "t" [| Value.Text (String.make 1000 'x') |]))
+     done;
+     Alcotest.fail "expected Out_of_space"
+   with A.Out_of_space _ -> ())
+
+let () =
+  Alcotest.run "edge"
+    [
+      ( "region",
+        [
+          Alcotest.test_case "odd size rounds" `Quick test_region_odd_size_rounds_up;
+          Alcotest.test_case "128B lines" `Quick test_region_alternate_line_size;
+          Alcotest.test_case "bad line size" `Quick test_region_bad_line_size;
+        ] );
+      ( "allocator",
+        [
+          Alcotest.test_case "zero/tiny sizes" `Quick test_alloc_zero_and_tiny;
+          Alcotest.test_case "exact fit" `Quick test_alloc_exact_fit_no_split;
+          Alcotest.test_case "negative size" `Quick test_alloc_negative_rejected;
+        ] );
+      ( "storage",
+        [
+          Alcotest.test_case "merge empty table" `Quick test_merge_empty_table;
+          Alcotest.test_case "merge all dead" `Quick test_merge_all_rows_dead;
+          Alcotest.test_case "double merge" `Quick test_double_merge;
+          Alcotest.test_case "float columns" `Quick
+            test_float_column_roundtrip_through_merge_and_crash;
+          Alcotest.test_case "100k text blobs" `Quick test_large_text_values;
+          Alcotest.test_case "empty string values" `Quick
+            test_empty_string_dictionary_entry;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "20 tables recover" `Quick test_many_tables_recovery;
+          Alcotest.test_case "cross-table atomicity" `Slow
+            test_cross_table_transaction_atomic_under_crash;
+          Alcotest.test_case "delete+reinsert in one txn" `Quick
+            test_delete_then_reinsert_same_key;
+          Alcotest.test_case "out of space surfaces" `Quick
+            test_region_out_of_space_surfaces;
+        ] );
+    ]

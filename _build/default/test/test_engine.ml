@@ -1,0 +1,628 @@
+(* Integration tests for the engine: query surface, merge/checkpoint,
+   crash/recovery in all three durability modes, and golden-model crash
+   fuzzing — the test that backs the paper's "transactionally consistent
+   on NVM" claim. *)
+
+module E = Core.Engine
+module Region = Nvm.Region
+module Value = Storage.Value
+module Schema = Storage.Schema
+module Cid = Storage.Cid
+module Mvcc = Txn.Mvcc
+module Prng = Util.Prng
+
+let value_t = Alcotest.testable (Fmt.of_to_string Value.to_string) Value.equal
+
+let tmpdir () =
+  let d = Filename.temp_file "enginetest" "" in
+  Sys.remove d;
+  d
+
+let nvm_engine ?(size = 16 * 1024 * 1024) () =
+  E.create (E.default_config ~size E.Nvm)
+
+let log_engine ?(size = 16 * 1024 * 1024) ?(group = 1) () =
+  let dir = tmpdir () in
+  E.create
+    {
+      E.region = Region.config_with_size size;
+      durability = E.Logging { Wal.Log.dir; group_commit_size = group; fsync = false };
+    }
+
+let volatile_engine ?(size = 16 * 1024 * 1024) () =
+  E.create (E.default_config ~size E.Volatile)
+
+let kv_schema =
+  [| Schema.column ~indexed:true "k" Value.Int_t; Schema.column "v" Value.Text_t |]
+
+let kv k v = [| Value.Int k; Value.Text v |]
+
+let setup_kv e =
+  E.create_table e ~name:"kv" kv_schema;
+  e
+
+(* visible contents as a sorted (k, v) assoc list *)
+let dump e =
+  E.with_txn e (fun txn ->
+      List.sort compare
+        (List.map
+           (fun (_, values) ->
+             match values with
+             | [| Value.Int k; Value.Text v |] -> (k, v)
+             | _ -> assert false)
+           (E.select e txn "kv" ~where:(fun _ -> true))))
+
+(* -------- basic query surface -------- *)
+
+let test_ddl () =
+  let e = nvm_engine () in
+  E.create_table e ~name:"a" kv_schema;
+  E.create_table e ~name:"b" kv_schema;
+  Alcotest.(check (list string)) "names in order" [ "a"; "b" ] (E.table_names e);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Engine.create_table: duplicate table a") (fun () ->
+      E.create_table e ~name:"a" kv_schema);
+  Alcotest.check_raises "unknown table" Not_found (fun () -> ignore (E.table e "zz"))
+
+let test_insert_select () =
+  let e = setup_kv (nvm_engine ()) in
+  E.with_txn e (fun txn ->
+      ignore (E.insert e txn "kv" (kv 1 "one"));
+      ignore (E.insert e txn "kv" (kv 2 "two")));
+  Alcotest.(check (list (pair int string))) "contents" [ (1, "one"); (2, "two") ]
+    (dump e);
+  E.with_txn e (fun txn ->
+      Alcotest.(check int) "count" 2 (E.count e txn "kv");
+      match E.lookup e txn "kv" ~col:"k" (Value.Int 2) with
+      | [ (_, values) ] -> Alcotest.check value_t "lookup" (Value.Text "two") values.(1)
+      | l -> Alcotest.failf "expected 1 hit, got %d" (List.length l))
+
+let test_update_delete () =
+  let e = setup_kv (nvm_engine ()) in
+  let r =
+    E.with_txn e (fun txn -> E.insert e txn "kv" (kv 1 "old"))
+  in
+  E.with_txn e (fun txn -> ignore (E.update e txn "kv" r (kv 1 "new")));
+  Alcotest.(check (list (pair int string))) "updated" [ (1, "new") ] (dump e);
+  E.with_txn e (fun txn ->
+      match E.lookup e txn "kv" ~col:"k" (Value.Int 1) with
+      | [ (row, _) ] -> E.delete e txn "kv" row
+      | _ -> Alcotest.fail "lookup failed");
+  Alcotest.(check (list (pair int string))) "deleted" [] (dump e)
+
+let test_with_txn_aborts_on_exception () =
+  let e = setup_kv (nvm_engine ()) in
+  (try
+     E.with_txn e (fun txn ->
+         ignore (E.insert e txn "kv" (kv 1 "x"));
+         failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check (list (pair int string))) "rolled back" [] (dump e);
+  Alcotest.(check int) "no active txns" 0 (E.active_txns e)
+
+let test_get_row_visibility () =
+  let e = setup_kv (nvm_engine ()) in
+  let t1 = E.begin_txn e in
+  let r = E.insert e t1 "kv" (kv 1 "x") in
+  let t2 = E.begin_txn e in
+  Alcotest.(check bool) "invisible to t2" true (E.get_row e t2 "kv" r = None);
+  Alcotest.(check bool) "visible to t1" true (E.get_row e t1 "kv" r <> None);
+  Alcotest.(check bool) "out of range" true (E.get_row e t2 "kv" 999 = None);
+  ignore (E.commit e t1);
+  E.abort e t2
+
+let test_sum_int () =
+  let e = nvm_engine () in
+  E.create_table e ~name:"n"
+    [| Schema.column "a" Value.Int_t; Schema.column "b" Value.Text_t |];
+  E.with_txn e (fun txn ->
+      List.iter
+        (fun i -> ignore (E.insert e txn "n" [| Value.Int i; Value.Text "x" |]))
+        [ 1; 2; 3; 4 ]);
+  E.with_txn e (fun txn ->
+      Alcotest.(check int) "sum" 10 (E.sum_int e txn "n" ~col:"a"))
+
+let test_write_conflict_surfaces () =
+  let e = setup_kv (nvm_engine ()) in
+  let r = E.with_txn e (fun txn -> E.insert e txn "kv" (kv 1 "x")) in
+  let t1 = E.begin_txn e and t2 = E.begin_txn e in
+  ignore (E.update e t1 "kv" r (kv 1 "y"));
+  (try
+     ignore (E.update e t2 "kv" r (kv 1 "z"));
+     Alcotest.fail "expected conflict"
+   with Mvcc.Write_conflict _ -> E.abort e t2);
+  ignore (E.commit e t1)
+
+(* -------- merge / checkpoint -------- *)
+
+let test_engine_merge () =
+  let e = setup_kv (nvm_engine ()) in
+  let r = E.with_txn e (fun txn -> E.insert e txn "kv" (kv 1 "a")) in
+  E.with_txn e (fun txn -> ignore (E.update e txn "kv" r (kv 1 "b")));
+  E.with_txn e (fun txn -> ignore (E.insert e txn "kv" (kv 2 "c")));
+  let stats = E.merge e "kv" in
+  Alcotest.(check int) "dead compacted" 2 stats.Storage.Merge.rows_out;
+  Alcotest.(check (list (pair int string))) "contents preserved"
+    [ (1, "b"); (2, "c") ] (dump e);
+  (* writes continue after merge *)
+  E.with_txn e (fun txn -> ignore (E.insert e txn "kv" (kv 3 "d")));
+  Alcotest.(check (list (pair int string))) "delta after merge"
+    [ (1, "b"); (2, "c"); (3, "d") ] (dump e)
+
+let test_merge_requires_quiescence () =
+  let e = setup_kv (nvm_engine ()) in
+  let t = E.begin_txn e in
+  Alcotest.check_raises "active txns"
+    (Invalid_argument "Engine.merge: active transactions") (fun () ->
+      ignore (E.merge e "kv"));
+  E.abort e t
+
+let test_merge_rejected_in_log_mode () =
+  let e = setup_kv (log_engine ()) in
+  (try
+     ignore (E.merge e "kv");
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_checkpoint_all_modes () =
+  List.iter
+    (fun mk ->
+      let e = setup_kv (mk ()) in
+      E.with_txn e (fun txn -> ignore (E.insert e txn "kv" (kv 1 "a")));
+      ignore (E.checkpoint e);
+      Alcotest.(check (list (pair int string))) "contents survive checkpoint"
+        [ (1, "a") ] (dump e))
+    [ nvm_engine ~size:(16 * 1024 * 1024); (fun () -> log_engine ()); volatile_engine ~size:(16 * 1024 * 1024) ]
+
+(* -------- crash and recovery -------- *)
+
+let fill e n =
+  for i = 1 to n do
+    E.with_txn e (fun txn -> ignore (E.insert e txn "kv" (kv i (string_of_int i))))
+  done
+
+let expected n = List.init n (fun i -> (i + 1, string_of_int (i + 1)))
+
+let test_nvm_recovery_exact () =
+  List.iter
+    (fun mode ->
+      let e = setup_kv (nvm_engine ()) in
+      fill e 50;
+      let before = dump e in
+      let rng = Prng.create 5L in
+      let m =
+        match mode with
+        | `Drop -> Region.Drop_unfenced
+        | `Adversarial -> Region.Adversarial rng
+        | `All -> Region.Persist_all
+      in
+      let e2, stats = E.recover (E.crash e m) in
+      Alcotest.(check (list (pair int string))) "exact state" before (dump e2);
+      Alcotest.(check int64) "cid preserved" 50L (E.last_cid e2);
+      match stats.E.detail with
+      | E.Rv_nvm { tables; _ } -> Alcotest.(check int) "tables attached" 1 tables
+      | _ -> Alcotest.fail "wrong detail")
+    [ `Drop; `Adversarial; `All ]
+
+let test_nvm_recovery_rolls_back_inflight () =
+  let e = setup_kv (nvm_engine ()) in
+  fill e 10;
+  (* an in-flight transaction at crash time *)
+  let t = E.begin_txn e in
+  ignore (E.insert e t "kv" (kv 999 "uncommitted"));
+  let e2, stats = E.recover (E.crash e Region.Drop_unfenced) in
+  Alcotest.(check (list (pair int string))) "in-flight gone" (expected 10) (dump e2);
+  (match stats.E.detail with
+  | E.Rv_nvm _ -> ()
+  | _ -> Alcotest.fail "wrong detail");
+  (* and the engine keeps working *)
+  E.with_txn e2 (fun txn -> ignore (E.insert e2 txn "kv" (kv 11 "11")));
+  Alcotest.(check (list (pair int string))) "continues" (expected 11) (dump e2)
+
+let fill_more e =
+  for i = 21 to 30 do
+    E.with_txn e (fun txn -> ignore (E.insert e txn "kv" (kv i (string_of_int i))))
+  done
+
+let test_nvm_recovery_after_merge () =
+  let e = setup_kv (nvm_engine ()) in
+  fill e 20;
+  ignore (E.merge e "kv");
+  fill_more e;
+  let before = dump e in
+  let e2, _ = E.recover (E.crash e Region.Drop_unfenced) in
+  Alcotest.(check (list (pair int string))) "main+delta recovered" before (dump e2)
+
+let test_log_recovery_every_commit_flushed () =
+  let e = setup_kv (log_engine ~group:1 ()) in
+  fill e 30;
+  let before = dump e in
+  let e2, stats = E.recover (E.crash e Region.Drop_unfenced) in
+  Alcotest.(check (list (pair int string))) "no loss at group=1" before (dump e2);
+  match stats.E.detail with
+  | E.Rv_log { committed_txns; log_bytes; _ } ->
+      Alcotest.(check int) "committed txns" 30 committed_txns;
+      Alcotest.(check bool) "replayed bytes" true (log_bytes > 0)
+  | _ -> Alcotest.fail "wrong detail"
+
+let test_log_recovery_group_window_loss () =
+  let e = setup_kv (log_engine ~group:8 ()) in
+  fill e 30;
+  let e2, _ = E.recover (E.crash e Region.Drop_unfenced) in
+  let recovered = dump e2 in
+  let n = List.length recovered in
+  (* 30 commits with groups of 8: 24 durable, 6 in the lost window *)
+  Alcotest.(check int) "whole groups survive" 24 n;
+  Alcotest.(check (list (pair int string))) "prefix semantics" (expected n) recovered
+
+let test_log_recovery_with_checkpoint () =
+  let e = setup_kv (log_engine ~group:1 ()) in
+  fill e 20;
+  ignore (E.checkpoint e);
+  for i = 21 to 25 do
+    E.with_txn e (fun txn -> ignore (E.insert e txn "kv" (kv i (string_of_int i))))
+  done;
+  let e2, stats = E.recover (E.crash e Region.Drop_unfenced) in
+  Alcotest.(check (list (pair int string))) "checkpoint + tail" (expected 25) (dump e2);
+  (match stats.E.detail with
+  | E.Rv_log { checkpoint_rows; committed_txns; _ } ->
+      Alcotest.(check int) "checkpoint rows" 20 checkpoint_rows;
+      Alcotest.(check int) "only tail replayed" 5 committed_txns
+  | _ -> Alcotest.fail "wrong detail");
+  (* crash again right away: double recovery works *)
+  let e3, _ = E.recover (E.crash e2 Region.Drop_unfenced) in
+  Alcotest.(check (list (pair int string))) "second recovery" (expected 25) (dump e3)
+
+let test_log_recovery_updates_and_deletes () =
+  let e = setup_kv (log_engine ~group:1 ()) in
+  fill e 10;
+  E.with_txn e (fun txn ->
+      match E.lookup e txn "kv" ~col:"k" (Value.Int 3) with
+      | [ (row, _) ] -> ignore (E.update e txn "kv" row (kv 3 "updated"))
+      | _ -> Alcotest.fail "lookup");
+  E.with_txn e (fun txn ->
+      match E.lookup e txn "kv" ~col:"k" (Value.Int 7) with
+      | [ (row, _) ] -> E.delete e txn "kv" row
+      | _ -> Alcotest.fail "lookup");
+  let before = dump e in
+  let e2, _ = E.recover (E.crash e Region.Drop_unfenced) in
+  Alcotest.(check (list (pair int string))) "updates+deletes replayed" before (dump e2)
+
+let test_volatile_recovery_loses_everything () =
+  let e = setup_kv (volatile_engine ()) in
+  fill e 10;
+  let e2, stats = E.recover (E.crash e Region.Drop_unfenced) in
+  Alcotest.(check bool) "empty database" true (E.table_names e2 = []);
+  match stats.E.detail with
+  | E.Rv_volatile -> ()
+  | _ -> Alcotest.fail "wrong detail"
+
+let test_crashed_engine_closed () =
+  let e = setup_kv (nvm_engine ()) in
+  ignore (E.crash e Region.Drop_unfenced);
+  Alcotest.check_raises "closed" E.Closed (fun () -> ignore (E.begin_txn e))
+
+(* -------- golden-model crash fuzzing -------- *)
+
+(* A model of committed state per CID, driven by the same random schedule
+   as the engine. At a random point we crash adversarially and recover;
+   NVM must match the model at the last committed CID, Logging at the
+   model of whatever CID it recovered (prefix semantics). *)
+
+type model = (int * string) list (* sorted *)
+
+let apply_model (m : model) ops : model =
+  List.sort compare
+    (List.fold_left
+       (fun m op ->
+         match op with
+         | `Put (k, v) -> (k, v) :: List.remove_assoc k m
+         | `Del k -> List.remove_assoc k m)
+       m ops)
+
+let run_schedule ?(pos0 = 0) e (script : (int * int) list) =
+  (* returns the list of (cid, model) snapshots *)
+  let model = ref [] in
+  let snapshots = ref [ (Cid.zero, []) ] in
+  List.iteri
+    (fun i (key, action) ->
+      let pos = pos0 + i in
+      let k = 1 + (key mod 25) in
+      let txn = E.begin_txn e in
+      let ops = ref [] in
+      (try
+         (match action mod 3 with
+         | 0 ->
+             (* upsert *)
+             (match E.lookup e txn "kv" ~col:"k" (Value.Int k) with
+             | (row, _) :: _ ->
+                 ignore (E.update e txn "kv" row (kv k (string_of_int action)))
+             | [] -> ignore (E.insert e txn "kv" (kv k (string_of_int action))));
+             ops := [ `Put (k, string_of_int action) ]
+         | 1 -> (
+             (* delete if present *)
+             match E.lookup e txn "kv" ~col:"k" (Value.Int k) with
+             | (row, _) :: _ ->
+                 E.delete e txn "kv" row;
+                 ops := [ `Del k ]
+             | [] -> ())
+         | _ ->
+             (* blind insert of a fresh key, unique per script position *)
+             let k2 = 1000 + pos in
+             ignore (E.insert e txn "kv" (kv k2 "blind"));
+             ops := [ `Put (k2, "blind") ]);
+         let cid = E.commit e txn in
+         if !ops <> [] then begin
+           model := apply_model !model !ops;
+           snapshots := (cid, !model) :: !snapshots
+         end
+       with Mvcc.Write_conflict _ -> E.abort e txn))
+    script;
+  !snapshots
+
+let prop_nvm_crash_consistency =
+  QCheck.Test.make ~name:"NVM: adversarial crash recovers last committed state"
+    ~count:40
+    QCheck.(
+      pair int64 (list_of_size Gen.(int_range 1 40) (pair (int_bound 1000) (int_bound 1000))))
+    (fun (seed, script) ->
+      let e = setup_kv (nvm_engine ()) in
+      let snapshots = run_schedule e script in
+      let rng = Prng.create seed in
+      let e2, _ = E.recover (E.crash e (Region.Adversarial rng)) in
+      (* NVM commits synchronously: recovery must land on the LAST cid *)
+      let last = List.hd snapshots in
+      E.last_cid e2 = fst last
+      && dump e2 = snd last)
+
+let prop_publish_modes_crash_consistency =
+  QCheck.Test.make
+    ~name:"all publish modes recover the last committed state" ~count:30
+    QCheck.(
+      triple (oneofl [ `Batched; `Per_table; `Per_vector ])
+        (list_of_size Gen.(int_range 1 30) (pair (int_bound 1000) (int_bound 1000)))
+        int64)
+    (fun (mode, script, seed) ->
+      let e = E.create ~publish_mode:mode (E.default_config ~size:(16 * 1024 * 1024) E.Nvm) in
+      E.create_table e ~name:"kv" kv_schema;
+      let snapshots = run_schedule e script in
+      let rng = Prng.create seed in
+      let e2, _ = E.recover (E.crash e (Region.Adversarial rng)) in
+      let last = List.hd snapshots in
+      E.last_cid e2 = fst last && dump e2 = snd last)
+
+(* The strongest crash test: arm a power failure that fires in the middle
+   of some engine operation — inside the multi-fence commit protocol,
+   inside a dictionary insert, inside an allocator split — then recover
+   and check the database equals the committed-state model at the
+   recovered CID. *)
+let prop_mid_operation_power_failure =
+  QCheck.Test.make ~name:"mid-operation power failure is atomic" ~count:60
+    QCheck.(
+      triple int64
+        (list_of_size Gen.(int_range 5 40) (pair (int_bound 1000) (int_bound 1000)))
+        (int_bound 5000))
+    (fun (seed, script, fuse) ->
+      let e = setup_kv (nvm_engine ()) in
+      let region = E.region e in
+      (* run a prefix normally so there is committed state to protect *)
+      let k = List.length script / 2 in
+      let prefix = List.filteri (fun i _ -> i < k) script in
+      let suffix = List.filteri (fun i _ -> i >= k) script in
+      let snapshots = ref (run_schedule e prefix) in
+      (* arm the fuse, then keep operating until the power dies (or the
+         script ends with the fuse unspent) *)
+      Region.arm_crash region ~after_ops:fuse;
+      (try
+         let more = run_schedule ~pos0:k e suffix in
+         (* run_schedule starts its own model from []; recompute instead:
+            rerun semantics are tracked by re-walking the combined script
+            below, so just note the extra snapshots' cids *)
+         ignore more
+       with Region.Power_failure -> ());
+      Region.disarm_crash region;
+      (* rebuild the authoritative cid->model map by replaying the full
+         script against a pure model, using the cids the engine assigned:
+         cids are sequential, and run_schedule's snapshots carry them. We
+         can't reuse [more] (its model restarted from []), so recompute
+         from scratch against a fresh shadow engine is overkill — instead
+         derive: committed state must match SOME prefix model of the pure
+         fold. *)
+      let rng = Prng.create seed in
+      let e2, _ = E.recover (E.crash e (Region.Adversarial rng)) in
+      (* fold the full script into the cid-indexed model exactly like
+         run_schedule does, using a shadow volatile engine for row lookups *)
+      let shadow = setup_kv (volatile_engine ()) in
+      let all_snapshots = run_schedule shadow (prefix @ suffix) in
+      ignore !snapshots;
+      let cid = E.last_cid e2 in
+      match List.assoc_opt cid all_snapshots with
+      | None -> false
+      | Some m -> dump e2 = m)
+
+let prop_log_crash_prefix_consistency =
+  QCheck.Test.make ~name:"Log: crash recovers a committed prefix" ~count:30
+    QCheck.(
+      triple (int_range 1 6)
+        (list_of_size Gen.(int_range 1 40) (pair (int_bound 1000) (int_bound 1000)))
+        int64)
+    (fun (group, script, seed) ->
+      let e = setup_kv (log_engine ~group ()) in
+      let snapshots = run_schedule e script in
+      let rng = Prng.create seed in
+      let e2, _ = E.recover (E.crash e (Region.Adversarial rng)) in
+      let cid = E.last_cid e2 in
+      (* recovered state must equal the model at the recovered cid, and
+         the loss is bounded by the group window *)
+      let last = fst (List.hd snapshots) in
+      match List.assoc_opt cid snapshots with
+      | None -> false
+      | Some m ->
+          dump e2 = m
+          && Int64.sub last cid <= Int64.of_int group)
+
+let test_tpcc_consistency_after_adversarial_crash () =
+  for seed = 1 to 3 do
+    let e = nvm_engine ~size:(32 * 1024 * 1024) () in
+    let sess =
+      Workload.Tpcc_lite.setup e ~warehouses:2 ~districts_per_wh:2
+        ~customers_per_district:4
+    in
+    let rng = Prng.create (Int64.of_int seed) in
+    ignore (Workload.Tpcc_lite.run sess rng ~ops:150 ());
+    (* crash mid-transaction *)
+    let t = E.begin_txn e in
+    ignore (E.insert e t "orders"
+        [| Value.Int 99999; Value.Int 1; Value.Int 1; Value.Int 0; Value.Int 1;
+           Value.Int 0 |]);
+    let e2, _ = E.recover (E.crash e (Region.Adversarial rng)) in
+    let sess2 =
+      Workload.Tpcc_lite.attach e2 ~warehouses:2 ~districts_per_wh:2
+        ~customers_per_district:4
+    in
+    List.iter
+      (fun (name, ok) ->
+        Alcotest.(check bool) (Printf.sprintf "%s (seed %d)" name seed) true ok)
+      (Workload.Tpcc_lite.consistency_check sess2);
+    (* the in-flight order must be gone *)
+    E.with_txn e2 (fun txn ->
+        Alcotest.(check (list (pair int (array value_t)))) "in-flight gone" []
+          (E.lookup e2 txn "orders" ~col:"o_id" (Value.Int 99999)))
+  done
+
+let prop_log_mid_operation_power_failure =
+  (* same fuse, log durability: the recovered state must be the model at
+     some fsynced commit horizon *)
+  QCheck.Test.make ~name:"log: mid-operation power failure recovers a prefix"
+    ~count:40
+    QCheck.(
+      triple (int_range 1 6)
+        (list_of_size Gen.(int_range 5 30) (pair (int_bound 1000) (int_bound 1000)))
+        (int_bound 3000))
+    (fun (group, script, fuse) ->
+      let e = setup_kv (log_engine ~group ()) in
+      let region = E.region e in
+      let k = List.length script / 2 in
+      let prefix = List.filteri (fun i _ -> i < k) script in
+      let suffix = List.filteri (fun i _ -> i >= k) script in
+      ignore (run_schedule e prefix);
+      Region.arm_crash region ~after_ops:fuse;
+      (try ignore (run_schedule ~pos0:k e suffix)
+       with Region.Power_failure -> ());
+      Region.disarm_crash region;
+      let e2, _ = E.recover (E.crash e Region.Drop_unfenced) in
+      let shadow = setup_kv (volatile_engine ()) in
+      let all_snapshots = run_schedule shadow (prefix @ suffix) in
+      match List.assoc_opt (E.last_cid e2) all_snapshots with
+      | None -> false
+      | Some m -> dump e2 = m)
+
+(* -------- vacuum -------- *)
+
+let test_vacuum_clean_engine_reclaims_nothing () =
+  let e = setup_kv (nvm_engine ()) in
+  fill e 20;
+  ignore (E.merge e "kv");
+  fill e 0;
+  let blocks, bytes = E.vacuum e in
+  Alcotest.(check (pair int int)) "no leaks in normal operation" (0, 0)
+    (blocks, bytes);
+  Alcotest.(check (list (pair int string))) "data untouched" (expected 20) (dump e)
+
+let test_vacuum_reclaims_crash_leaks () =
+  (* force a crash inside a merge: the half-built new generation leaks *)
+  let found_leak = ref false in
+  let fuse = ref 50 in
+  while (not !found_leak) && !fuse < 3000 do
+    let e = setup_kv (nvm_engine ()) in
+    fill e 30;
+    let region = E.region e in
+    Region.arm_crash region ~after_ops:!fuse;
+    (try ignore (E.merge e "kv") with Region.Power_failure -> ());
+    Region.disarm_crash region;
+    let e2, _ = E.recover (E.crash e Region.Drop_unfenced) in
+    Alcotest.(check (list (pair int string)))
+      "committed data intact after mid-merge crash" (expected 30) (dump e2);
+    let blocks, _ = E.vacuum e2 in
+    if blocks > 0 then begin
+      found_leak := true;
+      (* data still intact after the sweep, and a second vacuum is a noop *)
+      Alcotest.(check (list (pair int string))) "data intact after vacuum"
+        (expected 30) (dump e2);
+      Alcotest.(check (pair int int)) "idempotent" (0, 0) (E.vacuum e2);
+      (* the engine still works end to end *)
+      E.with_txn e2 (fun txn -> ignore (E.insert e2 txn "kv" (kv 31 "31")));
+      ignore (E.merge e2 "kv");
+      Alcotest.(check (list (pair int string))) "still functional"
+        (expected 31) (dump e2)
+    end;
+    fuse := !fuse + 150
+  done;
+  Alcotest.(check bool) "found at least one leaking crash point" true !found_leak
+
+let test_vacuum_requires_quiescence () =
+  let e = setup_kv (nvm_engine ()) in
+  let t = E.begin_txn e in
+  Alcotest.check_raises "active txns"
+    (Invalid_argument "Engine.vacuum: active transactions") (fun () ->
+      ignore (E.vacuum e));
+  E.abort e t
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "queries",
+        [
+          Alcotest.test_case "ddl" `Quick test_ddl;
+          Alcotest.test_case "insert/select" `Quick test_insert_select;
+          Alcotest.test_case "update/delete" `Quick test_update_delete;
+          Alcotest.test_case "with_txn aborts" `Quick test_with_txn_aborts_on_exception;
+          Alcotest.test_case "get_row visibility" `Quick test_get_row_visibility;
+          Alcotest.test_case "sum_int" `Quick test_sum_int;
+          Alcotest.test_case "write conflict" `Quick test_write_conflict_surfaces;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "merge" `Quick test_engine_merge;
+          Alcotest.test_case "requires quiescence" `Quick test_merge_requires_quiescence;
+          Alcotest.test_case "rejected in log mode" `Quick test_merge_rejected_in_log_mode;
+          Alcotest.test_case "checkpoint all modes" `Quick test_checkpoint_all_modes;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "nvm exact (all crash modes)" `Quick test_nvm_recovery_exact;
+          Alcotest.test_case "nvm rolls back in-flight" `Quick
+            test_nvm_recovery_rolls_back_inflight;
+          Alcotest.test_case "nvm after merge" `Quick test_nvm_recovery_after_merge;
+          Alcotest.test_case "log group=1 lossless" `Quick
+            test_log_recovery_every_commit_flushed;
+          Alcotest.test_case "log group window loss" `Quick
+            test_log_recovery_group_window_loss;
+          Alcotest.test_case "log with checkpoint" `Quick
+            test_log_recovery_with_checkpoint;
+          Alcotest.test_case "log updates+deletes" `Quick
+            test_log_recovery_updates_and_deletes;
+          Alcotest.test_case "volatile loses all" `Quick
+            test_volatile_recovery_loses_everything;
+          Alcotest.test_case "crashed engine closed" `Quick test_crashed_engine_closed;
+        ] );
+      ( "vacuum",
+        [
+          Alcotest.test_case "clean engine" `Quick
+            test_vacuum_clean_engine_reclaims_nothing;
+          Alcotest.test_case "reclaims crash leaks" `Slow
+            test_vacuum_reclaims_crash_leaks;
+          Alcotest.test_case "requires quiescence" `Quick
+            test_vacuum_requires_quiescence;
+        ] );
+      ( "crash-fuzz",
+        [
+          QCheck_alcotest.to_alcotest prop_nvm_crash_consistency;
+          QCheck_alcotest.to_alcotest prop_publish_modes_crash_consistency;
+          QCheck_alcotest.to_alcotest prop_mid_operation_power_failure;
+          QCheck_alcotest.to_alcotest prop_log_crash_prefix_consistency;
+          QCheck_alcotest.to_alcotest prop_log_mid_operation_power_failure;
+          Alcotest.test_case "tpcc invariants after crash" `Slow
+            test_tpcc_consistency_after_adversarial_crash;
+        ] );
+    ]

@@ -1,0 +1,359 @@
+(* Tests for the NVM region simulator: persistence semantics, crash
+   injection, cost accounting, and file round-trips. *)
+
+module Region = Nvm.Region
+
+let small_config = { Region.default_config with size = 4096 }
+
+let fresh () = Region.create small_config
+
+let test_create_zeroed () =
+  let r = fresh () in
+  Alcotest.(check int) "size rounded to lines" 4096 (Region.size r);
+  Alcotest.(check int) "line size" 64 (Region.line_size r);
+  for i = 0 to 511 do
+    Alcotest.(check int64) "zero" 0L (Region.get_i64 r (i * 8))
+  done
+
+let test_store_load_roundtrip () =
+  let r = fresh () in
+  Region.set_i64 r 0 0x1122334455667788L;
+  Alcotest.(check int64) "i64 roundtrip" 0x1122334455667788L
+    (Region.get_i64 r 0);
+  Region.set_int r 8 (-42);
+  Alcotest.(check int) "int roundtrip" (-42) (Region.get_int r 8);
+  Region.set_u8 r 100 0xAB;
+  Alcotest.(check int) "u8 roundtrip" 0xAB (Region.get_u8 r 100);
+  Region.write_string r 200 "hello world";
+  Alcotest.(check string) "string roundtrip" "hello world"
+    (Region.read_string r 200 11)
+
+let test_unpersisted_store_lost_on_crash () =
+  let r = fresh () in
+  Region.set_i64 r 0 99L;
+  Region.crash r Region.Drop_unfenced;
+  Alcotest.(check int64) "store without persist lost" 0L (Region.get_i64 r 0)
+
+let test_persisted_store_survives_crash () =
+  let r = fresh () in
+  Region.set_i64 r 0 99L;
+  Region.persist r 0 8;
+  Region.crash r Region.Drop_unfenced;
+  Alcotest.(check int64) "persisted survives" 99L (Region.get_i64 r 0)
+
+let test_writeback_without_fence_lost () =
+  let r = fresh () in
+  Region.set_i64 r 0 7L;
+  Region.writeback r 0 8;
+  (* no fence: CLWB completion is only guaranteed by the fence *)
+  Region.crash r Region.Drop_unfenced;
+  Alcotest.(check int64) "unfenced writeback lost" 0L (Region.get_i64 r 0)
+
+let test_fence_persists_all_scheduled () =
+  let r = fresh () in
+  Region.set_i64 r 0 1L;
+  Region.set_i64 r 1024 2L;
+  Region.writeback r 0 8;
+  Region.writeback r 1024 8;
+  Region.fence r;
+  Region.crash r Region.Drop_unfenced;
+  Alcotest.(check int64) "first" 1L (Region.get_i64 r 0);
+  Alcotest.(check int64) "second" 2L (Region.get_i64 r 1024)
+
+let test_writeback_snapshot_semantics () =
+  (* A store AFTER the writeback of the same line must not ride along: the
+     writeback captured a snapshot. *)
+  let r = fresh () in
+  Region.set_i64 r 0 1L;
+  Region.writeback r 0 8;
+  Region.set_i64 r 0 2L;
+  Region.fence r;
+  Region.crash r Region.Drop_unfenced;
+  Alcotest.(check int64) "snapshot value persisted, later store lost" 1L
+    (Region.get_i64 r 0)
+
+let test_line_granularity () =
+  (* persisting one word makes the whole covering line durable *)
+  let r = fresh () in
+  Region.set_i64 r 0 1L;
+  Region.set_i64 r 8 2L;
+  Region.persist r 0 8;
+  Region.crash r Region.Drop_unfenced;
+  Alcotest.(check int64) "same-line neighbour persisted too" 2L
+    (Region.get_i64 r 8)
+
+let test_partial_line_does_not_cover_other_lines () =
+  let r = fresh () in
+  Region.set_i64 r 0 1L;
+  Region.set_i64 r 64 2L;
+  Region.persist r 0 8;
+  Region.crash r Region.Drop_unfenced;
+  Alcotest.(check int64) "line 0 durable" 1L (Region.get_i64 r 0);
+  Alcotest.(check int64) "line 1 lost" 0L (Region.get_i64 r 64)
+
+let test_persist_all_crash () =
+  let r = fresh () in
+  Region.set_i64 r 0 5L;
+  Region.crash r Region.Persist_all;
+  Alcotest.(check int64) "persist_all keeps dirty data" 5L (Region.get_i64 r 0)
+
+let test_adversarial_word_atomicity () =
+  (* Under adversarial crashes every 8-byte word is either old or new —
+     never torn. *)
+  for seed = 0 to 49 do
+    let r = fresh () in
+    for w = 0 to 63 do
+      Region.set_i64 r (w * 8) 0x0101010101010101L
+    done;
+    Region.persist r 0 512;
+    for w = 0 to 63 do
+      Region.set_i64 r (w * 8) 0x0202020202020202L
+    done;
+    (* half-hearted writebacks, no fence *)
+    Region.writeback r 0 256;
+    Region.crash r (Region.Adversarial (Util.Prng.create (Int64.of_int seed)));
+    for w = 0 to 63 do
+      let v = Region.get_i64 r (w * 8) in
+      if v <> 0x0101010101010101L && v <> 0x0202020202020202L then
+        Alcotest.failf "torn word %d: %Lx (seed %d)" w v seed
+    done
+  done
+
+let test_is_durable () =
+  let r = fresh () in
+  Alcotest.(check bool) "fresh region durable" true (Region.is_durable r 0 4096);
+  Region.set_i64 r 0 1L;
+  Alcotest.(check bool) "dirty word not durable" false (Region.is_durable r 0 8);
+  Alcotest.(check bool) "other range still durable" true
+    (Region.is_durable r 64 8);
+  Region.writeback r 0 8;
+  Alcotest.(check bool) "scheduled-not-fenced still not durable" false
+    (Region.is_durable r 0 8);
+  Region.fence r;
+  Alcotest.(check bool) "durable after fence" true (Region.is_durable r 0 8)
+
+let test_stats_accounting () =
+  let r = fresh () in
+  Region.reset_stats r;
+  Region.set_i64 r 0 1L;
+  ignore (Region.get_i64 r 0);
+  Region.writeback r 0 8;
+  Region.fence r;
+  let s = Region.stats r in
+  Alcotest.(check int) "stores" 1 s.stores;
+  Alcotest.(check int) "loads" 1 s.loads;
+  Alcotest.(check int) "writebacks" 1 s.writebacks;
+  Alcotest.(check int) "fences" 1 s.fences;
+  let expected_ns =
+    small_config.store_ns + small_config.load_ns + small_config.writeback_ns
+    + small_config.fence_ns
+  in
+  Alcotest.(check int) "sim time" expected_ns s.sim_ns
+
+let test_writeback_clean_line_free () =
+  let r = fresh () in
+  Region.reset_stats r;
+  Region.writeback r 0 64;
+  (* clean line: no write-back is actually issued *)
+  Alcotest.(check int) "no writeback of clean line" 0 (Region.stats r).writebacks
+
+let test_set_latencies () =
+  let r = fresh () in
+  Region.set_latencies r ~load_ns:1 ~store_ns:2 ~writeback_ns:3 ~fence_ns:4;
+  Region.reset_stats r;
+  Region.set_i64 r 0 1L;
+  Region.writeback r 0 8;
+  Region.fence r;
+  Alcotest.(check int) "retuned sim time" (2 + 3 + 4) (Region.stats r).sim_ns
+
+let test_save_load_file () =
+  let r = fresh () in
+  Region.set_i64 r 0 123L;
+  Region.persist r 0 8;
+  Region.set_i64 r 8 456L (* volatile only: must NOT survive the file *);
+  let path = Filename.temp_file "nvm" ".img" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Region.save_to_file r path;
+      let r2 = Region.load_from_file small_config path in
+      Alcotest.(check int) "size preserved" 4096 (Region.size r2);
+      Alcotest.(check int64) "durable data in file" 123L (Region.get_i64 r2 0);
+      Alcotest.(check int64) "volatile data not in file" 0L
+        (Region.get_i64 r2 8))
+
+let test_media_digest_tracks_durable_only () =
+  let r = fresh () in
+  let d0 = Region.media_digest r in
+  Region.set_i64 r 0 1L;
+  Alcotest.(check string) "volatile store leaves media alone" d0
+    (Region.media_digest r);
+  Region.persist r 0 8;
+  Alcotest.(check bool) "persist changes media" true
+    (Region.media_digest r <> d0)
+
+let test_range_checks () =
+  let r = fresh () in
+  Alcotest.check_raises "oob read"
+    (Invalid_argument
+       "Region.get_i64: range [4096,+8) outside region of 4096 bytes")
+    (fun () -> ignore (Region.get_i64 r 4096))
+
+let test_bytes_roundtrip_spanning_lines () =
+  let r = fresh () in
+  let data = Bytes.init 300 (fun i -> Char.chr (i mod 256)) in
+  Region.write_bytes r 50 data;
+  Alcotest.(check bytes) "spanning blit roundtrip" data (Region.read_bytes r 50 300);
+  Region.persist r 50 300;
+  Region.crash r Region.Drop_unfenced;
+  Alcotest.(check bytes) "spanning blit durable" data (Region.read_bytes r 50 300)
+
+let test_persist_disabled_dram_semantics () =
+  let r = fresh () in
+  Region.set_persist_enabled r false;
+  Region.set_i64 r 0 7L;
+  Alcotest.(check int64) "write readable" 7L (Region.get_i64 r 0);
+  (* persists are free no-ops *)
+  Region.reset_stats r;
+  Region.persist r 0 8;
+  Alcotest.(check int) "no writebacks" 0 (Region.stats r).writebacks;
+  Alcotest.(check int) "no fences" 0 (Region.stats r).fences;
+  (* power loss takes everything, even "persisted" data *)
+  Region.crash r Region.Drop_unfenced;
+  Alcotest.(check int64) "DRAM loses all" 0L (Region.get_i64 r 0)
+
+let test_persist_toggle_preserves_contents () =
+  let r = fresh () in
+  Region.set_i64 r 0 1L;
+  (* disabling moves the volatile view into the plain array *)
+  Region.set_persist_enabled r false;
+  Alcotest.(check int64) "still readable" 1L (Region.get_i64 r 0);
+  Region.set_i64 r 8 2L;
+  Region.set_persist_enabled r true;
+  Alcotest.(check int64) "after re-enable" 2L (Region.get_i64 r 8)
+
+(* -- qcheck properties -- *)
+
+(* random programs of stores/persists/crashes checked against a model that
+   tracks (volatile, durable) byte arrays *)
+let prop_crash_model =
+  let gen_op =
+    QCheck.Gen.(
+      frequency
+        [
+          (6, map2 (fun o v -> `Store (o * 8, v)) (int_bound 63) int64);
+          (2, map (fun o -> `Persist (o * 8)) (int_bound 63));
+          (1, return `Crash);
+        ])
+  in
+  let print_op = function
+    | `Store (o, v) -> Printf.sprintf "store %d %Ld" o v
+    | `Persist o -> Printf.sprintf "persist %d" o
+    | `Crash -> "crash"
+  in
+  QCheck.Test.make ~name:"region agrees with volatile/durable model" ~count:300
+    QCheck.(make ~print:(fun l -> String.concat "; " (List.map print_op l))
+              Gen.(list_size (int_range 1 60) gen_op))
+    (fun ops ->
+      let r = Region.create { Region.default_config with size = 512 } in
+      let volatile = Array.make 64 0L and durable = Array.make 64 0L in
+      let line_words = 8 in
+      List.iter
+        (fun op ->
+          match op with
+          | `Store (off, v) ->
+              Region.set_i64 r off v;
+              volatile.(off / 8) <- v
+          | `Persist off ->
+              Region.persist r off 8;
+              (* whole covering line becomes durable *)
+              let base = off / 8 / line_words * line_words in
+              for w = base to base + line_words - 1 do
+                durable.(w) <- volatile.(w)
+              done
+          | `Crash ->
+              Region.crash r Region.Drop_unfenced;
+              Array.blit durable 0 volatile 0 64)
+        ops;
+      Array.for_all Fun.id
+        (Array.init 64 (fun w -> Region.get_i64 r (w * 8) = volatile.(w))))
+
+let prop_adversarial_crash_only_dirty_words_change =
+  QCheck.Test.make ~name:"adversarial crash never invents bytes" ~count:100
+    QCheck.(pair int64 (list_of_size Gen.(int_range 0 40) (int_bound 63)))
+    (fun (seed, writes) ->
+      let r = Region.create { Region.default_config with size = 512 } in
+      (* baseline: persist a known pattern *)
+      for w = 0 to 63 do
+        Region.set_i64 r (w * 8) (Int64.of_int w)
+      done;
+      Region.persist r 0 512;
+      let touched = Array.make 64 false in
+      List.iter
+        (fun w ->
+          Region.set_i64 r (w * 8) (Int64.of_int (1000 + w));
+          touched.(w) <- true)
+        writes;
+      Region.crash r (Region.Adversarial (Util.Prng.create seed));
+      Array.for_all Fun.id
+        (Array.init 64 (fun w ->
+             let v = Region.get_i64 r (w * 8) in
+             if touched.(w) then
+               v = Int64.of_int w || v = Int64.of_int (1000 + w)
+             else v = Int64.of_int w)))
+
+let () =
+  Alcotest.run "nvm"
+    [
+      ( "region",
+        [
+          Alcotest.test_case "create zeroed" `Quick test_create_zeroed;
+          Alcotest.test_case "store/load roundtrip" `Quick
+            test_store_load_roundtrip;
+          Alcotest.test_case "unpersisted store lost" `Quick
+            test_unpersisted_store_lost_on_crash;
+          Alcotest.test_case "persisted store survives" `Quick
+            test_persisted_store_survives_crash;
+          Alcotest.test_case "writeback without fence lost" `Quick
+            test_writeback_without_fence_lost;
+          Alcotest.test_case "fence persists scheduled" `Quick
+            test_fence_persists_all_scheduled;
+          Alcotest.test_case "writeback snapshots the line" `Quick
+            test_writeback_snapshot_semantics;
+          Alcotest.test_case "line granularity" `Quick test_line_granularity;
+          Alcotest.test_case "persist does not leak across lines" `Quick
+            test_partial_line_does_not_cover_other_lines;
+          Alcotest.test_case "persist_all crash" `Quick test_persist_all_crash;
+          Alcotest.test_case "adversarial word atomicity" `Quick
+            test_adversarial_word_atomicity;
+          Alcotest.test_case "is_durable" `Quick test_is_durable;
+          Alcotest.test_case "bytes roundtrip across lines" `Quick
+            test_bytes_roundtrip_spanning_lines;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "stats" `Quick test_stats_accounting;
+          Alcotest.test_case "clean line writeback free" `Quick
+            test_writeback_clean_line_free;
+          Alcotest.test_case "set_latencies" `Quick test_set_latencies;
+        ] );
+      ( "dram-mode",
+        [
+          Alcotest.test_case "disabled = DRAM semantics" `Quick
+            test_persist_disabled_dram_semantics;
+          Alcotest.test_case "toggle preserves contents" `Quick
+            test_persist_toggle_preserves_contents;
+        ] );
+      ( "files",
+        [
+          Alcotest.test_case "save/load" `Quick test_save_load_file;
+          Alcotest.test_case "media digest" `Quick
+            test_media_digest_tracks_durable_only;
+          Alcotest.test_case "range checks" `Quick test_range_checks;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_crash_model;
+          QCheck_alcotest.to_alcotest prop_adversarial_crash_only_dirty_words_change;
+        ] );
+    ]

@@ -1,0 +1,334 @@
+(* Tests for the query layer: predicate semantics, dictionary-space
+   compilation on both partitions, filtered scans, aggregation — with a
+   qcheck property checking the compiled path against naive decoded
+   evaluation across merge states. *)
+
+module E = Core.Engine
+module Value = Storage.Value
+module Schema = Storage.Schema
+module Predicate = Query.Predicate
+module Aggregate = Query.Aggregate
+module Prng = Util.Prng
+
+let nvm_engine ?(size = 16 * 1024 * 1024) () =
+  E.create (E.default_config ~size E.Nvm)
+
+let schema =
+  [|
+    Schema.column ~indexed:true "id" Value.Int_t;
+    Schema.column "city" Value.Text_t;
+    Schema.column "amount" Value.Int_t;
+    Schema.column "score" Value.Float_t;
+  |]
+
+let mk_engine rows =
+  let e = nvm_engine () in
+  E.create_table e ~name:"t" schema;
+  E.with_txn e (fun txn ->
+      List.iteri
+        (fun i (city, amount, score) ->
+          ignore
+            (E.insert e txn "t"
+               [| Value.Int i; Value.Text city; Value.Int amount; Value.Float score |]))
+        rows);
+  e
+
+let sample =
+  [
+    ("berlin", 10, 1.5);
+    ("amsterdam", 20, 2.5);
+    ("chicago", 30, 3.5);
+    ("berlin", 40, 4.5);
+    ("delhi", 50, 0.5);
+    ("amsterdam", 60, 2.5);
+  ]
+
+let ids e filters =
+  E.with_txn e (fun txn -> List.map fst (E.where e txn "t" filters))
+
+(* -------- predicate semantics -------- *)
+
+let test_eval () =
+  let open Predicate in
+  Alcotest.(check bool) "eq" true (eval (Cmp (Eq, Value.Int 5)) (Value.Int 5));
+  Alcotest.(check bool) "ne" true (eval (Cmp (Ne, Value.Int 5)) (Value.Int 6));
+  Alcotest.(check bool) "lt" true (eval (Cmp (Lt, Value.Int 5)) (Value.Int 4));
+  Alcotest.(check bool) "le edge" true (eval (Cmp (Le, Value.Int 5)) (Value.Int 5));
+  Alcotest.(check bool) "gt" false (eval (Cmp (Gt, Value.Int 5)) (Value.Int 5));
+  Alcotest.(check bool) "ge" true (eval (Cmp (Ge, Value.Int 5)) (Value.Int 5));
+  Alcotest.(check bool) "between inclusive" true
+    (eval (Between (Value.Int 1, Value.Int 3)) (Value.Int 3));
+  Alcotest.(check bool) "in" true
+    (eval (In [ Value.Text "a"; Value.Text "b" ]) (Value.Text "b"));
+  Alcotest.(check bool) "any" true (eval Any (Value.Float 0.0))
+
+(* -------- scans on delta, main, and mixed -------- *)
+
+let check_filters e () =
+  Alcotest.(check (list int)) "eq text" [ 0; 3 ]
+    (ids e [ ("city", Predicate.Cmp (Eq, Value.Text "berlin")) ]);
+  Alcotest.(check (list int)) "range int" [ 1; 2; 3 ]
+    (ids e [ ("amount", Predicate.Between (Value.Int 20, Value.Int 40)) ]);
+  Alcotest.(check (list int)) "gt float" [ 2; 3 ]
+    (ids e [ ("score", Predicate.Cmp (Gt, Value.Float 2.5)) ]);
+  Alcotest.(check (list int)) "ne" [ 1; 2; 4; 5 ]
+    (ids e [ ("city", Predicate.Cmp (Ne, Value.Text "berlin")) ]);
+  Alcotest.(check (list int)) "in set" [ 1; 4; 5 ]
+    (ids e [ ("city", Predicate.In [ Value.Text "amsterdam"; Value.Text "delhi" ]) ]);
+  Alcotest.(check (list int)) "conjunction" [ 3 ]
+    (ids e
+       [
+         ("city", Predicate.Cmp (Eq, Value.Text "berlin"));
+         ("amount", Predicate.Cmp (Gt, Value.Int 10));
+       ]);
+  Alcotest.(check (list int)) "empty result" []
+    (ids e [ ("city", Predicate.Cmp (Eq, Value.Text "nowhere")) ]);
+  Alcotest.(check (list int)) "any" [ 0; 1; 2; 3; 4; 5 ] (ids e [ ("id", Predicate.Any) ])
+
+let test_scan_delta () = check_filters (mk_engine sample) ()
+
+let test_scan_main () =
+  let e = mk_engine sample in
+  ignore (E.merge e "t");
+  check_filters e ()
+
+let test_scan_mixed () =
+  let e = nvm_engine () in
+  E.create_table e ~name:"t" schema;
+  let insert i (city, amount, score) =
+    E.with_txn e (fun txn ->
+        ignore
+          (E.insert e txn "t"
+             [| Value.Int i; Value.Text city; Value.Int amount; Value.Float score |]))
+  in
+  List.iteri (fun i r -> if i < 3 then insert i r) sample;
+  ignore (E.merge e "t");
+  List.iteri (fun i r -> if i >= 3 then insert i r) sample;
+  check_filters e ()
+
+let test_scan_respects_visibility () =
+  let e = mk_engine sample in
+  let t1 = E.begin_txn e in
+  ignore
+    (E.insert e t1 "t"
+       [| Value.Int 99; Value.Text "berlin"; Value.Int 1; Value.Float 0.0 |]);
+  (* other transactions do not see the staged berlin row *)
+  E.with_txn e (fun txn ->
+      Alcotest.(check int) "count excludes staged" 2
+        (E.count_where e txn "t" [ ("city", Predicate.Cmp (Eq, Value.Text "berlin")) ]));
+  (* the writer sees it *)
+  Alcotest.(check int) "own write included" 3
+    (E.count_where e t1 "t" [ ("city", Predicate.Cmp (Eq, Value.Text "berlin")) ]);
+  E.abort e t1
+
+let test_count_where () =
+  let e = mk_engine sample in
+  E.with_txn e (fun txn ->
+      Alcotest.(check int) "count" 3
+        (E.count_where e txn "t" [ ("amount", Predicate.Cmp (Ge, Value.Int 40)) ]))
+
+(* -------- aggregation -------- *)
+
+let test_aggregate_ungrouped () =
+  let e = mk_engine sample in
+  E.with_txn e (fun txn ->
+      let r =
+        E.aggregate e txn "t"
+          ~specs:[ Aggregate.Count; Aggregate.Sum "amount"; Aggregate.Avg "amount";
+                   Aggregate.Min "city"; Aggregate.Max "score" ]
+          ()
+      in
+      match r.Aggregate.groups with
+      | [ (None, cells) ] ->
+          Alcotest.(check string) "count" "6" (Aggregate.cell_to_string cells.(0));
+          Alcotest.(check string) "sum" "210" (Aggregate.cell_to_string cells.(1));
+          Alcotest.(check string) "avg" "35" (Aggregate.cell_to_string cells.(2));
+          Alcotest.(check string) "min city" "amsterdam"
+            (Aggregate.cell_to_string cells.(3));
+          Alcotest.(check string) "max score" "4.5"
+            (Aggregate.cell_to_string cells.(4))
+      | _ -> Alcotest.fail "expected one group")
+
+let test_aggregate_grouped () =
+  let e = mk_engine sample in
+  E.with_txn e (fun txn ->
+      let r =
+        E.aggregate e txn "t" ~group_by:"city"
+          ~specs:[ Aggregate.Count; Aggregate.Sum "amount" ] ()
+      in
+      let rows =
+        List.map
+          (fun (k, cells) ->
+            ( (match k with Some v -> Value.to_string v | None -> "?"),
+              Aggregate.cell_to_string cells.(0),
+              Aggregate.cell_to_string cells.(1) ))
+          r.Aggregate.groups
+      in
+      Alcotest.(check (list (triple string string string)))
+        "grouped sums (sorted by key)"
+        [
+          ("amsterdam", "2", "80");
+          ("berlin", "2", "50");
+          ("chicago", "1", "30");
+          ("delhi", "1", "50");
+        ]
+        rows)
+
+let test_aggregate_filtered () =
+  let e = mk_engine sample in
+  E.with_txn e (fun txn ->
+      let r =
+        E.aggregate e txn "t" ~specs:[ Aggregate.Sum "amount" ]
+          ~filters:[ ("city", Predicate.Cmp (Eq, Value.Text "amsterdam")) ]
+          ()
+      in
+      match r.Aggregate.groups with
+      | [ (None, [| c |]) ] ->
+          Alcotest.(check string) "filtered sum" "80" (Aggregate.cell_to_string c)
+      | _ -> Alcotest.fail "expected one group")
+
+let test_aggregate_empty_table () =
+  let e = nvm_engine () in
+  E.create_table e ~name:"t" schema;
+  E.with_txn e (fun txn ->
+      let r = E.aggregate e txn "t" ~specs:[ Aggregate.Count; Aggregate.Min "id" ] () in
+      match r.Aggregate.groups with
+      | [ (None, cells) ] ->
+          Alcotest.(check string) "count 0" "0" (Aggregate.cell_to_string cells.(0));
+          Alcotest.(check string) "min null" "null" (Aggregate.cell_to_string cells.(1))
+      | _ -> Alcotest.fail "expected one group")
+
+let test_aggregate_non_numeric_sum_rejected () =
+  let e = mk_engine sample in
+  E.with_txn e (fun txn ->
+      try
+        ignore (E.aggregate e txn "t" ~specs:[ Aggregate.Sum "city" ] ());
+        Alcotest.fail "expected Invalid_argument"
+      with Invalid_argument _ -> ())
+
+(* -------- property: compiled scans = naive evaluation -------- *)
+
+let gen_pred =
+  QCheck.Gen.(
+    let value = map (fun i -> Value.Int i) (int_range 0 30) in
+    frequency
+      [
+        ( 6,
+          map2
+            (fun op v -> Predicate.Cmp (op, v))
+            (oneofl Predicate.[ Eq; Ne; Lt; Le; Gt; Ge ])
+            value );
+        (2, map2 (fun a b -> Predicate.Between (Value.Int (min a b), Value.Int (max a b)))
+             (int_range 0 30) (int_range 0 30));
+        (1, map (fun vs -> Predicate.In (List.map (fun v -> Value.Int v) vs))
+             (list_size (int_range 0 4) (int_range 0 30)));
+      ])
+
+let print_pred p =
+  let v = Value.to_string in
+  match p with
+  | Predicate.Any -> "any"
+  | Predicate.Cmp (op, x) ->
+      Printf.sprintf "%s %s"
+        (match op with
+        | Predicate.Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<="
+        | Gt -> ">" | Ge -> ">=")
+        (v x)
+  | Predicate.Between (a, b) -> Printf.sprintf "between %s %s" (v a) (v b)
+  | Predicate.In vs -> "in [" ^ String.concat ";" (List.map v vs) ^ "]"
+
+let prop_compiled_equals_naive =
+  QCheck.Test.make ~name:"compiled scan = naive evaluation (all partitions)"
+    ~count:150
+    QCheck.(
+      make
+        ~print:(fun (rows, merge_at, p) ->
+          Printf.sprintf "rows=%s merge_at=%d pred=(%s)"
+            (String.concat "," (List.map string_of_int rows))
+            merge_at (print_pred p))
+        Gen.(
+          triple
+            (list_size (int_range 0 40) (int_range 0 30))
+            (int_range 0 40) gen_pred))
+    (fun (amounts, merge_at, pred) ->
+      let e = nvm_engine () in
+      E.create_table e ~name:"t" schema;
+      List.iteri
+        (fun i a ->
+          if i = merge_at then ignore (E.merge e "t");
+          E.with_txn e (fun txn ->
+              ignore
+                (E.insert e txn "t"
+                   [| Value.Int i; Value.Text (string_of_int (a mod 5));
+                      Value.Int a; Value.Float (float_of_int a) |])))
+        amounts;
+      let compiled =
+        E.with_txn e (fun txn ->
+            List.map fst (E.where e txn "t" [ ("amount", pred) ]))
+      in
+      let naive =
+        List.filteri (fun _ a -> Predicate.eval pred (Value.Int a)) amounts
+        |> List.length
+      in
+      List.length compiled = naive)
+
+let prop_text_predicates_equal_naive =
+  (* exercises the string dict_key (hash) path, including collisions-by-
+     construction being verified semantically *)
+  QCheck.Test.make ~name:"text predicates: compiled = naive" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 0 30) (int_bound 6))
+        (pair (int_bound 6) (oneofl [ `Eq; `Ne; `In ])))
+    (fun (rows, (target, op)) ->
+      let word i = String.make 1 (Char.chr (Char.code 'a' + i)) in
+      let e = nvm_engine () in
+      E.create_table e ~name:"t" schema;
+      List.iteri
+        (fun i w ->
+          E.with_txn e (fun txn ->
+              ignore
+                (E.insert e txn "t"
+                   [| Value.Int i; Value.Text (word w); Value.Int 0;
+                      Value.Float 0.0 |])))
+        rows;
+      let target_v = Value.Text (word target) in
+      let pred =
+        match op with
+        | `Eq -> Predicate.Cmp (Predicate.Eq, target_v)
+        | `Ne -> Predicate.Cmp (Predicate.Ne, target_v)
+        | `In -> Predicate.In [ target_v; Value.Text (word ((target + 1) mod 7)) ]
+      in
+      let compiled =
+        E.with_txn e (fun txn -> E.count_where e txn "t" [ ("city", pred) ])
+      in
+      let naive =
+        List.length
+          (List.filter (fun w -> Predicate.eval pred (Value.Text (word w))) rows)
+      in
+      compiled = naive)
+
+let () =
+  Alcotest.run "query"
+    [
+      ("predicate", [ Alcotest.test_case "eval" `Quick test_eval ]);
+      ( "scan",
+        [
+          Alcotest.test_case "delta partition" `Quick test_scan_delta;
+          Alcotest.test_case "main partition" `Quick test_scan_main;
+          Alcotest.test_case "mixed partitions" `Quick test_scan_mixed;
+          Alcotest.test_case "visibility" `Quick test_scan_respects_visibility;
+          Alcotest.test_case "count_where" `Quick test_count_where;
+          QCheck_alcotest.to_alcotest prop_compiled_equals_naive;
+          QCheck_alcotest.to_alcotest prop_text_predicates_equal_naive;
+        ] );
+      ( "aggregate",
+        [
+          Alcotest.test_case "ungrouped" `Quick test_aggregate_ungrouped;
+          Alcotest.test_case "grouped" `Quick test_aggregate_grouped;
+          Alcotest.test_case "filtered" `Quick test_aggregate_filtered;
+          Alcotest.test_case "empty table" `Quick test_aggregate_empty_table;
+          Alcotest.test_case "non-numeric sum rejected" `Quick
+            test_aggregate_non_numeric_sum_rejected;
+        ] );
+    ]

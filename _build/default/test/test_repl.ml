@@ -1,0 +1,166 @@
+(* Tests for the SQL front end: lexer/parser coverage, error reporting,
+   and end-to-end execution against the engine. *)
+
+module E = Core.Engine
+module Sql = Repl.Sql
+module Value = Storage.Value
+module Schema = Storage.Schema
+module P = Query.Predicate
+module Agg = Query.Aggregate
+
+let engine () = E.create (E.default_config ~size:(16 * 1024 * 1024) E.Nvm)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* -------- parsing -------- *)
+
+let test_parse_create () =
+  match Sql.parse "CREATE TABLE t (name TEXT INDEXED, qty INT, price FLOAT)" with
+  | Sql.Create_table { table; schema } ->
+      Alcotest.(check string) "table" "t" table;
+      Alcotest.(check int) "arity" 3 (Schema.arity schema);
+      Alcotest.(check bool) "indexed" true schema.(0).Schema.indexed;
+      Alcotest.(check bool) "types" true
+        (schema.(0).Schema.ty = Value.Text_t
+        && schema.(1).Schema.ty = Value.Int_t
+        && schema.(2).Schema.ty = Value.Float_t)
+  | _ -> Alcotest.fail "wrong statement"
+
+let test_parse_case_insensitive () =
+  match Sql.parse "select * from Widgets where Qty >= 2 limit 5" with
+  | Sql.Select { table; where = [ (col, P.Cmp (P.Ge, Value.Int 2)) ]; limit = Some 5; _ } ->
+      Alcotest.(check string) "table keeps case" "Widgets" table;
+      Alcotest.(check string) "column keeps case" "Qty" col
+  | _ -> Alcotest.fail "wrong parse"
+
+let test_parse_string_escapes () =
+  match Sql.parse "INSERT INTO t VALUES ('it''s', -3, 2.5)" with
+  | Sql.Insert { values = [| Value.Text s; Value.Int n; Value.Float f |]; _ } ->
+      Alcotest.(check string) "escaped quote" "it's" s;
+      Alcotest.(check int) "negative int" (-3) n;
+      Alcotest.(check (float 0.001)) "float" 2.5 f
+  | _ -> Alcotest.fail "wrong parse"
+
+let test_parse_where_forms () =
+  (match Sql.parse "SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b IN (1, 2) AND c != 'x'" with
+  | Sql.Select { where; _ } ->
+      Alcotest.(check int) "three conjuncts" 3 (List.length where)
+  | _ -> Alcotest.fail "wrong parse");
+  match Sql.parse "SELECT COUNT(*), MIN(a) FROM t GROUP BY b" with
+  | Sql.Select { projections = [ Sql.Agg Agg.Count; Sql.Agg (Agg.Min "a") ]; group_by = Some "b"; _ } -> ()
+  | _ -> Alcotest.fail "wrong aggregate parse"
+
+let test_parse_errors () =
+  let bad input expect =
+    match Sql.parse input with
+    | exception Sql.Parse_error m ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s mentions %s (got: %s)" input expect m)
+          true (contains m expect)
+    | _ -> Alcotest.failf "%s should not parse" input
+  in
+  bad "FROB t" "unknown statement";
+  bad "SELECT * FROM" "expected a name";
+  bad "INSERT INTO t VALUES ('unterminated" "unterminated string";
+  bad "SELECT * FROM t WHERE a ~ 1" "unexpected character";
+  bad "SELECT * FROM t extra" "trailing input"
+
+let test_star_aggregate_mix_rejected () =
+  (* parses fine; the shape check fires at execution *)
+  let e = engine () in
+  ignore (Sql.execute e (Sql.parse "CREATE TABLE t (k INT)"));
+  match Sql.execute e (Sql.parse "SELECT *, COUNT(*) FROM t") with
+  | exception Sql.Parse_error m ->
+      Alcotest.(check bool) "message" true (contains m "cannot mix")
+  | _ -> Alcotest.fail "expected rejection"
+
+(* -------- execution -------- *)
+
+let run e s = Sql.execute e (Sql.parse s)
+
+let test_execute_roundtrip () =
+  let e = engine () in
+  ignore (run e "CREATE TABLE t (name TEXT INDEXED, qty INT)");
+  ignore (run e "INSERT INTO t VALUES ('a', 1)");
+  ignore (run e "INSERT INTO t VALUES ('b', 2)");
+  let out = run e "SELECT * FROM t WHERE qty >= 2" in
+  Alcotest.(check bool) "row b present" true (contains out "b");
+  Alcotest.(check bool) "row a filtered" false (contains out "| a");
+  let out = run e "SELECT COUNT(*), SUM(qty) FROM t" in
+  Alcotest.(check bool) "count 2" true (contains out "2");
+  Alcotest.(check bool) "sum 3" true (contains out "3")
+
+let test_execute_update_delete () =
+  let e = engine () in
+  ignore (run e "CREATE TABLE t (name TEXT, qty INT)");
+  ignore (run e "INSERT INTO t VALUES ('a', 1)");
+  ignore (run e "INSERT INTO t VALUES ('b', 2)");
+  Alcotest.(check string) "update count" "1 rows updated"
+    (run e "UPDATE t SET qty = 9 WHERE name = 'a'");
+  let out = run e "SELECT * FROM t WHERE name = 'a'" in
+  Alcotest.(check bool) "updated value" true (contains out "9");
+  Alcotest.(check string) "delete count" "1 rows deleted"
+    (run e "DELETE FROM t WHERE qty = 2");
+  let out = run e "SELECT COUNT(*) FROM t" in
+  Alcotest.(check bool) "one row left" true (contains out "1")
+
+let test_execute_merge_and_tables () =
+  let e = engine () in
+  ignore (run e "CREATE TABLE t (k INT INDEXED)");
+  ignore (run e "INSERT INTO t VALUES (1)");
+  let out = run e "MERGE t" in
+  Alcotest.(check bool) "merge reports rows" true (contains out "1 rows -> 1");
+  let out = run e "TABLES" in
+  Alcotest.(check bool) "tables lists t" true (contains out "t");
+  Alcotest.(check bool) "main rows shown" true (contains out "1 main")
+
+let test_execute_survives_crash () =
+  let e = engine () in
+  ignore (run e "CREATE TABLE t (k INT INDEXED, v TEXT)");
+  ignore (run e "INSERT INTO t VALUES (1, 'persisted')");
+  let e2, _ = E.recover (E.crash e Nvm.Region.Drop_unfenced) in
+  let out = run e2 "SELECT * FROM t WHERE k = 1" in
+  Alcotest.(check bool) "data survived" true (contains out "persisted")
+
+let test_execute_aggregate_group_by () =
+  let e = engine () in
+  ignore (run e "CREATE TABLE s (city TEXT, pop INT)");
+  ignore (run e "INSERT INTO s VALUES ('x', 10)");
+  ignore (run e "INSERT INTO s VALUES ('x', 20)");
+  ignore (run e "INSERT INTO s VALUES ('y', 5)");
+  let out = run e "SELECT SUM(pop) FROM s GROUP BY city" in
+  Alcotest.(check bool) "x group" true (contains out "30");
+  Alcotest.(check bool) "y group" true (contains out "5")
+
+let test_help_and_stats () =
+  let e = engine () in
+  Alcotest.(check bool) "help mentions CREATE" true
+    (contains (run e "HELP") "CREATE TABLE");
+  Alcotest.(check bool) "stats mentions CID" true (contains (run e "STATS") "CID")
+
+let () =
+  Alcotest.run "repl"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "create" `Quick test_parse_create;
+          Alcotest.test_case "case insensitive" `Quick test_parse_case_insensitive;
+          Alcotest.test_case "string escapes" `Quick test_parse_string_escapes;
+          Alcotest.test_case "where forms" `Quick test_parse_where_forms;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "star+aggregate rejected" `Quick
+            test_star_aggregate_mix_rejected;
+        ] );
+      ( "execute",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_execute_roundtrip;
+          Alcotest.test_case "update/delete" `Quick test_execute_update_delete;
+          Alcotest.test_case "merge/tables" `Quick test_execute_merge_and_tables;
+          Alcotest.test_case "survives crash" `Quick test_execute_survives_crash;
+          Alcotest.test_case "group by" `Quick test_execute_aggregate_group_by;
+          Alcotest.test_case "help/stats" `Quick test_help_and_stats;
+        ] );
+    ]

@@ -1,0 +1,412 @@
+(* Tests for the column-store storage layer: values, schemas, tables
+   (dictionaries, attribute vectors, MVCC vectors), catalog, and merge. *)
+
+module Region = Nvm.Region
+module A = Nvm_alloc.Allocator
+module Value = Storage.Value
+module Schema = Storage.Schema
+module Table = Storage.Table
+module Catalog = Storage.Catalog
+module Cid = Storage.Cid
+
+let fresh ?(size = 8 * 1024 * 1024) () =
+  A.format (Region.create { Region.default_config with size })
+
+let reopen alloc = A.open_existing (A.region alloc)
+
+let value_t = Alcotest.testable (Fmt.of_to_string Value.to_string) Value.equal
+
+(* -------- Value -------- *)
+
+let test_value_compare () =
+  Alcotest.(check bool) "int order" true (Value.compare (Int 1) (Int 2) < 0);
+  Alcotest.(check bool) "float order" true
+    (Value.compare (Float 1.5) (Float 1.6) < 0);
+  Alcotest.(check bool) "text order" true
+    (Value.compare (Text "abc") (Text "abd") < 0);
+  Alcotest.(check bool) "equal ints" true (Value.equal (Int 5) (Int 5));
+  Alcotest.(check bool) "negative ints" true
+    (Value.compare (Int (-10)) (Int 3) < 0)
+
+let test_value_encode_roundtrip () =
+  let a = fresh () in
+  let cases =
+    [ Value.Int 42; Value.Int (-17); Value.Int 0; Value.Float 3.25;
+      Value.Float (-0.5); Value.Text ""; Value.Text "hello world" ]
+  in
+  List.iter
+    (fun v ->
+      let w = Value.encode a v in
+      Alcotest.check value_t "roundtrip" v (Value.decode a (Value.ty_of v) w))
+    cases
+
+let test_value_compare_encoded () =
+  let a = fresh () in
+  let w1 = Value.encode a (Value.Text "apple") in
+  let w2 = Value.encode a (Value.Text "banana") in
+  Alcotest.(check bool) "encoded text compare" true
+    (Value.compare_encoded a Value.Text_t w1 w2 < 0);
+  let i1 = Value.encode a (Value.Int (-5)) and i2 = Value.encode a (Value.Int 5) in
+  Alcotest.(check bool) "encoded int compare" true
+    (Value.compare_encoded a Value.Int_t i1 i2 < 0)
+
+let test_value_dict_key () =
+  Alcotest.(check bool) "equal strings share key" true
+    (Value.dict_key (Text "same") = Value.dict_key (Text "same"));
+  Alcotest.(check bool) "int key is identity" true
+    (Value.dict_key (Int 7) = 7L);
+  Alcotest.(check bool) "ty names roundtrip" true
+    (List.for_all
+       (fun ty -> Value.ty_of_string (Value.ty_to_string ty) = ty)
+       [ Value.Int_t; Value.Float_t; Value.Text_t ])
+
+(* -------- Schema -------- *)
+
+let test_schema () =
+  let s =
+    [| Schema.column ~indexed:true "id" Value.Int_t;
+       Schema.column "name" Value.Text_t |]
+  in
+  Alcotest.(check int) "arity" 2 (Schema.arity s);
+  Alcotest.(check int) "find" 1 (Schema.find_column s "name");
+  Alcotest.check_raises "missing column" Not_found (fun () ->
+      ignore (Schema.find_column s "nope"));
+  Schema.validate_row s [| Value.Int 1; Value.Text "x" |];
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Schema.validate_row: arity 1, expected 2") (fun () ->
+      Schema.validate_row s [| Value.Int 1 |]);
+  Alcotest.check_raises "type mismatch"
+    (Invalid_argument "Schema.validate_row: column name expects text, got int")
+    (fun () -> Schema.validate_row s [| Value.Int 1; Value.Int 2 |])
+
+(* -------- Table -------- *)
+
+let simple_schema =
+  [| Schema.column ~indexed:true "k" Value.Int_t;
+     Schema.column "s" Value.Text_t;
+     Schema.column "n" Value.Int_t |]
+
+let mk_table ?(name = "t") a = Table.create a ~name simple_schema
+
+let row k s n = [| Value.Int k; Value.Text s; Value.Int n |]
+
+let test_table_append_get () =
+  let a = fresh () in
+  let t = mk_table a in
+  let r0 = Table.append_row t (row 1 "one" 10) in
+  let r1 = Table.append_row t (row 2 "two" 20) in
+  Alcotest.(check int) "rows" 2 (Table.row_count t);
+  Alcotest.(check int) "r0" 0 r0;
+  Alcotest.(check int) "r1" 1 r1;
+  Alcotest.check value_t "get k" (Value.Int 1) (Table.get t 0 0);
+  Alcotest.check value_t "get s" (Value.Text "two") (Table.get t 1 1);
+  Alcotest.(check (array value_t)) "get_row" (row 1 "one" 10) (Table.get_row t 0)
+
+let test_table_new_rows_uncommitted () =
+  let a = fresh () in
+  let t = mk_table a in
+  let r = Table.append_row t (row 1 "x" 0) in
+  Alcotest.(check int64) "begin inf" Cid.infinity (Table.begin_cid t r);
+  Alcotest.(check int64) "end inf" Cid.infinity (Table.end_cid t r)
+
+let test_table_dictionary_dedup () =
+  let a = fresh () in
+  let t = mk_table a in
+  for i = 0 to 99 do
+    ignore (Table.append_row t (row (i mod 5) "shared" i))
+  done;
+  Alcotest.(check int) "k dict has 5 entries" 5 (Table.delta_dictionary_size t 0);
+  Alcotest.(check int) "s dict has 1 entry" 1 (Table.delta_dictionary_size t 1);
+  Alcotest.(check int) "n dict has 100 entries" 100 (Table.delta_dictionary_size t 2)
+
+let test_table_rows_with_value () =
+  let a = fresh () in
+  let t = mk_table a in
+  for i = 0 to 19 do
+    ignore (Table.append_row t (row (i mod 4) (Printf.sprintf "s%d" (i mod 3)) i))
+  done;
+  (* indexed column *)
+  Alcotest.(check (list int)) "k=2 rows" [ 2; 6; 10; 14; 18 ]
+    (Table.rows_with_value t 0 (Value.Int 2));
+  (* non-indexed text column: delta scan *)
+  Alcotest.(check (list int)) "s=s1 rows" [ 1; 4; 7; 10; 13; 16; 19 ]
+    (Table.rows_with_value t 1 (Value.Text "s1"));
+  Alcotest.(check (list int)) "missing value" []
+    (Table.rows_with_value t 0 (Value.Int 99))
+
+let test_table_publish_crash_roundtrip () =
+  let a = fresh () in
+  let t = mk_table a in
+  A.set_root a 1 (Table.handle t);
+  ignore (Table.append_row t (row 1 "alpha" 100));
+  ignore (Table.append_row t (row 2 "beta" 200));
+  Table.set_begin_cid t 0 1L;
+  Table.set_begin_cid t 1 1L;
+  Table.publish t;
+  (* a third row, never published *)
+  ignore (Table.append_row t (row 3 "gamma" 300));
+  Region.crash (A.region a) Region.Drop_unfenced;
+  let a2 = reopen a in
+  let t2 = Table.attach a2 (A.get_root a2 1) in
+  Alcotest.(check int) "published rows survive" 2 (Table.row_count t2);
+  Alcotest.(check (array value_t)) "row 0" (row 1 "alpha" 100) (Table.get_row t2 0);
+  Alcotest.(check (array value_t)) "row 1" (row 2 "beta" 200) (Table.get_row t2 1);
+  Alcotest.(check int64) "begin durable" 1L (Table.begin_cid t2 0)
+
+let test_table_rollback_uncommitted () =
+  let a = fresh () in
+  let t = mk_table a in
+  A.set_root a 1 (Table.handle t);
+  (* committed at cid 1 *)
+  ignore (Table.append_row t (row 1 "a" 0));
+  Table.set_begin_cid t 0 1L;
+  (* "committed" at cid 2, but 2 never became the durable last-cid *)
+  ignore (Table.append_row t (row 2 "b" 0));
+  Table.set_begin_cid t 1 2L;
+  (* invalidation at cid 2, also beyond the horizon *)
+  Table.set_end_cid t 0 2L;
+  Table.publish t;
+  Region.crash (A.region a) Region.Drop_unfenced;
+  let a2 = reopen a in
+  let t2 = Table.attach a2 (A.get_root a2 1) in
+  let touched = Table.rollback_uncommitted t2 ~last_cid:1L in
+  Alcotest.(check int) "two rollbacks" 2 touched;
+  Alcotest.(check int64) "row 0 begin keeps cid 1" 1L (Table.begin_cid t2 0);
+  Alcotest.(check int64) "row 0 end reset" Cid.infinity (Table.end_cid t2 0);
+  Alcotest.(check int64) "row 1 dead" Cid.infinity (Table.begin_cid t2 1)
+
+let test_table_main_invalidation_journal () =
+  (* invalidations of main rows roll back via the journal, not a scan *)
+  let a = fresh () in
+  let t = mk_table a in
+  ignore (Table.append_row t (row 1 "a" 0));
+  ignore (Table.append_row t (row 2 "b" 0));
+  Table.set_begin_cid t 0 1L;
+  Table.set_begin_cid t 1 1L;
+  Table.publish t;
+  let merged, _, finalize = Storage.Merge.run a t ~merge_cid:1L in
+  finalize ();
+  A.set_root a 1 (Table.handle merged);
+  Alcotest.(check int) "merged to main" 2 (Table.main_rows merged);
+  (* invalidate main row 0 at never-durable cid 2 *)
+  Table.set_end_cid merged 0 2L;
+  Table.publish merged;
+  Region.crash (A.region a) Region.Drop_unfenced;
+  let a2 = reopen a in
+  let t2 = Table.attach a2 (A.get_root a2 1) in
+  Alcotest.(check int) "rollback via journal" 1
+    (Table.rollback_uncommitted t2 ~last_cid:1L);
+  Alcotest.(check int64) "main end reset" Cid.infinity (Table.end_cid t2 0)
+
+let test_table_type_check () =
+  let a = fresh () in
+  let t = mk_table a in
+  Alcotest.check_raises "bad type"
+    (Invalid_argument "Schema.validate_row: column s expects text, got int")
+    (fun () -> ignore (Table.append_row t [| Value.Int 1; Value.Int 2; Value.Int 3 |]))
+
+let test_table_nvm_bytes_grows () =
+  let a = fresh () in
+  let t = mk_table a in
+  let b0 = Table.nvm_bytes t in
+  for i = 0 to 499 do
+    ignore (Table.append_row t (row i (string_of_int i) i))
+  done;
+  Alcotest.(check bool) "bytes grew" true (Table.nvm_bytes t > b0)
+
+(* -------- Catalog -------- *)
+
+let test_catalog_roundtrip () =
+  let a = fresh () in
+  let c = Catalog.create a in
+  A.set_root a 0 (Catalog.handle c);
+  let t1 = mk_table ~name:"t1" a and t2 = mk_table ~name:"t2" a in
+  Catalog.add_table c ~name:"t1" ~ctrl:(Table.handle t1);
+  Catalog.add_table c ~name:"t2" ~ctrl:(Table.handle t2);
+  Alcotest.(check int) "count" 2 (Catalog.table_count c);
+  Alcotest.(check (option int)) "find t1" (Some (Table.handle t1))
+    (Catalog.find c "t1");
+  Alcotest.(check (option int)) "find missing" None (Catalog.find c "zz");
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Catalog.add_table: duplicate table t1") (fun () ->
+      Catalog.add_table c ~name:"t1" ~ctrl:0);
+  Region.crash (A.region a) Region.Drop_unfenced;
+  let a2 = reopen a in
+  let c2 = Catalog.attach a2 (A.get_root a2 0) in
+  Alcotest.(check (list (pair string int))) "tables durable"
+    [ ("t1", Table.handle t1); ("t2", Table.handle t2) ]
+    (Catalog.tables c2)
+
+let test_catalog_swap_atomic () =
+  let a = fresh () in
+  let c = Catalog.create a in
+  A.set_root a 0 (Catalog.handle c);
+  let t1 = mk_table ~name:"t" a in
+  Catalog.add_table c ~name:"t" ~ctrl:(Table.handle t1);
+  Catalog.swap_table c ~name:"t" ~new_ctrl:4242;
+  Region.crash (A.region a) Region.Drop_unfenced;
+  let c2 = Catalog.attach (reopen a) (A.get_root a 0) in
+  Alcotest.(check (option int)) "swap durable" (Some 4242) (Catalog.find c2 "t");
+  Alcotest.check_raises "swap unknown" Not_found (fun () ->
+      Catalog.swap_table c ~name:"nope" ~new_ctrl:1)
+
+(* -------- Merge -------- *)
+
+let committed_table a rows =
+  let t = mk_table a in
+  List.iteri
+    (fun i values ->
+      let r = Table.append_row t values in
+      ignore i;
+      Table.set_begin_cid t r 1L)
+    rows;
+  Table.publish t;
+  t
+
+let test_merge_compacts_dead_rows () =
+  let a = fresh () in
+  let t = committed_table a [ row 1 "a" 0; row 2 "b" 0; row 3 "c" 0 ] in
+  (* invalidate row 1 at cid 2 (durable) *)
+  Table.set_end_cid t 1 2L;
+  Table.publish t;
+  let merged, stats, finalize = Storage.Merge.run a t ~merge_cid:2L in
+  finalize ();
+  Alcotest.(check int) "in" 3 stats.Storage.Merge.rows_in;
+  Alcotest.(check int) "out" 2 stats.Storage.Merge.rows_out;
+  Alcotest.(check int) "main rows" 2 (Table.main_rows merged);
+  Alcotest.(check int) "no delta" 0 (Table.delta_rows merged);
+  Alcotest.check value_t "survivor 1" (Value.Int 1) (Table.get merged 0 0);
+  Alcotest.check value_t "survivor 2" (Value.Int 3) (Table.get merged 1 0)
+
+let test_merge_sorted_dictionary () =
+  let a = fresh () in
+  let t =
+    committed_table a [ row 30 "zebra" 0; row 10 "apple" 1; row 20 "mango" 2 ]
+  in
+  let merged, _, finalize = Storage.Merge.run a t ~merge_cid:1L in
+  finalize ();
+  (* dictionary order: binary search must find every value *)
+  Alcotest.(check (list int)) "find 10" [ 1 ]
+    (Table.rows_with_value merged 0 (Value.Int 10));
+  Alcotest.(check (list int)) "find zebra" [ 0 ]
+    (Table.rows_with_value merged 1 (Value.Text "zebra"));
+  Alcotest.(check (array value_t)) "row order stable" (row 30 "zebra" 0)
+    (Table.get_row merged 0)
+
+let test_merge_preserves_after_crash () =
+  let a = fresh () in
+  let t = committed_table a [ row 1 "x" 7; row 2 "y" 8 ] in
+  let merged, _, finalize = Storage.Merge.run a t ~merge_cid:1L in
+  finalize ();
+  A.set_root a 1 (Table.handle merged);
+  Region.crash (A.region a) Region.Drop_unfenced;
+  let a2 = reopen a in
+  let t2 = Table.attach a2 (A.get_root a2 1) in
+  Alcotest.(check (array value_t)) "main durable" (row 1 "x" 7) (Table.get_row t2 0);
+  Alcotest.(check (array value_t)) "main durable 2" (row 2 "y" 8) (Table.get_row t2 1)
+
+let test_merge_then_write_delta () =
+  let a = fresh () in
+  let t = committed_table a [ row 1 "x" 7 ] in
+  let merged, _, finalize = Storage.Merge.run a t ~merge_cid:1L in
+  finalize ();
+  let r = Table.append_row merged (row 2 "y" 8) in
+  Table.set_begin_cid merged r 2L;
+  Table.publish merged;
+  Alcotest.(check int) "main+delta" 2 (Table.row_count merged);
+  Alcotest.(check (list int)) "lookup spans partitions" [ 0 ]
+    (Table.rows_with_value merged 0 (Value.Int 1));
+  Alcotest.(check (list int)) "delta row found" [ 1 ]
+    (Table.rows_with_value merged 0 (Value.Int 2))
+
+let test_merge_reclaims_space () =
+  let a = fresh () in
+  let t = mk_table a in
+  (* many dead versions of the same logical row *)
+  for i = 0 to 199 do
+    let r = Table.append_row t (row 1 "hot" i) in
+    Table.set_begin_cid t r (Int64.of_int (i + 1));
+    if i > 0 then Table.set_end_cid t (r - 1) (Int64.of_int (i + 1))
+  done;
+  Table.publish t;
+  let free_before = (A.heap_stats a).A.free_bytes in
+  let merged, stats, finalize = Storage.Merge.run a t ~merge_cid:200L in
+  finalize ();
+  Alcotest.(check int) "only one survivor" 1 stats.Storage.Merge.rows_out;
+  Alcotest.(check bool) "bytes shrank" true
+    (stats.Storage.Merge.bytes_after < stats.Storage.Merge.bytes_before);
+  Alcotest.(check bool) "heap space reclaimed" true
+    ((A.heap_stats a).A.free_bytes > free_before);
+  Alcotest.check value_t "survivor value" (Value.Int 199) (Table.get merged 0 2)
+
+(* -------- qcheck: merge equivalence -------- *)
+
+let prop_merge_preserves_visible_rows =
+  QCheck.Test.make ~name:"merge preserves exactly the visible rows" ~count:50
+    QCheck.(list_of_size Gen.(int_range 1 60) (pair (int_bound 20) bool))
+    (fun spec ->
+      let a = fresh () in
+      let t = mk_table a in
+      (* build rows committed at cid 1; invalidate the flagged ones at 2 *)
+      List.iteri
+        (fun i (k, _) ->
+          let r = Table.append_row t (row k (string_of_int k) i) in
+          Table.set_begin_cid t r 1L)
+        spec;
+      List.iteri (fun i (_, dead) -> if dead then Table.set_end_cid t i 2L) spec;
+      Table.publish t;
+      let expected =
+        List.filteri (fun i _ -> not (snd (List.nth spec i))) spec |> List.map fst
+      in
+      let merged, _, finalize = Storage.Merge.run a t ~merge_cid:2L in
+      finalize ();
+      let actual =
+        List.init (Table.row_count merged) (fun r ->
+            match Table.get merged r 0 with Value.Int k -> k | _ -> -1)
+      in
+      actual = expected)
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "compare" `Quick test_value_compare;
+          Alcotest.test_case "encode roundtrip" `Quick test_value_encode_roundtrip;
+          Alcotest.test_case "compare encoded" `Quick test_value_compare_encoded;
+          Alcotest.test_case "dict_key & ty names" `Quick test_value_dict_key;
+        ] );
+      ("schema", [ Alcotest.test_case "basics" `Quick test_schema ]);
+      ( "table",
+        [
+          Alcotest.test_case "append/get" `Quick test_table_append_get;
+          Alcotest.test_case "new rows uncommitted" `Quick
+            test_table_new_rows_uncommitted;
+          Alcotest.test_case "dictionary dedup" `Quick test_table_dictionary_dedup;
+          Alcotest.test_case "rows_with_value" `Quick test_table_rows_with_value;
+          Alcotest.test_case "publish/crash roundtrip" `Quick
+            test_table_publish_crash_roundtrip;
+          Alcotest.test_case "rollback uncommitted" `Quick
+            test_table_rollback_uncommitted;
+          Alcotest.test_case "main invalidation journal" `Quick
+            test_table_main_invalidation_journal;
+          Alcotest.test_case "type check" `Quick test_table_type_check;
+          Alcotest.test_case "nvm bytes" `Quick test_table_nvm_bytes_grows;
+        ] );
+      ( "catalog",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_catalog_roundtrip;
+          Alcotest.test_case "swap atomic" `Quick test_catalog_swap_atomic;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "compacts dead rows" `Quick
+            test_merge_compacts_dead_rows;
+          Alcotest.test_case "sorted dictionary" `Quick test_merge_sorted_dictionary;
+          Alcotest.test_case "durable after crash" `Quick
+            test_merge_preserves_after_crash;
+          Alcotest.test_case "write after merge" `Quick test_merge_then_write_delta;
+          Alcotest.test_case "reclaims space" `Quick test_merge_reclaims_space;
+          QCheck_alcotest.to_alcotest prop_merge_preserves_visible_rows;
+        ] );
+    ]

@@ -1,0 +1,318 @@
+(* Tests for the MVCC transaction manager: visibility, own-writes,
+   conflicts, interleavings, and the commit protocol's crash behaviour. *)
+
+module Region = Nvm.Region
+module A = Nvm_alloc.Allocator
+module Value = Storage.Value
+module Schema = Storage.Schema
+module Table = Storage.Table
+module Cid = Storage.Cid
+module Mvcc = Txn.Mvcc
+
+let schema =
+  [| Schema.column ~indexed:true "k" Value.Int_t; Schema.column "v" Value.Int_t |]
+
+type env = {
+  alloc : A.t;
+  table : Table.t;
+  mgr : Mvcc.manager;
+  last_durable : int64 ref;
+}
+
+let make_env ?(size = 8 * 1024 * 1024) () =
+  let alloc = A.format (Region.create { Region.default_config with size }) in
+  let table = Table.create alloc ~name:"t" schema in
+  A.set_root alloc 1 (Table.handle table);
+  let last_durable = ref Cid.zero in
+  let region = A.region alloc in
+  let cell = A.alloc alloc 8 in
+  A.activate alloc cell;
+  A.set_root alloc 2 cell;
+  let persist_commit cid =
+    Region.set_i64 region cell cid;
+    Region.persist region cell 8;
+    last_durable := cid
+  in
+  let mgr = Mvcc.create_manager ~persist_commit ~last_cid:Cid.zero () in
+  { alloc; table; mgr; last_durable }
+
+let row k v = [| Value.Int k; Value.Int v |]
+
+let test_insert_visible_after_commit () =
+  let e = make_env () in
+  let t1 = Mvcc.begin_txn e.mgr in
+  let r = Mvcc.insert e.mgr t1 e.table (row 1 10) in
+  (* another txn started before commit cannot see it *)
+  let t2 = Mvcc.begin_txn e.mgr in
+  Alcotest.(check bool) "invisible to concurrent" false
+    (Mvcc.row_visible t2 e.table r);
+  (* own write is visible *)
+  Alcotest.(check bool) "own write visible" true (Mvcc.row_visible t1 e.table r);
+  let cid = Mvcc.commit e.mgr t1 in
+  Alcotest.(check int64) "first cid" 1L cid;
+  (* t2's snapshot predates the commit *)
+  Alcotest.(check bool) "snapshot isolation" false (Mvcc.row_visible t2 e.table r);
+  Mvcc.abort e.mgr t2;
+  let t3 = Mvcc.begin_txn e.mgr in
+  Alcotest.(check bool) "new txn sees it" true (Mvcc.row_visible t3 e.table r)
+
+let test_read_only_consumes_no_cid () =
+  let e = make_env () in
+  let t = Mvcc.begin_txn e.mgr in
+  let cid = Mvcc.commit e.mgr t in
+  Alcotest.(check int64) "snapshot returned" Cid.zero cid;
+  Alcotest.(check int64) "no cid consumed" Cid.zero (Mvcc.last_cid e.mgr)
+
+let test_abort_leaves_row_dead () =
+  let e = make_env () in
+  let t1 = Mvcc.begin_txn e.mgr in
+  let r = Mvcc.insert e.mgr t1 e.table (row 1 10) in
+  Mvcc.abort e.mgr t1;
+  let t2 = Mvcc.begin_txn e.mgr in
+  Alcotest.(check bool) "aborted insert invisible" false
+    (Mvcc.row_visible t2 e.table r);
+  Alcotest.(check int64) "begin stays infinity" Cid.infinity
+    (Table.begin_cid e.table r)
+
+let test_update_creates_version () =
+  let e = make_env () in
+  let t1 = Mvcc.begin_txn e.mgr in
+  let r0 = Mvcc.insert e.mgr t1 e.table (row 1 10) in
+  ignore (Mvcc.commit e.mgr t1);
+  let t2 = Mvcc.begin_txn e.mgr in
+  let r1 = Mvcc.update e.mgr t2 e.table r0 (row 1 20) in
+  (* before commit: t2 sees new version, not old; others see old *)
+  Alcotest.(check bool) "t2 sees new" true (Mvcc.row_visible t2 e.table r1);
+  Alcotest.(check bool) "t2 does not see old" false (Mvcc.row_visible t2 e.table r0);
+  let t3 = Mvcc.begin_txn e.mgr in
+  Alcotest.(check bool) "t3 still sees old" true (Mvcc.row_visible t3 e.table r0);
+  Alcotest.(check bool) "t3 does not see new" false (Mvcc.row_visible t3 e.table r1);
+  ignore (Mvcc.commit e.mgr t2);
+  (* t3's snapshot is stable *)
+  Alcotest.(check bool) "t3 keeps old after commit" true
+    (Mvcc.row_visible t3 e.table r0);
+  Mvcc.abort e.mgr t3;
+  let t4 = Mvcc.begin_txn e.mgr in
+  Alcotest.(check bool) "t4 sees new" true (Mvcc.row_visible t4 e.table r1);
+  Alcotest.(check bool) "t4 does not see old" false (Mvcc.row_visible t4 e.table r0)
+
+let test_delete () =
+  let e = make_env () in
+  let t1 = Mvcc.begin_txn e.mgr in
+  let r = Mvcc.insert e.mgr t1 e.table (row 1 10) in
+  ignore (Mvcc.commit e.mgr t1);
+  let t2 = Mvcc.begin_txn e.mgr in
+  Mvcc.delete e.mgr t2 e.table r;
+  Alcotest.(check bool) "own delete invisible" false (Mvcc.row_visible t2 e.table r);
+  ignore (Mvcc.commit e.mgr t2);
+  let t3 = Mvcc.begin_txn e.mgr in
+  Alcotest.(check bool) "deleted invisible" false (Mvcc.row_visible t3 e.table r)
+
+let test_write_write_conflict () =
+  let e = make_env () in
+  let t0 = Mvcc.begin_txn e.mgr in
+  let r = Mvcc.insert e.mgr t0 e.table (row 1 10) in
+  ignore (Mvcc.commit e.mgr t0);
+  let t1 = Mvcc.begin_txn e.mgr in
+  let t2 = Mvcc.begin_txn e.mgr in
+  ignore (Mvcc.update e.mgr t1 e.table r (row 1 20));
+  (* second writer loses immediately *)
+  (try
+     ignore (Mvcc.update e.mgr t2 e.table r (row 1 30));
+     Alcotest.fail "expected Write_conflict"
+   with Mvcc.Write_conflict _ -> ());
+  Mvcc.abort e.mgr t2;
+  ignore (Mvcc.commit e.mgr t1)
+
+let test_conflict_with_committed_invalidation () =
+  let e = make_env () in
+  let t0 = Mvcc.begin_txn e.mgr in
+  let r = Mvcc.insert e.mgr t0 e.table (row 1 10) in
+  ignore (Mvcc.commit e.mgr t0);
+  (* t1 snapshots now; t2 updates and commits *)
+  let t1 = Mvcc.begin_txn e.mgr in
+  let t2 = Mvcc.begin_txn e.mgr in
+  ignore (Mvcc.update e.mgr t2 e.table r (row 1 20));
+  ignore (Mvcc.commit e.mgr t2);
+  (* t1 still sees the old version but must not be able to update it *)
+  Alcotest.(check bool) "old visible to old snapshot" true
+    (Mvcc.row_visible t1 e.table r);
+  (try
+     ignore (Mvcc.update e.mgr t1 e.table r (row 1 30));
+     Alcotest.fail "expected Write_conflict"
+   with Mvcc.Write_conflict _ -> ());
+  Mvcc.abort e.mgr t1
+
+let test_conflict_released_after_abort () =
+  let e = make_env () in
+  let t0 = Mvcc.begin_txn e.mgr in
+  let r = Mvcc.insert e.mgr t0 e.table (row 1 10) in
+  ignore (Mvcc.commit e.mgr t0);
+  let t1 = Mvcc.begin_txn e.mgr in
+  ignore (Mvcc.update e.mgr t1 e.table r (row 1 20));
+  Mvcc.abort e.mgr t1;
+  (* claim is released and the row was not actually invalidated *)
+  let t2 = Mvcc.begin_txn e.mgr in
+  ignore (Mvcc.update e.mgr t2 e.table r (row 1 30));
+  ignore (Mvcc.commit e.mgr t2);
+  let t3 = Mvcc.begin_txn e.mgr in
+  Alcotest.(check bool) "r superseded" false (Mvcc.row_visible t3 e.table r)
+
+let test_update_own_insert () =
+  let e = make_env () in
+  let t = Mvcc.begin_txn e.mgr in
+  let r0 = Mvcc.insert e.mgr t e.table (row 1 10) in
+  let r1 = Mvcc.update e.mgr t e.table r0 (row 1 11) in
+  ignore (Mvcc.commit e.mgr t);
+  let t2 = Mvcc.begin_txn e.mgr in
+  Alcotest.(check bool) "old self-superseded version invisible" false
+    (Mvcc.row_visible t2 e.table r0);
+  Alcotest.(check bool) "final version visible" true (Mvcc.row_visible t2 e.table r1)
+
+let test_finished_txn_rejected () =
+  let e = make_env () in
+  let t = Mvcc.begin_txn e.mgr in
+  ignore (Mvcc.commit e.mgr t);
+  (try
+     ignore (Mvcc.insert e.mgr t e.table (row 1 1));
+     Alcotest.fail "expected Not_active"
+   with Mvcc.Not_active _ -> ());
+  (try
+     ignore (Mvcc.commit e.mgr t);
+     Alcotest.fail "expected Not_active on double commit"
+   with Mvcc.Not_active _ -> ())
+
+let test_active_count () =
+  let e = make_env () in
+  Alcotest.(check int) "none" 0 (Mvcc.active_count e.mgr);
+  let t1 = Mvcc.begin_txn e.mgr and t2 = Mvcc.begin_txn e.mgr in
+  Alcotest.(check int) "two" 2 (Mvcc.active_count e.mgr);
+  ignore (Mvcc.commit e.mgr t1);
+  Mvcc.abort e.mgr t2;
+  Alcotest.(check int) "drained" 0 (Mvcc.active_count e.mgr)
+
+let test_observer_events () =
+  let events = ref [] in
+  let e = make_env () in
+  let mgr =
+    Mvcc.create_manager
+      ~observer:(fun ev -> events := ev :: !events)
+      ~persist_commit:ignore ~last_cid:Cid.zero ()
+  in
+  let t = Mvcc.begin_txn mgr in
+  ignore (Mvcc.insert mgr t e.table (row 1 1));
+  ignore (Mvcc.commit mgr t);
+  let t2 = Mvcc.begin_txn mgr in
+  ignore (Mvcc.insert mgr t2 e.table (row 2 2));
+  Mvcc.abort mgr t2;
+  let kinds =
+    List.rev_map
+      (function
+        | Mvcc.Ev_insert _ -> "insert"
+        | Mvcc.Ev_commit _ -> "commit"
+        | Mvcc.Ev_abort _ -> "abort")
+      !events
+  in
+  Alcotest.(check (list string)) "event order"
+    [ "insert"; "commit"; "insert"; "abort" ] kinds
+
+let test_commit_point_crash_semantics () =
+  (* Crash right after commit returns: everything must be durable.
+     Crash mid-commit (simulated by stamping without the persist hook
+     firing): recovery rolls the transaction back entirely. *)
+  let e = make_env () in
+  let t = Mvcc.begin_txn e.mgr in
+  ignore (Mvcc.insert e.mgr t e.table (row 1 10));
+  ignore (Mvcc.commit e.mgr t);
+  Region.crash (A.region e.alloc) Region.Drop_unfenced;
+  let a2 = A.open_existing (A.region e.alloc) in
+  let table2 = Table.attach a2 (A.get_root a2 1) in
+  ignore (Table.rollback_uncommitted table2 ~last_cid:!(e.last_durable));
+  Alcotest.(check int) "row survived" 1 (Table.row_count table2);
+  Alcotest.(check int64) "committed begin" 1L (Table.begin_cid table2 0)
+
+(* qcheck: random interleaved histories against a sequential model of
+   committed state *)
+let prop_serializable_committed_state =
+  (* ops: (txn_slot, action) over 3 concurrent slots; action 0..2 insert,
+     3 commit, 4 abort. The model applies inserts of a slot only when that
+     slot commits. At the end, visible rows = model. *)
+  QCheck.Test.make ~name:"committed state equals sequential model" ~count:80
+    QCheck.(list_of_size Gen.(int_range 1 60) (pair (int_bound 2) (int_bound 4)))
+    (fun script ->
+      let e = make_env () in
+      let slots = Array.make 3 None in
+      let staged = Array.make 3 [] in
+      let model = ref [] in
+      let counter = ref 0 in
+      List.iter
+        (fun (s, action) ->
+          match (slots.(s), action) with
+          | None, _ ->
+              slots.(s) <- Some (Mvcc.begin_txn e.mgr);
+              staged.(s) <- []
+          | Some txn, (0 | 1 | 2) ->
+              incr counter;
+              ignore (Mvcc.insert e.mgr txn e.table (row !counter !counter));
+              staged.(s) <- !counter :: staged.(s)
+          | Some txn, 3 ->
+              ignore (Mvcc.commit e.mgr txn);
+              model := !model @ List.rev staged.(s);
+              slots.(s) <- None
+          | Some txn, 4 ->
+              Mvcc.abort e.mgr txn;
+              slots.(s) <- None
+          | _ -> assert false)
+        script;
+      (* commit leftovers in slot order *)
+      Array.iteri
+        (fun s slot ->
+          match slot with
+          | Some txn ->
+              ignore (Mvcc.commit e.mgr txn);
+              model := !model @ List.rev staged.(s)
+          | None -> ())
+        slots;
+      let reader = Mvcc.begin_txn e.mgr in
+      let seen = ref [] in
+      for r = 0 to Table.row_count e.table - 1 do
+        if Mvcc.row_visible reader e.table r then
+          match Table.get e.table r 0 with
+          | Value.Int k -> seen := k :: !seen
+          | _ -> ()
+      done;
+      List.sort compare !seen = List.sort compare !model)
+
+let () =
+  Alcotest.run "txn"
+    [
+      ( "visibility",
+        [
+          Alcotest.test_case "insert visible after commit" `Quick
+            test_insert_visible_after_commit;
+          Alcotest.test_case "read-only no cid" `Quick test_read_only_consumes_no_cid;
+          Alcotest.test_case "abort leaves dead row" `Quick
+            test_abort_leaves_row_dead;
+          Alcotest.test_case "update versions" `Quick test_update_creates_version;
+          Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "update own insert" `Quick test_update_own_insert;
+        ] );
+      ( "conflicts",
+        [
+          Alcotest.test_case "write-write" `Quick test_write_write_conflict;
+          Alcotest.test_case "committed invalidation" `Quick
+            test_conflict_with_committed_invalidation;
+          Alcotest.test_case "released after abort" `Quick
+            test_conflict_released_after_abort;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "finished txn rejected" `Quick
+            test_finished_txn_rejected;
+          Alcotest.test_case "active count" `Quick test_active_count;
+          Alcotest.test_case "observer events" `Quick test_observer_events;
+          Alcotest.test_case "commit point crash semantics" `Quick
+            test_commit_point_crash_semantics;
+          QCheck_alcotest.to_alcotest prop_serializable_committed_state;
+        ] );
+    ]

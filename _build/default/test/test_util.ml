@@ -1,0 +1,237 @@
+(* Unit and property tests for the deterministic PRNG, histograms and the
+   table renderer. *)
+
+open Util
+
+let test_prng_determinism () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for _ = 1 to 1000 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_copy () =
+  let a = Prng.create 7L in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "copy continues stream" (Prng.next_int64 a)
+      (Prng.next_int64 b)
+  done
+
+let test_prng_split_independent () =
+  let a = Prng.create 1L in
+  let b = Prng.split a in
+  let xa = Prng.next_int64 a and xb = Prng.next_int64 b in
+  Alcotest.(check bool) "split streams differ" true (xa <> xb)
+
+let test_prng_bounds () =
+  let rng = Prng.create 3L in
+  for _ = 1 to 10_000 do
+    let v = Prng.int rng 17 in
+    Alcotest.(check bool) "int in bounds" true (v >= 0 && v < 17);
+    let v = Prng.int_in rng (-5) 5 in
+    Alcotest.(check bool) "int_in in bounds" true (v >= -5 && v <= 5);
+    let f = Prng.float rng 2.5 in
+    Alcotest.(check bool) "float in bounds" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_prng_uniformity () =
+  (* chi-square-ish sanity: each of 8 buckets within 20% of expectation *)
+  let rng = Prng.create 99L in
+  let buckets = Array.make 8 0 in
+  let n = 80_000 in
+  for _ = 1 to n do
+    let v = Prng.int rng 8 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "bucket near uniform" true
+        (abs (c - (n / 8)) < n / 40))
+    buckets
+
+let test_alpha_string () =
+  let rng = Prng.create 5L in
+  let s = Prng.alpha_string rng 64 in
+  Alcotest.(check int) "length" 64 (String.length s);
+  String.iter
+    (fun c -> Alcotest.(check bool) "lowercase" true (c >= 'a' && c <= 'z'))
+    s
+
+let test_shuffle_permutation () =
+  let rng = Prng.create 11L in
+  let a = Array.init 100 Fun.id in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 100 Fun.id) sorted
+
+let test_zipf_bounds_and_skew () =
+  let rng = Prng.create 21L in
+  let g = Prng.Zipf.create ~n:1000 ~theta:0.99 in
+  let counts = Array.make 1000 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let v = Prng.Zipf.draw g rng in
+    Alcotest.(check bool) "zipf in range" true (v >= 0 && v < 1000);
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* item 0 must be the hottest and carry far more than uniform share *)
+  let hottest = Array.fold_left max 0 counts in
+  Alcotest.(check int) "item 0 is hottest" hottest counts.(0);
+  Alcotest.(check bool) "strongly skewed" true (counts.(0) > 10 * (n / 1000))
+
+let test_histogram_basic () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "count" 5 (Histogram.count h);
+  Alcotest.(check int) "total" 15 (Histogram.total h);
+  Alcotest.(check int) "min" 1 (Histogram.min_value h);
+  Alcotest.(check int) "max" 5 (Histogram.max_value h);
+  Alcotest.(check (float 0.001)) "mean" 3.0 (Histogram.mean h);
+  Alcotest.(check int) "p100 = max" 5 (Histogram.percentile h 100.0)
+
+let test_histogram_empty_raises () =
+  let h = Histogram.create () in
+  Alcotest.check_raises "mean on empty"
+    (Invalid_argument "Histogram.mean: empty") (fun () ->
+      ignore (Histogram.mean h))
+
+let test_histogram_percentile_monotone () =
+  let rng = Prng.create 77L in
+  let h = Histogram.create () in
+  for _ = 1 to 10_000 do
+    Histogram.record h (Prng.int rng 1_000_000)
+  done;
+  let prev = ref 0 in
+  List.iter
+    (fun p ->
+      let v = Histogram.percentile h p in
+      Alcotest.(check bool) "monotone percentiles" true (v >= !prev);
+      prev := v)
+    [ 1.0; 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 99.9; 100.0 ]
+
+let test_histogram_accuracy () =
+  (* bucket error for large values stays within ~2% *)
+  let h = Histogram.create () in
+  let v = 1_000_000 in
+  Histogram.record h v;
+  let p = Histogram.percentile h 50.0 in
+  Alcotest.(check bool) "2% relative accuracy" true
+    (p >= v && float_of_int (p - v) /. float_of_int v < 0.02)
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.record a 10;
+  Histogram.record b 20;
+  Histogram.merge_into ~src:a ~dst:b;
+  Alcotest.(check int) "merged count" 2 (Histogram.count b);
+  Alcotest.(check int) "merged total" 30 (Histogram.total b);
+  Alcotest.(check int) "merged min" 10 (Histogram.min_value b)
+
+let test_histogram_clear () =
+  let h = Histogram.create () in
+  Histogram.record h 3;
+  Histogram.clear h;
+  Alcotest.(check int) "cleared" 0 (Histogram.count h)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_tabular_render () =
+  let t =
+    Tabular.create ~title:"demo"
+      [ ("name", Tabular.Left); ("value", Tabular.Right) ]
+  in
+  Tabular.add_row t [ "rows"; "1,000" ];
+  Tabular.add_separator t;
+  Tabular.add_row t [ "bytes"; "42" ];
+  let s = Tabular.render t in
+  Alcotest.(check bool) "has title" true
+    (String.length s > 3 && String.sub s 0 3 = "== ");
+  Alcotest.(check bool) "right alignment pads 42" true (contains s "    42 |")
+
+let test_tabular_mismatch () =
+  let t = Tabular.create ~title:"x" [ ("a", Tabular.Left) ] in
+  Alcotest.check_raises "cell count"
+    (Invalid_argument "Tabular.add_row: cell count mismatch") (fun () ->
+      Tabular.add_row t [ "1"; "2" ])
+
+let test_formatters () =
+  Alcotest.(check string) "fmt_int" "1,234,567" (Tabular.fmt_int 1234567);
+  Alcotest.(check string) "fmt_int negative" "-1,000" (Tabular.fmt_int (-1000));
+  Alcotest.(check string) "fmt_int small" "42" (Tabular.fmt_int 42);
+  Alcotest.(check string) "fmt_bytes" "1.00 KiB" (Tabular.fmt_bytes 1024);
+  Alcotest.(check string) "fmt_bytes gib" "2.00 GiB"
+    (Tabular.fmt_bytes (2 * 1024 * 1024 * 1024));
+  Alcotest.(check string) "fmt_ns us" "1.50 us" (Tabular.fmt_ns 1500);
+  Alcotest.(check string) "fmt_ns s" "2.00 s" (Tabular.fmt_ns 2_000_000_000);
+  Alcotest.(check string) "fmt_float" "3.14" (Tabular.fmt_float 3.14159)
+
+(* -- qcheck properties -- *)
+
+let prop_histogram_percentile_bounds =
+  QCheck.Test.make ~name:"histogram percentile within [min,max]" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 200) (int_bound 10_000_000))
+    (fun values ->
+      let h = Histogram.create () in
+      List.iter (Histogram.record h) values;
+      let p50 = Histogram.percentile h 50.0 in
+      p50 >= Histogram.min_value h && p50 <= Histogram.max_value h)
+
+let prop_histogram_count_total =
+  QCheck.Test.make ~name:"histogram count/total match input" ~count:200
+    QCheck.(list (int_bound 1_000_000))
+    (fun values ->
+      let h = Histogram.create () in
+      List.iter (Histogram.record h) values;
+      Histogram.count h = List.length values
+      && Histogram.total h = List.fold_left ( + ) 0 values)
+
+let prop_prng_int_bound =
+  QCheck.Test.make ~name:"prng int respects bound" ~count:500
+    QCheck.(pair int64 (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Prng.create seed in
+      let v = Prng.int rng bound in
+      v >= 0 && v < bound)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "split independence" `Quick
+            test_prng_split_independent;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "uniformity" `Quick test_prng_uniformity;
+          Alcotest.test_case "alpha_string" `Quick test_alpha_string;
+          Alcotest.test_case "shuffle is permutation" `Quick
+            test_shuffle_permutation;
+          Alcotest.test_case "zipf bounds and skew" `Quick
+            test_zipf_bounds_and_skew;
+          QCheck_alcotest.to_alcotest prop_prng_int_bound;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "basic stats" `Quick test_histogram_basic;
+          Alcotest.test_case "empty raises" `Quick test_histogram_empty_raises;
+          Alcotest.test_case "percentile monotone" `Quick
+            test_histogram_percentile_monotone;
+          Alcotest.test_case "bucket accuracy" `Quick test_histogram_accuracy;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "clear" `Quick test_histogram_clear;
+          QCheck_alcotest.to_alcotest prop_histogram_percentile_bounds;
+          QCheck_alcotest.to_alcotest prop_histogram_count_total;
+        ] );
+      ( "tabular",
+        [
+          Alcotest.test_case "render" `Quick test_tabular_render;
+          Alcotest.test_case "row mismatch" `Quick test_tabular_mismatch;
+          Alcotest.test_case "formatters" `Quick test_formatters;
+        ] );
+    ]

@@ -1,0 +1,291 @@
+(* Tests for the write-ahead log and checkpoint files: codec, framing,
+   group commit, torn tails, epochs, atomic checkpoint replacement. *)
+
+module Value = Storage.Value
+module Schema = Storage.Schema
+module Codec = Wal.Codec
+module Log = Wal.Log
+module Checkpoint = Wal.Checkpoint
+
+let tmpdir () =
+  let d = Filename.temp_file "waltest" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let cfg ?(group = 1) dir = { Log.dir; group_commit_size = group; fsync = false }
+
+let schema =
+  [| Schema.column ~indexed:true "k" Value.Int_t; Schema.column "s" Value.Text_t |]
+
+(* -------- codec -------- *)
+
+let test_codec_scalars () =
+  let buf = Buffer.create 64 in
+  Codec.w_u8 buf 200;
+  Codec.w_u32 buf 123456;
+  Codec.w_i64 buf (-42L);
+  Codec.w_string buf "hello";
+  let r = Codec.reader_of_string (Buffer.contents buf) in
+  Alcotest.(check int) "u8" 200 (Codec.r_u8 r);
+  Alcotest.(check int) "u32" 123456 (Codec.r_u32 r);
+  Alcotest.(check int64) "i64" (-42L) (Codec.r_i64 r);
+  Alcotest.(check string) "string" "hello" (Codec.r_string r);
+  Alcotest.(check bool) "at end" true (Codec.at_end r)
+
+let test_codec_values () =
+  let buf = Buffer.create 64 in
+  let vs = [ Value.Int (-7); Value.Float 2.5; Value.Text "text" ] in
+  List.iter (Codec.w_value buf) vs;
+  let r = Codec.reader_of_string (Buffer.contents buf) in
+  List.iter
+    (fun v -> Alcotest.(check bool) "value roundtrip" true (Codec.r_value r = v))
+    vs
+
+let test_codec_schema () =
+  let buf = Buffer.create 64 in
+  Codec.w_schema buf schema;
+  let r = Codec.reader_of_string (Buffer.contents buf) in
+  let s = Codec.r_schema r in
+  Alcotest.(check int) "arity" 2 (Schema.arity s);
+  Alcotest.(check bool) "indexed" true s.(0).Schema.indexed;
+  Alcotest.(check string) "name" "s" s.(1).Schema.name
+
+let test_codec_frame () =
+  let buf = Buffer.create 64 in
+  Codec.frame buf "payload-1";
+  Codec.frame buf "payload-2";
+  let r = Codec.reader_of_string (Buffer.contents buf) in
+  Alcotest.(check (option string)) "frame 1" (Some "payload-1") (Codec.r_frame r);
+  Alcotest.(check (option string)) "frame 2" (Some "payload-2") (Codec.r_frame r);
+  Alcotest.(check (option string)) "end" None (Codec.r_frame r)
+
+let test_codec_torn_frame () =
+  let buf = Buffer.create 64 in
+  Codec.frame buf "complete";
+  Codec.frame buf "torn-record";
+  let s = Buffer.contents buf in
+  let torn = String.sub s 0 (String.length s - 4) in
+  let r = Codec.reader_of_string torn in
+  Alcotest.(check (option string)) "first ok" (Some "complete") (Codec.r_frame r);
+  Alcotest.(check (option string)) "torn detected" None (Codec.r_frame r)
+
+let test_codec_corrupt_frame () =
+  let buf = Buffer.create 64 in
+  Codec.frame buf "tamperme";
+  let s = Bytes.of_string (Buffer.contents buf) in
+  Bytes.set s (Bytes.length s - 1) 'X';
+  let r = Codec.reader_of_string (Bytes.to_string s) in
+  Alcotest.(check (option string)) "crc catches corruption" None (Codec.r_frame r)
+
+let test_crc32_known () =
+  (* standard test vector *)
+  Alcotest.(check int32) "crc32 of '123456789'" 0xCBF43926l
+    (Codec.crc32 "123456789")
+
+(* -------- log -------- *)
+
+let test_log_roundtrip () =
+  let dir = tmpdir () in
+  let log = Log.create (cfg dir) ~epoch:0 in
+  let records =
+    [
+      Log.Create_table { name = "t"; schema };
+      Log.Insert { tid = 1; table_id = 0; values = [| Value.Int 1; Value.Text "a" |] };
+      Log.Commit { tid = 1; cid = 1L; invalidated = [ (0, 7) ] };
+      Log.Abort { tid = 2 };
+    ]
+  in
+  List.iter (Log.append log) records;
+  Log.close log;
+  let read, bytes = Log.read_all ~dir ~expected_epoch:0 in
+  Alcotest.(check int) "record count" 4 (List.length read);
+  Alcotest.(check bool) "bytes > 0" true (bytes > 0);
+  Alcotest.(check bool) "roundtrip equal" true (read = records)
+
+let test_log_group_commit_window () =
+  let dir = tmpdir () in
+  let log = Log.create (cfg ~group:4 dir) ~epoch:0 in
+  (* 3 commits: below the group size, so nothing is flushed *)
+  for tid = 1 to 3 do
+    Log.append log (Log.Insert { tid; table_id = 0; values = [| Value.Int tid |] });
+    Log.append log (Log.Commit { tid; cid = Int64.of_int tid; invalidated = [] })
+  done;
+  Log.crash log;
+  let read, _ = Log.read_all ~dir ~expected_epoch:0 in
+  Alcotest.(check int) "group window lost" 0 (List.length read);
+  (* now with 4 commits the group flushes *)
+  let log = Log.create (cfg ~group:4 dir) ~epoch:0 in
+  for tid = 1 to 5 do
+    Log.append log (Log.Commit { tid; cid = Int64.of_int tid; invalidated = [] })
+  done;
+  Log.crash log;
+  let read, _ = Log.read_all ~dir ~expected_epoch:0 in
+  Alcotest.(check int) "first group durable, fifth lost" 4 (List.length read)
+
+let test_log_flush_forces () =
+  let dir = tmpdir () in
+  let log = Log.create (cfg ~group:100 dir) ~epoch:0 in
+  Log.append log (Log.Commit { tid = 1; cid = 1L; invalidated = [] });
+  Log.flush log;
+  Log.crash log;
+  let read, _ = Log.read_all ~dir ~expected_epoch:0 in
+  Alcotest.(check int) "flushed" 1 (List.length read)
+
+let test_log_epoch_mismatch () =
+  let dir = tmpdir () in
+  let log = Log.create (cfg dir) ~epoch:3 in
+  Log.append log (Log.Commit { tid = 1; cid = 1L; invalidated = [] });
+  Log.close log;
+  let read, _ = Log.read_all ~dir ~expected_epoch:4 in
+  Alcotest.(check int) "stale epoch ignored" 0 (List.length read);
+  let read, _ = Log.read_all ~dir ~expected_epoch:3 in
+  Alcotest.(check int) "right epoch read" 1 (List.length read)
+
+let test_log_torn_tail_truncated_on_append () =
+  let dir = tmpdir () in
+  let log = Log.create (cfg dir) ~epoch:0 in
+  Log.append log (Log.Commit { tid = 1; cid = 1L; invalidated = [] });
+  Log.close log;
+  (* simulate a torn tail: append garbage bytes *)
+  let fd = Unix.openfile (Log.log_path ~dir) [ Unix.O_WRONLY; Unix.O_APPEND ] 0 in
+  ignore (Unix.write_substring fd "GARBAGE" 0 7);
+  Unix.close fd;
+  let read, bytes = Log.read_all ~dir ~expected_epoch:0 in
+  Alcotest.(check int) "valid prefix" 1 (List.length read);
+  (* continue appending after truncation *)
+  let log = Log.open_append (cfg dir) ~epoch:0 ~truncate_at:bytes in
+  Log.append log (Log.Commit { tid = 2; cid = 2L; invalidated = [] });
+  Log.close log;
+  let read, _ = Log.read_all ~dir ~expected_epoch:0 in
+  Alcotest.(check int) "both records" 2 (List.length read)
+
+let test_log_missing_file () =
+  let dir = tmpdir () in
+  let read, bytes = Log.read_all ~dir ~expected_epoch:0 in
+  Alcotest.(check int) "no file, no records" 0 (List.length read);
+  Alcotest.(check int) "no bytes" 0 bytes
+
+(* -------- checkpoint -------- *)
+
+let dump =
+  {
+    Checkpoint.cid = 42L;
+    epoch = 2;
+    tables =
+      [
+        {
+          Checkpoint.name = "t";
+          schema;
+          rows = 3;
+          columns =
+            [|
+              { Checkpoint.dict = [| Value.Int 1; Value.Int 2 |]; avec = [| 0; 1; 0 |] };
+              {
+                Checkpoint.dict = [| Value.Text "a"; Value.Text "b" |];
+                avec = [| 1; 1; 0 |];
+              };
+            |];
+        };
+      ];
+  }
+
+let test_checkpoint_roundtrip () =
+  let dir = tmpdir () in
+  let bytes = Checkpoint.write ~dir dump in
+  Alcotest.(check bool) "bytes" true (bytes > 0);
+  match Checkpoint.read ~dir with
+  | None -> Alcotest.fail "checkpoint unreadable"
+  | Some c ->
+      Alcotest.(check int64) "cid" 42L c.Checkpoint.cid;
+      Alcotest.(check int) "epoch" 2 c.Checkpoint.epoch;
+      Alcotest.(check bool) "tables equal" true (c.Checkpoint.tables = dump.Checkpoint.tables)
+
+let test_checkpoint_missing () =
+  let dir = tmpdir () in
+  Alcotest.(check bool) "absent" true (Checkpoint.read ~dir = None)
+
+let test_checkpoint_corruption_detected () =
+  let dir = tmpdir () in
+  ignore (Checkpoint.write ~dir dump);
+  let p = Checkpoint.path ~dir in
+  let fd = Unix.openfile p [ Unix.O_WRONLY ] 0 in
+  ignore (Unix.lseek fd 20 Unix.SEEK_SET);
+  ignore (Unix.write_substring fd "X" 0 1);
+  Unix.close fd;
+  Alcotest.(check bool) "crc rejects" true (Checkpoint.read ~dir = None)
+
+let test_checkpoint_overwrite_is_atomic () =
+  let dir = tmpdir () in
+  ignore (Checkpoint.write ~dir dump);
+  let dump2 = { dump with Checkpoint.cid = 43L } in
+  ignore (Checkpoint.write ~dir dump2);
+  match Checkpoint.read ~dir with
+  | Some c -> Alcotest.(check int64) "latest wins" 43L c.Checkpoint.cid
+  | None -> Alcotest.fail "unreadable"
+
+(* qcheck: arbitrary record lists roundtrip *)
+let gen_record =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 4,
+          map3
+            (fun tid table_id k ->
+              Log.Insert
+                { tid; table_id; values = [| Value.Int k; Value.Text (string_of_int k) |] })
+            (int_bound 100) (int_bound 5) (int_bound 10_000) );
+        ( 2,
+          map2
+            (fun tid cid ->
+              Log.Commit { tid; cid = Int64.of_int cid; invalidated = [ (0, cid) ] })
+            (int_bound 100) (int_bound 10_000) );
+        (1, map (fun tid -> Log.Abort { tid }) (int_bound 100));
+      ])
+
+let prop_log_roundtrip =
+  QCheck.Test.make ~name:"arbitrary record lists roundtrip" ~count:60
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 50) gen_record))
+    (fun records ->
+      let dir = tmpdir () in
+      let log = Log.create (cfg dir) ~epoch:0 in
+      List.iter (Log.append log) records;
+      Log.close log;
+      let read, _ = Log.read_all ~dir ~expected_epoch:0 in
+      read = records)
+
+let () =
+  Alcotest.run "wal"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "scalars" `Quick test_codec_scalars;
+          Alcotest.test_case "values" `Quick test_codec_values;
+          Alcotest.test_case "schema" `Quick test_codec_schema;
+          Alcotest.test_case "frames" `Quick test_codec_frame;
+          Alcotest.test_case "torn frame" `Quick test_codec_torn_frame;
+          Alcotest.test_case "corrupt frame" `Quick test_codec_corrupt_frame;
+          Alcotest.test_case "crc32 vector" `Quick test_crc32_known;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_log_roundtrip;
+          Alcotest.test_case "group commit window" `Quick
+            test_log_group_commit_window;
+          Alcotest.test_case "flush forces" `Quick test_log_flush_forces;
+          Alcotest.test_case "epoch mismatch" `Quick test_log_epoch_mismatch;
+          Alcotest.test_case "torn tail handling" `Quick
+            test_log_torn_tail_truncated_on_append;
+          Alcotest.test_case "missing file" `Quick test_log_missing_file;
+          QCheck_alcotest.to_alcotest prop_log_roundtrip;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "missing" `Quick test_checkpoint_missing;
+          Alcotest.test_case "corruption detected" `Quick
+            test_checkpoint_corruption_detected;
+          Alcotest.test_case "atomic overwrite" `Quick
+            test_checkpoint_overwrite_is_atomic;
+        ] );
+    ]

@@ -1,0 +1,156 @@
+(* Tests for the workload generators: determinism, schema population,
+   invariants, and recovery interplay. *)
+
+module E = Core.Engine
+module Region = Nvm.Region
+module Value = Storage.Value
+module Prng = Util.Prng
+module Tpcc = Workload.Tpcc_lite
+module Ycsb = Workload.Ycsb
+
+let nvm_engine ?(size = 32 * 1024 * 1024) () =
+  E.create (E.default_config ~size E.Nvm)
+
+(* -------- tpcc-lite -------- *)
+
+let small_tpcc e = Tpcc.setup e ~warehouses:2 ~districts_per_wh:3 ~customers_per_district:5
+
+let test_tpcc_setup_populates () =
+  let e = nvm_engine () in
+  let _sess = small_tpcc e in
+  Alcotest.(check (list string)) "tables" Tpcc.table_names (E.table_names e);
+  E.with_txn e (fun txn ->
+      Alcotest.(check int) "warehouses" 2 (E.count e txn "warehouse");
+      Alcotest.(check int) "districts" 6 (E.count e txn "district");
+      Alcotest.(check int) "customers" 30 (E.count e txn "customer");
+      Alcotest.(check int) "no orders yet" 0 (E.count e txn "orders"))
+
+let test_tpcc_run_commits () =
+  let e = nvm_engine () in
+  let sess = small_tpcc e in
+  let st = Tpcc.run sess (Prng.create 1L) ~ops:100 () in
+  Alcotest.(check int) "all accounted" 100
+    (st.Tpcc.committed + st.Tpcc.aborted);
+  Alcotest.(check bool) "mostly commits" true (st.Tpcc.committed > 80);
+  Alcotest.(check int) "orders = committed new_orders" st.Tpcc.new_orders
+    (Tpcc.total_orders sess);
+  List.iter
+    (fun (name, ok) -> Alcotest.(check bool) name true ok)
+    (Tpcc.consistency_check sess)
+
+let test_tpcc_deterministic () =
+  let run seed =
+    let e = nvm_engine () in
+    let sess = small_tpcc e in
+    let st = Tpcc.run sess (Prng.create seed) ~ops:80 () in
+    (st.Tpcc.committed, st.Tpcc.new_orders, Tpcc.total_orders sess)
+  in
+  Alcotest.(check bool) "same seed, same outcome" true (run 7L = run 7L)
+
+let test_tpcc_revenue_matches_orders () =
+  let e = nvm_engine () in
+  let sess = small_tpcc e in
+  ignore (Tpcc.run sess (Prng.create 3L) ~ops:120 ());
+  (* district revenues sum to the total of all order amounts *)
+  let rev = ref 0 in
+  for w = 1 to 2 do
+    for d = 1 to 3 do
+      rev := !rev + Tpcc.district_revenue sess ~w_id:w ~d_id:d
+    done
+  done;
+  let total =
+    E.with_txn e (fun txn -> E.sum_int e txn "orders" ~col:"o_amount")
+  in
+  Alcotest.(check int) "revenue accounted" total !rev
+
+let test_tpcc_attach_continues_order_ids () =
+  let e = nvm_engine () in
+  let sess = small_tpcc e in
+  ignore (Tpcc.run sess (Prng.create 4L) ~ops:60 ());
+  let n = Tpcc.total_orders sess in
+  let e2, _ = E.recover (E.crash e Region.Drop_unfenced) in
+  let sess2 = Tpcc.attach e2 ~warehouses:2 ~districts_per_wh:3 ~customers_per_district:5 in
+  ignore (Tpcc.run sess2 (Prng.create 5L) ~ops:60 ());
+  (* order ids must not collide: count equals sum of committed new orders *)
+  let ids = Hashtbl.create 64 in
+  E.with_txn e2 (fun txn ->
+      E.scan e2 txn "orders" (fun _ values ->
+          match values.(0) with
+          | Value.Int o -> Hashtbl.replace ids o ()
+          | _ -> ()));
+  Alcotest.(check int) "distinct order ids" (Tpcc.total_orders sess2)
+    (Hashtbl.length ids);
+  Alcotest.(check bool) "new orders appended" true (Tpcc.total_orders sess2 >= n)
+
+(* -------- ycsb -------- *)
+
+let ycsb_cfg =
+  { Ycsb.default_config with rows = 500; field_length = 16; fields = 2 }
+
+let test_ycsb_setup () =
+  let e = nvm_engine () in
+  let t = Ycsb.setup e (Prng.create 1L) ycsb_cfg in
+  Alcotest.(check int) "rows loaded" 500 (Ycsb.row_count t)
+
+let test_ycsb_run_mix () =
+  let e = nvm_engine () in
+  let t = Ycsb.setup e (Prng.create 1L) ycsb_cfg in
+  let st = Ycsb.run t (Prng.create 2L) ~ops:300 in
+  Alcotest.(check int) "ops accounted" 300
+    (st.Ycsb.reads + st.Ycsb.updates + st.Ycsb.inserts + st.Ycsb.aborted);
+  Alcotest.(check bool) "reads happened" true (st.Ycsb.reads > 0);
+  Alcotest.(check bool) "updates happened" true (st.Ycsb.updates > 0);
+  Alcotest.(check int) "rows grew by inserts" (500 + st.Ycsb.inserts)
+    (Ycsb.row_count t)
+
+let test_ycsb_checksum_stable_across_recovery () =
+  let e = nvm_engine () in
+  let t = Ycsb.setup e (Prng.create 1L) ycsb_cfg in
+  ignore (Ycsb.run t (Prng.create 2L) ~ops:200);
+  let sum = Ycsb.checksum t in
+  let e2, _ = E.recover (E.crash e Region.Drop_unfenced) in
+  let t2 = Ycsb.attach e2 ycsb_cfg in
+  Alcotest.(check int) "checksum survives crash" sum (Ycsb.checksum t2)
+
+let test_ycsb_zipf_skews_updates () =
+  (* with high skew, a hot set of keys receives most versions; after a
+     merge the table compacts (dead versions existed) *)
+  let e = nvm_engine () in
+  let t = Ycsb.setup e (Prng.create 1L) { ycsb_cfg with zipf_theta = 0.99 } in
+  ignore (Ycsb.run t (Prng.create 2L) ~ops:400);
+  let stats = E.merge e Ycsb.table_name in
+  Alcotest.(check bool) "dead versions compacted" true
+    (stats.Storage.Merge.rows_out < stats.Storage.Merge.rows_in)
+
+let test_ycsb_deterministic () =
+  let run () =
+    let e = nvm_engine () in
+    let t = Ycsb.setup e (Prng.create 9L) ycsb_cfg in
+    ignore (Ycsb.run t (Prng.create 10L) ~ops:150);
+    Ycsb.checksum t
+  in
+  Alcotest.(check int) "deterministic" (run ()) (run ())
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "tpcc-lite",
+        [
+          Alcotest.test_case "setup populates" `Quick test_tpcc_setup_populates;
+          Alcotest.test_case "run commits" `Quick test_tpcc_run_commits;
+          Alcotest.test_case "deterministic" `Quick test_tpcc_deterministic;
+          Alcotest.test_case "revenue accounting" `Quick
+            test_tpcc_revenue_matches_orders;
+          Alcotest.test_case "attach continues ids" `Quick
+            test_tpcc_attach_continues_order_ids;
+        ] );
+      ( "ycsb",
+        [
+          Alcotest.test_case "setup" `Quick test_ycsb_setup;
+          Alcotest.test_case "run mix" `Quick test_ycsb_run_mix;
+          Alcotest.test_case "checksum across recovery" `Quick
+            test_ycsb_checksum_stable_across_recovery;
+          Alcotest.test_case "zipf skews updates" `Quick test_ycsb_zipf_skews_updates;
+          Alcotest.test_case "deterministic" `Quick test_ycsb_deterministic;
+        ] );
+    ]
