@@ -181,6 +181,66 @@ let torture_cmd =
     (Cmd.info "torture" ~doc:"Adversarial crash loop with invariant checks.")
     Term.(const torture $ rounds $ seed_arg)
 
+(* -- sanitize -- *)
+
+let sanitize size_mb seed ops =
+  let failures = ref 0 in
+  let phase name f =
+    Printf.printf "=== %s under the persist-order sanitizer ===\n%!" name;
+    let san = f () in
+    print_string (Nvm.Sanitizer.report san);
+    let c = Nvm.Sanitizer.correctness_violations san in
+    if c > 0 then begin
+      Printf.printf "FAIL: %d correctness violation(s) in %s\n" c name;
+      incr failures
+    end
+    else Printf.printf "OK: zero correctness violations in %s\n" name;
+    print_newline ()
+  in
+  let cfg = Engine.default_config ~size:(size_mb * mib) Engine.Nvm in
+  phase "YCSB" (fun () ->
+      let rng = Prng.create (Int64.of_int seed) in
+      let engine = Engine.create ~sanitize:true cfg in
+      let ycfg = { Ycsb.default_config with rows = 2_000 } in
+      let sess = Ycsb.setup engine (Prng.split rng) ycfg in
+      ignore (Ycsb.run sess (Prng.split rng) ~ops);
+      (* power-fail with adversarial eviction, recover under the same
+         checker, keep working, then merge (the generation swap) *)
+      let crashed = Engine.crash engine (Region.Adversarial (Prng.split rng)) in
+      let e2, _ = Engine.recover crashed in
+      let sess2 = Ycsb.attach e2 ycfg in
+      ignore (Ycsb.run sess2 (Prng.split rng) ~ops:(ops / 2));
+      ignore (Engine.merge e2 Ycsb.table_name);
+      Option.get (Engine.sanitizer e2));
+  phase "TPC-C-lite" (fun () ->
+      let rng = Prng.create (Int64.of_int (seed + 7)) in
+      let engine = Engine.create ~sanitize:true cfg in
+      let sess =
+        Tpcc.setup engine ~warehouses:2 ~districts_per_wh:3
+          ~customers_per_district:8
+      in
+      ignore (Tpcc.run sess (Prng.split rng) ~ops ());
+      let crashed = Engine.crash engine (Region.Adversarial (Prng.split rng)) in
+      let e2, _ = Engine.recover crashed in
+      let sess2 =
+        Tpcc.attach e2 ~warehouses:2 ~districts_per_wh:3
+          ~customers_per_district:8
+      in
+      ignore (Tpcc.run sess2 (Prng.split rng) ~ops:(ops / 2) ());
+      Option.get (Engine.sanitizer e2));
+  if !failures > 0 then exit 1
+
+let sanitize_cmd =
+  let ops =
+    Arg.(value & opt int 2_000 & info [ "ops" ] ~docv:"N"
+           ~doc:"Operations per workload phase.")
+  in
+  Cmd.v
+    (Cmd.info "sanitize"
+       ~doc:"Run the workloads under the persist-order crash-consistency \
+             checker and report violations.")
+    Term.(const sanitize $ size_arg $ seed_arg $ ops)
+
 (* -- repl -- *)
 
 let repl size_mb seed execute =
@@ -240,4 +300,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ load_cmd; restart_cmd; demo_cmd; torture_cmd; repl_cmd ]))
+       (Cmd.group info
+          [ load_cmd; restart_cmd; demo_cmd; torture_cmd; sanitize_cmd; repl_cmd ]))

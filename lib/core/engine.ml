@@ -40,6 +40,7 @@ type t = {
   mutable names_by_id : string list; (* reversed creation order *)
   mutable mgr : Mvcc.manager;
   publish_mode : Mvcc.publish_mode;
+  san : Nvm.Sanitizer.t option;
   mutable closed : bool;
   mutable replaying : bool; (* suppress logging during replay *)
 }
@@ -59,6 +60,10 @@ let table_id t name =
   | None -> invalid_arg ("Engine: unknown table " ^ name)
 
 let persist_commit_hook region ctrl cid =
+  (* the strongest claim in the system: at the instant the commit CID
+     becomes durable, nothing anywhere may still be in flight — the
+     batched publish protocol fenced it all *)
+  Region.annotate_commit_point region ~label:"mvcc.commit" [];
   Region.set_i64 region ctrl cid;
   Region.persist region ctrl 8
 
@@ -85,8 +90,8 @@ let make_manager t ~last_cid =
     ~last_cid ()
 
 (* Build the volatile shell around an already-formatted region. *)
-let assemble ?(publish_mode = `Batched) cfg region alloc ctrl catalog ~log
-    ~epoch =
+let assemble ?(publish_mode = `Batched) ?san cfg region alloc ctrl catalog
+    ~log ~epoch =
   let t =
     {
       cfg;
@@ -104,6 +109,7 @@ let assemble ?(publish_mode = `Batched) cfg region alloc ctrl catalog ~log
            observer closure *)
         Mvcc.create_manager ~persist_commit:ignore ~last_cid:Cid.zero ();
       publish_mode;
+      san;
       closed = false;
       replaying = false;
     }
@@ -111,9 +117,10 @@ let assemble ?(publish_mode = `Batched) cfg region alloc ctrl catalog ~log
   t.mgr <- make_manager t ~last_cid:(Region.get_i64 region ctrl);
   t
 
-let create_raw ?publish_mode (cfg : config) ~with_log =
+let create_raw ?publish_mode ?(sanitize = false) (cfg : config) ~with_log =
   let region = Region.create cfg.region in
   Region.set_persist_enabled region (cfg.durability = Nvm);
+  let san = if sanitize then Some (Nvm.Sanitizer.attach region) else None in
   let alloc = A.format region in
   let catalog = Catalog.create alloc in
   let ctrl = A.alloc alloc 16 in
@@ -127,9 +134,12 @@ let create_raw ?publish_mode (cfg : config) ~with_log =
     | Logging lc when with_log -> Some (Wal.Log.create lc ~epoch:0)
     | Logging _ | Volatile | Nvm -> None
   in
-  assemble ?publish_mode cfg region alloc ctrl catalog ~log ~epoch:0
+  assemble ?publish_mode ?san cfg region alloc ctrl catalog ~log ~epoch:0
 
-let create ?publish_mode cfg = create_raw ?publish_mode cfg ~with_log:true
+let create ?publish_mode ?sanitize cfg =
+  create_raw ?publish_mode ?sanitize cfg ~with_log:true
+
+let sanitizer t = t.san
 
 (* -- DDL -- *)
 
@@ -322,8 +332,9 @@ let checkpoint t =
   (match (t.cfg.durability, t.log) with
   | Logging lc, Some log ->
       let epoch = t.epoch + 1 in
+      let on_step = Option.map Nvm.Sanitizer.note_external t.san in
       ignore
-        (Wal.Checkpoint.write ~dir:lc.Wal.Log.dir
+        (Wal.Checkpoint.write ?on_step ~dir:lc.Wal.Log.dir
            { Wal.Checkpoint.cid = Mvcc.last_cid t.mgr; epoch; tables = dump_tables t });
       Wal.Log.close log;
       t.log <- Some (Wal.Log.create lc ~epoch);
@@ -349,14 +360,18 @@ let vacuum t =
 
 (* -- crash and recovery -- *)
 
-type crashed = { c_cfg : config; c_region : Region.t }
+type crashed = {
+  c_cfg : config;
+  c_region : Region.t;
+  c_san : Nvm.Sanitizer.t option;
+}
 
 let crash t mode =
   check_open t;
   (match t.log with Some log -> Wal.Log.crash log | None -> ());
   Region.crash t.region mode;
   t.closed <- true;
-  { c_cfg = t.cfg; c_region = t.region }
+  { c_cfg = t.cfg; c_region = t.region; c_san = t.san }
 
 type recovery_detail =
   | Rv_volatile
@@ -380,14 +395,14 @@ type recovery_detail =
 
 type recovery_stats = { wall_ns : int; detail : recovery_detail }
 
-let recover_nvm cfg region =
+let recover_nvm ?san cfg region =
   let t0 = now_ns () in
   let alloc = A.open_existing region in
   let t1 = now_ns () in
   let ctrl = A.get_root alloc root_slot in
   let last = Region.get_i64 region ctrl in
   let catalog = Catalog.attach alloc (Region.get_int region (ctrl + 8)) in
-  let e = assemble cfg region alloc ctrl catalog ~log:None ~epoch:0 in
+  let e = assemble ?san cfg region alloc ctrl catalog ~log:None ~epoch:0 in
   List.iter
     (fun (name, tctrl) -> register_table e name (Table.attach alloc tctrl))
     (Catalog.tables catalog);
@@ -396,6 +411,9 @@ let recover_nvm cfg region =
   Hashtbl.iter
     (fun _ table -> rolled := !rolled + Table.rollback_uncommitted table ~last_cid:last)
     e.tables;
+  (* recovery hands back a fully durable database: a crash immediately
+     after restart must change nothing *)
+  Region.annotate_commit_point region ~label:"engine.recover" [];
   let t3 = now_ns () in
   let heap_blocks =
     match A.last_recovery alloc with
@@ -511,7 +529,7 @@ let recover crashed =
   let e, detail =
     match crashed.c_cfg.durability with
     | Volatile -> (create crashed.c_cfg, Rv_volatile)
-    | Nvm -> recover_nvm crashed.c_cfg crashed.c_region
+    | Nvm -> recover_nvm ?san:crashed.c_san crashed.c_cfg crashed.c_region
     | Logging lc -> recover_log crashed.c_cfg lc
   in
   (e, { wall_ns = now_ns () - t0; detail })
@@ -522,10 +540,11 @@ let save_image t path =
     invalid_arg "Engine.save_image: only meaningful under NVM durability";
   Region.save_to_file t.region path
 
-let open_image (cfg : config) path =
+let open_image ?(sanitize = false) (cfg : config) path =
   let t0 = now_ns () in
   let region = Region.load_from_file cfg.region path in
-  let e, detail = recover_nvm { cfg with durability = Nvm } region in
+  let san = if sanitize then Some (Nvm.Sanitizer.attach region) else None in
+  let e, detail = recover_nvm ?san { cfg with durability = Nvm } region in
   (e, { wall_ns = now_ns () - t0; detail })
 
 (* -- introspection -- *)

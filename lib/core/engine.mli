@@ -31,16 +31,23 @@ type txn = Txn.Mvcc.txn
 exception Closed
 (** Raised when using an engine after [crash]. *)
 
-val create : ?publish_mode:Txn.Mvcc.publish_mode -> config -> t
+val create : ?publish_mode:Txn.Mvcc.publish_mode -> ?sanitize:bool -> config -> t
 (** A fresh, empty database. For [Logging], the directory is created and
     any previous log/checkpoint files are superseded. [publish_mode]
     selects the commit publication protocol (ablation A2); the default
-    [`Batched] is what Hyrise-NV would do. *)
+    [`Batched] is what Hyrise-NV would do. [sanitize] (default [false])
+    attaches a persist-order {!Nvm.Sanitizer} to the region: every
+    workload, crash and recovery then runs under the crash-consistency
+    checker, reachable via {!sanitizer}. *)
 
 val config : t -> config
 val region : t -> Nvm.Region.t
 val allocator : t -> Nvm_alloc.Allocator.t
 val last_cid : t -> Storage.Cid.t
+
+val sanitizer : t -> Nvm.Sanitizer.t option
+(** The checker attached at [create ~sanitize:true] (it survives crash
+    and recovery — the recovering engine keeps reporting into it). *)
 
 (** {1 DDL} *)
 
@@ -178,9 +185,10 @@ val save_image : t -> string -> unit
     equivalent of the NVDIMM keeping its contents across a reboot of a
     different process. Raises [Invalid_argument] in other modes. *)
 
-val open_image : config -> string -> t * recovery_stats
+val open_image : ?sanitize:bool -> config -> string -> t * recovery_stats
 (** Map a saved image and run NVM recovery on it (cross-process instant
-    restart, used by the CLI demo). *)
+    restart, used by the CLI demo). [sanitize] runs the recovery under a
+    freshly attached checker. *)
 
 (** {1 Introspection} *)
 

@@ -19,6 +19,22 @@ let default_config =
 
 let config_with_size size = { default_config with size }
 
+type crash_kind = [ `Drop_unfenced | `Persist_all | `Adversarial ]
+
+(* Observer of every persistence-relevant operation.  Installed by
+   Sanitizer.attach; [None] (the default) keeps every hot path at the cost
+   of a single physical-equality test. *)
+type tracer = {
+  on_store : int -> int -> unit;
+  on_load : int -> int -> unit;
+  on_writeback : int -> int -> unit;
+  on_fence : unit -> unit;
+  on_crash : crash_kind -> unit;
+  on_commit_point : label:string -> (int * int) list -> unit;
+  on_expect_ordered : label:string -> before:(int * int) list -> after:int -> unit;
+  on_label : [ `Push of string | `Pop ] -> unit;
+}
+
 (* A dirty line: the volatile (cache) content of one line that may differ
    from the durable media.  [wb_pending] snapshots taken by [writeback] sit
    in [wb_queue] until the next fence. *)
@@ -39,6 +55,7 @@ type t = {
   mutable sim_ns : int;
   mutable persist_enabled : bool;
   mutable fuse : int; (* -1 = disarmed; 0 = next armed op raises *)
+  mutable tracer : tracer option;
 }
 
 let shift_of_line_size n =
@@ -68,7 +85,47 @@ let create (cfg : config) =
     sim_ns = 0;
     persist_enabled = true;
     fuse = -1;
+    tracer = None;
   }
+
+(* Tracer events fire only while persistence is enabled (a DRAM-mode region
+   has no ordering protocol to check) and strictly AFTER the traced
+   operation took effect — an armed [Power_failure] raises first, so the
+   shadow state never records an operation the power cut off. *)
+let[@inline] trace_store t off len =
+  match t.tracer with
+  | None -> ()
+  | Some tr -> if t.persist_enabled then tr.on_store off len
+
+let[@inline] trace_load t off len =
+  match t.tracer with
+  | None -> ()
+  | Some tr -> if t.persist_enabled then tr.on_load off len
+
+let set_tracer t tr = t.tracer <- tr
+
+let annotate_commit_point t ~label ranges =
+  match t.tracer with
+  | None -> ()
+  | Some tr -> if t.persist_enabled then tr.on_commit_point ~label ranges
+
+let expect_ordered t ~label ~before ~after =
+  match t.tracer with
+  | None -> ()
+  | Some tr -> if t.persist_enabled then tr.on_expect_ordered ~label ~before ~after
+
+let push_label t l =
+  match t.tracer with None -> () | Some tr -> tr.on_label (`Push l)
+
+let pop_label t =
+  match t.tracer with None -> () | Some tr -> tr.on_label `Pop
+
+let with_label t l f =
+  match t.tracer with
+  | None -> f ()
+  | Some tr ->
+      tr.on_label (`Push l);
+      Fun.protect ~finally:(fun () -> tr.on_label `Pop) f
 
 let apply_cache_to_media t =
   Hashtbl.iter
@@ -157,6 +214,7 @@ let get_i64 t off =
   check_range t off 8 "get_i64";
   assert (off land 7 = 0);
   charge_load t;
+  trace_load t off 8;
   if not t.persist_enabled then Bytes.get_int64_le t.media off
   else
     let li = line_of t off in
@@ -173,7 +231,8 @@ let set_i64 t off v =
     let li = line_of t off in
     let b = dirty_line t li in
     Bytes.set_int64_le b (off land (t.line_size - 1)) v
-  end
+  end;
+  trace_store t off 8
 
 let get_int t off = Int64.to_int (get_i64 t off)
 let set_int t off v = set_i64 t off (Int64.of_int v)
@@ -181,6 +240,7 @@ let set_int t off v = set_i64 t off (Int64.of_int v)
 let get_u8 t off =
   check_range t off 1 "get_u8";
   charge_load t;
+  trace_load t off 1;
   if not t.persist_enabled then Char.code (Bytes.get t.media off)
   else
     let li = line_of t off in
@@ -196,12 +256,14 @@ let set_u8 t off v =
     let li = line_of t off in
     let b = dirty_line t li in
     Bytes.set b (off land (t.line_size - 1)) (Char.chr (v land 0xff))
-  end
+  end;
+  trace_store t off 1
 
 let read_bytes t off len =
   check_range t off len "read_bytes";
   t.loads <- t.loads + ((len + 7) / 8);
   t.sim_ns <- t.sim_ns + (t.load_ns * ((len + 7) / 8));
+  trace_load t off len;
   let dst = Bytes.create len in
   if not t.persist_enabled then Bytes.blit t.media off dst 0 len
   else read_into t off len dst 0;
@@ -214,7 +276,8 @@ let write_bytes t off b =
   t.stores <- t.stores + ((len + 7) / 8);
   t.sim_ns <- t.sim_ns + (t.store_ns * ((len + 7) / 8));
   if not t.persist_enabled then Bytes.blit b 0 t.media off len
-  else write_from t off len b 0
+  else write_from t off len b 0;
+  trace_store t off len
 
 let read_string t off len = Bytes.unsafe_to_string (read_bytes t off len)
 let write_string t off s = write_bytes t off (Bytes.unsafe_of_string s)
@@ -231,7 +294,8 @@ let writeback t off len =
           t.writebacks <- t.writebacks + 1;
           t.sim_ns <- t.sim_ns + t.writeback_ns;
           t.wb_queue <- (li, Bytes.copy b) :: t.wb_queue
-    done
+    done;
+    match t.tracer with None -> () | Some tr -> tr.on_writeback off len
   end
 
 let apply_wb t (li, snapshot) =
@@ -260,12 +324,15 @@ let fence t =
     let applied = List.rev t.wb_queue in
     List.iter (apply_wb t) applied;
     t.wb_queue <- [];
-    List.iter (fun (li, _) -> scrub_line t li) applied
+    List.iter (fun (li, _) -> scrub_line t li) applied;
+    match t.tracer with None -> () | Some tr -> tr.on_fence ()
   end
 
 let persist t off len =
   writeback t off len;
   fence t
+
+let pending_writebacks t = List.length t.wb_queue
 
 let is_durable t off len =
   check_range t off len "is_durable";
@@ -322,7 +389,16 @@ let crash t mode =
   end;
   t.wb_queue <- [];
   t.fuse <- -1;
-  Hashtbl.reset t.cache
+  Hashtbl.reset t.cache;
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+      if t.persist_enabled then
+        tr.on_crash
+          (match mode with
+          | Drop_unfenced -> `Drop_unfenced
+          | Persist_all -> `Persist_all
+          | Adversarial _ -> `Adversarial)
 
 type stats = {
   loads : int;

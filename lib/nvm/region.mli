@@ -85,6 +85,11 @@ val fence : t -> unit
 val persist : t -> int -> int -> unit
 (** [persist t off len] = [writeback t off len; fence t]. *)
 
+val pending_writebacks : t -> int
+(** Number of line write-backs scheduled but not yet made durable by a
+    fence. Publish paths use this to elide fences that would drain
+    nothing (which the sanitizer otherwise flags as redundant). *)
+
 val set_persist_enabled : t -> bool -> unit
 (** When disabled, [writeback]/[fence]/[persist] become free no-ops: the
     region behaves like plain DRAM (a crash loses everything not already
@@ -133,6 +138,61 @@ val arm_crash : t -> after_ops:int -> unit
     windows {e inside} multi-step protocols. *)
 
 val disarm_crash : t -> unit
+
+(** {1 Tracing and persist-order annotations}
+
+    A tracer observes every persistence-relevant operation — the hook the
+    {!Sanitizer} uses to maintain its shadow state. With no tracer
+    installed (the default) every hook below costs one physical-equality
+    test; the simulated-time accounting is never affected.
+
+    The annotation entry points ([annotate_commit_point],
+    [expect_ordered], labels) are called from inside the durable data
+    structures at their protocol commit points. They are no-ops without a
+    tracer, so annotated production code pays nothing. All tracer events
+    are suppressed while persistence is disabled (DRAM mode has no
+    ordering protocol to check). *)
+
+type crash_kind = [ `Drop_unfenced | `Persist_all | `Adversarial ]
+
+type tracer = {
+  on_store : int -> int -> unit;  (** offset, length — after the store *)
+  on_load : int -> int -> unit;
+  on_writeback : int -> int -> unit;
+      (** requested byte range; line expansion is the consumer's business *)
+  on_fence : unit -> unit;
+  on_crash : crash_kind -> unit;
+  on_commit_point : label:string -> (int * int) list -> unit;
+  on_expect_ordered :
+    label:string -> before:(int * int) list -> after:int -> unit;
+  on_label : [ `Push of string | `Pop ] -> unit;
+}
+
+val set_tracer : t -> tracer option -> unit
+
+val annotate_commit_point : t -> label:string -> (int * int) list -> unit
+(** Declare a protocol commit point: every word of the given byte ranges
+    must be durable {e right now}. The empty list asserts the strongest
+    claim — {e no} word anywhere in the region is dirty or awaiting a
+    fence (used at the MVCC commit point and the merge publication). *)
+
+val expect_ordered :
+  t -> label:string -> before:(int * int) list -> after:int -> unit
+(** Declare a publish ordering: the next store to the 8-byte word at
+    [after] (the commit variable) requires every word of [before] to be
+    durable at the instant of that store — under adversarial eviction a
+    dirty commit variable may persist at any moment, so scheduling-order
+    alone is not enough. [before = []] demands global durability. The
+    watch is one-shot and cleared by a crash. *)
+
+val push_label : t -> string -> unit
+(** Push a call-site label onto the tracer's provenance stack. *)
+
+val pop_label : t -> unit
+
+val with_label : t -> string -> (unit -> 'a) -> 'a
+(** [with_label t l f] runs [f] with [l] pushed; the label is popped even
+    if [f] raises (e.g. {!Power_failure}). *)
 
 (** {1 Statistics and simulated time} *)
 

@@ -1,0 +1,430 @@
+(* Persist-order sanitizer: a pmemcheck-style shadow-state machine over a
+   simulated NVM region.
+
+   Every 8-byte word moves through
+
+       Clean --store--> Dirty --writeback--> Scheduled --fence--> Clean
+
+   mirroring exactly what [Region] does with its volatile line cache and
+   write-back queue: a store to a Scheduled word goes back to Dirty,
+   because the region snapshots line contents at writeback time and the
+   new value is not part of the queued snapshot. A word that is absent
+   from the shadow table is Clean (durable media and volatile view
+   agree), so the table only ever holds the in-flight frontier — global
+   "everything durable" checks are O(in-flight), not O(region). *)
+
+type word_state = Dirty | Scheduled
+
+type severity = Correctness | Perf | Info
+
+type kind =
+  | Unflushed_at_commit
+  | Unordered_publish
+  | Redundant_writeback
+  | Redundant_fence
+  | Recovery_read_lost
+
+type violation = {
+  v_kind : kind;
+  v_severity : severity;
+  v_label : string;
+  v_offset : int;
+  v_detail : string;
+  v_backtrace : string list;  (** most recent operations, newest first *)
+}
+
+type counters = {
+  mutable c_stores : int;
+  mutable c_loads : int;
+  mutable c_writebacks : int;
+  mutable c_fences : int;
+  mutable c_crashes : int;
+  mutable c_commit_points : int;
+  mutable c_watches_set : int;
+  mutable c_watches_fired : int;
+}
+
+type watch = { w_label : string; w_before : (int * int) list }
+
+let ring_size = 48
+let backtrace_len = 12
+let max_stored_violations = 200
+let max_per_event = 8
+
+type t = {
+  region : Region.t;
+  line : int;
+  shadow : (int, word_state) Hashtbl.t;
+      (* word offset -> state; absent = Clean *)
+  lost : (int, unit) Hashtbl.t;
+      (* words whose volatile value was discarded by a crash *)
+  watches : (int, watch list) Hashtbl.t;  (* commit-variable word -> watches *)
+  mutable labels : string list;  (* call-site label stack, innermost first *)
+  ring : string array;  (* recent-operation ring buffer *)
+  mutable ring_next : int;
+  mutable violations : violation list;  (* newest first, capped *)
+  mutable stored : int;
+  mutable total : int array;  (* per-severity totals, index by sev_index *)
+  tally : (string, int ref) Hashtbl.t;  (* "kind@label" -> count *)
+  ctr : counters;
+}
+
+let sev_index = function Correctness -> 0 | Perf -> 1 | Info -> 2
+
+let severity_of_kind = function
+  | Unflushed_at_commit | Unordered_publish -> Correctness
+  | Redundant_writeback | Redundant_fence -> Perf
+  | Recovery_read_lost -> Info
+
+let kind_name = function
+  | Unflushed_at_commit -> "unflushed-at-commit"
+  | Unordered_publish -> "unordered-publish"
+  | Redundant_writeback -> "redundant-writeback"
+  | Redundant_fence -> "redundant-fence"
+  | Recovery_read_lost -> "recovery-read-lost"
+
+let state_name = function Dirty -> "Dirty" | Scheduled -> "Scheduled"
+
+(* ---------------------------------------------------------------- labels *)
+
+let cur_label t =
+  match t.labels with
+  | [] -> "?"
+  | l -> String.concat "/" (List.rev l)
+
+(* ------------------------------------------------------- operation ring *)
+
+let record t fmt =
+  Printf.ksprintf
+    (fun s ->
+      let s =
+        match t.labels with [] -> s | _ -> s ^ " [" ^ cur_label t ^ "]"
+      in
+      t.ring.(t.ring_next mod ring_size) <- s;
+      t.ring_next <- t.ring_next + 1)
+    fmt
+
+let backtrace t =
+  let n = min backtrace_len (min t.ring_next ring_size) in
+  List.init n (fun i -> t.ring.((t.ring_next - 1 - i) mod ring_size))
+
+(* ---------------------------------------------------------- violations *)
+
+let emit t kind ~label ~offset detail =
+  let sev = severity_of_kind kind in
+  t.total.(sev_index sev) <- t.total.(sev_index sev) + 1;
+  let key = kind_name kind ^ "@" ^ label in
+  (match Hashtbl.find_opt t.tally key with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.tally key (ref 1));
+  if t.stored < max_stored_violations then begin
+    let v =
+      {
+        v_kind = kind;
+        v_severity = sev;
+        v_label = label;
+        v_offset = offset;
+        v_detail = detail;
+        v_backtrace = backtrace t;
+      }
+    in
+    t.violations <- v :: t.violations;
+    t.stored <- t.stored + 1
+  end
+
+(* ------------------------------------------------------- range helpers *)
+
+(* Iterate the 8-byte words intersecting [off, off+len). *)
+let iter_words off len f =
+  let w = ref (off land lnot 7) in
+  let stop = off + len in
+  while !w < stop do
+    f !w;
+    w := !w + 8
+  done
+
+(* First non-Clean word in the given ranges, excluding [excl]. *)
+let find_nonclean t ranges ~excl =
+  let found = ref None in
+  (try
+     List.iter
+       (fun (off, len) ->
+         iter_words off len (fun w ->
+             if w <> excl then
+               match Hashtbl.find_opt t.shadow w with
+               | Some st ->
+                   found := Some (w, st);
+                   raise Exit
+               | None -> ()))
+       ranges
+   with Exit -> ());
+  !found
+
+(* First non-Clean word anywhere, excluding [excl]. *)
+let find_nonclean_global t ~excl =
+  let found = ref None in
+  (try
+     Hashtbl.iter
+       (fun w st ->
+         if w <> excl then begin
+           found := Some (w, st);
+           raise Exit
+         end)
+       t.shadow
+   with Exit -> ());
+  !found
+
+(* ------------------------------------------------------ event handlers *)
+
+let fire_watches t w =
+  match Hashtbl.find_opt t.watches w with
+  | None -> ()
+  | Some ws ->
+      Hashtbl.remove t.watches w;
+      List.iter
+        (fun { w_label; w_before } ->
+          t.ctr.c_watches_fired <- t.ctr.c_watches_fired + 1;
+          let offender =
+            match w_before with
+            | [] -> find_nonclean_global t ~excl:w
+            | ranges -> find_nonclean t ranges ~excl:w
+          in
+          match offender with
+          | None -> ()
+          | Some (bad, st) ->
+              emit t Unordered_publish ~label:w_label ~offset:w
+                (Printf.sprintf
+                   "commit variable 0x%x stored while guarded word 0x%x is \
+                    still %s"
+                   w bad (state_name st)))
+        ws
+
+let on_store t off len =
+  t.ctr.c_stores <- t.ctr.c_stores + 1;
+  record t "store 0x%x+%d" off len;
+  iter_words off len (fun w ->
+      fire_watches t w;
+      Hashtbl.replace t.shadow w Dirty;
+      Hashtbl.remove t.lost w)
+
+let on_load t off len =
+  t.ctr.c_loads <- t.ctr.c_loads + 1;
+  iter_words off len (fun w ->
+      if Hashtbl.mem t.lost w then begin
+        Hashtbl.remove t.lost w;
+        record t "load 0x%x+%d" off len;
+        emit t Recovery_read_lost ~label:(cur_label t) ~offset:w
+          (Printf.sprintf
+             "read of word 0x%x whose last store never persisted before the \
+              crash"
+             w)
+      end)
+
+let on_writeback t off len =
+  t.ctr.c_writebacks <- t.ctr.c_writebacks + 1;
+  record t "writeback 0x%x+%d" off len;
+  (* The region schedules whole cache lines; mirror that expansion. *)
+  let loff = off land lnot (t.line - 1) in
+  let lend = (off + len + t.line - 1) land lnot (t.line - 1) in
+  let scheduled_new = ref 0 and already = ref 0 in
+  iter_words loff (lend - loff) (fun w ->
+      match Hashtbl.find_opt t.shadow w with
+      | Some Dirty ->
+          Hashtbl.replace t.shadow w Scheduled;
+          incr scheduled_new
+      | Some Scheduled -> incr already
+      | None -> ());
+  if !scheduled_new = 0 && !already > 0 then
+    emit t Redundant_writeback ~label:(cur_label t) ~offset:off
+      (Printf.sprintf
+         "writeback of 0x%x+%d re-queues %d already-scheduled word(s) and \
+          schedules nothing new"
+         off len !already)
+
+let on_fence t =
+  t.ctr.c_fences <- t.ctr.c_fences + 1;
+  record t "fence";
+  let drained = ref 0 in
+  let sched = ref [] in
+  Hashtbl.iter
+    (fun w st -> match st with Scheduled -> sched := w :: !sched | Dirty -> ())
+    t.shadow;
+  List.iter
+    (fun w ->
+      Hashtbl.remove t.shadow w;
+      incr drained)
+    !sched;
+  if !drained = 0 then
+    emit t Redundant_fence ~label:(cur_label t) ~offset:0
+      "fence with no scheduled writeback drains nothing"
+
+let on_crash t kind =
+  t.ctr.c_crashes <- t.ctr.c_crashes + 1;
+  record t "crash (%s)"
+    (match kind with
+    | `Drop_unfenced -> "drop-unfenced"
+    | `Persist_all -> "persist-all"
+    | `Adversarial -> "adversarial");
+  (match kind with
+  | `Persist_all -> ()
+  | `Drop_unfenced | `Adversarial ->
+      (* Every in-flight word's volatile value is (possibly) gone; a
+         recovery path that reads one is trusting an indeterminate value. *)
+      Hashtbl.iter (fun w _ -> Hashtbl.replace t.lost w ()) t.shadow);
+  Hashtbl.reset t.shadow;
+  (* A pending publish watch refers to an aborted protocol run; keeping it
+     armed would fire on an unrelated post-recovery store. *)
+  Hashtbl.reset t.watches
+
+let on_commit_point t ~label ranges =
+  t.ctr.c_commit_points <- t.ctr.c_commit_points + 1;
+  record t "commit-point %s" label;
+  let emitted = ref 0 in
+  let complain w st =
+    if !emitted < max_per_event then
+      emit t Unflushed_at_commit ~label ~offset:w
+        (Printf.sprintf "word 0x%x is %s at declared commit point" w
+           (state_name st));
+    incr emitted
+  in
+  (match ranges with
+  | [] -> Hashtbl.iter complain t.shadow
+  | ranges ->
+      List.iter
+        (fun (off, len) ->
+          iter_words off len (fun w ->
+              match Hashtbl.find_opt t.shadow w with
+              | Some st -> complain w st
+              | None -> ()))
+        ranges);
+  if !emitted > max_per_event then
+    emit t Unflushed_at_commit ~label ~offset:0
+      (Printf.sprintf "...and %d more unflushed word(s) at this commit point"
+         (!emitted - max_per_event))
+
+let on_expect_ordered t ~label ~before ~after =
+  t.ctr.c_watches_set <- t.ctr.c_watches_set + 1;
+  record t "expect-ordered %s -> 0x%x" label after;
+  let after = after land lnot 7 in
+  let w = { w_label = label; w_before = before } in
+  let prev = Option.value ~default:[] (Hashtbl.find_opt t.watches after) in
+  Hashtbl.replace t.watches after (w :: prev)
+
+let on_label t = function
+  | `Push l -> t.labels <- l :: t.labels
+  | `Pop -> ( match t.labels with [] -> () | _ :: tl -> t.labels <- tl)
+
+(* -------------------------------------------------------------- public *)
+
+let attach region =
+  let t =
+    {
+      region;
+      line = Region.line_size region;
+      shadow = Hashtbl.create 1024;
+      lost = Hashtbl.create 64;
+      watches = Hashtbl.create 16;
+      labels = [];
+      ring = Array.make ring_size "";
+      ring_next = 0;
+      violations = [];
+      stored = 0;
+      total = Array.make 3 0;
+      tally = Hashtbl.create 32;
+      ctr =
+        {
+          c_stores = 0;
+          c_loads = 0;
+          c_writebacks = 0;
+          c_fences = 0;
+          c_crashes = 0;
+          c_commit_points = 0;
+          c_watches_set = 0;
+          c_watches_fired = 0;
+        };
+    }
+  in
+  Region.set_tracer region
+    (Some
+       {
+         Region.on_store = on_store t;
+         on_load = on_load t;
+         on_writeback = on_writeback t;
+         on_fence = (fun () -> on_fence t);
+         on_crash = on_crash t;
+         on_commit_point = (fun ~label ranges -> on_commit_point t ~label ranges);
+         on_expect_ordered =
+           (fun ~label ~before ~after -> on_expect_ordered t ~label ~before ~after);
+         on_label = on_label t;
+       });
+  t
+
+let detach t = Region.set_tracer t.region None
+let region t = t.region
+let violations t = List.rev t.violations
+
+let count t sev = t.total.(sev_index sev)
+let correctness_violations t = count t Correctness
+
+let tallies t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.tally []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let counters t = t.ctr
+
+let clear t =
+  t.violations <- [];
+  t.stored <- 0;
+  Array.fill t.total 0 3 0;
+  Hashtbl.reset t.tally;
+  Hashtbl.reset t.lost
+
+let word_state t off =
+  match Hashtbl.find_opt t.shadow (off land lnot 7) with
+  | None -> `Clean
+  | Some Dirty -> `Dirty
+  | Some Scheduled -> `Scheduled
+
+let tracked_words t = Hashtbl.length t.shadow
+
+let note_external t msg = record t "%s" msg
+
+let pp_violation buf v =
+  Printf.bprintf buf "  [%s] %s @0x%x (%s): %s\n"
+    (match v.v_severity with
+    | Correctness -> "CORRECTNESS"
+    | Perf -> "perf"
+    | Info -> "info")
+    (kind_name v.v_kind) v.v_offset v.v_label v.v_detail;
+  List.iteri
+    (fun i op -> if i < 6 then Printf.bprintf buf "      <- %s\n" op)
+    v.v_backtrace
+
+let report t =
+  let buf = Buffer.create 1024 in
+  let c = t.ctr in
+  Printf.bprintf buf "persist-order sanitizer report\n";
+  Printf.bprintf buf
+    "  events: %d stores, %d loads, %d writebacks, %d fences, %d crashes\n"
+    c.c_stores c.c_loads c.c_writebacks c.c_fences c.c_crashes;
+  Printf.bprintf buf
+    "  annotations: %d commit points, %d publish watches (%d fired)\n"
+    c.c_commit_points c.c_watches_set c.c_watches_fired;
+  Printf.bprintf buf "  in flight now: %d word(s)\n" (tracked_words t);
+  Printf.bprintf buf
+    "  violations: %d correctness, %d perf diagnostics, %d info\n"
+    (count t Correctness) (count t Perf) (count t Info);
+  let vs = violations t in
+  if vs <> [] then begin
+    Printf.bprintf buf "\n";
+    List.iter (pp_violation buf) vs;
+    if t.total.(0) + t.total.(1) + t.total.(2) > t.stored then
+      Printf.bprintf buf "  ... (%d more not stored)\n"
+        (t.total.(0) + t.total.(1) + t.total.(2) - t.stored)
+  end;
+  let ts = tallies t in
+  if ts <> [] then begin
+    Printf.bprintf buf "\n  per call-site tally:\n";
+    List.iter (fun (k, n) -> Printf.bprintf buf "    %6d  %s\n" n k) ts
+  end;
+  Buffer.contents buf

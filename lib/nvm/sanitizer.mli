@@ -1,0 +1,104 @@
+(** Persist-order sanitizer: a pmemcheck-style crash-consistency checker.
+
+    Attaching a sanitizer to a {!Region} installs a tracer that shadows
+    every 8-byte word through
+
+    {v Clean --store--> Dirty --writeback--> Scheduled --fence--> Clean v}
+
+    exactly mirroring the region's volatile-cache / write-back-queue
+    semantics (a store to a Scheduled word returns it to Dirty, because
+    the queued line snapshot predates the new value). On top of the
+    shadow state it checks the protocol annotations the durable data
+    structures declare ({!Region.annotate_commit_point},
+    {!Region.expect_ordered}) and flags:
+
+    - {b unflushed-at-commit} (correctness): a word inside a declared
+      commit point's ranges is Dirty or merely Scheduled.
+    - {b unordered-publish} (correctness): a commit variable is stored
+      while a word it guards is not yet durable — under adversarial
+      eviction the commit variable may persist first.
+    - {b redundant-writeback} / {b redundant-fence} (perf): a writeback
+      that schedules nothing new, or a fence that drains nothing. Counted
+      per call-site label; each one is simulated-time measurable.
+    - {b recovery-read-lost} (info): post-crash code reads a word whose
+      last store never persisted — the value is indeterminate, which a
+      recovery protocol must be deliberately tolerating.
+
+    The checker is purely observational: it never perturbs region
+    contents, simulated time, or crash behaviour, so any run that is
+    correct under the sanitizer is bit-identical to the same run without
+    it. *)
+
+type t
+
+type severity = Correctness | Perf | Info
+
+type kind =
+  | Unflushed_at_commit
+  | Unordered_publish
+  | Redundant_writeback
+  | Redundant_fence
+  | Recovery_read_lost
+
+type violation = {
+  v_kind : kind;
+  v_severity : severity;
+  v_label : string;  (** annotation label or call-site label stack *)
+  v_offset : int;  (** offending word's byte offset in the region *)
+  v_detail : string;
+  v_backtrace : string list;  (** recent operations, newest first *)
+}
+
+type counters = {
+  mutable c_stores : int;
+  mutable c_loads : int;
+  mutable c_writebacks : int;
+  mutable c_fences : int;
+  mutable c_crashes : int;
+  mutable c_commit_points : int;
+  mutable c_watches_set : int;
+  mutable c_watches_fired : int;
+}
+
+val attach : Region.t -> t
+(** Create a sanitizer and install it as the region's tracer. The shadow
+    table starts empty, i.e. the region is assumed all-durable — attach
+    right after {!Region.create} or a recovery-completing fence. *)
+
+val detach : t -> unit
+(** Uninstall the tracer. The sanitizer's accumulated report remains
+    readable. *)
+
+val region : t -> Region.t
+
+val violations : t -> violation list
+(** Stored violations, oldest first (storage is capped; totals in
+    {!count} and {!tallies} are exact). *)
+
+val count : t -> severity -> int
+val correctness_violations : t -> int
+
+val tallies : t -> (string * int) list
+(** Exact per-["kind@label"] counts, most frequent first. *)
+
+val counters : t -> counters
+
+val clear : t -> unit
+(** Forget accumulated violations, tallies and lost-word marks. The
+    shadow word states are kept — they mirror region reality. *)
+
+val word_state : t -> int -> [ `Clean | `Dirty | `Scheduled ]
+(** Shadow state of the word containing the given byte offset. *)
+
+val tracked_words : t -> int
+(** Number of words currently not durable (Dirty or Scheduled). *)
+
+val note_external : t -> string -> unit
+(** Record an out-of-region protocol step (e.g. a checkpoint file fsync)
+    into the operation backtrace ring. *)
+
+val kind_name : kind -> string
+
+val report : t -> string
+(** Human-readable multi-line report: event counts, violation totals,
+    stored violations with backtraces, and the per-call-site tally. *)

@@ -268,6 +268,7 @@ let activate ?link t p =
   let r = t.region in
   if get_state t h <> st_reserved then
     invalid_arg "Allocator.activate: block is not reserved";
+  Region.with_label r "allocator.activate" @@ fun () ->
   (match link with
   | None -> ()
   | Some (addr, v) ->
@@ -277,12 +278,16 @@ let activate ?link t p =
          redoes links of ALLOCATED blocks *)
       Region.set_i64 r (h + 16) (Int64.of_int addr);
       Region.set_i64 r (h + 24) v;
-      Region.persist r (h + 16) 16);
+      Region.persist r (h + 16) 16;
+      Region.expect_ordered r ~label:"allocator.activate.state"
+        ~before:[ (h + 16, 16) ] ~after:(h + 8));
   Region.set_i64 r (h + 8) st_allocated;
   Region.persist r (h + 8) 8;
   match link with
   | None -> ()
   | Some (addr, v) ->
+      Region.expect_ordered r ~label:"allocator.activate.link"
+        ~before:[ (h + 8, 8) ] ~after:addr;
       Region.set_i64 r addr v;
       Region.persist r addr 8;
       (* retire the intent so a later recovery cannot replay it onto

@@ -82,6 +82,9 @@ let add t s =
     write_payload t off s;
     (* bump AFTER the bytes are durable: the bump is the publication *)
     t.used <- t.used + need;
+    Region.expect_ordered t.region ~label:"parena.add"
+      ~before:[ (off, 8 + String.length s) ]
+      ~after:(t.handle + 8);
     Region.set_int t.region (t.handle + 8) t.used;
     Region.persist t.region (t.handle + 8) 8;
     off

@@ -224,6 +224,9 @@ let split t leaf =
      single durable word *)
   let nleaf = leaf_slot t in
   init_leaf t nleaf ~next_off:(next t leaf) upper;
+  Region.expect_ordered t.region ~label:"pbtree.split"
+    ~before:[ (nleaf, leaf_bytes) ]
+    ~after:(leaf + 8);
   Region.set_int t.region (leaf + 8) nleaf;
   Region.persist t.region (leaf + 8) 8;
   (* 2. retire the moved slots; a crash before this is repaired on attach *)
@@ -270,12 +273,16 @@ let insert t k v =
           split t leaf;
           go ()
       | Some s ->
+          Region.with_label t.region "pbtree.insert" @@ fun () ->
           (* key/value durable first, bitmap bit last: atomic publication *)
           Region.set_i64 t.region (key_off leaf s) k;
           Region.set_i64 t.region (val_off leaf s) v;
           Region.writeback t.region (key_off leaf s) 8;
           Region.writeback t.region (val_off leaf s) 8;
           Region.fence t.region;
+          Region.expect_ordered t.region ~label:"pbtree.insert"
+            ~before:[ (key_off leaf s, 8); (val_off leaf s, 8) ]
+            ~after:leaf;
           Region.set_i64 t.region leaf
             (Int64.logor (bitmap t leaf) (Int64.shift_left 1L s));
           Region.persist t.region leaf 8;

@@ -111,6 +111,9 @@ let resize t =
     t;
   Region.persist t.region table (8 + (new_cap * 16));
   (* atomic publication of the rebuilt array *)
+  Region.expect_ordered t.region ~label:"phash.resize"
+    ~before:[ (table, 8 + (new_cap * 16)) ]
+    ~after:t.handle;
   A.activate ~link:(t.handle, Int64.of_int table) t.alloc table;
   let old = t.table in
   t.table <- table;
@@ -125,9 +128,12 @@ let insert t k v =
   | Ok _ -> invalid_arg "Phash.insert: key already bound"
   | Error i ->
       let off = bucket_off t.table i in
+      Region.with_label t.region "phash.insert" @@ fun () ->
       (* key first, value second: the value write is the publication *)
       Region.set_i64 t.region off k;
       Region.persist t.region off 8;
+      Region.expect_ordered t.region ~label:"phash.insert"
+        ~before:[ (off, 8) ] ~after:(off + 8);
       Region.set_i64 t.region (off + 8) v;
       Region.persist t.region (off + 8) 8;
       t.size <- t.size + 1

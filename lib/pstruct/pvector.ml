@@ -17,6 +17,7 @@ type t = {
   mutable data : int;
   mutable capacity : int;
   mutable size : int; (* volatile length *)
+  mutable published : int; (* volatile mirror of the durable length word *)
 }
 
 let elem_off data i = data + 8 + (i * 8)
@@ -33,14 +34,14 @@ let create ?(capacity = 8) alloc =
   Region.set_int region (handle + 8) data;
   Region.persist region handle 16;
   A.activate alloc handle;
-  { alloc; region; handle; data; capacity; size = 0 }
+  { alloc; region; handle; data; capacity; size = 0; published = 0 }
 
 let attach alloc handle =
   let region = A.region alloc in
   let size = Region.get_int region handle in
   let data = Region.get_int region (handle + 8) in
   let capacity = Region.get_int region data in
-  { alloc; region; handle; data; capacity; size }
+  { alloc; region; handle; data; capacity; size; published = size }
 
 let handle t = t.handle
 let length t = t.size
@@ -73,6 +74,9 @@ let grow t =
       (Region.read_bytes t.region (t.data + 8) (t.size * 8));
   Region.persist t.region new_data (8 + (t.size * 8));
   (* atomic publication of the relocation *)
+  Region.expect_ordered t.region ~label:"pvector.grow"
+    ~before:[ (new_data, 8 + (t.size * 8)) ]
+    ~after:(t.handle + 8);
   A.activate ~link:(t.handle + 8, Int64.of_int new_data) t.alloc new_data;
   let old = t.data in
   t.data <- new_data;
@@ -91,14 +95,31 @@ let append t v =
 let append_int t v = append t (Int64.of_int v)
 
 let publish_unfenced t =
-  Region.set_int t.region t.handle t.size;
-  Region.writeback t.region t.handle 8
+  (* the durable length already matches: storing it again would only
+     re-dirty the handle line and force a useless write-back *)
+  if t.size <> t.published then begin
+    Region.set_int t.region t.handle t.size;
+    Region.writeback t.region t.handle 8;
+    t.published <- t.size
+  end
 
 let publish t =
-  (* data first, then the length word: the length is the commit point *)
-  Region.fence t.region;
-  publish_unfenced t;
-  Region.fence t.region
+  Region.with_label t.region "pvector.publish" @@ fun () ->
+  if t.size <> t.published then begin
+    (* data first, then the length word: the length is the commit point.
+       The leading fence is elided when nothing is awaiting write-back. *)
+    if Region.pending_writebacks t.region > 0 then Region.fence t.region;
+    Region.expect_ordered t.region ~label:"pvector.publish"
+      ~before:[ (t.data + 8, t.size * 8) ]
+      ~after:t.handle;
+    Region.set_int t.region t.handle t.size;
+    Region.writeback t.region t.handle 8;
+    Region.fence t.region;
+    t.published <- t.size
+  end
+  else if Region.pending_writebacks t.region > 0 then
+    (* length unchanged but [set]/staged stores may be in flight *)
+    Region.fence t.region
 
 let truncate_volatile t n =
   if n < 0 || n > t.capacity then invalid_arg "Pvector.truncate_volatile";

@@ -47,6 +47,10 @@ let swap_table t ~name ~new_ctrl =
   match find_entry t name with
   | None -> raise Not_found
   | Some e ->
+      (* single-word generation swap: everything the new ctrl block
+         reaches must already be durable (the merge built it fenced) *)
+      Region.expect_ordered t.region ~label:"catalog.swap_table" ~before:[]
+        ~after:(e + 8);
       Region.set_int t.region (e + 8) new_ctrl;
       Region.persist t.region (e + 8) 8
 

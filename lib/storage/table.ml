@@ -386,15 +386,20 @@ let stage_publish_secondary t =
 
 let stage_publish_begin t = Pvector.publish_unfenced t.begin_v
 
-let fence t = Region.fence t.region
+let fence t =
+  (* a delete-only or no-op stage leaves nothing scheduled; fencing then
+     would be pure latency *)
+  if Region.pending_writebacks t.region > 0 then Region.fence t.region
 
 let publish t =
   (* one fence covers staged row data and the secondary lengths; the
-     begin length becomes durable strictly after them *)
+     begin length becomes durable strictly after them. A stage that
+     published nothing (read-only commit, unchanged vectors) leaves
+     nothing pending and its fence is elided. *)
   stage_publish_secondary t;
-  Region.fence t.region;
+  if Region.pending_writebacks t.region > 0 then Region.fence t.region;
   stage_publish_begin t;
-  Region.fence t.region
+  if Region.pending_writebacks t.region > 0 then Region.fence t.region
 
 let publish_each_vector t =
   Array.iter (fun col -> Pvector.publish col.delta_avec) t.cols;
@@ -429,7 +434,7 @@ let rollback_uncommitted t ~last_cid =
       incr touched
     end
   done;
-  Region.fence t.region;
+  if Region.pending_writebacks t.region > 0 then Region.fence t.region;
   !touched
 
 (* -- introspection -- *)

@@ -72,9 +72,10 @@ let decode data =
     | exception _ -> None
   end
 
-let write ~dir t =
+let write ?(on_step = fun _ -> ()) ~dir t =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   let payload = encode t in
+  on_step "checkpoint.encode";
   (* trailer CRC guards against torn writes despite the atomic rename *)
   let buf = Buffer.create (String.length payload + 4) in
   Buffer.add_string buf payload;
@@ -85,11 +86,14 @@ let write ~dir t =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc final);
+  on_step "checkpoint.write_tmp";
   (* fsync the temp file before the rename makes it current *)
   let fd = Unix.openfile tmp [ Unix.O_RDONLY ] 0 in
   Unix.fsync fd;
   Unix.close fd;
+  on_step "checkpoint.fsync_tmp";
   Sys.rename tmp (path ~dir);
+  on_step "checkpoint.rename";
   String.length final
 
 let read ~dir =

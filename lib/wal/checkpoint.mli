@@ -30,8 +30,12 @@ type t = {
   tables : table_dump list;
 }
 
-val write : dir:string -> t -> int
-(** Durably write the checkpoint; returns its size in bytes. *)
+val write : ?on_step:(string -> unit) -> dir:string -> t -> int
+(** Durably write the checkpoint; returns its size in bytes. [on_step] is
+    called after each protocol step ([checkpoint.encode],
+    [checkpoint.write_tmp], [checkpoint.fsync_tmp], [checkpoint.rename]) —
+    the sanitizer records these in its operation backtraces so file-side
+    durability steps show up interleaved with NVM events. *)
 
 val read : dir:string -> t option
 (** The latest checkpoint, or [None] (missing or corrupt file). *)

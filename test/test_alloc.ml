@@ -4,7 +4,15 @@
 module Region = Nvm.Region
 module A = Nvm_alloc.Allocator
 
-let region_of_size n = Region.create { Region.default_config with size = n }
+(* Every region the suite creates runs under the persist-order sanitizer;
+   the final test case asserts the whole suite produced zero ordering
+   violations. *)
+let armed : Nvm.Sanitizer.t list ref = ref []
+
+let region_of_size n =
+  let region = Region.create { Region.default_config with size = n } in
+  armed := Nvm.Sanitizer.attach region :: !armed;
+  region
 
 let fresh ?(size = 64 * 1024) () = A.format (region_of_size size)
 
@@ -345,5 +353,18 @@ let () =
           Alcotest.test_case "sweep skips free/reserved" `Quick
             test_sweep_ignores_free_and_reserved;
           QCheck_alcotest.to_alcotest prop_heap_soundness;
+        ] );
+      ( "sanitizer",
+        [
+          (* must run last: sums violations over every region above *)
+          Alcotest.test_case "suite ran clean under the checker" `Quick
+            (fun () ->
+              Alcotest.(check bool) "checker was armed" true (!armed <> []);
+              let bad =
+                List.fold_left
+                  (fun n s -> n + Nvm.Sanitizer.correctness_violations s)
+                  0 !armed
+              in
+              Alcotest.(check int) "ordering violations across the suite" 0 bad);
         ] );
     ]

@@ -10,8 +10,15 @@ module Phash = Pstruct.Phash
 module Pbitvec = Pstruct.Pbitvec
 module Pbtree = Pstruct.Pbtree
 
+(* Every region the suite creates runs under the persist-order sanitizer;
+   the final test case asserts the whole suite produced zero ordering
+   violations. *)
+let armed : Nvm.Sanitizer.t list ref = ref []
+
 let fresh ?(size = 4 * 1024 * 1024) () =
-  A.format (Region.create { Region.default_config with size })
+  let region = Region.create { Region.default_config with size } in
+  armed := Nvm.Sanitizer.attach region :: !armed;
+  A.format region
 
 let reopen alloc = A.open_existing (A.region alloc)
 
@@ -633,5 +640,18 @@ let () =
             test_pbtree_attach_after_crash;
           Alcotest.test_case "crash fuzz" `Quick test_pbtree_crash_fuzz_prefix;
           QCheck_alcotest.to_alcotest prop_pbtree_model;
+        ] );
+      ( "sanitizer",
+        [
+          (* must run last: sums violations over every region above *)
+          Alcotest.test_case "suite ran clean under the checker" `Quick
+            (fun () ->
+              Alcotest.(check bool) "checker was armed" true (!armed <> []);
+              let bad =
+                List.fold_left
+                  (fun n s -> n + Nvm.Sanitizer.correctness_violations s)
+                  0 !armed
+              in
+              Alcotest.(check int) "ordering violations across the suite" 0 bad);
         ] );
     ]

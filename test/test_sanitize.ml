@@ -1,0 +1,375 @@
+(* Persist-order sanitizer tests: shadow-state mirroring, each violation
+   class (including the deliberately broken publish the checker must
+   catch), the annotated pstruct/allocator protocols running clean, the
+   fence-elision savings, and ≥100-point crash fuzzing of
+   [Allocator.activate ~link] under adversarial eviction. *)
+
+module Region = Nvm.Region
+module S = Nvm.Sanitizer
+module A = Nvm_alloc.Allocator
+module Pvector = Pstruct.Pvector
+module Phash = Pstruct.Phash
+module Pbtree = Pstruct.Pbtree
+module Parena = Pstruct.Parena
+module Prng = Util.Prng
+module Engine = Core.Engine
+
+let mk_region ?(size = 256 * 1024) () =
+  Region.create { Region.default_config with size }
+
+let fresh ?size () =
+  let region = mk_region ?size () in
+  let san = S.attach region in
+  (region, san)
+
+let check_counts san ~correctness ~perf =
+  Alcotest.(check int) "correctness" correctness (S.count san S.Correctness);
+  Alcotest.(check int) "perf" perf (S.count san S.Perf)
+
+(* -- shadow-state machine -- *)
+
+let test_word_lifecycle () =
+  let r, san = fresh () in
+  Alcotest.(check int) "starts empty" 0 (S.tracked_words san);
+  Region.set_i64 r 512 1L;
+  Alcotest.(check bool) "dirty" true (S.word_state san 512 = `Dirty);
+  Region.writeback r 512 8;
+  Alcotest.(check bool) "scheduled" true (S.word_state san 512 = `Scheduled);
+  Region.fence r;
+  Alcotest.(check bool) "clean" true (S.word_state san 512 = `Clean);
+  Alcotest.(check int) "drained" 0 (S.tracked_words san);
+  check_counts san ~correctness:0 ~perf:0
+
+let test_store_after_writeback_is_dirty () =
+  let r, san = fresh () in
+  Region.set_i64 r 512 1L;
+  Region.writeback r 512 8;
+  Region.set_i64 r 512 2L;
+  (* the queued snapshot predates the second store *)
+  Region.fence r;
+  Alcotest.(check bool) "still dirty after fence" true
+    (S.word_state san 512 = `Dirty);
+  Alcotest.(check bool) "region agrees: not durable" true
+    (not (Region.is_durable r 512 8))
+
+let test_line_granular_writeback () =
+  let r, san = fresh () in
+  (* two words on the same cache line: writing back one schedules both *)
+  Region.set_i64 r 512 1L;
+  Region.set_i64 r 520 2L;
+  Region.writeback r 512 8;
+  Alcotest.(check bool) "neighbour scheduled too" true
+    (S.word_state san 520 = `Scheduled);
+  Region.fence r;
+  Alcotest.(check int) "both drained" 0 (S.tracked_words san)
+
+(* -- violation class: unordered publish (the acceptance criterion) -- *)
+
+let test_broken_publish_detected () =
+  let r, san = fresh () in
+  let data = 512 and handle = 1024 in
+  Region.set_i64 r data 7L;
+  Region.writeback r data 8;
+  (* BUG under test: the fence is skipped, then the commit variable is
+     stored — adversarial eviction may persist it before the data *)
+  Region.expect_ordered r ~label:"test.broken_publish" ~before:[ (data, 8) ]
+    ~after:handle;
+  Region.set_i64 r handle 1L;
+  (match S.violations san with
+  | [ v ] ->
+      Alcotest.(check bool) "kind" true (v.S.v_kind = S.Unordered_publish);
+      Alcotest.(check int) "offset is the commit variable" handle v.S.v_offset;
+      Alcotest.(check string) "labeled call-site" "test.broken_publish"
+        v.S.v_label;
+      let mentions_guard =
+        (* the report names the un-persisted guard word's offset *)
+        let needle = Printf.sprintf "0x%x" data in
+        let hay = v.S.v_detail in
+        let n = String.length needle and h = String.length hay in
+        let rec scan i =
+          i + n <= h && (String.sub hay i n = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      Alcotest.(check bool) "detail names the guard offset" true mentions_guard
+  | vs -> Alcotest.failf "expected exactly 1 violation, got %d" (List.length vs));
+  Alcotest.(check bool) "tallied per label" true
+    (List.mem_assoc "unordered-publish@test.broken_publish" (S.tallies san))
+
+let test_correct_publish_passes () =
+  let r, san = fresh () in
+  let data = 512 and handle = 1024 in
+  Region.set_i64 r data 7L;
+  Region.writeback r data 8;
+  Region.fence r;
+  Region.expect_ordered r ~label:"test.ok_publish" ~before:[ (data, 8) ]
+    ~after:handle;
+  Region.set_i64 r handle 1L;
+  Region.persist r handle 8;
+  check_counts san ~correctness:0 ~perf:0;
+  Alcotest.(check int) "watch fired" 1 (S.counters san).S.c_watches_fired
+
+let test_global_publish_watch () =
+  let r, san = fresh () in
+  Region.set_i64 r 2048 9L (* dirty, unrelated to the ranges *);
+  Region.expect_ordered r ~label:"test.global" ~before:[] ~after:512;
+  Region.set_i64 r 512 1L;
+  Alcotest.(check int) "before=[] demands global durability" 1
+    (S.count san S.Correctness)
+
+let test_watch_cleared_on_crash () =
+  let r, san = fresh () in
+  Region.expect_ordered r ~label:"test.stale" ~before:[ (2048, 8) ] ~after:512;
+  Region.set_i64 r 2048 1L;
+  Region.crash r Region.Drop_unfenced;
+  (* post-recovery store to the watched word: the aborted protocol's
+     watch must not fire against it *)
+  Region.set_i64 r 512 1L;
+  Region.persist r 512 8;
+  check_counts san ~correctness:0 ~perf:0
+
+(* -- violation class: unflushed at commit -- *)
+
+let test_unflushed_at_commit () =
+  let r, san = fresh () in
+  Region.set_i64 r 512 1L;
+  Region.annotate_commit_point r ~label:"test.commit" [ (512, 8) ];
+  Alcotest.(check int) "dirty word flagged" 1 (S.count san S.Correctness);
+  Region.writeback r 512 8;
+  Region.annotate_commit_point r ~label:"test.commit" [ (512, 8) ];
+  Alcotest.(check int) "merely scheduled still flagged" 2
+    (S.count san S.Correctness);
+  Region.fence r;
+  Region.annotate_commit_point r ~label:"test.commit" [ (512, 8) ];
+  Alcotest.(check int) "durable passes" 2 (S.count san S.Correctness);
+  (match S.violations san with
+  | v :: _ ->
+      Alcotest.(check bool) "kind" true (v.S.v_kind = S.Unflushed_at_commit);
+      Alcotest.(check int) "offset" 512 v.S.v_offset
+  | [] -> Alcotest.fail "no violation recorded")
+
+let test_global_commit_point () =
+  let r, san = fresh () in
+  Region.set_i64 r 4096 1L;
+  Region.annotate_commit_point r ~label:"test.gcommit" [];
+  Alcotest.(check int) "any in-flight word fails the global form" 1
+    (S.count san S.Correctness);
+  Region.persist r 4096 8;
+  Region.annotate_commit_point r ~label:"test.gcommit" [];
+  Alcotest.(check int) "clean region passes" 1 (S.count san S.Correctness)
+
+(* -- violation class: redundant writeback / fence (perf) -- *)
+
+let test_redundant_writeback () =
+  let r, san = fresh () in
+  Region.set_i64 r 512 1L;
+  Region.writeback r 512 8;
+  Region.with_label r "test.site" (fun () -> Region.writeback r 512 8);
+  Alcotest.(check int) "re-queueing scheduled lines flagged" 1
+    (S.count san S.Perf);
+  Alcotest.(check bool) "counted per call-site" true
+    (List.mem_assoc "redundant-writeback@test.site" (S.tallies san));
+  (* write-back of an untouched (clean) range is a free CLWB no-op *)
+  Region.writeback r 8192 64;
+  Alcotest.(check int) "clean-range writeback not flagged" 1
+    (S.count san S.Perf)
+
+let test_redundant_fence () =
+  let r, san = fresh () in
+  Region.set_i64 r 512 1L;
+  Region.persist r 512 8;
+  Region.with_label r "test.site" (fun () -> Region.fence r);
+  Alcotest.(check int) "fence draining nothing flagged" 1 (S.count san S.Perf);
+  Alcotest.(check bool) "counted per call-site" true
+    (List.mem_assoc "redundant-fence@test.site" (S.tallies san))
+
+(* -- violation class: recovery reads of lost words -- *)
+
+let test_recovery_read_lost () =
+  let r, san = fresh () in
+  Region.set_i64 r 512 7L;
+  Region.writeback r 512 8 (* scheduled but never fenced *);
+  Region.crash r Region.Drop_unfenced;
+  ignore (Region.get_i64 r 512);
+  Alcotest.(check int) "info diagnostic" 1 (S.count san S.Info);
+  Alcotest.(check int) "not a correctness violation" 0
+    (S.count san S.Correctness);
+  ignore (Region.get_i64 r 512);
+  Alcotest.(check int) "reported once per word" 1 (S.count san S.Info)
+
+(* -- annotated production protocols run clean -- *)
+
+let test_pstruct_protocols_clean () =
+  let region = mk_region ~size:(1024 * 1024) () in
+  let san = S.attach region in
+  let a = A.format region in
+  let v = Pvector.create a in
+  for i = 0 to 199 do
+    ignore (Pvector.append_int v i)
+  done;
+  Pvector.publish v;
+  Pvector.set_int v 7 999;
+  Pvector.publish v;
+  let h = Phash.create a in
+  for i = 0 to 99 do
+    Phash.insert h (Int64.of_int i) (Int64.of_int (i * 2))
+  done;
+  let b = Pbtree.create a in
+  for i = 0 to 199 do
+    Pbtree.insert b (Int64.of_int (i mod 50)) (Int64.of_int i)
+  done;
+  let ar = Parena.create a in
+  for i = 0 to 49 do
+    ignore (Parena.add ar (String.make (1 + (i mod 40)) 'x'))
+  done;
+  check_counts san ~correctness:0 ~perf:0;
+  Alcotest.(check bool) "watches actually armed" true
+    ((S.counters san).S.c_watches_fired > 100)
+
+let test_publish_elision_measurable () =
+  let region = mk_region ~size:(1024 * 1024) () in
+  let san = S.attach region in
+  let a = A.format region in
+  let v = Pvector.create a in
+  for i = 0 to 49 do
+    ignore (Pvector.append_int v i)
+  done;
+  Pvector.publish v;
+  let fences_before = (Region.stats region).Region.fences in
+  (* nothing changed: a republish must cost zero fences (it used to cost
+     two — measurable simulated time) *)
+  Pvector.publish v;
+  Pvector.publish v;
+  Alcotest.(check int) "no-op publish elides all fences" fences_before
+    (Region.stats region).Region.fences;
+  check_counts san ~correctness:0 ~perf:0
+
+(* -- satellite: adversarial crash fuzz of activate ~link -- *)
+
+let test_activate_link_crash_fuzz () =
+  let crash_points = ref 0 in
+  let bad = ref 0 in
+  for seed = 0 to 119 do
+    let region = mk_region ~size:(64 * 1024) () in
+    let san = S.attach region in
+    let a = A.format region in
+    let target = A.alloc a 16 in
+    A.activate a target;
+    let p = A.alloc a 64 in
+    Region.set_i64 region p 42L;
+    Region.persist region p 8;
+    (* activate ~link is 13 persistence ops; cut it at every interior
+       point across the seeds *)
+    Region.arm_crash region ~after_ops:(1 + (seed mod 12));
+    (match A.activate ~link:(target, Int64.of_int p) a p with
+    | () -> Region.disarm_crash region
+    | exception Region.Power_failure ->
+        incr crash_points;
+        Region.crash region
+          (Region.Adversarial (Prng.create (Int64.of_int seed)));
+        let a2 = A.open_existing region in
+        (* the link either fully happened (possibly redone) or not at all *)
+        let linked = Region.get_int region target in
+        Alcotest.(check bool) "link atomic" true (linked = p || linked = 0);
+        ignore a2);
+    bad := !bad + S.correctness_violations san;
+    S.detach san
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 100 seeded crash points (got %d)" !crash_points)
+    true
+    (!crash_points >= 100);
+  Alcotest.(check int) "zero ordering violations across all of them" 0 !bad
+
+(* -- engine mode -- *)
+
+let nvm_cfg = Engine.default_config ~size:(8 * 1024 * 1024) Engine.Nvm
+
+let schema =
+  Storage.Schema.
+    [| column "k" Storage.Value.Int_t; column "s" Storage.Value.Text_t |]
+
+let test_engine_sanitize_mode () =
+  let e = Engine.create ~sanitize:true nvm_cfg in
+  let san =
+    match Engine.sanitizer e with
+    | Some s -> s
+    | None -> Alcotest.fail "sanitize:true must attach a checker"
+  in
+  Engine.create_table e ~name:"t" schema;
+  for i = 0 to 49 do
+    Engine.with_txn e (fun txn ->
+        ignore
+          (Engine.insert e txn "t"
+             [| Storage.Value.Int i; Storage.Value.Text (string_of_int i) |]))
+  done;
+  let crashed = Engine.crash e (Region.Adversarial (Prng.create 99L)) in
+  let e2, _ = Engine.recover crashed in
+  Alcotest.(check bool) "checker survives recovery" true
+    (Engine.sanitizer e2 == Some san
+    ||
+    match Engine.sanitizer e2 with Some _ -> true | None -> false);
+  for i = 50 to 79 do
+    Engine.with_txn e2 (fun txn ->
+        ignore
+          (Engine.insert e2 txn "t"
+             [| Storage.Value.Int i; Storage.Value.Text (string_of_int i) |]))
+  done;
+  ignore (Engine.merge e2 "t");
+  Alcotest.(check int) "workload + crash + recovery + merge: clean" 0
+    (S.correctness_violations san);
+  Alcotest.(check bool) "commit points were checked" true
+    ((S.counters san).S.c_commit_points > 50)
+
+let test_engine_default_has_no_checker () =
+  let e = Engine.create nvm_cfg in
+  Alcotest.(check bool) "default path untraced" true (Engine.sanitizer e = None)
+
+let () =
+  Alcotest.run "sanitize"
+    [
+      ( "shadow",
+        [
+          Alcotest.test_case "word lifecycle" `Quick test_word_lifecycle;
+          Alcotest.test_case "store after writeback" `Quick
+            test_store_after_writeback_is_dirty;
+          Alcotest.test_case "line granularity" `Quick
+            test_line_granular_writeback;
+        ] );
+      ( "violations",
+        [
+          Alcotest.test_case "broken publish detected" `Quick
+            test_broken_publish_detected;
+          Alcotest.test_case "correct publish passes" `Quick
+            test_correct_publish_passes;
+          Alcotest.test_case "global publish watch" `Quick
+            test_global_publish_watch;
+          Alcotest.test_case "watch cleared on crash" `Quick
+            test_watch_cleared_on_crash;
+          Alcotest.test_case "unflushed at commit" `Quick
+            test_unflushed_at_commit;
+          Alcotest.test_case "global commit point" `Quick
+            test_global_commit_point;
+          Alcotest.test_case "redundant writeback" `Quick
+            test_redundant_writeback;
+          Alcotest.test_case "redundant fence" `Quick test_redundant_fence;
+          Alcotest.test_case "recovery read of lost word" `Quick
+            test_recovery_read_lost;
+        ] );
+      ( "protocols",
+        [
+          Alcotest.test_case "pstruct protocols clean" `Quick
+            test_pstruct_protocols_clean;
+          Alcotest.test_case "publish elision measurable" `Quick
+            test_publish_elision_measurable;
+          Alcotest.test_case "activate ~link crash fuzz" `Slow
+            test_activate_link_crash_fuzz;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "sanitize mode end to end" `Quick
+            test_engine_sanitize_mode;
+          Alcotest.test_case "default has no checker" `Quick
+            test_engine_default_has_no_checker;
+        ] );
+    ]
