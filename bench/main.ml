@@ -5,6 +5,13 @@
      dune exec bench/main.exe                 -- everything
      dune exec bench/main.exe -- --only E1    -- one experiment
      dune exec bench/main.exe -- --fast       -- smaller scales (CI)
+     dune exec bench/main.exe -- --smoke      -- only BENCH_*.json, tiny scales
+
+   Every run (and --smoke in particular) ends by writing two
+   machine-readable files next to the working directory:
+   BENCH_recovery.json (restart time per durability mode across dataset
+   scales, with per-phase breakdowns) and BENCH_throughput.json (YCSB and
+   TPC-C-lite throughput/latency plus the tracer-overhead check).
 
    Experiments:
      E1  recovery time vs dataset size (the headline demo result)
@@ -48,6 +55,18 @@ let log_engine ?group ?fsync size =
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
+(* Every measured interval goes through [timed], which accumulates into a
+   [bench.*] histogram in the Obs registry — the printed tables and the
+   BENCH_*.json files below read the same data. *)
+let timed name f =
+  let t0 = now_ns () in
+  let r = f () in
+  let dt = now_ns () - t0 in
+  Util.Histogram.record (Obs.histogram ("bench." ^ name)) dt;
+  (r, dt)
+
+let fmt_pctl lat p = Tabular.fmt_ns (Util.Histogram.percentile lat p)
+
 (* ------------------------------------------------------------------ *)
 (* E1: recovery time vs dataset size                                   *)
 (* ------------------------------------------------------------------ *)
@@ -78,28 +97,27 @@ let e1 ~fast () =
       ignore (Ycsb.run sess (Prng.create 2L) ~ops:(rows / 5));
       sess
     in
-    let time_recovery engine =
+    let time_recovery name engine =
       let crashed = Engine.crash engine Region.Drop_unfenced in
-      let t0 = now_ns () in
-      let engine', stats = Engine.recover crashed in
-      (now_ns () - t0, engine', stats)
+      let (engine', stats), dt = timed name (fun () -> Engine.recover crashed) in
+      (dt, engine', stats)
     in
     (* pure log replay (no checkpoint) *)
     let e_log = log_engine ~fsync:false size in
     ignore (populate e_log);
     let log_bytes = Engine.log_bytes e_log in
-    let t_log, _, _ = time_recovery e_log in
+    let t_log, _, _ = time_recovery "e1.recover_log" e_log in
     (* same load, but checkpointed: replay covers only a small tail *)
     let e_ck = log_engine ~fsync:false size in
     let sess = populate e_ck in
     ignore (Engine.checkpoint e_ck);
     ignore (Ycsb.run sess (Prng.create 3L) ~ops:(rows / 20));
-    let t_ck, _, _ = time_recovery e_ck in
+    let t_ck, _, _ = time_recovery "e1.recover_ckpt" e_ck in
     (* Hyrise-NV *)
     let e_nvm = nvm_engine size in
     ignore (populate e_nvm);
     let data_bytes = Engine.data_bytes e_nvm in
-    let t_nvm, _, _ = time_recovery e_nvm in
+    let t_nvm, _, _ = time_recovery "e1.recover_nvm" e_nvm in
     Tabular.add_row table
       [
         Tabular.fmt_int rows;
@@ -126,10 +144,7 @@ let run_tpcc engine ops =
   let rng = Prng.create 7L in
   (* warmup *)
   ignore (Tpcc.run sess rng ~ops:(ops / 10) ());
-  let t0 = now_ns () in
-  let stats = Tpcc.run sess rng ~ops () in
-  let dt = now_ns () - t0 in
-  (stats, dt)
+  timed "tpcc.run" (fun () -> Tpcc.run sess rng ~ops ())
 
 let e2 ~fast () =
   header "E2  OLTP throughput under each durability mechanism (TPC-C-lite)";
@@ -162,9 +177,9 @@ let e2 ~fast () =
       ignore (Tpcc.run sess rng ~ops:(ops / 10) ());
       Region.reset_stats region;
       let lat = Util.Histogram.create () in
-      let t0 = now_ns () in
-      let stats = Tpcc.run sess rng ~latencies:lat ~ops () in
-      let dt = now_ns () - t0 in
+      let stats, dt =
+        timed "e2.tpcc_run" (fun () -> Tpcc.run sess rng ~latencies:lat ~ops ())
+      in
       let s = Region.stats region in
       (* extra device time the durability mechanism costs on NVM: the
          write-backs and fences (volatile/log modes issue none) *)
@@ -193,8 +208,8 @@ let e2 ~fast () =
           Tabular.fmt_int committed;
           Tabular.fmt_int wall_per;
           Tabular.fmt_int dev_per;
-          Tabular.fmt_ns (Util.Histogram.percentile lat 50.0);
-          Tabular.fmt_ns (Util.Histogram.percentile lat 99.0);
+          fmt_pctl lat 50.0;
+          fmt_pctl lat 99.0;
           Tabular.fmt_float ~decimals:0 est;
           Printf.sprintf "%.0f%%" (est /. !base *. 100.0);
         ])
@@ -393,9 +408,10 @@ let e5 ~fast () =
       Gc.compact ();
       let region = Engine.region engine in
       Region.reset_stats region;
-      let t0 = now_ns () in
-      let stats = Engine.merge engine Ycsb.table_name in
-      ((Region.stats region).Region.sim_ns, now_ns () - t0, stats)
+      let stats, dt =
+        timed "e5.merge" (fun () -> Engine.merge engine Ycsb.table_name)
+      in
+      ((Region.stats region).Region.sim_ns, dt, stats)
     in
     let dev_nvm, t_nvm, stats = run nvm_engine in
     let _, t_vol, _ = run volatile_engine in
@@ -554,9 +570,7 @@ let a1 ~fast () =
           ~customers_per_district:10
       in
       let rng = Prng.create 7L in
-      let t0 = now_ns () in
-      let stats = Tpcc.run sess rng ~ops () in
-      let dt = now_ns () - t0 in
+      let stats, dt = timed "a1.tpcc_run" (fun () -> Tpcc.run sess rng ~ops ()) in
       let flushes = Engine.log_flushes engine in
       let committed_before = stats.Tpcc.committed in
       let last_before = Engine.last_cid engine in
@@ -657,15 +671,17 @@ let a3 ~fast () =
   in
   let time_lookups engine =
     let rng = Prng.create 11L in
-    let t0 = now_ns () in
     let q = 200 in
-    Engine.with_txn engine (fun txn ->
-        for _ = 1 to q do
-          ignore
-            (Engine.lookup engine txn "t" ~col:"k"
-               (Storage.Value.Int (1 + Prng.int rng rows)))
-        done);
-    (now_ns () - t0) / q
+    let (), dt =
+      timed "a3.lookups" (fun () ->
+          Engine.with_txn engine (fun txn ->
+              for _ = 1 to q do
+                ignore
+                  (Engine.lookup engine txn "t" ~col:"k"
+                     (Storage.Value.Int (1 + Prng.int rng rows)))
+              done))
+    in
+    dt / q
   in
   let e_idx = build ~indexed:true and e_scan = build ~indexed:false in
   let t_idx = time_lookups e_idx and t_scan = time_lookups e_scan in
@@ -736,30 +752,279 @@ let a4 ~fast () =
      -> higher compression of the merged main."
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable output: BENCH_recovery.json, BENCH_throughput.json  *)
+(* ------------------------------------------------------------------ *)
+
+module J = Obs.Json
+
+let write_json path doc =
+  let oc = open_out path in
+  output_string oc (J.pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+let latency_json lat =
+  if Util.Histogram.count lat = 0 then J.Obj [ ("count", J.Int 0) ]
+  else
+    J.Obj
+      [
+        ("count", J.Int (Util.Histogram.count lat));
+        ("mean", J.Float (Util.Histogram.mean lat));
+        ("p50", J.Int (Util.Histogram.percentile lat 50.0));
+        ("p95", J.Int (Util.Histogram.percentile lat 95.0));
+        ("p99", J.Int (Util.Histogram.percentile lat 99.0));
+        ("max", J.Int (Util.Histogram.max_value lat));
+      ]
+
+(* Restart time per durability mode across dataset scales. The headline
+   claim in machine-checkable form: log-mode wall_ns grows with rows, NVM
+   wall_ns stays near-constant. *)
+let recovery_json ~scales () =
+  let scale_objs =
+    List.map
+      (fun s ->
+        let rows = 1_000 * (1 lsl s) in
+        let size = 48 * mib * (1 lsl s) in
+        let ycfg = { Ycsb.default_config with rows } in
+        Printf.printf "  json scale %d (%d rows) ...\n%!" s rows;
+        let populate engine =
+          let sess = Ycsb.setup engine (Prng.create 1L) ycfg in
+          ignore (Ycsb.run sess (Prng.create 2L) ~ops:(rows / 5));
+          sess
+        in
+        let crash_recover name engine =
+          let crashed = Engine.crash engine Region.Drop_unfenced in
+          let (_, rs), _ = timed name (fun () -> Engine.recover crashed) in
+          rs
+        in
+        (* log mode, checkpointed mid-run so recovery exercises both the
+           checkpoint-load and replay phases *)
+        let e_log = log_engine ~fsync:false size in
+        let sess = populate e_log in
+        ignore (Engine.checkpoint e_log);
+        ignore (Ycsb.run sess (Prng.create 3L) ~ops:(rows / 20));
+        let log_bytes = Engine.log_bytes e_log in
+        let log_data = Engine.data_bytes e_log in
+        let rs_log = crash_recover "json.recover_log" e_log in
+        let log_phases =
+          match rs_log.Engine.detail with
+          | Engine.Rv_log
+              {
+                checkpoint_load_ns;
+                replay_ns;
+                checkpoint_rows;
+                checkpoint_bytes;
+                log_records;
+                log_bytes = replay_bytes;
+                committed_txns;
+              } ->
+              J.Obj
+                [
+                  ("checkpoint_load_ns", J.Int checkpoint_load_ns);
+                  ("replay_ns", J.Int replay_ns);
+                  ("checkpoint_rows", J.Int checkpoint_rows);
+                  ("checkpoint_bytes", J.Int checkpoint_bytes);
+                  ("log_records", J.Int log_records);
+                  ("log_bytes", J.Int replay_bytes);
+                  ("committed_txns", J.Int committed_txns);
+                ]
+          | _ -> J.Obj []
+        in
+        let e_nvm = nvm_engine size in
+        ignore (populate e_nvm);
+        let nvm_data = Engine.data_bytes e_nvm in
+        let rs_nvm = crash_recover "json.recover_nvm" e_nvm in
+        let nvm_phases =
+          match rs_nvm.Engine.detail with
+          | Engine.Rv_nvm
+              {
+                heap_open_ns;
+                attach_ns;
+                rollback_ns;
+                heap_blocks;
+                rolled_back_rows;
+                tables;
+              } ->
+              J.Obj
+                [
+                  ("heap_scan_ns", J.Int heap_open_ns);
+                  ("attach_ns", J.Int attach_ns);
+                  ("rollback_ns", J.Int rollback_ns);
+                  ("heap_blocks", J.Int heap_blocks);
+                  ("rolled_back_rows", J.Int rolled_back_rows);
+                  ("tables", J.Int tables);
+                ]
+          | _ -> J.Obj []
+        in
+        J.Obj
+          [
+            ("scale", J.Int s);
+            ("rows", J.Int rows);
+            ( "log",
+              J.Obj
+                [
+                  ("wall_ns", J.Int rs_log.Engine.wall_ns);
+                  ("data_bytes", J.Int log_data);
+                  ("log_bytes", J.Int log_bytes);
+                  ("phases", log_phases);
+                ] );
+            ( "nvm",
+              J.Obj
+                [
+                  ("wall_ns", J.Int rs_nvm.Engine.wall_ns);
+                  ("data_bytes", J.Int nvm_data);
+                  ("phases", nvm_phases);
+                ] );
+          ])
+      scales
+  in
+  J.Obj
+    [
+      ("experiment", J.Str "recovery");
+      ("scales", J.List scale_objs);
+      ("registry", Obs.to_json ());
+    ]
+
+(* Throughput + latency per workload, plus the tracer-overhead check
+   (spans default off must cost nothing measurable). *)
+let throughput_json ~ops ~rows () =
+  let size = 64 * mib in
+  let ycsb_cfg = { Ycsb.default_config with rows } in
+  let ycsb_obj =
+    Printf.printf "  json ycsb (%d ops) ...\n%!" ops;
+    let engine = nvm_engine size in
+    let sess = Ycsb.setup engine (Prng.create 1L) ycsb_cfg in
+    let rng = Prng.create 2L in
+    let lat = Obs.histogram "bench.json.ycsb_op" in
+    Util.Histogram.clear lat;
+    let t0 = now_ns () in
+    for _ = 1 to ops do
+      let o0 = now_ns () in
+      ignore (Ycsb.run_one sess rng);
+      Util.Histogram.record lat (now_ns () - o0)
+    done;
+    let dt = now_ns () - t0 in
+    J.Obj
+      [
+        ("ops", J.Int ops);
+        ("ops_per_sec", J.Float (float_of_int ops *. 1e9 /. float_of_int dt));
+        ("latency_ns", latency_json lat);
+      ]
+  in
+  let tpcc_modes =
+    List.map
+      (fun (key, mk) ->
+        Printf.printf "  json tpcc %s ...\n%!" key;
+        let engine : Engine.t = mk () in
+        let sess =
+          Tpcc.setup engine ~warehouses:2 ~districts_per_wh:3
+            ~customers_per_district:8
+        in
+        let lat = Util.Histogram.create () in
+        let stats, dt =
+          timed ("json.tpcc." ^ key) (fun () ->
+              Tpcc.run sess (Prng.create 7L) ~latencies:lat ~ops ())
+        in
+        ( key,
+          J.Obj
+            [
+              ("committed", J.Int stats.Tpcc.committed);
+              ( "txn_per_sec",
+                J.Float
+                  (float_of_int stats.Tpcc.committed
+                  *. 1e9
+                  /. float_of_int (max 1 dt)) );
+              ("latency_ns", latency_json lat);
+            ] ))
+      [
+        ("volatile", fun () -> volatile_engine size);
+        ("log", fun () -> log_engine ~group:8 ~fsync:false size);
+        ("nvm", fun () -> nvm_engine size);
+      ]
+  in
+  let obs_overhead_pct =
+    (* same YCSB run, spans disarmed vs armed; best-of-3 each to damp
+       noise. The disabled tracer's only cost is one boolean test per
+       span site, so this should sit well under 2%. *)
+    Printf.printf "  json tracer overhead ...\n%!";
+    let once () =
+      let engine = nvm_engine size in
+      let sess = Ycsb.setup engine (Prng.create 1L) ycsb_cfg in
+      let t0 = now_ns () in
+      ignore (Ycsb.run sess (Prng.create 2L) ~ops);
+      ignore (Engine.checkpoint engine);
+      now_ns () - t0
+    in
+    let was = Obs.is_enabled () in
+    ignore (once ()) (* warm up allocator/page cache before either side *);
+    let off = ref max_int and on = ref max_int in
+    (* interleave the two sides so drift hits both equally *)
+    for _ = 1 to 4 do
+      Obs.set_enabled false;
+      let d = once () in
+      if d < !off then off := d;
+      Obs.set_enabled true;
+      let d = once () in
+      if d < !on then on := d
+    done;
+    Obs.set_enabled was;
+    100.0 *. float_of_int (!on - !off) /. float_of_int !off
+  in
+  J.Obj
+    [
+      ("experiment", J.Str "throughput");
+      ("ycsb", ycsb_obj);
+      ("tpcc", J.Obj tpcc_modes);
+      ("obs_overhead_pct", J.Float obs_overhead_pct);
+      ("registry", Obs.to_json ());
+    ]
+
+let emit_json ~scales ~ops ~rows () =
+  header "JSON  BENCH_recovery.json / BENCH_throughput.json";
+  Obs.set_enabled true;
+  write_json "BENCH_recovery.json" (recovery_json ~scales ());
+  write_json "BENCH_throughput.json" (throughput_json ~ops ~rows ())
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("T1", t1); ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4) ]
 
 let () =
-  let only = ref [] and fast = ref false in
+  let only = ref [] and fast = ref false and smoke = ref false in
   Array.iteri
     (fun i arg ->
       match arg with
       | "--fast" -> fast := true
+      | "--smoke" -> smoke := true
       | "--only" when i + 1 < Array.length Sys.argv ->
           only := Sys.argv.(i + 1) :: !only
       | _ -> ())
     Sys.argv;
-  let selected =
-    if !only = [] then experiments
-    else List.filter (fun (name, _) -> List.mem name !only) experiments
-  in
-  print_endline "Hyrise-NV reproduction benchmarks";
-  print_endline
-    (if !fast then "(fast mode: reduced scales)"
-     else "(full scales; use --fast for a quicker run)");
-  let t0 = Unix.gettimeofday () in
-  List.iter (fun (_, f) -> f ~fast:!fast ()) selected;
-  Printf.printf "\nall selected experiments done in %.1f s\n"
-    (Unix.gettimeofday () -. t0)
+  if !smoke then begin
+    (* CI smoke: skip the table experiments, emit only the JSON files at
+       tiny scale (still three dataset scales, so the log-grows /
+       NVM-stays-flat shape is checkable) *)
+    print_endline "Hyrise-NV reproduction benchmarks (smoke: JSON only)";
+    emit_json ~scales:[ 0; 1; 2 ] ~ops:400 ~rows:1_000 ()
+  end
+  else begin
+    let selected =
+      if !only = [] then experiments
+      else List.filter (fun (name, _) -> List.mem name !only) experiments
+    in
+    print_endline "Hyrise-NV reproduction benchmarks";
+    print_endline
+      (if !fast then "(fast mode: reduced scales)"
+       else "(full scales; use --fast for a quicker run)");
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun (_, f) -> f ~fast:!fast ()) selected;
+    (if !only = [] then
+       let scales = if !fast then [ 0; 1; 2 ] else [ 0; 1; 2; 3; 4 ] in
+       let ops = if !fast then 600 else 2_000 in
+       emit_json ~scales ~ops ~rows:(if !fast then 2_000 else 5_000) ());
+    Printf.printf "\nall selected experiments done in %.1f s\n"
+      (Unix.gettimeofday () -. t0)
+  end

@@ -25,6 +25,17 @@ let seed_arg =
   let doc = "PRNG seed; equal seeds reproduce identical runs." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let trace_arg =
+  let doc =
+    "Write one line per completed span to $(docv) (greppable \
+     `SPAN <path> wall_ns=... depth=...` format); also arms the tracer."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let arm_trace = function
+  | Some file -> Obs.Span.set_trace_file file
+  | None -> ()
+
 (* -- load -- *)
 
 let load rows image size_mb seed =
@@ -57,7 +68,8 @@ let load_cmd =
 
 (* -- restart -- *)
 
-let restart image size_mb =
+let restart image size_mb trace =
+  arm_trace trace;
   let cfg = Engine.default_config ~size:(size_mb * mib) Engine.Nvm in
   Printf.printf "mapping %s ...\n%!" image;
   let engine, stats = Engine.open_image cfg image in
@@ -81,7 +93,7 @@ let restart_cmd =
   in
   Cmd.v
     (Cmd.info "restart" ~doc:"Instant restart from a saved NVM image.")
-    Term.(const restart $ image $ size_arg)
+    Term.(const restart $ image $ size_arg $ trace_arg)
 
 (* -- demo (log vs NVM) -- *)
 
@@ -241,6 +253,85 @@ let sanitize_cmd =
              checker and report violations.")
     Term.(const sanitize $ size_arg $ seed_arg $ ops)
 
+(* -- stats -- *)
+
+let span_ns name =
+  let h = Obs.histogram ("span." ^ name) in
+  if Util.Histogram.count h = 0 then 0 else Util.Histogram.total h
+
+let phase_table ~title parent phases =
+  let wall = span_ns parent in
+  let pct ns =
+    if wall = 0 then "-"
+    else Printf.sprintf "%.1f%%" (100. *. float_of_int ns /. float_of_int wall)
+  in
+  let t =
+    Tabular.create ~title
+      [ ("phase", Tabular.Left); ("time", Tabular.Right); ("share", Tabular.Right) ]
+  in
+  let sum =
+    List.fold_left
+      (fun acc p ->
+        let ns = span_ns (parent ^ "." ^ p) in
+        Tabular.add_row t [ p; Tabular.fmt_ns ns; pct ns ];
+        acc + ns)
+      0 phases
+  in
+  Tabular.add_row t [ "phase sum"; Tabular.fmt_ns sum; pct sum ];
+  Tabular.add_row t [ "wall (" ^ parent ^ ")"; Tabular.fmt_ns wall; pct wall ];
+  Tabular.print t;
+  (sum, wall)
+
+let stats size_mb seed ops trace =
+  arm_trace trace;
+  Obs.set_enabled true;
+  let rows = 5_000 in
+  let run_mode label mk_engine ~checkpoint_midway parent phases =
+    let rng = Prng.create (Int64.of_int seed) in
+    let engine = mk_engine () in
+    let ycfg = { Ycsb.default_config with rows } in
+    let sess = Ycsb.setup engine (Prng.split rng) ycfg in
+    ignore (Ycsb.run sess (Prng.split rng) ~ops:(ops / 2));
+    if checkpoint_midway then ignore (Engine.checkpoint engine);
+    ignore (Ycsb.run sess (Prng.split rng) ~ops:(ops - (ops / 2)));
+    let crashed = Engine.crash engine Region.Drop_unfenced in
+    let e2, rstats = Engine.recover crashed in
+    Engine.sync_metrics e2;
+    let sum, wall = phase_table ~title:(label ^ " recovery") parent phases in
+    Printf.printf "%s: recovered in %s; instrumented phases cover %.1f%% of the span wall\n\n"
+      label
+      (Tabular.fmt_ns rstats.Engine.wall_ns)
+      (if wall = 0 then 0.
+       else 100. *. float_of_int sum /. float_of_int wall)
+  in
+  run_mode "NVM"
+    (fun () -> Engine.create (Engine.default_config ~size:(size_mb * mib) Engine.Nvm))
+    ~checkpoint_midway:false "recover.nvm"
+    [ "heap_scan"; "attach"; "rollback" ];
+  run_mode "log-based"
+    (fun () ->
+      Engine.create
+        {
+          Engine.region = Region.config_with_size (size_mb * mib);
+          durability =
+            Engine.Logging
+              { Wal.Log.dir = tmpdir (); group_commit_size = 8; fsync = false };
+        })
+    ~checkpoint_midway:true "recover.log"
+    [ "format"; "checkpoint_load"; "replay"; "reopen_log" ];
+  print_string (Obs.render ())
+
+let stats_cmd =
+  let ops =
+    Arg.(value & opt int 2_000 & info [ "ops" ] ~docv:"N"
+           ~doc:"YCSB operations to run before the crash.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Crash and recover under both durability modes, then print the \
+             per-phase recovery breakdown and the full metrics registry.")
+    Term.(const stats $ size_arg $ seed_arg $ ops $ trace_arg)
+
 (* -- repl -- *)
 
 let repl size_mb seed execute =
@@ -254,6 +345,9 @@ let repl size_mb seed execute =
     else
       match String.lowercase_ascii line with
       | "exit" | "quit" -> raise Exit
+      | ".stats" ->
+          (* dot-command alias for the SQL STATS statement *)
+          print_endline (Repl.Sql.execute !engine Repl.Sql.Stats)
       | "crash" ->
           (* the REPL-level power switch: adversarial crash + instant
              restart, so the user can watch committed data survive *)
@@ -294,11 +388,44 @@ let repl_cmd =
     Term.(const repl $ size_arg $ seed_arg $ execute)
 
 let () =
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "A reproduction of Hyrise-NV: an in-memory columnar database whose \
+          primary data and MVCC state live in (simulated) non-volatile \
+          memory, giving restart times independent of dataset size.";
+      `S Manpage.s_commands;
+      `P "$(b,load)     Populate a database and save its NVM image.";
+      `Noblank;
+      `P "$(b,restart)  Instant restart from a saved NVM image.";
+      `Noblank;
+      `P "$(b,demo)     The demo paper's comparison: log vs NVM restart.";
+      `Noblank;
+      `P "$(b,torture)  Adversarial crash loop with invariant checks.";
+      `Noblank;
+      `P "$(b,sanitize) Run workloads under the persist-order checker.";
+      `Noblank;
+      `P "$(b,stats)    Per-phase recovery breakdown + metrics registry.";
+      `Noblank;
+      `P "$(b,repl)     Interactive SQL shell over an NVM engine.";
+      `P "Benchmarks (recovery scaling, throughput, BENCH_*.json emission) \
+          live in a separate binary: $(b,bench/main.exe).";
+    ]
+  in
   let info =
     Cmd.info "hyrise_nv" ~version:"1.0.0"
-      ~doc:"Hyrise-NV: instant restarts of an in-memory database on NVM"
+      ~doc:"Hyrise-NV: instant restarts of an in-memory database on NVM" ~man
   in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval
-       (Cmd.group info
-          [ load_cmd; restart_cmd; demo_cmd; torture_cmd; sanitize_cmd; repl_cmd ]))
+       (Cmd.group info ~default
+          [
+            load_cmd;
+            restart_cmd;
+            demo_cmd;
+            torture_cmd;
+            sanitize_cmd;
+            stats_cmd;
+            repl_cmd;
+          ]))

@@ -325,6 +325,7 @@ let dump_tables t =
     (table_names t)
 
 let checkpoint t =
+  Obs.Span.with_ ~name:"checkpoint" @@ fun () ->
   check_open t;
   if Mvcc.active_count t.mgr > 0 then
     invalid_arg "Engine.checkpoint: active transactions";
@@ -396,24 +397,40 @@ type recovery_detail =
 type recovery_stats = { wall_ns : int; detail : recovery_detail }
 
 let recover_nvm ?san cfg region =
+  Obs.Span.with_ ~name:"recover.nvm" @@ fun () ->
   let t0 = now_ns () in
-  let alloc = A.open_existing region in
+  let alloc =
+    Obs.Span.with_ ~name:"heap_scan" @@ fun () ->
+    let alloc = A.open_existing region in
+    (match A.last_recovery alloc with
+    | Some r -> Obs.Span.attr "blocks" r.A.scanned_blocks
+    | None -> ());
+    alloc
+  in
   let t1 = now_ns () in
-  let ctrl = A.get_root alloc root_slot in
-  let last = Region.get_i64 region ctrl in
-  let catalog = Catalog.attach alloc (Region.get_int region (ctrl + 8)) in
-  let e = assemble ?san cfg region alloc ctrl catalog ~log:None ~epoch:0 in
-  List.iter
-    (fun (name, tctrl) -> register_table e name (Table.attach alloc tctrl))
-    (Catalog.tables catalog);
+  let e, last =
+    Obs.Span.with_ ~name:"attach" @@ fun () ->
+    let ctrl = A.get_root alloc root_slot in
+    let last = Region.get_i64 region ctrl in
+    let catalog = Catalog.attach alloc (Region.get_int region (ctrl + 8)) in
+    let e = assemble ?san cfg region alloc ctrl catalog ~log:None ~epoch:0 in
+    List.iter
+      (fun (name, tctrl) -> register_table e name (Table.attach alloc tctrl))
+      (Catalog.tables catalog);
+    Obs.Span.attr "tables" (Hashtbl.length e.tables);
+    (e, last)
+  in
   let t2 = now_ns () in
   let rolled = ref 0 in
-  Hashtbl.iter
-    (fun _ table -> rolled := !rolled + Table.rollback_uncommitted table ~last_cid:last)
-    e.tables;
-  (* recovery hands back a fully durable database: a crash immediately
-     after restart must change nothing *)
-  Region.annotate_commit_point region ~label:"engine.recover" [];
+  Obs.Span.with_ ~name:"rollback" (fun () ->
+      Hashtbl.iter
+        (fun _ table ->
+          rolled := !rolled + Table.rollback_uncommitted table ~last_cid:last)
+        e.tables;
+      (* recovery hands back a fully durable database: a crash immediately
+         after restart must change nothing *)
+      Region.annotate_commit_point region ~label:"engine.recover" [];
+      Obs.Span.attr "rows" !rolled);
   let t3 = now_ns () in
   let heap_blocks =
     match A.last_recovery alloc with
@@ -436,43 +453,51 @@ let recover_nvm ?san cfg region =
       } )
 
 let recover_log cfg lc =
+  Obs.Span.with_ ~name:"recover.log" @@ fun () ->
   (* the region lost everything: rebuild from checkpoint + log *)
-  let e = create_raw cfg ~with_log:false in
+  let e =
+    Obs.Span.with_ ~name:"format" (fun () -> create_raw cfg ~with_log:false)
+  in
   e.replaying <- true;
   let t0 = now_ns () in
-  let ckpt = Wal.Checkpoint.read ~dir:lc.Wal.Log.dir in
   let ckpt_rows = ref 0 and ckpt_bytes = ref 0 in
   let base_cid, epoch =
-    match ckpt with
-    | None -> (Cid.zero, 0)
-    | Some c ->
-        ckpt_bytes :=
-          (try (Unix.stat (Wal.Checkpoint.path ~dir:lc.Wal.Log.dir)).Unix.st_size
-           with Unix.Unix_error _ -> 0);
-        List.iter
-          (fun td ->
-            (* columnar bulk load: rebuild the main partition directly *)
-            let columns =
-              Array.map
-                (fun cd -> (cd.Wal.Checkpoint.dict, cd.Wal.Checkpoint.avec))
-                td.Wal.Checkpoint.columns
-            in
-            let main_end = Array.make td.Wal.Checkpoint.rows Cid.infinity in
-            let table =
-              Table.replace_ctrl_for_merge e.alloc ~name:td.Wal.Checkpoint.name
-                ~schema:td.Wal.Checkpoint.schema ~columns ~main_end
-            in
-            Catalog.add_table e.catalog ~name:td.Wal.Checkpoint.name
-              ~ctrl:(Table.handle table);
-            register_table e td.Wal.Checkpoint.name table;
-            ckpt_rows := !ckpt_rows + td.Wal.Checkpoint.rows)
-          c.Wal.Checkpoint.tables;
-        (c.Wal.Checkpoint.cid, c.Wal.Checkpoint.epoch)
+    Obs.Span.with_ ~name:"checkpoint_load" @@ fun () ->
+    let ckpt = Wal.Checkpoint.read ~dir:lc.Wal.Log.dir in
+    let r =
+      match ckpt with
+      | None -> (Cid.zero, 0)
+      | Some c ->
+          ckpt_bytes :=
+            (try
+               (Unix.stat (Wal.Checkpoint.path ~dir:lc.Wal.Log.dir)).Unix.st_size
+             with Unix.Unix_error _ -> 0);
+          List.iter
+            (fun td ->
+              (* columnar bulk load: rebuild the main partition directly *)
+              let columns =
+                Array.map
+                  (fun cd -> (cd.Wal.Checkpoint.dict, cd.Wal.Checkpoint.avec))
+                  td.Wal.Checkpoint.columns
+              in
+              let main_end = Array.make td.Wal.Checkpoint.rows Cid.infinity in
+              let table =
+                Table.replace_ctrl_for_merge e.alloc ~name:td.Wal.Checkpoint.name
+                  ~schema:td.Wal.Checkpoint.schema ~columns ~main_end
+              in
+              Catalog.add_table e.catalog ~name:td.Wal.Checkpoint.name
+                ~ctrl:(Table.handle table);
+              register_table e td.Wal.Checkpoint.name table;
+              ckpt_rows := !ckpt_rows + td.Wal.Checkpoint.rows)
+            c.Wal.Checkpoint.tables;
+          (c.Wal.Checkpoint.cid, c.Wal.Checkpoint.epoch)
+    in
+    Obs.Span.attr "rows" !ckpt_rows;
+    r
   in
   let t1 = now_ns () in
   (* replay: reproduce physical row numbering by applying every logged
      insert, then stamping at commit records *)
-  let records, log_bytes = Wal.Log.read_all ~dir:lc.Wal.Log.dir ~expected_epoch:epoch in
   let staged : (int, (Table.t * int) list) Hashtbl.t = Hashtbl.create 64 in
   let last = ref base_cid in
   let committed = ref 0 in
@@ -481,34 +506,44 @@ let recover_log cfg lc =
     | Some name -> table e name
     | None -> failwith "Engine.recover: log references unknown table"
   in
-  List.iter
-    (fun r ->
-      match r with
-      | Wal.Log.Create_table { name; schema } -> create_table e ~name schema
-      | Wal.Log.Insert { tid; table_id; values } ->
-          let table = table_by_id table_id in
-          let row = Table.append_row table values in
-          let prev = Option.value ~default:[] (Hashtbl.find_opt staged tid) in
-          Hashtbl.replace staged tid ((table, row) :: prev)
-      | Wal.Log.Commit { tid; cid; invalidated } ->
-          List.iter
-            (fun (table, row) -> Table.set_begin_cid table row cid)
-            (Option.value ~default:[] (Hashtbl.find_opt staged tid));
-          Hashtbl.remove staged tid;
-          List.iter
-            (fun (table_id, row) ->
-              Table.set_end_cid (table_by_id table_id) row cid)
-            invalidated;
-          if Int64.compare cid !last > 0 then last := cid;
-          incr committed
-      | Wal.Log.Abort { tid } -> Hashtbl.remove staged tid)
-    records;
+  let records, log_bytes =
+    Obs.Span.with_ ~name:"replay" @@ fun () ->
+    let records, log_bytes =
+      Wal.Log.read_all ~dir:lc.Wal.Log.dir ~expected_epoch:epoch
+    in
+    List.iter
+      (fun r ->
+        match r with
+        | Wal.Log.Create_table { name; schema } -> create_table e ~name schema
+        | Wal.Log.Insert { tid; table_id; values } ->
+            let table = table_by_id table_id in
+            let row = Table.append_row table values in
+            let prev = Option.value ~default:[] (Hashtbl.find_opt staged tid) in
+            Hashtbl.replace staged tid ((table, row) :: prev)
+        | Wal.Log.Commit { tid; cid; invalidated } ->
+            List.iter
+              (fun (table, row) -> Table.set_begin_cid table row cid)
+              (Option.value ~default:[] (Hashtbl.find_opt staged tid));
+            Hashtbl.remove staged tid;
+            List.iter
+              (fun (table_id, row) ->
+                Table.set_end_cid (table_by_id table_id) row cid)
+              invalidated;
+            if Int64.compare cid !last > 0 then last := cid;
+            incr committed
+        | Wal.Log.Abort { tid } -> Hashtbl.remove staged tid)
+      records;
+    Obs.Span.attr "records" (List.length records);
+    Obs.Span.attr "committed_txns" !committed;
+    (records, log_bytes)
+  in
   let t2 = now_ns () in
   e.replaying <- false;
-  persist_commit_hook e.region e.ctrl !last;
-  e.mgr <- make_manager e ~last_cid:!last;
-  e.log <- Some (Wal.Log.open_append lc ~epoch ~truncate_at:log_bytes);
-  e.epoch <- epoch;
+  Obs.Span.with_ ~name:"reopen_log" (fun () ->
+      persist_commit_hook e.region e.ctrl !last;
+      e.mgr <- make_manager e ~last_cid:!last;
+      e.log <- Some (Wal.Log.open_append lc ~epoch ~truncate_at:log_bytes);
+      e.epoch <- epoch);
   L.info (fun m ->
       m "log recovery: %d checkpoint rows, %d records replayed (%d bytes), %d txns"
         !ckpt_rows (List.length records) log_bytes !committed);
@@ -562,3 +597,18 @@ let log_flushes t =
 let active_txns t = Mvcc.active_count t.mgr
 
 let mvcc t = t.mgr
+
+let sync_metrics t =
+  let s = Region.stats t.region in
+  Obs.set_gauge (Obs.gauge "nvm.loads") s.Region.loads;
+  Obs.set_gauge (Obs.gauge "nvm.stores") s.Region.stores;
+  Obs.set_gauge (Obs.gauge "nvm.writebacks") s.Region.writebacks;
+  Obs.set_gauge (Obs.gauge "nvm.fences") s.Region.fences;
+  Obs.set_gauge (Obs.gauge "nvm.elided_fences") s.Region.elided_fences;
+  Obs.set_gauge (Obs.gauge "nvm.sim_ns") s.Region.sim_ns;
+  Obs.set_gauge (Obs.gauge "wal.bytes") (log_bytes t);
+  Obs.set_gauge (Obs.gauge "wal.flushes") (log_flushes t);
+  Obs.set_gauge (Obs.gauge "engine.last_cid") (Int64.to_int (last_cid t));
+  Obs.set_gauge (Obs.gauge "engine.active_txns") (active_txns t);
+  if not t.closed then
+    Obs.set_gauge (Obs.gauge "engine.data_bytes") (data_bytes t)

@@ -204,3 +204,8 @@ val log_flushes : t -> int
 val active_txns : t -> int
 
 val mvcc : t -> Txn.Mvcc.manager
+
+val sync_metrics : t -> unit
+(** Push a consistent snapshot of engine/region/WAL tallies into the
+    default {!Obs} registry as gauges ([nvm.*], [wal.*], [engine.*]).
+    Safe to call on a closed engine (size accounting is then skipped). *)

@@ -52,6 +52,7 @@ type t = {
   mutable stores : int;
   mutable writebacks : int;
   mutable fences : int;
+  mutable elided_fences : int;
   mutable sim_ns : int;
   mutable persist_enabled : bool;
   mutable fuse : int; (* -1 = disarmed; 0 = next armed op raises *)
@@ -82,6 +83,7 @@ let create (cfg : config) =
     stores = 0;
     writebacks = 0;
     fences = 0;
+    elided_fences = 0;
     sim_ns = 0;
     persist_enabled = true;
     fuse = -1;
@@ -334,6 +336,16 @@ let persist t off len =
 
 let pending_writebacks t = List.length t.wb_queue
 
+(* The publish-path fence elision: a fence that would drain nothing is
+   pure latency (and the sanitizer flags it as redundant), so skip it and
+   tally the saving instead.  Centralizing the site keeps the elision
+   count and the fence count on the same ledger as the sanitizer hooks. *)
+let fence_if_pending t =
+  if t.persist_enabled then begin
+    if t.wb_queue <> [] then fence t
+    else t.elided_fences <- t.elided_fences + 1
+  end
+
 let is_durable t off len =
   check_range t off len "is_durable";
   if len = 0 then true
@@ -405,6 +417,7 @@ type stats = {
   stores : int;
   writebacks : int;
   fences : int;
+  elided_fences : int;
   sim_ns : int;
 }
 
@@ -414,6 +427,7 @@ let stats (t : t) =
     stores = t.stores;
     writebacks = t.writebacks;
     fences = t.fences;
+    elided_fences = t.elided_fences;
     sim_ns = t.sim_ns;
   }
 
@@ -422,6 +436,7 @@ let reset_stats (t : t) =
   t.stores <- 0;
   t.writebacks <- 0;
   t.fences <- 0;
+  t.elided_fences <- 0;
   t.sim_ns <- 0
 
 let arm_crash (t : t) ~after_ops =

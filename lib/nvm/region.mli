@@ -90,6 +90,12 @@ val pending_writebacks : t -> int
     fence. Publish paths use this to elide fences that would drain
     nothing (which the sanitizer otherwise flags as redundant). *)
 
+val fence_if_pending : t -> unit
+(** [fence] when write-backs are scheduled; otherwise count an elided
+    fence (see {!stats}). No-op with persistence disabled. All publish
+    paths elide through this helper so the elision tally shares the
+    ledger with the fence/write-back tallies the sanitizer hooks. *)
+
 val set_persist_enabled : t -> bool -> unit
 (** When disabled, [writeback]/[fence]/[persist] become free no-ops: the
     region behaves like plain DRAM (a crash loses everything not already
@@ -201,6 +207,9 @@ type stats = {
   stores : int;  (** 8-byte store operations *)
   writebacks : int;  (** line write-backs scheduled *)
   fences : int;
+  elided_fences : int;
+      (** fences skipped by {!fence_if_pending} because nothing was
+          scheduled — the saving the batched publish protocol earns *)
   sim_ns : int;  (** accumulated simulated NVM time *)
 }
 

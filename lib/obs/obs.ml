@@ -1,0 +1,273 @@
+module H = Util.Histogram
+
+type metric = Counter of int ref | Gauge of int ref | Histogram of H.t
+
+type registry = { metrics : (string, metric) Hashtbl.t }
+
+let create_registry () = { metrics = Hashtbl.create 64 }
+
+let default = create_registry ()
+
+let enabled = ref false
+let set_enabled b = enabled := b
+let is_enabled () = !enabled
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let find_or_add reg name mk =
+  match Hashtbl.find_opt reg.metrics name with
+  | Some m -> m
+  | None ->
+      let m = mk () in
+      Hashtbl.replace reg.metrics name m;
+      m
+
+let wrong_kind name got want =
+  invalid_arg
+    (Printf.sprintf "Obs.%s: %s is already registered as a %s" want name
+       (kind_name got))
+
+type counter = int ref
+
+let counter ?(registry = default) name =
+  match find_or_add registry name (fun () -> Counter (ref 0)) with
+  | Counter r -> r
+  | m -> wrong_kind name m "counter"
+
+let incr (c : counter) = Stdlib.incr c
+let add (c : counter) n = c := !c + n
+let counter_value (c : counter) = !c
+
+type gauge = int ref
+
+let gauge ?(registry = default) name =
+  match find_or_add registry name (fun () -> Gauge (ref 0)) with
+  | Gauge r -> r
+  | m -> wrong_kind name m "gauge"
+
+let set_gauge (g : gauge) v = g := v
+let gauge_value (g : gauge) = !g
+
+let histogram ?(registry = default) name =
+  match find_or_add registry name (fun () -> Histogram (H.create ())) with
+  | Histogram h -> h
+  | m -> wrong_kind name m "histogram"
+
+let reset ?(registry = default) () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter r | Gauge r -> r := 0
+      | Histogram h -> H.clear h)
+    registry.metrics
+
+let sorted_names reg =
+  List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) reg.metrics [])
+
+(* -- spans -- *)
+
+module Span = struct
+  type frame = {
+    path : string;
+    start_ns : int;
+    (* time spent inside descendants' instrumentation (histogram creation
+       on first use is ~tens of us); subtracted so a parent's wall stays
+       comparable to the sum of its children *)
+    mutable skew_ns : int;
+    mutable attrs : (string * int) list;
+  }
+
+  let stack : frame list ref = ref []
+  let trace : out_channel option ref = ref None
+
+  let set_trace_channel oc = trace := oc
+
+  let set_trace_file file =
+    let oc = open_out file in
+    at_exit (fun () -> try close_out oc with Sys_error _ -> ());
+    trace := Some oc;
+    enabled := true
+
+  let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+
+  let current_path () =
+    match !stack with [] -> None | f :: _ -> Some f.path
+
+  let attr key v =
+    match !stack with [] -> () | f :: _ -> f.attrs <- (key, v) :: f.attrs
+
+  let emit_trace ~depth f dt =
+    match !trace with
+    | None -> ()
+    | Some oc ->
+        Printf.fprintf oc "SPAN %s wall_ns=%d depth=%d" f.path dt depth;
+        List.iter
+          (fun (k, v) -> Printf.fprintf oc " %s=%d" k v)
+          (List.rev f.attrs);
+        output_char oc '\n';
+        flush oc
+
+  let with_ ?(registry = default) ~name f =
+    if not !enabled then f ()
+    else begin
+      let path =
+        match !stack with [] -> name | p :: _ -> p.path ^ "." ^ name
+      in
+      let frame = { path; start_ns = now_ns (); skew_ns = 0; attrs = [] } in
+      stack := frame :: !stack;
+      Fun.protect
+        ~finally:(fun () ->
+          (match !stack with
+          | top :: rest when top == frame -> stack := rest
+          | _ -> () (* unbalanced: a nested span leaked an exception *));
+          let fin_start = now_ns () in
+          let dt = fin_start - frame.start_ns - frame.skew_ns in
+          let dt = if dt < 0 then 0 else dt in
+          H.record (histogram ~registry ("span." ^ path)) dt;
+          List.iter
+            (fun (k, v) -> add (counter ~registry ("span." ^ path ^ "." ^ k)) v)
+            frame.attrs;
+          emit_trace ~depth:(List.length !stack) frame dt;
+          let spent = now_ns () - fin_start in
+          List.iter (fun p -> p.skew_ns <- p.skew_ns + spent) !stack)
+        f
+    end
+end
+
+(* -- export -- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let add_float buf f =
+    let f = match Float.classify_float f with
+      | FP_nan | FP_infinite -> 0.0
+      | _ -> f
+    in
+    (* %.17g round-trips but is noisy; 6 significant digits suffice for
+       bench numbers, and always parses as a JSON number *)
+    let s = Printf.sprintf "%.6g" f in
+    Buffer.add_string buf s;
+    (* "1e+06" is valid JSON; "1." is not produced by %g *)
+    ignore s
+
+  let rec to_buf ~indent ~level buf t =
+    let nl pad =
+      if indent then begin
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make (2 * pad) ' ')
+      end
+    in
+    match t with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> add_float buf f
+    | Str s -> escape buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            nl (level + 1);
+            to_buf ~indent ~level:(level + 1) buf item)
+          items;
+        nl level;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            nl (level + 1);
+            escape buf k;
+            Buffer.add_char buf ':';
+            if indent then Buffer.add_char buf ' ';
+            to_buf ~indent ~level:(level + 1) buf v)
+          fields;
+        nl level;
+        Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    to_buf ~indent:false ~level:0 buf t;
+    Buffer.contents buf
+
+  let pretty t =
+    let buf = Buffer.create 1024 in
+    to_buf ~indent:true ~level:0 buf t;
+    Buffer.contents buf
+end
+
+let hist_json h =
+  if H.count h = 0 then Json.Obj [ ("count", Json.Int 0) ]
+  else
+    Json.Obj
+      [
+        ("count", Json.Int (H.count h));
+        ("total", Json.Int (H.total h));
+        ("mean", Json.Float (H.mean h));
+        ("min", Json.Int (H.min_value h));
+        ("p50", Json.Int (H.quantile h 0.5));
+        ("p95", Json.Int (H.quantile h 0.95));
+        ("p99", Json.Int (H.quantile h 0.99));
+        ("max", Json.Int (H.max_value h));
+      ]
+
+let to_json ?(registry = default) () =
+  Json.Obj
+    (List.map
+       (fun name ->
+         match Hashtbl.find registry.metrics name with
+         | Counter r | Gauge r -> (name, Json.Int !r)
+         | Histogram h -> (name, hist_json h))
+       (sorted_names registry))
+
+let render ?(registry = default) () =
+  let t =
+    Util.Tabular.create ~title:"metrics registry"
+      [
+        ("metric", Util.Tabular.Left);
+        ("type", Util.Tabular.Left);
+        ("value", Util.Tabular.Left);
+      ]
+  in
+  List.iter
+    (fun name ->
+      let m = Hashtbl.find registry.metrics name in
+      let value =
+        match m with
+        | Counter r | Gauge r -> string_of_int !r
+        | Histogram h -> Format.asprintf "%a" H.pp_summary h
+      in
+      Util.Tabular.add_row t [ name; kind_name m; value ])
+    (sorted_names registry);
+  Util.Tabular.render t

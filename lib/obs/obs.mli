@@ -1,0 +1,125 @@
+(** Engine-wide observability: a zero-dependency metrics registry plus a
+    span-based tracer.
+
+    The registry holds three metric kinds, addressed by dotted names
+    (docs/OBSERVABILITY.md documents the naming scheme):
+
+    - {b counters} — monotonically increasing event tallies
+      ([txn.commit], [span.recover.nvm.rollback.rows]);
+    - {b gauges} — last-written values mirrored from elsewhere
+      ([nvm.writebacks] mirrors the region's own tally sites);
+    - {b histograms} — {!Util.Histogram} distributions, mostly span wall
+      times in nanoseconds ([span.recover.nvm.heap_scan]).
+
+    Counters and gauges are plain [int ref]s behind the handle — recording
+    costs one increment, so instrumentation stays on in production paths.
+    Spans are gated by {!set_enabled} (default {b off}): a disabled
+    [Span.with_] costs a single boolean test and a closure call, nothing
+    is recorded. The benchmark harness verifies the <2% end-to-end delta
+    (the [obs_overhead_pct] key of BENCH_throughput.json). *)
+
+type registry
+
+val default : registry
+(** The process-wide registry. All handle constructors below default to
+    it; tests can build private registries to stay isolated. *)
+
+val create_registry : unit -> registry
+
+val set_enabled : bool -> unit
+(** Arm/disarm the span tracer (global, default off). Counters and gauges
+    are unaffected — they are always live. *)
+
+val is_enabled : unit -> bool
+
+val reset : ?registry:registry -> unit -> unit
+(** Zero every counter and gauge and clear every histogram. Names stay
+    registered; existing handles remain valid. *)
+
+(** {1 Handles} *)
+
+type counter
+
+val counter : ?registry:registry -> string -> counter
+(** Find-or-create. Raises [Invalid_argument] if the name is already
+    registered as a different metric kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+type gauge
+
+val gauge : ?registry:registry -> string -> gauge
+val set_gauge : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+val histogram : ?registry:registry -> string -> Util.Histogram.t
+(** Find-or-create; the handle is the histogram itself. *)
+
+(** {1 Spans}
+
+    A span measures one wall-clock interval. Spans nest: the full dotted
+    path of a span is its parent's path plus its own name, so
+    [with_ ~name:"recover.nvm" (fun () -> with_ ~name:"heap_scan" f)]
+    records into the histogram [span.recover.nvm.heap_scan]. Attached
+    counters ([attr]) land under the span's path
+    ([span.recover.nvm.heap_scan.blocks]).
+
+    When a trace sink is set, every completed span additionally emits one
+    greppable line:
+
+    {v SPAN recover.nvm.heap_scan wall_ns=184302 depth=1 blocks=211 v}
+
+    Spans record on exceptions too (the recovery code can die mid-phase
+    under crash-point fuzzing; the trace must still show the phase). *)
+
+module Span : sig
+  val with_ : ?registry:registry -> name:string -> (unit -> 'a) -> 'a
+  (** Run the thunk inside a span. No-op wrapper when disabled. *)
+
+  val attr : string -> int -> unit
+  (** Attach a named integer to the innermost open span: added to the
+      counter [span.<path>.<key>] and printed on the trace line. Silently
+      ignored with no open span (or when disabled). *)
+
+  val set_trace_file : string -> unit
+  (** Open (truncate) a trace sink; also enables the tracer. The channel
+      is flushed per line and closed at exit. *)
+
+  val set_trace_channel : out_channel option -> unit
+
+  val current_path : unit -> string option
+  (** Dotted path of the innermost open span, if any (test helper). *)
+end
+
+(** {1 Export} *)
+
+module Json : sig
+  (** Minimal JSON document builder (no external dependency). Strings are
+      escaped; floats print as finite decimals ([nan]/[inf] become 0). *)
+
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact, valid JSON. *)
+
+  val pretty : t -> string
+  (** Two-space indented. *)
+end
+
+val to_json : ?registry:registry -> unit -> Json.t
+(** Snapshot the registry as one JSON object: counters and gauges as
+    numbers, histograms as [{count, total, mean, min, p50, p95, p99,
+    max}] (empty histograms as [{count: 0}]). Keys are sorted. *)
+
+val render : ?registry:registry -> unit -> string
+(** The registry as a human-readable table (the [stats] subcommand and
+    the REPL [.stats] command print this). *)

@@ -108,7 +108,7 @@ let publish t =
   if t.size <> t.published then begin
     (* data first, then the length word: the length is the commit point.
        The leading fence is elided when nothing is awaiting write-back. *)
-    if Region.pending_writebacks t.region > 0 then Region.fence t.region;
+    Region.fence_if_pending t.region;
     Region.expect_ordered t.region ~label:"pvector.publish"
       ~before:[ (t.data + 8, t.size * 8) ]
       ~after:t.handle;
@@ -117,9 +117,9 @@ let publish t =
     Region.fence t.region;
     t.published <- t.size
   end
-  else if Region.pending_writebacks t.region > 0 then
+  else
     (* length unchanged but [set]/staged stores may be in flight *)
-    Region.fence t.region
+    Region.fence_if_pending t.region
 
 let truncate_volatile t n =
   if n < 0 || n > t.capacity then invalid_arg "Pvector.truncate_volatile";

@@ -515,14 +515,18 @@ let execute engine stmt =
              names)
   | Stats ->
       let s = Nvm.Region.stats (Engine.region engine) in
+      Engine.sync_metrics engine;
       Printf.sprintf
-        "last CID %Ld | data %s | device: %s stores, %s writebacks, %s fences, %s device time"
+        "last CID %Ld | data %s | device: %s stores, %s writebacks, %s fences \
+         (%s elided), %s device time\n%s"
         (Engine.last_cid engine)
         (Tabular.fmt_bytes (Engine.data_bytes engine))
         (Tabular.fmt_int s.Nvm.Region.stores)
         (Tabular.fmt_int s.Nvm.Region.writebacks)
         (Tabular.fmt_int s.Nvm.Region.fences)
+        (Tabular.fmt_int s.Nvm.Region.elided_fences)
         (Tabular.fmt_ns s.Nvm.Region.sim_ns)
+        (Obs.render ())
   | Create_table { table; schema } ->
       Engine.create_table engine ~name:table schema;
       Printf.sprintf "table %s created" table

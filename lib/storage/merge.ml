@@ -15,6 +15,7 @@ module Vmap = Map.Make (struct
 end)
 
 let run alloc table ~merge_cid =
+  Obs.Span.with_ ~name:"merge" @@ fun () ->
   let rows_in = Table.row_count table in
   let bytes_before = Table.nvm_bytes table in
   let schema = Table.schema table in
@@ -63,4 +64,6 @@ let run alloc table ~merge_cid =
       bytes_after = Table.nvm_bytes merged;
     }
   in
+  Obs.Span.attr "rows_in" rows_in;
+  Obs.Span.attr "rows_out" rows_out;
   (merged, stats, finalize)

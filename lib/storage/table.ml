@@ -389,7 +389,7 @@ let stage_publish_begin t = Pvector.publish_unfenced t.begin_v
 let fence t =
   (* a delete-only or no-op stage leaves nothing scheduled; fencing then
      would be pure latency *)
-  if Region.pending_writebacks t.region > 0 then Region.fence t.region
+  Region.fence_if_pending t.region
 
 let publish t =
   (* one fence covers staged row data and the secondary lengths; the
@@ -397,9 +397,9 @@ let publish t =
      published nothing (read-only commit, unchanged vectors) leaves
      nothing pending and its fence is elided. *)
   stage_publish_secondary t;
-  if Region.pending_writebacks t.region > 0 then Region.fence t.region;
+  Region.fence_if_pending t.region;
   stage_publish_begin t;
-  if Region.pending_writebacks t.region > 0 then Region.fence t.region
+  Region.fence_if_pending t.region
 
 let publish_each_vector t =
   Array.iter (fun col -> Pvector.publish col.delta_avec) t.cols;
@@ -434,7 +434,7 @@ let rollback_uncommitted t ~last_cid =
       incr touched
     end
   done;
-  if Region.pending_writebacks t.region > 0 then Region.fence t.region;
+  Region.fence_if_pending t.region;
   !touched
 
 (* -- introspection -- *)

@@ -4,6 +4,14 @@ module Cid = Storage.Cid
 exception Write_conflict of string
 exception Not_active of string
 
+(* Transaction-outcome tallies in the process-wide metrics registry.
+   Counter bumps are single [ref] increments — always on. *)
+let c_begin = Obs.counter "txn.begin"
+let c_commit = Obs.counter "txn.commit"
+let c_commit_readonly = Obs.counter "txn.commit_readonly"
+let c_abort = Obs.counter "txn.abort"
+let c_conflict = Obs.counter "txn.conflict"
+
 type event =
   | Ev_insert of { tid : int; table : Table.t; values : Storage.Value.t array }
   | Ev_commit of {
@@ -69,6 +77,7 @@ let begin_txn m =
   in
   m.next_tid <- m.next_tid + 1;
   Hashtbl.replace m.active t.tid t;
+  Obs.incr c_begin;
   t
 
 let tid t = t.tid
@@ -99,28 +108,27 @@ let insert m t table values =
   m.observer (Ev_insert { tid = t.tid; table; values });
   row
 
+let conflict fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Obs.incr c_conflict;
+      raise (Write_conflict msg))
+    fmt
+
 let claim m t table row =
   check_active t "claim";
   let k = key table row in
   (match Hashtbl.find_opt m.locks k with
   | Some owner when owner <> t.tid ->
-      raise
-        (Write_conflict
-           (Printf.sprintf "row %d of %s claimed by txn %d" row
-              (Table.name table) owner))
+      conflict "row %d of %s claimed by txn %d" row (Table.name table) owner
   | _ -> ());
   if not (row_visible t table row) then
-    raise
-      (Write_conflict
-         (Printf.sprintf "row %d of %s is not visible to txn %d" row
-            (Table.name table) t.tid));
+    conflict "row %d of %s is not visible to txn %d" row (Table.name table)
+      t.tid;
   (* a version invalidated by a committed-later transaction conflicts even
      though it may still be visible to our older snapshot *)
   if Table.end_cid table row <> Cid.infinity then
-    raise
-      (Write_conflict
-         (Printf.sprintf "row %d of %s already invalidated" row
-            (Table.name table)));
+    conflict "row %d of %s already invalidated" row (Table.name table);
   Hashtbl.replace m.locks k t.tid;
   t.invalidated <- (table, row) :: t.invalidated;
   Hashtbl.replace t.invalidated_set k ()
@@ -147,6 +155,7 @@ let commit m t =
     (* read-only: nothing to make durable *)
     t.state <- Committed;
     Hashtbl.remove m.active t.tid;
+    Obs.incr c_commit_readonly;
     t.snapshot
   end
   else begin
@@ -185,6 +194,7 @@ let commit m t =
     t.state <- Committed;
     release_locks m t;
     Hashtbl.remove m.active t.tid;
+    Obs.incr c_commit;
     cid
   end
 
@@ -193,4 +203,5 @@ let abort m t =
   t.state <- Aborted;
   release_locks m t;
   Hashtbl.remove m.active t.tid;
+  Obs.incr c_abort;
   m.observer (Ev_abort { tid = t.tid })

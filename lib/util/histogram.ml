@@ -51,8 +51,10 @@ let value_of_bucket b =
     let b = b - linear_cutoff in
     let exp = (b / sub_buckets) + 7 in
     let sub = b mod sub_buckets in
-    (* upper edge of the bucket *)
-    (1 lsl exp) + ((sub + 1) lsl (exp - sub_bucket_bits)) - 1
+    (* LOWER edge: the smallest value that maps to this bucket. Reporting
+       the upper edge overstates quantiles for exactly-representable
+       values (a distribution of pure 128s would report p50 = 129). *)
+    (1 lsl exp) + (sub lsl (exp - sub_bucket_bits))
 
 let record_n t v count =
   assert (count >= 0);
@@ -91,13 +93,19 @@ let percentile t p =
   let p = if p < 0.0 then 0.0 else if p > 100.0 then 100.0 else p in
   let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.count)) in
   let rank = if rank < 1 then 1 else rank in
-  let rec go b seen =
-    if b >= max_buckets then t.max_v
-    else
-      let seen = seen + t.buckets.(b) in
-      if seen >= rank then min (value_of_bucket b) t.max_v else go (b + 1) seen
-  in
-  go 0 0
+  (* the top order statistic is the recorded maximum, exactly *)
+  if rank >= t.count then t.max_v
+  else
+    let rec go b seen =
+      if b >= max_buckets then t.max_v
+      else
+        let seen = seen + t.buckets.(b) in
+        if seen >= rank then max (min (value_of_bucket b) t.max_v) t.min_v
+        else go (b + 1) seen
+    in
+    go 0 0
+
+let quantile t q = percentile t (q *. 100.0)
 
 let merge_into ~src ~dst =
   for b = 0 to max_buckets - 1 do

@@ -33,9 +33,15 @@ val mean : t -> float
 (** Arithmetic mean. Raises [Invalid_argument] if empty. *)
 
 val percentile : t -> float -> int
-(** [percentile t p] with [p] in [\[0, 100\]]: an upper bound on the value at
-    the given percentile, accurate to the bucket width. Raises
-    [Invalid_argument] if empty. *)
+(** [percentile t p] with [p] in [\[0, 100\]]: the value at the given
+    percentile, accurate to the bucket width (~1.6% relative), clamped to
+    the recorded [\[min, max\]]. Values below the linear cutoff (128) are
+    reported exactly; a percentile whose rank reaches the last observation
+    returns the exact maximum. Raises [Invalid_argument] if empty. *)
+
+val quantile : t -> float -> int
+(** [quantile t q] with [q] in [\[0, 1\]] — same as
+    [percentile t (q *. 100.)]. *)
 
 val merge_into : src:t -> dst:t -> unit
 (** Accumulate [src]'s observations into [dst]. *)

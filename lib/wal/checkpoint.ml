@@ -73,6 +73,7 @@ let decode data =
   end
 
 let write ?(on_step = fun _ -> ()) ~dir t =
+  Obs.Span.with_ ~name:"checkpoint_write" @@ fun () ->
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   let payload = encode t in
   on_step "checkpoint.encode";
@@ -97,6 +98,7 @@ let write ?(on_step = fun _ -> ()) ~dir t =
   String.length final
 
 let read ~dir =
+  Obs.Span.with_ ~name:"checkpoint_read" @@ fun () ->
   let p = path ~dir in
   if not (Sys.file_exists p) then None
   else begin

@@ -568,6 +568,101 @@ let test_vacuum_requires_quiescence () =
       ignore (E.vacuum e));
   E.abort e t
 
+(* -------- observability: recovery spans and metrics -------- *)
+
+let span_count name = Util.Histogram.count (Obs.histogram ("span." ^ name))
+
+let span_total name =
+  let h = Obs.histogram ("span." ^ name) in
+  if Util.Histogram.count h = 0 then 0 else Util.Histogram.total h
+
+let with_spans f =
+  let was = Obs.is_enabled () in
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect ~finally:(fun () -> Obs.set_enabled was) f
+
+(* span timestamps are ~us-granular; allow a little slack per phase when
+   comparing sums against the enclosing span *)
+let clock_slack = 10_000
+
+let check_phases parent phases =
+  Alcotest.(check int) (parent ^ " recorded once") 1 (span_count parent);
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (parent ^ "." ^ p ^ " recorded once")
+        1
+        (span_count (parent ^ "." ^ p)))
+    phases;
+  let sum = List.fold_left (fun a p -> a + span_total (parent ^ "." ^ p)) 0 phases in
+  let wall = span_total parent in
+  Alcotest.(check bool)
+    (Printf.sprintf "phase sum %d <= wall %d" sum wall)
+    true
+    (sum <= wall + (clock_slack * List.length phases))
+
+let test_nvm_recovery_spans () =
+  with_spans (fun () ->
+      let e = setup_kv (nvm_engine ()) in
+      fill e 20;
+      let t = E.begin_txn e in
+      ignore (E.insert e t "kv" (kv 999 "uncommitted"));
+      let _, stats = E.recover (E.crash e Region.Drop_unfenced) in
+      check_phases "recover.nvm" [ "heap_scan"; "attach"; "rollback" ];
+      match stats.E.detail with
+      | E.Rv_nvm { heap_open_ns; attach_ns; rollback_ns; rolled_back_rows; _ } ->
+          Alcotest.(check bool) "detail sum <= recovery wall" true
+            (heap_open_ns + attach_ns + rollback_ns <= stats.E.wall_ns);
+          Alcotest.(check int) "rollback rows attr matches detail"
+            rolled_back_rows
+            (Obs.counter_value (Obs.counter "span.recover.nvm.rollback.rows"))
+      | _ -> Alcotest.fail "wrong detail")
+
+let test_log_recovery_spans () =
+  with_spans (fun () ->
+      let e = setup_kv (log_engine ~group:1 ()) in
+      fill e 20;
+      ignore (E.checkpoint e);
+      fill_more e;
+      let _, stats = E.recover (E.crash e Region.Drop_unfenced) in
+      check_phases "recover.log"
+        [ "format"; "checkpoint_load"; "replay"; "reopen_log" ];
+      Alcotest.(check int) "checkpoint span recorded" 1 (span_count "checkpoint");
+      match stats.E.detail with
+      | E.Rv_log { checkpoint_rows; _ } ->
+          Alcotest.(check int) "checkpoint rows attr matches detail"
+            checkpoint_rows
+            (Obs.counter_value (Obs.counter "span.recover.log.checkpoint_load.rows"))
+      | _ -> Alcotest.fail "wrong detail")
+
+let test_spans_off_by_default () =
+  Obs.set_enabled false;
+  Obs.reset ();
+  let e = setup_kv (nvm_engine ()) in
+  fill e 5;
+  let _ = E.recover (E.crash e Region.Drop_unfenced) in
+  Alcotest.(check int) "nothing recorded when disarmed" 0
+    (span_count "recover.nvm")
+
+let test_txn_counters_and_gauges () =
+  let commits0 = Obs.counter_value (Obs.counter "txn.commit") in
+  let begins0 = Obs.counter_value (Obs.counter "txn.begin") in
+  let e = setup_kv (nvm_engine ()) in
+  fill e 5;
+  Alcotest.(check bool) "commit counter advanced" true
+    (Obs.counter_value (Obs.counter "txn.commit") - commits0 >= 5);
+  Alcotest.(check bool) "begin >= commit" true
+    (Obs.counter_value (Obs.counter "txn.begin") - begins0
+    >= Obs.counter_value (Obs.counter "txn.commit") - commits0);
+  E.sync_metrics e;
+  Alcotest.(check bool) "stores gauge mirrors the region" true
+    (Obs.gauge_value (Obs.gauge "nvm.stores") > 0);
+  Alcotest.(check int) "no active txns" 0
+    (Obs.gauge_value (Obs.gauge "engine.active_txns"));
+  Alcotest.(check bool) "data bytes gauge set" true
+    (Obs.gauge_value (Obs.gauge "engine.data_bytes") > 0)
+
 let () =
   Alcotest.run "engine"
     [
@@ -614,6 +709,15 @@ let () =
             test_vacuum_reclaims_crash_leaks;
           Alcotest.test_case "requires quiescence" `Quick
             test_vacuum_requires_quiescence;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "nvm recovery spans" `Quick test_nvm_recovery_spans;
+          Alcotest.test_case "log recovery spans" `Quick test_log_recovery_spans;
+          Alcotest.test_case "spans off by default" `Quick
+            test_spans_off_by_default;
+          Alcotest.test_case "txn counters + gauges" `Quick
+            test_txn_counters_and_gauges;
         ] );
       ( "crash-fuzz",
         [

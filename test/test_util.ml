@@ -120,6 +120,40 @@ let test_histogram_accuracy () =
   Alcotest.(check bool) "2% relative accuracy" true
     (p >= v && float_of_int (p - v) /. float_of_int v < 0.02)
 
+let test_histogram_quantile_exact () =
+  (* a single repeated value is reported exactly at every quantile — in
+     particular around the 127/128 linear->log bucket boundary, where
+     upper-edge reporting used to answer 129 for a distribution of pure
+     128s *)
+  List.iter
+    (fun v ->
+      let h = Histogram.create () in
+      for _ = 1 to 100 do
+        Histogram.record h v
+      done;
+      Alcotest.(check int) "p50 exact" v (Histogram.percentile h 50.0);
+      Alcotest.(check int) "p99 exact" v (Histogram.percentile h 99.0);
+      Alcotest.(check int) "p100 = max" v (Histogram.percentile h 100.0);
+      Alcotest.(check int) "quantile = percentile" v (Histogram.quantile h 0.5))
+    [ 1; 127; 128; 129; 1000; 1_000_000 ]
+
+let test_histogram_quantile_boundary_mix () =
+  (* 3x127 + 1x128 straddles the linear cutoff *)
+  let h = Histogram.create () in
+  Histogram.record_n h 127 3;
+  Histogram.record h 128;
+  Alcotest.(check int) "p50" 127 (Histogram.percentile h 50.0);
+  Alcotest.(check int) "p75" 127 (Histogram.percentile h 75.0);
+  Alcotest.(check int) "p99 = max" 128 (Histogram.percentile h 99.0);
+  Alcotest.(check int) "max" 128 (Histogram.max_value h);
+  (* 128 and 129 share a log bucket: its representative is the LOWER
+     edge, so p50 must not overstate to 129 *)
+  let h2 = Histogram.create () in
+  Histogram.record h2 128;
+  Histogram.record h2 129;
+  Alcotest.(check int) "lower edge, not upper" 128 (Histogram.percentile h2 50.0);
+  Alcotest.(check int) "top rank is exact max" 129 (Histogram.percentile h2 100.0)
+
 let test_histogram_merge () =
   let a = Histogram.create () and b = Histogram.create () in
   Histogram.record a 10;
@@ -223,6 +257,9 @@ let () =
           Alcotest.test_case "percentile monotone" `Quick
             test_histogram_percentile_monotone;
           Alcotest.test_case "bucket accuracy" `Quick test_histogram_accuracy;
+          Alcotest.test_case "quantiles exact" `Quick test_histogram_quantile_exact;
+          Alcotest.test_case "linear/log boundary" `Quick
+            test_histogram_quantile_boundary_mix;
           Alcotest.test_case "merge" `Quick test_histogram_merge;
           Alcotest.test_case "clear" `Quick test_histogram_clear;
           QCheck_alcotest.to_alcotest prop_histogram_percentile_bounds;
