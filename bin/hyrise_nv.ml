@@ -319,6 +319,25 @@ let stats size_mb seed ops trace =
         })
     ~checkpoint_midway:true "recover.log"
     [ "format"; "checkpoint_load"; "replay"; "reopen_log" ];
+  (* exercise the block scan engine (main + delta) so the scan.* counters
+     and the scan.block_ns histogram show up in the registry dump *)
+  (let rng = Prng.create (Int64.of_int (seed + 13)) in
+   let engine =
+     Engine.create (Engine.default_config ~size:(size_mb * mib) Engine.Nvm)
+   in
+   let sess =
+     Ycsb.setup engine (Prng.split rng) { Ycsb.default_config with rows }
+   in
+   ignore sess;
+   ignore (Engine.merge engine Ycsb.table_name);
+   ignore (Ycsb.run (Ycsb.attach engine Ycsb.default_config) (Prng.split rng) ~ops:(ops / 4));
+   Engine.with_txn engine (fun txn ->
+       let n =
+         Engine.count_where engine txn Ycsb.table_name
+           [ ("key", Query.Predicate.Cmp (Query.Predicate.Le, Storage.Value.Int (rows / 100))) ]
+       in
+       Printf.printf "block scan over %s: %d of %d rows match key <= %d\n\n"
+         Ycsb.table_name n rows (rows / 100)));
   print_string (Obs.render ())
 
 let stats_cmd =

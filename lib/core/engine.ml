@@ -263,17 +263,17 @@ let sum_int t txn name ~col =
 let to_filters fs =
   List.map (fun (col, pred) -> { Query.Scan.col; pred }) fs
 
-let where t txn name fs =
+let where ?impl t txn name fs =
   check_open t;
-  Query.Scan.select txn (table t name) ~filters:(to_filters fs)
+  Query.Scan.select ?impl txn (table t name) ~filters:(to_filters fs)
 
-let count_where t txn name fs =
+let count_where ?impl t txn name fs =
   check_open t;
-  Query.Scan.count txn (table t name) ~filters:(to_filters fs)
+  Query.Scan.count ?impl txn (table t name) ~filters:(to_filters fs)
 
-let aggregate t txn name ?group_by ~specs ?(filters = []) () =
+let aggregate ?impl t txn name ?group_by ~specs ?(filters = []) () =
   check_open t;
-  Query.Aggregate.run txn (table t name) ?group_by ~specs
+  Query.Aggregate.run ?impl txn (table t name) ?group_by ~specs
     ~filters:(to_filters filters) ()
 
 (* -- merge / checkpoint -- *)

@@ -106,17 +106,22 @@ val sum_int : t -> txn -> string -> col:string -> int
 
     Dictionary-accelerated scans: predicates are compiled to value-id
     tests per partition (interval on the sorted main dictionary, set on
-    the delta), so the hot loop reads only attribute-vector integers. *)
+    the delta), so the hot loop reads only attribute-vector integers.
+    [?impl] picks the scan engine ({!Query.Scan.impl}, default the
+    block-at-a-time engine); results are identical either way. *)
 
 val where :
+  ?impl:Query.Scan.impl ->
   t -> txn -> string -> (string * Query.Predicate.t) list ->
   (int * Storage.Value.t array) list
 (** Visible rows satisfying the conjunction of per-column predicates. *)
 
 val count_where :
+  ?impl:Query.Scan.impl ->
   t -> txn -> string -> (string * Query.Predicate.t) list -> int
 
 val aggregate :
+  ?impl:Query.Scan.impl ->
   t -> txn -> string ->
   ?group_by:string ->
   specs:Query.Aggregate.spec list ->

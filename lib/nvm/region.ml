@@ -261,14 +261,19 @@ let set_u8 t off v =
   end;
   trace_store t off 1
 
-let read_bytes t off len =
-  check_range t off len "read_bytes";
+let read_into_bytes t off dst dpos len =
+  check_range t off len "read_into_bytes";
+  if dpos < 0 || dpos + len > Bytes.length dst then
+    invalid_arg "Region.read_into_bytes: destination range";
   t.loads <- t.loads + ((len + 7) / 8);
   t.sim_ns <- t.sim_ns + (t.load_ns * ((len + 7) / 8));
   trace_load t off len;
+  if not t.persist_enabled then Bytes.blit t.media off dst dpos len
+  else read_into t off len dst dpos
+
+let read_bytes t off len =
   let dst = Bytes.create len in
-  if not t.persist_enabled then Bytes.blit t.media off dst 0 len
-  else read_into t off len dst 0;
+  read_into_bytes t off dst 0 len;
   dst
 
 let write_bytes t off b =

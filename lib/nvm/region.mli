@@ -64,6 +64,14 @@ val set_u8 : t -> int -> int -> unit
 val read_bytes : t -> int -> int -> bytes
 (** [read_bytes t off len] copies a byte range out of the volatile view. *)
 
+val read_into_bytes : t -> int -> bytes -> int -> int -> unit
+(** [read_into_bytes t off dst dpos len] — [read_bytes] into a caller
+    buffer at [dpos], with no allocation. The bulk-decode path of the
+    block scan engine: one call covers a whole block, so the per-word
+    bookkeeping of [get_i64] (range check, cache-line probe, trace hook)
+    is paid once per line instead of twice per row. Load accounting is
+    identical to [read_bytes] ([ceil(len/8)] loads). *)
+
 val write_bytes : t -> int -> bytes -> unit
 (** [write_bytes t off b] stores a byte range. Not atomic: persistence of
     the range requires [persist], and a crash can tear it at 8-byte

@@ -11,6 +11,8 @@ type t = {
   handle : int;
   length : int;
   bits : int;
+  mutable scratch : Bytes.t;
+      (* reusable staging buffer for block decodes, grown on demand *)
 }
 
 let bits_needed max_v =
@@ -51,7 +53,7 @@ let build alloc values =
   if words > 0 then Region.write_bytes region (handle + 16) buf;
   Region.persist region handle (16 + (words * 8));
   A.activate alloc handle;
-  { region; alloc; handle; length = n; bits }
+  { region; alloc; handle; length = n; bits; scratch = Bytes.create 0 }
 
 let attach alloc handle =
   let region = A.region alloc in
@@ -61,6 +63,7 @@ let attach alloc handle =
     handle;
     length = Region.get_int region handle;
     bits = Region.get_int region (handle + 8);
+    scratch = Bytes.create 0;
   }
 
 let handle t = t.handle
@@ -90,7 +93,72 @@ let get t i =
     Int64.to_int (Int64.logand v (Int64.sub (Int64.shift_left 1L t.bits) 1L))
   end
 
-let to_array t = Array.init t.length (get t)
+let unpack_into t ~pos ~len dst =
+  if pos < 0 || len < 0 || pos + len > t.length then
+    invalid_arg
+      (Printf.sprintf "Pbitvec.unpack_into: range [%d,+%d) out of %d" pos len
+         t.length);
+  if Array.length dst < len then
+    invalid_arg "Pbitvec.unpack_into: destination too small";
+  if len > 0 then begin
+    if t.bits = 0 then Array.fill dst 0 len 0
+    else begin
+      (* one bulk read of every word the range touches, then pure in-DRAM
+         shifts — the row loop below never goes back to the region. The
+         scratch carries 7 pad bytes so the decode windows below stay in
+         bounds; pad contents are masked off. *)
+      let first_word = pos * t.bits / 64 in
+      let last_word = (((pos + len) * t.bits) - 1) / 64 in
+      let nbytes = (last_word - first_word + 1) * 8 in
+      if Bytes.length t.scratch < nbytes + 7 then
+        t.scratch <- Bytes.create (nbytes + 7);
+      Region.read_into_bytes t.region
+        (t.handle + 16 + (first_word * 8))
+        t.scratch 0 nbytes;
+      let buf = t.scratch in
+      let base_bit = first_word * 64 in
+      if t.bits <= 55 then begin
+        (* native-int decode: an entry of <= 55 bits starting at bit r of
+           its first byte (r <= 7) ends at window bit r+54 <= 61, so the
+           8-byte little-endian window at that byte covers it even after
+           Int64.to_int drops bit 63 — the loop runs without a single
+           boxed Int64 operation (the compiler has no flambda to unbox
+           the two-word arithmetic of the general path below) *)
+        let mask = (1 lsl t.bits) - 1 in
+        for i = 0 to len - 1 do
+          let bit = ((pos + i) * t.bits) - base_bit in
+          let byte = bit lsr 3 and r = bit land 7 in
+          dst.(i) <- (Int64.to_int (Bytes.get_int64_le buf byte) lsr r) land mask
+        done
+      end
+      else begin
+        let mask = Int64.sub (Int64.shift_left 1L t.bits) 1L in
+        for i = 0 to len - 1 do
+          let bit = ((pos + i) * t.bits) - base_bit in
+          let word = bit lsr 6 and shift = bit land 63 in
+          let lo =
+            Int64.shift_right_logical (Bytes.get_int64_le buf (word * 8)) shift
+          in
+          let v =
+            if shift + t.bits > 64 then
+              Int64.logor lo
+                (Int64.shift_left
+                   (Bytes.get_int64_le buf ((word + 1) * 8))
+                   (64 - shift))
+            else lo
+          in
+          dst.(i) <- Int64.to_int (Int64.logand v mask)
+        done
+      end
+    end
+  end
+
+let get_block t ~pos ~len =
+  let dst = Array.make len 0 in
+  unpack_into t ~pos ~len dst;
+  dst
+
+let to_array t = get_block t ~pos:0 ~len:t.length
 
 let destroy t = A.free t.alloc t.handle
 

@@ -24,7 +24,20 @@ val bits : t -> int
 
 val get : t -> int -> int
 
+val unpack_into : t -> pos:int -> len:int -> int array -> unit
+(** [unpack_into t ~pos ~len dst] decodes entries [pos, pos+len) into
+    [dst.(0 .. len-1)]. The words covering the range are read from the
+    region {e once} (one bulk read) and decoded with in-DRAM shifts, so a
+    block of rows costs [ceil(len*bits/64)] region loads instead of the
+    one-to-two per row that [get] pays — the access-pattern batching the
+    block scan engine is built on. [dst] is caller-provided and reusable;
+    entries beyond [len] are untouched. *)
+
+val get_block : t -> pos:int -> len:int -> int array
+(** Allocating variant of [unpack_into]. *)
+
 val to_array : t -> int array
+(** [get_block ~pos:0 ~len:(length t)]. *)
 
 val destroy : t -> unit
 

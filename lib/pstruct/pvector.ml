@@ -18,6 +18,7 @@ type t = {
   mutable capacity : int;
   mutable size : int; (* volatile length *)
   mutable published : int; (* volatile mirror of the durable length word *)
+  mutable scratch : Bytes.t; (* reusable staging buffer for block reads *)
 }
 
 let elem_off data i = data + 8 + (i * 8)
@@ -34,14 +35,32 @@ let create ?(capacity = 8) alloc =
   Region.set_int region (handle + 8) data;
   Region.persist region handle 16;
   A.activate alloc handle;
-  { alloc; region; handle; data; capacity; size = 0; published = 0 }
+  {
+    alloc;
+    region;
+    handle;
+    data;
+    capacity;
+    size = 0;
+    published = 0;
+    scratch = Bytes.create 0;
+  }
 
 let attach alloc handle =
   let region = A.region alloc in
   let size = Region.get_int region handle in
   let data = Region.get_int region (handle + 8) in
   let capacity = Region.get_int region data in
-  { alloc; region; handle; data; capacity; size; published = size }
+  {
+    alloc;
+    region;
+    handle;
+    data;
+    capacity;
+    size;
+    published = size;
+    scratch = Bytes.create 0;
+  }
 
 let handle t = t.handle
 let length t = t.size
@@ -57,6 +76,10 @@ let get t i =
 
 let get_int t i = Int64.to_int (get t i)
 
+let get_int_sat t i =
+  let v = Int64.to_int (get t i) in
+  if v < 0 then max_int else v
+
 let set t i v =
   check_index t i "set";
   let off = elem_off t.data i in
@@ -64,6 +87,43 @@ let set t i v =
   Region.writeback t.region off 8
 
 let set_int t i v = set t i (Int64.of_int v)
+
+let check_block t pos len fn =
+  if pos < 0 || len < 0 || pos + len > t.size then
+    invalid_arg
+      (Printf.sprintf "Pvector.%s: range [%d,+%d) out of %d" fn pos len t.size)
+
+(* One bulk region read per block, then in-DRAM decodes: a block of [len]
+   elements costs [len] accounted loads but only one range check, one
+   cache-line walk and one trace hook — the per-element bookkeeping [get]
+   pays disappears. *)
+let read_block t pos len fn =
+  check_block t pos len fn;
+  let nbytes = len * 8 in
+  if Bytes.length t.scratch < nbytes then t.scratch <- Bytes.create nbytes;
+  if len > 0 then
+    Region.read_into_bytes t.region (elem_off t.data pos) t.scratch 0 nbytes;
+  t.scratch
+
+let read_into_int t ~pos ~len dst =
+  if Array.length dst < len then
+    invalid_arg "Pvector.read_into_int: destination too small";
+  let buf = read_block t pos len "read_into_int" in
+  for i = 0 to len - 1 do
+    dst.(i) <- Int64.to_int (Bytes.get_int64_le buf (i * 8))
+  done
+
+let read_into_int_sat t ~pos ~len dst =
+  if Array.length dst < len then
+    invalid_arg "Pvector.read_into_int_sat: destination too small";
+  let buf = read_block t pos len "read_into_int_sat" in
+  for i = 0 to len - 1 do
+    (* words at or above 2^62 — Cid.infinity above all — truncate to a
+       negative int; saturate them to max_int so native-int ordering
+       matches the stored 64-bit ordering *)
+    let v = Int64.to_int (Bytes.get_int64_le buf (i * 8)) in
+    dst.(i) <- (if v < 0 then max_int else v)
+  done
 
 let grow t =
   let new_cap = t.capacity * 2 in

@@ -40,11 +40,29 @@ val get : t -> int -> int64
 
 val get_int : t -> int -> int
 
+val get_int_sat : t -> int -> int
+(** [get_int] with the saturated decode of {!read_into_int_sat}: words at
+    or above [2^62] become [max_int]. The block scan engine's sparse-gather
+    path for CID vectors. *)
+
 val set : t -> int -> int64 -> unit
 (** In-place update + scheduled write-back (no fence). Used for MVCC
     end-CID invalidations. *)
 
 val set_int : t -> int -> int -> unit
+
+val read_into_int : t -> pos:int -> len:int -> int array -> unit
+(** [read_into_int t ~pos ~len dst] copies elements [pos, pos+len) into
+    [dst.(0 .. len-1)] with one bulk region read, decoding each word as
+    an OCaml int (truncating bit 63) — the block scan engine's path for
+    delta attribute vectors. [dst] is caller-provided and reusable;
+    entries beyond [len] are untouched. *)
+
+val read_into_int_sat : t -> pos:int -> len:int -> int array -> unit
+(** [read_into_int] with saturation: words at or above [2^62] decode to
+    [max_int], so native-int comparisons preserve the stored 64-bit
+    ordering. The block engine's path for MVCC CID vectors, whose only
+    huge value is the [Cid.infinity] sentinel. *)
 
 val append : t -> int64 -> int
 (** [append t v] stores [v] past the end and returns its index. Scheduled

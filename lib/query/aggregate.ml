@@ -24,7 +24,7 @@ let numeric = function
 
 let col_of table name = Schema.find_column (Table.schema table) name
 
-let run txn table ?group_by ~specs ~filters () =
+let run ?impl txn table ?group_by ~specs ~filters () =
   let key_col = Option.map (col_of table) group_by in
   let spec_cols =
     List.map
@@ -36,41 +36,62 @@ let run txn table ?group_by ~specs ~filters () =
         | Max c -> (Max c, col_of table c))
       specs
   in
+  (* each spec becomes one fold closure, compiled once: the per-row loop
+     is a closure-array walk with no spec dispatch or list traversal *)
+  let folds =
+    Array.of_list
+      (List.map
+         (fun (spec, ci) ->
+           match spec with
+           | Count -> fun (a : acc) _r -> a.count <- a.count + 1
+           | Sum _ | Avg _ ->
+               fun a r ->
+                 a.count <- a.count + 1;
+                 a.sum <- a.sum +. numeric (Table.get table r ci)
+           | Min _ ->
+               fun a r ->
+                 a.count <- a.count + 1;
+                 let v = Table.get table r ci in
+                 a.minv <-
+                   (match a.minv with
+                   | None -> Some v
+                   | Some m -> if Value.compare v m < 0 then Some v else Some m)
+           | Max _ ->
+               fun a r ->
+                 a.count <- a.count + 1;
+                 let v = Table.get table r ci in
+                 a.maxv <-
+                   (match a.maxv with
+                   | None -> Some v
+                   | Some m -> if Value.compare v m > 0 then Some v else Some m))
+         spec_cols)
+  in
+  let nspecs = Array.length folds in
   let groups : (Value.t option, acc array) Hashtbl.t = Hashtbl.create 16 in
   let get_group k =
     match Hashtbl.find_opt groups k with
     | Some a -> a
     | None ->
         let a =
-          Array.init (List.length specs) (fun _ ->
+          Array.init nspecs (fun _ ->
               { count = 0; sum = 0.0; minv = None; maxv = None })
         in
         Hashtbl.replace groups k a;
         a
   in
-  Scan.run txn table ~filters (fun r ->
-      let k = Option.map (fun ci -> Table.get table r ci) key_col in
-      let accs = get_group k in
-      List.iteri
-        (fun i (spec, ci) ->
-          let a = accs.(i) in
-          a.count <- a.count + 1;
-          match spec with
-          | Count -> ()
-          | Sum _ | Avg _ -> a.sum <- a.sum +. numeric (Table.get table r ci)
-          | Min _ ->
-              let v = Table.get table r ci in
-              a.minv <-
-                (match a.minv with
-                | None -> Some v
-                | Some m -> if Value.compare v m < 0 then Some v else Some m)
-          | Max _ ->
-              let v = Table.get table r ci in
-              a.maxv <-
-                (match a.maxv with
-                | None -> Some v
-                | Some m -> if Value.compare v m > 0 then Some v else Some m))
-        spec_cols);
+  (* ungrouped aggregation has exactly one accumulator set — resolve it
+     outside the row loop *)
+  let ungrouped = if key_col = None then Some (get_group None) else None in
+  Scan.run ?impl txn table ~filters (fun r ->
+      let accs =
+        match ungrouped with
+        | Some accs -> accs
+        | None ->
+            get_group (Option.map (fun ci -> Table.get table r ci) key_col)
+      in
+      for i = 0 to nspecs - 1 do
+        folds.(i) accs.(i) r
+      done);
   let cell spec a =
     match spec with
     | Count -> Num (float_of_int a.count)

@@ -1,8 +1,10 @@
 (** Grouped aggregation over filtered scans.
 
     Runs a {!Scan} and folds each surviving row into per-group
-    accumulators. Numeric aggregates accept [Int] and [Float] columns
-    (results as floats); [Min]/[Max] work on any type by semantic
+    accumulators. The spec list is compiled once per call into an array
+    of fold closures — the per-row cost is a closure-array walk, with no
+    per-row spec dispatch. Numeric aggregates accept [Int] and [Float]
+    columns (results as floats); [Min]/[Max] work on any type by semantic
     comparison. *)
 
 type spec =
@@ -22,6 +24,7 @@ type result = {
 }
 
 val run :
+  ?impl:Scan.impl ->
   Txn.Mvcc.txn ->
   Storage.Table.t ->
   ?group_by:string ->
@@ -29,5 +32,7 @@ val run :
   filters:Scan.filter list ->
   unit ->
   result
+(** [?impl] selects the scan engine (default [`Block]); results are
+    identical either way. *)
 
 val cell_to_string : cell -> string

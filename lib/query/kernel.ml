@@ -1,0 +1,89 @@
+(* Selection-vector kernels over decoded value-id blocks.
+
+   A selection vector holds block-local positions of surviving rows in
+   ascending order. Kernels are branch-free where it pays: the store
+   happens unconditionally and the write cursor advances by the predicate
+   outcome, so the hot Vid_range loop compiles to compares and adds with
+   no data-dependent branch. *)
+
+type sel = { mutable data : int array; mutable len : int }
+
+let create capacity = { data = Array.make (max capacity 1) 0; len = 0 }
+
+(* Relative evaluation cost per row, for cheapest-predicate-first
+   ordering: short-circuits are free, range compares beat hashtable
+   probes. *)
+let cost = function
+  | Predicate.Nothing | Predicate.Everything -> 0
+  | Predicate.Vid_range _ -> 1
+  | Predicate.Vid_set _ | Predicate.Vid_complement _ -> 2
+
+let fill_all sel count =
+  let d = sel.data in
+  for i = 0 to count - 1 do
+    d.(i) <- i
+  done;
+  sel.len <- count
+
+let eval_into c vids ~count sel =
+  match c with
+  | Predicate.Nothing -> sel.len <- 0
+  | Predicate.Everything -> fill_all sel count
+  | Predicate.Vid_range (lo, hi) ->
+      let d = sel.data in
+      let n = ref 0 in
+      for i = 0 to count - 1 do
+        let v = vids.(i) in
+        d.(!n) <- i;
+        n := !n + Bool.to_int (lo <= v && v <= hi)
+      done;
+      sel.len <- !n
+  | Predicate.Vid_set s ->
+      let d = sel.data in
+      let n = ref 0 in
+      for i = 0 to count - 1 do
+        d.(!n) <- i;
+        n := !n + Bool.to_int (Hashtbl.mem s vids.(i))
+      done;
+      sel.len <- !n
+  | Predicate.Vid_complement s ->
+      let d = sel.data in
+      let n = ref 0 in
+      for i = 0 to count - 1 do
+        d.(!n) <- i;
+        n := !n + Bool.to_int (not (Hashtbl.mem s vids.(i)))
+      done;
+      sel.len <- !n
+
+let refine c vids sel =
+  match c with
+  | Predicate.Everything -> ()
+  | Predicate.Nothing -> sel.len <- 0
+  | Predicate.Vid_range (lo, hi) ->
+      let d = sel.data in
+      let n = ref 0 in
+      for k = 0 to sel.len - 1 do
+        let p = d.(k) in
+        let v = vids.(p) in
+        d.(!n) <- p;
+        n := !n + Bool.to_int (lo <= v && v <= hi)
+      done;
+      sel.len <- !n
+  | Predicate.Vid_set s ->
+      let d = sel.data in
+      let n = ref 0 in
+      for k = 0 to sel.len - 1 do
+        let p = d.(k) in
+        d.(!n) <- p;
+        n := !n + Bool.to_int (Hashtbl.mem s vids.(p))
+      done;
+      sel.len <- !n
+  | Predicate.Vid_complement s ->
+      let d = sel.data in
+      let n = ref 0 in
+      for k = 0 to sel.len - 1 do
+        let p = d.(k) in
+        d.(!n) <- p;
+        n := !n + Bool.to_int (not (Hashtbl.mem s vids.(p)))
+      done;
+      sel.len <- !n

@@ -1,0 +1,37 @@
+(** Selection-vector kernels: the block scan engine's inner loops.
+
+    A kernel evaluates one compiled predicate ({!Predicate.compiled}) over
+    a block of decoded value-ids, producing or refining a {e selection
+    vector} — the block-local positions of rows that survive, in ascending
+    order. Conjunctions are evaluated by running [eval_into] for the first
+    (cheapest) predicate and [refine] for the rest, so each successive
+    predicate only touches rows still alive.
+
+    The hot loops use the store-then-conditionally-advance idiom
+    ([d.(!n) <- i; n := !n + Bool.to_int test]): no data-dependent branch,
+    which is what makes low-selectivity scans cheap. *)
+
+type sel = { mutable data : int array; mutable len : int }
+(** [data.(0 .. len-1)] are surviving block-local positions, ascending.
+    Entries beyond [len] are garbage. *)
+
+val create : int -> sel
+(** [create capacity] — an empty selection vector able to hold a block of
+    [capacity] rows. Reused across blocks. *)
+
+val cost : Predicate.compiled -> int
+(** Relative per-row evaluation cost, for cheapest-predicate-first
+    ordering: 0 for [Nothing]/[Everything] (short-circuits), 1 for
+    [Vid_range] (two integer compares), 2 for the hashtable forms. *)
+
+val fill_all : sel -> int -> unit
+(** Identity selection of a [count]-row block (the no-predicate scan). *)
+
+val eval_into : Predicate.compiled -> int array -> count:int -> sel -> unit
+(** [eval_into c vids ~count sel] evaluates [c] over [vids.(0..count-1)]
+    and overwrites [sel] with the matching positions. *)
+
+val refine : Predicate.compiled -> int array -> sel -> unit
+(** Conjunctive step: keep only the selected positions whose value-id also
+    satisfies [c]. In place; [vids] is indexed by the selected positions,
+    so it must cover the same block [sel] was built from. *)

@@ -1,13 +1,41 @@
 (** Filtered table scans in value-id space.
 
     A scan compiles every filter once per partition ({!Predicate}), then
-    streams the attribute vectors: bit-packed integer reads on the main,
-    plain integer reads on the delta — values are decoded only for rows
-    that pass every filter and the MVCC visibility test. *)
+    filters the attribute vectors and applies MVCC visibility. Two
+    engines share that contract:
+
+    - [`Block] (default) — block-at-a-time: 1024-row blocks are
+      bulk-decoded with one region read per column ({!Pstruct.Pbitvec}
+      word-wise unpacking on the main, {!Pstruct.Pvector} block reads on
+      the delta), predicates run cheapest-first as selection-vector
+      kernels ({!Kernel}), and visibility is one batched pass over
+      bulk-read CID vectors — skipped entirely for blocks the filters
+      emptied. Visibility is block-granular: CIDs are read before the
+      callback runs over a block, so a callback mutating rows of the same
+      block would not see its own effect until the next block (nothing in
+      the engine does this).
+    - [`Row] — the row-at-a-time reference engine (one to two region
+      reads per row per predicate, per-row visibility); kept as the
+      oracle the block engine is differentially tested and benchmarked
+      against.
+
+    Both engines observe [delta_rows] once at scan start, so rows
+    appended mid-scan are never delivered.
+
+    Metrics (always-on counters): [scan.blocks], [scan.rows_in] (rows
+    entering filter kernels), [scan.rows_out] (rows delivered). With the
+    tracer armed ({!Obs.set_enabled}), per-block wall time lands in the
+    [scan.block_ns] histogram. *)
 
 type filter = { col : string; pred : Predicate.t }
 
+type impl = [ `Block | `Row ]
+
+val block_rows : int
+(** Rows per block of the block engine (1024). *)
+
 val run :
+  ?impl:impl ->
   Txn.Mvcc.txn ->
   Storage.Table.t ->
   filters:filter list ->
@@ -17,10 +45,12 @@ val run :
     row order. *)
 
 val select :
+  ?impl:impl ->
   Txn.Mvcc.txn ->
   Storage.Table.t ->
   filters:filter list ->
   (int * Storage.Value.t array) list
 (** Materialized variant. *)
 
-val count : Txn.Mvcc.txn -> Storage.Table.t -> filters:filter list -> int
+val count :
+  ?impl:impl -> Txn.Mvcc.txn -> Storage.Table.t -> filters:filter list -> int

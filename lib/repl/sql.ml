@@ -516,9 +516,12 @@ let execute engine stmt =
   | Stats ->
       let s = Nvm.Region.stats (Engine.region engine) in
       Engine.sync_metrics engine;
+      let c name = Obs.counter_value (Obs.counter name) in
       Printf.sprintf
         "last CID %Ld | data %s | device: %s stores, %s writebacks, %s fences \
-         (%s elided), %s device time\n%s"
+         (%s elided), %s device time\n\
+         scans (block engine): %s blocks, %s rows in -> %s rows out\n\
+         %s"
         (Engine.last_cid engine)
         (Tabular.fmt_bytes (Engine.data_bytes engine))
         (Tabular.fmt_int s.Nvm.Region.stores)
@@ -526,6 +529,9 @@ let execute engine stmt =
         (Tabular.fmt_int s.Nvm.Region.fences)
         (Tabular.fmt_int s.Nvm.Region.elided_fences)
         (Tabular.fmt_ns s.Nvm.Region.sim_ns)
+        (Tabular.fmt_int (c "scan.blocks"))
+        (Tabular.fmt_int (c "scan.rows_in"))
+        (Tabular.fmt_int (c "scan.rows_out"))
         (Obs.render ())
   | Create_table { table; schema } ->
       Engine.create_table engine ~name:table schema;

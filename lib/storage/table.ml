@@ -445,6 +445,45 @@ let main_vid t i r = Pbitvec.get t.cols.(i).main_avec r
 
 let delta_vid t i p = Pvector.get_int t.cols.(i).delta_avec p
 
+(* -- block accessors (the vectorized scan path) -- *)
+
+let main_vids_into t i ~pos ~len dst =
+  Pbitvec.unpack_into t.cols.(i).main_avec ~pos ~len dst
+
+let delta_vids_into t i ~pos ~len dst =
+  Pvector.read_into_int t.cols.(i).delta_avec ~pos ~len dst
+
+let main_end_cids_into t ~pos ~len dst =
+  Pvector.read_into_int_sat t.main_end ~pos ~len dst
+
+let delta_begin_cids_into t ~pos ~len dst =
+  Pvector.read_into_int_sat t.begin_v ~pos ~len dst
+
+let delta_end_cids_into t ~pos ~len dst =
+  Pvector.read_into_int_sat t.end_v ~pos ~len dst
+
+(* Sparse gathers: when a block's predicates leave few survivors, reading
+   only their CIDs costs [n] accounted loads instead of the bulk read's
+   one per row — the block engine picks per block. *)
+
+let main_end_cids_gather t ~pos sel n dst =
+  for k = 0 to n - 1 do
+    let p = sel.(k) in
+    dst.(p) <- Pvector.get_int_sat t.main_end (pos + p)
+  done
+
+let delta_begin_cids_gather t ~pos sel n dst =
+  for k = 0 to n - 1 do
+    let p = sel.(k) in
+    dst.(p) <- Pvector.get_int_sat t.begin_v (pos + p)
+  done
+
+let delta_end_cids_gather t ~pos sel n dst =
+  for k = 0 to n - 1 do
+    let p = sel.(k) in
+    dst.(p) <- Pvector.get_int_sat t.end_v (pos + p)
+  done
+
 let main_dict_value t i vid =
   Value.decode t.alloc t.cols.(i).cschema.Schema.ty
     (Pvector.get t.cols.(i).main_dict vid)

@@ -130,6 +130,42 @@ val main_vid : t -> int -> row -> int
 val delta_vid : t -> int -> int -> int
 (** [delta_vid t col i] — value-id of the [i]-th delta row. *)
 
+(** {2 Block accessors}
+
+    The vectorized scan engine decodes a block of rows with one bulk
+    region read per column instead of one to two [get_i64] per row. All
+    destinations are caller-provided and reusable across blocks; [pos] is
+    partition-local (main row index, or delta index for the delta
+    variants). CIDs decode as {e saturated native ints} ([Cid.infinity]
+    and anything at or above [2^62] become [max_int]) so visibility runs
+    on unboxed integer compares. *)
+
+val main_vids_into : t -> int -> pos:int -> len:int -> int array -> unit
+(** [main_vids_into t col ~pos ~len dst] — bulk-decode main value-ids
+    [pos, pos+len) into [dst.(0 .. len-1)]. *)
+
+val delta_vids_into : t -> int -> pos:int -> len:int -> int array -> unit
+(** Same for the delta partition's uncompressed attribute vector. *)
+
+val main_end_cids_into : t -> pos:int -> len:int -> int array -> unit
+(** End-CIDs of main rows [pos, pos+len) (begin is implicitly
+    {!Cid.zero}). *)
+
+val delta_begin_cids_into : t -> pos:int -> len:int -> int array -> unit
+
+val delta_end_cids_into : t -> pos:int -> len:int -> int array -> unit
+
+val main_end_cids_gather : t -> pos:int -> int array -> int -> int array -> unit
+(** [main_end_cids_gather t ~pos sel n dst] — for each of the first [n]
+    block-local positions [p] in selection vector [sel], read the end-CID
+    of main row [pos + p] into [dst.(p)]. Costs [n] loads instead of the
+    bulk read's one per row; the scan engine uses it when the predicates
+    left a sparse selection. *)
+
+val delta_begin_cids_gather : t -> pos:int -> int array -> int -> int array -> unit
+
+val delta_end_cids_gather : t -> pos:int -> int array -> int -> int array -> unit
+
 val main_dict_value : t -> int -> int -> Value.t
 (** Decode a main-dictionary entry by value-id (sorted order). *)
 

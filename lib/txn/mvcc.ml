@@ -98,6 +98,53 @@ let row_visible t table row =
     Cid.visible ~begin_cid:(Table.begin_cid table row)
       ~end_cid:(Table.end_cid table row) ~snapshot:t.snapshot
 
+(* Batched visibility for the block scan engine: one pass over bulk-read
+   CID arrays (saturated native ints — see Table's block accessors),
+   compacting the selection vector in place. The common case — a
+   transaction with no own writes — is pure unboxed integer compares; the
+   own-write path preserves [row_visible]'s exact ordering (invalidated
+   shadows inserted shadows CIDs). *)
+let visible_block t table ~base ?begin_cids ~end_cids sel n =
+  (* snapshots are committed CIDs, far below the 2^62 saturation line *)
+  let snap = Int64.to_int t.snapshot in
+  let own_writes =
+    Hashtbl.length t.inserted_set > 0 || Hashtbl.length t.invalidated_set > 0
+  in
+  let m = ref 0 in
+  if not own_writes then begin
+    match begin_cids with
+    | None ->
+        (* main partition: begin is implicitly Cid.zero <= any snapshot *)
+        for k = 0 to n - 1 do
+          let p = sel.(k) in
+          sel.(!m) <- p;
+          m := !m + Bool.to_int (snap < end_cids.(p))
+        done
+    | Some begins ->
+        for k = 0 to n - 1 do
+          let p = sel.(k) in
+          sel.(!m) <- p;
+          m := !m + Bool.to_int (begins.(p) <= snap && snap < end_cids.(p))
+        done
+  end
+  else begin
+    let h = Table.handle table in
+    for k = 0 to n - 1 do
+      let p = sel.(k) in
+      let rk = (h, base + p) in
+      let vis =
+        if Hashtbl.mem t.invalidated_set rk then false
+        else if Hashtbl.mem t.inserted_set rk then true
+        else
+          let b = match begin_cids with None -> 0 | Some a -> a.(p) in
+          b <= snap && snap < end_cids.(p)
+      in
+      sel.(!m) <- p;
+      if vis then incr m
+    done
+  end;
+  !m
+
 let insert m t table values =
   check_active t "insert";
   let row = Table.append_row table values in

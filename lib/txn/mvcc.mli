@@ -65,6 +65,28 @@ val is_active : txn -> bool
 val row_visible : txn -> Storage.Table.t -> int -> bool
 (** MVCC visibility including own-writes. *)
 
+val visible_block :
+  txn ->
+  Storage.Table.t ->
+  base:int ->
+  ?begin_cids:int array ->
+  end_cids:int array ->
+  int array ->
+  int ->
+  int
+(** [visible_block t table ~base ?begin_cids ~end_cids sel n] filters the
+    first [n] entries of selection vector [sel] (block-local positions;
+    position [p] is global row [base + p], and indexes [begin_cids] /
+    [end_cids]) down to the MVCC-visible ones, compacting [sel] in place
+    and returning the surviving count. CID arrays use the saturated
+    native-int representation of {!Storage.Table}'s block accessors
+    ([Cid.infinity] reads as [max_int]), so the no-own-writes fast path is
+    pure unboxed compares. Omitting [begin_cids] means every row's
+    begin-CID is {!Storage.Cid.zero} (the main partition). Decides
+    from the bulk-read CID arrays alone unless the transaction has own
+    writes, in which case each row consults the own-write sets first —
+    bitwise the same answers as {!row_visible}. *)
+
 val insert : manager -> txn -> Storage.Table.t -> Storage.Value.t array -> int
 (** Stage a new row version; returns its physical row id (invisible to
     everyone else until commit). *)

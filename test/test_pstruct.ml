@@ -146,6 +146,46 @@ let test_pvector_destroy_releases () =
   Pvector.destroy v;
   Alcotest.(check int) "space released" before (A.heap_stats a).A.free_bytes
 
+(* Bulk int decodes for the block scan engine: [read_into_int] must equal
+   per-element [get_int]; the [_sat] variant must map the huge CID
+   sentinels ([Cid.infinity] = [Int64.max_int] and anything >= 2^62) to
+   [max_int] while leaving ordinary values alone. *)
+let test_pvector_read_into_int () =
+  let a = fresh () in
+  let v = Pvector.create a in
+  for i = 0 to 299 do
+    ignore (Pvector.append_int v ((i * 7919) land 0xFFFF))
+  done;
+  let dst = Array.make 300 (-1) in
+  Pvector.read_into_int v ~pos:0 ~len:300 dst;
+  Alcotest.(check (array int)) "full"
+    (Array.init 300 (Pvector.get_int v))
+    dst;
+  let dst = Array.make 10 (-1) in
+  Pvector.read_into_int v ~pos:123 ~len:10 dst;
+  Alcotest.(check (array int)) "offset"
+    (Array.init 10 (fun i -> Pvector.get_int v (123 + i)))
+    dst;
+  Pvector.read_into_int v ~pos:300 ~len:0 dst;
+  Alcotest.check_raises "dst too small"
+    (Invalid_argument "Pvector.read_into_int: destination too small")
+    (fun () -> Pvector.read_into_int v ~pos:0 ~len:11 dst)
+
+let test_pvector_read_into_int_sat () =
+  let a = fresh () in
+  let v = Pvector.create a in
+  ignore (Pvector.append v 0L);
+  ignore (Pvector.append v 42L);
+  ignore (Pvector.append v (Int64.of_int max_int)); (* 2^62 - 1: unchanged *)
+  ignore (Pvector.append v 4611686018427387904L); (* 2^62: saturates *)
+  ignore (Pvector.append v Int64.max_int); (* Cid.infinity *)
+  let expect = [| 0; 42; max_int; max_int; max_int |] in
+  let dst = Array.make 5 (-1) in
+  Pvector.read_into_int_sat v ~pos:0 ~len:5 dst;
+  Alcotest.(check (array int)) "saturated bulk" expect dst;
+  Alcotest.(check (array int)) "saturated point" expect
+    (Array.init 5 (Pvector.get_int_sat v))
+
 (* -------- Pstring -------- *)
 
 let test_pstring_roundtrip () =
@@ -386,6 +426,101 @@ let test_pbitvec_durable () =
   let bv2 = Pbitvec.attach a2 (A.get_root a2 0) in
   Alcotest.(check (array int)) "durable" arr (Pbitvec.to_array bv2)
 
+(* Block decode: [unpack_into] must agree bit-for-bit with [get] across
+   both decode paths — the native-int window path (bits <= 55) and the
+   two-word Int64 path above it. 61 bits is the widest a non-negative
+   OCaml int can pin ([bits_needed] of anything larger overflows). *)
+let test_pbitvec_unpack_widths () =
+  let a = fresh ~size:(8 * 1024 * 1024) () in
+  let rng = Util.Prng.create 17L in
+  List.iter
+    (fun bits ->
+      let top = (1 lsl bits) - 1 in
+      let n = 400 in
+      let arr =
+        Array.init n (fun i -> if i = 0 then top else Util.Prng.int rng (top + 1))
+      in
+      let bv = Pbitvec.build a arr in
+      Alcotest.(check int) (Printf.sprintf "width pinned to %d" bits) bits
+        (Pbitvec.bits bv);
+      let oracle = Array.init n (Pbitvec.get bv) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "full block, %d bits" bits)
+        oracle
+        (Pbitvec.get_block bv ~pos:0 ~len:n);
+      (* random sub-ranges, including empty and suffix-at-end *)
+      for _ = 1 to 25 do
+        let pos = Util.Prng.int rng (n + 1) in
+        let len = Util.Prng.int rng (n - pos + 1) in
+        Alcotest.(check (array int))
+          (Printf.sprintf "range [%d,+%d), %d bits" pos len bits)
+          (Array.sub oracle pos len)
+          (Pbitvec.get_block bv ~pos ~len)
+      done;
+      Pbitvec.destroy bv)
+    [ 1; 7; 13; 31; 55; 56; 61 ]
+
+let test_pbitvec_unpack_zero_bits () =
+  let a = fresh () in
+  let bv = Pbitvec.build a (Array.make 50 0) in
+  Alcotest.(check int) "zero bits" 0 (Pbitvec.bits bv);
+  (* a dirty destination must come back zeroed *)
+  let dst = Array.make 50 999 in
+  Pbitvec.unpack_into bv ~pos:10 ~len:30 dst;
+  Alcotest.(check (array int)) "zeros" (Array.make 30 0) (Array.sub dst 0 30);
+  Alcotest.(check int) "tail untouched" 999 dst.(30)
+
+(* The last entry of every (width, length) shape — in particular lengths
+   whose final entry straddles a word boundary or ends flush with the last
+   data byte, where the fast path's 8-byte window runs into the scratch
+   padding. *)
+let test_pbitvec_unpack_last_straddle () =
+  let a = fresh ~size:(16 * 1024 * 1024) () in
+  let rng = Util.Prng.create 23L in
+  List.iter
+    (fun bits ->
+      let top = (1 lsl bits) - 1 in
+      for n = 1 to 130 do
+        let arr =
+          Array.init n (fun i ->
+              if i = n - 1 then top else Util.Prng.int rng (top + 1))
+        in
+        let bv = Pbitvec.build a arr in
+        let last = [| -1 |] in
+        Pbitvec.unpack_into bv ~pos:(n - 1) ~len:1 last;
+        Alcotest.(check int)
+          (Printf.sprintf "last of %d x %d bits" n bits)
+          (Pbitvec.get bv (n - 1))
+          last.(0);
+        Pbitvec.destroy bv
+      done)
+    [ 1; 7; 13; 31; 55; 61 ]
+
+let test_pbitvec_unpack_bounds () =
+  let a = fresh () in
+  let bv = Pbitvec.build a [| 1; 2; 3 |] in
+  Alcotest.check_raises "range oob"
+    (Invalid_argument "Pbitvec.unpack_into: range [2,+2) out of 3") (fun () ->
+      Pbitvec.unpack_into bv ~pos:2 ~len:2 (Array.make 4 0));
+  Alcotest.check_raises "dst too small"
+    (Invalid_argument "Pbitvec.unpack_into: destination too small") (fun () ->
+      Pbitvec.unpack_into bv ~pos:0 ~len:3 (Array.make 2 0))
+
+let prop_pbitvec_unpack_matches_get =
+  QCheck.Test.make ~name:"unpack_into agrees with get on arbitrary ranges"
+    ~count:100
+    QCheck.(
+      pair
+        (array_of_size Gen.(int_range 1 300) (int_bound 1_000_000))
+        (pair small_nat small_nat))
+    (fun (arr, (a', b')) ->
+      let n = Array.length arr in
+      let pos = a' mod (n + 1) in
+      let len = b' mod (n - pos + 1) in
+      let alloc = fresh ~size:(1 lsl 20) () in
+      let bv = Pbitvec.build alloc arr in
+      Pbitvec.get_block bv ~pos ~len = Array.sub arr pos len)
+
 (* -------- Pbtree -------- *)
 
 let test_pbtree_insert_find () =
@@ -583,6 +718,9 @@ let () =
           Alcotest.test_case "iter/to_list" `Quick test_pvector_iter_to_list;
           Alcotest.test_case "destroy releases" `Quick
             test_pvector_destroy_releases;
+          Alcotest.test_case "read_into_int" `Quick test_pvector_read_into_int;
+          Alcotest.test_case "read_into_int_sat" `Quick
+            test_pvector_read_into_int_sat;
           QCheck_alcotest.to_alcotest prop_pvector_model;
         ] );
       ( "pstring",
@@ -624,7 +762,14 @@ let () =
           Alcotest.test_case "unaligned widths" `Quick
             test_pbitvec_unaligned_widths;
           Alcotest.test_case "durable" `Quick test_pbitvec_durable;
+          Alcotest.test_case "unpack widths" `Quick test_pbitvec_unpack_widths;
+          Alcotest.test_case "unpack zero bits" `Quick
+            test_pbitvec_unpack_zero_bits;
+          Alcotest.test_case "unpack last straddle" `Quick
+            test_pbitvec_unpack_last_straddle;
+          Alcotest.test_case "unpack bounds" `Quick test_pbitvec_unpack_bounds;
           QCheck_alcotest.to_alcotest prop_pbitvec_roundtrip;
+          QCheck_alcotest.to_alcotest prop_pbitvec_unpack_matches_get;
         ] );
       ( "pbtree",
         [

@@ -206,6 +206,208 @@ let test_aggregate_non_numeric_sum_rejected () =
         Alcotest.fail "expected Invalid_argument"
       with Invalid_argument _ -> ())
 
+let test_aggregate_empty_group_cells () =
+  (* Avg/Min/Max over a filter that matches nothing must be null, Count 0,
+     Sum 0 — through the block engine and identically through the row
+     oracle *)
+  let e = mk_engine sample in
+  E.with_txn e (fun txn ->
+      List.iter
+        (fun impl ->
+          let r =
+            E.aggregate ~impl e txn "t"
+              ~specs:
+                [ Aggregate.Count; Aggregate.Sum "amount";
+                  Aggregate.Avg "amount"; Aggregate.Min "amount";
+                  Aggregate.Max "score" ]
+              ~filters:[ ("amount", Predicate.Cmp (Predicate.Gt, Value.Int 1000)) ]
+              ()
+          in
+          match r.Aggregate.groups with
+          | [ (None, cells) ] ->
+              Alcotest.(check (array string)) "empty-group cells"
+                [| "0"; "0"; "null"; "null"; "null" |]
+                (Array.map Aggregate.cell_to_string cells)
+          | _ -> Alcotest.fail "expected one group")
+        [ `Block; `Row ])
+
+(* -------- block engine vs row-at-a-time oracle -------- *)
+
+let both_ids e txn filters =
+  ( List.map fst (E.where ~impl:`Block e txn "t" filters),
+    List.map fst (E.where ~impl:`Row e txn "t" filters) )
+
+let check_both e txn label filters =
+  let block, row = both_ids e txn filters in
+  Alcotest.(check (list int)) label row block
+
+(* Deterministic block-boundary coverage: enough main rows for several
+   full 1024-row blocks plus a partial tail, and a delta straddling one
+   boundary. *)
+let test_block_boundaries () =
+  let e = nvm_engine ~size:(64 * 1024 * 1024) () in
+  E.create_table e ~name:"t" schema;
+  let insert_range lo hi =
+    let i = ref lo in
+    while !i < hi do
+      let n = min 512 (hi - !i) in
+      E.with_txn e (fun txn ->
+          for j = !i to !i + n - 1 do
+            ignore
+              (E.insert e txn "t"
+                 [| Value.Int j; Value.Text (string_of_int (j mod 7));
+                    Value.Int (j mod 1000); Value.Float 0.0 |])
+          done);
+      i := !i + n
+    done
+  in
+  insert_range 0 2500;
+  ignore (E.merge e "t");
+  insert_range 2500 3800;
+  E.with_txn e (fun txn ->
+      check_both e txn "low selectivity"
+        [ ("amount", Predicate.Cmp (Predicate.Lt, Value.Int 10)) ];
+      check_both e txn "mid selectivity"
+        [ ("amount", Predicate.Cmp (Predicate.Lt, Value.Int 300)) ];
+      check_both e txn "all rows" [ ("id", Predicate.Any) ];
+      check_both e txn "none"
+        [ ("amount", Predicate.Cmp (Predicate.Eq, Value.Int 5000)) ];
+      check_both e txn "conjunction"
+        [
+          ("amount", Predicate.Cmp (Predicate.Lt, Value.Int 500));
+          ("city", Predicate.Cmp (Predicate.Eq, Value.Text "3"));
+        ];
+      (* exactly the rows at block edges *)
+      check_both e txn "block edge ids"
+        [ ("id", Predicate.In [ Value.Int 1023; Value.Int 1024; Value.Int 2047;
+                                Value.Int 2048; Value.Int 2499; Value.Int 2500 ]) ])
+
+let test_block_vs_row_under_uncommitted () =
+  let e = mk_engine sample in
+  (* a second transaction with staged inserts and a staged delete *)
+  let t1 = E.begin_txn e in
+  ignore
+    (E.insert e t1 "t"
+       [| Value.Int 100; Value.Text "berlin"; Value.Int 70; Value.Float 1.0 |]);
+  List.iter
+    (fun (r, _) -> E.delete e t1 "t" r)
+    (E.where e t1 "t" [ ("id", Predicate.Cmp (Predicate.Eq, Value.Int 0)) ]);
+  (* a reader does not see t1's writes — on either engine *)
+  E.with_txn e (fun txn ->
+      check_both e txn "reader ignores staged"
+        [ ("city", Predicate.Cmp (Predicate.Eq, Value.Text "berlin")) ]);
+  (* t1 sees its own insert and not its own delete — on either engine *)
+  check_both e t1 "own writes"
+    [ ("city", Predicate.Cmp (Predicate.Eq, Value.Text "berlin")) ];
+  let block, row = both_ids e t1 [ ("id", Predicate.Any) ] in
+  Alcotest.(check (list int)) "own writes, any" row block;
+  Alcotest.(check bool) "deleted row gone" true (not (List.mem 0 block));
+  Alcotest.(check bool) "staged insert seen" true (List.mem 6 block);
+  E.abort e t1;
+  E.with_txn e (fun txn -> check_both e txn "after abort" [ ("id", Predicate.Any) ])
+
+(* Both engines snapshot the delta length at scan start: a row committed
+   by another transaction while a scan is in flight is not delivered by
+   that scan (and never tears it). Streams through [Scan.run] because
+   [E.where] materializes before the caller sees anything. *)
+let test_block_scan_mid_scan_inserts () =
+  let e = mk_engine sample in
+  let next_id = ref 100 in
+  let observed impl =
+    let acc = ref [] in
+    let inserted = ref false in
+    E.with_txn e (fun txn ->
+        Query.Scan.run ~impl txn (E.table e "t")
+          ~filters:[ { Query.Scan.col = "id"; pred = Predicate.Any } ]
+          (fun r ->
+            acc := r :: !acc;
+            if not !inserted then begin
+              inserted := true;
+              E.with_txn e (fun w ->
+                  ignore
+                    (E.insert e w "t"
+                       [| Value.Int !next_id; Value.Text "x"; Value.Int 0;
+                          Value.Float 0.0 |]);
+                  incr next_id)
+            end));
+    List.rev !acc
+  in
+  (* 6 seed rows; the block run commits row 6 mid-scan, the row run
+     (seeing 7 rows at start) commits row 7 mid-scan *)
+  Alcotest.(check (list int)) "block run" [ 0; 1; 2; 3; 4; 5 ] (observed `Block);
+  Alcotest.(check (list int)) "row run" [ 0; 1; 2; 3; 4; 5; 6 ] (observed `Row)
+
+(* Differential fuzz: random workload of committed inserts, updates,
+   deletes, merges and an uncommitted writer, then block and row engines
+   must return identical row ids and aggregates — under an armed
+   persist-order sanitizer. *)
+let prop_block_equals_row =
+  QCheck.Test.make ~name:"block engine = row oracle under mixed workloads"
+    ~count:60
+    QCheck.(
+      make
+        ~print:(fun (seed, n, merge_at) ->
+          Printf.sprintf "seed=%Ld n=%d merge_at=%d" seed n merge_at)
+        Gen.(
+          triple (map Int64.of_int (int_range 1 100000)) (int_range 0 120)
+            (int_range 0 120)))
+    (fun (seed, n, merge_at) ->
+      let rng = Prng.create seed in
+      let e = E.create ~sanitize:true (E.default_config ~size:(32 * 1024 * 1024) E.Nvm) in
+      E.create_table e ~name:"t" schema;
+      for i = 0 to n - 1 do
+        if i = merge_at then ignore (E.merge e "t");
+        E.with_txn e (fun txn ->
+            ignore
+              (E.insert e txn "t"
+                 [| Value.Int i; Value.Text (string_of_int (Prng.int rng 5));
+                    Value.Int (Prng.int rng 50); Value.Float 0.0 |]);
+            (* sometimes mutate an earlier row in the same transaction *)
+            if i > 0 && Prng.int rng 4 = 0 then
+              let victim = Prng.int rng i in
+              let targets =
+                E.where e txn "t"
+                  [ ("id", Predicate.Cmp (Predicate.Eq, Value.Int victim)) ]
+              in
+              try
+                List.iter
+                  (fun (r, values) ->
+                    if Prng.int rng 2 = 0 then E.delete e txn "t" r
+                    else begin
+                      values.(2) <- Value.Int (Prng.int rng 50);
+                      ignore (E.update e txn "t" r values)
+                    end)
+                  targets
+              with Txn.Mvcc.Write_conflict _ -> ())
+      done;
+      (* an uncommitted writer with staged rows while we compare *)
+      let w = E.begin_txn e in
+      ignore
+        (E.insert e w "t"
+           [| Value.Int 9999; Value.Text "0"; Value.Int 1; Value.Float 0.0 |]);
+      let agree txn =
+        List.for_all
+          (fun filters ->
+            let block, row = both_ids e txn filters in
+            block = row)
+          [
+            [ ("id", Predicate.Any) ];
+            [ ("amount", Predicate.Cmp (Predicate.Lt, Value.Int 10)) ];
+            [ ("city", Predicate.Cmp (Predicate.Eq, Value.Text "3")) ];
+            [ ("amount", Predicate.Between (Value.Int 10, Value.Int 30));
+              ("city", Predicate.Cmp (Predicate.Ne, Value.Text "1")) ];
+          ]
+      in
+      let reader_ok = E.with_txn e (fun txn -> agree txn) in
+      let writer_ok = agree w in
+      E.abort e w;
+      let clean =
+        match E.sanitizer e with
+        | Some san -> Nvm.Sanitizer.correctness_violations san = 0
+        | None -> false
+      in
+      reader_ok && writer_ok && clean)
+
 (* -------- property: compiled scans = naive evaluation -------- *)
 
 let gen_pred =
@@ -322,6 +524,15 @@ let () =
           QCheck_alcotest.to_alcotest prop_compiled_equals_naive;
           QCheck_alcotest.to_alcotest prop_text_predicates_equal_naive;
         ] );
+      ( "block-engine",
+        [
+          Alcotest.test_case "block boundaries" `Quick test_block_boundaries;
+          Alcotest.test_case "uncommitted writers" `Quick
+            test_block_vs_row_under_uncommitted;
+          Alcotest.test_case "mid-scan inserts" `Quick
+            test_block_scan_mid_scan_inserts;
+          QCheck_alcotest.to_alcotest prop_block_equals_row;
+        ] );
       ( "aggregate",
         [
           Alcotest.test_case "ungrouped" `Quick test_aggregate_ungrouped;
@@ -330,5 +541,7 @@ let () =
           Alcotest.test_case "empty table" `Quick test_aggregate_empty_table;
           Alcotest.test_case "non-numeric sum rejected" `Quick
             test_aggregate_non_numeric_sum_rejected;
+          Alcotest.test_case "empty group cells" `Quick
+            test_aggregate_empty_group_cells;
         ] );
     ]
