@@ -36,9 +36,20 @@ let arm_trace = function
   | Some file -> Obs.Span.set_trace_file file
   | None -> ()
 
+let jobs_arg =
+  let doc =
+    "Domains for parallel scans, delta merge, and recovery (default: \
+     $(b,HYRISE_NV_JOBS) or the machine's core count; $(b,1) runs the \
+     exact serial engine)."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N" ~doc)
+
+let set_jobs = function Some n -> Par.set_jobs n | None -> ()
+
 (* -- load -- *)
 
-let load rows image size_mb seed =
+let load jobs rows image size_mb seed =
+  set_jobs jobs;
   let cfg = Engine.default_config ~size:(size_mb * mib) Engine.Nvm in
   let engine = Engine.create cfg in
   let ycfg = { Ycsb.default_config with rows } in
@@ -64,11 +75,12 @@ let load_cmd =
   in
   Cmd.v
     (Cmd.info "load" ~doc:"Populate a database and save its NVM image.")
-    Term.(const load $ rows $ image $ size_arg $ seed_arg)
+    Term.(const load $ jobs_arg $ rows $ image $ size_arg $ seed_arg)
 
 (* -- restart -- *)
 
-let restart image size_mb trace =
+let restart jobs image size_mb trace =
+  set_jobs jobs;
   arm_trace trace;
   let cfg = Engine.default_config ~size:(size_mb * mib) Engine.Nvm in
   Printf.printf "mapping %s ...\n%!" image;
@@ -93,7 +105,7 @@ let restart_cmd =
   in
   Cmd.v
     (Cmd.info "restart" ~doc:"Instant restart from a saved NVM image.")
-    Term.(const restart $ image $ size_arg $ trace_arg)
+    Term.(const restart $ jobs_arg $ image $ size_arg $ trace_arg)
 
 (* -- demo (log vs NVM) -- *)
 
@@ -102,7 +114,8 @@ let tmpdir () =
   Sys.remove d;
   d
 
-let demo scales seed =
+let demo jobs scales seed =
+  set_jobs jobs;
   let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9)) in
   let table =
     Tabular.create ~title:"restart time: log-based vs Hyrise-NV"
@@ -160,11 +173,12 @@ let demo_cmd =
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"The demo paper's comparison: log vs NVM restart.")
-    Term.(const demo $ scales $ seed_arg)
+    Term.(const demo $ jobs_arg $ scales $ seed_arg)
 
 (* -- torture -- *)
 
-let torture rounds seed =
+let torture jobs rounds seed =
+  set_jobs jobs;
   let rng = Prng.create (Int64.of_int seed) in
   let engine = ref (Engine.create (Engine.default_config ~size:(64 * mib) Engine.Nvm)) in
   let sess = ref (Tpcc.setup !engine ~warehouses:2 ~districts_per_wh:3 ~customers_per_district:8) in
@@ -191,11 +205,14 @@ let torture_cmd =
   in
   Cmd.v
     (Cmd.info "torture" ~doc:"Adversarial crash loop with invariant checks.")
-    Term.(const torture $ rounds $ seed_arg)
+    Term.(const torture $ jobs_arg $ rounds $ seed_arg)
 
 (* -- sanitize -- *)
 
-let sanitize size_mb seed ops =
+let sanitize jobs size_mb seed ops =
+  (* traced engines force the serial paths regardless, but honour the
+     flag so the pool width still shows up in the registry gauge *)
+  set_jobs jobs;
   let failures = ref 0 in
   let phase name f =
     Printf.printf "=== %s under the persist-order sanitizer ===\n%!" name;
@@ -251,7 +268,7 @@ let sanitize_cmd =
     (Cmd.info "sanitize"
        ~doc:"Run the workloads under the persist-order crash-consistency \
              checker and report violations.")
-    Term.(const sanitize $ size_arg $ seed_arg $ ops)
+    Term.(const sanitize $ jobs_arg $ size_arg $ seed_arg $ ops)
 
 (* -- stats -- *)
 
@@ -282,9 +299,12 @@ let phase_table ~title parent phases =
   Tabular.print t;
   (sum, wall)
 
-let stats size_mb seed ops trace =
+let stats jobs size_mb seed ops trace =
+  set_jobs jobs;
   arm_trace trace;
   Obs.set_enabled true;
+  Printf.printf "jobs: %d (of %d recommended)\n\n" (Par.jobs ())
+    (Domain.recommended_domain_count ());
   let rows = 5_000 in
   let run_mode label mk_engine ~checkpoint_midway parent phases =
     let rng = Prng.create (Int64.of_int seed) in
@@ -349,11 +369,12 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:"Crash and recover under both durability modes, then print the \
              per-phase recovery breakdown and the full metrics registry.")
-    Term.(const stats $ size_arg $ seed_arg $ ops $ trace_arg)
+    Term.(const stats $ jobs_arg $ size_arg $ seed_arg $ ops $ trace_arg)
 
 (* -- repl -- *)
 
-let repl size_mb seed execute =
+let repl jobs size_mb seed execute =
+  set_jobs jobs;
   let engine =
     ref (Engine.create (Engine.default_config ~size:(size_mb * mib) Engine.Nvm))
   in
@@ -404,7 +425,7 @@ let repl_cmd =
   in
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive SQL shell over an NVM engine.")
-    Term.(const repl $ size_arg $ seed_arg $ execute)
+    Term.(const repl $ jobs_arg $ size_arg $ seed_arg $ execute)
 
 let () =
   let man =

@@ -408,25 +408,42 @@ let recover_nvm ?san cfg region =
     alloc
   in
   let t1 = now_ns () in
+  (* a traced (sanitizer) restart stays single-domain: PROTOCOLS.md §10 *)
+  let force_serial = Region.traced region in
   let e, last =
     Obs.Span.with_ ~name:"attach" @@ fun () ->
     let ctrl = A.get_root alloc root_slot in
     let last = Region.get_i64 region ctrl in
     let catalog = Catalog.attach alloc (Region.get_int region (ctrl + 8)) in
     let e = assemble ?san cfg region alloc ctrl catalog ~log:None ~epoch:0 in
-    List.iter
-      (fun (name, tctrl) -> register_table e name (Table.attach alloc tctrl))
-      (Catalog.tables catalog);
+    (* attaching a table is pure reads into a fresh volatile shell, and
+       tables are independent — fan out, then register in catalog order *)
+    let attached =
+      Par.map_array ~force_serial
+        (fun (name, tctrl) -> (name, Table.attach alloc tctrl))
+        (Array.of_list (Catalog.tables catalog))
+    in
+    Array.iter (fun (name, table) -> register_table e name table) attached;
     Obs.Span.attr "tables" (Hashtbl.length e.tables);
     (e, last)
   in
   let t2 = now_ns () in
   let rolled = ref 0 in
   Obs.Span.with_ ~name:"rollback" (fun () ->
-      Hashtbl.iter
-        (fun _ table ->
-          rolled := !rolled + Table.rollback_uncommitted table ~last_cid:last)
-        e.tables;
+      (* analyze on the pool (the O(delta) read scan), apply serially
+         (the writes), in creation order for a deterministic persist
+         sequence *)
+      let tbls =
+        Array.of_list (List.map (Hashtbl.find e.tables) (table_names e))
+      in
+      let plans =
+        Par.map_array ~force_serial
+          (fun table -> Table.rollback_plan table ~last_cid:last)
+          tbls
+      in
+      Array.iteri
+        (fun i plan -> rolled := !rolled + Table.rollback_apply tbls.(i) plan)
+        plans;
       (* recovery hands back a fully durable database: a crash immediately
          after restart must change nothing *)
       Region.annotate_commit_point region ~label:"engine.recover" [];

@@ -35,6 +35,23 @@ type tracer = {
   on_label : [ `Push of string | `Pop ] -> unit;
 }
 
+(* Per-domain accounting shard.  Parallel scans read the region from pool
+   domains; plain shared counters would race (and Atomic.t would put a
+   contended RMW on every simulated load).  Instead each domain tallies
+   into its own shard — indexed by Util.Domain_slot, so the lone initial
+   domain pays one DLS read per op and nothing else changed — and [stats]
+   sums the shards.  The engine's domain-safety contract (PROTOCOLS.md
+   §10) restricts pool domains to reads, so only slot 0 ever touches
+   [wb_queue]/[cache]-mutating paths. *)
+type shard = {
+  mutable sh_loads : int;
+  mutable sh_stores : int;
+  mutable sh_writebacks : int;
+  mutable sh_fences : int;
+  mutable sh_elided_fences : int;
+  mutable sh_sim_ns : int;
+}
+
 (* A dirty line: the volatile (cache) content of one line that may differ
    from the durable media.  [wb_pending] snapshots taken by [writeback] sit
    in [wb_queue] until the next fence. *)
@@ -48,16 +65,13 @@ type t = {
   mutable store_ns : int;
   mutable writeback_ns : int;
   mutable fence_ns : int;
-  mutable loads : int;
-  mutable stores : int;
-  mutable writebacks : int;
-  mutable fences : int;
-  mutable elided_fences : int;
-  mutable sim_ns : int;
+  shards : shard array; (* per-domain-slot op/time tallies *)
   mutable persist_enabled : bool;
   mutable fuse : int; (* -1 = disarmed; 0 = next armed op raises *)
   mutable tracer : tracer option;
 }
+
+let[@inline] shard t = t.shards.(Util.Domain_slot.get ())
 
 let shift_of_line_size n =
   if n <= 0 || n land (n - 1) <> 0 then
@@ -79,12 +93,16 @@ let create (cfg : config) =
     store_ns = cfg.store_ns;
     writeback_ns = cfg.writeback_ns;
     fence_ns = cfg.fence_ns;
-    loads = 0;
-    stores = 0;
-    writebacks = 0;
-    fences = 0;
-    elided_fences = 0;
-    sim_ns = 0;
+    shards =
+      Array.init Util.Domain_slot.max_slots (fun _ ->
+          {
+            sh_loads = 0;
+            sh_stores = 0;
+            sh_writebacks = 0;
+            sh_fences = 0;
+            sh_elided_fences = 0;
+            sh_sim_ns = 0;
+          });
     persist_enabled = true;
     fuse = -1;
     tracer = None;
@@ -177,12 +195,16 @@ let burn_fuse t =
     end
     else t.fuse <- t.fuse - 1
 
-let charge_load t = t.loads <- t.loads + 1; t.sim_ns <- t.sim_ns + t.load_ns
+let charge_load t =
+  let s = shard t in
+  s.sh_loads <- s.sh_loads + 1;
+  s.sh_sim_ns <- s.sh_sim_ns + t.load_ns
 
 let charge_store t =
   burn_fuse t;
-  t.stores <- t.stores + 1;
-  t.sim_ns <- t.sim_ns + t.store_ns
+  let s = shard t in
+  s.sh_stores <- s.sh_stores + 1;
+  s.sh_sim_ns <- s.sh_sim_ns + t.store_ns
 
 (* Read [len] bytes at [off] into [dst] at [dpos], honouring dirty lines. *)
 let read_into t off len dst dpos =
@@ -265,8 +287,9 @@ let read_into_bytes t off dst dpos len =
   check_range t off len "read_into_bytes";
   if dpos < 0 || dpos + len > Bytes.length dst then
     invalid_arg "Region.read_into_bytes: destination range";
-  t.loads <- t.loads + ((len + 7) / 8);
-  t.sim_ns <- t.sim_ns + (t.load_ns * ((len + 7) / 8));
+  let s = shard t in
+  s.sh_loads <- s.sh_loads + ((len + 7) / 8);
+  s.sh_sim_ns <- s.sh_sim_ns + (t.load_ns * ((len + 7) / 8));
   trace_load t off len;
   if not t.persist_enabled then Bytes.blit t.media off dst dpos len
   else read_into t off len dst dpos
@@ -280,8 +303,9 @@ let write_bytes t off b =
   let len = Bytes.length b in
   check_range t off len "write_bytes";
   burn_fuse t;
-  t.stores <- t.stores + ((len + 7) / 8);
-  t.sim_ns <- t.sim_ns + (t.store_ns * ((len + 7) / 8));
+  let s = shard t in
+  s.sh_stores <- s.sh_stores + ((len + 7) / 8);
+  s.sh_sim_ns <- s.sh_sim_ns + (t.store_ns * ((len + 7) / 8));
   if not t.persist_enabled then Bytes.blit b 0 t.media off len
   else write_from t off len b 0;
   trace_store t off len
@@ -298,8 +322,9 @@ let writeback t off len =
       match Hashtbl.find_opt t.cache li with
       | None -> () (* clean line: CLWB is a no-op *)
       | Some b ->
-          t.writebacks <- t.writebacks + 1;
-          t.sim_ns <- t.sim_ns + t.writeback_ns;
+          let s = shard t in
+          s.sh_writebacks <- s.sh_writebacks + 1;
+          s.sh_sim_ns <- s.sh_sim_ns + t.writeback_ns;
           t.wb_queue <- (li, Bytes.copy b) :: t.wb_queue
     done;
     match t.tracer with None -> () | Some tr -> tr.on_writeback off len
@@ -326,8 +351,9 @@ let scrub_line t li =
 let fence t =
   if t.persist_enabled then begin
     burn_fuse t;
-    t.fences <- t.fences + 1;
-    t.sim_ns <- t.sim_ns + t.fence_ns;
+    let s = shard t in
+    s.sh_fences <- s.sh_fences + 1;
+    s.sh_sim_ns <- s.sh_sim_ns + t.fence_ns;
     let applied = List.rev t.wb_queue in
     List.iter (apply_wb t) applied;
     t.wb_queue <- [];
@@ -348,7 +374,10 @@ let pending_writebacks t = List.length t.wb_queue
 let fence_if_pending t =
   if t.persist_enabled then begin
     if t.wb_queue <> [] then fence t
-    else t.elided_fences <- t.elided_fences + 1
+    else begin
+      let s = shard t in
+      s.sh_elided_fences <- s.sh_elided_fences + 1
+    end
   end
 
 let is_durable t off len =
@@ -426,23 +455,45 @@ type stats = {
   sim_ns : int;
 }
 
+(* Merge point of the sharded accounting: sound whenever no parallel
+   region is in flight (every Par entry point joins before returning). *)
 let stats (t : t) =
-  {
-    loads = t.loads;
-    stores = t.stores;
-    writebacks = t.writebacks;
-    fences = t.fences;
-    elided_fences = t.elided_fences;
-    sim_ns = t.sim_ns;
-  }
+  let acc =
+    {
+      loads = 0;
+      stores = 0;
+      writebacks = 0;
+      fences = 0;
+      elided_fences = 0;
+      sim_ns = 0;
+    }
+  in
+  Array.fold_left
+    (fun acc s ->
+      {
+        loads = acc.loads + s.sh_loads;
+        stores = acc.stores + s.sh_stores;
+        writebacks = acc.writebacks + s.sh_writebacks;
+        fences = acc.fences + s.sh_fences;
+        elided_fences = acc.elided_fences + s.sh_elided_fences;
+        sim_ns = acc.sim_ns + s.sh_sim_ns;
+      })
+    acc t.shards
+
+let sim_ns_by_slot (t : t) = Array.map (fun s -> s.sh_sim_ns) t.shards
+
+let traced (t : t) = t.tracer <> None
 
 let reset_stats (t : t) =
-  t.loads <- 0;
-  t.stores <- 0;
-  t.writebacks <- 0;
-  t.fences <- 0;
-  t.elided_fences <- 0;
-  t.sim_ns <- 0
+  Array.iter
+    (fun s ->
+      s.sh_loads <- 0;
+      s.sh_stores <- 0;
+      s.sh_writebacks <- 0;
+      s.sh_fences <- 0;
+      s.sh_elided_fences <- 0;
+      s.sh_sim_ns <- 0)
+    t.shards
 
 let arm_crash (t : t) ~after_ops =
   if after_ops < 0 then invalid_arg "Region.arm_crash";

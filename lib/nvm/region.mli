@@ -184,6 +184,12 @@ type tracer = {
 
 val set_tracer : t -> tracer option -> unit
 
+val traced : t -> bool
+(** Whether a tracer is attached. Parallel call sites check this and
+    degrade to serial execution — tracer callbacks (and the sanitizer's
+    shadow state behind them) are single-domain by design, so a traced
+    run must never fan out (PROTOCOLS.md §10). *)
+
 val annotate_commit_point : t -> label:string -> (int * int) list -> unit
 (** Declare a protocol commit point: every word of the given byte ranges
     must be durable {e right now}. The empty list asserts the strongest
@@ -222,7 +228,20 @@ type stats = {
 }
 
 val stats : t -> stats
+(** Sum over the per-domain accounting shards. Counters are sharded by
+    {!Util.Domain_slot} so parallel scans tally without races; sound
+    whenever no parallel region is in flight (every pool entry point
+    joins before returning), and exact regardless of how chunks were
+    interleaved across domains. *)
+
 val reset_stats : t -> unit
+
+val sim_ns_by_slot : t -> int array
+(** Per-domain-slot snapshot of accumulated simulated NVM time. The
+    bench takes deltas of this across a parallel section: the maximum
+    per-slot delta is the device-time critical path, which is how E8
+    reports speedup faithfully even on core-limited hosts (the wall
+    clock cannot shrink there, but the per-lane device ledger does). *)
 
 val set_latencies : t -> load_ns:int -> store_ns:int -> writeback_ns:int -> fence_ns:int -> unit
 (** Retune the cost model in place (used by the latency sweep). *)

@@ -74,6 +74,9 @@ let get_link_addr t h = Region.get_int t.region (h + 16)
 let get_link_value t h = Region.get_i64 t.region (h + 24)
 
 let bin_add t h = Hashtbl.replace t.bins.(bin_index (get_size t h)) h ()
+
+(* recovery already holds every size in a volatile array — no reload *)
+let bin_add_sized t h size = Hashtbl.replace t.bins.(bin_index size) h ()
 let bin_remove t h = Hashtbl.remove t.bins.(bin_index (get_size t h)) h
 
 let header_of_payload p = p - header_size
@@ -145,64 +148,113 @@ let open_existing region =
       recovery = None;
     }
   in
-  let scanned = ref 0
-  and reclaimed = ref 0
-  and redone = ref 0
-  and coalesced = ref 0 in
-  (* [prev_free] is the header of the free run being grown, if any *)
-  let rec walk h prev_free =
+  (* Recovery in three passes.
+     A (serial): skeleton chain walk — the hop to the next header depends
+       on each size, so this is inherently sequential; it reads exactly
+       one size word per block (after [check_block]'s validation read).
+     B (parallel): state/link classification over the recorded offsets —
+       pure header reads landing in disjoint array slots, so chunks fan
+       out across the pool. Serial when a tracer is attached
+       (PROTOCOLS.md §10) and, either way, issues the same loads in the
+       same per-block pattern whatever the lane count.
+     C (serial): repairs (reclaim reserved, redo links), free-run
+       coalescing and bin population, in chain order — these write NVM,
+       so they stay on the caller's domain. Bins are filled from the
+       volatile record, which also retires the old second chain walk
+       (two more loads per block). *)
+  let offs = Util.Intbuf.create 1024 in
+  let sizes = Util.Intbuf.create 1024 in
+  let rec skeleton h =
     if h < heap_end then begin
       check_block t h;
-      incr scanned;
       let size = get_size t h in
-      let state = get_state t h in
-      let next = h + header_size + size in
-      if state = st_reserved then begin
+      Util.Intbuf.push offs h;
+      Util.Intbuf.push sizes size;
+      skeleton (h + header_size + size)
+    end
+  in
+  skeleton heap_start;
+  let nb = Util.Intbuf.length offs in
+  let offs = Util.Intbuf.to_array offs in
+  let sizes = Util.Intbuf.to_array sizes in
+  let states = Array.make nb 0 in
+  let link_addrs = Array.make nb 0 in
+  let link_vals = Array.make nb 0L in
+  Par.parallel_for
+    ~force_serial:(Region.traced region)
+    ~min_chunk:64 ~n:nb
+    (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        let h = offs.(i) in
+        let st = Int64.to_int (get_state t h) in
+        states.(i) <- st;
+        if st = 2 then begin
+          let la = get_link_addr t h in
+          link_addrs.(i) <- la;
+          if la <> 0 then link_vals.(i) <- get_link_value t h
+        end
+      done);
+  let reclaimed = ref 0
+  and redone = ref 0
+  and coalesced = ref 0 in
+  (* the free run being grown, if any *)
+  let run_head = ref (-1) in
+  let run_size = ref 0 in
+  let free_heads = Util.Intbuf.create 64 in
+  let free_sizes = Util.Intbuf.create 64 in
+  let close_run () =
+    if !run_head >= 0 then begin
+      Util.Intbuf.push free_heads !run_head;
+      Util.Intbuf.push free_sizes !run_size;
+      run_head := -1
+    end
+  in
+  for i = 0 to nb - 1 do
+    let h = offs.(i) in
+    let size = sizes.(i) in
+    let st =
+      if states.(i) = 1 then begin
         (* crashed between alloc and activate: reclaim *)
         Region.set_i64 region (h + 8) st_free;
         Region.persist region (h + 8) 8;
-        incr reclaimed
-      end;
-      let state = get_state t h in
-      if state = st_allocated then begin
-        let link_addr = get_link_addr t h in
-        if link_addr <> 0 then begin
-          (* crashed between activation and publication: redo the link *)
-          Region.set_i64 region link_addr (get_link_value t h);
-          Region.persist region link_addr 8;
-          Region.set_i64 region (h + 16) 0L;
-          Region.persist region (h + 16) 8;
-          incr redone
-        end;
-        walk next None
+        incr reclaimed;
+        0
       end
-      else
-        match prev_free with
-        | Some ph ->
-            (* grow the previous free block over this one; the chain stays
-               valid because ph's enlarged size is persisted atomically *)
-            let merged = get_size t ph + header_size + size in
-            Region.set_int region ph merged;
-            Region.persist region ph 8;
-            incr coalesced;
-            walk next (Some ph)
-        | None -> walk next (Some h)
+      else states.(i)
+    in
+    if st = 2 then begin
+      if link_addrs.(i) <> 0 then begin
+        (* crashed between activation and publication: redo the link *)
+        Region.set_i64 region link_addrs.(i) link_vals.(i);
+        Region.persist region link_addrs.(i) 8;
+        Region.set_i64 region (h + 16) 0L;
+        Region.persist region (h + 16) 8;
+        incr redone
+      end;
+      close_run ()
     end
-  in
-  walk heap_start None;
-  (* second pass: populate the bins *)
-  let rec collect h =
-    if h < heap_end then begin
-      let size = get_size t h in
-      if get_state t h = st_free then bin_add t h;
-      collect (h + header_size + size)
+    else if !run_head >= 0 then begin
+      (* grow the previous free block over this one; the chain stays
+         valid because the enlarged size is persisted atomically *)
+      let merged = !run_size + header_size + size in
+      Region.set_int region !run_head merged;
+      Region.persist region !run_head 8;
+      incr coalesced;
+      run_size := merged
     end
-  in
-  collect heap_start;
+    else begin
+      run_head := h;
+      run_size := size
+    end
+  done;
+  close_run ();
+  for k = 0 to Util.Intbuf.length free_heads - 1 do
+    bin_add_sized t (Util.Intbuf.get free_heads k) (Util.Intbuf.get free_sizes k)
+  done;
   t.recovery <-
     Some
       {
-        scanned_blocks = !scanned;
+        scanned_blocks = nb;
         reclaimed_reserved = !reclaimed;
         redone_links = !redone;
         coalesced = !coalesced;

@@ -1,0 +1,271 @@
+(* A small fixed-size domain pool.
+
+   Workers are spawned once (lazily, at the first parallel call) and
+   reused; between jobs they block on a condition variable. A job is
+   announced by bumping an epoch under the pool mutex and broadcasting;
+   every lane — the caller included — then runs the same closure, which
+   walks the chunk index space in a static round-robin stride: lane [l]
+   takes chunks [l, l+lanes, l+2*lanes, ...]. The assignment is
+   deterministic — which lane touches which rows depends only on the
+   lane count, never on scheduling — so the sharded per-slot Region
+   accounting is reproducible on any machine (the bench models parallel
+   device time from exactly those shares). Chunks are sized several per
+   lane, which keeps the static split balanced for the uniform per-row
+   work all call sites have. The caller blocks until every worker has
+   finished its share, so a completed parallel call is a full
+   happens-before barrier: the caller sees every write the workers
+   made.
+
+   Lane [i] runs on {!Util.Domain_slot} slot [i] (the caller keeps its
+   own slot, normally 0), which is what routes the sharded Region
+   accounting and per-slot scratch buffers.
+
+   Worker busy time and condvar waits are tallied per lane under the pool
+   mutex and flushed to the [par.*] Obs metrics by the caller after each
+   job — workers never touch the (domain-unsafe) registry themselves. *)
+
+let c_tasks = Obs.counter "par.tasks"
+let c_steal_waits = Obs.counter "par.steal_waits"
+let c_busy = Obs.counter "par.worker_busy_ns"
+let g_jobs = Obs.gauge "par.jobs"
+let h_run_ns = Obs.histogram "par.run_ns"
+
+let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+
+let max_jobs = Util.Domain_slot.max_slots
+
+let default_jobs () =
+  let n =
+    match Sys.getenv_opt "HYRISE_NV_JOBS" with
+    | Some s -> ( match int_of_string_opt (String.trim s) with
+                  | Some n when n >= 1 -> n
+                  | _ -> Domain.recommended_domain_count ())
+    | None -> Domain.recommended_domain_count ()
+  in
+  max 1 (min n max_jobs)
+
+type lane_stats = { mutable busy_ns : int; mutable waits : int }
+
+type pool = {
+  m : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  lanes : int; (* caller + (lanes - 1) workers *)
+  mutable epoch : int;
+  mutable task : (unit -> unit) option;
+  mutable remaining : int; (* workers still to finish the current epoch *)
+  mutable shutdown : bool;
+  stats : lane_stats array; (* indexed by slot; slot 0 = caller *)
+  mutable domains : unit Domain.t list;
+}
+
+let requested = ref (default_jobs ())
+let () = Obs.set_gauge g_jobs !requested
+let the_pool : pool option ref = ref None
+
+(* cumulative per-slot busy time, mirrored outside the pool so it
+   survives pool teardown (bench snapshots deltas across measurements) *)
+let busy_total = Array.make max_jobs 0
+let waits_total = ref 0
+
+let jobs () = !requested
+
+let worker pool slot () =
+  Util.Domain_slot.set slot;
+  let st = pool.stats.(slot) in
+  Mutex.lock pool.m;
+  (* start from the creation epoch, not the current one: a job may have
+     been announced before this worker even got scheduled *)
+  let seen = ref 0 in
+  let rec loop () =
+    if pool.shutdown then Mutex.unlock pool.m
+    else if pool.epoch = !seen then begin
+      st.waits <- st.waits + 1;
+      Condition.wait pool.work_ready pool.m;
+      loop ()
+    end
+    else begin
+      seen := pool.epoch;
+      match pool.task with
+      | None -> loop ()
+      | Some f ->
+          Mutex.unlock pool.m;
+          let t0 = now_ns () in
+          f ();
+          let dt = now_ns () - t0 in
+          Mutex.lock pool.m;
+          st.busy_ns <- st.busy_ns + dt;
+          pool.remaining <- pool.remaining - 1;
+          if pool.remaining = 0 then Condition.broadcast pool.work_done;
+          loop ()
+    end
+  in
+  loop ()
+
+let spawn_pool lanes =
+  let pool =
+    {
+      m = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      lanes;
+      epoch = 0;
+      task = None;
+      remaining = 0;
+      shutdown = false;
+      stats = Array.init lanes (fun _ -> { busy_ns = 0; waits = 0 });
+      domains = [];
+    }
+  in
+  pool.domains <-
+    List.init (lanes - 1) (fun i -> Domain.spawn (worker pool (i + 1)));
+  pool
+
+let drain_stats pool =
+  (* called with no job in flight; workers only mutate their lane record
+     under the pool mutex, so a locked read is exact *)
+  Mutex.lock pool.m;
+  Array.iteri
+    (fun slot st ->
+      busy_total.(slot) <- busy_total.(slot) + st.busy_ns;
+      Obs.add c_busy st.busy_ns;
+      Obs.add c_steal_waits st.waits;
+      waits_total := !waits_total + st.waits;
+      st.busy_ns <- 0;
+      st.waits <- 0)
+    pool.stats;
+  Mutex.unlock pool.m
+
+let teardown pool =
+  Mutex.lock pool.m;
+  pool.shutdown <- true;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.m;
+  List.iter Domain.join pool.domains;
+  drain_stats pool
+
+let set_jobs n =
+  let n = max 1 (min n max_jobs) in
+  if n <> !requested then begin
+    (match !the_pool with
+    | Some p when p.lanes <> n ->
+        teardown p;
+        the_pool := None
+    | _ -> ());
+    requested := n
+  end;
+  Obs.set_gauge g_jobs n
+
+let get_pool () =
+  match !the_pool with
+  | Some p when p.lanes = !requested -> p
+  | Some p ->
+      teardown p;
+      let p = spawn_pool !requested in
+      the_pool := Some p;
+      p
+  | None ->
+      let p = spawn_pool !requested in
+      the_pool := Some p;
+      p
+
+exception Worker_exn of exn * Printexc.raw_backtrace
+
+(* Run [body] on every lane (caller included) and join. The first
+   exception any lane raised is re-raised in the caller once all lanes
+   finished — a failing chunk never leaves workers running. *)
+let run_lanes body =
+  let pool = get_pool () in
+  let failed = Atomic.make None in
+  let guarded () =
+    try body ()
+    with e ->
+      let bt = Printexc.get_raw_backtrace () in
+      ignore (Atomic.compare_and_set failed None (Some (Worker_exn (e, bt))))
+  in
+  let t0 = now_ns () in
+  Mutex.lock pool.m;
+  pool.task <- Some guarded;
+  pool.remaining <- pool.lanes - 1;
+  pool.epoch <- pool.epoch + 1;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.m;
+  guarded ();
+  Mutex.lock pool.m;
+  let t1 = now_ns () in
+  pool.stats.(Util.Domain_slot.get ()).busy_ns <-
+    pool.stats.(Util.Domain_slot.get ()).busy_ns + (t1 - t0);
+  while pool.remaining > 0 do
+    Condition.wait pool.work_done pool.m
+  done;
+  pool.task <- None;
+  Mutex.unlock pool.m;
+  drain_stats pool;
+  Util.Histogram.record h_run_ns (now_ns () - t0);
+  match Atomic.get failed with
+  | Some (Worker_exn (e, bt)) -> Printexc.raise_with_backtrace e bt
+  | Some e -> raise e
+  | None -> ()
+
+let effective_lanes force_serial = if force_serial then 1 else !requested
+
+let parallel_for ?(force_serial = false) ?(min_chunk = 1) ~n body =
+  if n > 0 then begin
+    let lanes = effective_lanes force_serial in
+    if lanes <= 1 || n <= min_chunk then body ~lo:0 ~hi:n
+    else begin
+      let chunk = max min_chunk ((n + (lanes * 4) - 1) / (lanes * 4)) in
+      let nchunks = (n + chunk - 1) / chunk in
+      run_lanes (fun () ->
+          let lane = Util.Domain_slot.get () in
+          let j = ref lane in
+          while !j < nchunks do
+            let lo = !j * chunk in
+            body ~lo ~hi:(min n (lo + chunk));
+            j := !j + lanes
+          done);
+      Obs.add c_tasks nchunks
+    end
+  end
+
+let map_chunks ?(force_serial = false) ~chunk ~n f =
+  if chunk <= 0 then invalid_arg "Par.map_chunks: chunk must be positive";
+  let nchunks = if n <= 0 then 0 else (n + chunk - 1) / chunk in
+  let bounds j = (j * chunk, min n ((j + 1) * chunk)) in
+  let lanes = effective_lanes force_serial in
+  if lanes <= 1 || nchunks <= 1 then
+    Array.init nchunks (fun j ->
+        let lo, hi = bounds j in
+        f ~lo ~hi)
+  else begin
+    let out = Array.make nchunks None in
+    run_lanes (fun () ->
+        let lane = Util.Domain_slot.get () in
+        let j = ref lane in
+        while !j < nchunks do
+          let lo, hi = bounds !j in
+          out.(!j) <- Some (f ~lo ~hi);
+          j := !j + lanes
+        done);
+    Obs.add c_tasks nchunks;
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let map_array ?force_serial f arr =
+  let n = Array.length arr in
+  map_chunks ?force_serial ~chunk:1 ~n (fun ~lo ~hi:_ -> f arr.(lo))
+
+let fork_join ?force_serial thunks =
+  let arr = Array.of_list thunks in
+  Array.to_list (map_array ?force_serial (fun thunk -> thunk ()) arr)
+
+let busy_ns_by_slot () =
+  (match !the_pool with Some p -> drain_stats p | None -> ());
+  Array.copy busy_total
+
+let shutdown () =
+  match !the_pool with
+  | Some p ->
+      teardown p;
+      the_pool := None
+  | None -> ()

@@ -1,0 +1,64 @@
+(** Fixed-size domain pool for the engine's three parallel hot paths
+    (block scans, delta→main merge, recovery).
+
+    Workers are spawned once at the first parallel call and reused; idle
+    domains block on a condition variable, so a configured-but-unused
+    pool costs nothing on the serial paths. Every parallel entry point
+    below is a full join: when it returns, all worker writes are visible
+    to the caller (the pool mutex orders them).
+
+    {b Domain-safety contract} (docs/PROTOCOLS.md §10): chunk bodies run
+    on pool domains and may only perform Region {e reads}, may not touch
+    the Obs registry, and must not run while a Region tracer is attached
+    — callers pass [~force_serial:(Region.traced region)] so sanitized
+    runs stay single-domain. With [jobs () = 1] (or [force_serial]) every
+    entry point degrades to plain inline iteration: byte-identical to the
+    serial engine, no pool involved.
+
+    Width: the [--jobs N] flag / [HYRISE_NV_JOBS] env variable; default
+    [Domain.recommended_domain_count ()], clamped to
+    [Util.Domain_slot.max_slots]. *)
+
+val jobs : unit -> int
+(** Current lane count (caller + workers). *)
+
+val set_jobs : int -> unit
+(** Resize the pool (clamped to [1, max_jobs]). An existing pool of a
+    different width is torn down; the next parallel call respawns. *)
+
+val max_jobs : int
+
+val parallel_for :
+  ?force_serial:bool -> ?min_chunk:int -> n:int -> (lo:int -> hi:int -> unit) -> unit
+(** [parallel_for ~n body] runs [body ~lo ~hi] over a partition of
+    [0, n): lane [l] takes chunks [l, l+lanes, ...] in a static
+    round-robin stride, so which lane touches which indices is
+    deterministic for a given lane count (the per-slot Region accounting
+    the bench models from is scheduling-independent). [min_chunk] bounds
+    the chunk size from below (and any [n] at or below it runs inline on
+    the caller). *)
+
+val map_chunks :
+  ?force_serial:bool -> chunk:int -> n:int -> (lo:int -> hi:int -> 'a) -> 'a array
+(** [map_chunks ~chunk ~n f] — run [f] over fixed chunk boundaries
+    [j*chunk, min n ((j+1)*chunk)) and return the results {e in chunk
+    order} (the scan engine relies on this for byte-identical output).
+    Boundaries depend only on [chunk] and [n], never on the lane count;
+    chunk→lane assignment is the same static stride as
+    {!parallel_for}. *)
+
+val map_array : ?force_serial:bool -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel map, one task per element (for coarse tasks: merge columns,
+    table attach). Results in input order. *)
+
+val fork_join : ?force_serial:bool -> (unit -> 'a) list -> 'a list
+(** Run independent thunks in parallel; results in input order. *)
+
+val busy_ns_by_slot : unit -> int array
+(** Cumulative in-task wall time per {!Util.Domain_slot} slot (caller
+    lane included). The bench snapshots deltas of this to compute the
+    modeled parallel critical path on core-limited hosts. *)
+
+val shutdown : unit -> unit
+(** Join all workers (tests; also safe to never call — idle workers
+    don't block process exit). *)

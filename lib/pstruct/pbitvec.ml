@@ -11,8 +11,9 @@ type t = {
   handle : int;
   length : int;
   bits : int;
-  mutable scratch : Bytes.t;
-      (* reusable staging buffer for block decodes, grown on demand *)
+  scratch : Bytes.t array;
+      (* per-domain-slot staging buffers for block decodes, grown on
+         demand — parallel scan chunks unpack concurrently *)
 }
 
 let bits_needed max_v =
@@ -53,7 +54,14 @@ let build alloc values =
   if words > 0 then Region.write_bytes region (handle + 16) buf;
   Region.persist region handle (16 + (words * 8));
   A.activate alloc handle;
-  { region; alloc; handle; length = n; bits; scratch = Bytes.create 0 }
+  {
+    region;
+    alloc;
+    handle;
+    length = n;
+    bits;
+    scratch = Array.make Util.Domain_slot.max_slots (Bytes.create 0);
+  }
 
 let attach alloc handle =
   let region = A.region alloc in
@@ -63,7 +71,7 @@ let attach alloc handle =
     handle;
     length = Region.get_int region handle;
     bits = Region.get_int region (handle + 8);
-    scratch = Bytes.create 0;
+    scratch = Array.make Util.Domain_slot.max_slots (Bytes.create 0);
   }
 
 let handle t = t.handle
@@ -110,12 +118,13 @@ let unpack_into t ~pos ~len dst =
       let first_word = pos * t.bits / 64 in
       let last_word = (((pos + len) * t.bits) - 1) / 64 in
       let nbytes = (last_word - first_word + 1) * 8 in
-      if Bytes.length t.scratch < nbytes + 7 then
-        t.scratch <- Bytes.create (nbytes + 7);
+      let slot = Util.Domain_slot.get () in
+      if Bytes.length t.scratch.(slot) < nbytes + 7 then
+        t.scratch.(slot) <- Bytes.create (nbytes + 7);
+      let buf = t.scratch.(slot) in
       Region.read_into_bytes t.region
         (t.handle + 16 + (first_word * 8))
-        t.scratch 0 nbytes;
-      let buf = t.scratch in
+        buf 0 nbytes;
       let base_bit = first_word * 64 in
       if t.bits <= 55 then begin
         (* native-int decode: an entry of <= 55 bits starting at bit r of

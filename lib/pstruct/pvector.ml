@@ -18,7 +18,9 @@ type t = {
   mutable capacity : int;
   mutable size : int; (* volatile length *)
   mutable published : int; (* volatile mirror of the durable length word *)
-  mutable scratch : Bytes.t; (* reusable staging buffer for block reads *)
+  scratch : Bytes.t array;
+      (* per-domain-slot staging buffers for block reads: parallel scan
+         chunks decode the same vector from several domains at once *)
 }
 
 let elem_off data i = data + 8 + (i * 8)
@@ -43,7 +45,7 @@ let create ?(capacity = 8) alloc =
     capacity;
     size = 0;
     published = 0;
-    scratch = Bytes.create 0;
+    scratch = Array.make Util.Domain_slot.max_slots (Bytes.create 0);
   }
 
 let attach alloc handle =
@@ -59,7 +61,7 @@ let attach alloc handle =
     capacity;
     size;
     published = size;
-    scratch = Bytes.create 0;
+    scratch = Array.make Util.Domain_slot.max_slots (Bytes.create 0);
   }
 
 let handle t = t.handle
@@ -100,10 +102,13 @@ let check_block t pos len fn =
 let read_block t pos len fn =
   check_block t pos len fn;
   let nbytes = len * 8 in
-  if Bytes.length t.scratch < nbytes then t.scratch <- Bytes.create nbytes;
+  let slot = Util.Domain_slot.get () in
+  if Bytes.length t.scratch.(slot) < nbytes then
+    t.scratch.(slot) <- Bytes.create nbytes;
+  let buf = t.scratch.(slot) in
   if len > 0 then
-    Region.read_into_bytes t.region (elem_off t.data pos) t.scratch 0 nbytes;
-  t.scratch
+    Region.read_into_bytes t.region (elem_off t.data pos) buf 0 nbytes;
+  buf
 
 let read_into_int t ~pos ~len dst =
   if Array.length dst < len then

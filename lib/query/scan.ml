@@ -172,9 +172,147 @@ let run_block txn table ~filters f =
           Table.delta_vids_into table ci ~pos ~len dst)
         ~read_cids preds f
 
+(* ------------------------------------------------------------------ *)
+(* Parallel block engine: the same kernel pipeline, fanned out over the
+   pool. Chunks are whole numbers of blocks, so block boundaries — and
+   with them every bulk read, every sparse-vs-dense CID decision and the
+   block-granular visibility snapshot — are exactly the serial engine's;
+   each chunk decodes into private buffers and collects its matches into
+   a private row buffer; the caller then replays the buffers in chunk
+   order, so the callback sees the identical row sequence the serial scan
+   would produce. The callback itself (aggregate folds, [Table.get]
+   decodes of [select]) always runs on the caller's domain.
+
+   Workers touch only Region reads and per-slot scratch; the Obs
+   counters and the per-block histogram are accumulated chunk-locally
+   and flushed by the caller after the join (PROTOCOLS.md §10). *)
+
+type chunk_tally = {
+  mutable ct_blocks : int;
+  mutable ct_rows_in : int;
+  mutable ct_rows_out : int;
+}
+
+let scan_partition_par ~base ~count ~vids_into ~mk_read_cids preds f =
+  if count > 0 then begin
+    let lanes = Par.jobs () in
+    let nblocks = (count + block_rows - 1) / block_rows in
+    let blocks_per_chunk =
+      max 1 ((nblocks + (lanes * 4) - 1) / (lanes * 4))
+    in
+    let chunk = blocks_per_chunk * block_rows in
+    let npreds = Array.length preds in
+    let results =
+      Par.map_chunks ~chunk ~n:count (fun ~lo ~hi ->
+          let vids = Array.make block_rows 0 in
+          let sel = Kernel.create block_rows in
+          let begin_cids = Array.make block_rows 0 in
+          let end_cids = Array.make block_rows 0 in
+          let read_cids = mk_read_cids ~begin_cids ~end_cids in
+          let rows = Util.Intbuf.create 256 in
+          let block_ns = Util.Intbuf.create 16 in
+          let tally = { ct_blocks = 0; ct_rows_in = 0; ct_rows_out = 0 } in
+          let pos = ref lo in
+          while !pos < hi do
+            let len = min block_rows (hi - !pos) in
+            let t0 = if Obs.is_enabled () then now_ns () else 0 in
+            tally.ct_blocks <- tally.ct_blocks + 1;
+            tally.ct_rows_in <- tally.ct_rows_in + len;
+            if npreds = 0 then Kernel.fill_all sel len
+            else begin
+              let ci0, c0 = preds.(0) in
+              vids_into ci0 ~pos:!pos ~len vids;
+              Kernel.eval_into c0 vids ~count:len sel;
+              let i = ref 1 in
+              while !i < npreds && sel.Kernel.len > 0 do
+                let ci, c = preds.(!i) in
+                vids_into ci ~pos:!pos ~len vids;
+                Kernel.refine c vids sel;
+                incr i
+              done
+            end;
+            if sel.Kernel.len > 0 then
+              sel.Kernel.len <- read_cids ~pos:!pos ~len ~base sel;
+            tally.ct_rows_out <- tally.ct_rows_out + sel.Kernel.len;
+            if Obs.is_enabled () then
+              Util.Intbuf.push block_ns (now_ns () - t0);
+            let d = sel.Kernel.data in
+            let row0 = base + !pos in
+            for k = 0 to sel.Kernel.len - 1 do
+              Util.Intbuf.push rows (row0 + d.(k))
+            done;
+            pos := !pos + len
+          done;
+          (rows, block_ns, tally))
+    in
+    Array.iter
+      (fun (rows, block_ns, tally) ->
+        Obs.add c_blocks tally.ct_blocks;
+        Obs.add c_rows_in tally.ct_rows_in;
+        Obs.add c_rows_out tally.ct_rows_out;
+        Util.Intbuf.iter (Util.Histogram.record h_block_ns) block_ns;
+        Util.Intbuf.iter f rows)
+      results
+  end
+
+let run_block_par txn table ~filters f =
+  let alloc = Table.allocator table in
+  let cols = compile_cols table ~filters in
+  let main_rows = Table.main_rows table in
+  let delta_rows = Table.delta_rows table in
+  (match
+     prep (fun ci pred -> Predicate.compile_main alloc table ~col:ci pred) cols
+   with
+  | None -> ()
+  | Some preds ->
+      let mk_read_cids ~begin_cids:_ ~end_cids ~pos ~len ~base sel =
+        let n = sel.Kernel.len in
+        if n * 2 < len then
+          Table.main_end_cids_gather table ~pos sel.Kernel.data n end_cids
+        else Table.main_end_cids_into table ~pos ~len end_cids;
+        Mvcc.visible_block txn table ~base:(base + pos) ~end_cids
+          sel.Kernel.data sel.Kernel.len
+      in
+      scan_partition_par ~base:0 ~count:main_rows
+        ~vids_into:(fun ci ~pos ~len dst ->
+          Table.main_vids_into table ci ~pos ~len dst)
+        ~mk_read_cids preds f);
+  match
+    prep (fun ci pred -> Predicate.compile_delta alloc table ~col:ci pred) cols
+  with
+  | None -> ()
+  | Some preds ->
+      let mk_read_cids ~begin_cids ~end_cids ~pos ~len ~base sel =
+        let n = sel.Kernel.len in
+        if n * 2 < len then begin
+          Table.delta_begin_cids_gather table ~pos sel.Kernel.data n begin_cids;
+          Table.delta_end_cids_gather table ~pos sel.Kernel.data n end_cids
+        end
+        else begin
+          Table.delta_begin_cids_into table ~pos ~len begin_cids;
+          Table.delta_end_cids_into table ~pos ~len end_cids
+        end;
+        Mvcc.visible_block txn table
+          ~base:(base + pos)
+          ~begin_cids ~end_cids sel.Kernel.data sel.Kernel.len
+      in
+      scan_partition_par ~base:main_rows ~count:delta_rows
+        ~vids_into:(fun ci ~pos ~len dst ->
+          Table.delta_vids_into table ci ~pos ~len dst)
+        ~mk_read_cids preds f
+
 let run ?(impl = `Block) txn table ~filters f =
   match impl with
-  | `Block -> run_block txn table ~filters f
+  | `Block ->
+      let region = Nvm_alloc.Allocator.region (Table.allocator table) in
+      (* a traced (sanitizer) run must stay single-domain; tiny tables
+         aren't worth the fan-out *)
+      if
+        Par.jobs () > 1
+        && (not (Nvm.Region.traced region))
+        && Table.main_rows table + Table.delta_rows table > block_rows
+      then run_block_par txn table ~filters f
+      else run_block txn table ~filters f
   | `Row -> run_row txn table ~filters f
 
 let select ?impl txn table ~filters =

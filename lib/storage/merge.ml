@@ -1,4 +1,5 @@
 module A = Nvm_alloc.Allocator
+module Region = Nvm.Region
 
 type stats = {
   rows_in : int;
@@ -20,19 +21,44 @@ let run alloc table ~merge_cid =
   let bytes_before = Table.nvm_bytes table in
   let schema = Table.schema table in
   let n_cols = Schema.arity schema in
-  (* surviving rows, in stable order *)
-  let survivors = ref [] in
-  for r = rows_in - 1 downto 0 do
-    let b = Table.begin_cid table r and e = Table.end_cid table r in
-    if Cid.visible ~begin_cid:b ~end_cid:e ~snapshot:merge_cid then
-      survivors := r :: !survivors
-  done;
-  let survivors = Array.of_list !survivors in
+  (* The volatile half of the merge — survivor visibility scan and the
+     per-column dictionary/attribute-vector rebuild — runs on the pool:
+     it is pure Region reads plus column-local state, and each column is
+     independent. Everything that writes NVM (the new generation's
+     [replace_ctrl_for_merge] build and the caller's catalog swap) stays
+     on this domain, in the same order as the serial merge, so the new
+     generation is byte-identical whatever the lane count. *)
+  let force_serial = Region.traced (A.region alloc) in
+  (* surviving rows, in stable order: chunks in row order, concatenated *)
+  let survivors =
+    let chunks =
+      Par.map_chunks ~force_serial ~chunk:4096 ~n:rows_in (fun ~lo ~hi ->
+          let buf = Util.Intbuf.create 256 in
+          for r = lo to hi - 1 do
+            let b = Table.begin_cid table r and e = Table.end_cid table r in
+            if Cid.visible ~begin_cid:b ~end_cid:e ~snapshot:merge_cid then
+              Util.Intbuf.push buf r
+          done;
+          buf)
+    in
+    let total = Array.fold_left (fun n b -> n + Util.Intbuf.length b) 0 chunks in
+    let out = Array.make total 0 in
+    let k = ref 0 in
+    Array.iter
+      (fun buf ->
+        Util.Intbuf.iter
+          (fun r ->
+            out.(!k) <- r;
+            incr k)
+          buf)
+      chunks;
+    out
+  in
   let rows_out = Array.length survivors in
   (* per column: sorted distinct dictionary + re-encoded attribute vector *)
-  let dict_total = ref 0 in
   let columns =
-    Array.init n_cols (fun i ->
+    Par.map_array ~force_serial
+      (fun i ->
         let decoded = Array.map (fun r -> Table.get table r i) survivors in
         let distinct =
           Array.fold_left (fun m v -> Vmap.add v () m) Vmap.empty decoded
@@ -40,10 +66,14 @@ let run alloc table ~merge_cid =
         let sorted = Array.of_list (List.map fst (Vmap.bindings distinct)) in
         let vid_of = Hashtbl.create (Array.length sorted) in
         Array.iteri (fun vid v -> Hashtbl.replace vid_of v vid) sorted;
-        dict_total := !dict_total + Array.length sorted;
         let avec = Array.map (fun v -> Hashtbl.find vid_of v) decoded in
         (sorted, avec))
+      (Array.init n_cols Fun.id)
   in
+  let dict_total = ref 0 in
+  Array.iter
+    (fun (sorted, _) -> dict_total := !dict_total + Array.length sorted)
+    columns;
   let main_end = Array.make rows_out Cid.infinity in
   let merged =
     Table.replace_ctrl_for_merge alloc ~name:(Table.name table) ~schema

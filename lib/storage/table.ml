@@ -410,32 +410,65 @@ let publish_each_vector t =
 
 (* -- recovery -- *)
 
-let rollback_uncommitted t ~last_cid =
-  let touched = ref 0 in
+(* Restart rollback is split into an analyze half (pure reads: scan the
+   delta begin/end CID vectors and the invalidation log) and an apply
+   half (the resets plus one fence). The engine runs the analyze half of
+   every table on the pool during recovery and applies serially — the
+   read cost is the O(delta + invalidations) part, the writes are a
+   handful of uncommitted rows. *)
+
+type rollback_plan = {
+  rp_begin : Util.Intbuf.t; (* delta positions with uncommitted begin *)
+  rp_end : Util.Intbuf.t; (* delta positions with uncommitted end *)
+  rp_main : Util.Intbuf.t; (* main rows whose invalidation is undone *)
+}
+
+let rollback_plan t ~last_cid =
+  let plan =
+    {
+      rp_begin = Util.Intbuf.create 16;
+      rp_end = Util.Intbuf.create 16;
+      rp_main = Util.Intbuf.create 16;
+    }
+  in
   let dr = delta_rows t in
   for p = 0 to dr - 1 do
     let b = Pvector.get t.begin_v p in
-    if b <> Cid.infinity && Int64.compare b last_cid > 0 then begin
-      Pvector.set t.begin_v p Cid.infinity;
-      incr touched
-    end;
+    if b <> Cid.infinity && Int64.compare b last_cid > 0 then
+      Util.Intbuf.push plan.rp_begin p;
     let e = Pvector.get t.end_v p in
-    if e <> Cid.infinity && Int64.compare e last_cid > 0 then begin
-      Pvector.set t.end_v p Cid.infinity;
-      incr touched
-    end
+    if e <> Cid.infinity && Int64.compare e last_cid > 0 then
+      Util.Intbuf.push plan.rp_end p
   done;
   let entries = Pvector.length t.inval / 2 in
+  (* a row appears at most once in the plan: a second log entry for the
+     same row cannot match the stored end-CID once the first reset runs *)
+  let planned = Hashtbl.create 16 in
   for k = 0 to entries - 1 do
     let r = Pvector.get_int t.inval (2 * k) in
     let cid = Pvector.get t.inval ((2 * k) + 1) in
-    if Int64.compare cid last_cid > 0 && Pvector.get t.main_end r = cid then begin
-      Pvector.set t.main_end r Cid.infinity;
-      incr touched
+    if
+      Int64.compare cid last_cid > 0
+      && Pvector.get t.main_end r = cid
+      && not (Hashtbl.mem planned r)
+    then begin
+      Hashtbl.replace planned r ();
+      Util.Intbuf.push plan.rp_main r
     end
   done;
+  plan
+
+let rollback_apply t plan =
+  Util.Intbuf.iter (fun p -> Pvector.set t.begin_v p Cid.infinity) plan.rp_begin;
+  Util.Intbuf.iter (fun p -> Pvector.set t.end_v p Cid.infinity) plan.rp_end;
+  Util.Intbuf.iter (fun r -> Pvector.set t.main_end r Cid.infinity) plan.rp_main;
   Region.fence_if_pending t.region;
-  !touched
+  Util.Intbuf.length plan.rp_begin
+  + Util.Intbuf.length plan.rp_end
+  + Util.Intbuf.length plan.rp_main
+
+let rollback_uncommitted t ~last_cid =
+  rollback_apply t (rollback_plan t ~last_cid)
 
 (* -- introspection -- *)
 

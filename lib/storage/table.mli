@@ -47,7 +47,18 @@ val rollback_uncommitted : t -> last_cid:Cid.t -> int
     delta rows with a begin-CID beyond [last_cid] are marked dead, and
     end-CIDs beyond [last_cid] (found via the delta scan and the main
     invalidation log) are reset to live. Returns the number of rows
-    touched. Cost: O(delta + invalidations-since-merge). *)
+    touched. Cost: O(delta + invalidations-since-merge). Equivalent to
+    [rollback_apply t (rollback_plan t ~last_cid)]. *)
+
+type rollback_plan
+
+val rollback_plan : t -> last_cid:Cid.t -> rollback_plan
+(** The analyze half of [rollback_uncommitted]: pure Region reads, safe
+    to run on a pool domain (recovery plans every table in parallel). *)
+
+val rollback_apply : t -> rollback_plan -> int
+(** The apply half: stage the resets, fence once, return rows touched.
+    NVM writes — caller domain only. *)
 
 val handle : t -> int
 val name : t -> string

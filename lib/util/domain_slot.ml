@@ -1,0 +1,19 @@
+(* Dense per-domain slot indices for sharded accounting.
+
+   Domain ids are unbounded (every spawn gets a fresh one), so data
+   structures that want one accounting shard per *live* domain index by a
+   small dense slot instead: the initial domain and any thread that never
+   joined a pool read slot 0; pool workers are assigned slots 1 .. n-1 at
+   spawn.  The slot lives in domain-local storage, so reading it is a
+   single DLS load on the hot paths that shard by it (Region counters,
+   Pvector/Pbitvec scratch buffers). *)
+
+let max_slots = 64
+
+let key = Domain.DLS.new_key (fun () -> 0)
+
+let get () = Domain.DLS.get key
+
+let set s =
+  if s < 0 || s >= max_slots then invalid_arg "Domain_slot.set: out of range";
+  Domain.DLS.set key s

@@ -1,0 +1,17 @@
+(** Dense per-domain slot indices for sharded accounting.
+
+    Sharded data structures (Region op counters, per-structure scratch
+    buffers) keep one shard per slot rather than per domain id, because
+    domain ids grow without bound. The initial domain — and any domain
+    that was never assigned — reads slot [0]; the domain pool assigns its
+    workers slots [1 .. jobs-1] at spawn. *)
+
+val max_slots : int
+(** Upper bound on slots (and therefore on useful pool width). *)
+
+val get : unit -> int
+(** This domain's slot; [0] unless {!set} was called on this domain. *)
+
+val set : int -> unit
+(** Assign this domain's slot. Raises [Invalid_argument] outside
+    [0, max_slots). *)

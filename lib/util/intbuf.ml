@@ -1,0 +1,30 @@
+(* Growable int buffer: the scan engine's per-chunk row accumulator and
+   the allocator's heap-skeleton record. Amortized O(1) push, no boxing. *)
+
+type t = { mutable data : int array; mutable len : int }
+
+let create cap = { data = Array.make (max cap 1) 0; len = 0 }
+
+let length t = t.len
+
+let push t v =
+  if t.len = Array.length t.data then begin
+    let bigger = Array.make (2 * Array.length t.data) 0 in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Intbuf.get";
+  t.data.(i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let to_array t = Array.sub t.data 0 t.len
+
+let clear t = t.len <- 0

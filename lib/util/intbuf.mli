@@ -1,0 +1,13 @@
+(** Growable int buffer with amortized O(1) push. *)
+
+type t
+
+val create : int -> t
+(** [create cap] — initial capacity (at least 1). *)
+
+val length : t -> int
+val push : t -> int -> unit
+val get : t -> int -> int
+val iter : (int -> unit) -> t -> unit
+val to_array : t -> int array
+val clear : t -> unit

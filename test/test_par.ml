@@ -1,0 +1,360 @@
+(* Tests for the domain pool and the three parallel engine paths.
+
+   The contract under test (docs/PROTOCOLS.md §10): every parallel path
+   produces byte-identical results at any --jobs level — same rows in
+   the same order from scans, the same new generation from a merge, the
+   same recovered database — and the sharded Region accounting sums to
+   exactly the serial totals (the static chunk assignment issues the
+   same loads whatever the lane count). *)
+
+module E = Core.Engine
+module Region = Nvm.Region
+module Value = Storage.Value
+module Schema = Storage.Schema
+module Predicate = Query.Predicate
+module Aggregate = Query.Aggregate
+module Prng = Util.Prng
+
+let mib = 1024 * 1024
+
+let nvm_engine ?(size = 64 * mib) () = E.create (E.default_config ~size E.Nvm)
+
+(* run [f] at a given pool width, restoring the entry width after *)
+let with_jobs n f =
+  let was = Par.jobs () in
+  Par.set_jobs n;
+  Fun.protect ~finally:(fun () -> Par.set_jobs was) f
+
+(* -------- pool primitives -------- *)
+
+let test_parallel_for () =
+  with_jobs 4 @@ fun () ->
+  let n = 10_000 in
+  let hits = Array.make n 0 in
+  Par.parallel_for ~n (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        hits.(i) <- hits.(i) + 1
+      done);
+  Alcotest.(check bool)
+    "every index exactly once" true
+    (Array.for_all (fun c -> c = 1) hits);
+  (* n at or below min_chunk runs inline *)
+  let small = Array.make 8 0 in
+  Par.parallel_for ~min_chunk:64 ~n:8 (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        small.(i) <- 1
+      done);
+  Alcotest.(check bool) "inline small n" true (Array.for_all (( = ) 1) small)
+
+let test_map_chunks_order () =
+  with_jobs 4 @@ fun () ->
+  let n = 1_000 and chunk = 37 in
+  let got = Par.map_chunks ~chunk ~n (fun ~lo ~hi -> (lo, hi)) in
+  let nchunks = (n + chunk - 1) / chunk in
+  Alcotest.(check int) "chunk count" nchunks (Array.length got);
+  Array.iteri
+    (fun j (lo, hi) ->
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "chunk %d bounds" j)
+        (j * chunk, min n ((j + 1) * chunk))
+        (lo, hi))
+    got
+
+let test_map_array_and_fork_join () =
+  with_jobs 4 @@ fun () ->
+  let arr = Array.init 100 (fun i -> i) in
+  Alcotest.(check (array int))
+    "map_array in order"
+    (Array.map (fun i -> i * i) arr)
+    (Par.map_array (fun i -> i * i) arr);
+  Alcotest.(check (list int))
+    "fork_join in order" [ 10; 20; 30 ]
+    (Par.fork_join [ (fun () -> 10); (fun () -> 20); (fun () -> 30) ])
+
+exception Boom
+
+let test_exception_propagates () =
+  with_jobs 4 @@ fun () ->
+  (try
+     Par.parallel_for ~n:1_000 (fun ~lo ~hi:_ -> if lo = 0 then raise Boom);
+     Alcotest.fail "expected Boom"
+   with Boom -> ());
+  (* the pool survives a failed job *)
+  let ok = ref 0 in
+  Par.parallel_for ~n:100 (fun ~lo:_ ~hi:_ -> incr ok);
+  Alcotest.(check bool) "pool usable after failure" true (!ok > 0)
+
+let test_jobs_one_is_inline () =
+  with_jobs 1 @@ fun () ->
+  (* with one lane nothing may run on another domain: a chunk body that
+     checks its slot proves inline execution *)
+  Par.parallel_for ~n:5_000 (fun ~lo:_ ~hi:_ ->
+      Alcotest.(check int) "slot 0" 0 (Util.Domain_slot.get ()));
+  ignore (Par.map_chunks ~chunk:64 ~n:1_000 (fun ~lo ~hi -> (lo, hi)))
+
+(* -------- differential fuzz: parallel scan vs serial vs row oracle -------- *)
+
+let scan_schema =
+  [|
+    Schema.column "k" Value.Int_t;
+    Schema.column "city" Value.Text_t;
+    Schema.column "v" Value.Int_t;
+  |]
+
+let cities = [| "berlin"; "amsterdam"; "chicago"; "delhi"; "essen" |]
+
+(* [main_rows] committed rows merged into the main partition, then
+   [delta_rows] committed delta rows, then [uncommitted] rows left
+   staged by a still-open writer txn *)
+let build_scan_engine ~seed ~main_rows ~delta_rows ~uncommitted =
+  let rng = Prng.create (Int64.of_int seed) in
+  let e = nvm_engine () in
+  E.create_table e ~name:"t" scan_schema;
+  let insert_n txn n =
+    for _ = 1 to n do
+      ignore
+        (E.insert e txn "t"
+           [|
+             Value.Int (Prng.int rng 1_000);
+             Value.Text cities.(Prng.int rng (Array.length cities));
+             Value.Int (Prng.int rng 50);
+           |])
+    done
+  in
+  E.with_txn e (fun txn -> insert_n txn main_rows);
+  if main_rows > 0 then ignore (E.merge e "t");
+  E.with_txn e (fun txn -> insert_n txn delta_rows);
+  let writer = E.begin_txn e in
+  insert_n writer uncommitted;
+  (* leave [writer] open: its rows are invisible to later snapshots, and
+     the visibility filtering that hides them runs inside the chunks *)
+  e
+
+let filters =
+  [
+    [ ("k", Predicate.Cmp (Predicate.Lt, Value.Int 100)) ];
+    [ ("city", Predicate.Cmp (Predicate.Eq, Value.Text "berlin")) ];
+    [
+      ("k", Predicate.Between (Value.Int 200, Value.Int 800));
+      ("v", Predicate.Cmp (Predicate.Ge, Value.Int 25));
+    ];
+    [ ("k", Predicate.Cmp (Predicate.Ne, Value.Int 3)) ];
+  ]
+
+let rows_of e ~impl fs =
+  E.with_txn e (fun txn -> List.map fst (E.where ~impl e txn "t" fs))
+
+let agg_of e fs =
+  E.with_txn e (fun txn ->
+      let r =
+        E.aggregate e txn "t" ~group_by:"city"
+          ~specs:[ Aggregate.Count; Aggregate.Sum "v" ]
+          ~filters:fs ()
+      in
+      List.map
+        (fun (key, cells) ->
+          ( (match key with Some v -> Value.to_string v | None -> "-"),
+            Array.to_list (Array.map Aggregate.cell_to_string cells) ))
+        r.Aggregate.groups)
+
+let test_scan_differential () =
+  List.iteri
+    (fun case (main_rows, delta_rows, uncommitted) ->
+      let mk () =
+        build_scan_engine ~seed:(41 + case) ~main_rows ~delta_rows ~uncommitted
+      in
+      let e = mk () in
+      List.iteri
+        (fun fi fs ->
+          let name lvl what =
+            Printf.sprintf "case %d filter %d: %s (jobs %d)" case fi what lvl
+          in
+          let oracle = rows_of e ~impl:`Row fs in
+          let serial = with_jobs 1 (fun () -> rows_of e ~impl:`Block fs) in
+          Alcotest.(check (list int)) (name 1 "block = row oracle") oracle serial;
+          let agg1 = with_jobs 1 (fun () -> agg_of e fs) in
+          List.iter
+            (fun jobs ->
+              with_jobs jobs (fun () ->
+                  Alcotest.(check (list int))
+                    (name jobs "parallel rows = serial, same order")
+                    serial
+                    (rows_of e ~impl:`Block fs);
+                  Alcotest.(check (list (pair string (list string))))
+                    (name jobs "parallel aggregate = serial")
+                    agg1 (agg_of e fs)))
+            [ 2; 4 ])
+        filters)
+    [ (6_000, 1_500, 300); (0, 3_000, 200); (2_500, 0, 0); (900, 60, 10) ]
+
+(* -------- load-accounting parity across lane counts -------- *)
+
+let scan_workload e =
+  List.iter (fun fs -> ignore (rows_of e ~impl:`Block fs)) filters
+
+let region_totals e =
+  let s = Region.stats (E.region e) in
+  (s.Region.loads, s.Region.stores, s.Region.writebacks, s.Region.fences,
+   s.Region.sim_ns)
+
+let test_region_totals_parity () =
+  (* identically-built engines, the same scan workload: the summed
+     sharded counters must be exactly equal at every lane count *)
+  let totals jobs =
+    with_jobs jobs @@ fun () ->
+    let e = build_scan_engine ~seed:7 ~main_rows:5_000 ~delta_rows:1_200
+        ~uncommitted:100 in
+    scan_workload e (* warm the lazy per-column compile state *);
+    Region.reset_stats (E.region e);
+    scan_workload e;
+    region_totals e
+  in
+  let t1 = totals 1 in
+  List.iter
+    (fun jobs ->
+      let l1, s1, w1, f1, n1 = t1 and l, s, w, f, n = totals jobs in
+      let check what a b =
+        Alcotest.(check int) (Printf.sprintf "%s at jobs %d" what jobs) a b
+      in
+      check "loads" l1 l;
+      check "stores" s1 s;
+      check "writebacks" w1 w;
+      check "fences" f1 f;
+      check "sim_ns" n1 n)
+    [ 2; 4 ]
+
+(* -------- merge: byte-identical new generation -------- *)
+
+let build_merge_engine () =
+  let rng = Prng.create 1234L in
+  let e = nvm_engine () in
+  E.create_table e ~name:"m"
+    (Array.init 6 (fun i ->
+         if i = 4 then Schema.column "c4" Value.Text_t
+         else Schema.column ("c" ^ string_of_int i) Value.Int_t));
+  for _ = 0 to 7 do
+    E.with_txn e (fun txn ->
+        for _ = 1 to 400 do
+          ignore
+            (E.insert e txn "m"
+               (Array.init 6 (fun c ->
+                    if c = 4 then
+                      Value.Text cities.(Prng.int rng (Array.length cities))
+                    else Value.Int (Prng.int rng 500))))
+        done)
+  done;
+  e
+
+let test_merge_byte_identical () =
+  let digest jobs =
+    with_jobs jobs @@ fun () ->
+    let e = build_merge_engine () in
+    ignore (E.merge e "m");
+    Region.media_digest (E.region e)
+  in
+  let d1 = digest 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "merged media at jobs %d" jobs)
+        d1 (digest jobs))
+    [ 2; 4 ]
+
+(* -------- recovery: identical database at any lane count -------- *)
+
+let build_crashed ~seed =
+  let rng = Prng.create (Int64.of_int seed) in
+  let e = nvm_engine () in
+  let sess =
+    Workload.Tpcc_lite.setup e ~warehouses:2 ~districts_per_wh:3
+      ~customers_per_district:8
+  in
+  ignore (Workload.Tpcc_lite.run sess (Prng.split rng) ~ops:250 ());
+  E.crash e Region.Drop_unfenced
+
+let test_recovery_parity () =
+  let recover jobs =
+    with_jobs jobs @@ fun () ->
+    let e, stats = E.recover (build_crashed ~seed:99) in
+    let rolled =
+      match stats.E.detail with
+      | E.Rv_nvm { rolled_back_rows; tables; _ } -> (rolled_back_rows, tables)
+      | _ -> (-1, -1)
+    in
+    let orders =
+      E.with_txn e (fun txn -> E.count e txn "orders")
+    in
+    (Region.media_digest (E.region e), E.last_cid e, rolled, orders)
+  in
+  let d1, c1, r1, o1 = recover 1 in
+  List.iter
+    (fun jobs ->
+      let d, c, r, o = recover jobs in
+      Alcotest.(check string)
+        (Printf.sprintf "post-recovery media at jobs %d" jobs)
+        d1 d;
+      Alcotest.(check int64) "last cid" c1 c;
+      Alcotest.(check (pair int int)) "rolled rows / tables" r1 r;
+      Alcotest.(check int) "visible orders" o1 o)
+    [ 2; 4 ]
+
+(* -------- rollback plan/apply split = the fused serial rollback -------- *)
+
+let test_rollback_split_equivalence () =
+  (* two identically-built crashed engines: one recovered through the
+     plan/apply split at jobs 4, one through the serial path; identical
+     media proves the split (including its dedup of repeated
+     invalidation-log entries) changes nothing *)
+  let via_split = with_jobs 4 (fun () -> E.recover (build_crashed ~seed:5)) in
+  let via_serial = with_jobs 1 (fun () -> E.recover (build_crashed ~seed:5)) in
+  Alcotest.(check string)
+    "identical media"
+    (Region.media_digest (E.region (fst via_serial)))
+    (Region.media_digest (E.region (fst via_split)))
+
+(* -------- metrics -------- *)
+
+let test_pool_metrics () =
+  Obs.set_enabled true;
+  with_jobs 4 @@ fun () ->
+  let tasks0 = Obs.counter_value (Obs.counter "par.tasks") in
+  Par.parallel_for ~n:100_000 (fun ~lo:_ ~hi:_ -> ());
+  let tasks1 = Obs.counter_value (Obs.counter "par.tasks") in
+  Alcotest.(check bool) "par.tasks advanced" true (tasks1 > tasks0);
+  let busy = Par.busy_ns_by_slot () in
+  Alcotest.(check int) "busy array is per-slot" Par.max_jobs (Array.length busy)
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "parallel_for covers range" `Quick test_parallel_for;
+          Alcotest.test_case "map_chunks order" `Quick test_map_chunks_order;
+          Alcotest.test_case "map_array / fork_join" `Quick
+            test_map_array_and_fork_join;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "jobs=1 runs inline" `Quick test_jobs_one_is_inline;
+          Alcotest.test_case "pool metrics" `Quick test_pool_metrics;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "scan/aggregate vs serial vs oracle" `Quick
+            test_scan_differential;
+          Alcotest.test_case "region totals parity" `Quick
+            test_region_totals_parity;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "byte-identical generation" `Quick
+            test_merge_byte_identical;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "parity across lane counts" `Quick
+            test_recovery_parity;
+          Alcotest.test_case "rollback plan/apply = fused" `Quick
+            test_rollback_split_equivalence;
+        ] );
+    ]
