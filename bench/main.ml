@@ -50,6 +50,7 @@ let log_engine ?group ?fsync size =
     {
       Engine.region = Region.config_with_size size;
       durability = Engine.Logging (log_config ?group ?fsync ());
+      salvage = None;
     }
 
 let header title =
@@ -826,6 +827,238 @@ let e8 ~fast () =
      serial allocator repairs."
 
 (* ------------------------------------------------------------------ *)
+(* E9: media faults — verify overhead and salvage recovery             *)
+(* ------------------------------------------------------------------ *)
+
+(* Verify-overhead sweep: one saved image per scale, restarted once per
+   verify level, so the three measurements differ only in scrub work.
+   The claim under test: `Shallow grows with table/structure count, not
+   with rows — the instant-restart property survives the checksums. *)
+let e9_verify_sweep ~scales =
+  List.map
+    (fun s ->
+      let rows = 1_000 * (1 lsl s) in
+      let size = 48 * mib * (1 lsl s) in
+      let ycfg = { Ycsb.default_config with rows } in
+      let engine = nvm_engine size in
+      let sess = Ycsb.setup engine (Prng.create 1L) ycfg in
+      ignore (Ycsb.run sess (Prng.create 2L) ~ops:(rows / 5));
+      let data = Engine.data_bytes engine in
+      let img = Filename.temp_file "hyrise_e9" ".img" in
+      Engine.save_image engine img;
+      (* best-of-3: the shallow scrub is a few hundred µs, well inside
+         scheduling noise on a shared host *)
+      let measure level =
+        let one () =
+          Gc.compact ();
+          let cfg = Engine.default_config ~size Engine.Nvm in
+          let _, rs = Engine.open_image ~verify:level cfg img in
+          let verify_ns =
+            match rs.Engine.detail with
+            | Engine.Rv_nvm { verify_ns; _ } -> verify_ns
+            | _ -> 0
+          in
+          (rs.Engine.wall_ns, verify_ns)
+        in
+        let best (w0, v0) (w1, v1) = (min w0 w1, min v0 v1) in
+        best (one ()) (best (one ()) (one ()))
+      in
+      let off = measure `Off in
+      let shallow = measure `Shallow in
+      let deep = measure `Deep in
+      Sys.remove img;
+      (s, rows, data, off, shallow, deep))
+    scales
+
+type e9_run = {
+  faults : int;
+  outcome : string;  (** clean | salvaged | rebuilt | quarantined | raised *)
+  wall_ns : int;
+  verify_ns : int;
+  salvage_ns : int;
+  quarantined : int;
+  salvaged : int;
+  heap_reset : bool;
+  crc_failures : int;
+  rows_intact : bool;  (** committed row count survived the damage *)
+}
+
+(* One damaged restart under salvage: populate with the WAL archive
+   armed, checkpoint midway (so salvage exercises the checkpoint + log
+   ladder), crash, hit the durable image with [faults] random media
+   faults, recover deep-verified, and compare the surviving committed
+   row count against the pre-crash truth. *)
+let e9_salvage_run ~rows ~faults ~seed =
+  let lc = log_config ~group:1 ~fsync:false () in
+  let cfg = Engine.default_config ~size:(64 * mib) ~salvage:lc Engine.Nvm in
+  let engine = Engine.create cfg in
+  let ycfg = { Ycsb.default_config with rows } in
+  let sess = Ycsb.setup engine (Prng.create 1L) ycfg in
+  ignore (Ycsb.run sess (Prng.create 2L) ~ops:(rows / 5));
+  ignore (Engine.checkpoint engine);
+  ignore (Ycsb.run sess (Prng.create 3L) ~ops:(rows / 20));
+  let committed =
+    Engine.with_txn engine (fun txn -> Engine.count engine txn Ycsb.table_name)
+  in
+  let region = Engine.region engine in
+  (* aim at the allocated extent, not the mostly-empty region tail —
+     media faults in never-written space are free wins *)
+  let used_end =
+    List.fold_left
+      (fun acc (b : Nvm_alloc.Allocator.block_info) ->
+        if b.state = `Allocated then max acc (b.offset + b.size) else acc)
+      4096
+      (Nvm_alloc.Allocator.blocks (Engine.allocator engine))
+  in
+  let crashed = Engine.crash engine Region.Drop_unfenced in
+  let rng = Prng.create (Int64.of_int seed) in
+  for _ = 1 to faults do
+    Region.inject_fault region rng
+      (Region.random_fault region rng ~lo:0 ~hi:used_end)
+  done;
+  let crc0 = Obs.counter_value (Obs.counter "media.crc_failures") in
+  let t0 = now_ns () in
+  match Engine.recover ~verify:`Deep crashed with
+  | exception exn ->
+      {
+        faults;
+        outcome = "raised: " ^ Printexc.to_string exn;
+        wall_ns = now_ns () - t0;
+        verify_ns = 0;
+        salvage_ns = 0;
+        quarantined = 0;
+        salvaged = 0;
+        heap_reset = false;
+        crc_failures =
+          Obs.counter_value (Obs.counter "media.crc_failures") - crc0;
+        rows_intact = false;
+      }
+  | e2, rs ->
+      let verify_ns, salvage_ns, quarantined, salvaged, heap_reset =
+        match rs.Engine.detail with
+        | Engine.Rv_nvm
+            { verify_ns; salvage_ns; quarantined; salvaged; heap_reset; _ } ->
+            ( verify_ns,
+              salvage_ns,
+              List.length quarantined,
+              List.length salvaged,
+              heap_reset )
+        | _ -> (0, 0, 0, 0, false)
+      in
+      let rows_intact =
+        match
+          Engine.with_txn e2 (fun txn ->
+              Engine.count e2 txn Ycsb.table_name)
+        with
+        | n -> n = committed
+        | exception _ -> false
+      in
+      {
+        faults;
+        outcome =
+          (if heap_reset then "rebuilt"
+           else if salvaged > 0 then "salvaged"
+           else if quarantined > 0 then "quarantined"
+           else "clean");
+        wall_ns = rs.Engine.wall_ns;
+        verify_ns;
+        salvage_ns;
+        quarantined;
+        salvaged;
+        heap_reset;
+        crc_failures =
+          Obs.counter_value (Obs.counter "media.crc_failures") - crc0;
+        rows_intact;
+      }
+
+let e9_fault_counts = [ 0; 4; 16; 64 ]
+
+let e9_sweeps ~fast =
+  let scales = if fast then [ 0; 1; 2 ] else [ 0; 1; 2; 3 ] in
+  let verify = e9_verify_sweep ~scales in
+  let rows = if fast then 4_000 else 10_000 in
+  let salvage =
+    List.map
+      (fun f -> e9_salvage_run ~rows ~faults:f ~seed:(100 + f))
+      e9_fault_counts
+  in
+  (verify, salvage)
+
+(* verify_ns growth from smallest to largest scale, relative to the row
+   growth — < 1.0 means sub-linear, i.e. the scrub does not re-read the
+   data and instant restart survives it. *)
+let e9_sublinearity verify =
+  match (verify, List.rev verify) with
+  | (_, r0, _, _, (_, v0), _) :: _, (_, r1, _, _, (_, v1), _) :: _
+    when r1 > r0 && v0 > 0 ->
+      float_of_int v1 /. float_of_int v0
+      /. (float_of_int r1 /. float_of_int r0)
+  | _ -> nan
+
+let e9 ~fast () =
+  header "E9  Media faults: verify overhead and salvage recovery";
+  let verify, salvage = e9_sweeps ~fast in
+  let vt =
+    Tabular.create ~title:"E9: restart wall per verify level (undamaged image)"
+      [
+        ("scale", Tabular.Right);
+        ("rows", Tabular.Right);
+        ("data", Tabular.Right);
+        ("off", Tabular.Right);
+        ("shallow", Tabular.Right);
+        ("verify(ns)", Tabular.Right);
+        ("deep", Tabular.Right);
+      ]
+  in
+  List.iter
+    (fun (s, rows, data, (off, _), (shw, shv), (deep, _)) ->
+      Tabular.add_row vt
+        [
+          string_of_int s;
+          Tabular.fmt_int rows;
+          Tabular.fmt_bytes data;
+          Tabular.fmt_ns off;
+          Tabular.fmt_ns shw;
+          Tabular.fmt_ns shv;
+          Tabular.fmt_ns deep;
+        ])
+    verify;
+  Tabular.print vt;
+  Printf.printf
+    "shallow verify growth vs row growth: %.2f (want < 1.0: sub-linear)\n"
+    (e9_sublinearity verify);
+  let st =
+    Tabular.create ~title:"E9: salvage recovery vs injected fault count"
+      [
+        ("faults", Tabular.Right);
+        ("outcome", Tabular.Left);
+        ("wall", Tabular.Right);
+        ("salvage", Tabular.Right);
+        ("salvaged", Tabular.Right);
+        ("crc fails", Tabular.Right);
+        ("rows ok", Tabular.Left);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Tabular.add_row st
+        [
+          string_of_int r.faults;
+          r.outcome;
+          Tabular.fmt_ns r.wall_ns;
+          Tabular.fmt_ns r.salvage_ns;
+          string_of_int r.salvaged;
+          string_of_int r.crc_failures;
+          (if r.rows_intact then "yes" else "NO");
+        ])
+    salvage;
+  Tabular.print st;
+  print_endline
+    "expected shape: shallow verify stays near-constant while rows grow;\n\
+     damaged restarts end salvaged or rebuilt with the committed row\n\
+     count intact, paying for the archive replay only when hit."
+
+(* ------------------------------------------------------------------ *)
 (* T1: dataset characteristics                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -855,6 +1088,7 @@ let t1 ~fast () =
         {
           Engine.region = Region.config_with_size size;
           durability = Engine.Logging lc;
+          salvage = None;
         }
     in
     ignore (Ycsb.setup e_log (Prng.create 1L) ycfg);
@@ -1179,6 +1413,7 @@ let recovery_json ~scales () =
                 heap_blocks;
                 rolled_back_rows;
                 tables;
+                _;
               } ->
               J.Obj
                 [
@@ -1435,6 +1670,69 @@ let par_json ~rows ~merge_rows ~recovery_ops ~reps () =
       ("registry", Obs.to_json ());
     ]
 
+let faults_json ~fast () =
+  Printf.printf "  json faults sweep (%s mode) ...\n%!"
+    (if fast then "fast" else "full");
+  let verify, salvage = e9_sweeps ~fast in
+  let level_json (wall, verify_ns) =
+    J.Obj [ ("wall_ns", J.Int wall); ("verify_ns", J.Int verify_ns) ]
+  in
+  J.Obj
+    [
+      ("experiment", J.Str "faults");
+      ( "verify_overhead",
+        J.List
+          (List.map
+             (fun (s, rows, data, off, shallow, deep) ->
+               J.Obj
+                 [
+                   ("scale", J.Int s);
+                   ("rows", J.Int rows);
+                   ("data_bytes", J.Int data);
+                   ("off", level_json off);
+                   ("shallow", level_json shallow);
+                   ("deep", level_json deep);
+                 ])
+             verify) );
+      ( "salvage",
+        J.List
+          (List.map
+             (fun r ->
+               J.Obj
+                 [
+                   ("faults", J.Int r.faults);
+                   ("outcome", J.Str r.outcome);
+                   ("wall_ns", J.Int r.wall_ns);
+                   ("verify_ns", J.Int r.verify_ns);
+                   ("salvage_ns", J.Int r.salvage_ns);
+                   ("quarantined", J.Int r.quarantined);
+                   ("salvaged", J.Int r.salvaged);
+                   ("heap_reset", J.Bool r.heap_reset);
+                   ("crc_failures", J.Int r.crc_failures);
+                   ("rows_intact", J.Bool r.rows_intact);
+                 ])
+             salvage) );
+      ( "shape",
+        J.Obj
+          [
+            (* < 1.0: shallow verify grows sub-linearly in rows *)
+            ("shallow_growth_vs_rows", J.Float (e9_sublinearity verify));
+            ( "all_rows_intact",
+              J.Bool (List.for_all (fun r -> r.rows_intact) salvage) );
+            ( "no_raised_outcomes",
+              J.Bool
+                (List.for_all
+                   (fun r -> not (String.length r.outcome > 6
+                                  && String.sub r.outcome 0 6 = "raised"))
+                   salvage) );
+          ] );
+      ("registry", Obs.to_json ());
+    ]
+
+let emit_faults_json ~fast () =
+  Obs.set_enabled true;
+  write_json "BENCH_faults.json" (faults_json ~fast ())
+
 let emit_scan_json ~rows ~reps () =
   Obs.set_enabled true;
   write_json "BENCH_scan.json" (scan_json ~rows ~reps ())
@@ -1446,21 +1744,22 @@ let emit_par_json ~rows ~merge_rows ~recovery_ops ~reps () =
 let emit_json ~scales ~ops ~rows () =
   header
     "JSON  BENCH_recovery.json / BENCH_throughput.json / BENCH_scan.json / \
-     BENCH_par.json";
+     BENCH_par.json / BENCH_faults.json";
   Obs.set_enabled true;
   write_json "BENCH_recovery.json" (recovery_json ~scales ());
   write_json "BENCH_throughput.json" (throughput_json ~ops ~rows ());
   write_json "BENCH_scan.json" (scan_json ~rows:(rows * 10) ~reps:2 ());
   write_json "BENCH_par.json"
     (par_json ~rows:(rows * 10) ~merge_rows:(rows * 2) ~recovery_ops:(ops * 2)
-       ~reps:2 ())
+       ~reps:2 ());
+  write_json "BENCH_faults.json" (faults_json ~fast:(List.length scales <= 3) ())
 
 (* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
-    ("E7", e7); ("E8", e8); ("T1", t1); ("A1", a1); ("A2", a2); ("A3", a3);
-    ("A4", a4) ]
+    ("E7", e7); ("E8", e8); ("E9", e9); ("T1", t1); ("A1", a1); ("A2", a2);
+    ("A3", a3); ("A4", a4) ]
 
 let () =
   let only = ref [] and fast = ref false and smoke = ref false in
@@ -1492,6 +1791,13 @@ let () =
          scale that still spans several chunks per lane *)
       print_endline "Hyrise-NV reproduction benchmarks (smoke: par JSON only)";
       emit_par_json ~rows:12_000 ~merge_rows:4_000 ~recovery_ops:300 ~reps:2 ()
+    end
+    else if !only = [ "E9" ] then begin
+      (* CI smoke of the media-fault pipeline alone: just
+         BENCH_faults.json at fast scale *)
+      print_endline
+        "Hyrise-NV reproduction benchmarks (smoke: faults JSON only)";
+      emit_faults_json ~fast:true ()
     end
     else begin
       (* CI smoke: skip the table experiments, emit only the JSON files at

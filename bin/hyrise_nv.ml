@@ -87,7 +87,7 @@ let restart jobs image size_mb trace =
   let engine, stats = Engine.open_image cfg image in
   Printf.printf "instant restart in %s\n" (Tabular.fmt_ns stats.Engine.wall_ns);
   (match stats.Engine.detail with
-  | Engine.Rv_nvm { heap_open_ns; attach_ns; rollback_ns; heap_blocks; rolled_back_rows; tables } ->
+  | Engine.Rv_nvm { heap_open_ns; attach_ns; rollback_ns; heap_blocks; rolled_back_rows; tables; _ } ->
       Printf.printf
         "  heap scan %s (%d blocks) | attach %s (%d tables) | rollback %s (%d rows)\n"
         (Tabular.fmt_ns heap_open_ns) heap_blocks (Tabular.fmt_ns attach_ns)
@@ -150,6 +150,7 @@ let demo jobs scales seed =
               durability =
                 Engine.Logging
                   { Wal.Log.dir = tmpdir (); group_commit_size = 8; fsync = false };
+              salvage = None;
             })
     in
     let nvm_ns, bytes =
@@ -336,6 +337,7 @@ let stats jobs size_mb seed ops trace =
           durability =
             Engine.Logging
               { Wal.Log.dir = tmpdir (); group_commit_size = 8; fsync = false };
+          salvage = None;
         })
     ~checkpoint_midway:true "recover.log"
     [ "format"; "checkpoint_load"; "replay"; "reopen_log" ];
@@ -370,6 +372,80 @@ let stats_cmd =
        ~doc:"Crash and recover under both durability modes, then print the \
              per-phase recovery breakdown and the full metrics registry.")
     Term.(const stats $ jobs_arg $ size_arg $ seed_arg $ ops $ trace_arg)
+
+(* -- scrub -- *)
+
+(* Exit codes (documented in the man page and README):
+     0  image verifies clean
+     2  damage confined to individual tables (quarantinable/salvageable)
+     3  structural damage — heap, catalog, or an unrecoverable image *)
+
+let scrub jobs image size_mb shallow inject seed =
+  set_jobs jobs;
+  let cfg = Engine.default_config ~size:(size_mb * mib) Engine.Nvm in
+  let image =
+    if inject = 0 then image
+    else begin
+      let region = Region.load_from_file cfg.Engine.region image in
+      let rng = Prng.create (Int64.of_int seed) in
+      for _ = 1 to inject do
+        Region.inject_fault region rng
+          (Region.random_fault region rng ~lo:0 ~hi:(Region.size region))
+      done;
+      let damaged = Filename.temp_file "hyrise_scrub" ".img" in
+      Region.save_to_file region damaged;
+      Printf.printf "injected %d media fault(s) (seed %d) -> %s\n%!" inject
+        seed damaged;
+      damaged
+    end
+  in
+  Printf.printf "mapping %s ...\n%!" image;
+  match Engine.open_image ~verify:`Off cfg image with
+  | exception exn ->
+      Printf.printf "UNRECOVERABLE  image did not attach: %s\n"
+        (Printexc.to_string exn);
+      exit 3
+  | engine, _ ->
+      let report = Engine.scrub ~deep:(not shallow) engine in
+      let crc = Obs.counter_value (Obs.counter "media.crc_failures") in
+      if report = [] then begin
+        Printf.printf "image is clean: %d table(s) verified, %d CRC failure(s)\n"
+          (List.length (Engine.table_names engine)) crc;
+        exit 0
+      end;
+      List.iter
+        (fun (comp, reason) -> Printf.printf "DAMAGED  %-20s %s\n" comp reason)
+        report;
+      let structural =
+        List.exists (fun (c, _) -> c = "heap" || c = "catalog") report
+      in
+      Printf.printf "%d damaged component(s), %d CRC failure(s) -> exit %d\n"
+        (List.length report) crc
+        (if structural then 3 else 2);
+      exit (if structural then 3 else 2)
+
+let scrub_cmd =
+  let image =
+    Arg.(value & opt string "db.img" & info [ "image" ] ~docv:"FILE"
+           ~doc:"NVM image to verify (written by $(b,load)).")
+  in
+  let shallow =
+    Arg.(value & flag & info [ "shallow" ]
+           ~doc:"Structural checks only; skip payload checksum recomputation.")
+  in
+  let inject =
+    Arg.(value & opt int 0 & info [ "inject" ] ~docv:"N"
+           ~doc:"First inject $(docv) random media faults (deterministic per \
+                 $(b,--seed)) into a scratch copy of the image, then scrub \
+                 that copy. The original file is never modified.")
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:"Verify every checksummed structure of an NVM image. Exits 0 if \
+             clean, 2 if damage is confined to individual tables, 3 on \
+             heap or catalog damage.")
+    Term.(const scrub $ jobs_arg $ image $ size_arg $ shallow $ inject
+          $ seed_arg)
 
 (* -- repl -- *)
 
@@ -447,6 +523,8 @@ let () =
       `Noblank;
       `P "$(b,stats)    Per-phase recovery breakdown + metrics registry.";
       `Noblank;
+      `P "$(b,scrub)    Verify an image's checksums; exit 0/2/3 by damage.";
+      `Noblank;
       `P "$(b,repl)     Interactive SQL shell over an NVM engine.";
       `P "Benchmarks (recovery scaling, throughput, BENCH_*.json emission) \
           live in a separate binary: $(b,bench/main.exe).";
@@ -467,5 +545,6 @@ let () =
             torture_cmd;
             sanitize_cmd;
             stats_cmd;
+            scrub_cmd;
             repl_cmd;
           ]))

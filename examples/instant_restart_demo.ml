@@ -65,6 +65,7 @@ let () =
               durability =
                 Engine.Logging
                   { Wal.Log.dir = tmpdir (); group_commit_size = 8; fsync = false };
+              salvage = None;
             })
     in
     let nvm_wall, nvm_stats, bytes, _, nvm_rows =

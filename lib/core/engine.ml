@@ -1,4 +1,5 @@
 module Region = Nvm.Region
+module Seal = Nvm.Seal
 module A = Nvm_alloc.Allocator
 module Table = Storage.Table
 module Catalog = Storage.Catalog
@@ -13,10 +14,31 @@ module L = (val Logs.src_log log_src : Logs.LOG)
 
 type durability = Volatile | Logging of Wal.Log.config | Nvm
 
-type config = { region : Nvm.Region.config; durability : durability }
+type config = {
+  region : Nvm.Region.config;
+  durability : durability;
+  salvage : Wal.Log.config option;
+}
 
-let default_config ?(size = 64 * 1024 * 1024) durability =
-  { region = Region.config_with_size size; durability }
+let default_config ?(size = 64 * 1024 * 1024) ?salvage durability =
+  { region = Region.config_with_size size; durability; salvage }
+
+(* the salvage log is flushed on every commit: it exists to out-survive
+   the NVM image, so the group-commit loss window would undercut it *)
+let salvage_log_config lc = { lc with Wal.Log.group_commit_size = 1 }
+
+type verify_level = [ `Off | `Shallow | `Deep ]
+
+let quarantined_tables_c = Obs.counter "media.quarantined_tables"
+let salvaged_tables_c = Obs.counter "media.salvaged_tables"
+
+let damage_reason = function
+  | A.Heap_corrupt { at; what } -> Printf.sprintf "heap: %s at +%d" what at
+  | Nvm.Seal.Corrupt { what; off; _ } ->
+      Printf.sprintf "sealed word (%s) at +%d" what off
+  | Pstruct.Pcheck.Invalid { what; at } ->
+      Printf.sprintf "structure: %s at +%d" what at
+  | e -> Printexc.to_string e
 
 type txn = Mvcc.txn
 
@@ -41,6 +63,7 @@ type t = {
   mutable mgr : Mvcc.manager;
   publish_mode : Mvcc.publish_mode;
   san : Nvm.Sanitizer.t option;
+  mutable quarantined : string list; (* damaged tables we could not salvage *)
   mutable closed : bool;
   mutable replaying : bool; (* suppress logging during replay *)
 }
@@ -64,8 +87,11 @@ let persist_commit_hook region ctrl cid =
      becomes durable, nothing anywhere may still be in flight — the
      batched publish protocol fenced it all *)
   Region.annotate_commit_point region ~label:"mvcc.commit" [];
-  Region.set_i64 region ctrl cid;
+  Seal.write region ctrl (Int64.to_int cid);
   Region.persist region ctrl 8
+
+let read_commit_point region ctrl =
+  Int64.of_int (Seal.read region ~what:"engine commit point" ctrl)
 
 let observer t event =
   if not t.replaying then
@@ -110,11 +136,12 @@ let assemble ?(publish_mode = `Batched) ?san cfg region alloc ctrl catalog
         Mvcc.create_manager ~persist_commit:ignore ~last_cid:Cid.zero ();
       publish_mode;
       san;
+      quarantined = [];
       closed = false;
       replaying = false;
     }
   in
-  t.mgr <- make_manager t ~last_cid:(Region.get_i64 region ctrl);
+  t.mgr <- make_manager t ~last_cid:(read_commit_point region ctrl);
   t
 
 let create_raw ?publish_mode ?(sanitize = false) (cfg : config) ~with_log =
@@ -124,15 +151,17 @@ let create_raw ?publish_mode ?(sanitize = false) (cfg : config) ~with_log =
   let alloc = A.format region in
   let catalog = Catalog.create alloc in
   let ctrl = A.alloc alloc 16 in
-  Region.set_i64 region ctrl Cid.zero;
-  Region.set_int region (ctrl + 8) (Catalog.handle catalog);
+  Seal.write region ctrl (Int64.to_int Cid.zero);
+  Seal.write region (ctrl + 8) (Catalog.handle catalog);
   Region.persist region ctrl 16;
   A.activate alloc ctrl;
   A.set_root alloc root_slot ctrl;
   let log =
-    match cfg.durability with
-    | Logging lc when with_log -> Some (Wal.Log.create lc ~epoch:0)
-    | Logging _ | Volatile | Nvm -> None
+    match (cfg.durability, cfg.salvage) with
+    | Logging lc, _ when with_log -> Some (Wal.Log.create lc ~epoch:0)
+    | Nvm, Some lc when with_log ->
+        Some (Wal.Log.create (salvage_log_config lc) ~epoch:0)
+    | _ -> None
   in
   assemble ?publish_mode ?san cfg region alloc ctrl catalog ~log ~epoch:0
 
@@ -140,6 +169,7 @@ let create ?publish_mode ?sanitize cfg =
   create_raw ?publish_mode ?sanitize cfg ~with_log:true
 
 let sanitizer t = t.san
+let quarantined t = t.quarantined
 
 (* -- DDL -- *)
 
@@ -297,12 +327,17 @@ let merge_one t name =
 
 let merge t name =
   check_open t;
-  match t.cfg.durability with
-  | Logging _ ->
+  match (t.cfg.durability, t.cfg.salvage) with
+  | Logging _, _ ->
       invalid_arg
         "Engine.merge: use Engine.checkpoint under log-based durability \
          (a lone merge would invalidate logged row references)"
-  | Volatile | Nvm -> merge_one t name
+  | Nvm, Some _ ->
+      invalid_arg
+        "Engine.merge: use Engine.checkpoint under salvage logging (a lone \
+         merge would invalidate the row references the salvage log relies \
+         on)"
+  | Nvm, None | Volatile, _ -> merge_one t name
 
 let dump_tables t =
   List.map
@@ -330,8 +365,14 @@ let checkpoint t =
   if Mvcc.active_count t.mgr > 0 then
     invalid_arg "Engine.checkpoint: active transactions";
   let stats = List.map (merge_one t) (table_names t) in
-  (match (t.cfg.durability, t.log) with
-  | Logging lc, Some log ->
+  let rotate_to =
+    match (t.cfg.durability, t.cfg.salvage, t.log) with
+    | Logging lc, _, Some log -> Some (lc, log)
+    | Nvm, Some lc, Some log -> Some (salvage_log_config lc, log)
+    | _ -> None
+  in
+  (match rotate_to with
+  | Some (lc, log) ->
       let epoch = t.epoch + 1 in
       let on_step = Option.map Nvm.Sanitizer.note_external t.san in
       ignore
@@ -340,13 +381,17 @@ let checkpoint t =
       Wal.Log.close log;
       t.log <- Some (Wal.Log.create lc ~epoch);
       t.epoch <- epoch
-  | _ -> ());
+  | None -> ());
   stats
 
 let vacuum t =
   check_open t;
   if Mvcc.active_count t.mgr > 0 then
     invalid_arg "Engine.vacuum: active transactions";
+  if t.quarantined <> [] then
+    invalid_arg
+      "Engine.vacuum: quarantined tables present (their blocks are \
+       preserved as salvage evidence)";
   let live = Hashtbl.create 4096 in
   Hashtbl.replace live t.ctrl ();
   List.iter (fun b -> Hashtbl.replace live b ()) (Catalog.owned_blocks t.catalog);
@@ -379,10 +424,15 @@ type recovery_detail =
   | Rv_nvm of {
       heap_open_ns : int;
       attach_ns : int;
+      verify_ns : int;
       rollback_ns : int;
+      salvage_ns : int;
       heap_blocks : int;
       rolled_back_rows : int;
       tables : int;
+      quarantined : string list;
+      salvaged : string list;
+      heap_reset : bool;
     }
   | Rv_log of {
       checkpoint_load_ns : int;
@@ -396,174 +446,144 @@ type recovery_detail =
 
 type recovery_stats = { wall_ns : int; detail : recovery_detail }
 
-let recover_nvm ?san cfg region =
-  Obs.Span.with_ ~name:"recover.nvm" @@ fun () ->
-  let t0 = now_ns () in
-  let alloc =
-    Obs.Span.with_ ~name:"heap_scan" @@ fun () ->
-    let alloc = A.open_existing region in
-    (match A.last_recovery alloc with
-    | Some r -> Obs.Span.attr "blocks" r.A.scanned_blocks
-    | None -> ());
-    alloc
-  in
-  let t1 = now_ns () in
-  (* a traced (sanitizer) restart stays single-domain: PROTOCOLS.md §10 *)
-  let force_serial = Region.traced region in
-  let e, last =
-    Obs.Span.with_ ~name:"attach" @@ fun () ->
-    let ctrl = A.get_root alloc root_slot in
-    let last = Region.get_i64 region ctrl in
-    let catalog = Catalog.attach alloc (Region.get_int region (ctrl + 8)) in
-    let e = assemble ?san cfg region alloc ctrl catalog ~log:None ~epoch:0 in
-    (* attaching a table is pure reads into a fresh volatile shell, and
-       tables are independent — fan out, then register in catalog order *)
-    let attached =
-      Par.map_array ~force_serial
-        (fun (name, tctrl) -> (name, Table.attach alloc tctrl))
-        (Array.of_list (Catalog.tables catalog))
-    in
-    Array.iter (fun (name, table) -> register_table e name table) attached;
-    Obs.Span.attr "tables" (Hashtbl.length e.tables);
-    (e, last)
-  in
-  let t2 = now_ns () in
-  let rolled = ref 0 in
-  Obs.Span.with_ ~name:"rollback" (fun () ->
-      (* analyze on the pool (the O(delta) read scan), apply serially
-         (the writes), in creation order for a deterministic persist
-         sequence *)
-      let tbls =
-        Array.of_list (List.map (Hashtbl.find e.tables) (table_names e))
+let load_checkpoint_tables e (c : Wal.Checkpoint.t) =
+  let rows = ref 0 in
+  List.iter
+    (fun td ->
+      (* columnar bulk load: rebuild the main partition directly *)
+      let columns =
+        Array.map
+          (fun cd -> (cd.Wal.Checkpoint.dict, cd.Wal.Checkpoint.avec))
+          td.Wal.Checkpoint.columns
       in
-      let plans =
-        Par.map_array ~force_serial
-          (fun table -> Table.rollback_plan table ~last_cid:last)
-          tbls
+      let main_end = Array.make td.Wal.Checkpoint.rows Cid.infinity in
+      let table =
+        Table.replace_ctrl_for_merge e.alloc ~name:td.Wal.Checkpoint.name
+          ~schema:td.Wal.Checkpoint.schema ~columns ~main_end
       in
-      Array.iteri
-        (fun i plan -> rolled := !rolled + Table.rollback_apply tbls.(i) plan)
-        plans;
-      (* recovery hands back a fully durable database: a crash immediately
-         after restart must change nothing *)
-      Region.annotate_commit_point region ~label:"engine.recover" [];
-      Obs.Span.attr "rows" !rolled);
-  let t3 = now_ns () in
-  let heap_blocks =
-    match A.last_recovery alloc with
-    | Some r -> r.A.scanned_blocks
-    | None -> 0
-  in
-  L.info (fun m ->
-      m "NVM recovery: heap %dus (%d blocks), attach %dus, rollback %dus (%d rows)"
-        ((t1 - t0) / 1000) heap_blocks ((t2 - t1) / 1000) ((t3 - t2) / 1000)
-        !rolled);
-  ( e,
-    Rv_nvm
-      {
-        heap_open_ns = t1 - t0;
-        attach_ns = t2 - t1;
-        rollback_ns = t3 - t2;
-        heap_blocks;
-        rolled_back_rows = !rolled;
-        tables = Hashtbl.length e.tables;
-      } )
+      Catalog.add_table e.catalog ~name:td.Wal.Checkpoint.name
+        ~ctrl:(Table.handle table);
+      register_table e td.Wal.Checkpoint.name table;
+      rows := !rows + td.Wal.Checkpoint.rows)
+    c.Wal.Checkpoint.tables;
+  !rows
 
-let recover_log cfg lc =
+(* Rebuild from checkpoint + retained logs. The ladder:
+   1. checkpoint.bin plus its epoch's log;
+   2. (current checkpoint rejected) checkpoint.bak plus the previous
+      epoch's log, a merge at the boundary reproducing what the rejected
+      checkpoint did, then the current epoch's log;
+   3. (no readable checkpoint) an empty database plus every retained
+      epoch from 0, with a merge at each boundary.
+   [bound] (NVM salvage) drops commit records beyond the NVM durable
+   commit point so the rebuilt state matches the surviving image;
+   [reopen] re-arms the log for appending (off for scratch replays). *)
+let recover_log_at ?bound ?(reopen = true) cfg lc =
   Obs.Span.with_ ~name:"recover.log" @@ fun () ->
-  (* the region lost everything: rebuild from checkpoint + log *)
   let e =
     Obs.Span.with_ ~name:"format" (fun () -> create_raw cfg ~with_log:false)
   in
   e.replaying <- true;
   let t0 = now_ns () in
+  let dir = lc.Wal.Log.dir in
   let ckpt_rows = ref 0 and ckpt_bytes = ref 0 in
-  let base_cid, epoch =
+  let ckpt =
     Obs.Span.with_ ~name:"checkpoint_load" @@ fun () ->
-    let ckpt = Wal.Checkpoint.read ~dir:lc.Wal.Log.dir in
-    let r =
-      match ckpt with
-      | None -> (Cid.zero, 0)
-      | Some c ->
-          ckpt_bytes :=
-            (try
-               (Unix.stat (Wal.Checkpoint.path ~dir:lc.Wal.Log.dir)).Unix.st_size
-             with Unix.Unix_error _ -> 0);
-          List.iter
-            (fun td ->
-              (* columnar bulk load: rebuild the main partition directly *)
-              let columns =
-                Array.map
-                  (fun cd -> (cd.Wal.Checkpoint.dict, cd.Wal.Checkpoint.avec))
-                  td.Wal.Checkpoint.columns
-              in
-              let main_end = Array.make td.Wal.Checkpoint.rows Cid.infinity in
-              let table =
-                Table.replace_ctrl_for_merge e.alloc ~name:td.Wal.Checkpoint.name
-                  ~schema:td.Wal.Checkpoint.schema ~columns ~main_end
-              in
-              Catalog.add_table e.catalog ~name:td.Wal.Checkpoint.name
-                ~ctrl:(Table.handle table);
-              register_table e td.Wal.Checkpoint.name table;
-              ckpt_rows := !ckpt_rows + td.Wal.Checkpoint.rows)
-            c.Wal.Checkpoint.tables;
-          (c.Wal.Checkpoint.cid, c.Wal.Checkpoint.epoch)
+    let c, src_path =
+      match Wal.Checkpoint.read ~dir with
+      | Some c -> (Some c, Wal.Checkpoint.path ~dir)
+      | None -> (Wal.Checkpoint.read_bak ~dir, Wal.Checkpoint.bak_path ~dir)
     in
+    (match c with
+    | None -> ()
+    | Some c ->
+        ckpt_bytes :=
+          (try (Unix.stat src_path).Unix.st_size with Unix.Unix_error _ -> 0);
+        ckpt_rows := load_checkpoint_tables e c);
     Obs.Span.attr "rows" !ckpt_rows;
-    r
+    c
   in
   let t1 = now_ns () in
+  let base_cid, base_epoch =
+    match ckpt with
+    | Some c -> (c.Wal.Checkpoint.cid, c.Wal.Checkpoint.epoch)
+    | None -> (Cid.zero, 0)
+  in
+  let top_epoch = List.fold_left max base_epoch (Wal.Log.epochs ~dir) in
   (* replay: reproduce physical row numbering by applying every logged
      insert, then stamping at commit records *)
   let staged : (int, (Table.t * int) list) Hashtbl.t = Hashtbl.create 64 in
   let last = ref base_cid in
   let committed = ref 0 in
+  let total_records = ref 0 and total_bytes = ref 0 in
+  let final_bytes = ref 0 in
   let table_by_id id =
     match List.nth_opt (List.rev e.names_by_id) id with
     | Some name -> table e name
     | None -> failwith "Engine.recover: log references unknown table"
   in
-  let records, log_bytes =
-    Obs.Span.with_ ~name:"replay" @@ fun () ->
-    let records, log_bytes =
-      Wal.Log.read_all ~dir:lc.Wal.Log.dir ~expected_epoch:epoch
-    in
-    List.iter
-      (fun r ->
-        match r with
-        | Wal.Log.Create_table { name; schema } -> create_table e ~name schema
-        | Wal.Log.Insert { tid; table_id; values } ->
-            let table = table_by_id table_id in
-            let row = Table.append_row table values in
-            let prev = Option.value ~default:[] (Hashtbl.find_opt staged tid) in
-            Hashtbl.replace staged tid ((table, row) :: prev)
-        | Wal.Log.Commit { tid; cid; invalidated } ->
-            List.iter
-              (fun (table, row) -> Table.set_begin_cid table row cid)
-              (Option.value ~default:[] (Hashtbl.find_opt staged tid));
-            Hashtbl.remove staged tid;
-            List.iter
-              (fun (table_id, row) ->
-                Table.set_end_cid (table_by_id table_id) row cid)
-              invalidated;
-            if Int64.compare cid !last > 0 then last := cid;
-            incr committed
-        | Wal.Log.Abort { tid } -> Hashtbl.remove staged tid)
-      records;
-    Obs.Span.attr "records" (List.length records);
-    Obs.Span.attr "committed_txns" !committed;
-    (records, log_bytes)
+  let apply r =
+    match r with
+    | Wal.Log.Create_table { name; schema } -> create_table e ~name schema
+    | Wal.Log.Insert { tid; table_id; values } ->
+        let table = table_by_id table_id in
+        let row = Table.append_row table values in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt staged tid) in
+        Hashtbl.replace staged tid ((table, row) :: prev)
+    | Wal.Log.Commit { tid; cid; invalidated } ->
+        let beyond =
+          match bound with Some b -> Int64.compare cid b > 0 | None -> false
+        in
+        if beyond then
+          (* the NVM image never made this commit durable: its rows stay
+             uncommitted, exactly like the image-side rollback leaves them *)
+          Hashtbl.remove staged tid
+        else begin
+          List.iter
+            (fun (table, row) -> Table.set_begin_cid table row cid)
+            (Option.value ~default:[] (Hashtbl.find_opt staged tid));
+          Hashtbl.remove staged tid;
+          List.iter
+            (fun (table_id, row) ->
+              Table.set_end_cid (table_by_id table_id) row cid)
+            invalidated;
+          if Int64.compare cid !last > 0 then last := cid;
+          incr committed
+        end
+    | Wal.Log.Abort { tid } -> Hashtbl.remove staged tid
   in
+  Obs.Span.with_ ~name:"replay" (fun () ->
+      for epoch = base_epoch to top_epoch do
+        let records, log_bytes = Wal.Log.read_all ~dir ~expected_epoch:epoch in
+        List.iter apply records;
+        total_records := !total_records + List.length records;
+        total_bytes := !total_bytes + log_bytes;
+        final_bytes := log_bytes;
+        if epoch < top_epoch then begin
+          (* reproduce the merge the checkpoint at this boundary performed,
+             so the next epoch's row references resolve *)
+          Hashtbl.reset staged;
+          e.mgr <- make_manager e ~last_cid:!last;
+          List.iter (fun n -> ignore (merge_one e n)) (table_names e)
+        end
+      done;
+      Obs.Span.attr "records" !total_records;
+      Obs.Span.attr "committed_txns" !committed);
   let t2 = now_ns () in
   e.replaying <- false;
   Obs.Span.with_ ~name:"reopen_log" (fun () ->
       persist_commit_hook e.region e.ctrl !last;
       e.mgr <- make_manager e ~last_cid:!last;
-      e.log <- Some (Wal.Log.open_append lc ~epoch ~truncate_at:log_bytes);
-      e.epoch <- epoch);
+      if reopen then begin
+        (if Sys.file_exists (Wal.Log.log_path ~dir ~epoch:top_epoch) then
+           e.log <-
+             Some (Wal.Log.open_append lc ~epoch:top_epoch ~truncate_at:!final_bytes)
+         else e.log <- Some (Wal.Log.create lc ~epoch:top_epoch));
+        e.epoch <- top_epoch
+      end);
   L.info (fun m ->
       m "log recovery: %d checkpoint rows, %d records replayed (%d bytes), %d txns"
-        !ckpt_rows (List.length records) log_bytes !committed);
+        !ckpt_rows !total_records !total_bytes !committed);
   ( e,
     Rv_log
       {
@@ -571,18 +591,284 @@ let recover_log cfg lc =
         replay_ns = t2 - t1;
         checkpoint_rows = !ckpt_rows;
         checkpoint_bytes = !ckpt_bytes;
-        log_records = List.length records;
-        log_bytes;
+        log_records = !total_records;
+        log_bytes = !total_bytes;
         committed_txns = !committed;
       } )
 
-let recover crashed =
+(* Rebuild one damaged table inside the live heap from its scratch-replay
+   twin, preserving physical row numbering exactly (main rows from the
+   rebuilt main partition, delta rows re-appended in order), so retained
+   log records keep resolving against the salvaged generation. *)
+let rebuild_table alloc ~name src =
+  let schema = Table.schema src in
+  let m = Table.main_rows src in
+  let columns =
+    Array.init (Schema.arity schema) (fun ci ->
+        ( Array.init (Table.main_dictionary_size src ci)
+            (Table.main_dict_value src ci),
+          Array.init m (Table.main_vid src ci) ))
+  in
+  let main_end = Array.init m (fun r -> Table.end_cid src r) in
+  let t = Table.replace_ctrl_for_merge alloc ~name ~schema ~columns ~main_end in
+  for r = m to Table.row_count src - 1 do
+    let nr = Table.append_row t (Table.get_row src r) in
+    assert (nr = r);
+    let b = Table.begin_cid src r in
+    if b <> Cid.infinity then Table.set_begin_cid t nr b;
+    let e = Table.end_cid src r in
+    if e <> Cid.infinity then Table.set_end_cid t nr e
+  done;
+  Table.publish t;
+  t
+
+let recover_nvm ?(verify = `Shallow) ?san cfg region =
+  Obs.Span.with_ ~name:"recover.nvm" @@ fun () ->
+  let t0 = now_ns () in
+  let instant () =
+    let alloc =
+      Obs.Span.with_ ~name:"heap_scan" @@ fun () ->
+      let alloc = A.open_existing region in
+      (match A.last_recovery alloc with
+      | Some r -> Obs.Span.attr "blocks" r.A.scanned_blocks
+      | None -> ());
+      alloc
+    in
+    let t1 = now_ns () in
+    (* a traced (sanitizer) restart stays single-domain: PROTOCOLS.md §10 *)
+    let force_serial = Region.traced region in
+    let e, last, views, attached =
+      Obs.Span.with_ ~name:"attach" @@ fun () ->
+      let ctrl = A.get_root alloc root_slot in
+      let last = read_commit_point region ctrl in
+      let catalog =
+        Catalog.attach alloc (Seal.read region ~what:"catalog handle" (ctrl + 8))
+      in
+      (* the directory itself must hold up: per-table damage is contained
+         below, but an unreadable directory means no table can be trusted *)
+      (match verify with
+      | `Off -> ()
+      | `Shallow -> Catalog.verify catalog
+      | `Deep -> Catalog.verify ~deep:true catalog);
+      let e = assemble ?san cfg region alloc ctrl catalog ~log:None ~epoch:0 in
+      let views = Catalog.entries_defensive catalog in
+      List.iter
+        (fun (v : Catalog.entry_view) ->
+          if v.Catalog.name = None then
+            raise
+              (A.Heap_corrupt
+                 {
+                   at = Option.value ~default:0 v.Catalog.entry_off;
+                   what = "unreadable catalog entry";
+                 }))
+        views;
+      (* attaching a table is pure reads into a fresh volatile shell, and
+         tables are independent — fan out; a failed attach quarantines the
+         table instead of failing the restart *)
+      let attached =
+        Par.map_array ~force_serial
+          (fun (v : Catalog.entry_view) ->
+            match v.Catalog.ctrl with
+            | None -> Error "catalog entry control pointer unreadable"
+            | Some tctrl -> (
+                try Ok (Table.attach alloc tctrl)
+                with exn -> Error (damage_reason exn)))
+          (Array.of_list views)
+      in
+      Obs.Span.attr "tables" (List.length views);
+      (e, last, Array.of_list views, attached)
+    in
+    let t2 = now_ns () in
+    let verified =
+      Obs.Span.with_ ~name:"verify" @@ fun () ->
+      match verify with
+      | `Off -> attached
+      | (`Shallow | `Deep) as level ->
+          Par.map_array ~force_serial
+            (fun r ->
+              match r with
+              | Error _ -> r
+              | Ok table -> (
+                  try
+                    Table.verify ~deep:(level = `Deep) ~last_cid:last table;
+                    r
+                  with exn -> Error (damage_reason exn)))
+            attached
+    in
+    let t3 = now_ns () in
+    let quarantine =
+      let acc = ref [] in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok _ -> ()
+          | Error reason ->
+              acc := (Option.get views.(i).Catalog.name, reason) :: !acc)
+        verified;
+      List.rev !acc
+    in
+    List.iter
+      (fun (name, reason) ->
+        Obs.incr quarantined_tables_c;
+        L.warn (fun m -> m "table %s quarantined: %s" name reason))
+      quarantine;
+    let salvaged = ref [] in
+    Obs.Span.with_ ~name:"salvage" (fun () ->
+        let scratch =
+          if quarantine = [] then None
+          else
+            match cfg.salvage with
+            | None -> None
+            | Some lc ->
+                (* rebuild the pre-crash committed state in a scratch
+                   volatile engine; only damaged tables are copied out *)
+                let scratch_cfg =
+                  { cfg with durability = Volatile; salvage = None }
+                in
+                let scratch, _ =
+                  recover_log_at ~bound:last ~reopen:false scratch_cfg lc
+                in
+                Some scratch
+        in
+        Array.iteri
+          (fun i r ->
+            let name = Option.get views.(i).Catalog.name in
+            match r with
+            | Ok table -> register_table e name table
+            | Error _ -> (
+                match scratch with
+                | None ->
+                    (* graceful degradation: serve the healthy tables *)
+                    e.quarantined <- e.quarantined @ [ name ]
+                | Some scratch -> (
+                    match Hashtbl.find_opt scratch.tables name with
+                    | None ->
+                        (* the archive does not know this table at all:
+                           beyond per-table salvage, rebuild everything *)
+                        raise
+                          (A.Heap_corrupt
+                             {
+                               at = 0;
+                               what = name ^ " missing from salvage archive";
+                             })
+                    | Some src ->
+                        let nt = rebuild_table e.alloc ~name src in
+                        Catalog.swap_table e.catalog ~name
+                          ~new_ctrl:(Table.handle nt);
+                        register_table e name nt;
+                        Obs.incr salvaged_tables_c;
+                        salvaged := name :: !salvaged;
+                        L.warn (fun m ->
+                            m "table %s salvaged from checkpoint + log" name))))
+          verified);
+    let t4 = now_ns () in
+    let rolled = ref 0 in
+    Obs.Span.with_ ~name:"rollback" (fun () ->
+        (* analyze on the pool (the O(delta) read scan), apply serially
+           (the writes), in creation order for a deterministic persist
+           sequence *)
+        let tbls =
+          Array.of_list (List.map (Hashtbl.find e.tables) (table_names e))
+        in
+        let plans =
+          Par.map_array ~force_serial
+            (fun table -> Table.rollback_plan table ~last_cid:last)
+            tbls
+        in
+        Array.iteri
+          (fun i plan -> rolled := !rolled + Table.rollback_apply tbls.(i) plan)
+          plans;
+        (* recovery hands back a fully durable database: a crash immediately
+           after restart must change nothing *)
+        Region.annotate_commit_point region ~label:"engine.recover" [];
+        Obs.Span.attr "rows" !rolled);
+    let t5 = now_ns () in
+    (* re-arm the salvage log: append where the last intact frame ended *)
+    (match cfg.salvage with
+    | None -> ()
+    | Some lc ->
+        let dir = lc.Wal.Log.dir in
+        let top = List.fold_left max 0 (Wal.Log.epochs ~dir) in
+        let lc1 = salvage_log_config lc in
+        (if Sys.file_exists (Wal.Log.log_path ~dir ~epoch:top) then begin
+           let _, good = Wal.Log.read_all ~dir ~expected_epoch:top in
+           e.log <- Some (Wal.Log.open_append lc1 ~epoch:top ~truncate_at:good)
+         end
+         else e.log <- Some (Wal.Log.create lc1 ~epoch:top));
+        e.epoch <- top);
+    let heap_blocks =
+      match A.last_recovery alloc with
+      | Some r -> r.A.scanned_blocks
+      | None -> 0
+    in
+    L.info (fun m ->
+        m
+          "NVM recovery: heap %dus (%d blocks), attach %dus, verify %dus, \
+           salvage %dus, rollback %dus (%d rows)"
+          ((t1 - t0) / 1000) heap_blocks ((t2 - t1) / 1000) ((t3 - t2) / 1000)
+          ((t4 - t3) / 1000) ((t5 - t4) / 1000) !rolled);
+    ( e,
+      Rv_nvm
+        {
+          heap_open_ns = t1 - t0;
+          attach_ns = t2 - t1;
+          verify_ns = t3 - t2;
+          salvage_ns = t4 - t3;
+          rollback_ns = t5 - t4;
+          heap_blocks;
+          rolled_back_rows = !rolled;
+          tables = Hashtbl.length e.tables;
+          quarantined = e.quarantined;
+          salvaged = List.rev !salvaged;
+          heap_reset = false;
+        } )
+  in
+  match instant () with
+  | result -> result
+  | exception
+      ((A.Heap_corrupt _ | Nvm.Seal.Corrupt _ | Pstruct.Pcheck.Invalid _
+       | Invalid_argument _ | Not_found | Failure _) as exn) -> (
+      (* the named checks are the structured detectors; [Invalid_argument]
+         / [Not_found] / [Failure] are bounds errors a fault can provoke
+         from plausible-but-wrong offsets before any checksum is reached *)
+      match cfg.salvage with
+      | None -> raise exn
+      | Some lc ->
+          (* the heap, control block or catalog is gone: degrade all the
+             way to a full rebuild from the salvage archive (the classic
+             checkpoint + log recovery, onto a fresh region) *)
+          L.warn (fun m ->
+              m "instant restart impossible (%s); rebuilding from salvage \
+                 archive"
+                (damage_reason exn));
+          let ts = now_ns () in
+          let e, _ = recover_log_at cfg (salvage_log_config lc) in
+          let names = table_names e in
+          List.iter (fun _ -> Obs.incr salvaged_tables_c) names;
+          ( e,
+            Rv_nvm
+              {
+                heap_open_ns = 0;
+                attach_ns = 0;
+                verify_ns = 0;
+                rollback_ns = 0;
+                salvage_ns = now_ns () - ts;
+                heap_blocks = 0;
+                rolled_back_rows = 0;
+                tables = List.length names;
+                quarantined = [];
+                salvaged = names;
+                heap_reset = true;
+              } ))
+
+let recover ?verify crashed =
   let t0 = now_ns () in
   let e, detail =
     match crashed.c_cfg.durability with
     | Volatile -> (create crashed.c_cfg, Rv_volatile)
-    | Nvm -> recover_nvm ?san:crashed.c_san crashed.c_cfg crashed.c_region
-    | Logging lc -> recover_log crashed.c_cfg lc
+    | Nvm ->
+        recover_nvm ?verify ?san:crashed.c_san crashed.c_cfg crashed.c_region
+    | Logging lc -> recover_log_at crashed.c_cfg lc
   in
   (e, { wall_ns = now_ns () - t0; detail })
 
@@ -592,12 +878,35 @@ let save_image t path =
     invalid_arg "Engine.save_image: only meaningful under NVM durability";
   Region.save_to_file t.region path
 
-let open_image ?(sanitize = false) (cfg : config) path =
+let open_image ?verify ?(sanitize = false) (cfg : config) path =
   let t0 = now_ns () in
   let region = Region.load_from_file cfg.region path in
   let san = if sanitize then Some (Nvm.Sanitizer.attach region) else None in
-  let e, detail = recover_nvm ?san { cfg with durability = Nvm } region in
+  let e, detail =
+    recover_nvm ?verify ?san { cfg with durability = Nvm } region
+  in
   (e, { wall_ns = now_ns () - t0; detail })
+
+(* -- scrub -- *)
+
+let scrub ?(deep = true) t =
+  check_open t;
+  let dmg = ref [] in
+  let guard comp f =
+    try f () with exn -> dmg := (comp, damage_reason exn) :: !dmg
+  in
+  guard "heap" (fun () -> ignore (A.heap_stats t.alloc));
+  guard "catalog" (fun () -> Catalog.verify ~deep t.catalog);
+  let last = last_cid t in
+  List.iter
+    (fun name ->
+      guard ("table:" ^ name) (fun () ->
+          Table.verify ~deep ~last_cid:last (table t name)))
+    (table_names t);
+  List.iter
+    (fun name -> dmg := ("table:" ^ name, "quarantined at recovery") :: !dmg)
+    t.quarantined;
+  List.rev !dmg
 
 (* -- introspection -- *)
 

@@ -19,10 +19,19 @@
 
 type durability = Volatile | Logging of Wal.Log.config | Nvm
 
-type config = { region : Nvm.Region.config; durability : durability }
+type config = {
+  region : Nvm.Region.config;
+  durability : durability;
+  salvage : Wal.Log.config option;
+      (** [Nvm] mode only: additionally maintain a checkpoint + WAL
+          archive (flushed on every commit), so media damage found at
+          restart is repaired from it — per-table salvage for contained
+          damage, a full rebuild when the heap or catalog is gone —
+          instead of merely served around. [None] elsewhere. *)
+}
 
-val default_config : ?size:int -> durability -> config
-(** [size] defaults to 64 MiB. *)
+val default_config : ?size:int -> ?salvage:Wal.Log.config -> durability -> config
+(** [size] defaults to 64 MiB; [salvage] to [None]. *)
 
 type t
 
@@ -134,9 +143,10 @@ val aggregate :
 
 val merge : t -> string -> Storage.Merge.stats
 (** Fold the table's delta into a new main generation (requires no active
-    transactions). In [Logging] mode use [checkpoint] instead — a lone
-    merge would invalidate the row numbering the log relies on — calling
-    this raises [Invalid_argument] there. *)
+    transactions). In [Logging] mode — and in [Nvm] mode with a salvage
+    log — use [checkpoint] instead: a lone merge would invalidate the row
+    numbering the log relies on; calling this raises [Invalid_argument]
+    there. *)
 
 val vacuum : t -> int * int
 (** Offline reachability reclamation: walk everything reachable from the
@@ -144,7 +154,9 @@ val vacuum : t -> int * int
     any allocated heap block outside that set. Such blocks exist only as
     leaks from crash windows between allocation/publication or
     retirement/free (docs/PROTOCOLS.md §7). Requires no active
-    transactions. Returns (blocks, bytes) reclaimed. *)
+    transactions, and raises [Invalid_argument] while quarantined tables
+    exist (their blocks must be preserved as salvage evidence). Returns
+    (blocks, bytes) reclaimed. *)
 
 val checkpoint : t -> Storage.Merge.stats list
 (** Merge every table; in [Logging] mode additionally dump a checkpoint
@@ -165,10 +177,19 @@ type recovery_detail =
   | Rv_nvm of {
       heap_open_ns : int;  (** allocator recovery scan *)
       attach_ns : int;  (** catalog walk + table/index attach *)
+      verify_ns : int;  (** media scrub of the attached structures *)
       rollback_ns : int;  (** MVCC rollback of in-flight transactions *)
+      salvage_ns : int;  (** checkpoint + log repair of damaged tables *)
       heap_blocks : int;
       rolled_back_rows : int;
       tables : int;
+      quarantined : string list;
+          (** damaged tables with no salvage archive: present in the
+              catalog but not served *)
+      salvaged : string list;  (** damaged tables rebuilt from the archive *)
+      heap_reset : bool;
+          (** the NVM image was beyond repair; everything was rebuilt
+              from the archive onto a fresh region *)
     }
   | Rv_log of {
       checkpoint_load_ns : int;
@@ -182,15 +203,40 @@ type recovery_detail =
 
 type recovery_stats = { wall_ns : int; detail : recovery_detail }
 
-val recover : crashed -> t * recovery_stats
-(** Bring the database back per its durability mechanism. *)
+type verify_level = [ `Off | `Shallow | `Deep ]
+(** How hard NVM recovery scrubs the image before serving it.
+    [`Shallow] (the default) checks every sealed control word and
+    cross-structure invariant in near-constant time per structure, so the
+    instant-restart property is preserved; [`Deep] additionally
+    recomputes payload checksums (linear in the data); [`Off] trusts the
+    media entirely, as the engine did before checksums existed. *)
+
+val recover : ?verify:verify_level -> crashed -> t * recovery_stats
+(** Bring the database back per its durability mechanism. Under [Nvm],
+    structures failing [verify] are quarantined; with [config.salvage]
+    set they are rebuilt from the checkpoint + WAL archive (and a damaged
+    heap or catalog degrades to a full archive rebuild) — otherwise the
+    engine serves only the healthy tables, and the damaged names are
+    reported by {!quarantined}. *)
+
+val quarantined : t -> string list
+(** Tables quarantined by the last recovery and not salvaged; they raise
+    [Not_found] when addressed. *)
+
+val scrub : ?deep:bool -> t -> (string * string) list
+(** Offline damage audit over the live engine: the allocator heap
+    ("heap"), the catalog directory ("catalog") and every table
+    ("table:<name>"), each paired with a damage description. An empty
+    list means the image is clean. [deep] (default [true]) recomputes
+    payload checksums. *)
 
 val save_image : t -> string -> unit
 (** Dump the durable NVM image to a file (NVM mode only) — the moral
     equivalent of the NVDIMM keeping its contents across a reboot of a
     different process. Raises [Invalid_argument] in other modes. *)
 
-val open_image : ?sanitize:bool -> config -> string -> t * recovery_stats
+val open_image :
+  ?verify:verify_level -> ?sanitize:bool -> config -> string -> t * recovery_stats
 (** Map a saved image and run NVM recovery on it (cross-process instant
     restart, used by the CLI demo). [sanitize] runs the recovery under a
     freshly attached checker. *)

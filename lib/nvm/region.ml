@@ -69,6 +69,8 @@ type t = {
   mutable persist_enabled : bool;
   mutable fuse : int; (* -1 = disarmed; 0 = next armed op raises *)
   mutable tracer : tracer option;
+  stuck : (int, char) Hashtbl.t; (* media offset -> wedged value *)
+  mutable faults_injected : int;
 }
 
 let[@inline] shard t = t.shards.(Util.Domain_slot.get ())
@@ -106,6 +108,8 @@ let create (cfg : config) =
     persist_enabled = true;
     fuse = -1;
     tracer = None;
+    stuck = Hashtbl.create 4;
+    faults_injected = 0;
   }
 
 (* Tracer events fire only while persistence is enabled (a DRAM-mode region
@@ -330,8 +334,16 @@ let writeback t off len =
     match t.tracer with None -> () | Some tr -> tr.on_writeback off len
   end
 
+(* Stuck cells wedge at their injected value: any write-back that lands on
+   them is immediately re-overridden, like a worn-out NVM cell that no
+   longer accepts programming. *)
+let reassert_stuck t =
+  if Hashtbl.length t.stuck > 0 then
+    Hashtbl.iter (fun off v -> Bytes.set t.media off v) t.stuck
+
 let apply_wb t (li, snapshot) =
-  Bytes.blit snapshot 0 t.media (li lsl t.line_shift) t.line_size
+  Bytes.blit snapshot 0 t.media (li lsl t.line_shift) t.line_size;
+  reassert_stuck t
 
 (* Drop a cache entry that no longer differs from media, so [is_durable]
    and crash adversaries only consider genuinely dirty lines.  Only lines
@@ -433,6 +445,7 @@ let crash t mode =
           done)
         t.cache)
   end;
+  reassert_stuck t;
   t.wb_queue <- [];
   t.fuse <- -1;
   Hashtbl.reset t.cache;
@@ -445,6 +458,87 @@ let crash t mode =
           | Drop_unfenced -> `Drop_unfenced
           | Persist_all -> `Persist_all
           | Adversarial _ -> `Adversarial)
+
+(* -- media-fault injection ------------------------------------------------
+
+   Faults damage the DURABLE image, the state a restart recovers from.
+   They mirror the [crash_mode] API: deterministic given a Prng, applied
+   explicitly by tests/benchmarks, never spontaneous. Any cache line
+   covering the damaged range is evicted so subsequent loads observe the
+   fault (as a real machine would after the corrupted line is fetched),
+   and pending write-backs for those lines are dropped — the fault models
+   damage that survives until something rewrites the cells. *)
+
+type fault =
+  | Flip_bit of { off : int; bit : int }
+  | Torn_word of { off : int }
+  | Stuck_byte of { off : int }
+  | Corrupt_range of { off : int; len : int }
+
+let media_faults = Obs.counter "media.faults_injected"
+
+let evict_lines t off len =
+  if len > 0 then begin
+    let first = line_of t off and last = line_of t (off + len - 1) in
+    for li = first to last do
+      Hashtbl.remove t.cache li
+    done;
+    t.wb_queue <-
+      List.filter (fun (li, _) -> li < first || li > last) t.wb_queue
+  end
+
+let inject_fault t rng fault =
+  (match fault with
+  | Flip_bit { off; bit } ->
+      check_range t off 1 "inject_fault";
+      if bit < 0 || bit > 7 then invalid_arg "Region.inject_fault: bit";
+      let b = Char.code (Bytes.get t.media off) in
+      Bytes.set t.media off (Char.chr (b lxor (1 lsl bit)));
+      evict_lines t off 1
+  | Torn_word { off } ->
+      check_range t off 8 "inject_fault";
+      if off land 7 <> 0 then
+        invalid_arg "Region.inject_fault: torn word must be 8-aligned";
+      (* one half of the word updates, the other is left as garbage *)
+      let half = if Util.Prng.bool rng then 0 else 4 in
+      for i = 0 to 3 do
+        Bytes.set t.media (off + half + i) (Char.chr (Util.Prng.int rng 256))
+      done;
+      evict_lines t off 8
+  | Stuck_byte { off } ->
+      check_range t off 1 "inject_fault";
+      let v = Char.chr (Util.Prng.int rng 256) in
+      Hashtbl.replace t.stuck off v;
+      Bytes.set t.media off v;
+      evict_lines t off 1
+  | Corrupt_range { off; len } ->
+      check_range t off len "inject_fault";
+      for i = off to off + len - 1 do
+        Bytes.set t.media i (Char.chr (Util.Prng.int rng 256))
+      done;
+      evict_lines t off len);
+  t.faults_injected <- t.faults_injected + 1;
+  Obs.incr media_faults
+
+(* A random fault inside [lo, hi) — the workhorse of the fuzz suite. *)
+let random_fault t rng ~lo ~hi =
+  if lo < 0 || hi > Bytes.length t.media || lo >= hi then
+    invalid_arg "Region.random_fault: bad range";
+  match Util.Prng.int rng 4 with
+  | 0 -> Flip_bit { off = Util.Prng.int_in rng lo (hi - 1); bit = Util.Prng.int rng 8 }
+  | 1 ->
+      let words_lo = (lo + 7) / 8 and words_hi = hi / 8 in
+      if words_hi > words_lo then
+        Torn_word { off = Util.Prng.int_in rng words_lo (words_hi - 1) * 8 }
+      else Flip_bit { off = lo; bit = Util.Prng.int rng 8 }
+  | 2 -> Stuck_byte { off = Util.Prng.int_in rng lo (hi - 1) }
+  | _ ->
+      let len = min (hi - lo) (1 + Util.Prng.int rng 32) in
+      Corrupt_range { off = Util.Prng.int_in rng lo (hi - len); len }
+
+let faults_injected t = t.faults_injected
+
+let clear_stuck t = Hashtbl.reset t.stuck
 
 type stats = {
   loads : int;

@@ -153,6 +153,41 @@ val arm_crash : t -> after_ops:int -> unit
 
 val disarm_crash : t -> unit
 
+(** {1 Media-fault injection}
+
+    Faults damage the {e durable} image — the state a restart recovers
+    from — mirroring the {!crash_mode} API: deterministic given a
+    {!Util.Prng.t}, applied explicitly, never spontaneous. Cache lines
+    covering the damaged range are evicted (loads observe the fault) and
+    their pending write-backs dropped. Each injection bumps the
+    [media.faults_injected] counter. *)
+
+type fault =
+  | Flip_bit of { off : int; bit : int }
+      (** Flip bit [bit] (0–7) of the durable byte at [off]. *)
+  | Torn_word of { off : int }
+      (** Replace one random half of the 8-aligned word at [off] with
+          garbage — a torn 8-byte update frozen mid-flight. *)
+  | Stuck_byte of { off : int }
+      (** Wedge the byte at [off] at a random value. Subsequent
+          write-backs cannot repair it (a worn-out cell). *)
+  | Corrupt_range of { off : int; len : int }
+      (** Randomize [len] durable bytes from [off] — a dead line or
+          uncorrectable multi-byte error. *)
+
+val inject_fault : t -> Util.Prng.t -> fault -> unit
+(** Apply one fault. @raise Invalid_argument on out-of-range offsets. *)
+
+val random_fault : t -> Util.Prng.t -> lo:int -> hi:int -> fault
+(** Draw a random fault whose damage lies inside [\[lo, hi)]. *)
+
+val faults_injected : t -> int
+(** Number of faults injected into this region so far. *)
+
+val clear_stuck : t -> unit
+(** Forget stuck cells (they stop re-asserting after write-backs); the
+    damage already in the media remains. *)
+
 (** {1 Tracing and persist-order annotations}
 
     A tracer observes every persistence-relevant operation — the hook the

@@ -1,0 +1,64 @@
+(* Self-checking metadata words.
+
+   Every durable metadata word (allocator block headers, pstruct handles,
+   catalog entries, table control words) is stored *sealed*: the low 48
+   bits carry the value, the high 16 bits a truncated CRC32 of those 48
+   bits. Sealing keeps the one property the whole persistence design
+   rests on — a metadata update is still a single 8-byte aligned store,
+   so publish protocols and the persist-order sanitizer are unchanged —
+   while making a media fault in any metadata word detectable at read
+   time instead of silently steering recovery off a cliff.
+
+   The tag is XOR-folded with a nonzero constant so that seal 0 <> 0L:
+   an all-zeroes word (the most common corruption pattern, and the state
+   of never-written media) never verifies. *)
+
+exception Corrupt of { what : string; off : int; raw : int64 }
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt { what; off; raw } ->
+        Some (Printf.sprintf "Nvm.Seal.Corrupt(%s at %d, raw 0x%Lx)" what off raw)
+    | _ -> None)
+
+let max_value = (1 lsl 48) - 1
+let tag_mask = 0xFFFF
+let tag_fold = 0x5EA1
+
+(* media.crc_failures counts every sealed-word or payload checksum that
+   failed verification, across the whole stack. *)
+let crc_failures = Obs.counter "media.crc_failures"
+
+let[@inline] tag_of v = (Int32.to_int (Util.Crc.int48 v) lxor tag_fold) land tag_mask
+
+let seal v =
+  if v < 0 || v > max_value then invalid_arg "Nvm.Seal.seal: value out of 48-bit range";
+  Int64.logor (Int64.of_int v) (Int64.shift_left (Int64.of_int (tag_of v)) 48)
+
+let[@inline] split w =
+  let v = Int64.to_int (Int64.logand w 0xFFFF_FFFF_FFFFL) in
+  let tag = Int64.to_int (Int64.shift_right_logical w 48) land tag_mask in
+  (v, tag)
+
+let unseal w =
+  let v, tag = split w in
+  if tag = tag_of v then Some v else None
+
+let unseal_exn ~what ~off w =
+  let v, tag = split w in
+  if tag = tag_of v then v
+  else begin
+    Obs.incr crc_failures;
+    raise (Corrupt { what; off; raw = w })
+  end
+
+let check w =
+  let v, tag = split w in
+  tag = tag_of v
+
+let count_failure () = Obs.incr crc_failures
+
+(* Region-aware convenience wrappers: the read/write idiom repeated by
+   every sealed-word call site across allocator, pstructs and catalog. *)
+let read region ~what off = unseal_exn ~what ~off (Region.get_i64 region off)
+let write region off v = Region.set_i64 region off (seal v)

@@ -1,0 +1,39 @@
+(** Self-checking 64-bit metadata words: low 48 bits value, high 16 bits a
+    truncated CRC32 tag. A sealed word is still written with one 8-byte
+    aligned store, so every existing publish/fence protocol is unchanged;
+    a media fault anywhere in the word makes [unseal] fail instead of
+    feeding garbage to recovery. [seal 0] is nonzero, so zeroed media
+    never verifies. *)
+
+exception Corrupt of { what : string; off : int; raw : int64 }
+
+val max_value : int
+(** Largest sealable value, [2^48 - 1]. Region offsets, lengths and
+    commit ids all fit. *)
+
+val seal : int -> int64
+(** @raise Invalid_argument if the value is outside [0, max_value]. *)
+
+val unseal : int64 -> int option
+(** [None] if the tag does not match (no metric side effect — use for
+    probing during scrub walks). *)
+
+val unseal_exn : what:string -> off:int -> int64 -> int
+(** Unseal or raise {!Corrupt}, incrementing the [media.crc_failures]
+    counter. [what] names the word for the report; [off] is its region
+    offset. *)
+
+val check : int64 -> bool
+(** True iff the word unseals. No metric side effect. *)
+
+val count_failure : unit -> unit
+(** Bump [media.crc_failures] — for payload-checksum verifiers outside
+    this module that detect corruption by other means. *)
+
+val read : Region.t -> what:string -> int -> int
+(** [read r ~what off] loads and unseals the word at [off];
+    {!unseal_exn} semantics. *)
+
+val write : Region.t -> int -> int -> unit
+(** [write r off v] stores [seal v] at [off]. Not persisted — callers
+    order and fence exactly as they would a raw store. *)

@@ -1,27 +1,33 @@
 module Region = Nvm.Region
+module Seal = Nvm.Seal
 
 (* On-media layout:
 
      0   magic
      8   version
-     16  heap_start
-     24  heap_end
-     32  root table: [root_slots] x 8 bytes
+     16  heap_start   (sealed)
+     24  heap_end     (sealed)
+     32  root table: [root_slots] x 8 bytes (sealed)
      ..  heap: sequence of blocks
 
    Block = 32-byte header followed by the payload:
 
-     +0   payload size in bytes (multiple of 8, >= 8)
-     +8   state: 0 free / 1 reserved / 2 allocated
-     +16  pending-link address (0 = none); only meaningful when allocated
-     +24  pending-link value
+     +0   payload size in bytes (multiple of 8, >= 8)  (sealed)
+     +8   state: 0 free / 1 reserved / 2 allocated     (sealed)
+     +16  pending-link address (0 = none)              (sealed)
+     +24  pending-link value (opaque caller word, raw)
 
-   The heap is always walkable from [heap_start] by hopping
+   Every metadata word except the link value is stored {e sealed}
+   (Nvm.Seal: 48-bit value + 16-bit CRC tag), so a media fault in a
+   header is detected at read time instead of steering the heap walk out
+   of bounds. The link value is the caller's word, stored verbatim —
+   callers linking into a sealed destination pass an already-sealed
+   value. The heap is always walkable from [heap_start] by hopping
    [32 + size]; every mutation is ordered so that a crash at any point
    leaves a valid chain (see the comments at each persist). *)
 
 let magic = 0x4E564D4845415031L (* "NVMHEAP1" *)
-let version = 1L
+let version = 2L (* v2: sealed metadata words *)
 let root_slots = 256
 let header_size = 32
 let min_payload = 8
@@ -29,14 +35,26 @@ let roots_off = 32
 let heap_start_value = roots_off + (root_slots * 8)
 let min_region_size = heap_start_value + header_size + min_payload
 
-let st_free = 0L
-let st_reserved = 1L
-let st_allocated = 2L
+let st_free = 0
+let st_reserved = 1
+let st_allocated = 2
 
 type offset = int
 
+type corruption = { at : int; what : string }
+
 exception Out_of_space of int
-exception Corrupt_heap of string
+exception Heap_corrupt of corruption
+
+let () =
+  Printexc.register_printer (function
+    | Heap_corrupt { at; what } ->
+        Some (Printf.sprintf "Nvm_alloc.Heap_corrupt(%s at %d)" what at)
+    | _ -> None)
+
+let corrupt ~at what =
+  Seal.count_failure ();
+  raise (Heap_corrupt { at; what })
 
 type recovery_stats = {
   scanned_blocks : int;
@@ -66,11 +84,19 @@ let log2_floor v =
 let bin_count = 62
 let bin_index size = min (log2_floor size) (bin_count - 1)
 
+(* -- sealed word accessors -- *)
+
+let read_sealed region ~what off =
+  match Seal.unseal (Region.get_i64 region off) with
+  | Some v -> v
+  | None -> corrupt ~at:off what
+
+let set_sealed region off v = Region.set_i64 region off (Seal.seal v)
+
 (* -- header accessors (offsets are header offsets) -- *)
 
-let get_size t h = Region.get_int t.region h
-let get_state t h = Region.get_i64 t.region (h + 8)
-let get_link_addr t h = Region.get_int t.region (h + 16)
+let get_size t h = read_sealed t.region ~what:"block size" h
+let get_state t h = read_sealed t.region ~what:"block state" (h + 8)
 let get_link_value t h = Region.get_i64 t.region (h + 24)
 
 let bin_add t h = Hashtbl.replace t.bins.(bin_index (get_size t h)) h ()
@@ -90,16 +116,16 @@ let format region =
   let heap_end = Region.size region land lnot 7 in
   (* null out the roots *)
   for slot = 0 to root_slots - 1 do
-    Region.set_i64 region (roots_off + (slot * 8)) 0L
+    set_sealed region (roots_off + (slot * 8)) 0
   done;
   (* single free block spanning the heap *)
   let h = heap_start_value in
-  Region.set_int region h (heap_end - h - header_size);
-  Region.set_i64 region (h + 8) st_free;
-  Region.set_i64 region (h + 16) 0L;
+  set_sealed region h (heap_end - h - header_size);
+  set_sealed region (h + 8) st_free;
+  set_sealed region (h + 16) 0;
   Region.set_i64 region (h + 24) 0L;
-  Region.set_i64 region 16 (Int64.of_int h);
-  Region.set_i64 region 24 (Int64.of_int heap_end);
+  set_sealed region 16 h;
+  set_sealed region 24 heap_end;
   Region.set_i64 region 8 version;
   Region.persist region 0 (h + header_size);
   (* magic last: its durability is the commit point of formatting *)
@@ -120,25 +146,23 @@ let format region =
 (* -- recovery -- *)
 
 let check_block t h =
+  if h + header_size > t.heap_end then
+    raise (Heap_corrupt { at = h; what = "truncated block header" });
   let size = get_size t h in
-  if
-    size < min_payload
-    || size land 7 <> 0
-    || h + header_size + size > t.heap_end
-  then
-    raise
-      (Corrupt_heap
-         (Printf.sprintf "invalid block header at %d (size %d)" h size))
+  if size < min_payload || size land 7 <> 0 || h + header_size + size > t.heap_end
+  then raise (Heap_corrupt { at = h; what = Printf.sprintf "invalid block size %d" size })
 
 let open_existing region =
   if Region.size region < min_region_size then
-    raise (Corrupt_heap "region smaller than a formatted heap");
-  if Region.get_i64 region 0 <> magic then raise (Corrupt_heap "bad magic");
-  if Region.get_i64 region 8 <> version then raise (Corrupt_heap "bad version");
-  let heap_start = Region.get_int region 16 in
-  let heap_end = Region.get_int region 24 in
+    raise (Heap_corrupt { at = 0; what = "region smaller than a formatted heap" });
+  if Region.get_i64 region 0 <> magic then
+    raise (Heap_corrupt { at = 0; what = "bad magic" });
+  if Region.get_i64 region 8 <> version then
+    raise (Heap_corrupt { at = 8; what = "bad version" });
+  let heap_start = read_sealed region ~what:"heap_start" 16 in
+  let heap_end = read_sealed region ~what:"heap_end" 24 in
   if heap_start <> heap_start_value || heap_end > Region.size region then
-    raise (Corrupt_heap "bad heap bounds");
+    raise (Heap_corrupt { at = 16; what = "bad heap bounds" });
   let t =
     {
       region;
@@ -152,28 +176,34 @@ let open_existing region =
      A (serial): skeleton chain walk — the hop to the next header depends
        on each size, so this is inherently sequential; it reads exactly
        one size word per block (after [check_block]'s validation read).
+       [check_block] bounds every hop and sizes are strictly positive, so
+       the walk terminates; a belt-and-braces block-count cap catches any
+       other way the chain could fail to advance.
      B (parallel): state/link classification over the recorded offsets —
        pure header reads landing in disjoint array slots, so chunks fan
        out across the pool. Serial when a tracer is attached
        (PROTOCOLS.md §10) and, either way, issues the same loads in the
-       same per-block pattern whatever the lane count.
-     C (serial): repairs (reclaim reserved, redo links), free-run
-       coalescing and bin population, in chain order — these write NVM,
-       so they stay on the caller's domain. Bins are filled from the
-       volatile record, which also retires the old second chain walk
-       (two more loads per block). *)
+       same per-block pattern whatever the lane count. Workers never
+       raise and never touch the metrics registry: a word that fails to
+       unseal is recorded as [-1] and reported from the serial pass C.
+     C (serial): corruption reporting, repairs (reclaim reserved, redo
+       links), free-run coalescing and bin population, in chain order —
+       these write NVM, so they stay on the caller's domain. *)
+  let max_blocks = ((heap_end - heap_start) / (header_size + min_payload)) + 1 in
   let offs = Util.Intbuf.create 1024 in
   let sizes = Util.Intbuf.create 1024 in
-  let rec skeleton h =
+  let rec skeleton h n =
     if h < heap_end then begin
+      if n > max_blocks then
+        raise (Heap_corrupt { at = h; what = "non-terminating block chain" });
       check_block t h;
       let size = get_size t h in
       Util.Intbuf.push offs h;
       Util.Intbuf.push sizes size;
-      skeleton (h + header_size + size)
+      skeleton (h + header_size + size) (n + 1)
     end
   in
-  skeleton heap_start;
+  skeleton heap_start 0;
   let nb = Util.Intbuf.length offs in
   let offs = Util.Intbuf.to_array offs in
   let sizes = Util.Intbuf.to_array sizes in
@@ -186,12 +216,14 @@ let open_existing region =
     (fun ~lo ~hi ->
       for i = lo to hi - 1 do
         let h = offs.(i) in
-        let st = Int64.to_int (get_state t h) in
-        states.(i) <- st;
-        if st = 2 then begin
-          let la = get_link_addr t h in
-          link_addrs.(i) <- la;
-          if la <> 0 then link_vals.(i) <- get_link_value t h
+        (match Seal.unseal (Region.get_i64 region (h + 8)) with
+        | Some st -> states.(i) <- st
+        | None -> states.(i) <- -1);
+        if states.(i) = st_allocated then begin
+          (match Seal.unseal (Region.get_i64 region (h + 16)) with
+          | Some la -> link_addrs.(i) <- la
+          | None -> link_addrs.(i) <- -1);
+          if link_addrs.(i) > 0 then link_vals.(i) <- get_link_value t h
         end
       done);
   let reclaimed = ref 0
@@ -212,22 +244,29 @@ let open_existing region =
   for i = 0 to nb - 1 do
     let h = offs.(i) in
     let size = sizes.(i) in
+    if states.(i) < 0 then corrupt ~at:(h + 8) "block state";
+    if states.(i) > st_allocated then
+      raise (Heap_corrupt { at = h + 8; what = Printf.sprintf "bad state %d" states.(i) });
     let st =
-      if states.(i) = 1 then begin
+      if states.(i) = st_reserved then begin
         (* crashed between alloc and activate: reclaim *)
-        Region.set_i64 region (h + 8) st_free;
+        set_sealed region (h + 8) st_free;
         Region.persist region (h + 8) 8;
         incr reclaimed;
-        0
+        st_free
       end
       else states.(i)
     in
-    if st = 2 then begin
+    if st = st_allocated then begin
+      if link_addrs.(i) < 0 then corrupt ~at:(h + 16) "link address";
       if link_addrs.(i) <> 0 then begin
+        let la = link_addrs.(i) in
+        if la land 7 <> 0 || la + 8 > Region.size region then
+          raise (Heap_corrupt { at = h + 16; what = "link address out of range" });
         (* crashed between activation and publication: redo the link *)
-        Region.set_i64 region link_addrs.(i) link_vals.(i);
-        Region.persist region link_addrs.(i) 8;
-        Region.set_i64 region (h + 16) 0L;
+        Region.set_i64 region la link_vals.(i);
+        Region.persist region la 8;
+        set_sealed region (h + 16) 0;
         Region.persist region (h + 16) 8;
         incr redone
       end;
@@ -237,7 +276,7 @@ let open_existing region =
       (* grow the previous free block over this one; the chain stays
          valid because the enlarged size is persisted atomically *)
       let merged = !run_size + header_size + size in
-      Region.set_int region !run_head merged;
+      set_sealed region !run_head merged;
       Region.persist region !run_head 8;
       incr coalesced;
       run_size := merged
@@ -295,21 +334,21 @@ let alloc t n =
        header is durable, the remainder bytes are plain free-payload and the
        chain is untouched. *)
     let rh = payload_of_header h + nbytes in
-    Region.set_int r rh (size - nbytes - header_size);
-    Region.set_i64 r (rh + 8) st_free;
-    Region.set_i64 r (rh + 16) 0L;
+    set_sealed r rh (size - nbytes - header_size);
+    set_sealed r (rh + 8) st_free;
+    set_sealed r (rh + 16) 0;
     Region.set_i64 r (rh + 24) 0L;
     Region.persist r rh header_size;
-    Region.set_int r h nbytes;
-    Region.set_i64 r (h + 8) st_reserved;
-    Region.set_i64 r (h + 16) 0L;
+    set_sealed r h nbytes;
+    set_sealed r (h + 8) st_reserved;
+    set_sealed r (h + 16) 0;
     Region.set_i64 r (h + 24) 0L;
     Region.persist r h header_size;
     bin_add t rh
   end
   else begin
-    Region.set_i64 r (h + 8) st_reserved;
-    Region.set_i64 r (h + 16) 0L;
+    set_sealed r (h + 8) st_reserved;
+    set_sealed r (h + 16) 0;
     Region.set_i64 r (h + 24) 0L;
     Region.persist r h header_size
   end;
@@ -328,12 +367,12 @@ let activate ?link t p =
         invalid_arg "Allocator.activate: link address must be 8-byte aligned";
       (* link intent must be durable before the state flips: recovery only
          redoes links of ALLOCATED blocks *)
-      Region.set_i64 r (h + 16) (Int64.of_int addr);
+      set_sealed r (h + 16) addr;
       Region.set_i64 r (h + 24) v;
       Region.persist r (h + 16) 16;
       Region.expect_ordered r ~label:"allocator.activate.state"
         ~before:[ (h + 16, 16) ] ~after:(h + 8));
-  Region.set_i64 r (h + 8) st_allocated;
+  set_sealed r (h + 8) st_allocated;
   Region.persist r (h + 8) 8;
   match link with
   | None -> ()
@@ -344,7 +383,7 @@ let activate ?link t p =
       Region.persist r addr 8;
       (* retire the intent so a later recovery cannot replay it onto
          memory that has been reused since *)
-      Region.set_i64 r (h + 16) 0L;
+      set_sealed r (h + 16) 0;
       Region.persist r (h + 16) 8
 
 let free t p =
@@ -352,35 +391,48 @@ let free t p =
   let r = t.region in
   if get_state t h <> st_allocated && get_state t h <> st_reserved then
     invalid_arg "Allocator.free: double free";
-  Region.set_i64 r (h + 8) st_free;
+  set_sealed r (h + 8) st_free;
   Region.persist r (h + 8) 8;
   (* forward coalesce: swallowing [next] only grows this block's size, so a
      crash before the persist leaves two valid free blocks *)
   let next = payload_of_header h + get_size t h in
   if next < t.heap_end && get_state t next = st_free then begin
     bin_remove t next;
-    Region.set_int r h (get_size t h + header_size + get_size t next);
+    set_sealed r h (get_size t h + header_size + get_size t next);
     Region.persist r h 8
   end;
   bin_add t h
 
 let usable_size t p = get_size t (header_of_payload p)
 
+(* Defensive walk shared by sweep / blocks / heap_stats: every hop is
+   bounds-checked and the chain length capped, so a corrupted size field
+   surfaces as [Heap_corrupt] rather than an out-of-range region access
+   or an endless loop. *)
+let iter_headers t f =
+  let max_blocks = ((t.heap_end - t.heap_start) / (header_size + min_payload)) + 1 in
+  let rec go h n =
+    if h < t.heap_end then begin
+      if n > max_blocks then
+        raise (Heap_corrupt { at = h; what = "non-terminating block chain" });
+      check_block t h;
+      let size = get_size t h in
+      f h size;
+      go (h + header_size + size) (n + 1)
+    end
+  in
+  go t.heap_start 0
+
 let sweep t ~live =
   (* collect first: freeing coalesces forward and rewrites sizes *)
   let victims = ref [] in
-  let rec scan h =
-    if h < t.heap_end then begin
-      let size = get_size t h in
+  iter_headers t (fun h size ->
       if get_state t h = st_allocated && not (live (payload_of_header h)) then
-        victims := (payload_of_header h, size) :: !victims;
-      scan (h + header_size + size)
-    end
-  in
-  scan t.heap_start;
-  List.iter (fun (p, _) -> free t p) !victims;
-  ( List.length !victims,
-    List.fold_left (fun acc (_, size) -> acc + size) 0 !victims )
+        victims := (payload_of_header h, size) :: !victims);
+  let victims = List.rev !victims in
+  List.iter (fun (p, _) -> free t p) victims;
+  ( List.length victims,
+    List.fold_left (fun acc (_, size) -> acc + size) 0 victims )
 
 (* -- roots -- *)
 
@@ -390,12 +442,12 @@ let check_slot slot =
 
 let set_root t slot off =
   check_slot slot;
-  Region.set_i64 t.region (roots_off + (slot * 8)) (Int64.of_int off);
+  set_sealed t.region (roots_off + (slot * 8)) off;
   Region.persist t.region (roots_off + (slot * 8)) 8
 
 let get_root t slot =
   check_slot slot;
-  Region.get_int t.region (roots_off + (slot * 8))
+  read_sealed t.region ~what:"root slot" (roots_off + (slot * 8))
 
 (* -- introspection -- *)
 
@@ -406,21 +458,17 @@ type block_info = {
 }
 
 let blocks t =
-  let rec go h acc =
-    if h >= t.heap_end then List.rev acc
-    else
-      let size = get_size t h in
+  let acc = ref [] in
+  iter_headers t (fun h size ->
       let state =
         match get_state t h with
         | s when s = st_free -> `Free
         | s when s = st_reserved -> `Reserved
         | s when s = st_allocated -> `Allocated
-        | s -> raise (Corrupt_heap (Printf.sprintf "bad state %Ld at %d" s h))
+        | s -> raise (Heap_corrupt { at = h + 8; what = Printf.sprintf "bad state %d" s })
       in
-      go (h + header_size + size)
-        ({ offset = payload_of_header h; size; state } :: acc)
-  in
-  go t.heap_start []
+      acc := { offset = payload_of_header h; size; state } :: !acc);
+  List.rev !acc
 
 type heap_stats = {
   heap_bytes : int;

@@ -32,9 +32,17 @@ exception Out_of_space of int
 (** Raised by [alloc] when no free block can satisfy the request; carries
     the requested size. *)
 
-exception Corrupt_heap of string
-(** Raised by [open_existing] when the header magic or block chain is
-    invalid. *)
+type corruption = { at : int; what : string }
+(** Where ([at], a region byte offset) and what kind of damage a heap
+    walk found. *)
+
+exception Heap_corrupt of corruption
+(** Raised by [open_existing] (and any later heap walk) when the header
+    magic, a sealed metadata word, or the block chain is invalid. Every
+    size hop is bounds-checked and the chain length capped, so a
+    corrupted header surfaces as this structured error — never as an
+    out-of-range region access or a non-terminating scan. Each raise on
+    a sealed-word failure also bumps [media.crc_failures]. *)
 
 val root_slots : int
 (** Number of named root slots (root ids are [0 .. root_slots - 1]). *)
@@ -49,7 +57,8 @@ val format : Nvm.Region.t -> t
 
 val open_existing : Nvm.Region.t -> t
 (** Re-open a heap after a crash or restart. Performs the recovery scan.
-    Raises [Corrupt_heap] if the region was never formatted. *)
+    Raises {!Heap_corrupt} if the region was never formatted or the
+    media is damaged. *)
 
 val region : t -> Nvm.Region.t
 

@@ -1,12 +1,15 @@
 module A = Nvm_alloc.Allocator
 module Region = Nvm.Region
+module Seal = Nvm.Seal
 
 (* Arena control block (24 bytes):
      +0  chunk-list vector handle (Pvector of chunk payload offsets)
      +8  bump offset within the current chunk (bytes used)
      +16 chunk payload capacity
    Chunk = one allocator block of [chunk_bytes] (or larger, for oversize
-   strings); strings are stored as [len][bytes] and 8-byte aligned. *)
+   strings); strings are stored in the shared Pstring layout
+   ([len | crc32 << 32][bytes]) and 8-byte aligned. The three control
+   words are sealed. *)
 
 let default_chunk_bytes = 64 * 1024
 
@@ -25,18 +28,18 @@ let create ?(chunk_bytes = default_chunk_bytes) alloc =
   let region = A.region alloc in
   let chunks = Pvector.create alloc in
   let handle = A.alloc alloc 24 in
-  Region.set_int region handle (Pvector.handle chunks);
-  Region.set_int region (handle + 8) 0;
-  Region.set_int region (handle + 16) chunk_bytes;
+  Seal.write region handle (Pvector.handle chunks);
+  Seal.write region (handle + 8) 0;
+  Seal.write region (handle + 16) chunk_bytes;
   Region.persist region handle 24;
   A.activate alloc handle;
   { alloc; region; handle; chunks; chunk_bytes; current = 0; used = 0 }
 
 let attach alloc handle =
   let region = A.region alloc in
-  let chunks = Pvector.attach alloc (Region.get_int region handle) in
-  let chunk_bytes = Region.get_int region (handle + 16) in
-  let used = Region.get_int region (handle + 8) in
+  let chunks = Pvector.attach alloc (Seal.read region ~what:"arena chunk list" handle) in
+  let chunk_bytes = Seal.read region ~what:"arena chunk capacity" (handle + 16) in
+  let used = Seal.read region ~what:"arena bump" (handle + 8) in
   let current =
     if Pvector.length chunks = 0 then 0
     else Pvector.get_int chunks (Pvector.length chunks - 1)
@@ -57,10 +60,7 @@ let fresh_chunk t size =
   Pvector.publish t.chunks;
   chunk
 
-let write_payload t off s =
-  Region.set_int t.region off (String.length s);
-  Region.write_string t.region (off + 8) s;
-  Region.persist t.region off (8 + String.length s)
+let write_payload t off s = Pstring.write_at t.region off s
 
 let add t s =
   let need = round8 (8 + String.length s) in
@@ -85,14 +85,12 @@ let add t s =
     Region.expect_ordered t.region ~label:"parena.add"
       ~before:[ (off, 8 + String.length s) ]
       ~after:(t.handle + 8);
-    Region.set_int t.region (t.handle + 8) t.used;
+    Seal.write t.region (t.handle + 8) t.used;
     Region.persist t.region (t.handle + 8) 8;
     off
   end
 
-let get t off =
-  let len = Region.get_int t.region off in
-  Region.read_string t.region (off + 8) len
+let get t off = Pstring.get_at t.region off
 
 let chunk_count t = Pvector.length t.chunks
 
@@ -112,6 +110,25 @@ let used_bytes t =
 let owned_blocks t =
   (t.handle :: Pvector.owned_blocks t.chunks)
   @ List.map Int64.to_int (Pvector.to_list t.chunks)
+
+(* Scrub-time structural checks: the chunk list itself, then every
+   registered chunk offset against the region and its own block. *)
+let verify t =
+  Pvector.verify t.chunks;
+  Pcheck.require (t.chunk_bytes >= 64) ~at:(t.handle + 16) "arena chunk capacity";
+  Pcheck.require
+    (t.used >= 0 && t.used <= t.chunk_bytes)
+    ~at:(t.handle + 8) "arena bump exceeds chunk capacity";
+  Pvector.iter
+    (fun chunk ->
+      let chunk = Int64.to_int chunk in
+      Pcheck.require
+        (chunk > 0 && chunk < Region.size t.region)
+        ~at:t.handle "arena chunk offset out of range";
+      Pcheck.require
+        (A.usable_size t.alloc chunk >= 8)
+        ~at:chunk "arena chunk block too small")
+    t.chunks
 
 let destroy t =
   Pvector.iter (fun chunk -> A.free t.alloc (Int64.to_int chunk)) t.chunks;

@@ -45,5 +45,10 @@ val used_bytes : t -> int
 
 val owned_blocks : t -> int list
 
+val verify : t -> unit
+(** Structural scrub checks over the control words and chunk list.
+    Interior strings are verified by whoever holds their offsets (text
+    dictionaries), via {!Pstring.verify_at}. @raise Pcheck.Invalid. *)
+
 val destroy : t -> unit
 (** Free every chunk and the arena control block. *)

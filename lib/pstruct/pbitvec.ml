@@ -1,9 +1,16 @@
 module A = Nvm_alloc.Allocator
 module Region = Nvm.Region
+module Seal = Nvm.Seal
 
-(* Layout: +0 length (entries)
-           +8 bits per entry
-           +16 packed data, little-endian within 64-bit words *)
+(* Layout: +0  length (entries)                 (sealed)
+           +8  bits per entry                   (sealed)
+           +16 CRC32 of the packed data         (sealed)
+           +24 packed data, little-endian within 64-bit words
+
+   The structure is write-once ([build] persists the whole block in one
+   publication), so the payload checksum is computed exactly once and
+   never maintained incrementally. Readers skip it; [verify ~deep:true]
+   recomputes it during a scrub. *)
 
 type t = {
   region : Region.t;
@@ -31,9 +38,9 @@ let build alloc values =
   Array.iter (fun v -> if v < 0 then invalid_arg "Pbitvec.build: negative") values;
   let bits = bits_needed max_v in
   let words = data_words n bits in
-  let handle = A.alloc alloc (16 + (words * 8)) in
-  Region.set_int region handle n;
-  Region.set_int region (handle + 8) bits;
+  let handle = A.alloc alloc (24 + (words * 8)) in
+  Seal.write region handle n;
+  Seal.write region (handle + 8) bits;
   (* pack into a staging buffer, then one blit *)
   let buf = Bytes.make (words * 8) '\000' in
   if bits > 0 then
@@ -51,8 +58,10 @@ let build alloc values =
                (Int64.shift_right_logical (Int64.of_int v) (64 - shift)))
         end)
       values;
-  if words > 0 then Region.write_bytes region (handle + 16) buf;
-  Region.persist region handle (16 + (words * 8));
+  Seal.write region (handle + 16)
+    (Int32.to_int (Util.Crc.bytes buf) land 0xFFFFFFFF);
+  if words > 0 then Region.write_bytes region (handle + 24) buf;
+  Region.persist region handle (24 + (words * 8));
   A.activate alloc handle;
   {
     region;
@@ -69,8 +78,8 @@ let attach alloc handle =
     region;
     alloc;
     handle;
-    length = Region.get_int region handle;
-    bits = Region.get_int region (handle + 8);
+    length = Seal.read region ~what:"pbitvec length" handle;
+    bits = Seal.read region ~what:"pbitvec bits" (handle + 8);
     scratch = Array.make Util.Domain_slot.max_slots (Bytes.create 0);
   }
 
@@ -87,14 +96,14 @@ let get t i =
     let word = bit / 64 and shift = bit mod 64 in
     let lo =
       Int64.shift_right_logical
-        (Region.get_i64 t.region (t.handle + 16 + (word * 8)))
+        (Region.get_i64 t.region (t.handle + 24 + (word * 8)))
         shift
     in
     let v =
       if shift + t.bits > 64 then
         Int64.logor lo
           (Int64.shift_left
-             (Region.get_i64 t.region (t.handle + 16 + ((word + 1) * 8)))
+             (Region.get_i64 t.region (t.handle + 24 + ((word + 1) * 8)))
              (64 - shift))
       else lo
     in
@@ -123,7 +132,7 @@ let unpack_into t ~pos ~len dst =
         t.scratch.(slot) <- Bytes.create (nbytes + 7);
       let buf = t.scratch.(slot) in
       Region.read_into_bytes t.region
-        (t.handle + 16 + (first_word * 8))
+        (t.handle + 24 + (first_word * 8))
         buf 0 nbytes;
       let base_bit = first_word * 64 in
       if t.bits <= 55 then begin
@@ -173,4 +182,24 @@ let destroy t = A.free t.alloc t.handle
 
 let owned_blocks t = [ t.handle ]
 
-let bytes_on_nvm t = 16 + (data_words t.length t.bits * 8)
+let bytes_on_nvm t = 24 + (data_words t.length t.bits * 8)
+
+let verify ?(deep = false) t =
+  Pcheck.require (t.length >= 0) ~at:t.handle "pbitvec negative length";
+  Pcheck.require
+    (t.bits >= 0 && t.bits <= 63)
+    ~at:(t.handle + 8) "pbitvec bits out of range";
+  let words = data_words t.length t.bits in
+  Pcheck.require
+    (A.usable_size t.alloc t.handle >= 24 + (words * 8))
+    ~at:t.handle "pbitvec data exceeds its block";
+  if deep then begin
+    let stored = Seal.read t.region ~what:"pbitvec data crc" (t.handle + 16) in
+    let buf = Bytes.create (words * 8) in
+    if words > 0 then Region.read_into_bytes t.region (t.handle + 24) buf 0 (words * 8);
+    let actual = Int32.to_int (Util.Crc.bytes buf) land 0xFFFFFFFF in
+    if actual <> stored then begin
+      Nvm.Seal.count_failure ();
+      Pcheck.fail ~at:(t.handle + 24) "pbitvec data checksum mismatch"
+    end
+  end

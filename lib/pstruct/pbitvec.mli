@@ -44,3 +44,9 @@ val destroy : t -> unit
 val owned_blocks : t -> int list
 
 val bytes_on_nvm : t -> int
+
+val verify : ?deep:bool -> t -> unit
+(** Structural scrub checks; with [~deep:true] additionally recomputes
+    the payload CRC32 over the packed words (the structure is
+    write-once, so the stored checksum is authoritative).
+    @raise Pcheck.Invalid on damage. *)

@@ -1,5 +1,6 @@
 module A = Nvm_alloc.Allocator
 module Region = Nvm.Region
+module Seal = Nvm.Seal
 
 (* Separators are (key, value) pairs ordered lexicographically: exact
    duplicates being merged, pairs are unique, so equal keys spread across
@@ -19,9 +20,13 @@ let leaf_capacity = 32
                             +8   next leaf offset (0 = end of chain)
                             +16  keys,   32 x 8 bytes
                             +272 values, 32 x 8 bytes
-   Handle block (24 bytes): +0   head leaf offset
-                            +8   leaf-chunk vector handle
-                            +16  leaves used in the last chunk
+   Handle block (24 bytes): +0   head leaf offset             (sealed)
+                            +8   leaf-chunk vector handle     (sealed)
+                            +16  leaves used in the last chunk (sealed)
+
+   Leaf next-offsets are sealed too; the occupancy bitmap stays raw (it
+   IS the publication word) but only its low 32 bits are meaningful, so
+   verification rejects any high bit.
 
    Slots are unsorted (FPTree): publication = flipping a bitmap bit, and
    no insert ever shifts other entries.
@@ -52,7 +57,7 @@ type t = {
 }
 
 let bitmap t leaf = Region.get_i64 t.region leaf
-let next t leaf = Region.get_int t.region (leaf + 8)
+let next t leaf = Seal.read t.region ~what:"btree next leaf" (leaf + 8)
 let slot_live bm s = Int64.logand bm (Int64.shift_left 1L s) <> 0L
 
 let leaf_entries t leaf =
@@ -89,7 +94,7 @@ let leaf_slot t =
   let chunk = Pvector.get_int t.chunks (Pvector.length t.chunks - 1) in
   let leaf = chunk + (t.used * leaf_bytes) in
   t.used <- t.used + 1;
-  Region.set_int t.region (t.handle + 16) t.used;
+  Seal.write t.region (t.handle + 16) t.used;
   Region.persist t.region (t.handle + 16) 8;
   leaf
 
@@ -102,7 +107,7 @@ let init_leaf t leaf ~next_off entries =
       bm := Int64.logor !bm (Int64.shift_left 1L s))
     entries;
   Region.set_i64 t.region leaf !bm;
-  Region.set_int t.region (leaf + 8) next_off;
+  Seal.write t.region (leaf + 8) next_off;
   Region.persist t.region leaf leaf_bytes
 
 let create alloc =
@@ -121,10 +126,10 @@ let create alloc =
       built = true;
     }
   in
-  Region.set_int region (handle + 8) (Pvector.handle chunks);
+  Seal.write region (handle + 8) (Pvector.handle chunks);
   let head = leaf_slot t in
   init_leaf t head ~next_off:0 [];
-  Region.set_int region handle head;
+  Seal.write region handle head;
   Region.persist region handle 24;
   A.activate alloc handle;
   t.index <- Imap.singleton (Int64.min_int, Int64.min_int) head;
@@ -157,11 +162,23 @@ let repair_split t leaf =
         end
       end
 
+(* Defensive bound on any chain walk: the chunks can hold at most this
+   many leaves, so a longer chain means the media lied (a corrupted next
+   pointer forming a cycle or jumping into foreign data). *)
+let max_leaves t = max 1 (Pvector.length t.chunks * leaves_per_chunk)
+
+let check_leaf_off t leaf =
+  if leaf <= 0 || leaf land 7 <> 0 || leaf + leaf_bytes > Region.size t.region
+  then Pcheck.fail ~at:leaf "btree leaf offset out of range"
+
 let build_index t =
   t.index <- Imap.empty;
   t.size <- 0;
-  let head = Region.get_int t.region t.handle in
-  let rec walk leaf sep =
+  let cap = max_leaves t in
+  let head = Seal.read t.region ~what:"btree head leaf" t.handle in
+  let rec walk leaf sep n =
+    if n > cap then Pcheck.fail ~at:leaf "btree leaf chain too long";
+    check_leaf_off t leaf;
     repair_split t leaf;
     t.index <- Imap.add sep leaf t.index;
     t.size <- t.size + List.length (leaf_entries t leaf);
@@ -169,9 +186,9 @@ let build_index t =
     | 0 -> ()
     | nleaf ->
         (* after repair the next leaf's min is a valid separator *)
-        walk nleaf (Option.get (leaf_min_pair t nleaf))
+        walk nleaf (Option.get (leaf_min_pair t nleaf)) (n + 1)
   in
-  walk head (Int64.min_int, Int64.min_int);
+  walk head (Int64.min_int, Int64.min_int) 1;
   t.built <- true
 
 let ensure t = if not t.built then build_index t
@@ -182,8 +199,8 @@ let attach alloc handle =
     alloc;
     region;
     handle;
-    chunks = Pvector.attach alloc (Region.get_int region (handle + 8));
-    used = Region.get_int region (handle + 16);
+    chunks = Pvector.attach alloc (Seal.read region ~what:"btree chunk list" (handle + 8));
+    used = Seal.read region ~what:"btree used leaves" (handle + 16);
     index = Imap.empty;
     size = 0;
     built = false;
@@ -227,7 +244,7 @@ let split t leaf =
   Region.expect_ordered t.region ~label:"pbtree.split"
     ~before:[ (nleaf, leaf_bytes) ]
     ~after:(leaf + 8);
-  Region.set_int t.region (leaf + 8) nleaf;
+  Seal.write t.region (leaf + 8) nleaf;
   Region.persist t.region (leaf + 8) 8;
   (* 2. retire the moved slots; a crash before this is repaired on attach *)
   let bm = ref 0L in
@@ -370,3 +387,46 @@ let bytes_on_nvm t =
   24
   + Pvector.words_on_nvm t.chunks
   + (Pvector.length t.chunks * leaves_per_chunk * leaf_bytes)
+
+(* Scrub: chunk list, control words, then a bounded chain walk checking
+   that every leaf lies on a leaf boundary of a registered chunk and
+   that no occupancy bitmap sets a bit past [leaf_capacity]. *)
+let verify ?(deep = false) t =
+  Pvector.verify t.chunks;
+  Pcheck.require
+    (t.used >= 0 && t.used <= leaves_per_chunk)
+    ~at:(t.handle + 16) "btree used-leaves out of range";
+  let chunks = List.map Int64.to_int (Pvector.to_list t.chunks) in
+  List.iter
+    (fun c ->
+      Pcheck.require
+        (c > 0 && c + (leaves_per_chunk * leaf_bytes) <= Region.size t.region)
+        ~at:t.handle "btree chunk out of range";
+      Pcheck.require
+        (A.usable_size t.alloc c >= leaves_per_chunk * leaf_bytes)
+        ~at:c "btree chunk block too small")
+    chunks;
+  (* the leaf-chain walk reads every leaf header — linear in the data,
+     so it rides the deep tier; shallow stays per-chunk *)
+  if deep then begin
+    let in_chunks leaf =
+      List.exists
+        (fun c ->
+          leaf >= c
+          && leaf < c + (leaves_per_chunk * leaf_bytes)
+          && (leaf - c) mod leaf_bytes = 0)
+        chunks
+    in
+    let cap = max_leaves t in
+    let head = Seal.read t.region ~what:"btree head leaf" t.handle in
+    let rec walk leaf n =
+      if n > cap then Pcheck.fail ~at:leaf "btree leaf chain too long";
+      check_leaf_off t leaf;
+      Pcheck.require (in_chunks leaf) ~at:leaf "btree leaf outside its chunks";
+      Pcheck.require
+        (Int64.shift_right_logical (bitmap t leaf) leaf_capacity = 0L)
+        ~at:leaf "btree bitmap sets bits past capacity";
+      match next t leaf with 0 -> () | nleaf -> walk nleaf (n + 1)
+    in
+    walk head 1
+  end

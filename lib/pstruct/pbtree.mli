@@ -59,3 +59,12 @@ val destroy : t -> unit
 val owned_blocks : t -> int list
 
 val bytes_on_nvm : t -> int
+
+val verify : ?deep:bool -> t -> unit
+(** Structural scrub: chunk list and control words in constant time per
+    chunk. With [~deep:true], additionally a bounded next-chain walk
+    checking every leaf sits on a leaf boundary of a registered chunk
+    and no bitmap bit exceeds the capacity — linear in the leaves, so it
+    rides the deep (payload-checksum) tier. A corrupted next pointer
+    (cycle or wild jump) fails the bound instead of looping.
+    @raise Pcheck.Invalid or [Nvm.Seal.Corrupt]. *)

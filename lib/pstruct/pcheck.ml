@@ -1,0 +1,19 @@
+(* Structural-verification failures for the persistent structures.
+
+   Sealed words already self-check (Nvm.Seal, media.crc_failures); this
+   exception covers the second class of damage a scrub walk can find:
+   words that unseal fine but violate a cross-word invariant (a length
+   above its capacity, a chain that revisits a leaf, a payload checksum
+   mismatch). Verification entry points raise it instead of asserting so
+   recovery can quarantine the owning table and keep going. *)
+
+exception Invalid of { what : string; at : int }
+
+let () =
+  Printexc.register_printer (function
+    | Invalid { what; at } ->
+        Some (Printf.sprintf "Pstruct.Pcheck.Invalid(%s at %d)" what at)
+    | _ -> None)
+
+let fail ~at what = raise (Invalid { what; at })
+let require cond ~at what = if not cond then fail ~at what

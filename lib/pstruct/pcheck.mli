@@ -1,0 +1,10 @@
+(** Structural-verification failures raised by the [verify] entry points
+    of the persistent structures (and by [attach] paths upgraded from
+    asserts). Complements {!Nvm.Seal.Corrupt}: sealed words catch damage
+    to a single metadata word, [Invalid] catches cross-word invariant
+    violations and payload-checksum mismatches. *)
+
+exception Invalid of { what : string; at : int }
+
+val fail : at:int -> string -> 'a
+val require : bool -> at:int -> string -> unit

@@ -1,8 +1,9 @@
 module A = Nvm_alloc.Allocator
 module Region = Nvm.Region
+module Seal = Nvm.Seal
 
-(* Handle block (8 bytes):   +0 bucket-array offset
-   Bucket array:             +0 capacity (buckets, power of two)
+(* Handle block (8 bytes):   +0 bucket-array offset             (sealed)
+   Bucket array:             +0 capacity (buckets, power of two) (sealed)
                              +8 buckets: capacity x (key, value)
 
    value = EMPTY (-1) marks a free bucket; occupancy is volatile and
@@ -35,7 +36,7 @@ let hash k =
 let alloc_table alloc capacity =
   let region = A.region alloc in
   let table = A.alloc alloc (8 + (capacity * 16)) in
-  Region.set_int region table capacity;
+  Seal.write region table capacity;
   for i = 0 to capacity - 1 do
     Region.set_i64 region (bucket_off table i + 8) empty
   done;
@@ -48,15 +49,15 @@ let create ?(capacity = 16) alloc =
   let table = alloc_table alloc capacity in
   A.activate alloc table;
   let handle = A.alloc alloc 8 in
-  Region.set_int region handle table;
+  Seal.write region handle table;
   Region.persist region handle 8;
   A.activate alloc handle;
   { alloc; region; handle; table; capacity; size = 0 }
 
 let attach alloc handle =
   let region = A.region alloc in
-  let table = Region.get_int region handle in
-  let capacity = Region.get_int region table in
+  let table = Seal.read region ~what:"hash table offset" handle in
+  let capacity = Seal.read region ~what:"hash capacity" table in
   { alloc; region; handle; table; capacity; size = -1 }
 
 let recount t =
@@ -114,7 +115,7 @@ let resize t =
   Region.expect_ordered t.region ~label:"phash.resize"
     ~before:[ (table, 8 + (new_cap * 16)) ]
     ~after:t.handle;
-  A.activate ~link:(t.handle, Int64.of_int table) t.alloc table;
+  A.activate ~link:(t.handle, Seal.seal table) t.alloc table;
   let old = t.table in
   t.table <- table;
   t.capacity <- new_cap;
@@ -153,3 +154,21 @@ let destroy t =
 let owned_blocks t = [ t.handle; t.table ]
 
 let bytes_on_nvm t = 8 + 8 + (t.capacity * 16)
+
+let verify t =
+  Pcheck.require
+    (t.capacity >= 1 && t.capacity land (t.capacity - 1) = 0)
+    ~at:t.table "hash capacity not a power of two";
+  Pcheck.require
+    (A.usable_size t.alloc t.table >= 8 + (t.capacity * 16))
+    ~at:t.table "hash buckets exceed their block";
+  (* every non-empty bucket's key must hash-chain back to its slot —
+     cheap positional sanity that catches scrambled bucket words *)
+  for i = 0 to t.capacity - 1 do
+    let v = Region.get_i64 t.region (bucket_off t.table i + 8) in
+    if v <> empty then
+      Pcheck.require
+        (Int64.compare v 0L >= 0)
+        ~at:(bucket_off t.table i + 8)
+        "hash bucket value negative"
+  done

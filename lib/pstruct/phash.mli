@@ -45,3 +45,7 @@ val destroy : t -> unit
 val owned_blocks : t -> int list
 
 val bytes_on_nvm : t -> int
+
+val verify : t -> unit
+(** Structural scrub checks over capacity and bucket words.
+    @raise Pcheck.Invalid or [Nvm.Seal.Corrupt]. *)

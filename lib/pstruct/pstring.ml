@@ -1,21 +1,66 @@
 module A = Nvm_alloc.Allocator
 module Region = Nvm.Region
 
-(* Layout: +0 length, +8 bytes. *)
+(* Layout: +0 length word, +8 bytes.
+
+   The length word carries the string length in its low 32 bits and a
+   folded CRC32 of the payload in its high 32 bits, written by the same
+   single store as before — strings are write-once, so the checksum is
+   computed exactly once. Readers only mask out the length (the hot
+   decode path pays nothing); [verify_at] recomputes the CRC during
+   scrub walks. The fold constant keeps the empty string's word nonzero,
+   so zeroed media never verifies. *)
+
+let crc_fold = 0x6E564D53 (* "nNVMS" *)
+
+let len_word s =
+  let crc = (Int32.to_int (Util.Crc.string s) land 0xFFFFFFFF) lxor crc_fold in
+  Int64.logor
+    (Int64.of_int (String.length s))
+    (Int64.shift_left (Int64.of_int crc) 32)
+
+let length_at_region region off =
+  Int64.to_int (Region.get_i64 region off) land 0xFFFFFFFF
+
+let write_at region off s =
+  Region.set_i64 region off (len_word s);
+  Region.write_string region (off + 8) s;
+  Region.persist region off (8 + String.length s)
+
+let get_at region off =
+  let len = length_at_region region off in
+  if off + 8 + len > Region.size region then
+    Pcheck.fail ~at:off "string length out of bounds";
+  Region.read_string region (off + 8) len
+
+let verify_at region off =
+  let w = Region.get_i64 region off in
+  let len = Int64.to_int w land 0xFFFFFFFF in
+  if off + 8 + len > Region.size region then begin
+    Nvm.Seal.count_failure ();
+    Pcheck.fail ~at:off "string length out of bounds"
+  end;
+  let stored = Int64.to_int (Int64.shift_right_logical w 32) land 0xFFFFFFFF in
+  let actual =
+    (Int32.to_int (Util.Crc.string (Region.read_string region (off + 8) len))
+    land 0xFFFFFFFF)
+    lxor crc_fold
+  in
+  if actual <> stored then begin
+    Nvm.Seal.count_failure ();
+    Pcheck.fail ~at:off "string checksum mismatch"
+  end
 
 let add alloc s =
   let region = A.region alloc in
   let off = A.alloc alloc (8 + String.length s) in
-  Region.set_int region off (String.length s);
-  Region.write_string region (off + 8) s;
-  Region.persist region off (8 + String.length s);
+  write_at region off s;
   A.activate alloc off;
   off
 
-let length_at alloc off = Region.get_int (A.region alloc) off
-
-let get alloc off =
-  Region.read_string (A.region alloc) (off + 8) (length_at alloc off)
+let length_at alloc off = length_at_region (A.region alloc) off
+let get alloc off = get_at (A.region alloc) off
+let verify alloc off = verify_at (A.region alloc) off
 
 let free alloc off = A.free alloc off
 

@@ -3,7 +3,11 @@
     Dictionary-encoded text columns store each distinct string once on NVM
     and refer to it by offset. Strings are immutable and — the store being
     insert-only — live until the enclosing structure is destroyed, so no
-    individual reclamation is needed between merges. *)
+    individual reclamation is needed between merges.
+
+    On-media, the leading length word also carries a folded CRC32 of the
+    payload in its high 32 bits (strings are write-once, so it is
+    computed exactly once). Reads ignore it; {!verify_at} checks it. *)
 
 val add : Nvm_alloc.Allocator.t -> string -> int
 (** Persist a string; returns its stable offset. The string is fully
@@ -17,6 +21,26 @@ val length_at : Nvm_alloc.Allocator.t -> int -> int
 
 val free : Nvm_alloc.Allocator.t -> int -> unit
 (** Release the string's block (used when whole partitions are dropped). *)
+
+val verify : Nvm_alloc.Allocator.t -> int -> unit
+(** Recompute the payload CRC32 and compare against the stored tag.
+    @raise Pcheck.Invalid (after bumping [media.crc_failures]) on
+    mismatch or an out-of-bounds length. *)
+
+val write_at : Nvm.Region.t -> int -> string -> unit
+(** Write (and persist) a string at a caller-managed offset — the arena
+    uses this for its interior strings, so every string in the system
+    shares one layout. *)
+
+val get_at : Nvm.Region.t -> int -> string
+(** Read a string written by [write_at]/[add]. A length that runs past
+    the region raises [Pcheck.Invalid] rather than a bounds error, so
+    defensive walks can contain it. *)
+
+val length_at_region : Nvm.Region.t -> int -> int
+
+val verify_at : Nvm.Region.t -> int -> unit
+(** [verify] for caller-managed offsets. *)
 
 val bytes_on_nvm : string -> int
 (** Footprint a string of this content will occupy, for size accounting. *)

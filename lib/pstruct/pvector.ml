@@ -1,5 +1,6 @@
 module A = Nvm_alloc.Allocator
 module Region = Nvm.Region
+module Seal = Nvm.Seal
 
 (* Handle block (16 bytes):  +0 published size (elements)
                              +8 data block offset
@@ -8,7 +9,10 @@ module Region = Nvm.Region
 
    The capacity lives in the data block so that relocation on growth
    changes exactly one durable word (the data offset), which the
-   allocator's link-in-activate makes atomic. *)
+   allocator's link-in-activate makes atomic.
+
+   The three metadata words (published size, data offset, capacity) are
+   sealed (Nvm.Seal); elements are raw caller words. *)
 
 type t = {
   alloc : A.t;
@@ -29,12 +33,12 @@ let create ?(capacity = 8) alloc =
   let capacity = max 1 capacity in
   let region = A.region alloc in
   let data = A.alloc alloc (8 + (capacity * 8)) in
-  Region.set_int region data capacity;
+  Seal.write region data capacity;
   Region.persist region data 8;
   A.activate alloc data;
   let handle = A.alloc alloc 16 in
-  Region.set_int region handle 0;
-  Region.set_int region (handle + 8) data;
+  Seal.write region handle 0;
+  Seal.write region (handle + 8) data;
   Region.persist region handle 16;
   A.activate alloc handle;
   {
@@ -50,9 +54,9 @@ let create ?(capacity = 8) alloc =
 
 let attach alloc handle =
   let region = A.region alloc in
-  let size = Region.get_int region handle in
-  let data = Region.get_int region (handle + 8) in
-  let capacity = Region.get_int region data in
+  let size = Seal.read region ~what:"pvector length" handle in
+  let data = Seal.read region ~what:"pvector data offset" (handle + 8) in
+  let capacity = Seal.read region ~what:"pvector capacity" data in
   {
     alloc;
     region;
@@ -66,7 +70,7 @@ let attach alloc handle =
 
 let handle t = t.handle
 let length t = t.size
-let published_length t = Region.get_int t.region t.handle
+let published_length t = Seal.read t.region ~what:"pvector length" t.handle
 
 let check_index t i fn =
   if i < 0 || i >= t.size then
@@ -133,7 +137,7 @@ let read_into_int_sat t ~pos ~len dst =
 let grow t =
   let new_cap = t.capacity * 2 in
   let new_data = A.alloc t.alloc (8 + (new_cap * 8)) in
-  Region.set_int t.region new_data new_cap;
+  Seal.write t.region new_data new_cap;
   if t.size > 0 then
     Region.write_bytes t.region (new_data + 8)
       (Region.read_bytes t.region (t.data + 8) (t.size * 8));
@@ -142,7 +146,7 @@ let grow t =
   Region.expect_ordered t.region ~label:"pvector.grow"
     ~before:[ (new_data, 8 + (t.size * 8)) ]
     ~after:(t.handle + 8);
-  A.activate ~link:(t.handle + 8, Int64.of_int new_data) t.alloc new_data;
+  A.activate ~link:(t.handle + 8, Seal.seal new_data) t.alloc new_data;
   let old = t.data in
   t.data <- new_data;
   t.capacity <- new_cap;
@@ -163,7 +167,7 @@ let publish_unfenced t =
   (* the durable length already matches: storing it again would only
      re-dirty the handle line and force a useless write-back *)
   if t.size <> t.published then begin
-    Region.set_int t.region t.handle t.size;
+    Seal.write t.region t.handle t.size;
     Region.writeback t.region t.handle 8;
     t.published <- t.size
   end
@@ -177,7 +181,7 @@ let publish t =
     Region.expect_ordered t.region ~label:"pvector.publish"
       ~before:[ (t.data + 8, t.size * 8) ]
       ~after:t.handle;
-    Region.set_int t.region t.handle t.size;
+    Seal.write t.region t.handle t.size;
     Region.writeback t.region t.handle 8;
     Region.fence t.region;
     t.published <- t.size
@@ -207,5 +211,18 @@ let destroy t =
   A.free t.alloc a
 
 let owned_blocks t = [ t.handle; t.data ]
+
+(* Scrub-time structural checks beyond what the sealed reads in [attach]
+   already enforce: the capacity must fit the allocator block that holds
+   it and the published length must fit the capacity. *)
+let verify t =
+  Pcheck.require (t.capacity >= 1) ~at:t.data "pvector capacity < 1";
+  Pcheck.require
+    (t.published >= 0 && t.published <= t.capacity)
+    ~at:t.handle "pvector length exceeds capacity";
+  Pcheck.require
+    (A.usable_size t.alloc t.data >= 8 + (t.capacity * 8))
+    ~at:t.data "pvector capacity exceeds its block"
+
 
 let words_on_nvm t = 16 + 8 + (t.capacity * 8)

@@ -99,3 +99,8 @@ val owned_blocks : t -> int list
 val words_on_nvm : t -> int
 (** Footprint in bytes (handle + data block capacity), for size
     accounting. *)
+
+val verify : t -> unit
+(** Structural scrub checks (capacity fits the data block, published
+    length fits the capacity). @raise Pcheck.Invalid on damage; the
+    sealed metadata words were already checked by [attach]. *)

@@ -1,11 +1,17 @@
 module A = Nvm_alloc.Allocator
 module Region = Nvm.Region
+module Seal = Nvm.Seal
+module Pcheck = Pstruct.Pcheck
+
+(* Entry block (16 bytes): +0 name string offset, +8 table ctrl offset —
+   both sealed. The catalog itself is a persistent vector of entry
+   offsets, each element stored sealed too, so a media fault anywhere in
+   the table directory is caught at read time. *)
+
 module Pvector = Pstruct.Pvector
 
-(* Entry block (16 bytes): +0 name string offset, +8 table ctrl offset.
-   The catalog itself is a persistent vector of entry offsets. *)
-
 type t = { alloc : A.t; region : Region.t; entries : Pvector.t }
+type entry_view = { name : string option; ctrl : int option; entry_off : int option }
 
 let create alloc =
   { alloc; region = A.region alloc; entries = Pvector.create alloc }
@@ -15,31 +21,40 @@ let attach alloc handle =
 
 let handle t = Pvector.handle t.entries
 
-let entry_name t e = Pstruct.Pstring.get t.alloc (Region.get_int t.region e)
+let entry_off t i =
+  match Seal.unseal (Pvector.get t.entries i) with
+  | Some e -> e
+  | None ->
+      Seal.count_failure ();
+      Pcheck.fail ~at:(Pvector.handle t.entries) "catalog entry offset"
+
+let entry_name t e =
+  Pstruct.Pstring.get t.alloc (Seal.read t.region ~what:"catalog entry name" e)
+
+let entry_ctrl t e = Seal.read t.region ~what:"catalog entry ctrl" (e + 8)
 
 let find_entry t name =
   let n = Pvector.length t.entries in
   let rec go i =
     if i >= n then None
     else
-      let e = Pvector.get_int t.entries i in
+      let e = entry_off t i in
       if entry_name t e = name then Some e else go (i + 1)
   in
   go 0
 
-let find t name =
-  Option.map (fun e -> Region.get_int t.region (e + 8)) (find_entry t name)
+let find t name = Option.map (fun e -> entry_ctrl t e) (find_entry t name)
 
 let add_table t ~name ~ctrl =
   if find_entry t name <> None then
     invalid_arg ("Catalog.add_table: duplicate table " ^ name);
   let name_off = Pstruct.Pstring.add t.alloc name in
   let e = A.alloc t.alloc 16 in
-  Region.set_int t.region e name_off;
-  Region.set_int t.region (e + 8) ctrl;
+  Seal.write t.region e name_off;
+  Seal.write t.region (e + 8) ctrl;
   Region.persist t.region e 16;
   A.activate t.alloc e;
-  ignore (Pvector.append_int t.entries e);
+  ignore (Pvector.append t.entries (Seal.seal e));
   (* publication of the vector length is the creation commit point *)
   Pvector.publish t.entries
 
@@ -51,22 +66,44 @@ let swap_table t ~name ~new_ctrl =
          reaches must already be durable (the merge built it fenced) *)
       Region.expect_ordered t.region ~label:"catalog.swap_table" ~before:[]
         ~after:(e + 8);
-      Region.set_int t.region (e + 8) new_ctrl;
+      Seal.write t.region (e + 8) new_ctrl;
       Region.persist t.region (e + 8) 8
 
 let tables t =
-  List.map
-    (fun e ->
-      let e = Int64.to_int e in
-      (entry_name t e, Region.get_int t.region (e + 8)))
-    (Pvector.to_list t.entries)
+  List.init (Pvector.length t.entries) (fun i ->
+      let e = entry_off t i in
+      (entry_name t e, entry_ctrl t e))
 
 let table_count t = Pvector.length t.entries
+
+(* Per-entry damage containment for recovery: each field is read under a
+   handler, so one rotten entry yields [None]s instead of taking the
+   whole directory down. Order is creation order — the same order the
+   engine assigns WAL table ids. *)
+let entries_defensive t =
+  List.init (Pvector.length t.entries) (fun i ->
+      let guard f = try Some (f ()) with _ -> None in
+      match guard (fun () -> entry_off t i) with
+      | None -> { name = None; ctrl = None; entry_off = None }
+      | Some e ->
+          {
+            name = guard (fun () -> entry_name t e);
+            ctrl = guard (fun () -> entry_ctrl t e);
+            entry_off = Some e;
+          })
+
+let verify ?(deep = false) t =
+  Pvector.verify t.entries;
+  for i = 0 to Pvector.length t.entries - 1 do
+    let e = entry_off t i in
+    let name_off = Seal.read t.region ~what:"catalog entry name" e in
+    ignore (entry_ctrl t e);
+    if deep then Pstruct.Pstring.verify t.alloc name_off
+    else ignore (Pstruct.Pstring.get t.alloc name_off)
+  done
 
 let owned_blocks t =
   Pvector.owned_blocks t.entries
   @ List.concat_map
-      (fun e ->
-        let e = Int64.to_int e in
-        [ e; Region.get_int t.region e ])
-      (Pvector.to_list t.entries)
+      (fun e -> [ e; Seal.read t.region ~what:"catalog entry name" e ])
+      (List.init (Pvector.length t.entries) (entry_off t))

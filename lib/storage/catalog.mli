@@ -31,6 +31,22 @@ val tables : t -> (string * int) list
 
 val table_count : t -> int
 
+type entry_view = { name : string option; ctrl : int option; entry_off : int option }
+(** One catalog entry read defensively: a field that fails its checksum
+    (or whose entry block is unreachable) comes back [None] instead of
+    raising. *)
+
+val entries_defensive : t -> entry_view list
+(** Every entry in creation order — the same order the engine assigns
+    WAL table ids — with per-field damage containment. Recovery uses
+    this to quarantine individual tables instead of losing the whole
+    directory to one rotten entry. *)
+
+val verify : ?deep:bool -> t -> unit
+(** Scrub the directory: entry vector structure, sealed entry words,
+    and (with [~deep:true]) the name-string payload checksums.
+    @raise Pstruct.Pcheck.Invalid or [Nvm.Seal.Corrupt]. *)
+
 val owned_blocks : t -> int list
 (** The catalog's own blocks: entry vector, entry blocks and their name
     strings (table control blocks are reported by each table). *)

@@ -1,5 +1,7 @@
 module A = Nvm_alloc.Allocator
 module Region = Nvm.Region
+module Seal = Nvm.Seal
+module Pcheck = Pstruct.Pcheck
 module Pvector = Pstruct.Pvector
 module Pbitvec = Pstruct.Pbitvec
 module Pbtree = Pstruct.Pbtree
@@ -23,8 +25,12 @@ module Parena = Pstruct.Parena
          +40 delta dictionary index (Pbtree: dict_key -> value-id)
          +48 delta attribute vector (Pvector of value-ids)
          +56 delta secondary index  (Pbtree: vid<<32|row -> row; 0 = none)
-         +64 reserved
-         +72 reserved *)
+         +64 CRC32 of the main dictionary's element words
+         +72 reserved (sealed zero)
+
+   Every control and column-entry word is sealed (Nvm.Seal). The main
+   dictionary is immutable between merges, so its checksum at +64 is
+   computed once by [build] and verified by [verify ~deep:true]. *)
 
 let col_stride = 80
 let cols_base = 64
@@ -73,18 +79,24 @@ let check_row t r fn =
 let col_entry_off ctrl i = ctrl + cols_base + (i * col_stride)
 
 let write_col_entry region ctrl i ~name_off ~ty_tag ~indexed ~main_dict
-    ~main_avec ~delta_dictvec ~delta_dict_idx ~delta_avec ~delta_row_idx =
+    ~main_avec ~delta_dictvec ~delta_dict_idx ~delta_avec ~delta_row_idx
+    ~main_dict_crc =
   let e = col_entry_off ctrl i in
-  Region.set_int region e name_off;
-  Region.set_int region (e + 8) (ty_tag lor (if indexed then 256 else 0));
-  Region.set_int region (e + 16) main_dict;
-  Region.set_int region (e + 24) main_avec;
-  Region.set_int region (e + 32) delta_dictvec;
-  Region.set_int region (e + 40) delta_dict_idx;
-  Region.set_int region (e + 48) delta_avec;
-  Region.set_int region (e + 56) delta_row_idx;
-  Region.set_int region (e + 64) 0;
-  Region.set_int region (e + 72) 0
+  Seal.write region e name_off;
+  Seal.write region (e + 8) (ty_tag lor (if indexed then 256 else 0));
+  Seal.write region (e + 16) main_dict;
+  Seal.write region (e + 24) main_avec;
+  Seal.write region (e + 32) delta_dictvec;
+  Seal.write region (e + 40) delta_dict_idx;
+  Seal.write region (e + 48) delta_avec;
+  Seal.write region (e + 56) delta_row_idx;
+  Seal.write region (e + 64) main_dict_crc;
+  Seal.write region (e + 72) 0
+
+let crc_of_words words =
+  let buf = Bytes.create (Array.length words * 8) in
+  Array.iteri (fun i w -> Bytes.set_int64_le buf (i * 8) w) words;
+  Int32.to_int (Util.Crc.bytes buf) land 0xFFFFFFFF
 
 let fresh_delta alloc (c : Schema.column) =
   let delta_dictvec = Pvector.create alloc in
@@ -114,30 +126,34 @@ let build ~alloc ~name ~(schema : Schema.t) ~main_rows ~main_parts ~main_end_cid
         let main_dict = Pvector.create alloc in
         Array.iter (fun w -> ignore (Pvector.append main_dict w)) dict_words;
         Pvector.publish main_dict;
+        let main_dict_crc = crc_of_words dict_words in
         let main_avec = Pbitvec.build alloc avec_ids in
         let delta_dictvec, delta_dict_idx, delta_avec, delta_row_idx =
           fresh_delta alloc c
         in
-        {
-          cschema = c;
-          main_dict;
-          main_avec;
-          delta_dictvec;
-          delta_dict_idx;
-          delta_avec;
-          delta_row_idx;
-        })
+        ( {
+            cschema = c;
+            main_dict;
+            main_avec;
+            delta_dictvec;
+            delta_dict_idx;
+            delta_avec;
+            delta_row_idx;
+          },
+          main_dict_crc ))
       schema
   in
+  let dict_crcs = Array.map snd cols in
+  let cols = Array.map fst cols in
   let ctrl = A.alloc alloc (cols_base + (n * col_stride)) in
-  Region.set_int region ctrl name_off;
-  Region.set_int region (ctrl + 8) n;
-  Region.set_int region (ctrl + 16) main_rows;
-  Region.set_int region (ctrl + 24) (Pvector.handle begin_v);
-  Region.set_int region (ctrl + 32) (Pvector.handle end_v);
-  Region.set_int region (ctrl + 40) (Pvector.handle main_end);
-  Region.set_int region (ctrl + 48) (Pvector.handle inval);
-  Region.set_int region (ctrl + 56) (Parena.handle arena);
+  Seal.write region ctrl name_off;
+  Seal.write region (ctrl + 8) n;
+  Seal.write region (ctrl + 16) main_rows;
+  Seal.write region (ctrl + 24) (Pvector.handle begin_v);
+  Seal.write region (ctrl + 32) (Pvector.handle end_v);
+  Seal.write region (ctrl + 40) (Pvector.handle main_end);
+  Seal.write region (ctrl + 48) (Pvector.handle inval);
+  Seal.write region (ctrl + 56) (Parena.handle arena);
   Array.iteri
     (fun i col ->
       write_col_entry region ctrl i
@@ -152,7 +168,8 @@ let build ~alloc ~name ~(schema : Schema.t) ~main_rows ~main_parts ~main_end_cid
         ~delta_row_idx:
           (match col.delta_row_idx with
           | Some idx -> Pbtree.handle idx
-          | None -> 0))
+          | None -> 0)
+        ~main_dict_crc:dict_crcs.(i))
     cols;
   Region.persist region ctrl (cols_base + (n * col_stride));
   A.activate alloc ctrl;
@@ -184,38 +201,50 @@ let replace_ctrl_for_merge alloc ~name ~schema ~columns ~main_end =
 
 let attach alloc ctrl =
   let region = A.region alloc in
-  let name = Pstruct.Pstring.get alloc (Region.get_int region ctrl) in
-  let n = Region.get_int region (ctrl + 8) in
-  let main_rows = Region.get_int region (ctrl + 16) in
-  let begin_v = Pvector.attach alloc (Region.get_int region (ctrl + 24)) in
-  let end_v = Pvector.attach alloc (Region.get_int region (ctrl + 32)) in
-  let main_end = Pvector.attach alloc (Region.get_int region (ctrl + 40)) in
-  let inval = Pvector.attach alloc (Region.get_int region (ctrl + 48)) in
-  let arena = Parena.attach alloc (Region.get_int region (ctrl + 56)) in
+  let rd what off = Seal.read region ~what off in
+  let name = Pstruct.Pstring.get alloc (rd "table name offset" ctrl) in
+  let n = rd "column count" (ctrl + 8) in
+  Pcheck.require
+    (n >= 0 && n <= 4096)
+    ~at:(ctrl + 8) "column count implausible";
+  let main_rows = rd "main row count" (ctrl + 16) in
+  let begin_v = Pvector.attach alloc (rd "begin vector" (ctrl + 24)) in
+  let end_v = Pvector.attach alloc (rd "end vector" (ctrl + 32)) in
+  let main_end = Pvector.attach alloc (rd "main-end vector" (ctrl + 40)) in
+  let inval = Pvector.attach alloc (rd "invalidation log" (ctrl + 48)) in
+  let arena = Parena.attach alloc (rd "arena" (ctrl + 56)) in
   let delta_rows = Pvector.length begin_v in
   (* the begin vector's published length is the row-count authority; every
      other per-row vector was published before it, so they can only be
      longer — truncate the stragglers *)
-  assert (Pvector.length end_v >= delta_rows);
+  Pcheck.require
+    (Pvector.length end_v >= delta_rows)
+    ~at:(ctrl + 32) "end vector shorter than begin vector";
   Pvector.truncate_volatile end_v delta_rows;
+  Pcheck.require
+    (Pvector.length main_end = main_rows)
+    ~at:(ctrl + 40) "main-end vector length mismatch";
   let cols =
     Array.init n (fun i ->
         let e = col_entry_off ctrl i in
-        let cname = Pstruct.Pstring.get alloc (Region.get_int region e) in
-        let tagword = Region.get_int region (e + 8) in
+        let cname = Pstruct.Pstring.get alloc (rd "column name offset" e) in
+        let tagword = rd "column type word" (e + 8) in
+        (if tagword land 0xff > 2 then
+           Pcheck.fail ~at:(e + 8) "unknown column type tag");
         let ty = Value.ty_of_tag (tagword land 0xff) in
         let indexed = tagword land 256 <> 0 in
-        let delta_avec = Pvector.attach alloc (Region.get_int region (e + 48)) in
-        assert (Pvector.length delta_avec >= delta_rows);
+        let delta_avec = Pvector.attach alloc (rd "delta attribute vector" (e + 48)) in
+        Pcheck.require
+          (Pvector.length delta_avec >= delta_rows)
+          ~at:(e + 48) "delta attribute vector shorter than begin vector";
         Pvector.truncate_volatile delta_avec delta_rows;
-        let idx_off = Region.get_int region (e + 56) in
+        let idx_off = rd "delta row index" (e + 56) in
         {
           cschema = Schema.column ~indexed cname ty;
-          main_dict = Pvector.attach alloc (Region.get_int region (e + 16));
-          main_avec = Pbitvec.attach alloc (Region.get_int region (e + 24));
-          delta_dictvec =
-            Pvector.attach alloc (Region.get_int region (e + 32));
-          delta_dict_idx = Pbtree.attach alloc (Region.get_int region (e + 40));
+          main_dict = Pvector.attach alloc (rd "main dictionary" (e + 16));
+          main_avec = Pbitvec.attach alloc (rd "main attribute vector" (e + 24));
+          delta_dictvec = Pvector.attach alloc (rd "delta dictionary" (e + 32));
+          delta_dict_idx = Pbtree.attach alloc (rd "delta dictionary index" (e + 40));
           delta_avec;
           delta_row_idx =
             (if idx_off = 0 then None else Some (Pbtree.attach alloc idx_off));
@@ -536,9 +565,9 @@ let owned_blocks t =
       | Some idx -> Pbtree.owned_blocks idx
       | None -> [])
   in
-  (t.ctrl :: Region.get_int t.region t.ctrl
+  (t.ctrl :: Seal.read t.region ~what:"table name offset" t.ctrl
    :: List.init (Array.length t.cols) (fun i ->
-          Region.get_int t.region (col_entry_off t.ctrl i)))
+          Seal.read t.region ~what:"column name offset" (col_entry_off t.ctrl i)))
   @ Pvector.owned_blocks t.begin_v
   @ Pvector.owned_blocks t.end_v
   @ Pvector.owned_blocks t.main_end
@@ -547,9 +576,9 @@ let owned_blocks t =
   @ List.concat_map col_blocks (Array.to_list t.cols)
 
 let name_string_offsets t =
-  Region.get_int t.region t.ctrl
+  Seal.read t.region ~what:"table name offset" t.ctrl
   :: List.init (Array.length t.cols) (fun i ->
-         Region.get_int t.region (col_entry_off t.ctrl i))
+         Seal.read t.region ~what:"column name offset" (col_entry_off t.ctrl i))
 
 let delta_dictionary_size t i = Pvector.length t.cols.(i).delta_dictvec
 let main_dictionary_size t i = Pvector.length t.cols.(i).main_dict
@@ -577,6 +606,131 @@ let nvm_bytes t =
       | Some idx -> Pbtree.bytes_on_nvm idx
       | None -> 0)
     base t.cols
+
+(* -- verification -- *)
+
+let verify_dict_strings region dict =
+  for j = 0 to Pvector.length dict - 1 do
+    let w = Pvector.get dict j in
+    let off = Int64.to_int w in
+    Pcheck.require
+      (off > 0 && off + 8 <= Region.size region)
+      ~at:(Pvector.handle dict) "text dictionary offset out of bounds";
+    Pstruct.Pstring.verify_at region off
+  done
+
+(* MVCC timestamp words are write-hot, so they carry no checksum; what
+   they CAN carry is a value-domain check. Durable CIDs are non-negative,
+   and a main-partition end-CID above the committed high-water mark is
+   only legitimate while its invalidation journal entry (the pair restart
+   rollback uses to heal it) exists — so a fault that knocks a live row's
+   [infinity] sentinel into a finite value is detectable, while faults
+   that keep a cid on the same side of [last_cid] leave the visibility
+   predicate's verdict at any post-recovery snapshot unchanged. Delta
+   begin/end words can hold legitimate in-flight values above the mark
+   right up to the crash, so they only get the sign check. *)
+let cid_fail ~at what =
+  Nvm.Seal.count_failure ();
+  Pcheck.fail ~at what
+
+let verify_cids ~last_cid t =
+  let nonneg ~at what v =
+    if Int64.compare v 0L < 0 && v <> Cid.infinity then cid_fail ~at what
+  in
+  for p = 0 to delta_rows t - 1 do
+    nonneg ~at:(Pvector.handle t.begin_v) "delta begin-cid negative"
+      (Pvector.get t.begin_v p);
+    nonneg ~at:(Pvector.handle t.end_v) "delta end-cid negative"
+      (Pvector.get t.end_v p)
+  done;
+  let entries = Pvector.length t.inval / 2 in
+  let journal = Hashtbl.create (max 16 entries) in
+  for k = 0 to entries - 1 do
+    let r = Pvector.get_int t.inval (2 * k) in
+    let cid = Pvector.get t.inval ((2 * k) + 1) in
+    if r < 0 || r >= t.main_rows then
+      cid_fail ~at:(Pvector.handle t.inval) "invalidation log row out of range";
+    nonneg ~at:(Pvector.handle t.inval) "invalidation log cid negative" cid;
+    Hashtbl.replace journal (r, cid) ()
+  done;
+  for r = 0 to t.main_rows - 1 do
+    let e = Pvector.get t.main_end r in
+    nonneg ~at:(Pvector.handle t.main_end) "main end-cid negative" e;
+    if
+      e <> Cid.infinity
+      && Int64.compare e last_cid > 0
+      && not (Hashtbl.mem journal (r, e))
+    then
+      cid_fail ~at:(Pvector.handle t.main_end)
+        "main end-cid beyond commit point with no journal entry"
+  done
+
+let verify ?(deep = false) ?last_cid t =
+  let region = t.region in
+  let dr = delta_rows t in
+  Pvector.verify t.begin_v;
+  Pvector.verify t.end_v;
+  Pvector.verify t.main_end;
+  Pvector.verify t.inval;
+  Parena.verify t.arena;
+  Pcheck.require (t.main_rows >= 0) ~at:(t.ctrl + 16) "negative main row count";
+  Pcheck.require
+    (Pvector.length t.main_end = t.main_rows)
+    ~at:(t.ctrl + 40) "main-end vector length mismatch";
+  Pcheck.require
+    (Pvector.length t.inval land 1 = 0)
+    ~at:(t.ctrl + 48) "invalidation log has odd length";
+  (match last_cid with
+  | Some last when deep -> verify_cids ~last_cid:last t
+  | _ -> ());
+  Array.iteri
+    (fun i col ->
+      let e = col_entry_off t.ctrl i in
+      Pvector.verify col.main_dict;
+      Pbitvec.verify ~deep col.main_avec;
+      Pvector.verify col.delta_dictvec;
+      Pbtree.verify ~deep col.delta_dict_idx;
+      Pvector.verify col.delta_avec;
+      Option.iter (Pbtree.verify ~deep) col.delta_row_idx;
+      Pcheck.require
+        (Pbitvec.length col.main_avec = t.main_rows)
+        ~at:(e + 24) "main attribute vector length mismatch";
+      if deep then begin
+        (* main dictionary content checksum, stored sealed at entry +64 *)
+        let stored = Seal.read region ~what:"main dictionary checksum" (e + 64) in
+        let words =
+          Array.init (Pvector.length col.main_dict) (Pvector.get col.main_dict)
+        in
+        if crc_of_words words <> stored then begin
+          Nvm.Seal.count_failure ();
+          Pcheck.fail ~at:(e + 64) "main dictionary checksum mismatch"
+        end;
+        (* every attribute-vector id must resolve inside its dictionary *)
+        let ndict = Pvector.length col.main_dict in
+        for r = 0 to t.main_rows - 1 do
+          if Pbitvec.get col.main_avec r >= ndict then
+            Pcheck.fail ~at:(e + 24) "main attribute id out of dictionary"
+        done;
+        let ndelta = Pvector.length col.delta_dictvec in
+        for r = 0 to dr - 1 do
+          if Int64.to_int (Pvector.get col.delta_avec r) >= ndelta then
+            Pcheck.fail ~at:(e + 48) "delta attribute id out of dictionary"
+        done;
+        if col.cschema.ty = Value.Text_t then begin
+          verify_dict_strings region col.main_dict;
+          verify_dict_strings region col.delta_dictvec
+        end
+      end)
+    t.cols;
+  if deep then begin
+    Pstruct.Pstring.verify t.alloc
+      (Seal.read region ~what:"table name offset" t.ctrl);
+    Array.iteri
+      (fun i _ ->
+        Pstruct.Pstring.verify t.alloc
+          (Seal.read region ~what:"column name offset" (col_entry_off t.ctrl i)))
+      t.cols
+  end
 
 let destroy t =
   Array.iter

@@ -207,6 +207,20 @@ val owned_blocks : t -> int list
     strings, vectors, indexes, arena chunks) — the reachability set the
     engine's vacuum sweeps against. *)
 
+val verify : ?deep:bool -> ?last_cid:Cid.t -> t -> unit
+(** Scrub this table's persistent structures. The default shallow pass
+    checks sealed control words, structural invariants and cross-structure
+    length agreement in (near-)constant time per structure; [~deep:true]
+    additionally recomputes payload checksums (attribute-vector bits, main
+    dictionary words, every name and text-dictionary string) and checks
+    each attribute id against its dictionary — linear in the data.
+    [last_cid] (deep only) additionally value-checks the unchecksummed
+    MVCC timestamp words against the committed high-water mark: a main
+    end-CID beyond it without its invalidation-journal entry is media
+    damage (a mid-commit crash can conservatively trip this — salvage
+    restores such a table exactly).
+    @raise Pstruct.Pcheck.Invalid or [Nvm.Seal.Corrupt] on damage. *)
+
 val name_string_offsets : t -> int list
 (** Offsets of the table-name and column-name strings (for reclamation
     when a table generation is retired). *)

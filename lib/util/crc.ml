@@ -1,0 +1,50 @@
+(* CRC32 (IEEE 802.3 polynomial, table-driven), shared by the WAL frame
+   codec and the NVM media checksums. One table, computed lazily on first
+   use; all entry points fold over the same [step]. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let[@inline] step table c byte =
+  let idx = Int32.to_int (Int32.logand (Int32.logxor c (Int32.of_int byte)) 0xFFl) in
+  Int32.logxor (Array.unsafe_get table idx) (Int32.shift_right_logical c 8)
+
+let init = 0xFFFFFFFFl
+let finish c = Int32.logxor c 0xFFFFFFFFl
+
+let string s =
+  let t = Lazy.force table in
+  let c = ref init in
+  String.iter (fun ch -> c := step t !c (Char.code ch)) s;
+  finish !c
+
+let bytes_sub b pos len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Crc.bytes_sub: range out of bounds";
+  let t = Lazy.force table in
+  let c = ref init in
+  for i = pos to pos + len - 1 do
+    c := step t !c (Char.code (Bytes.unsafe_get b i))
+  done;
+  finish !c
+
+let bytes b = bytes_sub b 0 (Bytes.length b)
+
+(* CRC of the low 48 bits of an int, fed least-significant byte first.
+   Used by Nvm.Seal to tag metadata words; kept here so the polynomial
+   lives in exactly one place. *)
+let int48 v =
+  let t = Lazy.force table in
+  let c = ref init in
+  for shift = 0 to 5 do
+    c := step t !c ((v lsr (shift * 8)) land 0xFF)
+  done;
+  finish !c

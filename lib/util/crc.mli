@@ -1,0 +1,16 @@
+(** CRC32 (IEEE 802.3), the one checksum used across the system: WAL frame
+    and checkpoint trailers, NVM payload checksums, and the 16-bit tags on
+    sealed metadata words. *)
+
+val string : string -> int32
+(** CRC32 of a whole string. *)
+
+val bytes : Bytes.t -> int32
+(** CRC32 of a whole byte buffer. *)
+
+val bytes_sub : Bytes.t -> int -> int -> int32
+(** [bytes_sub b pos len] checksums [len] bytes starting at [pos].
+    @raise Invalid_argument if the range is out of bounds. *)
+
+val int48 : int -> int32
+(** CRC32 of the low 48 bits of an int, least-significant byte first. *)

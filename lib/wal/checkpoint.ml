@@ -15,6 +15,9 @@ type t = { cid : Storage.Cid.t; epoch : int; tables : table_dump list }
 let magic = "HYRCKP02"
 
 let path ~dir = Filename.concat dir "checkpoint.bin"
+let bak_path ~dir = Filename.concat dir "checkpoint.bak"
+
+let rejected = Obs.counter "wal.checkpoint_rejected"
 
 let encode t =
   let buf = Buffer.create 4096 in
@@ -93,13 +96,15 @@ let write ?(on_step = fun _ -> ()) ~dir t =
   Unix.fsync fd;
   Unix.close fd;
   on_step "checkpoint.fsync_tmp";
+  (* keep the previous generation as a fallback: a later media fault in
+     the fresh file degrades to the .bak plus one extra epoch of log *)
+  if Sys.file_exists (path ~dir) then Sys.rename (path ~dir) (bak_path ~dir);
+  on_step "checkpoint.bak";
   Sys.rename tmp (path ~dir);
   on_step "checkpoint.rename";
   String.length final
 
-let read ~dir =
-  Obs.Span.with_ ~name:"checkpoint_read" @@ fun () ->
-  let p = path ~dir in
+let read_file p =
   if not (Sys.file_exists p) then None
   else begin
     let ic = open_in_bin p in
@@ -108,10 +113,22 @@ let read ~dir =
         ~finally:(fun () -> close_in ic)
         (fun () -> really_input_string ic (in_channel_length ic))
     in
-    if String.length data < 4 then None
-    else begin
-      let payload = String.sub data 0 (String.length data - 4) in
-      let crc = String.get_int32_le data (String.length data - 4) in
-      if Codec.crc32 payload <> crc then None else decode payload
-    end
+    let t =
+      if String.length data < 4 then None
+      else begin
+        let payload = String.sub data 0 (String.length data - 4) in
+        let crc = String.get_int32_le data (String.length data - 4) in
+        if Codec.crc32 payload <> crc then None else decode payload
+      end
+    in
+    (* the file exists but did not verify: that is damage, not absence *)
+    if t = None then Obs.incr rejected;
+    t
   end
+
+let read ~dir =
+  Obs.Span.with_ ~name:"checkpoint_read" @@ fun () -> read_file (path ~dir)
+
+let read_bak ~dir =
+  Obs.Span.with_ ~name:"checkpoint_read_bak" @@ fun () ->
+  read_file (bak_path ~dir)

@@ -38,6 +38,14 @@ val write : ?on_step:(string -> unit) -> dir:string -> t -> int
     durability steps show up interleaved with NVM events. *)
 
 val read : dir:string -> t option
-(** The latest checkpoint, or [None] (missing or corrupt file). *)
+(** The latest checkpoint, or [None] (missing or corrupt file). A file
+    that exists but fails its trailer CRC or decode is counted in the
+    [wal.checkpoint_rejected] metric. *)
+
+val read_bak : dir:string -> t option
+(** The previous checkpoint generation ([checkpoint.bak], kept by the
+    rename in [write]) — the salvage fallback when the current file is
+    rejected. *)
 
 val path : dir:string -> string
+val bak_path : dir:string -> string

@@ -1,30 +1,8 @@
 module Value = Storage.Value
 module Schema = Storage.Schema
 
-(* -- crc32 (IEEE 802.3 polynomial, table-driven) -- *)
-
-let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref (Int32.of_int n) in
-         for _ = 0 to 7 do
-           if Int32.logand !c 1l <> 0l then
-             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
-           else c := Int32.shift_right_logical !c 1
-         done;
-         !c))
-
-let crc32 s =
-  let table = Lazy.force crc_table in
-  let c = ref 0xFFFFFFFFl in
-  String.iter
-    (fun ch ->
-      let idx =
-        Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
-      in
-      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
-    s;
-  Int32.logxor !c 0xFFFFFFFFl
+(* CRC32 lives in Util.Crc so the NVM media checksums share the table. *)
+let crc32 = Util.Crc.string
 
 (* -- writers -- *)
 
@@ -109,6 +87,8 @@ let r_schema r =
       let indexed = r_u8 r = 1 in
       Schema.column ~indexed name ty)
 
+type frame_result = Frame of string | Torn | Bad_crc
+
 let r_frame r =
   let saved = r.pos in
   match
@@ -117,11 +97,13 @@ let r_frame r =
     need r n;
     let payload = String.sub r.data r.pos n in
     r.pos <- r.pos + n;
-    if crc32 payload = crc then Some payload else None
+    if crc32 payload = crc then Frame payload
+    else begin
+      r.pos <- saved;
+      Bad_crc
+    end
   with
-  | result ->
-      (match result with None -> r.pos <- saved | Some _ -> ());
-      result
+  | result -> result
   | exception Short ->
       r.pos <- saved;
-      None
+      Torn

@@ -33,6 +33,12 @@ val r_string : reader -> string
 val r_value : reader -> Storage.Value.t
 val r_schema : reader -> Storage.Schema.t
 
-val r_frame : reader -> string option
-(** Next framed payload, or [None] on a clean end / torn or corrupt frame
+type frame_result =
+  | Frame of string  (** a complete frame whose CRC verified *)
+  | Torn  (** the data ran out mid-frame (a torn tail — expected on crash) *)
+  | Bad_crc  (** a complete frame whose CRC did not match (media damage) *)
+
+val r_frame : reader -> frame_result
+(** Next framed payload. [Torn] and [Bad_crc] leave the reader position
+    on the bad frame
     (replay treats both as end-of-log). *)

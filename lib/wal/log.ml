@@ -22,7 +22,21 @@ type t = {
   mutable closed : bool;
 }
 
-let log_path ~dir = Filename.concat dir "wal.log"
+let log_path ~dir ~epoch = Filename.concat dir (Printf.sprintf "wal-%d.log" epoch)
+
+(* every epoch's log is retained: together with checkpoint.bak they form
+   the salvage ladder (a rejected checkpoint falls back to the previous
+   one plus one more epoch of replay; with no checkpoint at all, replay
+   runs from epoch 0 with a merge at each epoch boundary) *)
+let epochs ~dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Array.to_list (Sys.readdir dir)
+    |> List.filter_map (fun f ->
+           Scanf.sscanf_opt f "wal-%d.log%!" (fun e -> e))
+    |> List.sort compare
+
+let bad_frames = Obs.counter "wal.bad_frames"
 
 let magic = "HYRWAL01"
 
@@ -84,7 +98,7 @@ let decode_record payload =
 let create config ~epoch =
   if not (Sys.file_exists config.dir) then Unix.mkdir config.dir 0o755;
   let fd =
-    Unix.openfile (log_path ~dir:config.dir)
+    Unix.openfile (log_path ~dir:config.dir ~epoch)
       [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
       0o644
   in
@@ -106,8 +120,7 @@ let create config ~epoch =
   }
 
 let open_append config ~epoch ~truncate_at =
-  ignore epoch;
-  let path = log_path ~dir:config.dir in
+  let path = log_path ~dir:config.dir ~epoch in
   let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
   Unix.ftruncate fd truncate_at;
   ignore (Unix.lseek fd truncate_at Unix.SEEK_SET);
@@ -168,7 +181,7 @@ let bytes_written t = t.bytes_written
 let flushes t = t.flushes
 
 let read_all ~dir ~expected_epoch =
-  let path = log_path ~dir in
+  let path = log_path ~dir ~epoch:expected_epoch in
   if not (Sys.file_exists path) then ([], 0)
   else begin
     let ic = open_in_bin path in
@@ -193,8 +206,17 @@ let read_all ~dir ~expected_epoch =
         done;
         let rec go acc =
           match Codec.r_frame rd with
-          | None -> List.rev acc
-          | Some payload -> go (decode_record payload :: acc)
+          | Codec.Frame payload -> go (decode_record payload :: acc)
+          | Codec.Torn ->
+              (* expected crash artifact: the tail stops at a clean frame
+                 boundary and replay simply ends there *)
+              List.rev acc
+          | Codec.Bad_crc ->
+              (* a complete frame that fails its CRC is media damage, not
+                 a torn tail — count it, then degrade identically (replay
+                 up to the last intact frame) *)
+              Obs.incr bad_frames;
+              List.rev acc
         in
         let records = go [] in
         (records, Codec.pos rd)

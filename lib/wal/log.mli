@@ -16,7 +16,7 @@
 type t
 
 type config = {
-  dir : string;  (** directory for [wal.log] and [checkpoint.bin] *)
+  dir : string;  (** directory for [wal-<epoch>.log] and [checkpoint.bin] *)
   group_commit_size : int;  (** commits per fsync batch; 1 = every commit *)
   fsync : bool;  (** issue fdatasync on flush (off speeds up tests) *)
 }
@@ -63,8 +63,14 @@ val bytes_written : t -> int
 val flushes : t -> int
 
 val read_all : dir:string -> expected_epoch:int -> record list * int
-(** Parse the log for replay: all well-formed records up to the first torn
-    frame, plus the byte count read. Returns [[], 0] when the file is
+(** Parse one epoch's log for replay: all well-formed records up to the
+    first torn or corrupt frame, plus the byte count read. A complete
+    frame whose CRC fails (media damage rather than a torn tail) is
+    counted in the [wal.bad_frames] metric; replay then degrades to the
+    cleanly truncated prefix either way. Returns [[], 0] when the file is
     missing or belongs to a different epoch. *)
 
-val log_path : dir:string -> string
+val log_path : dir:string -> epoch:int -> string
+
+val epochs : dir:string -> int list
+(** Epoch numbers of every retained log file, ascending. *)

@@ -121,7 +121,7 @@ let test_roots_durable () =
 
 let test_open_existing_unformatted () =
   let r = region_of_size 65536 in
-  Alcotest.check_raises "bad magic" (A.Corrupt_heap "bad magic") (fun () ->
+  Alcotest.check_raises "bad magic" (A.Heap_corrupt { at = 0; what = "bad magic" }) (fun () ->
       ignore (A.open_existing r))
 
 let test_recovery_preserves_allocated () =

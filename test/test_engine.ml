@@ -27,6 +27,7 @@ let log_engine ?(size = 16 * 1024 * 1024) ?(group = 1) () =
     {
       E.region = Region.config_with_size size;
       durability = E.Logging { Wal.Log.dir; group_commit_size = group; fsync = false };
+      salvage = None;
     }
 
 let volatile_engine ?(size = 16 * 1024 * 1024) () =
