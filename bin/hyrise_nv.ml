@@ -210,16 +210,23 @@ let torture_cmd =
 
 (* -- sanitize -- *)
 
-let sanitize jobs size_mb seed ops =
-  (* traced engines force the serial paths regardless, but honour the
-     flag so the pool width still shows up in the registry gauge *)
+let sanitize jobs size_mb seed ops json =
+  (* traced engines fan out like any other since the sanitizer merges
+     per-lane traces at each join — --jobs N is the real lane count *)
   set_jobs jobs;
   let failures = ref 0 in
+  let phase_docs = ref [] in
   let phase name f =
-    Printf.printf "=== %s under the persist-order sanitizer ===\n%!" name;
+    Printf.printf "=== %s under the persist-order sanitizer (%d lane(s)) ===\n%!"
+      name (Par.jobs ());
     let san = f () in
     print_string (Nvm.Sanitizer.report san);
     let c = Nvm.Sanitizer.correctness_violations san in
+    (let module J = Obs.Json in
+     let fields =
+       match Nvm.Sanitizer.report_json san with J.Obj fs -> fs | d -> [ ("report", d) ]
+     in
+     phase_docs := J.Obj (("name", J.Str name) :: fields) :: !phase_docs);
     if c > 0 then begin
       Printf.printf "FAIL: %d correctness violation(s) in %s\n" c name;
       incr failures
@@ -258,6 +265,27 @@ let sanitize jobs size_mb seed ops =
       in
       ignore (Tpcc.run sess2 (Prng.split rng) ~ops:(ops / 2) ());
       Option.get (Engine.sanitizer e2));
+  (match json with
+  | None -> ()
+  | Some path ->
+      let module J = Obs.Json in
+      let doc =
+        J.Obj
+          [
+            ("experiment", J.Str "sanitize");
+            ("jobs", J.Int (Par.jobs ()));
+            ("seed", J.Int seed);
+            ("ops", J.Int ops);
+            ("phases", J.List (List.rev !phase_docs));
+            ("failures", J.Int !failures);
+            ("registry", Obs.to_json ());
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (J.pretty doc);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n%!" path);
   if !failures > 0 then exit 1
 
 let sanitize_cmd =
@@ -265,11 +293,20 @@ let sanitize_cmd =
     Arg.(value & opt int 2_000 & info [ "ops" ] ~docv:"N"
            ~doc:"Operations per workload phase.")
   in
+  let json =
+    Arg.(value
+         & opt ~vopt:(Some "BENCH_sanitize.json") (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write the violation tallies and counters as JSON \
+                   (same shape as the BENCH_*.json artifacts; default \
+                   $(docv) is BENCH_sanitize.json).")
+  in
   Cmd.v
     (Cmd.info "sanitize"
        ~doc:"Run the workloads under the persist-order crash-consistency \
-             checker and report violations.")
-    Term.(const sanitize $ jobs_arg $ size_arg $ seed_arg $ ops)
+             checker (fanned out across --jobs lanes) and report \
+             violations.")
+    Term.(const sanitize $ jobs_arg $ size_arg $ seed_arg $ ops $ json)
 
 (* -- stats -- *)
 

@@ -635,8 +635,8 @@ let recover_nvm ?(verify = `Shallow) ?san cfg region =
       alloc
     in
     let t1 = now_ns () in
-    (* a traced (sanitizer) restart stays single-domain: PROTOCOLS.md §10 *)
-    let force_serial = Region.traced region in
+    (* a traced (sanitizer) restart fans out like any other; the
+       sanitizer merges per-lane traces at each join (PROTOCOLS.md §10) *)
     let e, last, views, attached =
       Obs.Span.with_ ~name:"attach" @@ fun () ->
       let ctrl = A.get_root alloc root_slot in
@@ -666,7 +666,7 @@ let recover_nvm ?(verify = `Shallow) ?san cfg region =
          tables are independent — fan out; a failed attach quarantines the
          table instead of failing the restart *)
       let attached =
-        Par.map_array ~force_serial
+        Par.map_array
           (fun (v : Catalog.entry_view) ->
             match v.Catalog.ctrl with
             | None -> Error "catalog entry control pointer unreadable"
@@ -684,7 +684,7 @@ let recover_nvm ?(verify = `Shallow) ?san cfg region =
       match verify with
       | `Off -> attached
       | (`Shallow | `Deep) as level ->
-          Par.map_array ~force_serial
+          Par.map_array
             (fun r ->
               match r with
               | Error _ -> r
@@ -771,7 +771,7 @@ let recover_nvm ?(verify = `Shallow) ?san cfg region =
           Array.of_list (List.map (Hashtbl.find e.tables) (table_names e))
         in
         let plans =
-          Par.map_array ~force_serial
+          Par.map_array
             (fun table -> Table.rollback_plan table ~last_cid:last)
             tbls
         in

@@ -23,7 +23,9 @@ type crash_kind = [ `Drop_unfenced | `Persist_all | `Adversarial ]
 
 (* Observer of every persistence-relevant operation.  Installed by
    Sanitizer.attach; [None] (the default) keeps every hot path at the cost
-   of a single physical-equality test. *)
+   of a single physical-equality test.  Hooks fire on whatever domain
+   performs the op — under the Par pool that is the worker's slot, and
+   the sanitizer buffers those events per lane and merges at the join. *)
 type tracer = {
   on_store : int -> int -> unit;
   on_load : int -> int -> unit;

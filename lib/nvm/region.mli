@@ -200,7 +200,14 @@ val clear_stuck : t -> unit
     structures at their protocol commit points. They are no-ops without a
     tracer, so annotated production code pays nothing. All tracer events
     are suppressed while persistence is disabled (DRAM mode has no
-    ordering protocol to check). *)
+    ordering protocol to check).
+
+    Hooks fire on whatever domain performs the operation: under the
+    [Par] pool a worker lane's events arrive on that worker's
+    {!Util.Domain_slot}. The {!Sanitizer} handles this by buffering each
+    lane's events privately and merging them at the pool's join barrier
+    (PROTOCOLS.md §10); a custom tracer must be similarly slot-aware or
+    confine itself to serial runs. *)
 
 type crash_kind = [ `Drop_unfenced | `Persist_all | `Adversarial ]
 
@@ -220,10 +227,11 @@ type tracer = {
 val set_tracer : t -> tracer option -> unit
 
 val traced : t -> bool
-(** Whether a tracer is attached. Parallel call sites check this and
-    degrade to serial execution — tracer callbacks (and the sanitizer's
-    shadow state behind them) are single-domain by design, so a traced
-    run must never fan out (PROTOCOLS.md §10). *)
+(** Whether a tracer is attached. Purely informational: traced runs fan
+    out across the pool like untraced ones — parallel call sites must
+    {e not} serialize on this (the [@sanitize] lint enforces it), since
+    the sanitizer merges per-lane traces at every join barrier
+    (PROTOCOLS.md §10). *)
 
 val annotate_commit_point : t -> label:string -> (int * int) list -> unit
 (** Declare a protocol commit point: every word of the given byte ranges

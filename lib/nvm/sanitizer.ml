@@ -1,5 +1,5 @@
 (* Persist-order sanitizer: a pmemcheck-style shadow-state machine over a
-   simulated NVM region.
+   simulated NVM region — concurrency-aware since PR 6.
 
    Every 8-byte word moves through
 
@@ -11,7 +11,31 @@
    new value is not part of the queued snapshot. A word that is absent
    from the shadow table is Clean (durable media and volatile view
    agree), so the table only ever holds the in-flight frontier — global
-   "everything durable" checks are O(in-flight), not O(region). *)
+   "everything durable" checks are O(in-flight), not O(region).
+
+   Concurrency model. Tracer hooks fire on whatever domain performs the
+   Region operation. Outside a pool job (and on the caller's slot 0) an
+   event is processed directly — a [jobs () = 1] run is byte-identical
+   to the pre-concurrent sanitizer. During a pool job every lane appends
+   its events to a private per-[Util.Domain_slot] buffer, tagged with
+   the chunk index it is working on; no shared sanitizer state is
+   touched off the caller's lane. At the join barrier the buffers are
+   merged in ascending chunk order — chunk→lane assignment is the static
+   stride of [Par], and chunk bodies walk ascending indices, so the
+   merged order IS the serial execution order and all serial checks fire
+   unchanged.
+
+   On top of the merge, a FastTrack-style happens-before checker flags
+   real races: each lane carries a vector clock advanced at the pool's
+   sync edges (dispatch releases the caller's clock, task-start acquires
+   it, task-done releases into the join barrier via the pool mutex, the
+   join acquires all of it back). Within one job, same-lane events are
+   program-ordered and cross-lane events are concurrent unless an edge
+   intervened — so two lanes touching the same 8-byte word with at
+   least one store and no ordering edge is a race (Racy_store /
+   Racy_load). Because every inter-job edge goes through the caller, the
+   race table only needs to live for one job and serial events never
+   enter it at all. *)
 
 type word_state = Dirty | Scheduled
 
@@ -23,6 +47,9 @@ type kind =
   | Redundant_writeback
   | Redundant_fence
   | Recovery_read_lost
+  | Racy_store
+  | Racy_load
+  | Cross_lane_publish
 
 type violation = {
   v_kind : kind;
@@ -42,6 +69,7 @@ type counters = {
   mutable c_commit_points : int;
   mutable c_watches_set : int;
   mutable c_watches_fired : int;
+  mutable c_par_jobs : int;
 }
 
 type watch = { w_label : string; w_before : (int * int) list }
@@ -51,10 +79,47 @@ let backtrace_len = 12
 let max_stored_violations = 200
 let max_per_event = 8
 
+let n_slots = Util.Domain_slot.max_slots
+
+(* shadow entry: state plus the lane whose store put it in flight (lane 0
+   for all serial traffic — Cross_lane_publish needs the provenance) *)
+type shadow = { mutable ws : word_state; mutable ws_lane : int }
+
+(* one buffered Region event; E_chunk marks the start of a chunk's trace *)
+type event =
+  | E_store of int * int
+  | E_load of int * int
+  | E_writeback of int * int
+  | E_fence
+  | E_commit_point of string * (int * int) list
+  | E_expect_ordered of string * (int * int) list * int
+  | E_label of [ `Push of string | `Pop ]
+  | E_external of string
+  | E_chunk of int
+
+type lane = {
+  mutable ev : event array;
+  mutable ev_len : int;
+  lvc : int array;  (* this lane's vector clock, indexed by slot *)
+  mutable seg_vc : int array;  (* clock snapshot for the current job *)
+  mutable pending_chunk : int option;
+      (* chunk mark to flush before the next event, so untouched
+         sanitizers' buffers stay empty through chunky untraced jobs *)
+}
+
+(* per-job race table entry for one word: last-writer epoch + per-lane
+   read epochs, exactly FastTrack's adaptive representation collapsed to
+   the small fixed lane count *)
+type race_slot = {
+  mutable rw_lane : int;  (* -1 = no write this job *)
+  mutable rw_clock : int;
+  mutable rd : (int * int) list;  (* (lane, clock), latest per lane *)
+}
+
 type t = {
   region : Region.t;
   line : int;
-  shadow : (int, word_state) Hashtbl.t;
+  shadow : (int, shadow) Hashtbl.t;
       (* word offset -> state; absent = Clean *)
   lost : (int, unit) Hashtbl.t;
       (* words whose volatile value was discarded by a crash *)
@@ -67,12 +132,23 @@ type t = {
   mutable total : int array;  (* per-severity totals, index by sev_index *)
   tally : (string, int ref) Hashtbl.t;  (* "kind@label" -> count *)
   ctr : counters;
+  (* --- concurrency machinery; only the caller's lane mutates shared
+     state, workers write only their own [lane] record --- *)
+  lanes : lane array;  (* indexed by Util.Domain_slot *)
+  mutable in_par : bool;  (* a pool job is in flight *)
+  mutable job_vc : int array;  (* caller clock released at dispatch *)
+  barrier_vc : int array;  (* join-barrier sync object (pool mutex) *)
+  race : (int, race_slot) Hashtbl.t;  (* per-job, word -> accesses *)
+  race_emitted : (int * int, unit) Hashtbl.t;  (* (word, kind) dedup *)
+  mutable cur_lane : int;  (* lane of the event being processed/replayed *)
 }
 
 let sev_index = function Correctness -> 0 | Perf -> 1 | Info -> 2
 
 let severity_of_kind = function
-  | Unflushed_at_commit | Unordered_publish -> Correctness
+  | Unflushed_at_commit | Unordered_publish | Racy_store | Racy_load
+  | Cross_lane_publish ->
+      Correctness
   | Redundant_writeback | Redundant_fence -> Perf
   | Recovery_read_lost -> Info
 
@@ -82,6 +158,9 @@ let kind_name = function
   | Redundant_writeback -> "redundant-writeback"
   | Redundant_fence -> "redundant-fence"
   | Recovery_read_lost -> "recovery-read-lost"
+  | Racy_store -> "racy-store"
+  | Racy_load -> "racy-load"
+  | Cross_lane_publish -> "cross-lane-publish"
 
 let state_name = function Dirty -> "Dirty" | Scheduled -> "Scheduled"
 
@@ -93,6 +172,8 @@ let cur_label t =
   | l -> String.concat "/" (List.rev l)
 
 (* ------------------------------------------------------- operation ring *)
+
+let lane_tag t = if t.cur_lane = 0 then "" else Printf.sprintf "L%d " t.cur_lane
 
 let record t fmt =
   Printf.ksprintf
@@ -152,8 +233,8 @@ let find_nonclean t ranges ~excl =
          iter_words off len (fun w ->
              if w <> excl then
                match Hashtbl.find_opt t.shadow w with
-               | Some st ->
-                   found := Some (w, st);
+               | Some sh ->
+                   found := Some (w, sh);
                    raise Exit
                | None -> ()))
        ranges
@@ -165,9 +246,9 @@ let find_nonclean_global t ~excl =
   let found = ref None in
   (try
      Hashtbl.iter
-       (fun w st ->
+       (fun w sh ->
          if w <> excl then begin
-           found := Some (w, st);
+           found := Some (w, sh);
            raise Exit
          end)
        t.shadow
@@ -175,6 +256,10 @@ let find_nonclean_global t ~excl =
   !found
 
 (* ------------------------------------------------------ event handlers *)
+
+(* These run on the caller's lane only: directly for serial traffic,
+   or single-threaded at the join while replaying merged lane buffers
+   (with [t.cur_lane] set to the originating lane). *)
 
 let fire_watches t w =
   match Hashtbl.find_opt t.watches w with
@@ -191,28 +276,39 @@ let fire_watches t w =
           in
           match offender with
           | None -> ()
-          | Some (bad, st) ->
-              emit t Unordered_publish ~label:w_label ~offset:w
-                (Printf.sprintf
-                   "commit variable 0x%x stored while guarded word 0x%x is \
-                    still %s"
-                   w bad (state_name st)))
+          | Some (bad, sh) ->
+              if sh.ws_lane <> t.cur_lane then
+                emit t Cross_lane_publish ~label:w_label ~offset:w
+                  (Printf.sprintf
+                     "commit variable 0x%x stored on lane %d while guarded \
+                      word 0x%x is still %s from a store on lane %d"
+                     w t.cur_lane bad (state_name sh.ws) sh.ws_lane)
+              else
+                emit t Unordered_publish ~label:w_label ~offset:w
+                  (Printf.sprintf
+                     "commit variable 0x%x stored while guarded word 0x%x is \
+                      still %s"
+                     w bad (state_name sh.ws)))
         ws
 
-let on_store t off len =
+let store_now t off len =
   t.ctr.c_stores <- t.ctr.c_stores + 1;
-  record t "store 0x%x+%d" off len;
+  record t "%sstore 0x%x+%d" (lane_tag t) off len;
   iter_words off len (fun w ->
       fire_watches t w;
-      Hashtbl.replace t.shadow w Dirty;
+      (match Hashtbl.find_opt t.shadow w with
+      | Some sh ->
+          sh.ws <- Dirty;
+          sh.ws_lane <- t.cur_lane
+      | None -> Hashtbl.add t.shadow w { ws = Dirty; ws_lane = t.cur_lane });
       Hashtbl.remove t.lost w)
 
-let on_load t off len =
+let load_now t off len =
   t.ctr.c_loads <- t.ctr.c_loads + 1;
   iter_words off len (fun w ->
       if Hashtbl.mem t.lost w then begin
         Hashtbl.remove t.lost w;
-        record t "load 0x%x+%d" off len;
+        record t "%sload 0x%x+%d" (lane_tag t) off len;
         emit t Recovery_read_lost ~label:(cur_label t) ~offset:w
           (Printf.sprintf
              "read of word 0x%x whose last store never persisted before the \
@@ -220,19 +316,21 @@ let on_load t off len =
              w)
       end)
 
-let on_writeback t off len =
+let writeback_now t off len =
   t.ctr.c_writebacks <- t.ctr.c_writebacks + 1;
-  record t "writeback 0x%x+%d" off len;
+  record t "%swriteback 0x%x+%d" (lane_tag t) off len;
   (* The region schedules whole cache lines; mirror that expansion. *)
   let loff = off land lnot (t.line - 1) in
   let lend = (off + len + t.line - 1) land lnot (t.line - 1) in
   let scheduled_new = ref 0 and already = ref 0 in
   iter_words loff (lend - loff) (fun w ->
       match Hashtbl.find_opt t.shadow w with
-      | Some Dirty ->
-          Hashtbl.replace t.shadow w Scheduled;
-          incr scheduled_new
-      | Some Scheduled -> incr already
+      | Some sh -> (
+          match sh.ws with
+          | Dirty ->
+              sh.ws <- Scheduled;
+              incr scheduled_new
+          | Scheduled -> incr already)
       | None -> ());
   if !scheduled_new = 0 && !already > 0 then
     emit t Redundant_writeback ~label:(cur_label t) ~offset:off
@@ -241,13 +339,13 @@ let on_writeback t off len =
           schedules nothing new"
          off len !already)
 
-let on_fence t =
+let fence_now t =
   t.ctr.c_fences <- t.ctr.c_fences + 1;
-  record t "fence";
+  record t "%sfence" (lane_tag t);
   let drained = ref 0 in
   let sched = ref [] in
   Hashtbl.iter
-    (fun w st -> match st with Scheduled -> sched := w :: !sched | Dirty -> ())
+    (fun w sh -> match sh.ws with Scheduled -> sched := w :: !sched | Dirty -> ())
     t.shadow;
   List.iter
     (fun w ->
@@ -258,7 +356,45 @@ let on_fence t =
     emit t Redundant_fence ~label:(cur_label t) ~offset:0
       "fence with no scheduled writeback drains nothing"
 
-let on_crash t kind =
+let commit_point_now t ~label ranges =
+  t.ctr.c_commit_points <- t.ctr.c_commit_points + 1;
+  record t "commit-point %s" label;
+  let emitted = ref 0 in
+  let complain w sh =
+    if !emitted < max_per_event then
+      emit t Unflushed_at_commit ~label ~offset:w
+        (Printf.sprintf "word 0x%x is %s at declared commit point" w
+           (state_name sh.ws));
+    incr emitted
+  in
+  (match ranges with
+  | [] -> Hashtbl.iter complain t.shadow
+  | ranges ->
+      List.iter
+        (fun (off, len) ->
+          iter_words off len (fun w ->
+              match Hashtbl.find_opt t.shadow w with
+              | Some sh -> complain w sh
+              | None -> ()))
+        ranges);
+  if !emitted > max_per_event then
+    emit t Unflushed_at_commit ~label ~offset:0
+      (Printf.sprintf "...and %d more unflushed word(s) at this commit point"
+         (!emitted - max_per_event))
+
+let expect_ordered_now t ~label ~before ~after =
+  t.ctr.c_watches_set <- t.ctr.c_watches_set + 1;
+  record t "expect-ordered %s -> 0x%x" label after;
+  let after = after land lnot 7 in
+  let w = { w_label = label; w_before = before } in
+  let prev = Option.value ~default:[] (Hashtbl.find_opt t.watches after) in
+  Hashtbl.replace t.watches after (w :: prev)
+
+let label_now t = function
+  | `Push l -> t.labels <- l :: t.labels
+  | `Pop -> ( match t.labels with [] -> () | _ :: tl -> t.labels <- tl)
+
+let crash_now t kind =
   t.ctr.c_crashes <- t.ctr.c_crashes + 1;
   record t "crash (%s)"
     (match kind with
@@ -276,43 +412,264 @@ let on_crash t kind =
      armed would fire on an unrelated post-recovery store. *)
   Hashtbl.reset t.watches
 
-let on_commit_point t ~label ranges =
-  t.ctr.c_commit_points <- t.ctr.c_commit_points + 1;
-  record t "commit-point %s" label;
-  let emitted = ref 0 in
-  let complain w st =
-    if !emitted < max_per_event then
-      emit t Unflushed_at_commit ~label ~offset:w
-        (Printf.sprintf "word 0x%x is %s at declared commit point" w
-           (state_name st));
-    incr emitted
-  in
-  (match ranges with
-  | [] -> Hashtbl.iter complain t.shadow
-  | ranges ->
+(* -------------------------------------------------- per-lane buffering *)
+
+let raw_push ln e =
+  if ln.ev_len = Array.length ln.ev then begin
+    let a = Array.make (max 64 (2 * Array.length ln.ev)) E_fence in
+    Array.blit ln.ev 0 a 0 ln.ev_len;
+    ln.ev <- a
+  end;
+  ln.ev.(ln.ev_len) <- e;
+  ln.ev_len <- ln.ev_len + 1
+
+let push_event t slot e =
+  let ln = t.lanes.(slot) in
+  (match ln.pending_chunk with
+  | Some j ->
+      ln.pending_chunk <- None;
+      raw_push ln (E_chunk j)
+  | None -> ());
+  raw_push ln e
+
+(* ------------------------------------------------- happens-before race *)
+
+let join_into dst src =
+  for i = 0 to n_slots - 1 do
+    if src.(i) > dst.(i) then dst.(i) <- src.(i)
+  done
+
+let emit_race t kind ~word ~lane ~other ~me ~them =
+  let tag = match kind with Racy_store -> 0 | _ -> 1 in
+  if not (Hashtbl.mem t.race_emitted (word, tag)) then begin
+    Hashtbl.add t.race_emitted (word, tag) ();
+    emit t kind ~label:(cur_label t) ~offset:word
+      (Printf.sprintf
+         "%s of word 0x%x on lane %d races a %s on lane %d (no happens-before \
+          edge between them)"
+         me word lane them other)
+  end
+
+let race_slot t w =
+  match Hashtbl.find_opt t.race w with
+  | Some r -> r
+  | None ->
+      let r = { rw_lane = -1; rw_clock = 0; rd = [] } in
+      Hashtbl.add t.race w r;
+      r
+
+(* [vc] is the acting lane's clock for the current job segment; a prior
+   access (lane a, clock c) happens-before us iff vc.(a) >= c. *)
+let race_check_store t lane vc off len =
+  iter_words off len (fun w ->
+      let rs = race_slot t w in
+      if rs.rw_lane >= 0 && rs.rw_lane <> lane && vc.(rs.rw_lane) < rs.rw_clock
+      then
+        emit_race t Racy_store ~word:w ~lane ~other:rs.rw_lane ~me:"store"
+          ~them:"store";
       List.iter
-        (fun (off, len) ->
-          iter_words off len (fun w ->
-              match Hashtbl.find_opt t.shadow w with
-              | Some st -> complain w st
-              | None -> ()))
-        ranges);
-  if !emitted > max_per_event then
-    emit t Unflushed_at_commit ~label ~offset:0
-      (Printf.sprintf "...and %d more unflushed word(s) at this commit point"
-         (!emitted - max_per_event))
+        (fun (rl, rc) ->
+          if rl <> lane && vc.(rl) < rc then
+            emit_race t Racy_store ~word:w ~lane ~other:rl ~me:"store"
+              ~them:"load")
+        rs.rd;
+      rs.rw_lane <- lane;
+      rs.rw_clock <- vc.(lane);
+      rs.rd <- [])
+
+let race_check_load t lane vc off len =
+  iter_words off len (fun w ->
+      let rs = race_slot t w in
+      if rs.rw_lane >= 0 && rs.rw_lane <> lane && vc.(rs.rw_lane) < rs.rw_clock
+      then
+        emit_race t Racy_load ~word:w ~lane ~other:rs.rw_lane ~me:"load"
+          ~them:"store";
+      rs.rd <- (lane, vc.(lane)) :: List.remove_assoc lane rs.rd)
+
+(* ------------------------------------------------------ the join merge *)
+
+let replay_event t lane vc = function
+  | E_store (off, len) ->
+      race_check_store t lane vc off len;
+      store_now t off len
+  | E_load (off, len) ->
+      race_check_load t lane vc off len;
+      load_now t off len
+  | E_writeback (off, len) -> writeback_now t off len
+  | E_fence -> fence_now t
+  | E_commit_point (label, ranges) -> commit_point_now t ~label ranges
+  | E_expect_ordered (label, before, after) ->
+      expect_ordered_now t ~label ~before ~after
+  | E_label op -> label_now t op
+  | E_external msg -> record t "%s%s" (lane_tag t) msg
+  | E_chunk _ -> ()
+
+(* Merge all lane buffers into the serial shadow machine, in ascending
+   chunk order (= the serial execution order, since chunk bodies walk
+   ascending indices), running the race checker on each buffered store
+   and load. Returns whether anything was merged. *)
+let merge_job t =
+  let segs = ref [] in
+  Array.iteri
+    (fun l ln ->
+      if ln.ev_len > 0 then begin
+        (* split the buffer on its chunk marks; anything before the first
+           mark (events traced outside any chunk — contract-violating
+           producers) gets a synthetic pre-chunk key so it still replays *)
+        let start = ref 0 and cur = ref (-1 - l) in
+        for i = 0 to ln.ev_len - 1 do
+          match ln.ev.(i) with
+          | E_chunk j ->
+              if i > !start then segs := (!cur, l, !start, i) :: !segs;
+              cur := j;
+              start := i + 1
+          | _ -> ()
+        done;
+        if ln.ev_len > !start then segs := (!cur, l, !start, ln.ev_len) :: !segs
+      end)
+    t.lanes;
+  let merged = !segs <> [] in
+  if merged then begin
+    let segs =
+      List.sort
+        (fun (ca, la, _, _) (cb, lb, _, _) ->
+          match compare ca cb with 0 -> compare la lb | c -> c)
+        !segs
+    in
+    Hashtbl.reset t.race;
+    Hashtbl.reset t.race_emitted;
+    List.iter
+      (fun (_, l, lo, hi) ->
+        let ln = t.lanes.(l) in
+        t.cur_lane <- l;
+        for i = lo to hi - 1 do
+          replay_event t l ln.seg_vc ln.ev.(i)
+        done)
+      segs;
+    t.cur_lane <- 0;
+    Hashtbl.reset t.race;
+    Hashtbl.reset t.race_emitted
+  end;
+  Array.iter
+    (fun ln ->
+      ln.ev_len <- 0;
+      ln.pending_chunk <- None)
+    t.lanes;
+  merged
+
+(* ----------------------------------------------------- Par sync hooks *)
+
+(* All attached sanitizers, multiplexed behind the single Par hook. The
+   list is only mutated on the caller's lane with no job in flight. *)
+let attached : t list ref = ref []
+
+let hook_dispatch ~lanes:_ =
+  List.iter
+    (fun t ->
+      (* flush any stray buffered trace, then release the caller clock *)
+      ignore (merge_job t);
+      Array.fill t.barrier_vc 0 n_slots 0;
+      t.job_vc <- Array.copy t.lanes.(0).lvc;
+      t.in_par <- true)
+    !attached
+
+let hook_task_start () =
+  let l = Util.Domain_slot.get () in
+  List.iter
+    (fun t ->
+      let ln = t.lanes.(l) in
+      join_into ln.lvc t.job_vc;
+      ln.lvc.(l) <- ln.lvc.(l) + 1;
+      ln.seg_vc <- Array.copy ln.lvc;
+      ln.pending_chunk <- None)
+    !attached
+
+let hook_chunk j =
+  let l = Util.Domain_slot.get () in
+  List.iter (fun t -> t.lanes.(l).pending_chunk <- Some j) !attached
+
+let hook_task_done () =
+  (* under the pool mutex: the barrier clock is the mutex's sync object *)
+  let l = Util.Domain_slot.get () in
+  List.iter
+    (fun t ->
+      let ln = t.lanes.(l) in
+      join_into t.barrier_vc ln.lvc;
+      ln.lvc.(l) <- ln.lvc.(l) + 1)
+    !attached
+
+let hook_join () =
+  List.iter
+    (fun t ->
+      let c = t.lanes.(0).lvc in
+      join_into c t.barrier_vc;
+      c.(0) <- c.(0) + 1;
+      if merge_job t then t.ctr.c_par_jobs <- t.ctr.c_par_jobs + 1;
+      t.in_par <- false)
+    !attached
+
+let hook_installed = ref false
+
+let ensure_hook () =
+  if not !hook_installed then begin
+    hook_installed := true;
+    Par.set_sync_hook
+      (Some
+         {
+           Par.on_dispatch = hook_dispatch;
+           on_task_start = hook_task_start;
+           on_chunk = hook_chunk;
+           on_task_done = hook_task_done;
+           on_join = hook_join;
+         })
+  end
+
+(* ------------------------------------------------------ tracer inlets *)
+
+(* Fired on whatever domain performs the Region op: buffer when a job is
+   in flight (or when a stray worker calls outside one); process
+   directly otherwise — the serial path is untouched. *)
+
+let on_store t off len =
+  let slot = Util.Domain_slot.get () in
+  if t.in_par || slot > 0 then push_event t slot (E_store (off, len))
+  else store_now t off len
+
+let on_load t off len =
+  let slot = Util.Domain_slot.get () in
+  if t.in_par || slot > 0 then push_event t slot (E_load (off, len))
+  else load_now t off len
+
+let on_writeback t off len =
+  let slot = Util.Domain_slot.get () in
+  if t.in_par || slot > 0 then push_event t slot (E_writeback (off, len))
+  else writeback_now t off len
+
+let on_fence t () =
+  let slot = Util.Domain_slot.get () in
+  if t.in_par || slot > 0 then push_event t slot E_fence else fence_now t
+
+let on_crash t kind =
+  (* a crash is inherently a whole-machine, caller-side event; merge any
+     buffered trace first so it lands before the reset *)
+  ignore (merge_job t);
+  crash_now t kind
+
+let on_commit_point t ~label ranges =
+  let slot = Util.Domain_slot.get () in
+  if t.in_par || slot > 0 then push_event t slot (E_commit_point (label, ranges))
+  else commit_point_now t ~label ranges
 
 let on_expect_ordered t ~label ~before ~after =
-  t.ctr.c_watches_set <- t.ctr.c_watches_set + 1;
-  record t "expect-ordered %s -> 0x%x" label after;
-  let after = after land lnot 7 in
-  let w = { w_label = label; w_before = before } in
-  let prev = Option.value ~default:[] (Hashtbl.find_opt t.watches after) in
-  Hashtbl.replace t.watches after (w :: prev)
+  let slot = Util.Domain_slot.get () in
+  if t.in_par || slot > 0 then
+    push_event t slot (E_expect_ordered (label, before, after))
+  else expect_ordered_now t ~label ~before ~after
 
-let on_label t = function
-  | `Push l -> t.labels <- l :: t.labels
-  | `Pop -> ( match t.labels with [] -> () | _ :: tl -> t.labels <- tl)
+let on_label t op =
+  let slot = Util.Domain_slot.get () in
+  if t.in_par || slot > 0 then push_event t slot (E_label op)
+  else label_now t op
 
 (* -------------------------------------------------------------- public *)
 
@@ -341,16 +698,34 @@ let attach region =
           c_commit_points = 0;
           c_watches_set = 0;
           c_watches_fired = 0;
+          c_par_jobs = 0;
         };
+      lanes =
+        Array.init n_slots (fun _ ->
+            {
+              ev = [||];
+              ev_len = 0;
+              lvc = Array.make n_slots 0;
+              seg_vc = Array.make n_slots 0;
+              pending_chunk = None;
+            });
+      in_par = false;
+      job_vc = Array.make n_slots 0;
+      barrier_vc = Array.make n_slots 0;
+      race = Hashtbl.create 64;
+      race_emitted = Hashtbl.create 16;
+      cur_lane = 0;
     }
   in
+  ensure_hook ();
+  attached := t :: !attached;
   Region.set_tracer region
     (Some
        {
          Region.on_store = on_store t;
          on_load = on_load t;
          on_writeback = on_writeback t;
-         on_fence = (fun () -> on_fence t);
+         on_fence = on_fence t;
          on_crash = on_crash t;
          on_commit_point = (fun ~label ranges -> on_commit_point t ~label ranges);
          on_expect_ordered =
@@ -359,7 +734,11 @@ let attach region =
        });
   t
 
-let detach t = Region.set_tracer t.region None
+let detach t =
+  Region.set_tracer t.region None;
+  ignore (merge_job t);
+  attached := List.filter (fun x -> x != t) !attached
+
 let region t = t.region
 let violations t = List.rev t.violations
 
@@ -382,12 +761,22 @@ let clear t =
 let word_state t off =
   match Hashtbl.find_opt t.shadow (off land lnot 7) with
   | None -> `Clean
-  | Some Dirty -> `Dirty
-  | Some Scheduled -> `Scheduled
+  | Some { ws = Dirty; _ } -> `Dirty
+  | Some { ws = Scheduled; _ } -> `Scheduled
 
 let tracked_words t = Hashtbl.length t.shadow
 
-let note_external t msg = record t "%s" msg
+let in_flight_words t =
+  Hashtbl.fold
+    (fun w sh acc ->
+      (w, match sh.ws with Dirty -> `Dirty | Scheduled -> `Scheduled) :: acc)
+    t.shadow []
+  |> List.sort compare
+
+let note_external t msg =
+  let slot = Util.Domain_slot.get () in
+  if t.in_par || slot > 0 then push_event t slot (E_external msg)
+  else record t "%s" msg
 
 let pp_violation buf v =
   Printf.bprintf buf "  [%s] %s @0x%x (%s): %s\n"
@@ -410,6 +799,9 @@ let report t =
   Printf.bprintf buf
     "  annotations: %d commit points, %d publish watches (%d fired)\n"
     c.c_commit_points c.c_watches_set c.c_watches_fired;
+  if c.c_par_jobs > 0 then
+    Printf.bprintf buf
+      "  parallel: %d traced pool job(s) merged across lanes\n" c.c_par_jobs;
   Printf.bprintf buf "  in flight now: %d word(s)\n" (tracked_words t);
   Printf.bprintf buf
     "  violations: %d correctness, %d perf diagnostics, %d info\n"
@@ -428,3 +820,32 @@ let report t =
     List.iter (fun (k, n) -> Printf.bprintf buf "    %6d  %s\n" n k) ts
   end;
   Buffer.contents buf
+
+let report_json t =
+  let module J = Obs.Json in
+  let c = t.ctr in
+  J.Obj
+    [
+      ( "counters",
+        J.Obj
+          [
+            ("stores", J.Int c.c_stores);
+            ("loads", J.Int c.c_loads);
+            ("writebacks", J.Int c.c_writebacks);
+            ("fences", J.Int c.c_fences);
+            ("crashes", J.Int c.c_crashes);
+            ("commit_points", J.Int c.c_commit_points);
+            ("watches_set", J.Int c.c_watches_set);
+            ("watches_fired", J.Int c.c_watches_fired);
+            ("par_jobs", J.Int c.c_par_jobs);
+          ] );
+      ( "violations",
+        J.Obj
+          [
+            ("correctness", J.Int (count t Correctness));
+            ("perf", J.Int (count t Perf));
+            ("info", J.Int (count t Info));
+          ] );
+      ("tallies", J.Obj (List.map (fun (k, n) -> (k, J.Int n)) (tallies t)));
+      ("in_flight", J.Int (tracked_words t));
+    ]

@@ -24,6 +24,23 @@
       last store never persisted — the value is indeterminate, which a
       recovery protocol must be deliberately tolerating.
 
+    {b Concurrency.} Traced regions run the parallel engine like any
+    other (PROTOCOLS.md §10): during a [Par] pool job each lane buffers
+    its Region events privately per {!Util.Domain_slot}, and the join
+    barrier merges them in ascending chunk order — the serial execution
+    order — through the same shadow machine, so every check above fires
+    unchanged under parallel runs. A FastTrack-style happens-before
+    checker rides the merge, with per-lane vector clocks advanced at the
+    pool's sync edges (dispatch, task start, chunk completion, the
+    join's pool-mutex handoff), and flags:
+
+    - {b racy-store} / {b racy-load} (correctness): two lanes touch the
+      same 8-byte word, at least one storing, with no happens-before
+      edge between the accesses.
+    - {b cross-lane-publish} (correctness): a commit variable is stored
+      on one lane while a word it guards is still non-durable from a
+      store on another lane.
+
     The checker is purely observational: it never perturbs region
     contents, simulated time, or crash behaviour, so any run that is
     correct under the sanitizer is bit-identical to the same run without
@@ -39,6 +56,9 @@ type kind =
   | Redundant_writeback
   | Redundant_fence
   | Recovery_read_lost
+  | Racy_store
+  | Racy_load
+  | Cross_lane_publish
 
 type violation = {
   v_kind : kind;
@@ -58,6 +78,8 @@ type counters = {
   mutable c_commit_points : int;
   mutable c_watches_set : int;
   mutable c_watches_fired : int;
+  mutable c_par_jobs : int;
+      (** pool jobs whose per-lane traces were merged at a join *)
 }
 
 val attach : Region.t -> t
@@ -93,12 +115,24 @@ val word_state : t -> int -> [ `Clean | `Dirty | `Scheduled ]
 val tracked_words : t -> int
 (** Number of words currently not durable (Dirty or Scheduled). *)
 
+val in_flight_words : t -> (int * [ `Dirty | `Scheduled ]) list
+(** The full in-flight frontier, sorted by word offset — the merged
+    shadow state a parallel run must share with its serial twin (the
+    differential tests compare this across lane counts). *)
+
 val note_external : t -> string -> unit
 (** Record an out-of-region protocol step (e.g. a checkpoint file fsync)
-    into the operation backtrace ring. *)
+    into the operation backtrace ring. Slot-aware: a call from a pool
+    worker lands in that lane's private trace and reaches the ring at
+    the next join instead of racing it. *)
 
 val kind_name : kind -> string
 
 val report : t -> string
 (** Human-readable multi-line report: event counts, violation totals,
     stored violations with backtraces, and the per-call-site tally. *)
+
+val report_json : t -> Obs.Json.t
+(** The same report as a JSON object ([counters] / [violations] /
+    [tallies] / [in_flight]) — the per-phase payload of
+    [hyrise_nv sanitize --json]. *)

@@ -210,9 +210,7 @@ let open_existing region =
   let states = Array.make nb 0 in
   let link_addrs = Array.make nb 0 in
   let link_vals = Array.make nb 0L in
-  Par.parallel_for
-    ~force_serial:(Region.traced region)
-    ~min_chunk:64 ~n:nb
+  Par.parallel_for ~min_chunk:64 ~n:nb
     (fun ~lo ~hi ->
       for i = lo to hi - 1 do
         let h = offs.(i) in

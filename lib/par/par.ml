@@ -70,6 +70,29 @@ let waits_total = ref 0
 
 let jobs () = !requested
 
+(* Sync-edge hook: the persist-order sanitizer observes the pool's
+   happens-before structure through these callbacks (PROTOCOLS.md §10).
+   [on_dispatch] fires on the caller before the job is announced;
+   [on_task_start] on every lane (caller included) when it begins its
+   share; [on_chunk j] on the owning lane just before chunk [j]'s body;
+   [on_task_done] on every lane under the pool mutex when its share is
+   complete; [on_join] on the caller after the full barrier, before any
+   worker exception is re-raised. The serial fallbacks (one lane, or one
+   chunk) bypass the hook entirely — a [jobs () = 1] run is exactly the
+   pre-hook serial engine. *)
+type sync_hook = {
+  on_dispatch : lanes:int -> unit;
+  on_task_start : unit -> unit;
+  on_chunk : int -> unit;
+  on_task_done : unit -> unit;
+  on_join : unit -> unit;
+}
+
+let the_hook : sync_hook option ref = ref None
+let set_sync_hook h = the_hook := h
+
+let[@inline] sync f = match !the_hook with None -> () | Some h -> f h
+
 let worker pool slot () =
   Util.Domain_slot.set slot;
   let st = pool.stats.(slot) in
@@ -94,6 +117,9 @@ let worker pool slot () =
           f ();
           let dt = now_ns () - t0 in
           Mutex.lock pool.m;
+          (* lane-complete edge: ordered by the pool mutex, which is the
+             sync object the sanitizer's vector clocks piggyback on *)
+          sync (fun h -> h.on_task_done ());
           st.busy_ns <- st.busy_ns + dt;
           pool.remaining <- pool.remaining - 1;
           if pool.remaining = 0 then Condition.broadcast pool.work_done;
@@ -178,12 +204,16 @@ let run_lanes body =
   let pool = get_pool () in
   let failed = Atomic.make None in
   let guarded () =
+    sync (fun h -> h.on_task_start ());
     try body ()
     with e ->
       let bt = Printexc.get_raw_backtrace () in
       ignore (Atomic.compare_and_set failed None (Some (Worker_exn (e, bt))))
   in
   let t0 = now_ns () in
+  (* dispatch edge: the caller's clock is released to the lanes here,
+     before the announce below publishes the task under the mutex *)
+  sync (fun h -> h.on_dispatch ~lanes:pool.lanes);
   Mutex.lock pool.m;
   pool.task <- Some guarded;
   pool.remaining <- pool.lanes - 1;
@@ -192,6 +222,7 @@ let run_lanes body =
   Mutex.unlock pool.m;
   guarded ();
   Mutex.lock pool.m;
+  sync (fun h -> h.on_task_done ());
   let t1 = now_ns () in
   pool.stats.(Util.Domain_slot.get ()).busy_ns <-
     pool.stats.(Util.Domain_slot.get ()).busy_ns + (t1 - t0);
@@ -200,6 +231,9 @@ let run_lanes body =
   done;
   pool.task <- None;
   Mutex.unlock pool.m;
+  (* join edge: fires before a worker exception is re-raised so the
+     sanitizer merges whatever the lanes traced up to the failure *)
+  sync (fun h -> h.on_join ());
   drain_stats pool;
   Util.Histogram.record h_run_ns (now_ns () - t0);
   match Atomic.get failed with
@@ -220,6 +254,7 @@ let parallel_for ?(force_serial = false) ?(min_chunk = 1) ~n body =
           let lane = Util.Domain_slot.get () in
           let j = ref lane in
           while !j < nchunks do
+            sync (fun h -> h.on_chunk !j);
             let lo = !j * chunk in
             body ~lo ~hi:(min n (lo + chunk));
             j := !j + lanes
@@ -243,6 +278,7 @@ let map_chunks ?(force_serial = false) ~chunk ~n f =
         let lane = Util.Domain_slot.get () in
         let j = ref lane in
         while !j < nchunks do
+          sync (fun h -> h.on_chunk !j);
           let lo, hi = bounds !j in
           out.(!j) <- Some (f ~lo ~hi);
           j := !j + lanes

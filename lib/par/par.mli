@@ -8,12 +8,15 @@
     to the caller (the pool mutex orders them).
 
     {b Domain-safety contract} (docs/PROTOCOLS.md §10): chunk bodies run
-    on pool domains and may only perform Region {e reads}, may not touch
-    the Obs registry, and must not run while a Region tracer is attached
-    — callers pass [~force_serial:(Region.traced region)] so sanitized
-    runs stay single-domain. With [jobs () = 1] (or [force_serial]) every
-    entry point degrades to plain inline iteration: byte-identical to the
-    serial engine, no pool involved.
+    on pool domains and may only perform Region {e reads} and may not
+    touch the Obs registry. Traced regions run parallel like any other:
+    the persist-order sanitizer subscribes to the pool's sync edges via
+    {!set_sync_hook}, buffers each lane's trace privately, and merges at
+    the join — call sites must {e not} pass
+    [~force_serial:(Region.traced region)] (the [@sanitize] lint rejects
+    it). With [jobs () = 1] (or [force_serial]) every entry point
+    degrades to plain inline iteration: byte-identical to the serial
+    engine, no pool (and no sync hook) involved.
 
     Width: the [--jobs N] flag / [HYRISE_NV_JOBS] env variable; default
     [Domain.recommended_domain_count ()], clamped to
@@ -27,6 +30,26 @@ val set_jobs : int -> unit
     different width is torn down; the next parallel call respawns. *)
 
 val max_jobs : int
+
+type sync_hook = {
+  on_dispatch : lanes:int -> unit;
+      (** caller, just before a job is announced to the pool *)
+  on_task_start : unit -> unit;
+      (** each lane (caller included), before its first chunk *)
+  on_chunk : int -> unit;
+      (** owning lane, just before chunk [j]'s body runs *)
+  on_task_done : unit -> unit;
+      (** each lane when its share is complete; held: the pool mutex *)
+  on_join : unit -> unit;
+      (** caller, after the full barrier (before exception re-raise) *)
+}
+(** Happens-before edges of one pool job, in the order they fire. Serial
+    fallbacks (one lane or one chunk) bypass the hook entirely. *)
+
+val set_sync_hook : sync_hook option -> unit
+(** Install the process-wide sync observer. Single consumer by design:
+    owned by [Nvm.Sanitizer], which installs it at first attach and
+    multiplexes all attached sanitizers behind it. *)
 
 val parallel_for :
   ?force_serial:bool -> ?min_chunk:int -> n:int -> (lo:int -> hi:int -> unit) -> unit

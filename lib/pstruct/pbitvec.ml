@@ -33,6 +33,7 @@ let data_words n bits = ((n * bits) + 63) / 64
 
 let build alloc values =
   let region = A.region alloc in
+  Region.with_label region "pbitvec.build" @@ fun () ->
   let n = Array.length values in
   let max_v = Array.fold_left max 0 values in
   Array.iter (fun v -> if v < 0 then invalid_arg "Pbitvec.build: negative") values;

@@ -23,6 +23,7 @@ let length_at_region region off =
   Int64.to_int (Region.get_i64 region off) land 0xFFFFFFFF
 
 let write_at region off s =
+  Region.with_label region "pstring.write" @@ fun () ->
   Region.set_i64 region off (len_word s);
   Region.write_string region (off + 8) s;
   Region.persist region off (8 + String.length s)

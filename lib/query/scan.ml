@@ -304,12 +304,11 @@ let run_block_par txn table ~filters f =
 let run ?(impl = `Block) txn table ~filters f =
   match impl with
   | `Block ->
-      let region = Nvm_alloc.Allocator.region (Table.allocator table) in
-      (* a traced (sanitizer) run must stay single-domain; tiny tables
-         aren't worth the fan-out *)
+      (* traced (sanitizer) runs fan out like any other — the sanitizer
+         buffers per-lane traces and merges at the join (PROTOCOLS.md
+         §10); tiny tables aren't worth the fan-out *)
       if
         Par.jobs () > 1
-        && (not (Nvm.Region.traced region))
         && Table.main_rows table + Table.delta_rows table > block_rows
       then run_block_par txn table ~filters f
       else run_block txn table ~filters f

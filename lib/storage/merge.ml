@@ -27,12 +27,13 @@ let run alloc table ~merge_cid =
      independent. Everything that writes NVM (the new generation's
      [replace_ctrl_for_merge] build and the caller's catalog swap) stays
      on this domain, in the same order as the serial merge, so the new
-     generation is byte-identical whatever the lane count. *)
-  let force_serial = Region.traced (A.region alloc) in
+     generation is byte-identical whatever the lane count — including
+     traced runs, whose per-lane traces the sanitizer merges at each
+     join (PROTOCOLS.md §10). *)
   (* surviving rows, in stable order: chunks in row order, concatenated *)
   let survivors =
     let chunks =
-      Par.map_chunks ~force_serial ~chunk:4096 ~n:rows_in (fun ~lo ~hi ->
+      Par.map_chunks ~chunk:4096 ~n:rows_in (fun ~lo ~hi ->
           let buf = Util.Intbuf.create 256 in
           for r = lo to hi - 1 do
             let b = Table.begin_cid table r and e = Table.end_cid table r in
@@ -57,7 +58,7 @@ let run alloc table ~merge_cid =
   let rows_out = Array.length survivors in
   (* per column: sorted distinct dictionary + re-encoded attribute vector *)
   let columns =
-    Par.map_array ~force_serial
+    Par.map_array
       (fun i ->
         let decoded = Array.map (fun r -> Table.get table r i) survivors in
         let distinct =

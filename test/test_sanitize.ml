@@ -325,6 +325,181 @@ let test_engine_default_has_no_checker () =
   let e = Engine.create nvm_cfg in
   Alcotest.(check bool) "default path untraced" true (Engine.sanitizer e = None)
 
+(* -- concurrency: happens-before race detection over the pool -- *)
+
+(* run [f] at a given pool width, restoring the entry width after *)
+let with_jobs n f =
+  let was = Par.jobs () in
+  Par.set_jobs n;
+  Fun.protect ~finally:(fun () -> Par.set_jobs was) f
+
+let has_kind san k = List.exists (fun v -> v.S.v_kind = k) (S.violations san)
+
+(* Deliberate unsynchronized two-lane writer: every lane stores the same
+   8-byte word inside one pool job. The test mutex keeps the region's
+   volatile internals coherent but is invisible to the happens-before
+   model, so the checker must flag the race — and because the verdict
+   is a vector-clock fact, not a scheduling observation, detection is
+   deterministic: 60/60 trials, at any lane count >= 2. *)
+let test_seeded_race_fuzzer () =
+  let lanes = max 2 (min 4 (Par.jobs ())) in
+  with_jobs lanes @@ fun () ->
+  let trials = 60 in
+  let flagged = ref 0 in
+  for seed = 0 to trials - 1 do
+    let r, san = fresh () in
+    let m = Mutex.create () in
+    let word = 512 + (8 * (seed mod 32)) in
+    Par.parallel_for ~min_chunk:1 ~n:(4 * lanes) (fun ~lo ~hi ->
+        for i = lo to hi - 1 do
+          Mutex.lock m;
+          Region.set_i64 r word (Int64.of_int i);
+          Mutex.unlock m
+        done);
+    if has_kind san S.Racy_store then incr flagged;
+    S.detach san
+  done;
+  Alcotest.(check int) "every injected race flagged" trials !flagged
+
+let test_racy_load_detected () =
+  with_jobs 2 @@ fun () ->
+  let r, san = fresh () in
+  let m = Mutex.create () in
+  (* even chunks land on lane 0 (stores), odd chunks on lane 1 (loads) *)
+  Par.parallel_for ~min_chunk:1 ~n:4 (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        Mutex.lock m;
+        if i mod 2 = 0 then Region.set_i64 r 1024 7L
+        else ignore (Region.get_i64 r 1024);
+        Mutex.unlock m
+      done);
+  Alcotest.(check bool) "cross-lane load vs store flagged" true
+    (has_kind san S.Racy_load);
+  S.detach san
+
+let test_cross_lane_publish () =
+  with_jobs 2 @@ fun () ->
+  let r, san = fresh () in
+  let m = Mutex.create () in
+  let data = 2048 and handle = 4096 in
+  Region.expect_ordered r ~label:"test.xlane" ~before:[ (data, 8) ]
+    ~after:handle;
+  (* chunk 0 (lane 0) dirties the guarded word; chunk 1 (lane 1) stores
+     the commit variable — different words, so no data race, but the
+     publish crosses lanes with the payload still volatile *)
+  Par.parallel_for ~min_chunk:1 ~n:2 (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        Mutex.lock m;
+        if i = 0 then Region.set_i64 r data 7L
+        else Region.set_i64 r handle 1L;
+        Mutex.unlock m
+      done);
+  Alcotest.(check bool) "cross-lane publish flagged" true
+    (has_kind san S.Cross_lane_publish);
+  Alcotest.(check bool) "not misreported as a race" true
+    (not (has_kind san S.Racy_store));
+  S.detach san
+
+let test_note_external_slot_aware () =
+  with_jobs 2 @@ fun () ->
+  let r, san = fresh () in
+  Par.parallel_for ~min_chunk:1 ~n:4 (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        S.note_external san (Printf.sprintf "ext-%d" i)
+      done);
+  (* the worker-lane notes must have reached the ring at the join: force
+     a violation and look for them in its backtrace *)
+  Region.set_i64 r 512 1L;
+  Region.annotate_commit_point r ~label:"test.ext" [ (512, 8) ];
+  let v = List.hd (S.violations san) in
+  (* chunk 1 belongs to lane 1, so its note replays lane-tagged *)
+  Alcotest.(check bool) "worker-lane note in backtrace" true
+    (List.mem "L1 ext-1" v.S.v_backtrace);
+  Alcotest.(check bool) "caller-lane note in backtrace" true
+    (List.mem "ext-0" v.S.v_backtrace);
+  S.detach san
+
+let test_report_json_shape () =
+  let r, san = fresh () in
+  Region.set_i64 r 512 1L;
+  Region.persist r 512 8;
+  (match S.report_json san with
+  | Obs.Json.Obj fields ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (k ^ " present") true (List.mem_assoc k fields))
+        [ "counters"; "violations"; "tallies"; "in_flight" ]
+  | _ -> Alcotest.fail "report_json must be an object");
+  S.detach san
+
+(* Differential property: on the read-only parallel paths (scan, merge
+   visibility pass, recovery) the merged parallel shadow state — and
+   every violation total — must equal the serial run's, at any lane
+   count. *)
+let test_parallel_differential () =
+  let run jobs =
+    with_jobs jobs @@ fun () ->
+    let e = Engine.create ~sanitize:true nvm_cfg in
+    let san = Option.get (Engine.sanitizer e) in
+    Engine.create_table e ~name:"t" schema;
+    for i = 0 to 2999 do
+      Engine.with_txn e (fun txn ->
+          ignore
+            (Engine.insert e txn "t"
+               [|
+                 Storage.Value.Int (i mod 97);
+                 Storage.Value.Text (string_of_int i);
+               |]))
+    done;
+    let n1 = Engine.with_txn e (fun txn -> Engine.count_where e txn "t" []) in
+    ignore (Engine.merge e "t");
+    let crashed = Engine.crash e (Region.Adversarial (Prng.create 7L)) in
+    let e2, _ = Engine.recover crashed in
+    let n2 =
+      Engine.with_txn e2 (fun txn -> Engine.count_where e2 txn "t" [])
+    in
+    let san2 = Option.get (Engine.sanitizer e2) in
+    Alcotest.(check int) "clean parallel run" 0 (S.correctness_violations san2);
+    ignore san;
+    ( n1,
+      n2,
+      S.count san2 S.Correctness,
+      S.count san2 S.Perf,
+      S.count san2 S.Info,
+      S.in_flight_words san2,
+      List.sort compare (S.tallies san2) )
+  in
+  let n1, n2, c, p, i, words, tal = run 1 in
+  List.iter
+    (fun jobs ->
+      let n1', n2', c', p', i', words', tal' = run jobs in
+      Alcotest.(check int) "rows pre-crash" n1 n1';
+      Alcotest.(check int) "rows post-recovery" n2 n2';
+      Alcotest.(check int) "correctness total" c c';
+      Alcotest.(check int) "perf total" p p';
+      Alcotest.(check int) "info total" i i';
+      Alcotest.(check bool) "in-flight shadow state identical" true
+        (words = words');
+      Alcotest.(check bool) "per-call-site tallies identical" true (tal = tal'))
+    [ 2; 4 ]
+
+let test_traced_scan_fans_out () =
+  with_jobs 4 @@ fun () ->
+  let e = Engine.create ~sanitize:true nvm_cfg in
+  let san = Option.get (Engine.sanitizer e) in
+  Engine.create_table e ~name:"t" schema;
+  for i = 0 to 1499 do
+    Engine.with_txn e (fun txn ->
+        ignore
+          (Engine.insert e txn "t"
+             [| Storage.Value.Int i; Storage.Value.Text "x" |]))
+  done;
+  let n = Engine.with_txn e (fun txn -> Engine.count_where e txn "t" []) in
+  Alcotest.(check int) "rows" 1500 n;
+  Alcotest.(check bool) "traced scan used the pool" true
+    ((S.counters san).S.c_par_jobs > 0);
+  Alcotest.(check int) "and stayed clean" 0 (S.correctness_violations san)
+
 let () =
   Alcotest.run "sanitize"
     [
@@ -371,5 +546,25 @@ let () =
             test_engine_sanitize_mode;
           Alcotest.test_case "default has no checker" `Quick
             test_engine_default_has_no_checker;
+        ] );
+      ( "races",
+        [
+          Alcotest.test_case "seeded race fuzzer 60/60" `Slow
+            test_seeded_race_fuzzer;
+          Alcotest.test_case "racy load detected" `Quick
+            test_racy_load_detected;
+          Alcotest.test_case "cross-lane publish" `Quick
+            test_cross_lane_publish;
+          Alcotest.test_case "note_external slot-aware" `Quick
+            test_note_external_slot_aware;
+          Alcotest.test_case "report json shape" `Quick
+            test_report_json_shape;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "jobs 1/2/4 differential" `Slow
+            test_parallel_differential;
+          Alcotest.test_case "traced scan fans out" `Quick
+            test_traced_scan_fans_out;
         ] );
     ]

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Statically enforce the concurrency-aware sanitizer contract
+# (docs/PROTOCOLS.md §10):
+#
+#   1. No Par call site may serialize traced runs. The sanitizer buffers
+#      per-lane traces and merges them at every join, so
+#      `~force_serial:(Region.traced ...)` would silently put sanitized
+#      runs back on the serial path the happens-before checker exists to
+#      retire.
+#
+#   2. Every module that stores into a Region must label at least one
+#      call site (Region.with_label / push_label) so sanitizer findings
+#      stay attributable to a protocol step, not just an offset.
+set -u
+root="$(cd "$(dirname "$0")/.." && pwd)"
+fail=0
+
+hits=$(grep -rn --include='*.ml' -E 'force_serial:\(?(Nvm\.)?Region\.traced' \
+  "$root/lib" "$root/bin" "$root/bench" 2>/dev/null)
+if [ -n "$hits" ]; then
+  echo "lint: Par call sites must not force traced runs serial (PROTOCOLS.md §10):" >&2
+  echo "$hits" >&2
+  fail=1
+fi
+
+for f in $(grep -rl --include='*.ml' \
+  -E 'Region\.(set_i64|set_int|set_u8|write_bytes|write_string)' \
+  "$root/lib" 2>/dev/null | grep -v '/lib/nvm/'); do
+  if ! grep -qE '(with_label|push_label)' "$f"; then
+    echo "lint: $f stores into a Region but never labels a call site (Region.with_label)" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "lint_force_serial: OK"
+fi
+exit $fail
