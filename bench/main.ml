@@ -1349,6 +1349,9 @@ let latency_json lat =
    claim in machine-checkable form: log-mode wall_ns grows with rows, NVM
    wall_ns stays near-constant. *)
 let recovery_json ~scales () =
+  (* the last scale's recovered NVM engine, kept so the doc can include
+     what its flight recorder reconstructed across the crash *)
+  let last_nvm = ref None in
   let scale_objs =
     List.map
       (fun s ->
@@ -1363,8 +1366,8 @@ let recovery_json ~scales () =
         in
         let crash_recover name engine =
           let crashed = Engine.crash engine Region.Drop_unfenced in
-          let (_, rs), _ = timed name (fun () -> Engine.recover crashed) in
-          rs
+          let (e2, rs), _ = timed name (fun () -> Engine.recover crashed) in
+          (e2, rs)
         in
         (* log mode, checkpointed mid-run so recovery exercises both the
            checkpoint-load and replay phases *)
@@ -1374,7 +1377,7 @@ let recovery_json ~scales () =
         ignore (Ycsb.run sess (Prng.create 3L) ~ops:(rows / 20));
         let log_bytes = Engine.log_bytes e_log in
         let log_data = Engine.data_bytes e_log in
-        let rs_log = crash_recover "json.recover_log" e_log in
+        let _, rs_log = crash_recover "json.recover_log" e_log in
         let log_phases =
           match rs_log.Engine.detail with
           | Engine.Rv_log
@@ -1402,7 +1405,8 @@ let recovery_json ~scales () =
         let e_nvm = nvm_engine size in
         ignore (populate e_nvm);
         let nvm_data = Engine.data_bytes e_nvm in
-        let rs_nvm = crash_recover "json.recover_nvm" e_nvm in
+        let e2_nvm, rs_nvm = crash_recover "json.recover_nvm" e_nvm in
+        last_nvm := Some e2_nvm;
         let nvm_phases =
           match rs_nvm.Engine.detail with
           | Engine.Rv_nvm
@@ -1413,6 +1417,8 @@ let recovery_json ~scales () =
                 heap_blocks;
                 rolled_back_rows;
                 tables;
+                blackbox_records;
+                blackbox_ns;
                 _;
               } ->
               J.Obj
@@ -1420,9 +1426,11 @@ let recovery_json ~scales () =
                   ("heap_scan_ns", J.Int heap_open_ns);
                   ("attach_ns", J.Int attach_ns);
                   ("rollback_ns", J.Int rollback_ns);
+                  ("blackbox_ns", J.Int blackbox_ns);
                   ("heap_blocks", J.Int heap_blocks);
                   ("rolled_back_rows", J.Int rolled_back_rows);
                   ("tables", J.Int tables);
+                  ("blackbox_records", J.Int blackbox_records);
                 ]
           | _ -> J.Obj []
         in
@@ -1448,10 +1456,48 @@ let recovery_json ~scales () =
           ])
       scales
   in
+  (* what the flight recorder of the last scale's NVM engine carried
+     across the crash: the restart timeline is the machine-checkable form
+     of the "instant restart" claim (engine-ready relative to
+     recovery-begin), and precrash proves the ring survived the power cut *)
+  let blackbox_obj =
+    match !last_nvm with
+    | None -> J.Obj []
+    | Some e ->
+        let bb = Engine.blackbox e in
+        let rel m =
+          match (bb.Engine.recovery_begin_ns, m) with
+          | Some t0, Some t -> J.Int (t - t0)
+          | _ -> J.Null
+        in
+        let kinds evs =
+          let seen = Hashtbl.create 16 in
+          List.filter_map
+            (fun ev ->
+              let k = Obs.Event.kind_name ev.Obs.Event.kind in
+              if Hashtbl.mem seen k then None
+              else begin
+                Hashtbl.replace seen k ();
+                Some (J.Str k)
+              end)
+            evs
+        in
+        J.Obj
+          [
+            ("precrash_records", J.Int (List.length bb.Engine.precrash));
+            ("restart_records", J.Int (List.length bb.Engine.restart));
+            ("truncated_lanes", J.Int bb.Engine.truncated_lanes);
+            ("engine_ready_rel_ns", rel bb.Engine.engine_ready_ns);
+            ("full_health_rel_ns", rel bb.Engine.full_health_ns);
+            ("precrash_kinds", J.List (kinds bb.Engine.precrash));
+            ("restart_kinds", J.List (kinds bb.Engine.restart));
+          ]
+  in
   J.Obj
     [
       ("experiment", J.Str "recovery");
       ("scales", J.List scale_objs);
+      ("blackbox", blackbox_obj);
       ("registry", Obs.to_json ());
     ]
 

@@ -337,13 +337,15 @@ let phase_table ~title parent phases =
   Tabular.print t;
   (sum, wall)
 
-let stats jobs size_mb seed ops trace =
+let stats jobs size_mb seed ops trace json =
   set_jobs jobs;
   arm_trace trace;
   Obs.set_enabled true;
-  Printf.printf "jobs: %d (of %d recommended)\n\n" (Par.jobs ())
-    (Domain.recommended_domain_count ());
+  if not json then
+    Printf.printf "jobs: %d (of %d recommended)\n\n" (Par.jobs ())
+      (Domain.recommended_domain_count ());
   let rows = 5_000 in
+  let walls = ref [] in
   let run_mode label mk_engine ~checkpoint_midway parent phases =
     let rng = Prng.create (Int64.of_int seed) in
     let engine = mk_engine () in
@@ -355,17 +357,21 @@ let stats jobs size_mb seed ops trace =
     let crashed = Engine.crash engine Region.Drop_unfenced in
     let e2, rstats = Engine.recover crashed in
     Engine.sync_metrics e2;
-    let sum, wall = phase_table ~title:(label ^ " recovery") parent phases in
-    Printf.printf "%s: recovered in %s; instrumented phases cover %.1f%% of the span wall\n\n"
-      label
-      (Tabular.fmt_ns rstats.Engine.wall_ns)
-      (if wall = 0 then 0.
-       else 100. *. float_of_int sum /. float_of_int wall)
+    walls := (label, rstats.Engine.wall_ns) :: !walls;
+    if not json then begin
+      let sum, wall = phase_table ~title:(label ^ " recovery") parent phases in
+      Printf.printf
+        "%s: recovered in %s; instrumented phases cover %.1f%% of the span wall\n\n"
+        label
+        (Tabular.fmt_ns rstats.Engine.wall_ns)
+        (if wall = 0 then 0.
+         else 100. *. float_of_int sum /. float_of_int wall)
+    end
   in
   run_mode "NVM"
     (fun () -> Engine.create (Engine.default_config ~size:(size_mb * mib) Engine.Nvm))
     ~checkpoint_midway:false "recover.nvm"
-    [ "heap_scan"; "attach"; "rollback" ];
+    [ "heap_scan"; "attach"; "blackbox"; "verify"; "salvage"; "rollback" ];
   run_mode "log-based"
     (fun () ->
       Engine.create
@@ -395,20 +401,40 @@ let stats jobs size_mb seed ops trace =
          Engine.count_where engine txn Ycsb.table_name
            [ ("key", Query.Predicate.Cmp (Query.Predicate.Le, Storage.Value.Int (rows / 100))) ]
        in
-       Printf.printf "block scan over %s: %d of %d rows match key <= %d\n\n"
-         Ycsb.table_name n rows (rows / 100)));
-  print_string (Obs.render ())
+       if not json then
+         Printf.printf "block scan over %s: %d of %d rows match key <= %d\n\n"
+           Ycsb.table_name n rows (rows / 100)));
+  if json then
+    let module J = Obs.Json in
+    print_endline
+      (J.pretty
+         (J.Obj
+            [
+              ("experiment", J.Str "stats");
+              ("jobs", J.Int (Par.jobs ()));
+              ("seed", J.Int seed);
+              ("ops", J.Int ops);
+              ( "recovery_wall_ns",
+                J.Obj (List.rev_map (fun (l, ns) -> (l, J.Int ns)) !walls) );
+              ("registry", Obs.to_json ());
+            ]))
+  else print_string (Obs.render ())
 
 let stats_cmd =
   let ops =
     Arg.(value & opt int 2_000 & info [ "ops" ] ~docv:"N"
            ~doc:"YCSB operations to run before the crash.")
   in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print one JSON object (recovery walls + the full metrics \
+                 registry) instead of the human-readable tables.")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Crash and recover under both durability modes, then print the \
              per-phase recovery breakdown and the full metrics registry.")
-    Term.(const stats $ jobs_arg $ size_arg $ seed_arg $ ops $ trace_arg)
+    Term.(const stats $ jobs_arg $ size_arg $ seed_arg $ ops $ trace_arg $ json)
 
 (* -- scrub -- *)
 
@@ -483,6 +509,171 @@ let scrub_cmd =
              heap or catalog damage.")
     Term.(const scrub $ jobs_arg $ image $ size_arg $ shallow $ inject
           $ seed_arg)
+
+(* -- blackbox -- *)
+
+let print_timeline title events =
+  if events = [] then Printf.printf "%s: (empty)\n" title
+  else begin
+    let t0 =
+      List.fold_left (fun acc ev -> min acc ev.Obs.Event.t_ns) max_int events
+    in
+    Printf.printf "%s (%d record(s)):\n" title (List.length events);
+    List.iter
+      (fun ev ->
+        let arg =
+          (* phase markers carry a phase code, not a plain integer *)
+          if ev.Obs.Event.kind = Obs.Event.Recovery_phase then
+            Obs.Event.phase_name ev.Obs.Event.arg
+          else string_of_int ev.Obs.Event.arg
+        in
+        Printf.printf "  %6d  lane %d  %-16s %-12s +%s\n" ev.Obs.Event.seq
+          ev.Obs.Event.lane
+          (Obs.Event.kind_name ev.Obs.Event.kind)
+          arg
+          (Tabular.fmt_ns (ev.Obs.Event.t_ns - t0)))
+      events
+  end
+
+let blackbox_json ~seed bb =
+  let module J = Obs.Json in
+  let abs = function Some t -> J.Int t | None -> J.Null in
+  let rel m =
+    match (bb.Engine.recovery_begin_ns, m) with
+    | Some t0, Some t -> J.Int (t - t0)
+    | _ -> J.Null
+  in
+  let timeline evs =
+    J.Obj
+      [
+        ("records", J.Int (List.length evs));
+        ("events", J.List (List.map Obs.Event.to_json evs));
+      ]
+  in
+  J.Obj
+    [
+      ("experiment", J.Str "blackbox");
+      ("jobs", J.Int (Par.jobs ()));
+      ("seed", J.Int seed);
+      ("precrash", timeline bb.Engine.precrash);
+      ("restart", timeline bb.Engine.restart);
+      ("truncated_lanes", J.Int bb.Engine.truncated_lanes);
+      ( "markers",
+        J.Obj
+          [
+            ("recovery_begin_ns", abs bb.Engine.recovery_begin_ns);
+            ("engine_ready_ns", abs bb.Engine.engine_ready_ns);
+            ("full_health_ns", abs bb.Engine.full_health_ns);
+            ("engine_ready_rel_ns", rel bb.Engine.engine_ready_ns);
+            ("full_health_rel_ns", rel bb.Engine.full_health_ns);
+          ] );
+      ("registry", Obs.to_json ());
+    ]
+
+let blackbox jobs image size_mb seed ops faults trace json =
+  set_jobs jobs;
+  arm_trace trace;
+  let cfg = Engine.default_config ~size:(size_mb * mib) Engine.Nvm in
+  let engine, selftest =
+    match image with
+    | Some file ->
+        Printf.printf "mapping %s ...\n%!" file;
+        let e, _ = Engine.open_image cfg file in
+        (e, false)
+    | None ->
+        (* self-test: run a workload, optionally wound the media, pull the
+           plug adversarially, restart — then read the black box back *)
+        let rng = Prng.create (Int64.of_int seed) in
+        let e =
+          Engine.create
+            {
+              cfg with
+              Engine.salvage =
+                Some
+                  { Wal.Log.dir = tmpdir (); group_commit_size = 8; fsync = false };
+            }
+        in
+        let sess =
+          Ycsb.setup e (Prng.split rng) { Ycsb.default_config with rows = 2_000 }
+        in
+        ignore (Ycsb.run sess (Prng.split rng) ~ops:(ops / 2));
+        ignore (Engine.checkpoint e);
+        ignore (Ycsb.run sess (Prng.split rng) ~ops:(ops - (ops / 2)));
+        (* wound the media last, so the fault-injected events sit at the
+           tail of the timeline: the black box names what preceded the
+           power cut even after the ring has wrapped *)
+        if faults > 0 then Engine.inject_faults e (Prng.split rng) faults;
+        Printf.printf
+          "ran %d op(s), injected %d fault(s); adversarial power cut ...\n%!"
+          ops faults;
+        let crashed = Engine.crash e (Region.Adversarial (Prng.split rng)) in
+        let e2, rstats = Engine.recover crashed in
+        Printf.printf "recovered in %s\n" (Tabular.fmt_ns rstats.Engine.wall_ns);
+        (e2, true)
+  in
+  let bb = Engine.blackbox engine in
+  print_timeline "pre-crash timeline" bb.Engine.precrash;
+  if bb.Engine.truncated_lanes > 0 then
+    Printf.printf "  (%d lane(s) truncated at a torn or corrupt record)\n"
+      bb.Engine.truncated_lanes;
+  print_newline ();
+  print_timeline "restart timeline" bb.Engine.restart;
+  (match (bb.Engine.recovery_begin_ns, bb.Engine.engine_ready_ns) with
+  | Some t0, Some t ->
+      Printf.printf "\nengine-ready %s after recovery-begin" (Tabular.fmt_ns (t - t0));
+      (match bb.Engine.full_health_ns with
+      | Some th -> Printf.printf "; full-health %s after\n" (Tabular.fmt_ns (th - t0))
+      | None -> print_string "; full-health not reached (tables quarantined)\n")
+  | _ -> print_endline "\nno engine-ready marker recorded");
+  (match json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Obs.Json.pretty (blackbox_json ~seed bb));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n%!" path);
+  let ok =
+    bb.Engine.engine_ready_ns <> None
+    && ((not selftest) || bb.Engine.precrash <> [])
+  in
+  if not ok then begin
+    print_endline "FAIL: black box did not reconstruct the expected timeline";
+    exit 1
+  end
+
+let blackbox_cmd =
+  let image =
+    Arg.(value & opt (some string) None & info [ "image" ] ~docv:"FILE"
+           ~doc:"Read the flight recorder out of a saved NVM image (written \
+                 by $(b,load)) instead of running the crash self-test.")
+  in
+  let ops =
+    Arg.(value & opt int 600 & info [ "ops" ] ~docv:"N"
+           ~doc:"YCSB operations to run before the self-test crash.")
+  in
+  let faults =
+    Arg.(value & opt int 0 & info [ "faults" ] ~docv:"N"
+           ~doc:"Media faults to inject before the self-test crash; each is \
+                 recorded as a $(b,fault-injected) event, so the black box \
+                 names the damage that preceded the power cut.")
+  in
+  let json =
+    Arg.(value
+         & opt ~vopt:(Some "BENCH_blackbox.json") (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write the decoded timelines, markers, and metrics \
+                   registry as JSON (default $(docv) is BENCH_blackbox.json).")
+  in
+  Cmd.v
+    (Cmd.info "blackbox"
+       ~doc:"Dump the NVM-resident flight recorder: the pre-crash timeline \
+             decoded from the ring (truncated at torn records) plus the \
+             restart timeline with the engine-ready / full-health markers. \
+             Without $(b,--image), runs a crash self-test first. Exits 1 if \
+             the timeline fails to reconstruct.")
+    Term.(const blackbox $ jobs_arg $ image $ size_arg $ seed_arg $ ops
+          $ faults $ trace_arg $ json)
 
 (* -- repl -- *)
 
@@ -562,6 +753,8 @@ let () =
       `Noblank;
       `P "$(b,scrub)    Verify an image's checksums; exit 0/2/3 by damage.";
       `Noblank;
+      `P "$(b,blackbox) Dump the crash-surviving flight recorder's timelines.";
+      `Noblank;
       `P "$(b,repl)     Interactive SQL shell over an NVM engine.";
       `P "Benchmarks (recovery scaling, throughput, BENCH_*.json emission) \
           live in a separate binary: $(b,bench/main.exe).";
@@ -583,5 +776,6 @@ let () =
             sanitize_cmd;
             stats_cmd;
             scrub_cmd;
+            blackbox_cmd;
             repl_cmd;
           ]))

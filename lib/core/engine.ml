@@ -7,6 +7,7 @@ module Schema = Storage.Schema
 module Value = Storage.Value
 module Cid = Storage.Cid
 module Mvcc = Txn.Mvcc
+module Pring = Pstruct.Pring
 
 let log_src = Logs.Src.create "hyrise.engine" ~doc:"Hyrise-NV engine events"
 
@@ -45,9 +46,20 @@ type txn = Mvcc.txn
 exception Closed
 
 (* Engine control block (root slot 0):
-     +0 last committed CID   (the durable commit point)
-     +8 catalog handle *)
+     +0  last committed CID   (the durable commit point)
+     +8  catalog handle
+     +16 flight-recorder ring handle (Pstruct.Pring) *)
 let root_slot = 0
+
+(* flight-recorder ring geometry: 8 lanes (domain slots map onto them
+   mod 8), capacity adapted to the region so tiny test regions keep
+   their headroom — between 16 and 256 records per lane, ~1/64 of the
+   region at most *)
+let bb_lanes = 8
+
+let bb_capacity region =
+  let budget = Region.size region / 64 in
+  max 16 (min 256 (budget / (bb_lanes * 32)))
 
 type t = {
   cfg : config;
@@ -66,6 +78,11 @@ type t = {
   mutable quarantined : string list; (* damaged tables we could not salvage *)
   mutable closed : bool;
   mutable replaying : bool; (* suppress logging during replay *)
+  (* flight recorder: the NVM ring plus the volatile timeline mirrors *)
+  mutable bb_ring : Pring.t option;
+  mutable bb_precrash : Obs.Event.t list; (* decoded at recovery, ascending seq *)
+  mutable bb_restart : Obs.Event.t list; (* reversed emission order *)
+  mutable bb_truncated : int; (* lanes cut at a torn/corrupt record *)
 }
 
 let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
@@ -139,10 +156,35 @@ let assemble ?(publish_mode = `Batched) ?san cfg region alloc ctrl catalog
       quarantined = [];
       closed = false;
       replaying = false;
+      bb_ring = None;
+      bb_precrash = [];
+      bb_restart = [];
+      bb_truncated = 0;
     }
   in
   t.mgr <- make_manager t ~last_cid:(read_commit_point region ctrl);
   t
+
+(* Route delivered recorder events into this engine's NVM ring (and the
+   volatile restart mirror). Installed by the top-level constructors
+   only — [create], [recover], [open_image] — never by [create_raw], so
+   scratch salvage engines cannot steal the process-wide sink. *)
+let install_ring_sink t =
+  match t.bb_ring with
+  | None -> Obs.Blackbox.set_sink None
+  | Some ring ->
+      let lanes = Pring.lanes ring in
+      Obs.Blackbox.set_sink
+        (Some
+           (fun ev ->
+             t.bb_restart <- ev :: t.bb_restart;
+             let w1, w2 = Obs.Event.pack ev in
+             Pring.append ring ~lane:(ev.Obs.Event.lane mod lanes)
+               ~seq:ev.Obs.Event.seq w1 w2))
+
+let attach_ring t =
+  let h = Seal.read t.region ~what:"flight recorder handle" (t.ctrl + 16) in
+  Pring.attach t.alloc h
 
 let create_raw ?publish_mode ?(sanitize = false) (cfg : config) ~with_log =
   let region = Region.create cfg.region in
@@ -150,10 +192,12 @@ let create_raw ?publish_mode ?(sanitize = false) (cfg : config) ~with_log =
   let san = if sanitize then Some (Nvm.Sanitizer.attach region) else None in
   let alloc = A.format region in
   let catalog = Catalog.create alloc in
-  let ctrl = A.alloc alloc 16 in
+  let ring = Pring.create ~lanes:bb_lanes ~capacity:(bb_capacity region) alloc in
+  let ctrl = A.alloc alloc 24 in
   Seal.write region ctrl (Int64.to_int Cid.zero);
   Seal.write region (ctrl + 8) (Catalog.handle catalog);
-  Region.persist region ctrl 16;
+  Seal.write region (ctrl + 16) (Pring.handle ring);
+  Region.persist region ctrl 24;
   A.activate alloc ctrl;
   A.set_root alloc root_slot ctrl;
   let log =
@@ -163,10 +207,17 @@ let create_raw ?publish_mode ?(sanitize = false) (cfg : config) ~with_log =
         Some (Wal.Log.create (salvage_log_config lc) ~epoch:0)
     | _ -> None
   in
-  assemble ?publish_mode ?san cfg region alloc ctrl catalog ~log ~epoch:0
+  let e = assemble ?publish_mode ?san cfg region alloc ctrl catalog ~log ~epoch:0 in
+  e.bb_ring <- Some ring;
+  e
 
 let create ?publish_mode ?sanitize cfg =
-  create_raw ?publish_mode ?sanitize cfg ~with_log:true
+  let e = create_raw ?publish_mode ?sanitize cfg ~with_log:true in
+  install_ring_sink e;
+  (* a fresh database is open and healthy the moment it exists *)
+  Obs.Blackbox.emit Obs.Event.Engine_ready;
+  Obs.Blackbox.emit Obs.Event.Full_health;
+  e
 
 let sanitizer t = t.san
 let quarantined t = t.quarantined
@@ -311,6 +362,10 @@ let aggregate ?impl t txn name ?group_by ~specs ?(filters = []) () =
 let merge_one t name =
   if Mvcc.active_count t.mgr > 0 then
     invalid_arg "Engine.merge: active transactions";
+  let tid = Option.value ~default:0 (Hashtbl.find_opt t.ids name) in
+  (* replay reproduces historical merges; recording them again would
+     duplicate the pre-crash timeline the ring already holds *)
+  if not t.replaying then Obs.Blackbox.emit ~arg:tid Obs.Event.Merge_begin;
   let old_table = table t name in
   let merged, stats, finalize =
     Storage.Merge.run t.alloc old_table ~merge_cid:(Mvcc.last_cid t.mgr)
@@ -323,6 +378,7 @@ let merge_one t name =
       m "merged %s: %d rows -> %d, %d -> %d bytes" name
         stats.Storage.Merge.rows_in stats.Storage.Merge.rows_out
         stats.Storage.Merge.bytes_before stats.Storage.Merge.bytes_after);
+  if not t.replaying then Obs.Blackbox.emit ~arg:tid Obs.Event.Merge_end;
   stats
 
 let merge t name =
@@ -364,6 +420,7 @@ let checkpoint t =
   check_open t;
   if Mvcc.active_count t.mgr > 0 then
     invalid_arg "Engine.checkpoint: active transactions";
+  Obs.Blackbox.emit Obs.Event.Ckpt_begin;
   let stats = List.map (merge_one t) (table_names t) in
   let rotate_to =
     match (t.cfg.durability, t.cfg.salvage, t.log) with
@@ -382,6 +439,7 @@ let checkpoint t =
       t.log <- Some (Wal.Log.create lc ~epoch);
       t.epoch <- epoch
   | None -> ());
+  Obs.Blackbox.emit Obs.Event.Ckpt_end;
   stats
 
 let vacuum t =
@@ -394,6 +452,10 @@ let vacuum t =
        preserved as salvage evidence)";
   let live = Hashtbl.create 4096 in
   Hashtbl.replace live t.ctrl ();
+  (match t.bb_ring with
+  | Some ring ->
+      List.iter (fun b -> Hashtbl.replace live b ()) (Pring.owned_blocks ring)
+  | None -> ());
   List.iter (fun b -> Hashtbl.replace live b ()) (Catalog.owned_blocks t.catalog);
   Hashtbl.iter
     (fun _ table ->
@@ -414,6 +476,8 @@ type crashed = {
 
 let crash t mode =
   check_open t;
+  (* the recorder dies with the process; what survives is the ring *)
+  Obs.Blackbox.set_sink None;
   (match t.log with Some log -> Wal.Log.crash log | None -> ());
   Region.crash t.region mode;
   t.closed <- true;
@@ -433,6 +497,8 @@ type recovery_detail =
       quarantined : string list;
       salvaged : string list;
       heap_reset : bool;
+      blackbox_records : int; (* pre-crash events decoded from the ring *)
+      blackbox_ns : int; (* ring attach + decode phase *)
     }
   | Rv_log of {
       checkpoint_load_ns : int;
@@ -622,9 +688,28 @@ let rebuild_table alloc ~name src =
   Table.publish t;
   t
 
+let crc_failures_c = Obs.counter "media.crc_failures"
+
 let recover_nvm ?(verify = `Shallow) ?san cfg region =
   Obs.Span.with_ ~name:"recover.nvm" @@ fun () ->
   let t0 = now_ns () in
+  let crc0 = Obs.counter_value crc_failures_c in
+  (* the ring is not attached yet: buffer the early restart markers
+     volatile and replay them into the ring the moment it is *)
+  let buffered : Obs.Event.t list ref = ref [] in
+  Obs.Blackbox.set_sink (Some (fun ev -> buffered := ev :: !buffered));
+  let flush_buffered () =
+    let evs = List.rev !buffered in
+    buffered := [];
+    (* re-delivered with fresh seqs: the floor set from the decoded ring
+       places them after the whole pre-crash timeline *)
+    List.iter Obs.Blackbox.replay evs
+  in
+  (* pre-crash timeline, stashed outside [instant] so even the
+     full-rebuild fallback can hand it to the fresh engine *)
+  let decoded_precrash = ref [] in
+  let decoded_truncated = ref 0 in
+  Obs.Blackbox.emit Obs.Event.Recovery_begin;
   let instant () =
     let alloc =
       Obs.Span.with_ ~name:"heap_scan" @@ fun () ->
@@ -634,6 +719,7 @@ let recover_nvm ?(verify = `Shallow) ?san cfg region =
       | None -> ());
       alloc
     in
+    Obs.Blackbox.emit ~arg:Obs.Event.ph_heap_scan Obs.Event.Recovery_phase;
     let t1 = now_ns () in
     (* a traced (sanitizer) restart fans out like any other; the
        sanitizer merges per-lane traces at each join (PROTOCOLS.md §10) *)
@@ -667,18 +753,59 @@ let recover_nvm ?(verify = `Shallow) ?san cfg region =
          table instead of failing the restart *)
       let attached =
         Par.map_array
-          (fun (v : Catalog.entry_view) ->
+          (fun (i, (v : Catalog.entry_view)) ->
+            (* lanes record their own attaches; worker-lane events buffer
+               volatile and drain caller-side at the join *)
+            Obs.Blackbox.emit ~arg:i Obs.Event.Table_attach;
             match v.Catalog.ctrl with
             | None -> Error "catalog entry control pointer unreadable"
             | Some tctrl -> (
                 try Ok (Table.attach alloc tctrl)
                 with exn -> Error (damage_reason exn)))
-          (Array.of_list views)
+          (Array.mapi (fun i v -> (i, v)) (Array.of_list views))
       in
       Obs.Span.attr "tables" (List.length views);
       (e, last, Array.of_list views, attached)
     in
+    Obs.Blackbox.emit ~arg:Obs.Event.ph_attach Obs.Event.Recovery_phase;
     let t2 = now_ns () in
+    (* reconstruct the pre-crash timeline from the flight recorder and
+       switch the sink from the volatile buffer to the ring *)
+    Obs.Span.with_ ~name:"blackbox" (fun () ->
+        (try
+           let ring = attach_ring e in
+           let records, truncated = Pring.decode ring in
+           e.bb_ring <- Some ring;
+           decoded_truncated := truncated;
+           decoded_precrash :=
+             List.filter_map
+               (fun (r : Pring.record) ->
+                 Obs.Event.unpack ~seq:r.Pring.r_seq r.Pring.r_w1 r.Pring.r_w2)
+               records;
+           Obs.Blackbox.seq_floor
+             (List.fold_left
+                (fun acc (r : Pring.record) -> max acc r.Pring.r_seq)
+                0 records)
+         with
+        | A.Heap_corrupt _ | Seal.Corrupt _ | Pstruct.Pcheck.Invalid _
+        | Invalid_argument _ ->
+            (* the recorder itself took the damage: start a fresh ring —
+               losing the black box must never cost the database *)
+            let ring =
+              Pring.create ~lanes:bb_lanes ~capacity:(bb_capacity region)
+                e.alloc
+            in
+            Seal.write region (e.ctrl + 16) (Pring.handle ring);
+            Region.persist region (e.ctrl + 16) 8;
+            e.bb_ring <- Some ring);
+        e.bb_precrash <- !decoded_precrash;
+        e.bb_truncated <- !decoded_truncated;
+        install_ring_sink e;
+        flush_buffered ();
+        Obs.Span.attr "records" (List.length !decoded_precrash);
+        Obs.Span.attr "truncated_lanes" !decoded_truncated);
+    Obs.Blackbox.emit ~arg:Obs.Event.ph_blackbox Obs.Event.Recovery_phase;
+    let t2b = now_ns () in
     let verified =
       Obs.Span.with_ ~name:"verify" @@ fun () ->
       match verify with
@@ -695,6 +822,7 @@ let recover_nvm ?(verify = `Shallow) ?san cfg region =
                   with exn -> Error (damage_reason exn)))
             attached
     in
+    Obs.Blackbox.emit ~arg:Obs.Event.ph_verify Obs.Event.Recovery_phase;
     let t3 = now_ns () in
     let quarantine =
       let acc = ref [] in
@@ -703,13 +831,14 @@ let recover_nvm ?(verify = `Shallow) ?san cfg region =
           match r with
           | Ok _ -> ()
           | Error reason ->
-              acc := (Option.get views.(i).Catalog.name, reason) :: !acc)
+              acc := (i, Option.get views.(i).Catalog.name, reason) :: !acc)
         verified;
       List.rev !acc
     in
     List.iter
-      (fun (name, reason) ->
+      (fun (i, name, reason) ->
         Obs.incr quarantined_tables_c;
+        Obs.Blackbox.emit ~arg:i Obs.Event.Quarantine;
         L.warn (fun m -> m "table %s quarantined: %s" name reason))
       quarantine;
     let salvaged = ref [] in
@@ -757,10 +886,12 @@ let recover_nvm ?(verify = `Shallow) ?san cfg region =
                           ~new_ctrl:(Table.handle nt);
                         register_table e name nt;
                         Obs.incr salvaged_tables_c;
+                        Obs.Blackbox.emit ~arg:i Obs.Event.Salvage;
                         salvaged := name :: !salvaged;
                         L.warn (fun m ->
                             m "table %s salvaged from checkpoint + log" name))))
           verified);
+    Obs.Blackbox.emit ~arg:Obs.Event.ph_salvage Obs.Event.Recovery_phase;
     let t4 = now_ns () in
     let rolled = ref 0 in
     Obs.Span.with_ ~name:"rollback" (fun () ->
@@ -782,6 +913,7 @@ let recover_nvm ?(verify = `Shallow) ?san cfg region =
            after restart must change nothing *)
         Region.annotate_commit_point region ~label:"engine.recover" [];
         Obs.Span.attr "rows" !rolled);
+    Obs.Blackbox.emit ~arg:Obs.Event.ph_rollback Obs.Event.Recovery_phase;
     let t5 = now_ns () in
     (* re-arm the salvage log: append where the last intact frame ended *)
     (match cfg.salvage with
@@ -796,6 +928,14 @@ let recover_nvm ?(verify = `Shallow) ?san cfg region =
          end
          else e.log <- Some (Wal.Log.create lc1 ~epoch:top));
         e.epoch <- top);
+    let crc_delta = Obs.counter_value crc_failures_c - crc0 in
+    if crc_delta > 0 then
+      Obs.Blackbox.emit ~arg:crc_delta Obs.Event.Crc_failure;
+    (* the restart markers: the engine serves queries from here
+       (time-to-first-query), and is fully healthy iff nothing stayed
+       quarantined (time-to-full-health) *)
+    Obs.Blackbox.emit Obs.Event.Engine_ready;
+    if e.quarantined = [] then Obs.Blackbox.emit Obs.Event.Full_health;
     let heap_blocks =
       match A.last_recovery alloc with
       | Some r -> r.A.scanned_blocks
@@ -812,7 +952,7 @@ let recover_nvm ?(verify = `Shallow) ?san cfg region =
         {
           heap_open_ns = t1 - t0;
           attach_ns = t2 - t1;
-          verify_ns = t3 - t2;
+          verify_ns = t3 - t2b;
           salvage_ns = t4 - t3;
           rollback_ns = t5 - t4;
           heap_blocks;
@@ -821,6 +961,8 @@ let recover_nvm ?(verify = `Shallow) ?san cfg region =
           quarantined = e.quarantined;
           salvaged = List.rev !salvaged;
           heap_reset = false;
+          blackbox_records = List.length e.bb_precrash;
+          blackbox_ns = t2b - t2;
         } )
   in
   match instant () with
@@ -845,6 +987,19 @@ let recover_nvm ?(verify = `Shallow) ?san cfg region =
           let e, _ = recover_log_at cfg (salvage_log_config lc) in
           let names = table_names e in
           List.iter (fun _ -> Obs.incr salvaged_tables_c) names;
+          (* the rebuilt engine has a fresh ring (create_raw); hand it
+             whatever the old recorder still yielded, re-point the sink
+             at it and finish the restart timeline there *)
+          e.bb_precrash <- !decoded_precrash;
+          e.bb_truncated <- !decoded_truncated;
+          install_ring_sink e;
+          flush_buffered ();
+          Obs.Blackbox.emit ~arg:Obs.Event.ph_replay Obs.Event.Recovery_phase;
+          let crc_delta = Obs.counter_value crc_failures_c - crc0 in
+          if crc_delta > 0 then
+            Obs.Blackbox.emit ~arg:crc_delta Obs.Event.Crc_failure;
+          Obs.Blackbox.emit Obs.Event.Engine_ready;
+          Obs.Blackbox.emit Obs.Event.Full_health;
           ( e,
             Rv_nvm
               {
@@ -859,6 +1014,8 @@ let recover_nvm ?(verify = `Shallow) ?san cfg region =
                 quarantined = [];
                 salvaged = names;
                 heap_reset = true;
+                blackbox_records = List.length !decoded_precrash;
+                blackbox_ns = 0;
               } ))
 
 let recover ?verify crashed =
@@ -868,7 +1025,16 @@ let recover ?verify crashed =
     | Volatile -> (create crashed.c_cfg, Rv_volatile)
     | Nvm ->
         recover_nvm ?verify ?san:crashed.c_san crashed.c_cfg crashed.c_region
-    | Logging lc -> recover_log_at crashed.c_cfg lc
+    | Logging lc ->
+        let e, d = recover_log_at crashed.c_cfg lc in
+        (* log-based durability rebuilds onto a fresh region, so there is
+           no pre-crash ring to read back — the restart timeline starts
+           at the markers *)
+        install_ring_sink e;
+        Obs.Blackbox.emit ~arg:Obs.Event.ph_replay Obs.Event.Recovery_phase;
+        Obs.Blackbox.emit Obs.Event.Engine_ready;
+        Obs.Blackbox.emit Obs.Event.Full_health;
+        (e, d)
   in
   (e, { wall_ns = now_ns () - t0; detail })
 
@@ -907,6 +1073,58 @@ let scrub ?(deep = true) t =
     (fun name -> dmg := ("table:" ^ name, "quarantined at recovery") :: !dmg)
     t.quarantined;
   List.rev !dmg
+
+(* -- flight recorder -- *)
+
+type blackbox = {
+  precrash : Obs.Event.t list;
+  restart : Obs.Event.t list;
+  truncated_lanes : int;
+  recovery_begin_ns : int option;
+  engine_ready_ns : int option;
+  full_health_ns : int option;
+}
+
+let blackbox t =
+  let restart = List.rev t.bb_restart in
+  let find kind =
+    List.find_map
+      (fun (ev : Obs.Event.t) ->
+        if ev.Obs.Event.kind = kind then Some ev.Obs.Event.t_ns else None)
+      restart
+  in
+  {
+    precrash = t.bb_precrash;
+    restart;
+    truncated_lanes = t.bb_truncated;
+    recovery_begin_ns = find Obs.Event.Recovery_begin;
+    engine_ready_ns = find Obs.Event.Engine_ready;
+    full_health_ns = find Obs.Event.Full_health;
+  }
+
+let media_digest t =
+  let exclude =
+    match t.bb_ring with Some ring -> Pring.extents ring | None -> []
+  in
+  Region.media_digest ~exclude t.region
+
+let inject_faults t rng n =
+  check_open t;
+  for _ = 1 to n do
+    let f = Region.random_fault t.region rng ~lo:0 ~hi:(Region.size t.region) in
+    let off =
+      match f with
+      | Region.Flip_bit { off; _ }
+      | Region.Torn_word { off }
+      | Region.Stuck_byte { off }
+      | Region.Corrupt_range { off; _ } ->
+          off
+    in
+    (* recorded before the damage lands, so the black box of a crash
+       that follows names the faults that caused it *)
+    Obs.Blackbox.emit ~arg:off Obs.Event.Fault_injected;
+    Region.inject_fault t.region rng f
+  done
 
 (* -- introspection -- *)
 

@@ -190,6 +190,9 @@ type recovery_detail =
       heap_reset : bool;
           (** the NVM image was beyond repair; everything was rebuilt
               from the archive onto a fresh region *)
+      blackbox_records : int;
+          (** pre-crash flight-recorder events decoded from the ring *)
+      blackbox_ns : int;  (** ring attach + decode phase *)
     }
   | Rv_log of {
       checkpoint_load_ns : int;
@@ -240,6 +243,51 @@ val open_image :
 (** Map a saved image and run NVM recovery on it (cross-process instant
     restart, used by the CLI demo). [sanitize] runs the recovery under a
     freshly attached checker. *)
+
+(** {1 Flight recorder}
+
+    The engine owns an NVM-resident flight recorder ({!Pstruct.Pring}):
+    every {!Obs.Blackbox} event — transaction outcomes, merge/checkpoint
+    edges, fault injections, recovery phases — is appended to a
+    crash-persistent ring inside the region. NVM recovery reads the ring
+    back ([span.recover.nvm.blackbox]), truncating each lane at the
+    first torn or corrupt record, and then narrates the restart into the
+    same ring, ending with the [engine-ready] (time-to-first-query) and
+    [full-health] (nothing quarantined) markers. *)
+
+type blackbox = {
+  precrash : Obs.Event.t list;
+      (** the pre-crash timeline decoded from the ring, merged across
+          lanes in ascending sequence order (empty for fresh engines and
+          log-mode restarts, which begin on a fresh region) *)
+  restart : Obs.Event.t list;
+      (** everything recorded since this engine opened, in order —
+          recovery phases, markers, and post-restart activity *)
+  truncated_lanes : int;
+      (** ring lanes cut short at a CRC-invalid record (a torn tail from
+          the crash, or a media fault inside the ring) *)
+  recovery_begin_ns : int option;  (** wall clock of [recovery-begin] *)
+  engine_ready_ns : int option;  (** wall clock of [engine-ready] *)
+  full_health_ns : int option;
+      (** wall clock of [full-health]; [None] while tables stay
+          quarantined *)
+}
+
+val blackbox : t -> blackbox
+(** Snapshot the engine's flight-recorder state (the [hyrise_nv
+    blackbox] subcommand renders this). *)
+
+val media_digest : t -> string
+(** {!Nvm.Region.media_digest} of the engine's region with the
+    flight-recorder ring excluded: the database portion of the image is
+    deterministic for a deterministic workload, while ring records hold
+    wall clocks by design. Determinism tests compare this. *)
+
+val inject_faults : t -> Util.Prng.t -> int -> unit
+(** Inject [n] random media faults anywhere in the region
+    ({!Nvm.Region.random_fault}), recording each as a [fault-injected]
+    event {e before} the damage lands — the black box of a subsequent
+    crash names the faults that caused it. *)
 
 (** {1 Introspection} *)
 

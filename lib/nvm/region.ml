@@ -621,4 +621,17 @@ let load_from_file cfg path =
       Bytes.blit media 0 t.media 0 len;
       t)
 
-let media_digest (t : t) = Digest.to_hex (Digest.bytes t.media)
+let media_digest ?(exclude = []) (t : t) =
+  match exclude with
+  | [] -> Digest.to_hex (Digest.bytes t.media)
+  | ranges ->
+      (* determinism checks exclude intentionally nondeterministic
+         durable state (the flight-recorder ring holds wall clocks) *)
+      let copy = Bytes.copy t.media in
+      List.iter
+        (fun (off, len) ->
+          if off < 0 || len < 0 || off + len > Bytes.length copy then
+            invalid_arg "Region.media_digest: exclude range out of bounds";
+          Bytes.fill copy off len '\000')
+        ranges;
+      Digest.to_hex (Digest.bytes copy)

@@ -298,5 +298,9 @@ val save_to_file : t -> string -> unit
 val load_from_file : config -> string -> t
 (** Re-map a saved image. [config.size] is overridden by the file size. *)
 
-val media_digest : t -> string
-(** MD5 of the durable image; lets tests assert "nothing changed". *)
+val media_digest : ?exclude:(int * int) list -> t -> string
+(** MD5 of the durable image; lets tests assert "nothing changed".
+    [exclude] ranges ([off, len]) are zeroed in the hashed copy — for
+    determinism checks that must skip intentionally nondeterministic
+    durable state such as the flight-recorder ring (wall clocks).
+    Raises [Invalid_argument] on an out-of-bounds range. *)

@@ -38,7 +38,14 @@ let counter ?(registry = default) name =
   | m -> wrong_kind name m "counter"
 
 let incr (c : counter) = Stdlib.incr c
-let add (c : counter) n = c := !c + n
+
+let add (c : counter) n =
+  (* counters are documented monotonic; a negative delta would corrupt
+     the tally silently (gauges are the kind for values that go down) *)
+  if n < 0 then
+    invalid_arg (Printf.sprintf "Obs.add: negative delta %d on a counter" n);
+  c := !c + n
+
 let counter_value (c : counter) = !c
 
 type gauge = int ref
@@ -166,16 +173,16 @@ module Json = struct
     Buffer.add_char buf '"'
 
   let add_float buf f =
-    let f = match Float.classify_float f with
-      | FP_nan | FP_infinite -> 0.0
-      | _ -> f
-    in
-    (* %.17g round-trips but is noisy; 6 significant digits suffice for
-       bench numbers, and always parses as a JSON number *)
-    let s = Printf.sprintf "%.6g" f in
-    Buffer.add_string buf s;
-    (* "1e+06" is valid JSON; "1." is not produced by %g *)
-    ignore s
+    match Float.classify_float f with
+    | FP_nan | FP_infinite ->
+        (* a non-finite value means the source metric is broken; printing
+           0 would mask that, and bare nan/inf is not JSON — emit null *)
+        Buffer.add_string buf "null"
+    | _ ->
+        (* %.17g round-trips but is noisy; 6 significant digits suffice
+           for bench numbers, and always parses as a JSON number
+           ("1e+06" is valid JSON; "1." is not produced by %g) *)
+        Buffer.add_string buf (Printf.sprintf "%.6g" f)
 
   let rec to_buf ~indent ~level buf t =
     let nl pad =
@@ -225,6 +232,195 @@ module Json = struct
     let buf = Buffer.create 1024 in
     to_buf ~indent:true ~level:0 buf t;
     Buffer.contents buf
+end
+
+(* -- flight-recorder events -- *)
+
+module Event = struct
+  type kind =
+    | Txn_begin
+    | Txn_commit
+    | Txn_abort
+    | Txn_conflict
+    | Ckpt_begin
+    | Ckpt_end
+    | Merge_begin
+    | Merge_end
+    | Fault_injected
+    | Crc_failure
+    | Quarantine
+    | Salvage
+    | Recovery_begin
+    | Recovery_phase
+    | Table_attach
+    | Engine_ready
+    | Full_health
+
+  type t = { seq : int; lane : int; kind : kind; arg : int; t_ns : int }
+
+  let kind_code = function
+    | Txn_begin -> 0
+    | Txn_commit -> 1
+    | Txn_abort -> 2
+    | Txn_conflict -> 3
+    | Ckpt_begin -> 4
+    | Ckpt_end -> 5
+    | Merge_begin -> 6
+    | Merge_end -> 7
+    | Fault_injected -> 8
+    | Crc_failure -> 9
+    | Quarantine -> 10
+    | Salvage -> 11
+    | Recovery_begin -> 12
+    | Recovery_phase -> 13
+    | Table_attach -> 14
+    | Engine_ready -> 15
+    | Full_health -> 16
+
+  let kind_of_code = function
+    | 0 -> Some Txn_begin
+    | 1 -> Some Txn_commit
+    | 2 -> Some Txn_abort
+    | 3 -> Some Txn_conflict
+    | 4 -> Some Ckpt_begin
+    | 5 -> Some Ckpt_end
+    | 6 -> Some Merge_begin
+    | 7 -> Some Merge_end
+    | 8 -> Some Fault_injected
+    | 9 -> Some Crc_failure
+    | 10 -> Some Quarantine
+    | 11 -> Some Salvage
+    | 12 -> Some Recovery_begin
+    | 13 -> Some Recovery_phase
+    | 14 -> Some Table_attach
+    | 15 -> Some Engine_ready
+    | 16 -> Some Full_health
+    | _ -> None
+
+  let kind_name = function
+    | Txn_begin -> "txn-begin"
+    | Txn_commit -> "txn-commit"
+    | Txn_abort -> "txn-abort"
+    | Txn_conflict -> "txn-conflict"
+    | Ckpt_begin -> "ckpt-begin"
+    | Ckpt_end -> "ckpt-end"
+    | Merge_begin -> "merge-begin"
+    | Merge_end -> "merge-end"
+    | Fault_injected -> "fault-injected"
+    | Crc_failure -> "crc-failure"
+    | Quarantine -> "quarantine"
+    | Salvage -> "salvage"
+    | Recovery_begin -> "recovery-begin"
+    | Recovery_phase -> "recovery-phase"
+    | Table_attach -> "table-attach"
+    | Engine_ready -> "engine-ready"
+    | Full_health -> "full-health"
+
+  (* Recovery_phase arg codes: which phase just completed *)
+  let ph_heap_scan = 0
+  let ph_attach = 1
+  let ph_blackbox = 2
+  let ph_verify = 3
+  let ph_salvage = 4
+  let ph_rollback = 5
+  let ph_replay = 6
+
+  let phase_name = function
+    | 0 -> "heap_scan"
+    | 1 -> "attach"
+    | 2 -> "blackbox"
+    | 3 -> "verify"
+    | 4 -> "salvage"
+    | 5 -> "rollback"
+    | 6 -> "replay"
+    | n -> Printf.sprintf "phase-%d" n
+
+  let arg_mask = 0xFFFF_FFFF_FFFF (* 48 bits *)
+
+  (* on-ring encoding: the seq lives in its own sealed word (Pring owns
+     it); the remaining two raw words are
+       w1 = kind:8 | lane:8 | arg:48        w2 = t_ns *)
+  let pack ev =
+    let hdr =
+      Int64.logor
+        (Int64.shift_left (Int64.of_int (kind_code ev.kind)) 56)
+        (Int64.logor
+           (Int64.shift_left (Int64.of_int (ev.lane land 0xFF)) 48)
+           (Int64.of_int (ev.arg land arg_mask)))
+    in
+    (hdr, Int64.of_int ev.t_ns)
+
+  let unpack ~seq w1 w2 =
+    let code = Int64.to_int (Int64.shift_right_logical w1 56) land 0xFF in
+    match kind_of_code code with
+    | None -> None
+    | Some kind ->
+        let lane = Int64.to_int (Int64.shift_right_logical w1 48) land 0xFF in
+        let arg = Int64.to_int w1 land arg_mask in
+        Some { seq; lane; kind; arg; t_ns = Int64.to_int w2 }
+
+  let to_json ev =
+    Json.Obj
+      [
+        ("seq", Json.Int ev.seq);
+        ("lane", Json.Int ev.lane);
+        ("kind", Json.Str (kind_name ev.kind));
+        ("arg", Json.Int ev.arg);
+        ("t_ns", Json.Int ev.t_ns);
+      ]
+end
+
+(* -- flight-recorder front end -- *)
+
+module Blackbox = struct
+  type pending = { p_kind : Event.kind; p_arg : int; p_lane : int; p_ns : int }
+
+  (* worker lanes must never store into the NVM region (PROTOCOLS.md
+     §10), so off-caller emissions buffer here and the caller delivers
+     them at the next pool join — same discipline as the par.* metrics *)
+  let queues : pending list ref array =
+    Array.init Util.Domain_slot.max_slots (fun _ -> ref [])
+
+  let sink : (Event.t -> unit) option ref = ref None
+  let seq = ref 0
+
+  (* caller-side tallies; like counters, always live *)
+  let c_events = counter "blackbox.events"
+  let c_dropped = counter "blackbox.dropped"
+
+  let set_sink s = sink := s
+
+  let seq_floor n = if n > !seq then seq := n
+
+  let deliver ~lane ~t_ns kind arg =
+    match !sink with
+    | None -> incr c_dropped
+    | Some f ->
+        Stdlib.incr seq;
+        incr c_events;
+        f { Event.seq = !seq; lane; kind; arg; t_ns }
+
+  let replay (ev : Event.t) = deliver ~lane:ev.lane ~t_ns:ev.t_ns ev.kind ev.arg
+
+  let drain () =
+    Array.iter
+      (fun q ->
+        match !q with
+        | [] -> ()
+        | l ->
+            q := [];
+            List.iter
+              (fun p -> deliver ~lane:p.p_lane ~t_ns:p.p_ns p.p_kind p.p_arg)
+              (List.rev l))
+      queues
+
+  let emit ?(arg = 0) kind =
+    let slot = Util.Domain_slot.get () in
+    let t_ns = Span.now_ns () in
+    if slot = 0 then deliver ~lane:0 ~t_ns kind arg
+    else
+      let q = queues.(slot) in
+      q := { p_kind = kind; p_arg = arg; p_lane = slot; p_ns = t_ns } :: !q
 end
 
 let hist_json h =

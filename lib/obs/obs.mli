@@ -45,7 +45,12 @@ val counter : ?registry:registry -> string -> counter
     registered as a different metric kind. *)
 
 val incr : counter -> unit
+
 val add : counter -> int -> unit
+(** Add a non-negative delta. Counters are monotonic; raises
+    [Invalid_argument] on a negative delta (use a gauge for values that
+    can go down). *)
+
 val counter_value : counter -> int
 
 type gauge
@@ -97,7 +102,9 @@ end
 
 module Json : sig
   (** Minimal JSON document builder (no external dependency). Strings are
-      escaped; floats print as finite decimals ([nan]/[inf] become 0). *)
+      escaped; finite floats print as decimals, [nan]/[inf] as [null]
+      (a non-finite value means the source metric is broken — masking it
+      as 0 would hide that). *)
 
   type t =
     | Null
@@ -113,6 +120,105 @@ module Json : sig
 
   val pretty : t -> string
   (** Two-space indented. *)
+end
+
+(** {1 Flight recorder}
+
+    The event vocabulary and front end of the crash-persistent flight
+    recorder (docs/OBSERVABILITY.md, "Flight recorder"). [Obs] owns the
+    schema and the emission path; the NVM ring itself is
+    [Pstruct.Pring], and [Core.Engine] wires the two together by
+    installing a sink that appends each delivered event to the ring. *)
+
+module Event : sig
+  type kind =
+    | Txn_begin  (** arg = transaction id *)
+    | Txn_commit  (** arg = commit CID (0 for read-only commits) *)
+    | Txn_abort  (** arg = transaction id *)
+    | Txn_conflict  (** write-write conflict detected *)
+    | Ckpt_begin
+    | Ckpt_end
+    | Merge_begin  (** arg = catalog index of the merged table *)
+    | Merge_end
+    | Fault_injected  (** arg = region offset of the injected fault *)
+    | Crc_failure  (** arg = sealed-word/CRC failures since last report *)
+    | Quarantine  (** arg = catalog index of the quarantined table *)
+    | Salvage  (** arg = catalog index of the salvaged table *)
+    | Recovery_begin
+    | Recovery_phase  (** arg = phase code ({!ph_heap_scan} …) *)
+    | Table_attach  (** arg = catalog index; lane = attaching slot *)
+    | Engine_ready  (** first-query point: the engine is open *)
+    | Full_health  (** verify/salvage complete, nothing quarantined *)
+
+  type t = { seq : int; lane : int; kind : kind; arg : int; t_ns : int }
+  (** [seq] is a process-global monotonic sequence number (merge key
+      across lanes); [lane] the domain slot that emitted; [t_ns] the
+      wall clock of emission. *)
+
+  val kind_code : kind -> int
+  val kind_of_code : int -> kind option
+
+  val kind_name : kind -> string
+  (** Stable dashed names ([txn-commit], [engine-ready], …) used by the
+      [blackbox] subcommand's JSON. *)
+
+  (** [Recovery_phase] arg codes (the phase that just completed): *)
+
+  val ph_heap_scan : int
+  val ph_attach : int
+  val ph_blackbox : int
+  val ph_verify : int
+  val ph_salvage : int
+  val ph_rollback : int
+  val ph_replay : int
+  val phase_name : int -> string
+
+  val pack : t -> int64 * int64
+  (** On-ring encoding, excluding [seq] (the ring seals it separately):
+      [w1 = kind:8 | lane:8 | arg:48], [w2 = t_ns]. *)
+
+  val unpack : seq:int -> int64 -> int64 -> t option
+  (** Inverse of {!pack}; [None] on an unknown kind code (a record from
+      a future schema — skipped, not fatal). *)
+
+  val to_json : t -> Json.t
+end
+
+module Blackbox : sig
+  (** Emission front end. Always on, gated like counters: an emission
+      with no sink installed costs one test and bumps
+      [blackbox.dropped]. The engine installs a sink that appends to its
+      NVM ring; during early recovery it installs a volatile buffering
+      sink and replays the buffer into the ring once attached.
+
+      Thread discipline (PROTOCOLS.md §10): only the caller lane (slot
+      0) delivers to the sink — and hence stores into NVM. Worker-lane
+      emissions buffer into per-slot volatile queues, drained
+      caller-side by the pool at every join (like the [par.*] metrics),
+      so worker events land in the ring with join-order sequence
+      numbers. *)
+
+  val set_sink : (Event.t -> unit) option -> unit
+
+  val emit : ?arg:int -> Event.kind -> unit
+  (** Record one event: caller lane delivers immediately (assigning the
+      next sequence number), worker lanes buffer. [arg] defaults 0 and
+      is truncated to 48 bits on the ring. *)
+
+  val drain : unit -> unit
+  (** Deliver all buffered worker-lane events, slots ascending. Caller
+      lane only, outside any pool job ([Par] calls this at each join). *)
+
+  val seq_floor : int -> unit
+  (** Raise the global sequence counter to at least [n] — recovery calls
+      this with the max decoded pre-crash seq so post-restart events
+      sort after the pre-crash timeline. *)
+
+  val replay : Event.t -> unit
+  (** Re-deliver a buffered event through the current sink, preserving
+      its lane/kind/arg/timestamp but assigning a fresh sequence number
+      (recovery uses this to flush markers buffered before the ring was
+      attached). *)
 end
 
 val to_json : ?registry:registry -> unit -> Json.t

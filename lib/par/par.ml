@@ -235,6 +235,10 @@ let run_lanes body =
      sanitizer merges whatever the lanes traced up to the failure *)
   sync (fun h -> h.on_join ());
   drain_stats pool;
+  (* worker-lane flight-recorder events buffer volatile during the job
+     (workers never store into the region, PROTOCOLS.md §10); the caller
+     delivers them to the recorder sink here, like the stats above *)
+  Obs.Blackbox.drain ();
   Util.Histogram.record h_run_ns (now_ns () - t0);
   match Atomic.get failed with
   | Some (Worker_exn (e, bt)) -> Printexc.raise_with_backtrace e bt

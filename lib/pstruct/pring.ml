@@ -1,0 +1,212 @@
+module A = Nvm_alloc.Allocator
+module Region = Nvm.Region
+module Seal = Nvm.Seal
+
+(* Crash-persistent flight-recorder ring (PROTOCOLS.md §12).
+
+   Handle block (32 bytes):  +0  magic (sealed)
+                             +8  lanes (sealed)
+                             +16 capacity, records per lane (sealed)
+                             +24 data block offset (sealed)
+   Data block: lanes × capacity records of 32 bytes each, lane-major:
+
+     record  +0  sequence number (sealed)
+             +8  caller word 1 (event header)
+             +16 caller word 2 (event payload)
+             +24 CRC32 of bytes [+0,+24) as stored (sealed)
+
+   A record is published with plain stores, one write-back of its 32
+   bytes and one fence — there is no ordered commit word. The CRC is the
+   validity witness: a crash inside the publish window leaves a record
+   that fails its CRC and is dropped at decode, truncating the lane at
+   the torn tail — the same posture as WAL frame replay. Slots the ring
+   has not reached yet fail the *seal* check (zeroed or foreign media
+   never verifies), so a fresh ring decodes empty.
+
+   Appends happen only on the caller lane (slot 0); worker-lane events
+   are buffered volatile and drained caller-side at pool joins
+   (PROTOCOLS.md §10), so the ring needs no cross-domain discipline. *)
+
+type t = {
+  alloc : A.t;
+  region : Region.t;
+  handle : int;
+  data : int;
+  lanes : int;
+  capacity : int;
+  next : int array; (* volatile per-lane append position *)
+  scratch : Bytes.t; (* CRC staging; appends are caller-lane only *)
+}
+
+type record = { r_lane : int; r_seq : int; r_w1 : int64; r_w2 : int64 }
+
+let record_bytes = 32
+let magic = 0xB1ACB0C5
+let max_lanes = Util.Domain_slot.max_slots
+
+let lane_base t lane = t.data + (lane * t.capacity * record_bytes)
+let slot_off t lane pos = lane_base t lane + (pos * record_bytes)
+
+(* CRC of the record's first 24 bytes exactly as they sit on media *)
+let record_crc buf w0 w1 w2 =
+  Bytes.set_int64_le buf 0 w0;
+  Bytes.set_int64_le buf 8 w1;
+  Bytes.set_int64_le buf 16 w2;
+  Int32.to_int (Util.Crc.bytes_sub buf 0 24) land 0xFFFF_FFFF
+
+let create ?(lanes = 8) ?(capacity = 256) alloc =
+  let lanes = max 1 (min lanes max_lanes) in
+  let capacity = max 4 capacity in
+  let region = A.region alloc in
+  Region.with_label region "pring.create" @@ fun () ->
+  let nbytes = lanes * capacity * record_bytes in
+  let data = A.alloc alloc nbytes in
+  (* zero the slots: a recycled block could hold stale-but-CRC-valid
+     records from a previous life; zeroed words never pass the seal *)
+  Region.write_bytes region data (Bytes.make nbytes '\000');
+  Region.persist region data nbytes;
+  A.activate alloc data;
+  let handle = A.alloc alloc 32 in
+  Seal.write region handle magic;
+  Seal.write region (handle + 8) lanes;
+  Seal.write region (handle + 16) capacity;
+  Seal.write region (handle + 24) data;
+  Region.persist region handle 32;
+  A.activate alloc handle;
+  {
+    alloc;
+    region;
+    handle;
+    data;
+    lanes;
+    capacity;
+    next = Array.make lanes 0;
+    scratch = Bytes.create 24;
+  }
+
+(* Scan one lane: collect CRC-valid records, order them by sequence
+   number, then keep the longest prefix whose ring positions form the
+   consecutive append chain (mod capacity). The first chain break is the
+   torn tail — or a mid-ring media fault — and everything at or after it
+   is dropped, like WAL replay truncating at the first bad frame.
+   Returns the kept records (ascending seq), the next append position,
+   and whether any valid record was dropped. *)
+let scan_lane t lane =
+  let buf = Bytes.create 24 in
+  let valid = ref [] in
+  for pos = 0 to t.capacity - 1 do
+    let off = slot_off t lane pos in
+    let w0 = Region.get_i64 t.region off in
+    match Seal.unseal w0 with
+    | None -> ()
+    | Some seq -> (
+        let w1 = Region.get_i64 t.region (off + 8) in
+        let w2 = Region.get_i64 t.region (off + 16) in
+        match Seal.unseal (Region.get_i64 t.region (off + 24)) with
+        | Some crc when crc = record_crc buf w0 w1 w2 ->
+            valid :=
+              (pos, { r_lane = lane; r_seq = seq; r_w1 = w1; r_w2 = w2 })
+              :: !valid
+        | _ -> ())
+  done;
+  let sorted =
+    List.sort (fun (_, a) (_, b) -> compare a.r_seq b.r_seq) !valid
+  in
+  match sorted with
+  | [] -> ([], 0, false)
+  | (first_pos, _) :: _ ->
+      let expected = ref first_pos in
+      let kept = ref [] in
+      let dropped = ref false in
+      List.iter
+        (fun (pos, r) ->
+          if !dropped then ()
+          else if pos = !expected then begin
+            kept := r :: !kept;
+            expected := (pos + 1) mod t.capacity
+          end
+          else dropped := true)
+        sorted;
+      (List.rev !kept, !expected, !dropped)
+
+let attach alloc handle =
+  let region = A.region alloc in
+  let m = Seal.read region ~what:"pring magic" handle in
+  Pcheck.require (m = magic) ~at:handle "pring magic mismatch";
+  let lanes = Seal.read region ~what:"pring lanes" (handle + 8) in
+  let capacity = Seal.read region ~what:"pring capacity" (handle + 16) in
+  let data = Seal.read region ~what:"pring data offset" (handle + 24) in
+  Pcheck.require (lanes >= 1 && lanes <= max_lanes) ~at:handle
+    "pring lane count out of range";
+  Pcheck.require (capacity >= 4) ~at:handle "pring capacity out of range";
+  Pcheck.require
+    (A.usable_size alloc data >= lanes * capacity * record_bytes)
+    ~at:data "pring data exceeds its block";
+  let t =
+    {
+      alloc;
+      region;
+      handle;
+      data;
+      lanes;
+      capacity;
+      next = Array.make lanes 0;
+      scratch = Bytes.create 24;
+    }
+  in
+  for lane = 0 to lanes - 1 do
+    let _, next, _ = scan_lane t lane in
+    t.next.(lane) <- next
+  done;
+  t
+
+let handle t = t.handle
+let lanes t = t.lanes
+let capacity t = t.capacity
+
+let append t ~lane ~seq w1 w2 =
+  if lane < 0 || lane >= t.lanes then
+    invalid_arg (Printf.sprintf "Pring.append: lane %d of %d" lane t.lanes);
+  if seq < 0 || seq > Seal.max_value then
+    invalid_arg "Pring.append: seq out of 48-bit range";
+  Region.with_label t.region "pring.append" @@ fun () ->
+  let pos = t.next.(lane) in
+  let off = slot_off t lane pos in
+  let w0 = Seal.seal seq in
+  Region.set_i64 t.region off w0;
+  Region.set_i64 t.region (off + 8) w1;
+  Region.set_i64 t.region (off + 16) w2;
+  Seal.write t.region (off + 24) (record_crc t.scratch w0 w1 w2);
+  Region.writeback t.region off record_bytes;
+  (* one fence per record, elided when the queue is already drained; the
+     CRC word is the validity witness, not an ordered commit point — a
+     crash inside this window tears the record and decode truncates *)
+  Region.fence_if_pending t.region;
+  t.next.(lane) <- (pos + 1) mod t.capacity
+
+let decode t =
+  let all = ref [] in
+  let truncated = ref 0 in
+  for lane = 0 to t.lanes - 1 do
+    let kept, next, dropped = scan_lane t lane in
+    t.next.(lane) <- next;
+    if dropped then Stdlib.incr truncated;
+    all := List.rev_append kept !all
+  done;
+  (List.sort (fun a b -> compare a.r_seq b.r_seq) !all, !truncated)
+
+let max_seq t =
+  let records, _ = decode t in
+  List.fold_left (fun acc r -> max acc r.r_seq) 0 records
+
+let owned_blocks t = [ t.handle; t.data ]
+
+let extents t =
+  [ (t.handle, 32); (t.data, t.lanes * t.capacity * record_bytes) ]
+
+let verify t =
+  Pcheck.require
+    (A.usable_size t.alloc t.data >= t.lanes * t.capacity * record_bytes)
+    ~at:t.data "pring data exceeds its block"
+
+let words_on_nvm t = 32 + (t.lanes * t.capacity * record_bytes)

@@ -1,0 +1,70 @@
+(** Crash-persistent flight-recorder ring: per-lane circular buffers of
+    fixed-size, CRC-sealed 32-byte records living inside the NVM region
+    (PROTOCOLS.md §12).
+
+    Each record carries a sealed sequence number, two caller-owned
+    64-bit words (the engine packs an {!Obs.Event.t} into them) and a
+    sealed CRC32 of the record body. A record is published with one
+    write-back and one fence and {e no} ordered commit word: the CRC is
+    the validity witness, so a crash mid-publish leaves a torn record
+    that {!decode} drops, truncating the lane at the torn tail — the
+    same posture as WAL frame replay.
+
+    Appends are caller-lane-only (PROTOCOLS.md §10): worker-lane events
+    buffer volatile in {!Obs.Blackbox} and the pool drains them
+    caller-side at each join. *)
+
+type t
+
+type record = {
+  r_lane : int;  (** ring lane the record was appended to *)
+  r_seq : int;  (** sealed sequence number (merge key) *)
+  r_w1 : int64;  (** caller word 1 (event header) *)
+  r_w2 : int64;  (** caller word 2 (event payload) *)
+}
+
+val create : ?lanes:int -> ?capacity:int -> Nvm_alloc.Allocator.t -> t
+(** Allocate, zero and activate a ring of [lanes] (default 8, clamped to
+    [1, Util.Domain_slot.max_slots]) sub-rings of [capacity] records
+    each (default 256, min 4). *)
+
+val attach : Nvm_alloc.Allocator.t -> int -> t
+(** Reattach from a handle offset after restart. Validates the sealed
+    handle words ([Nvm.Seal.Corrupt] / {!Pcheck.Invalid} on damage) and
+    recovers each lane's append position from the surviving records. *)
+
+val handle : t -> int
+val lanes : t -> int
+val capacity : t -> int
+
+val append : t -> lane:int -> seq:int -> int64 -> int64 -> unit
+(** Publish one record at the lane's next position (overwriting the
+    oldest once the lane wraps): four stores, one 32-byte write-back,
+    one [fence_if_pending]. The record is durable when [append]
+    returns. Caller lane only. *)
+
+val decode : t -> record list * int
+(** All CRC-valid records, merged across lanes in ascending sequence
+    order, plus the number of lanes that were truncated (a CRC-invalid
+    or torn record cut the lane short of some still-valid later
+    records). Per lane, decode keeps the longest seq-ordered prefix
+    whose positions form the append chain and drops the rest. Also
+    re-synchronizes the volatile append positions. *)
+
+val max_seq : t -> int
+(** Largest decoded sequence number, 0 if the ring is empty (recovery
+    feeds this to {!Obs.Blackbox.seq_floor}). *)
+
+val owned_blocks : t -> int list
+(** Allocator blocks owned by the ring (handle and data) — must be part
+    of the engine's live set so vacuum never sweeps the recorder. *)
+
+val extents : t -> (int * int) list
+(** [(offset, length)] byte ranges of the ring on media — what
+    determinism checks exclude from a {!Nvm.Region.media_digest} (ring
+    records hold wall clocks). *)
+
+val verify : t -> unit
+(** Structural check beyond {!attach}'s sealed reads. *)
+
+val words_on_nvm : t -> int

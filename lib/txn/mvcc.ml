@@ -78,6 +78,7 @@ let begin_txn m =
   m.next_tid <- m.next_tid + 1;
   Hashtbl.replace m.active t.tid t;
   Obs.incr c_begin;
+  Obs.Blackbox.emit ~arg:t.tid Obs.Event.Txn_begin;
   t
 
 let tid t = t.tid
@@ -159,6 +160,7 @@ let conflict fmt =
   Printf.ksprintf
     (fun msg ->
       Obs.incr c_conflict;
+      Obs.Blackbox.emit Obs.Event.Txn_conflict;
       raise (Write_conflict msg))
     fmt
 
@@ -203,6 +205,7 @@ let commit m t =
     t.state <- Committed;
     Hashtbl.remove m.active t.tid;
     Obs.incr c_commit_readonly;
+    Obs.Blackbox.emit Obs.Event.Txn_commit;
     t.snapshot
   end
   else begin
@@ -242,6 +245,10 @@ let commit m t =
     release_locks m t;
     Hashtbl.remove m.active t.tid;
     Obs.incr c_commit;
+    (* recorded after the durable commit point, so the ring append's own
+       write-back can never sit dirty across the commit annotation *)
+    Obs.Blackbox.emit ~arg:(Int64.to_int cid land 0xFFFF_FFFF_FFFF)
+      Obs.Event.Txn_commit;
     cid
   end
 
@@ -251,4 +258,5 @@ let abort m t =
   release_locks m t;
   Hashtbl.remove m.active t.tid;
   Obs.incr c_abort;
+  Obs.Blackbox.emit ~arg:t.tid Obs.Event.Txn_abort;
   m.observer (Ev_abort { tid = t.tid })

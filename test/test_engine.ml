@@ -664,6 +664,152 @@ let test_txn_counters_and_gauges () =
   Alcotest.(check bool) "data bytes gauge set" true
     (Obs.gauge_value (Obs.gauge "engine.data_bytes") > 0)
 
+let test_json_non_finite_floats_are_null () =
+  (* a nan/inf metric means the source is broken; masking it as 0 would
+     hide that, so the JSON encoder emits null *)
+  let s v = Obs.Json.to_string (Obs.Json.Float v) in
+  Alcotest.(check string) "nan" "null" (s Float.nan);
+  Alcotest.(check string) "+inf" "null" (s Float.infinity);
+  Alcotest.(check string) "-inf" "null" (s Float.neg_infinity);
+  Alcotest.(check string) "finite untouched" "1.5" (s 1.5)
+
+let test_counter_rejects_negative_delta () =
+  let c = Obs.counter "test.engine.negative_delta" in
+  Obs.add c 3;
+  Alcotest.check_raises "negative delta refused"
+    (Invalid_argument "Obs.add: negative delta -1 on a counter") (fun () ->
+      Obs.add c (-1));
+  Alcotest.(check int) "counter unchanged by the refused add" 3
+    (Obs.counter_value c)
+
+let test_event_pack_unpack_roundtrip () =
+  let open Obs.Event in
+  let kinds =
+    [ Txn_begin; Txn_commit; Txn_abort; Txn_conflict; Ckpt_begin; Ckpt_end;
+      Merge_begin; Merge_end; Fault_injected; Crc_failure; Quarantine;
+      Salvage; Recovery_begin; Recovery_phase; Table_attach; Engine_ready;
+      Full_health ]
+  in
+  List.iteri
+    (fun i kind ->
+      let ev = { seq = i + 1; lane = i mod 8; kind; arg = i * 1_000_003; t_ns = i * 17 } in
+      let w1, w2 = pack ev in
+      match unpack ~seq:ev.seq w1 w2 with
+      | Some got -> Alcotest.(check bool) (kind_name kind ^ " roundtrips") true (got = ev)
+      | None -> Alcotest.failf "unpack rejected %s" (kind_name kind))
+    kinds;
+  (* an unknown kind byte is a schema gap, not corruption: skipped *)
+  Alcotest.(check bool) "unknown kind skipped" true
+    (unpack ~seq:1 (Int64.shift_left 200L 56) 0L = None)
+
+(* -------- flight recorder -------- *)
+
+let bb_kinds evs = List.map (fun ev -> ev.Obs.Event.kind) evs
+let bb_seqs evs = List.map (fun ev -> ev.Obs.Event.seq) evs
+let ascending l = List.sort_uniq compare l = l
+
+let test_blackbox_fresh_engine () =
+  let e = nvm_engine () in
+  let bb = E.blackbox e in
+  Alcotest.(check int) "no pre-crash history on a fresh region" 0
+    (List.length bb.E.precrash);
+  Alcotest.(check int) "nothing truncated" 0 bb.E.truncated_lanes;
+  Alcotest.(check bool) "engine-ready marked" true
+    (List.mem Obs.Event.Engine_ready (bb_kinds bb.E.restart));
+  Alcotest.(check bool) "full-health marked" true
+    (bb.E.full_health_ns <> None)
+
+let test_blackbox_timeline_across_crash () =
+  let e = setup_kv (nvm_engine ()) in
+  for i = 1 to 8 do
+    E.with_txn e (fun txn ->
+        ignore (E.insert e txn "kv" (kv i (string_of_int i))))
+  done;
+  let crashed = E.crash e Region.Drop_unfenced in
+  let e2, stats = E.recover crashed in
+  let bb = E.blackbox e2 in
+  let pre_kinds = bb_kinds bb.E.precrash in
+  Alcotest.(check bool) "pre-crash txns reconstructed" true
+    (List.mem Obs.Event.Txn_begin pre_kinds
+    && List.mem Obs.Event.Txn_commit pre_kinds);
+  Alcotest.(check bool) "pre-crash seqs strictly ascending" true
+    (ascending (bb_seqs bb.E.precrash));
+  (match stats.E.detail with
+  | E.Rv_nvm { blackbox_records; _ } ->
+      Alcotest.(check int) "Rv_nvm.blackbox_records matches the decode"
+        (List.length bb.E.precrash) blackbox_records
+  | _ -> Alcotest.fail "expected Rv_nvm detail");
+  (* the restart narrative: begins with recovery-begin, attaches the
+     table, and ends ready *)
+  (match bb.E.restart with
+  | first :: _ ->
+      Alcotest.(check bool) "restart opens with recovery-begin" true
+        (first.Obs.Event.kind = Obs.Event.Recovery_begin)
+  | [] -> Alcotest.fail "restart timeline is empty");
+  let rk = bb_kinds bb.E.restart in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Obs.Event.kind_name k ^ " present in restart timeline")
+        true (List.mem k rk))
+    [ Obs.Event.Recovery_phase; Obs.Event.Table_attach; Obs.Event.Engine_ready;
+      Obs.Event.Full_health ];
+  (* seq floor: everything after the restart sorts after everything
+     before the crash *)
+  let max_pre = List.fold_left max 0 (bb_seqs bb.E.precrash) in
+  Alcotest.(check bool) "restart seqs above the pre-crash timeline" true
+    (List.for_all (fun s -> s > max_pre) (bb_seqs bb.E.restart));
+  (match (bb.E.recovery_begin_ns, bb.E.engine_ready_ns, bb.E.full_health_ns) with
+  | Some t0, Some t1, Some t2 ->
+      Alcotest.(check bool) "marker clocks ordered" true (t0 <= t1 && t1 <= t2)
+  | _ -> Alcotest.fail "expected all three restart markers")
+
+let test_blackbox_survives_second_crash () =
+  (* the restart narrative itself is on NVM: crash again and the first
+     recovery's markers come back as pre-crash history *)
+  let e = setup_kv (nvm_engine ()) in
+  E.with_txn e (fun txn -> ignore (E.insert e txn "kv" (kv 1 "one")));
+  let e2, _ = E.recover (E.crash e Region.Drop_unfenced) in
+  E.with_txn e2 (fun txn -> ignore (E.insert e2 txn "kv" (kv 2 "two")));
+  let e3, _ = E.recover (E.crash e2 Region.Drop_unfenced) in
+  let bb = E.blackbox e3 in
+  let pre = bb_kinds bb.E.precrash in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Obs.Event.kind_name k ^ " from the first restart survives")
+        true (List.mem k pre))
+    [ Obs.Event.Recovery_begin; Obs.Event.Engine_ready; Obs.Event.Full_health;
+      Obs.Event.Txn_commit ];
+  Alcotest.(check bool) "merged pre-crash seqs still ascending" true
+    (ascending (bb_seqs bb.E.precrash))
+
+let test_blackbox_adversarial_truncates_only_tail () =
+  (* adversarial eviction may tear the very last record, never an
+     earlier one: the decoded timeline is a prefix and recovery still
+     reaches full health *)
+  let rng = Prng.create 4242L in
+  for round = 1 to 5 do
+    let e = setup_kv (nvm_engine ()) in
+    for i = 1 to 20 do
+      E.with_txn e (fun txn ->
+          ignore (E.insert e txn "kv" (kv i (string_of_int i))))
+    done;
+    let e2, _ = E.recover (E.crash e (Region.Adversarial (Prng.split rng))) in
+    let bb = E.blackbox e2 in
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d: timeline reconstructed" round)
+      true
+      (List.mem Obs.Event.Txn_commit (bb_kinds bb.E.precrash));
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d: seqs ascending" round)
+      true
+      (ascending (bb_seqs bb.E.precrash));
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d: full health" round)
+      true (bb.E.full_health_ns <> None)
+  done
+
 let () =
   Alcotest.run "engine"
     [
@@ -719,6 +865,22 @@ let () =
             test_spans_off_by_default;
           Alcotest.test_case "txn counters + gauges" `Quick
             test_txn_counters_and_gauges;
+          Alcotest.test_case "json nan/inf -> null" `Quick
+            test_json_non_finite_floats_are_null;
+          Alcotest.test_case "counter rejects negative delta" `Quick
+            test_counter_rejects_negative_delta;
+          Alcotest.test_case "event pack/unpack roundtrip" `Quick
+            test_event_pack_unpack_roundtrip;
+        ] );
+      ( "blackbox",
+        [
+          Alcotest.test_case "fresh engine" `Quick test_blackbox_fresh_engine;
+          Alcotest.test_case "timeline across crash" `Quick
+            test_blackbox_timeline_across_crash;
+          Alcotest.test_case "survives a second crash" `Quick
+            test_blackbox_survives_second_crash;
+          Alcotest.test_case "adversarial truncates only the tail" `Quick
+            test_blackbox_adversarial_truncates_only_tail;
         ] );
       ( "crash-fuzz",
         [

@@ -250,7 +250,7 @@ let test_merge_byte_identical () =
     with_jobs jobs @@ fun () ->
     let e = build_merge_engine () in
     ignore (E.merge e "m");
-    Region.media_digest (E.region e)
+    E.media_digest e
   in
   let d1 = digest 1 in
   List.iter
@@ -284,7 +284,7 @@ let test_recovery_parity () =
     let orders =
       E.with_txn e (fun txn -> E.count e txn "orders")
     in
-    (Region.media_digest (E.region e), E.last_cid e, rolled, orders)
+    (E.media_digest e, E.last_cid e, rolled, orders)
   in
   let d1, c1, r1, o1 = recover 1 in
   List.iter
@@ -309,8 +309,57 @@ let test_rollback_split_equivalence () =
   let via_serial = with_jobs 1 (fun () -> E.recover (build_crashed ~seed:5)) in
   Alcotest.(check string)
     "identical media"
-    (Region.media_digest (E.region (fst via_serial)))
-    (Region.media_digest (E.region (fst via_split)))
+    (E.media_digest (fst via_serial))
+    (E.media_digest (fst via_split))
+
+(* -------- flight recorder parity across lane counts -------- *)
+
+let test_blackbox_jobs_differential () =
+  (* the same seeded crash must decode the same pre-crash timeline and
+     reach the same restart markers at every --jobs level. Sequence
+     numbers are process-global (they keep counting across runs) and
+     restart events may be delivered from different lanes, so the
+     comparison is the (kind, arg) stream for the pre-crash timeline and
+     the kind multiset for the restart one. *)
+  let run jobs =
+    with_jobs jobs @@ fun () ->
+    let e, _ = E.recover (build_crashed ~seed:31) in
+    let bb = E.blackbox e in
+    let pre =
+      List.map
+        (fun ev -> (Obs.Event.kind_name ev.Obs.Event.kind, ev.Obs.Event.arg))
+        bb.E.precrash
+    in
+    let restart_kinds =
+      List.sort compare
+        (List.map
+           (fun ev -> Obs.Event.kind_name ev.Obs.Event.kind)
+           bb.E.restart)
+    in
+    ( pre,
+      restart_kinds,
+      bb.E.truncated_lanes,
+      bb.E.engine_ready_ns <> None && bb.E.full_health_ns <> None )
+  in
+  let pre1, rk1, t1, marked1 = run 1 in
+  Alcotest.(check bool) "jobs 1 decodes a timeline" true (pre1 <> []);
+  Alcotest.(check bool) "jobs 1 reaches both markers" true marked1;
+  List.iter
+    (fun jobs ->
+      let pre, rk, t, marked = run jobs in
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "pre-crash (kind, arg) stream at jobs %d" jobs)
+        pre1 pre;
+      Alcotest.(check (list string))
+        (Printf.sprintf "restart kind multiset at jobs %d" jobs)
+        rk1 rk;
+      Alcotest.(check int)
+        (Printf.sprintf "truncated lanes at jobs %d" jobs)
+        t1 t;
+      Alcotest.(check bool)
+        (Printf.sprintf "markers at jobs %d" jobs)
+        true marked)
+    [ 2; 4 ]
 
 (* -------- metrics -------- *)
 
@@ -356,5 +405,7 @@ let () =
             test_recovery_parity;
           Alcotest.test_case "rollback plan/apply = fused" `Quick
             test_rollback_split_equivalence;
+          Alcotest.test_case "black box parity across lane counts" `Quick
+            test_blackbox_jobs_differential;
         ] );
     ]

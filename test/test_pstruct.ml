@@ -627,6 +627,140 @@ let test_pbtree_crash_fuzz_prefix () =
     Alcotest.(check int) "no duplicates in scan" n (List.length l)
   done
 
+(* -------- Pring (flight-recorder ring) -------- *)
+
+module Pring = Pstruct.Pring
+
+(* recognisable payload per sequence number *)
+let pring_append r ~lane ~seq =
+  Pring.append r ~lane ~seq (Int64.of_int (seq * 3)) (Int64.of_int (seq * 7))
+
+let check_pring_prefix ~msg records =
+  List.iteri
+    (fun i (rc : Pring.record) ->
+      Alcotest.(check int) (msg ^ ": seq") (i + 1) rc.Pring.r_seq;
+      Alcotest.(check int64) (msg ^ ": w1")
+        (Int64.of_int ((i + 1) * 3))
+        rc.Pring.r_w1;
+      Alcotest.(check int64) (msg ^ ": w2")
+        (Int64.of_int ((i + 1) * 7))
+        rc.Pring.r_w2)
+    records
+
+let test_pring_roundtrip () =
+  let a = fresh () in
+  let r = Pring.create ~lanes:2 ~capacity:16 a in
+  for s = 1 to 10 do
+    pring_append r ~lane:(s mod 2) ~seq:s
+  done;
+  let records, truncated = Pring.decode r in
+  Alcotest.(check int) "all records decode" 10 (List.length records);
+  Alcotest.(check int) "no lane truncated" 0 truncated;
+  (* merged across lanes in ascending sequence order *)
+  check_pring_prefix ~msg:"roundtrip" records;
+  Alcotest.(check int) "max_seq" 10 (Pring.max_seq r)
+
+let test_pring_fresh_empty () =
+  let a = fresh () in
+  let r = Pring.create ~lanes:4 ~capacity:8 a in
+  let records, truncated = Pring.decode r in
+  Alcotest.(check int) "fresh ring decodes empty" 0 (List.length records);
+  Alcotest.(check int) "nothing truncated" 0 truncated;
+  Alcotest.(check int) "max_seq of empty" 0 (Pring.max_seq r)
+
+let test_pring_durable_across_crash () =
+  let a = fresh () in
+  let r = Pring.create ~lanes:1 ~capacity:8 a in
+  A.set_root a 0 (Pring.handle r);
+  for s = 1 to 5 do
+    pring_append r ~lane:0 ~seq:s
+  done;
+  (* every append ends in a fence, so Drop_unfenced loses nothing *)
+  Region.crash (A.region a) Region.Drop_unfenced;
+  let a2 = reopen a in
+  let r2 = Pring.attach a2 (A.get_root a2 0) in
+  let records, truncated = Pring.decode r2 in
+  Alcotest.(check int) "all published records survive" 5 (List.length records);
+  Alcotest.(check int) "no truncation" 0 truncated;
+  check_pring_prefix ~msg:"durable" records;
+  (* the recovered append position continues the chain *)
+  pring_append r2 ~lane:0 ~seq:6;
+  let records, _ = Pring.decode r2 in
+  Alcotest.(check int) "append after reattach" 6 (List.length records)
+
+let test_pring_wraparound () =
+  let a = fresh () in
+  let r = Pring.create ~lanes:1 ~capacity:8 a in
+  for s = 1 to 20 do
+    pring_append r ~lane:0 ~seq:s
+  done;
+  let records, truncated = Pring.decode r in
+  Alcotest.(check int) "capacity newest records" 8 (List.length records);
+  Alcotest.(check int) "wrap is not truncation" 0 truncated;
+  Alcotest.(check (list int)) "newest window survives"
+    [ 13; 14; 15; 16; 17; 18; 19; 20 ]
+    (List.map (fun (rc : Pring.record) -> rc.Pring.r_seq) records)
+
+let test_pring_torn_tail_fuzz () =
+  (* Crash at every point inside the publish window of one more record:
+     decode must return exactly the fully published prefix — the torn
+     tail fails its CRC and is dropped, never a torn record surfaced,
+     never an earlier record lost. *)
+  for seed = 0 to 29 do
+    let rng = Util.Prng.create (Int64.of_int (1000 + seed)) in
+    let a = fresh () in
+    let r = Pring.create ~lanes:1 ~capacity:32 a in
+    A.set_root a 0 (Pring.handle r);
+    let n = 5 + Util.Prng.int rng 20 in
+    for s = 1 to n do
+      pring_append r ~lane:0 ~seq:s
+    done;
+    let region = A.region a in
+    Region.arm_crash region ~after_ops:(Util.Prng.int rng 8);
+    let completed =
+      match pring_append r ~lane:0 ~seq:(n + 1) with
+      | () -> true
+      | exception Region.Power_failure -> false
+    in
+    Region.disarm_crash region;
+    Region.crash region (Region.Adversarial rng);
+    let a2 = reopen a in
+    let r2 = Pring.attach a2 (A.get_root a2 0) in
+    let records, _ = Pring.decode r2 in
+    let m = List.length records in
+    let msg = Printf.sprintf "seed %d (n=%d, completed=%b)" seed n completed in
+    if completed then
+      Alcotest.(check int) (msg ^ ": fenced tail survives") (n + 1) m
+    else
+      Alcotest.(check bool)
+        (msg ^ ": prefix only, torn tail dropped")
+        true
+        (m = n || m = n + 1);
+    check_pring_prefix ~msg records
+  done
+
+let test_pring_mid_ring_corruption () =
+  (* A media fault on a mid-ring record truncates the lane there — the
+     still-CRC-valid records after the hole are dropped (WAL posture),
+     and the decode reports the truncation. *)
+  let rng = Util.Prng.create 77L in
+  let a = fresh () in
+  let r = Pring.create ~lanes:1 ~capacity:16 a in
+  for s = 1 to 10 do
+    pring_append r ~lane:0 ~seq:s
+  done;
+  let data_off =
+    match Pring.extents r with [ _; (d, _) ] -> d | _ -> assert false
+  in
+  (* wound record seq 4 (ring position 3) *)
+  Region.inject_fault (A.region a) rng
+    (Region.Corrupt_range { off = data_off + (3 * 32) + 4; len = 8 });
+  let records, truncated = Pring.decode r in
+  Alcotest.(check int) "kept only the prefix before the hole" 3
+    (List.length records);
+  Alcotest.(check int) "lane reported truncated" 1 truncated;
+  check_pring_prefix ~msg:"mid-ring corruption" records
+
 (* -------- qcheck properties -------- *)
 
 let prop_pvector_model =
@@ -785,6 +919,20 @@ let () =
             test_pbtree_attach_after_crash;
           Alcotest.test_case "crash fuzz" `Quick test_pbtree_crash_fuzz_prefix;
           QCheck_alcotest.to_alcotest prop_pbtree_model;
+        ] );
+      ( "pring",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_pring_roundtrip;
+          Alcotest.test_case "fresh ring decodes empty" `Quick
+            test_pring_fresh_empty;
+          Alcotest.test_case "durable across crash" `Quick
+            test_pring_durable_across_crash;
+          Alcotest.test_case "wraparound keeps newest" `Quick
+            test_pring_wraparound;
+          Alcotest.test_case "torn tail crash fuzz" `Quick
+            test_pring_torn_tail_fuzz;
+          Alcotest.test_case "mid-ring corruption truncates" `Quick
+            test_pring_mid_ring_corruption;
         ] );
       ( "sanitizer",
         [
