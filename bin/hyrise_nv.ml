@@ -46,6 +46,26 @@ let jobs_arg =
 
 let set_jobs = function Some n -> Par.set_jobs n | None -> ()
 
+let writers_arg =
+  let doc =
+    "Writer lanes for the epoch-batched commit pipeline (default: \
+     $(b,HYRISE_NV_WRITERS) or $(b,1), the exact serial commit path). \
+     With $(b,N) > 1 the workloads run through pre-drawn transaction \
+     specs and the multi-lane pipeline, and the domain pool is widened \
+     to at least N+1 slots (N staging lanes plus the committer)."
+  in
+  Arg.(value & opt (some int) None & info [ "writers" ] ~docv:"N" ~doc)
+
+(* Apply the --writers override (the engine already honours
+   HYRISE_NV_WRITERS on its own) and make sure the pool can actually
+   carry the pipeline: [writers] staging lanes plus the committer
+   slot 0. Returns the effective writer count. *)
+let arm_writers writers engine =
+  (match writers with Some n -> Engine.set_writers engine n | None -> ());
+  let w = Engine.writers engine in
+  if w > 1 && Par.jobs () < w + 1 then Par.set_jobs (w + 1);
+  w
+
 (* -- load -- *)
 
 let load jobs rows image size_mb seed =
@@ -210,11 +230,12 @@ let torture_cmd =
 
 (* -- sanitize -- *)
 
-let sanitize jobs size_mb seed ops json =
+let sanitize jobs writers size_mb seed ops json =
   (* traced engines fan out like any other since the sanitizer merges
      per-lane traces at each join — --jobs N is the real lane count *)
   set_jobs jobs;
   let failures = ref 0 in
+  let writers_used = ref 1 in
   let phase_docs = ref [] in
   let phase name f =
     Printf.printf "=== %s under the persist-order sanitizer (%d lane(s)) ===\n%!"
@@ -238,32 +259,50 @@ let sanitize jobs size_mb seed ops json =
   phase "YCSB" (fun () ->
       let rng = Prng.create (Int64.of_int seed) in
       let engine = Engine.create ~sanitize:true cfg in
+      let w = arm_writers writers engine in
+      writers_used := max !writers_used w;
       let ycfg = { Ycsb.default_config with rows = 2_000 } in
       let sess = Ycsb.setup engine (Prng.split rng) ycfg in
-      ignore (Ycsb.run sess (Prng.split rng) ~ops);
+      (* with writers > 1 the run goes through the multi-lane pipeline,
+         so the sanitizer sees lane-staged reads + the grouped seal *)
+      let drive sess rng ~ops =
+        if Engine.writers (Ycsb.engine sess) > 1 then
+          ignore (Ycsb.run_specs sess (Ycsb.gen_specs sess rng ~ops))
+        else ignore (Ycsb.run sess rng ~ops)
+      in
+      drive sess (Prng.split rng) ~ops;
       (* power-fail with adversarial eviction, recover under the same
          checker, keep working, then merge (the generation swap) *)
       let crashed = Engine.crash engine (Region.Adversarial (Prng.split rng)) in
       let e2, _ = Engine.recover crashed in
+      ignore (arm_writers writers e2);
       let sess2 = Ycsb.attach e2 ycfg in
-      ignore (Ycsb.run sess2 (Prng.split rng) ~ops:(ops / 2));
+      drive sess2 (Prng.split rng) ~ops:(ops / 2);
       ignore (Engine.merge e2 Ycsb.table_name);
       Option.get (Engine.sanitizer e2));
   phase "TPC-C-lite" (fun () ->
       let rng = Prng.create (Int64.of_int (seed + 7)) in
       let engine = Engine.create ~sanitize:true cfg in
+      let w = arm_writers writers engine in
+      writers_used := max !writers_used w;
+      let drive sess rng ~ops =
+        if Engine.writers (Tpcc.engine sess) > 1 then
+          ignore (Tpcc.run_specs sess (Tpcc.gen_specs sess rng ~ops ()))
+        else ignore (Tpcc.run sess rng ~ops ())
+      in
       let sess =
         Tpcc.setup engine ~warehouses:2 ~districts_per_wh:3
           ~customers_per_district:8
       in
-      ignore (Tpcc.run sess (Prng.split rng) ~ops ());
+      drive sess (Prng.split rng) ~ops;
       let crashed = Engine.crash engine (Region.Adversarial (Prng.split rng)) in
       let e2, _ = Engine.recover crashed in
+      ignore (arm_writers writers e2);
       let sess2 =
         Tpcc.attach e2 ~warehouses:2 ~districts_per_wh:3
           ~customers_per_district:8
       in
-      ignore (Tpcc.run sess2 (Prng.split rng) ~ops:(ops / 2) ());
+      drive sess2 (Prng.split rng) ~ops:(ops / 2);
       Option.get (Engine.sanitizer e2));
   (match json with
   | None -> ()
@@ -274,6 +313,7 @@ let sanitize jobs size_mb seed ops json =
           [
             ("experiment", J.Str "sanitize");
             ("jobs", J.Int (Par.jobs ()));
+            ("writers", J.Int !writers_used);
             ("seed", J.Int seed);
             ("ops", J.Int ops);
             ("phases", J.List (List.rev !phase_docs));
@@ -306,7 +346,9 @@ let sanitize_cmd =
        ~doc:"Run the workloads under the persist-order crash-consistency \
              checker (fanned out across --jobs lanes) and report \
              violations.")
-    Term.(const sanitize $ jobs_arg $ size_arg $ seed_arg $ ops $ json)
+    Term.(
+      const sanitize $ jobs_arg $ writers_arg $ size_arg $ seed_arg $ ops
+      $ json)
 
 (* -- stats -- *)
 
@@ -337,7 +379,7 @@ let phase_table ~title parent phases =
   Tabular.print t;
   (sum, wall)
 
-let stats jobs size_mb seed ops trace json =
+let stats jobs writers size_mb seed ops trace json =
   set_jobs jobs;
   arm_trace trace;
   Obs.set_enabled true;
@@ -404,6 +446,34 @@ let stats jobs size_mb seed ops trace json =
        if not json then
          Printf.printf "block scan over %s: %d of %d rows match key <= %d\n\n"
            Ycsb.table_name n rows (rows / 100)));
+  (* exercise the writer pipeline (default 2 lanes) so the txn.lane.* /
+     commit.epoch.* counters and gauges are live in the registry dump *)
+  let pipeline_writers = Option.value writers ~default:2 in
+  (let rng = Prng.create (Int64.of_int (seed + 21)) in
+   let engine =
+     Engine.create (Engine.default_config ~size:(size_mb * mib) Engine.Nvm)
+   in
+   Engine.set_writers engine pipeline_writers;
+   ignore (arm_writers None engine);
+   let sess =
+     Ycsb.setup engine (Prng.split rng) { Ycsb.default_config with rows = 1_000 }
+   in
+   let specs = Ycsb.gen_specs sess (Prng.split rng) ~ops:(max 8 (ops / 4)) in
+   let st = Ycsb.run_specs sess specs in
+   Engine.sync_metrics engine;
+   if not json then begin
+     let c name = Obs.counter_value (Obs.counter name) in
+     Printf.printf
+       "writer pipeline (%d lane(s) + committer): %d txns committed, %d \
+        aborted | %d staged, %d re-executed | %d epochs sealed, %d grouped \
+        txns (avg x100: %d)\n\n"
+       (Engine.writers engine)
+       (st.Ycsb.reads + st.Ycsb.updates + st.Ycsb.inserts)
+       st.Ycsb.aborted (c "txn.lane.staged") (c "txn.lane.reexec")
+       (c "commit.epoch.sealed")
+       (c "commit.epoch.txns")
+       (Obs.gauge_value (Obs.gauge "commit.epoch.avg_txns_x100"))
+   end);
   if json then
     let module J = Obs.Json in
     print_endline
@@ -412,6 +482,7 @@ let stats jobs size_mb seed ops trace json =
             [
               ("experiment", J.Str "stats");
               ("jobs", J.Int (Par.jobs ()));
+              ("writers", J.Int pipeline_writers);
               ("seed", J.Int seed);
               ("ops", J.Int ops);
               ( "recovery_wall_ns",
@@ -434,7 +505,9 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:"Crash and recover under both durability modes, then print the \
              per-phase recovery breakdown and the full metrics registry.")
-    Term.(const stats $ jobs_arg $ size_arg $ seed_arg $ ops $ trace_arg $ json)
+    Term.(
+      const stats $ jobs_arg $ writers_arg $ size_arg $ seed_arg $ ops
+      $ trace_arg $ json)
 
 (* -- scrub -- *)
 

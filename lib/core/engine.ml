@@ -73,6 +73,7 @@ type t = {
   ids : (string, int) Hashtbl.t; (* table name -> log table id *)
   mutable names_by_id : string list; (* reversed creation order *)
   mutable mgr : Mvcc.manager;
+  mutable writers : int; (* > 1 arms the epoch-batched commit pipeline *)
   publish_mode : Mvcc.publish_mode;
   san : Nvm.Sanitizer.t option;
   mutable quarantined : string list; (* damaged tables we could not salvage *)
@@ -86,6 +87,18 @@ type t = {
 }
 
 let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+
+let g_writers = Obs.gauge "engine.writers"
+
+(* [HYRISE_NV_WRITERS] arms the writer pipeline process-wide (the CI
+   writers leg); [set_writers] overrides per engine. *)
+let default_writers () =
+  match Sys.getenv_opt "HYRISE_NV_WRITERS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> 1)
+  | None -> 1
 
 let check_open t = if t.closed then raise Closed
 
@@ -151,6 +164,7 @@ let assemble ?(publish_mode = `Batched) ?san cfg region alloc ctrl catalog
         (* placeholder, replaced right below once [t] exists for the
            observer closure *)
         Mvcc.create_manager ~persist_commit:ignore ~last_cid:Cid.zero ();
+      writers = default_writers ();
       publish_mode;
       san;
       quarantined = [];
@@ -277,6 +291,247 @@ let with_txn t f =
       if Mvcc.is_active txn then abort t txn;
       raise e
 
+(* -- writer pipeline (docs/PROTOCOLS.md §13) -- *)
+
+let set_writers t n =
+  let n = max 1 n in
+  t.writers <- n;
+  Obs.set_gauge g_writers n
+
+let writers t = t.writers
+
+(* Run one epoch of the multi-lane commit pipeline: every element of
+   [ops] is one transaction body. With [writers <= 1] this is a plain
+   serial loop over [begin_txn] / op / [commit] — byte-identical to the
+   pre-pipeline engine. With [writers > 1]:
+
+     1. every transaction begins in staging mode and runs its body on
+        the domain pool ([Par.submit_all] — lanes perform only Region
+        reads, PROTOCOLS.md §10/§13);
+     2. a serial seal, in submission order, re-validates each
+        transaction against its epoch peers and applies it
+        ([Mvcc.commit_grouped]); a transaction whose staged validation
+        failed is re-executed inline against a refreshed snapshot (and
+        only aborts if the re-execution itself hits [Write_conflict],
+        exactly as a serial run would);
+     3. [Mvcc.finish_epoch] publishes + persists the whole batch behind
+        one durable last-CID write, and in [Logging] mode the WAL group
+        window turns the epoch into a single fsync batch.
+
+   Per-transaction commit latency is measured from submission to the
+   return of the epoch's durable fence — a transaction is not "done" at
+   its staging append (ISSUE 8 satellite; [?clock] lets tests pin the
+   boundary). Returns per-op committed flags. *)
+let serial_loop t ~clock ~record_latency (ops : (txn -> unit) array) committed =
+  Array.iteri
+    (fun i op ->
+      let t0 = clock () in
+      let txn = Mvcc.begin_txn t.mgr in
+      (try
+         op txn;
+         ignore (Mvcc.commit t.mgr txn);
+         committed.(i) <- true
+       with Mvcc.Write_conflict _ -> Mvcc.abort t.mgr txn);
+      record_latency (clock () - t0))
+    ops
+
+let run_epoch t ?(clock = now_ns) ?latencies (ops : (txn -> unit) array) =
+  check_open t;
+  let n = Array.length ops in
+  let committed = Array.make n false in
+  let record_latency =
+    match latencies with
+    | Some h -> fun dt -> Util.Histogram.record h dt
+    | None -> fun _ -> ()
+  in
+  if n = 0 then committed
+  else if t.writers <= 1 then begin
+    serial_loop t ~clock ~record_latency ops committed;
+    committed
+  end
+  else begin
+    let m = t.mgr in
+    if Mvcc.active_count m > 0 then
+      invalid_arg "Engine.run_epoch: transactions already active";
+    let ep = Mvcc.begin_epoch m in
+    let submit = Array.make n 0 in
+    let txns =
+      Array.init n (fun i ->
+          submit.(i) <- clock ();
+          Mvcc.begin_staged m)
+    in
+    let ok = Array.make n true in
+    (try
+       (* lane phase: stage every transaction body on the pool; a staged
+          validation failure just marks the slot for serial re-execution *)
+       Par.submit_all
+         (Array.init n (fun i () ->
+              try ops.(i) txns.(i)
+              with Mvcc.Staged_conflict _ -> ok.(i) <- false));
+       (* serial seal, in submission order *)
+       Obs.Blackbox.emit ~arg:n Obs.Event.Epoch_seal;
+       (match t.log with Some log -> Wal.Log.begin_group log | None -> ());
+       for i = 0 to n - 1 do
+         let txn = txns.(i) in
+         if ok.(i) && Mvcc.seal_check m ep txn then begin
+           ignore (Mvcc.commit_grouped m ep txn);
+           committed.(i) <- true
+         end
+         else begin
+           Mvcc.reexec_reset m txn;
+           try
+             ops.(i) txn;
+             ignore (Mvcc.commit_grouped m ep txn);
+             committed.(i) <- true
+           with Mvcc.Write_conflict _ -> Mvcc.abort m txn
+         end
+       done;
+       Mvcc.finish_epoch m ep;
+       (match t.log with Some log -> Wal.Log.end_group log | None -> ())
+     with e ->
+       (* unexpected failure mid-epoch: abort what is still active, then
+          still publish + persist the peers already sealed — they have
+          CIDs beyond the durable last-CID and committed volatile state,
+          and must not be lost to a later crash *)
+       Array.iter (fun txn -> if Mvcc.is_active txn then Mvcc.abort m txn) txns;
+       Mvcc.finish_epoch m ep;
+       (match t.log with Some log -> Wal.Log.end_group log | None -> ());
+       raise e);
+    (* commit latency runs to the epoch's durable fence, not the staging
+       append: one fence timestamp covers the whole batch *)
+    let t_fence = clock () in
+    if latencies <> None then
+      Array.iter (fun s -> record_latency (t_fence - s)) submit;
+    committed
+  end
+
+(* Pipelined multi-epoch driver: [ops] is a whole transaction stream,
+   committed in windows of [epoch] with {e double-buffered staging} —
+   window [k+1]'s bodies stage on the worker lanes before window [k]
+   seals on slot 0. That is the sequential rendering of the overlap a
+   concurrent build would run (staging of [k+1] concurrent with the
+   seal of [k]): a window stages against exactly the state the previous
+   window's group commit left behind, and [Mvcc.begin_epoch ~prev]
+   widens its seal validation to the previous window's writes, which
+   are precisely the commits postdating its snapshots.
+
+   [Par.submit_all ~caller:false] keeps the sealer slot out of staging,
+   so the per-slot device ledger prices the pipeline the way the
+   overlap would land on hardware: worker slots carry the staging
+   reads, slot 0 carries only the serial seal, the re-executions and
+   the group commit. The pool should run one more slot than there are
+   writer lanes ([Par.set_jobs (writers + 1)]) — slot 0 is the
+   committer, a dedicated thread like any group-commit log writer.
+
+   Commit latency still runs from submission to the window's durable
+   fence. [writers <= 1] degrades to the plain serial loop,
+   byte-identical to the pre-pipeline engine. *)
+let run_pipeline t ?(clock = now_ns) ?latencies ?(epoch = 4)
+    (ops : (txn -> unit) array) =
+  check_open t;
+  if epoch <= 0 then invalid_arg "Engine.run_pipeline: epoch must be positive";
+  let n = Array.length ops in
+  let committed = Array.make n false in
+  let record_latency =
+    match latencies with
+    | Some h -> fun dt -> Util.Histogram.record h dt
+    | None -> fun _ -> ()
+  in
+  if n = 0 then committed
+  else if t.writers <= 1 then begin
+    serial_loop t ~clock ~record_latency ops committed;
+    committed
+  end
+  else begin
+    let m = t.mgr in
+    if Mvcc.active_count m > 0 then
+      invalid_arg "Engine.run_pipeline: transactions already active";
+    let submit = Array.make n 0 in
+    let stage lo hi =
+      let w = hi - lo in
+      let txns =
+        Array.init w (fun j ->
+            submit.(lo + j) <- clock ();
+            Mvcc.begin_staged m)
+      in
+      let ok = Array.make w true in
+      Par.submit_all ~caller:false
+        (Array.init w (fun j () ->
+             try ops.(lo + j) txns.(j)
+             with Mvcc.Staged_conflict _ -> ok.(j) <- false));
+      (txns, ok)
+    in
+    let nwin = (n + epoch - 1) / epoch in
+    let bounds k = (k * epoch, min n ((k + 1) * epoch)) in
+    let ep = ref (Mvcc.begin_epoch m) in
+    let cur = ref (let lo, hi = bounds 0 in stage lo hi) in
+    let next = ref None in
+    let in_group = ref false in
+    (try
+       for k = 0 to nwin - 1 do
+         let lo, hi = bounds k in
+         (* stage the next window before this one seals — the overlap *)
+         next :=
+           (if k + 1 < nwin then
+              Some
+                (let nlo, nhi = bounds (k + 1) in
+                 stage nlo nhi)
+            else None);
+         let txns, ok = !cur in
+         Obs.Blackbox.emit ~arg:(hi - lo) Obs.Event.Epoch_seal;
+         (match t.log with
+         | Some log ->
+             Wal.Log.begin_group log;
+             in_group := true
+         | None -> ());
+         for j = 0 to hi - lo - 1 do
+           let txn = txns.(j) in
+           if ok.(j) && Mvcc.seal_check m !ep txn then begin
+             ignore (Mvcc.commit_grouped m !ep txn);
+             committed.(lo + j) <- true
+           end
+           else begin
+             Mvcc.reexec_reset m txn;
+             try
+               ops.(lo + j) txn;
+               ignore (Mvcc.commit_grouped m !ep txn);
+               committed.(lo + j) <- true
+             with Mvcc.Write_conflict _ -> Mvcc.abort m txn
+           end
+         done;
+         Mvcc.finish_epoch m !ep;
+         (match t.log with
+         | Some log ->
+             Wal.Log.end_group log;
+             in_group := false
+         | None -> ());
+         let t_fence = clock () in
+         if latencies <> None then
+           for i = lo to hi - 1 do
+             record_latency (t_fence - submit.(i))
+           done;
+         ep := Mvcc.begin_epoch ~prev:!ep m;
+         match !next with Some w -> cur := w | None -> ()
+       done
+     with e ->
+       (* failure mid-stream: abort whatever is still staged in either
+          buffer, then publish + persist the already-sealed peers of the
+          open window — they hold CIDs beyond the durable last-CID *)
+       let abort_window (txns, _) =
+         Array.iter
+           (fun txn -> if Mvcc.is_active txn then Mvcc.abort m txn)
+           txns
+       in
+       abort_window !cur;
+       (match !next with Some w -> abort_window w | None -> ());
+       Mvcc.finish_epoch m !ep;
+       (match t.log with
+       | Some log -> if !in_group then Wal.Log.end_group log
+       | None -> ());
+       raise e);
+    committed
+  end
+
 (* -- DML / queries -- *)
 
 let insert t txn name values =
@@ -294,6 +549,7 @@ let delete t txn name row =
 let get_row t txn name row =
   check_open t;
   let table = table t name in
+  Mvcc.read_row txn table row;
   if row < 0 || row >= Table.row_count table then None
   else if Mvcc.row_visible txn table row then Some (Table.get_row table row)
   else None
@@ -301,6 +557,7 @@ let get_row t txn name row =
 let scan t txn name f =
   check_open t;
   let table = table t name in
+  Mvcc.read_table txn table;
   for row = 0 to Table.row_count table - 1 do
     if Mvcc.row_visible txn table row then f row (Table.get_row table row)
   done
@@ -314,6 +571,7 @@ let lookup t txn name ~col value =
   check_open t;
   let table = table t name in
   let ci = Schema.find_column (Table.schema table) col in
+  Mvcc.read_point txn table ~col:ci value;
   List.filter_map
     (fun row ->
       if Mvcc.row_visible txn table row then Some (row, Table.get_row table row)
@@ -328,6 +586,7 @@ let count t txn name =
 let sum_int t txn name ~col =
   check_open t;
   let table = table t name in
+  Mvcc.read_table txn table;
   let ci = Schema.find_column (Table.schema table) col in
   let acc = ref 0 in
   for row = 0 to Table.row_count table - 1 do
@@ -346,15 +605,21 @@ let to_filters fs =
 
 let where ?impl t txn name fs =
   check_open t;
-  Query.Scan.select ?impl txn (table t name) ~filters:(to_filters fs)
+  let table = table t name in
+  Mvcc.read_table txn table;
+  Query.Scan.select ?impl txn table ~filters:(to_filters fs)
 
 let count_where ?impl t txn name fs =
   check_open t;
-  Query.Scan.count ?impl txn (table t name) ~filters:(to_filters fs)
+  let table = table t name in
+  Mvcc.read_table txn table;
+  Query.Scan.count ?impl txn table ~filters:(to_filters fs)
 
 let aggregate ?impl t txn name ?group_by ~specs ?(filters = []) () =
   check_open t;
-  Query.Aggregate.run ?impl txn (table t name) ?group_by ~specs
+  let table = table t name in
+  Mvcc.read_table txn table;
+  Query.Aggregate.run ?impl txn table ?group_by ~specs
     ~filters:(to_filters filters) ()
 
 (* -- merge / checkpoint -- *)
@@ -1154,5 +1419,12 @@ let sync_metrics t =
   Obs.set_gauge (Obs.gauge "wal.flushes") (log_flushes t);
   Obs.set_gauge (Obs.gauge "engine.last_cid") (Int64.to_int (last_cid t));
   Obs.set_gauge (Obs.gauge "engine.active_txns") (active_txns t);
+  Obs.set_gauge g_writers t.writers;
+  (* writer-pipeline derived gauge: average write txns per group commit *)
+  let sealed = Obs.counter_value (Obs.counter "commit.epoch.sealed") in
+  let etxns = Obs.counter_value (Obs.counter "commit.epoch.txns") in
+  Obs.set_gauge
+    (Obs.gauge "commit.epoch.avg_txns_x100")
+    (if sealed = 0 then 0 else 100 * etxns / sealed);
   if not t.closed then
     Obs.set_gauge (Obs.gauge "engine.data_bytes") (data_bytes t)

@@ -82,6 +82,52 @@ val with_txn : t -> (txn -> 'a) -> 'a
 (** Run, then commit; aborts and re-raises on exception (including
     {!Txn.Mvcc.Write_conflict}). *)
 
+(** {1 Writer pipeline}
+
+    The multi-lane commit pipeline (docs/PROTOCOLS.md §13): transaction
+    bodies stage on the domain pool with zero cross-lane NVM stores, a
+    serial seal applies them in submission order, and one durable
+    last-CID persist (group commit) covers the whole epoch. *)
+
+val set_writers : t -> int -> unit
+(** Arm the pipeline for {!run_epoch}: [n <= 1] keeps the serial path
+    (byte-identical to the pre-pipeline engine), [n > 1] batches. Lane
+    parallelism itself comes from the {!Par} pool width ([--jobs]);
+    benches and the CLI set both together. Defaults to
+    [HYRISE_NV_WRITERS] (else 1). *)
+
+val writers : t -> int
+
+val run_epoch :
+  t -> ?clock:(unit -> int) -> ?latencies:Util.Histogram.t ->
+  (txn -> unit) array -> bool array
+(** Run one epoch: each element of the array is one transaction body
+    (begin/commit handled by the pipeline; a body may be re-executed
+    once serially if its staged validation failed, so it must be a pure
+    function of the database state it reads). Requires no other active
+    transactions when the pipeline is armed. Returns per-op committed
+    flags ([false] = aborted on {!Txn.Mvcc.Write_conflict}).
+    [latencies] records per-transaction commit latency measured to the
+    epoch's durable fence — not the staging append — so pipelined
+    latencies stay comparable with the serial baseline; [clock] (tests)
+    substitutes the nanosecond clock those boundaries are read from. *)
+
+val run_pipeline :
+  t -> ?clock:(unit -> int) -> ?latencies:Util.Histogram.t -> ?epoch:int ->
+  (txn -> unit) array -> bool array
+(** Run a whole transaction stream through the pipeline in windows of
+    [epoch] (default 4) with {e double-buffered staging}: window [k+1]
+    stages on the worker lanes before window [k] seals, the sequential
+    rendering of the stage/seal overlap a concurrent build would run —
+    slot 0 acts as a dedicated committer and takes no staging work, so
+    run the pool one slot wider than the writer count
+    ([Par.set_jobs (writers + 1)]). Seal validation of a window also
+    covers the previous window's writes (exactly the commits postdating
+    its snapshots), so results stay byte-identical to the serial order.
+    Same contract as {!run_epoch} otherwise: per-op committed flags,
+    latency to each window's durable fence, serial loop when
+    [writers <= 1]. *)
+
 (** {1 DML / queries} — table addressed by name; rows by physical id *)
 
 val insert : t -> txn -> string -> Storage.Value.t array -> int

@@ -255,6 +255,8 @@ module Event = struct
     | Table_attach
     | Engine_ready
     | Full_health
+    | Epoch_seal
+    | Group_commit
 
   type t = { seq : int; lane : int; kind : kind; arg : int; t_ns : int }
 
@@ -276,6 +278,8 @@ module Event = struct
     | Table_attach -> 14
     | Engine_ready -> 15
     | Full_health -> 16
+    | Epoch_seal -> 17
+    | Group_commit -> 18
 
   let kind_of_code = function
     | 0 -> Some Txn_begin
@@ -295,6 +299,8 @@ module Event = struct
     | 14 -> Some Table_attach
     | 15 -> Some Engine_ready
     | 16 -> Some Full_health
+    | 17 -> Some Epoch_seal
+    | 18 -> Some Group_commit
     | _ -> None
 
   let kind_name = function
@@ -315,6 +321,8 @@ module Event = struct
     | Table_attach -> "table-attach"
     | Engine_ready -> "engine-ready"
     | Full_health -> "full-health"
+    | Epoch_seal -> "epoch-seal"
+    | Group_commit -> "group-commit"
 
   (* Recovery_phase arg codes: which phase just completed *)
   let ph_heap_scan = 0

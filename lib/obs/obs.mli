@@ -149,6 +149,12 @@ module Event : sig
     | Table_attach  (** arg = catalog index; lane = attaching slot *)
     | Engine_ready  (** first-query point: the engine is open *)
     | Full_health  (** verify/salvage complete, nothing quarantined *)
+    | Epoch_seal
+        (** writer pipeline: lane staging done, serial seal of the epoch
+            begins; arg = transactions in the batch *)
+    | Group_commit
+        (** writer pipeline: the epoch's single durable last-CID persist
+            completed; arg = write transactions covered by it *)
 
   type t = { seq : int; lane : int; kind : kind; arg : int; t_ns : int }
   (** [seq] is a process-global monotonic sequence number (merge key

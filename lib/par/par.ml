@@ -291,6 +291,44 @@ let map_chunks ?(force_serial = false) ~chunk ~n f =
     Array.map (function Some v -> v | None -> assert false) out
   end
 
+(* Submit-style work path (writer pipeline): [n] independent tasks pulled
+   off a shared cursor by whichever lane is free. Unlike the strided
+   entry points above, task→lane assignment is dynamic — callers must
+   not depend on it (the pipeline's staging tasks are Region-read-only
+   and commutative, so they don't). Each task still fires the [on_chunk]
+   sync edge with its own index, so the sanitizer merges lane traces in
+   task order exactly as it does for strided chunks.
+
+   [~caller:false] keeps slot 0 out of the task pull: the caller only
+   dispatches and joins. The pipelined commit driver uses this so the
+   sealer slot's device clock carries serial seal work only, while the
+   worker slots carry the staging reads — the per-slot ledger then
+   reflects a stage/seal overlap a concurrent build would get. Ignored
+   (the caller works) when no worker exists to take the tasks. *)
+let submit_all ?(force_serial = false) ?(caller = true) tasks =
+  let n = Array.length tasks in
+  if n > 0 then begin
+    let lanes = effective_lanes force_serial in
+    if lanes <= 1 || (n <= 1 && caller) then
+      Array.iter (fun task -> task ()) tasks
+    else begin
+      let cursor = Atomic.make 0 in
+      run_lanes (fun () ->
+          if caller || Util.Domain_slot.get () <> 0 then begin
+            let continue = ref true in
+            while !continue do
+              let i = Atomic.fetch_and_add cursor 1 in
+              if i >= n then continue := false
+              else begin
+                sync (fun h -> h.on_chunk i);
+                tasks.(i) ()
+              end
+            done
+          end);
+      Obs.add c_tasks n
+    end
+  end
+
 let map_array ?force_serial f arr =
   let n = Array.length arr in
   map_chunks ?force_serial ~chunk:1 ~n (fun ~lo ~hi:_ -> f arr.(lo))

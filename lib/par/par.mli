@@ -70,6 +70,19 @@ val map_chunks :
     chunk→lane assignment is the same static stride as
     {!parallel_for}. *)
 
+val submit_all : ?force_serial:bool -> ?caller:bool -> (unit -> unit) array -> unit
+(** Run [n] independent tasks on the pool, each pulled off a shared
+    cursor by whichever lane is free (the writer pipeline's staging
+    phase). Task→lane assignment is {e dynamic} — unlike the strided
+    entry points, callers must not depend on it; tasks must be
+    commutative and, per the §10 contract, Region-read-only. Each task
+    fires the [on_chunk] sync edge with its own index. A full join: all
+    task writes (to task-private volatile state) are visible at return.
+    [~caller:false] keeps slot 0 out of the pull loop (dispatch + join
+    only), so its device clock stays free for serial work — used by the
+    pipelined commit driver's sealer; ignored when there is no worker.
+    One lane or one task degrades to inline iteration, hook-free. *)
+
 val map_array : ?force_serial:bool -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel map, one task per element (for coarse tasks: merge columns,
     table attach). Results in input order. *)

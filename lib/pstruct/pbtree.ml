@@ -54,6 +54,15 @@ type t = {
   mutable index : int Imap.t;
   mutable size : int;
   mutable built : bool;
+  (* volatile per-leaf generation counters, bumped on every mutation of
+     a leaf (slot write, split source). A reader can snapshot the
+     generations of the leaves it walked and later ask whether the
+     walked range is still exactly what it saw ([snap_valid]) — the
+     writer pipeline's stage-time dictionary probes revalidate this way
+     instead of re-scanning leaves in the serial seal. Never persisted:
+     a fresh attach starts every leaf at generation 0, and snapshots do
+     not outlive the handle that made them. *)
+  leaf_gens : (int, int) Hashtbl.t;
 }
 
 let bitmap t leaf = Region.get_i64 t.region leaf
@@ -124,6 +133,7 @@ let create alloc =
       index = Imap.empty;
       size = 0;
       built = true;
+      leaf_gens = Hashtbl.create 64;
     }
   in
   Seal.write region (handle + 8) (Pvector.handle chunks);
@@ -204,6 +214,7 @@ let attach alloc handle =
     index = Imap.empty;
     size = 0;
     built = false;
+    leaf_gens = Hashtbl.create 64;
   }
 
 let handle t = t.handle
@@ -216,6 +227,11 @@ let lookup_leaf t p =
   match Imap.find_last_opt (fun sep -> Pair.compare sep p <= 0) t.index with
   | Some (_, leaf) -> leaf
   | None -> Imap.find (Int64.min_int, Int64.min_int) t.index
+
+let leaf_gen t leaf =
+  match Hashtbl.find_opt t.leaf_gens leaf with Some g -> g | None -> 0
+
+let bump_gen t leaf = Hashtbl.replace t.leaf_gens leaf (leaf_gen t leaf + 1)
 
 let free_slot bm =
   let rec go s =
@@ -274,42 +290,52 @@ let split t leaf =
   done;
   Region.set_i64 t.region leaf !bm;
   Region.persist t.region leaf 8;
+  bump_gen t leaf;
   t.index <- Imap.add sep nleaf t.index
+
+(* the publication write path shared by [insert] and [insert_fresh]:
+   find (splitting as needed) a free slot in the target leaf and
+   publish the pair into it — key/value durable first, bitmap bit last *)
+let rec insert_slot t k v =
+  let leaf = lookup_leaf t (k, v) in
+  match free_slot (bitmap t leaf) with
+  | None ->
+      split t leaf;
+      insert_slot t k v
+  | Some s ->
+      Region.with_label t.region "pbtree.insert" @@ fun () ->
+      Region.set_i64 t.region (key_off leaf s) k;
+      Region.set_i64 t.region (val_off leaf s) v;
+      Region.writeback t.region (key_off leaf s) 8;
+      Region.writeback t.region (val_off leaf s) 8;
+      Region.fence t.region;
+      Region.expect_ordered t.region ~label:"pbtree.insert"
+        ~before:[ (key_off leaf s, 8); (val_off leaf s, 8) ]
+        ~after:leaf;
+      Region.set_i64 t.region leaf
+        (Int64.logor (bitmap t leaf) (Int64.shift_left 1L s));
+      Region.persist t.region leaf 8;
+      bump_gen t leaf;
+      t.size <- t.size + 1
 
 let insert t k v =
   ensure t;
-  let rec go () =
-    let leaf = lookup_leaf t (k, v) in
-    (* merge exact duplicates *)
-    let dup =
-      List.exists (fun (ek, ev) -> ek = k && ev = v) (leaf_entries t leaf)
-    in
-    if not dup then begin
-      match free_slot (bitmap t leaf) with
-      | None ->
-          split t leaf;
-          go ()
-      | Some s ->
-          Region.with_label t.region "pbtree.insert" @@ fun () ->
-          (* key/value durable first, bitmap bit last: atomic publication *)
-          Region.set_i64 t.region (key_off leaf s) k;
-          Region.set_i64 t.region (val_off leaf s) v;
-          Region.writeback t.region (key_off leaf s) 8;
-          Region.writeback t.region (val_off leaf s) 8;
-          Region.fence t.region;
-          Region.expect_ordered t.region ~label:"pbtree.insert"
-            ~before:[ (key_off leaf s, 8); (val_off leaf s, 8) ]
-            ~after:leaf;
-          Region.set_i64 t.region leaf
-            (Int64.logor (bitmap t leaf) (Int64.shift_left 1L s));
-          Region.persist t.region leaf 8;
-          t.size <- t.size + 1
-    end
+  (* merge exact duplicates *)
+  let leaf = lookup_leaf t (k, v) in
+  let dup =
+    List.exists (fun (ek, ev) -> ek = k && ev = v) (leaf_entries t leaf)
   in
-  go ()
+  if not dup then insert_slot t k v
 
-let iter_range t ~lo ~hi f =
+let insert_fresh t k v =
   ensure t;
+  insert_slot t k v
+
+type snap = (int * int) list
+
+let iter_range_snap t ~lo ~hi f =
+  ensure t;
+  let snap = ref [] in
   if Int64.compare lo hi <= 0 then begin
     (* start at the STRICT predecessor separator: when equal keys straddle
        a split boundary, entries with key = lo can live one leaf to the
@@ -325,6 +351,7 @@ let iter_range t ~lo ~hi f =
     in
     let last = ref None in
     let rec walk leaf =
+      snap := (leaf, leaf_gen t leaf) :: !snap;
       let entries =
         List.sort
           (fun (k1, v1) (k2, v2) ->
@@ -350,7 +377,13 @@ let iter_range t ~lo ~hi f =
           | _ -> walk nleaf)
     in
     walk start
-  end
+  end;
+  !snap
+
+let iter_range t ~lo ~hi f = ignore (iter_range_snap t ~lo ~hi f)
+
+let snap_valid t snap =
+  List.for_all (fun (leaf, g) -> leaf_gen t leaf = g) snap
 
 let iter f t = iter_range t ~lo:Int64.min_int ~hi:Int64.max_int f
 

@@ -39,6 +39,16 @@ val insert : t -> int64 -> int64 -> unit
 (** [insert t k v] durably publishes the pair. Exact duplicates (same key
     {e and} value) are merged; equal keys with distinct values coexist. *)
 
+val insert_fresh : t -> int64 -> int64 -> unit
+(** [insert] for a pair the caller {e guarantees} is not in the tree —
+    skips the duplicate-merge scan of the target leaf, so the write costs
+    a bitmap read plus the publication stores instead of a full leaf
+    scan. The column store's insert paths qualify wholesale: dictionary
+    entries bind a fresh value-id and index entries a fresh physical row,
+    so the pair can never pre-exist. Inserting a duplicate through this
+    entry point would make the pair ambiguous to the split repair —
+    don't. *)
+
 val find : t -> int64 -> int64 option
 (** Any value bound to the key (the minimum one, for determinism). *)
 
@@ -47,6 +57,23 @@ val mem : t -> int64 -> bool
 val iter_range : t -> lo:int64 -> hi:int64 -> (int64 -> int64 -> unit) -> unit
 (** All pairs with [lo <= key <= hi] (signed compare), in ascending key
     order; ties ordered by value. *)
+
+type snap
+(** Volatile witness of a range walk: the leaves visited and their
+    generation counters (bumped on every leaf mutation). Tied to this
+    handle — meaningless across [attach]. *)
+
+val iter_range_snap :
+  t -> lo:int64 -> hi:int64 -> (int64 -> int64 -> unit) -> snap
+(** [iter_range] that also returns a witness of the walk. While
+    {!snap_valid} holds, the range's contents are exactly what [f] saw —
+    any insert that could land a key in [lo..hi] must touch (or split) a
+    visited leaf. The writer pipeline's stage-phase dictionary probes use
+    this to revalidate a miss at seal time without re-reading leaves. *)
+
+val snap_valid : t -> snap -> bool
+(** No leaf visited by the walk has been mutated since. O(#leaves
+    visited), pure volatile reads. *)
 
 val iter : (int64 -> int64 -> unit) -> t -> unit
 

@@ -521,6 +521,8 @@ let execute engine stmt =
         "last CID %Ld | data %s | device: %s stores, %s writebacks, %s fences \
          (%s elided), %s device time\n\
          scans (block engine): %s blocks, %s rows in -> %s rows out\n\
+         writer pipeline: %d writer(s) | %s staged, %s re-executed | %s \
+         epochs sealed, %s grouped txns\n\
          %s"
         (Engine.last_cid engine)
         (Tabular.fmt_bytes (Engine.data_bytes engine))
@@ -532,6 +534,11 @@ let execute engine stmt =
         (Tabular.fmt_int (c "scan.blocks"))
         (Tabular.fmt_int (c "scan.rows_in"))
         (Tabular.fmt_int (c "scan.rows_out"))
+        (Engine.writers engine)
+        (Tabular.fmt_int (c "txn.lane.staged"))
+        (Tabular.fmt_int (c "txn.lane.reexec"))
+        (Tabular.fmt_int (c "commit.epoch.sealed"))
+        (Tabular.fmt_int (c "commit.epoch.txns"))
         (Obs.render ())
   | Create_table { table; schema } ->
       Engine.create_table engine ~name:table schema;

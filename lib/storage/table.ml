@@ -309,28 +309,37 @@ let get_row t r = Array.init (Array.length t.cols) (get t r)
 
 (* -- delta dictionary -- *)
 
-let delta_vids_of_value t col v =
+let delta_vids_of_value_snap t col v =
   (* all delta value-ids encoding [v]: tree hits verified semantically
-     (string keys can collide) *)
+     (string keys can collide); also returns the walk's generation
+     witness, so a staged probe can be revalidated at seal time *)
   let key = Value.dict_key v in
   let vids = ref [] in
-  Pbtree.iter_range col.delta_dict_idx ~lo:key ~hi:key (fun _ vid ->
-      let w = Pvector.get col.delta_dictvec (Int64.to_int vid) in
-      if Value.equal (Value.decode t.alloc col.cschema.Schema.ty w) v then
-        vids := Int64.to_int vid :: !vids);
-  List.rev !vids
+  let snap =
+    Pbtree.iter_range_snap col.delta_dict_idx ~lo:key ~hi:key (fun _ vid ->
+        let w = Pvector.get col.delta_dictvec (Int64.to_int vid) in
+        if Value.equal (Value.decode t.alloc col.cschema.Schema.ty w) v then
+          vids := Int64.to_int vid :: !vids)
+  in
+  (List.rev !vids, snap)
+
+let delta_vids_of_value t col v = fst (delta_vids_of_value_snap t col v)
+
+(* encode a value known to be absent from the delta dictionary *)
+let delta_vid_new t col v =
+  let w = Value.encode_with ~add_string:(Parena.add t.arena) v in
+  let vid = Pvector.append col.delta_dictvec w in
+  (* dictionary entries are shared across transactions: durable now,
+     so the tree can never reference an unpublished value-id *)
+  Pvector.publish col.delta_dictvec;
+  (* the value-id is fresh, so the (key, vid) pair cannot pre-exist *)
+  Pbtree.insert_fresh col.delta_dict_idx (Value.dict_key v) (Int64.of_int vid);
+  vid
 
 let delta_vid_for_insert t col v =
   match delta_vids_of_value t col v with
   | vid :: _ -> vid
-  | [] ->
-      let w = Value.encode_with ~add_string:(Parena.add t.arena) v in
-      let vid = Pvector.append col.delta_dictvec w in
-      (* dictionary entries are shared across transactions: durable now,
-         so the tree can never reference an unpublished value-id *)
-      Pvector.publish col.delta_dictvec;
-      Pbtree.insert col.delta_dict_idx (Value.dict_key v) (Int64.of_int vid);
-      vid
+  | [] -> delta_vid_new t col v
 
 (* -- main dictionary -- *)
 
@@ -384,13 +393,13 @@ let rows_with_value t i v =
 
 (* -- writes -- *)
 
-let append_row t values =
+let append_row_with t values vid_for =
   Schema.validate_row t.schema values;
   let p = delta_rows t in
   Array.iteri
     (fun i v ->
       let col = t.cols.(i) in
-      let vid = delta_vid_for_insert t col v in
+      let vid = vid_for i col v in
       let p' = Pvector.append_int col.delta_avec vid in
       assert (p' = p);
       match col.delta_row_idx with
@@ -401,12 +410,49 @@ let append_row t values =
               (Int64.shift_left (Int64.of_int vid) 32)
               (Int64.of_int p)
           in
-          Pbtree.insert idx key (Int64.of_int p))
+          (* the key embeds the fresh physical row: never a duplicate *)
+          Pbtree.insert_fresh idx key (Int64.of_int p))
     values;
   ignore (Pvector.append t.end_v Cid.infinity);
   let p' = Pvector.append t.begin_v Cid.infinity in
   assert (p' = p);
   t.main_rows + p
+
+let append_row t values =
+  append_row_with t values (fun _ col v -> delta_vid_for_insert t col v)
+
+(* Lane-side half of the writer pipeline's staged insert: pure Region
+   reads. Probing the delta dictionary now both validates the row early
+   and caches the probe result, so the serial seal's
+   [append_row_prepared] skips the dictionary walk entirely: a hit
+   stays valid forever (delta dictionaries are append-only), and a miss
+   carries the walk's generation witness — still valid at seal time, it
+   proves the value is still absent, so the seal can take the
+   fresh-insert path without re-reading a single leaf. *)
+type dict_probe = Dict_hit of int | Dict_miss of Pbtree.snap
+
+let stage_probe t values =
+  Schema.validate_row t.schema values;
+  Array.mapi
+    (fun i v ->
+      match delta_vids_of_value_snap t t.cols.(i) v with
+      | vid :: _, _ -> Dict_hit vid
+      | [], snap -> Dict_miss snap)
+    values
+
+let append_row_prepared t ~vids values =
+  if Array.length vids <> Array.length t.cols then
+    invalid_arg "Table.append_row_prepared: vid count mismatch";
+  append_row_with t values (fun i col v ->
+      match vids.(i) with
+      | Dict_hit vid -> vid
+      | Dict_miss snap ->
+          if Pbtree.snap_valid col.delta_dict_idx snap then
+            delta_vid_new t col v
+          else
+            (* an epoch peer touched the probed leaves (possibly
+               inserting this very value): fall back to the full walk *)
+            delta_vid_for_insert t col v)
 
 let stage_publish_secondary t =
   Array.iter (fun col -> Pvector.publish_unfenced col.delta_avec) t.cols;

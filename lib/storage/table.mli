@@ -101,6 +101,27 @@ val append_row : t -> Value.t array -> row
     dictionary values are made durable immediately (they are shared state);
     the row itself becomes durable at [publish]. *)
 
+type dict_probe = Dict_hit of int | Dict_miss of Pstruct.Pbtree.snap
+(** Result of a staged dictionary probe: an existing delta value-id, or
+    a miss carrying the generation witness of the walked index leaves. *)
+
+val stage_probe : t -> Value.t array -> dict_probe array
+(** Lane-side half of a pipelined insert (writer pipeline, PROTOCOLS.md
+    §13): validate the row against the schema and probe the delta
+    dictionary for each value — {e pure Region reads}, safe on a pool
+    lane. A [Dict_hit] caches an existing delta value-id (valid forever:
+    delta dictionaries are append-only); a [Dict_miss] remembers which
+    index leaves proved the absence. *)
+
+val append_row_prepared : t -> vids:dict_probe array -> Value.t array -> row
+(** [append_row] with the dictionary probe pre-paid by {!stage_probe}:
+    cached value-ids are used as-is; a miss whose leaf witness is still
+    valid ({!Pstruct.Pbtree.snap_valid}) proves the value is still
+    absent and takes the fresh-encode path without re-walking the index;
+    a stale witness falls back to the ordinary encode-and-insert path.
+    Byte-identical NVM effects to [append_row] called in the same engine
+    state. *)
+
 val publish : t -> unit
 (** Commit-side durability: makes staged data durable, then the secondary
     lengths (attribute vectors, end-CIDs, invalidation log), then — behind

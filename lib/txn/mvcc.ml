@@ -3,6 +3,7 @@ module Cid = Storage.Cid
 
 exception Write_conflict of string
 exception Not_active of string
+exception Staged_conflict of string
 
 (* Transaction-outcome tallies in the process-wide metrics registry.
    Counter bumps are single [ref] increments — always on. *)
@@ -11,6 +12,13 @@ let c_commit = Obs.counter "txn.commit"
 let c_commit_readonly = Obs.counter "txn.commit_readonly"
 let c_abort = Obs.counter "txn.abort"
 let c_conflict = Obs.counter "txn.conflict"
+
+(* Writer-pipeline tallies: staged begins, seal-time re-executions and
+   group-commit epochs (docs/PROTOCOLS.md §13). *)
+let c_staged = Obs.counter "txn.lane.staged"
+let c_reexec = Obs.counter "txn.lane.reexec"
+let c_epoch_sealed = Obs.counter "commit.epoch.sealed"
+let c_epoch_txns = Obs.counter "commit.epoch.txns"
 
 type event =
   | Ev_insert of { tid : int; table : Table.t; values : Storage.Value.t array }
@@ -26,10 +34,36 @@ type state = Active | Committed | Aborted
 (* rows are identified volatile-side by (table ctrl offset, row id) *)
 type rowkey = int * int
 
+(* Lane-local staging buffer of a pipelined transaction: inserts are
+   recorded volatile-side (values plus the dictionary probe results),
+   with zero NVM stores and zero writes to any manager-shared structure —
+   the whole point of running the staging phase on pool lanes. *)
+(* What a staged transaction observed, at the granularity the engine's
+   read paths naturally offer. Point predicates (index lookups) carry
+   the probed column and value, so two transactions touching different
+   keys of the same table never invalidate each other; whole-table reads
+   (scans, aggregates) are conservative. The seal checks these against
+   the epoch's write log: any overlap means the lane's snapshot may not
+   match what a serial execution would have observed, and the
+   transaction re-executes. *)
+type read_pred =
+  | R_table of Table.t
+  | R_row of Table.t * int
+  | R_point of Table.t * int * Storage.Value.t (* column index, probed value *)
+
+type staged = {
+  mutable st_reads : read_pred list;
+  mutable st_inserts :
+    (Table.t * Storage.Value.t array * Table.dict_probe array) list;
+      (* reversed order of insertion *)
+  st_counts : (int, int) Hashtbl.t; (* table handle -> staged insert count *)
+}
+
 type txn = {
   tid : int;
-  snapshot : Cid.t;
+  mutable snapshot : Cid.t; (* refreshed by [reexec_reset] only *)
   mutable state : state;
+  mutable staged : staged option; (* Some = pipelined staging mode *)
   mutable inserted : (Table.t * int) list; (* reversed order of insertion *)
   inserted_set : (rowkey, unit) Hashtbl.t;
   mutable invalidated : (Table.t * int) list;
@@ -69,6 +103,7 @@ let begin_txn m =
       tid = m.next_tid;
       snapshot = m.last;
       state = Active;
+      staged = None;
       inserted = [];
       inserted_set = Hashtbl.create 8;
       invalidated = [];
@@ -90,6 +125,34 @@ let check_active t fn =
     raise (Not_active (Printf.sprintf "Mvcc.%s: txn %d is finished" fn t.tid))
 
 let key table row = (Table.handle table, row)
+
+(* -- staged read-set recording --
+
+   Called by the engine's read paths. No-ops outside staged mode, so the
+   serial path pays one branch per read call. Dedup keeps the list to a
+   handful of entries per transaction (one per distinct query, not per
+   row). *)
+
+let pred_mem p preds =
+  List.exists
+    (fun q ->
+      match (p, q) with
+      | R_table a, R_table b -> a == b
+      | R_row (a, r1), R_row (b, r2) -> a == b && r1 = r2
+      | R_point (a, c1, v1), R_point (b, c2, v2) ->
+          a == b && c1 = c2 && Storage.Value.equal v1 v2
+      | _ -> false)
+    preds
+
+let note_read t p =
+  match t.staged with
+  | None -> ()
+  | Some st ->
+      if not (pred_mem p st.st_reads) then st.st_reads <- p :: st.st_reads
+
+let read_table t table = note_read t (R_table table)
+let read_row t table row = note_read t (R_row (table, row))
+let read_point t table ~col value = note_read t (R_point (table, col, value))
 
 let row_visible t table row =
   let k = key table row in
@@ -148,13 +211,27 @@ let visible_block t table ~base ?begin_cids ~end_cids sel n =
 
 let insert m t table values =
   check_active t "insert";
-  let row = Table.append_row table values in
-  let k = key table row in
-  Hashtbl.replace m.locks k t.tid;
-  t.inserted <- (table, row) :: t.inserted;
-  Hashtbl.replace t.inserted_set k ();
-  m.observer (Ev_insert { tid = t.tid; table; values });
-  row
+  match t.staged with
+  | Some st ->
+      (* lane phase: schema validation + dictionary probe are pure Region
+         reads; the append itself is deferred to the serial seal. The
+         predicted row id assumes every earlier staged insert of this
+         transaction lands — callers must not read or claim it before
+         commit (our workload drivers never do). *)
+      let vids = Table.stage_probe table values in
+      let h = Table.handle table in
+      let n = Option.value ~default:0 (Hashtbl.find_opt st.st_counts h) in
+      Hashtbl.replace st.st_counts h (n + 1);
+      st.st_inserts <- (table, values, vids) :: st.st_inserts;
+      Table.row_count table + n
+  | None ->
+      let row = Table.append_row table values in
+      let k = key table row in
+      Hashtbl.replace m.locks k t.tid;
+      t.inserted <- (table, row) :: t.inserted;
+      Hashtbl.replace t.inserted_set k ();
+      m.observer (Ev_insert { tid = t.tid; table; values });
+      row
 
 let conflict fmt =
   Printf.ksprintf
@@ -164,23 +241,51 @@ let conflict fmt =
       raise (Write_conflict msg))
     fmt
 
+(* A staged-phase validation failure is not a transaction outcome: the
+   seal re-executes the transaction serially against a fresh snapshot
+   (which reproduces exactly what the serial path would have seen), so no
+   conflict/abort tally moves and no flight-recorder event is emitted —
+   only [txn.lane.reexec] counts the retry. *)
+let staged_conflict fmt =
+  Printf.ksprintf (fun msg -> raise (Staged_conflict msg)) fmt
+
 let claim m t table row =
   check_active t "claim";
   let k = key table row in
-  (match Hashtbl.find_opt m.locks k with
-  | Some owner when owner <> t.tid ->
-      conflict "row %d of %s claimed by txn %d" row (Table.name table) owner
-  | _ -> ());
-  if not (row_visible t table row) then
-    conflict "row %d of %s is not visible to txn %d" row (Table.name table)
-      t.tid;
-  (* a version invalidated by a committed-later transaction conflicts even
-     though it may still be visible to our older snapshot *)
-  if Table.end_cid table row <> Cid.infinity then
-    conflict "row %d of %s already invalidated" row (Table.name table);
-  Hashtbl.replace m.locks k t.tid;
-  t.invalidated <- (table, row) :: t.invalidated;
-  Hashtbl.replace t.invalidated_set k ()
+  match t.staged with
+  | Some _ ->
+      (* lane phase: validate read-only — no lock-table write (shared
+         across lanes), no NVM store. The claim is recorded privately and
+         re-validated by [seal_check] in the serial section. *)
+      (match Hashtbl.find_opt m.locks k with
+      | Some owner when owner <> t.tid ->
+          staged_conflict "row %d of %s claimed by txn %d" row
+            (Table.name table) owner
+      | _ -> ());
+      if not (row_visible t table row) then
+        staged_conflict "row %d of %s is not visible to txn %d" row
+          (Table.name table) t.tid;
+      if Table.end_cid table row <> Cid.infinity then
+        staged_conflict "row %d of %s already invalidated" row
+          (Table.name table);
+      t.invalidated <- (table, row) :: t.invalidated;
+      Hashtbl.replace t.invalidated_set k ()
+  | None ->
+      (match Hashtbl.find_opt m.locks k with
+      | Some owner when owner <> t.tid ->
+          conflict "row %d of %s claimed by txn %d" row (Table.name table)
+            owner
+      | _ -> ());
+      if not (row_visible t table row) then
+        conflict "row %d of %s is not visible to txn %d" row
+          (Table.name table) t.tid;
+      (* a version invalidated by a committed-later transaction conflicts
+         even though it may still be visible to our older snapshot *)
+      if Table.end_cid table row <> Cid.infinity then
+        conflict "row %d of %s already invalidated" row (Table.name table);
+      Hashtbl.replace m.locks k t.tid;
+      t.invalidated <- (table, row) :: t.invalidated;
+      Hashtbl.replace t.invalidated_set k ()
 
 let update m t table row values =
   claim m t table row;
@@ -198,8 +303,29 @@ let release_locks m t =
   List.iter drop t.inserted;
   List.iter drop t.invalidated
 
+(* publish every touched table with O(1) fences: secondary lengths (and
+   all staged data) first, then the begin-CID lengths — the row-existence
+   authority — behind a second fence *)
+let publish_touched m touched =
+  match m.publish_mode with
+  | `Batched ->
+      let witness = ref None in
+      Hashtbl.iter
+        (fun _ table ->
+          witness := Some table;
+          Table.stage_publish_secondary table)
+        touched;
+      (match !witness with Some table -> Table.fence table | None -> ());
+      Hashtbl.iter (fun _ table -> Table.stage_publish_begin table) touched;
+      (match !witness with Some table -> Table.fence table | None -> ())
+  | `Per_table -> Hashtbl.iter (fun _ table -> Table.publish table) touched
+  | `Per_vector ->
+      Hashtbl.iter (fun _ table -> Table.publish_each_vector table) touched
+
 let commit m t =
   check_active t "commit";
+  if t.staged <> None then
+    invalid_arg "Mvcc.commit: staged transaction must seal via commit_grouped";
   if t.inserted = [] && t.invalidated = [] then begin
     (* read-only: nothing to make durable *)
     t.state <- Committed;
@@ -213,9 +339,7 @@ let commit m t =
     (* 1. stamp version timestamps (staged write-backs) *)
     List.iter (fun (table, row) -> Table.set_begin_cid table row cid) t.inserted;
     List.iter (fun (table, row) -> Table.set_end_cid table row cid) t.invalidated;
-    (* 2. publish every touched table with O(1) fences: secondary lengths
-       (and all staged data) first, then the begin-CID lengths — the
-       row-existence authority — behind a second fence *)
+    (* 2. publish the touched tables *)
     let touched = Hashtbl.create 4 in
     List.iter
       (fun (table, _) -> Hashtbl.replace touched (Table.handle table) table)
@@ -223,20 +347,7 @@ let commit m t =
     List.iter
       (fun (table, _) -> Hashtbl.replace touched (Table.handle table) table)
       t.invalidated;
-    (match m.publish_mode with
-    | `Batched ->
-        let witness = ref None in
-        Hashtbl.iter
-          (fun _ table ->
-            witness := Some table;
-            Table.stage_publish_secondary table)
-          touched;
-        (match !witness with Some table -> Table.fence table | None -> ());
-        Hashtbl.iter (fun _ table -> Table.stage_publish_begin table) touched;
-        (match !witness with Some table -> Table.fence table | None -> ())
-    | `Per_table -> Hashtbl.iter (fun _ table -> Table.publish table) touched
-    | `Per_vector ->
-        Hashtbl.iter (fun _ table -> Table.publish_each_vector table) touched);
+    publish_touched m touched;
     (* 3. the durable commit point *)
     m.persist_commit cid;
     m.observer (Ev_commit { tid = t.tid; cid; invalidated = t.invalidated });
@@ -255,8 +366,214 @@ let commit m t =
 let abort m t =
   check_active t "abort";
   t.state <- Aborted;
+  t.staged <- None;
   release_locks m t;
   Hashtbl.remove m.active t.tid;
   Obs.incr c_abort;
   Obs.Blackbox.emit ~arg:t.tid Obs.Event.Txn_abort;
   m.observer (Ev_abort { tid = t.tid })
+
+(* -- writer pipeline: epoch-batched group commit (PROTOCOLS.md §13) --
+
+   One epoch = a batch of transactions that stage on pool lanes (pure
+   Region reads, all bookkeeping lane-local), then seal in submission
+   order under a serial critical section: each transaction's staged
+   claims are re-validated, its inserts physically appended (in exactly
+   the order the serial engine would have produced), its CIDs stamped —
+   and publication plus the durable last-CID persist happen ONCE for the
+   whole batch in [finish_epoch]. Until that single [persist_commit],
+   every CID of the epoch is beyond the durable last-CID, so a crash
+   anywhere inside the epoch rolls the whole batch back: group commit is
+   all-or-nothing by the same argument that makes a single serial commit
+   atomic. *)
+
+(* Per-table write log of the epoch: every row a sealed transaction
+   appended (inserts and fresh update versions) or end-stamped. Later
+   seals test their read predicates against it; the decode cache keeps
+   point-predicate checks to one column decode per written row. *)
+type epoch_writes = {
+  ew_table : Table.t;
+  mutable ew_rows : int list;
+  ew_vals : (int * int, Storage.Value.t) Hashtbl.t; (* (row, col) -> value *)
+}
+
+type epoch = {
+  e_touched : (int, Table.t) Hashtbl.t; (* handle -> table, whole batch *)
+  mutable e_writes : epoch_writes list;
+  e_prev : epoch_writes list;
+      (* frozen write log of the previous epoch, for double-buffered
+         staging: a transaction staged while epoch [k] was sealing has a
+         snapshot from before [k], so its seal in epoch [k+1] must also
+         test its reads against everything [k] wrote *)
+  mutable e_commits : int list; (* deferred Txn_commit args, reversed *)
+  mutable e_txns : int; (* write transactions sealed into the batch *)
+}
+
+let begin_epoch ?prev _m =
+  {
+    e_touched = Hashtbl.create 8;
+    e_writes = [];
+    e_prev = (match prev with Some ep -> ep.e_writes | None -> []);
+    e_commits = [];
+    e_txns = 0;
+  }
+
+let epoch_txns ep = ep.e_txns
+
+let begin_staged m =
+  let t = begin_txn m in
+  t.staged <-
+    Some { st_reads = []; st_inserts = []; st_counts = Hashtbl.create 4 };
+  Obs.incr c_staged;
+  t
+
+let is_staged t = t.staged <> None
+
+(* Does the epoch's write log intersect one read predicate? Point
+   predicates decode exactly the probed column of each row written to
+   that table (cached — each written row is decoded at most once per
+   column across the whole epoch); whole-table predicates conflict with
+   any write to the table. *)
+let read_overlaps_in writes pred =
+  let writes_of table =
+    List.find_opt (fun ew -> ew.ew_table == table) writes
+  in
+  match pred with
+  | R_table table -> (
+      match writes_of table with Some ew -> ew.ew_rows <> [] | None -> false)
+  | R_row (table, row) -> (
+      match writes_of table with
+      | Some ew -> List.mem row ew.ew_rows
+      | None -> false)
+  | R_point (table, col, v) -> (
+      match writes_of table with
+      | None -> false
+      | Some ew ->
+          List.exists
+            (fun row ->
+              let dv =
+                match Hashtbl.find_opt ew.ew_vals (row, col) with
+                | Some dv -> dv
+                | None ->
+                    let dv = Table.get table row col in
+                    Hashtbl.add ew.ew_vals (row, col) dv;
+                    dv
+              in
+              Storage.Value.equal dv v)
+            ew.ew_rows)
+
+let seal_check m ep t =
+  check_active t "seal_check";
+  (* serial equivalence: everything this transaction observed on the
+     lane must still be what a serial execution at this position would
+     observe — no epoch peer that sealed earlier may have written a row
+     matching any of its read predicates ... *)
+  (match t.staged with
+  | Some st ->
+      not
+        (List.exists
+           (fun p ->
+             read_overlaps_in ep.e_writes p || read_overlaps_in ep.e_prev p)
+           st.st_reads)
+  | None -> true)
+  (* ... and, defense in depth, its claims must still be claimable (a
+     claimed row was necessarily read, so any claim conflict is already
+     a read-set overlap) *)
+  && List.for_all
+       (fun (table, row) ->
+         Table.end_cid table row = Cid.infinity
+         && (match Hashtbl.find_opt m.locks (key table row) with
+            | Some owner -> owner = t.tid
+            | None -> true))
+       t.invalidated
+
+let reexec_reset m t =
+  check_active t "reexec_reset";
+  release_locks m t;
+  t.inserted <- [];
+  Hashtbl.reset t.inserted_set;
+  t.invalidated <- [];
+  Hashtbl.reset t.invalidated_set;
+  t.staged <- None;
+  (* the refreshed snapshot sees every epoch peer sealed so far — the
+     serial re-execution observes exactly the state a serial engine
+     would have shown this transaction *)
+  t.snapshot <- m.last;
+  Obs.incr c_reexec
+
+let commit_grouped m ep t =
+  check_active t "commit_grouped";
+  (* promote staged inserts: the physical appends happen here, in seal
+     (= submission = serial) order, with the lane-cached dictionary
+     probes pre-paying the value-id lookups *)
+  (match t.staged with
+  | None -> ()
+  | Some st ->
+      t.staged <- None;
+      List.iter
+        (fun (table, values, vids) ->
+          let row = Table.append_row_prepared table ~vids values in
+          let k = key table row in
+          t.inserted <- (table, row) :: t.inserted;
+          Hashtbl.replace t.inserted_set k ();
+          m.observer (Ev_insert { tid = t.tid; table; values }))
+        (List.rev st.st_inserts));
+  if t.inserted = [] && t.invalidated = [] then begin
+    t.state <- Committed;
+    Hashtbl.remove m.active t.tid;
+    Obs.incr c_commit_readonly;
+    (* read-only commits have no durable point to wait for *)
+    Obs.Blackbox.emit Obs.Event.Txn_commit;
+    t.snapshot
+  end
+  else begin
+    let cid = Cid.next m.last in
+    List.iter (fun (table, row) -> Table.set_begin_cid table row cid) t.inserted;
+    List.iter (fun (table, row) -> Table.set_end_cid table row cid) t.invalidated;
+    let log_write (table, row) =
+      Hashtbl.replace ep.e_touched (Table.handle table) table;
+      let ew =
+        match
+          List.find_opt (fun ew -> ew.ew_table == table) ep.e_writes
+        with
+        | Some ew -> ew
+        | None ->
+            let ew =
+              { ew_table = table; ew_rows = []; ew_vals = Hashtbl.create 16 }
+            in
+            ep.e_writes <- ew :: ep.e_writes;
+            ew
+      in
+      ew.ew_rows <- row :: ew.ew_rows
+    in
+    List.iter log_write t.inserted;
+    List.iter log_write t.invalidated;
+    m.observer (Ev_commit { tid = t.tid; cid; invalidated = t.invalidated });
+    m.last <- cid;
+    t.state <- Committed;
+    release_locks m t;
+    Hashtbl.remove m.active t.tid;
+    Obs.incr c_commit;
+    (* the commit annotation may only hit the flight recorder after the
+       transaction is durable — deferred to [finish_epoch] *)
+    ep.e_commits <- (Int64.to_int cid land 0xFFFF_FFFF_FFFF) :: ep.e_commits;
+    ep.e_txns <- ep.e_txns + 1;
+    cid
+  end
+
+let finish_epoch m ep =
+  if Hashtbl.length ep.e_touched > 0 then begin
+    (* one publish + one durable last-CID persist covering the batch *)
+    publish_touched m ep.e_touched;
+    m.persist_commit m.last
+  end;
+  (* deferred per-txn commit annotations: recorded strictly after the
+     epoch's durable point, preserving the serial invariant that the
+     ring append's write-back never sits dirty across a commit *)
+  List.iter
+    (fun arg -> Obs.Blackbox.emit ~arg Obs.Event.Txn_commit)
+    (List.rev ep.e_commits);
+  ep.e_commits <- [];
+  Obs.incr c_epoch_sealed;
+  Obs.add c_epoch_txns ep.e_txns;
+  Obs.Blackbox.emit ~arg:ep.e_txns Obs.Event.Group_commit

@@ -24,6 +24,12 @@ type txn
 exception Write_conflict of string
 exception Not_active of string
 
+exception Staged_conflict of string
+(** Lane-phase validation failure of a pipelined transaction (see
+    {!begin_staged}): not a transaction outcome — the seal re-executes
+    the transaction serially, so no conflict/abort tally moves. Raised
+    out of [insert]/[update]/[delete] on a staged transaction only. *)
+
 (** Commit/abort notifications, used by the engine to drive durability
     (NVM last-CID persist, or WAL records). *)
 type event =
@@ -64,6 +70,18 @@ val is_active : txn -> bool
 
 val row_visible : txn -> Storage.Table.t -> int -> bool
 (** MVCC visibility including own-writes. *)
+
+val read_table : txn -> Storage.Table.t -> unit
+val read_row : txn -> Storage.Table.t -> int -> unit
+val read_point : txn -> Storage.Table.t -> col:int -> Storage.Value.t -> unit
+(** Read-set recording for the writer pipeline — no-ops on a normal
+    transaction. The engine's read paths call these {e before} looking
+    at the data: [read_point] for an index probe (column index + probed
+    value, so zero-hit lookups still record the phantom predicate),
+    [read_row] for a direct physical-row read, [read_table] for scans
+    and aggregates (conservative: any write to the table conflicts). The
+    seal re-executes a staged transaction whose predicates overlap a
+    row an epoch peer wrote — see {!seal_check}. *)
 
 val visible_block :
   txn ->
@@ -108,3 +126,85 @@ val abort : manager -> txn -> unit
 (** Release claims. Staged row versions stay physically present but dead
     (begin-CID forever infinity) until a merge compacts them — the
     insert-only discipline. *)
+
+(** {1 Writer pipeline: epoch-batched group commit}
+
+    The multi-lane commit protocol (docs/PROTOCOLS.md §13). An {e epoch}
+    batches transactions in three phases:
+
+    + {b lane staging} — each transaction begins via {!begin_staged} and
+      runs its body on a pool lane: inserts buffer lane-locally (schema
+      validated, dictionary probed — pure Region reads), claims validate
+      read-only against the frozen lock table and record privately, and
+      every read records a predicate ({!read_point} / {!read_row} /
+      {!read_table}). Nothing stores to NVM and nothing shared-mutable
+      is written, so lanes race with nobody.
+    + {b serial seal} — in submission order: {!seal_check} re-validates
+      each transaction's read predicates (and claims) against what the
+      epoch peers sealed before it wrote; on success {!commit_grouped}
+      appends the staged inserts (in exactly serial order) and stamps
+      CIDs; on failure {!reexec_reset} refreshes the snapshot and the
+      caller re-runs the transaction body inline (now un-staged), then
+      seals it the same way — observing exactly what a serial execution
+      at its position would observe.
+    + {b group commit} — {!finish_epoch} publishes every table the batch
+      touched and calls [persist_commit] {e once}: a single durable
+      last-CID write + fence covers the whole epoch. Until then every
+      CID of the epoch is beyond the durable last-CID, so a crash
+      anywhere inside the epoch rolls the entire batch back —
+      all-or-nothing per epoch.
+
+    Per-transaction CID stamping is preserved verbatim, so snapshots,
+    conflict rules and recovery are byte-compatible with the serial
+    path. *)
+
+type epoch
+
+val begin_epoch : ?prev:epoch -> manager -> epoch
+(** [?prev] chains epochs for double-buffered staging (the pipelined
+    driver stages epoch [k+1]'s transactions while epoch [k] is still
+    unsealed): the new epoch inherits [prev]'s write log, so
+    {!seal_check} also tests read predicates against everything the
+    previous epoch wrote — exactly the writes that postdate those
+    transactions' snapshots. *)
+
+val begin_staged : manager -> txn
+(** Begin a transaction in lane-staging mode (counted in
+    [txn.lane.staged]). It must finish via {!commit_grouped} (directly,
+    or after {!reexec_reset}) or {!abort}; {!commit} rejects it. *)
+
+val is_staged : txn -> bool
+
+val seal_check : manager -> epoch -> txn -> bool
+(** Serial section only: is the lane execution still serially valid —
+    no read predicate overlapping a row the epoch peers sealed so far
+    (or, when the epoch was chained with [begin_epoch ~prev], the
+    previous epoch's transactions) have written (appended or
+    end-stamped), and every claim still claimable? [false] means the transaction must be re-executed
+    ({!reexec_reset}) — or aborted. Point predicates are checked at row
+    granularity (one cached column decode per written row), so disjoint
+    keys of the same table never force a re-execution. *)
+
+val reexec_reset : manager -> txn -> unit
+(** Serial section only: clear all staged/recorded effects, leave
+    staging mode and refresh the snapshot to the manager's current
+    last-CID — the re-execution then observes exactly the state a serial
+    engine would have shown this transaction. Counted in
+    [txn.lane.reexec]; the transaction keeps its tid (no [txn.begin]
+    drift vs the serial path). *)
+
+val commit_grouped : manager -> epoch -> txn -> Storage.Cid.t
+(** Serial section only: append staged inserts, stamp CIDs, release
+    claims — everything {!commit} does {e except} publication and the
+    durable persist, which are deferred to {!finish_epoch}. The commit
+    is not durable until then. *)
+
+val finish_epoch : manager -> epoch -> unit
+(** Publish every table the epoch touched (same two-fence batched
+    protocol as a serial commit) and persist the last-CID once for the
+    whole batch; then emit the deferred per-transaction commit
+    annotations and the [group-commit] flight-recorder event. Bumps
+    [commit.epoch.sealed] / [commit.epoch.txns]. *)
+
+val epoch_txns : epoch -> int
+(** Write transactions sealed into the epoch so far. *)

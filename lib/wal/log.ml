@@ -17,6 +17,7 @@ type t = {
   fd : Unix.file_descr;
   buf : Buffer.t;
   mutable pending_commits : int;
+  mutable group_depth : int; (* > 0: inside an epoch's group-flush window *)
   mutable bytes_written : int;
   mutable flushes : int;
   mutable closed : bool;
@@ -114,6 +115,7 @@ let create config ~epoch =
     fd;
     buf = Buffer.create 4096;
     pending_commits = 0;
+    group_depth = 0;
     bytes_written = String.length h;
     flushes = 0;
     closed = false;
@@ -129,6 +131,7 @@ let open_append config ~epoch ~truncate_at =
     fd;
     buf = Buffer.create 4096;
     pending_commits = 0;
+    group_depth = 0;
     bytes_written = truncate_at;
     flushes = 0;
     closed = false;
@@ -152,7 +155,8 @@ let append t r =
   (match r with
   | Commit _ ->
       t.pending_commits <- t.pending_commits + 1;
-      if t.pending_commits >= t.config.group_commit_size then do_flush t
+      if t.pending_commits >= t.config.group_commit_size && t.group_depth = 0
+      then do_flush t
   | Create_table _ ->
       (* DDL is flushed eagerly: table existence must not sit in the
          group-commit window *)
@@ -162,6 +166,20 @@ let append t r =
 let flush t =
   if t.closed then invalid_arg "Wal.Log.flush: closed";
   do_flush t
+
+(* Writer-pipeline group-flush window: while open, commit records buffer
+   past the group-commit threshold; [end_group] closes the window and
+   flushes the whole epoch as one frame batch (one fsync). DDL keeps its
+   eager flush even inside the window — table existence must never sit
+   in a loss window. *)
+let begin_group t =
+  if t.closed then invalid_arg "Wal.Log.begin_group: closed";
+  t.group_depth <- t.group_depth + 1
+
+let end_group t =
+  if t.closed then invalid_arg "Wal.Log.end_group: closed";
+  t.group_depth <- max 0 (t.group_depth - 1);
+  if t.group_depth = 0 then do_flush t
 
 let close t =
   if not t.closed then begin

@@ -49,6 +49,15 @@ val append : t -> record -> unit
 val flush : t -> unit
 (** Force buffered records to the device (and fsync per config). *)
 
+val begin_group : t -> unit
+(** Open a writer-pipeline group-flush window: commit records buffer past
+    the [group_commit_size] threshold until {!end_group} (DDL still
+    flushes eagerly). Nests. *)
+
+val end_group : t -> unit
+(** Close the window and flush the accumulated epoch as one fsync
+    batch. *)
+
 val close : t -> unit
 (** Flush and close. *)
 

@@ -148,9 +148,14 @@ let find_one engine txn tname ~col v =
   | (row, values) :: _ -> Some (row, values)
   | [] -> None
 
-let new_order t rng txn =
+(* Transaction bodies split from their random draws: the writer pipeline
+   re-executes bodies and runs them on pool lanes, so every [Prng] draw
+   (and the [next_o_id] counter bump) must happen at spec-generation
+   time. The classic [run]/[run_one] path drives the same bodies with
+   freshly drawn parameters. *)
+
+let new_order_body t txn ~w ~d ~c ~o_id ~lines ~entry_d =
   let e = t.engine in
-  let w, d, c = pick_customer t rng in
   let ckey = c_key ~w_id:w ~d_id:d ~c_id:c in
   match find_one e txn "customer" ~col:"c_key" (Value.Int ckey) with
   | None -> failwith "Tpcc_lite: missing customer"
@@ -159,29 +164,26 @@ let new_order t rng txn =
       match find_one e txn "district" ~col:"d_key" (Value.Int dkey) with
       | None -> failwith "Tpcc_lite: missing district"
       | Some (drow, dvals) ->
-          t.next_o_id <- t.next_o_id + 1;
-          let o_id = t.next_o_id in
-          let lines = Prng.int_in rng 5 15 in
           let total = ref 0 in
-          for ol = 1 to lines do
-            let amount = Prng.int_in rng 1 9999 in
-            total := !total + amount;
-            ignore
-              (Engine.insert e txn "order_line"
-                 [|
-                   Value.Int o_id;
-                   Value.Int ol;
-                   Value.Text (Printf.sprintf "item-%d" (Prng.int rng 100_000));
-                   Value.Int amount;
-                 |])
-          done;
+          Array.iteri
+            (fun i (item, amount) ->
+              total := !total + amount;
+              ignore
+                (Engine.insert e txn "order_line"
+                   [|
+                     Value.Int o_id;
+                     Value.Int (i + 1);
+                     Value.Text item;
+                     Value.Int amount;
+                   |]))
+            lines;
           ignore
             (Engine.insert e txn "orders"
                [|
                  Value.Int o_id;
                  Value.Int ckey;
                  Value.Int dkey;
-                 Value.Int (Prng.int rng 1_000_000);
+                 Value.Int entry_d;
                  Value.Int !total;
                  Value.Int 0;
                |]);
@@ -190,10 +192,26 @@ let new_order t rng txn =
             (Engine.update e txn "district" drow
                [| dvals.(0); dvals.(1); dvals.(2); Value.Int next |]))
 
-let payment t rng txn =
-  let e = t.engine in
+let draw_order_lines rng =
+  let nlines = Prng.int_in rng 5 15 in
+  let acc = ref [] in
+  for _ = 1 to nlines do
+    let amount = Prng.int_in rng 1 9999 in
+    let item = Printf.sprintf "item-%d" (Prng.int rng 100_000) in
+    acc := (item, amount) :: !acc
+  done;
+  Array.of_list (List.rev !acc)
+
+let new_order t rng txn =
   let w, d, c = pick_customer t rng in
-  let amount = Prng.int_in rng 1 5000 in
+  t.next_o_id <- t.next_o_id + 1;
+  let o_id = t.next_o_id in
+  let lines = draw_order_lines rng in
+  let entry_d = Prng.int rng 1_000_000 in
+  new_order_body t txn ~w ~d ~c ~o_id ~lines ~entry_d
+
+let payment_body t txn ~w ~d ~c ~amount =
+  let e = t.engine in
   (match find_one e txn "warehouse" ~col:"w_id" (Value.Int w) with
   | Some (row, vals) ->
       ignore
@@ -218,9 +236,13 @@ let payment t rng txn =
            [| vals.(0); vals.(1); Value.Int (int_of vals.(2) - amount) |])
   | None -> failwith "Tpcc_lite: missing customer"
 
-let order_status t rng txn =
-  let e = t.engine in
+let payment t rng txn =
   let w, d, c = pick_customer t rng in
+  let amount = Prng.int_in rng 1 5000 in
+  payment_body t txn ~w ~d ~c ~amount
+
+let order_status_body t txn ~w ~d ~c =
+  let e = t.engine in
   let ckey = c_key ~w_id:w ~d_id:d ~c_id:c in
   let orders = Engine.lookup e txn "orders" ~col:"o_c_key" (Value.Int ckey) in
   match List.rev orders with
@@ -228,13 +250,15 @@ let order_status t rng txn =
   | (_, ovals) :: _ ->
       ignore (Engine.lookup e txn "order_line" ~col:"ol_o_id" ovals.(0))
 
+let order_status t rng txn =
+  let w, d, c = pick_customer t rng in
+  order_status_body t txn ~w ~d ~c
+
 (* deliver the oldest undelivered order of a random district: an
    update-heavy transaction that invalidates order versions (the merge
    compacts them) *)
-let delivery t rng txn =
+let delivery_body t txn ~w ~d =
   let e = t.engine in
-  let w = Prng.int_in rng 1 t.warehouses in
-  let d = Prng.int_in rng 1 t.districts in
   let dkey = d_key ~w_id:w ~d_id:d in
   let candidates =
     Engine.lookup e txn "orders" ~col:"o_d_key" (Value.Int dkey)
@@ -255,6 +279,11 @@ let delivery t rng txn =
       let vals = Array.copy vals in
       vals.(5) <- Value.Int 1;
       ignore (Engine.update e txn "orders" row vals)
+
+let delivery t rng txn =
+  let w = Prng.int_in rng 1 t.warehouses in
+  let d = Prng.int_in rng 1 t.districts in
+  delivery_body t txn ~w ~d
 
 type kind = New_order | Payment | Order_status | Delivery
 
@@ -325,6 +354,99 @@ let run t rng ?(mix = default_mix) ?latencies ~ops () =
     | Some h -> Util.Histogram.record h (now_ns () - t0)
     | None -> ()
   done;
+  !stats
+
+(* -- pre-drawn transaction specs (writer pipeline) --
+
+   All randomness and the order-id counter are drawn at generation time:
+   a spec array is a pure value whose execution is independent of lane
+   scheduling and survives seal-time re-execution. New-orders never
+   abort (a staged district conflict re-executes against the refreshed
+   snapshot and claims the new district version, as a serial run would),
+   so advancing [next_o_id] at generation reproduces execution order. *)
+
+type op_spec =
+  | S_new_order of {
+      w : int;
+      d : int;
+      c : int;
+      o_id : int;
+      lines : (string * int) array;
+      entry_d : int;
+    }
+  | S_payment of { w : int; d : int; c : int; amount : int }
+  | S_order_status of { w : int; d : int; c : int }
+  | S_delivery of { w : int; d : int }
+
+let gen_spec t rng mix =
+  match pick_kind rng mix with
+  | New_order ->
+      let w, d, c = pick_customer t rng in
+      t.next_o_id <- t.next_o_id + 1;
+      let o_id = t.next_o_id in
+      let lines = draw_order_lines rng in
+      let entry_d = Prng.int rng 1_000_000 in
+      S_new_order { w; d; c; o_id; lines; entry_d }
+  | Payment ->
+      let w, d, c = pick_customer t rng in
+      S_payment { w; d; c; amount = Prng.int_in rng 1 5000 }
+  | Order_status ->
+      let w, d, c = pick_customer t rng in
+      S_order_status { w; d; c }
+  | Delivery ->
+      let w = Prng.int_in rng 1 t.warehouses in
+      let d = Prng.int_in rng 1 t.districts in
+      S_delivery { w; d }
+
+let gen_specs t rng ?(mix = default_mix) ~ops () =
+  (* explicit loop: the o_id sequence must follow spec order *)
+  let acc = ref [] in
+  for _ = 1 to ops do
+    acc := gen_spec t rng mix :: !acc
+  done;
+  Array.of_list (List.rev !acc)
+
+let exec_spec t txn = function
+  | S_new_order { w; d; c; o_id; lines; entry_d } ->
+      new_order_body t txn ~w ~d ~c ~o_id ~lines ~entry_d
+  | S_payment { w; d; c; amount } -> payment_body t txn ~w ~d ~c ~amount
+  | S_order_status { w; d; c } -> order_status_body t txn ~w ~d ~c
+  | S_delivery { w; d } -> delivery_body t txn ~w ~d
+
+let run_specs ?(epoch = 4) ?latencies ?clock t specs =
+  let ops = Array.map (fun s txn -> exec_spec t txn s) specs in
+  let committed = Engine.run_pipeline t.engine ?clock ?latencies ~epoch ops in
+  let stats =
+    ref
+      {
+        committed = 0;
+        aborted = 0;
+        new_orders = 0;
+        payments = 0;
+        order_statuses = 0;
+        deliveries = 0;
+      }
+  in
+  Array.iteri
+    (fun j ok ->
+      let s = !stats in
+      if not ok then stats := { s with aborted = s.aborted + 1 }
+      else
+        stats :=
+          {
+            s with
+            committed = s.committed + 1;
+            new_orders =
+              (s.new_orders + match specs.(j) with S_new_order _ -> 1 | _ -> 0);
+            payments =
+              (s.payments + match specs.(j) with S_payment _ -> 1 | _ -> 0);
+            order_statuses =
+              (s.order_statuses
+              + match specs.(j) with S_order_status _ -> 1 | _ -> 0);
+            deliveries =
+              (s.deliveries + match specs.(j) with S_delivery _ -> 1 | _ -> 0);
+          })
+    committed;
   !stats
 
 let district_revenue t ~w_id ~d_id =

@@ -70,6 +70,30 @@ val run :
 val run_one : t -> Util.Prng.t -> ?mix:mix -> unit -> bool
 (** One transaction; [true] if it committed. *)
 
+(** {1 Pre-drawn transaction specs (writer pipeline)} *)
+
+type op_spec
+(** One transaction's worth of work with every random draw — including
+    the order-id counter — fixed at generation time: safe to execute on
+    pool lanes and to re-execute at the serial seal. *)
+
+val gen_specs :
+  t -> Util.Prng.t -> ?mix:mix -> ops:int -> unit -> op_spec array
+(** Same transaction mix as {!run}; deterministic for a given seed and
+    session shape, so two sessions over identically-prepared engines
+    generate identical spec streams (the differential tests rely on
+    this). Advances the session order-id counter. *)
+
+val run_specs :
+  ?epoch:int -> ?latencies:Util.Histogram.t -> ?clock:(unit -> int) ->
+  t -> op_spec array -> stats
+(** Execute specs through {!Core.Engine.run_pipeline} in windows of
+    [epoch] (default 4) transactions — the serial loop when the
+    engine's [writers] is 1, the double-buffered multi-lane pipeline
+    otherwise; same final database either way. [latencies] records
+    per-transaction commit latency to the window's durable fence
+    ([clock] substitutes the clock, for boundary tests). *)
+
 val district_revenue : t -> w_id:int -> d_id:int -> int
 (** Analytic query: total order amount of one district (CH-benCH-style
     query on the OLTP schema). *)

@@ -147,6 +147,72 @@ let run t rng ~ops =
   done;
   { reads = !reads; updates = !updates; inserts = !inserts; aborted = !aborted }
 
+(* -- pre-drawn operation specs (writer pipeline) --
+
+   The pipeline re-executes a transaction body when its staged validation
+   fails, and runs bodies on pool lanes — so all randomness and all
+   session-counter movement ([t.keys], the zipf cache) must happen at
+   generation time, never inside the body. A spec array is a pure value:
+   running it through [run_specs] on engines in identical states produces
+   identical databases whether the engine pipelines or not (the
+   differential tests compare exactly that). *)
+
+type op_spec =
+  | S_read of int (* key *)
+  | S_update of int * int * string (* key, column index, replacement text *)
+  | S_insert of Value.t array (* full row, key pre-assigned *)
+
+let gen_spec t rng =
+  match pick_kind t rng with
+  | Read -> S_read (pick_key t rng)
+  | Update ->
+      let key = pick_key t rng in
+      let f = 1 + Prng.int rng t.config.fields in
+      S_update (key, f, Prng.alpha_string rng t.config.field_length)
+  | Insert ->
+      (* inserts never abort, so advancing the key counter at generation
+         time reproduces what execution would do *)
+      let key = t.keys + 1 in
+      let row = make_row t.config rng key in
+      t.keys <- key;
+      t.zipf <- None;
+      S_insert row
+
+let gen_specs t rng ~ops =
+  (* explicit loop: key-counter movement must follow spec order *)
+  let acc = ref [] in
+  for _ = 1 to ops do
+    acc := gen_spec t rng :: !acc
+  done;
+  Array.of_list (List.rev !acc)
+
+let exec_spec t txn = function
+  | S_read key ->
+      ignore (Engine.lookup t.engine txn table_name ~col:"key" (Value.Int key))
+  | S_update (key, f, text) -> (
+      match Engine.lookup t.engine txn table_name ~col:"key" (Value.Int key) with
+      | (row, values) :: _ ->
+          let values = Array.copy values in
+          values.(f) <- Value.Text text;
+          ignore (Engine.update t.engine txn table_name row values)
+      | [] -> ())
+  | S_insert row -> ignore (Engine.insert t.engine txn table_name row)
+
+let run_specs ?latencies ?(epoch = 4) t specs =
+  let reads = ref 0 and updates = ref 0 and inserts = ref 0 and aborted = ref 0 in
+  let ops = Array.map (fun s txn -> exec_spec t txn s) specs in
+  let committed = Engine.run_pipeline t.engine ?latencies ~epoch ops in
+  Array.iteri
+    (fun j ok ->
+      if not ok then incr aborted
+      else
+        match specs.(j) with
+        | S_read _ -> incr reads
+        | S_update _ -> incr updates
+        | S_insert _ -> incr inserts)
+    committed;
+  { reads = !reads; updates = !updates; inserts = !inserts; aborted = !aborted }
+
 let row_count t =
   Engine.with_txn t.engine (fun txn -> Engine.count t.engine txn table_name)
 

@@ -36,6 +36,27 @@ val run : t -> Util.Prng.t -> ops:int -> stats
 
 val run_one : t -> Util.Prng.t -> bool
 
+(** {1 Pre-drawn operation specs (writer pipeline)} *)
+
+type op_spec
+(** One transaction's worth of work with all randomness (and key-counter
+    movement) drawn at generation time: safe to execute on pool lanes and
+    to re-execute at the serial seal. *)
+
+val gen_specs : t -> Util.Prng.t -> ops:int -> op_spec array
+(** Draws the same op mix as {!run}. Advances the session key counter for
+    inserts (they never abort), so generation is deterministic given the
+    seed and config — two sessions over identically-prepared engines
+    generate identical specs. *)
+
+val run_specs :
+  ?latencies:Util.Histogram.t -> ?epoch:int -> t -> op_spec array -> stats
+(** Execute specs through {!Core.Engine.run_pipeline} in windows of
+    [epoch] (default 4) transactions: the serial loop when the engine's
+    [writers] is 1, the double-buffered multi-lane pipeline otherwise —
+    same final database either way. [latencies] records per-txn commit
+    latency to the window's durable fence. *)
+
 val row_count : t -> int
 
 val checksum : t -> int

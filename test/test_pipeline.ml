@@ -1,0 +1,373 @@
+(* Tests for the multi-lane commit pipeline (docs/PROTOCOLS.md §13).
+
+   The contract: [Engine.run_pipeline] over pre-drawn specs produces a
+   byte-identical database at any writer count — writers=1 is the exact
+   pre-pipeline serial loop, writers>1 stages on pool lanes and group
+   commits in epoch windows, and the only observable differences are the
+   txn.lane.* / commit.epoch.* counters and where device time lands.
+   A crash inside an epoch is all-or-nothing: either the whole window's
+   group commit is durable or none of it survives recovery. *)
+
+module E = Core.Engine
+module Mvcc = Txn.Mvcc
+module Region = Nvm.Region
+module Value = Storage.Value
+module Schema = Storage.Schema
+module Prng = Util.Prng
+module Hist = Util.Histogram
+module Ycsb = Workload.Ycsb
+module Tpcc = Workload.Tpcc_lite
+
+let mib = 1024 * 1024
+
+let nvm_engine ?(size = 64 * mib) () = E.create (E.default_config ~size E.Nvm)
+
+let with_jobs n f =
+  let was = Par.jobs () in
+  Par.set_jobs n;
+  Fun.protect ~finally:(fun () -> Par.set_jobs was) f
+
+(* run [f] on an engine armed with [w] writer lanes (pool = w + the
+   committer slot, as the pipeline prices it) *)
+let with_writers w engine f =
+  E.set_writers engine w;
+  with_jobs (if w <= 1 then 1 else w + 1) f
+
+(* -------- YCSB twin runs: identical database at any writer count ----- *)
+
+(* a contended config: small hot keyspace, update-heavy, so staged
+   validation failures and serial re-executions actually happen *)
+let contended rows =
+  { Ycsb.default_config with rows; read_pct = 20; update_pct = 70;
+    zipf_theta = 0.99 }
+
+(* Build a fresh engine+session, generate the identical spec stream
+   (sessions over identically-prepared engines draw identical specs),
+   run it at [w] writers, and summarize everything observable. *)
+let ycsb_fingerprint ~seed ~ops ~cfg w =
+  let rng = Prng.create (Int64.of_int seed) in
+  let e = nvm_engine () in
+  let sess = Ycsb.setup e (Prng.split rng) cfg in
+  let specs = Ycsb.gen_specs sess (Prng.split rng) ~ops in
+  let st = with_writers w e (fun () -> Ycsb.run_specs sess specs) in
+  ( (st.Ycsb.reads, st.Ycsb.updates, st.Ycsb.inserts, st.Ycsb.aborted),
+    Ycsb.row_count sess,
+    Ycsb.checksum sess,
+    E.last_cid e,
+    E.media_digest e )
+
+let check_ycsb_parity ~seed ~ops ~cfg =
+  let (t1, n1, k1, c1, d1) = ycsb_fingerprint ~seed ~ops ~cfg 1 in
+  List.iter
+    (fun w ->
+      let (tw, nw, kw, cw, dw) = ycsb_fingerprint ~seed ~ops ~cfg w in
+      let name fmt = Printf.sprintf fmt seed w in
+      Alcotest.(check (pair (pair int int) (pair int int)))
+        (name "seed %d writers %d tallies")
+        (let a, b, c, d = t1 in ((a, b), (c, d)))
+        (let a, b, c, d = tw in ((a, b), (c, d)));
+      Alcotest.(check int) (name "seed %d writers %d rows") n1 nw;
+      Alcotest.(check int) (name "seed %d writers %d checksum") k1 kw;
+      Alcotest.(check int64)
+        (name "seed %d writers %d last cid")
+        (c1 :> int64) (cw :> int64);
+      Alcotest.(check string) (name "seed %d writers %d media digest") d1 dw)
+    [ 2; 4 ]
+
+let test_ycsb_parity () = check_ycsb_parity ~seed:11 ~ops:300 ~cfg:(contended 500)
+
+(* seeded multi-lane conflict fuzzer: many small contended streams, each
+   compared writers=2/4 against the serial twin after quiesce *)
+let test_conflict_fuzzer () =
+  for seed = 100 to 139 do
+    check_ycsb_parity ~seed ~ops:60 ~cfg:(contended 40)
+  done
+
+(* -------- TPC-C twin runs -------- *)
+
+let tpcc_fingerprint ~seed ~ops w =
+  let rng = Prng.create (Int64.of_int seed) in
+  let e = nvm_engine () in
+  let sess =
+    Tpcc.setup e ~warehouses:2 ~districts_per_wh:2 ~customers_per_district:8
+  in
+  let specs = Tpcc.gen_specs sess (Prng.split rng) ~ops () in
+  let st = with_writers w e (fun () -> Tpcc.run_specs sess specs) in
+  List.iter
+    (fun (inv, ok) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "writers %d invariant %s" w inv)
+        true ok)
+    (Tpcc.consistency_check sess);
+  ( (st.Tpcc.committed, st.Tpcc.aborted),
+    Tpcc.total_orders sess,
+    E.last_cid e,
+    E.media_digest e )
+
+let test_tpcc_parity () =
+  let (t1, o1, c1, d1) = tpcc_fingerprint ~seed:7 ~ops:200 1 in
+  List.iter
+    (fun w ->
+      let (tw, ow, cw, dw) = tpcc_fingerprint ~seed:7 ~ops:200 w in
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "writers %d committed/aborted" w)
+        t1 tw;
+      Alcotest.(check int) (Printf.sprintf "writers %d orders" w) o1 ow;
+      Alcotest.(check int64)
+        (Printf.sprintf "writers %d last cid" w)
+        (c1 :> int64) (cw :> int64);
+      Alcotest.(check string) (Printf.sprintf "writers %d digest" w) d1 dw)
+    [ 2; 4 ]
+
+(* -------- writers=1 is byte-identical to the manual serial loop ------ *)
+
+(* writers=1 run_pipeline must be the exact pre-pipeline serial path:
+   drive the same transaction bodies once through run_pipeline and once
+   through the plain begin / body / commit loop, on twin engines *)
+let test_serial_loop_identity () =
+  let fingerprint use_pipeline =
+    let e = nvm_engine () in
+    E.set_writers e 1;
+    E.create_table e ~name:"t"
+      [| Schema.column ~indexed:true "k" Value.Int_t;
+         Schema.column "v" Value.Int_t |];
+    let ops =
+      Array.init 50 (fun i txn ->
+          ignore (E.insert e txn "t" [| Value.Int i; Value.Int (3 * i) |]);
+          if i mod 5 = 0 then
+            match E.lookup e txn "t" ~col:"k" (Value.Int (i / 2)) with
+            | (row, values) :: _ ->
+                let values = Array.copy values in
+                values.(1) <- Value.Int i;
+                ignore (E.update e txn "t" row values)
+            | [] -> ())
+    in
+    if use_pipeline then ignore (E.run_pipeline e ~epoch:4 ops)
+    else
+      Array.iter
+        (fun op ->
+          let txn = E.begin_txn e in
+          try
+            op txn;
+            ignore (E.commit e txn)
+          with Mvcc.Write_conflict _ -> E.abort e txn)
+        ops;
+    (E.media_digest e, E.last_cid e)
+  in
+  let d1, c1 = fingerprint false in
+  let d2, c2 = fingerprint true in
+  Alcotest.(check string) "media digest" d1 d2;
+  Alcotest.(check int64) "last cid" (c1 :> int64) (c2 :> int64)
+
+(* -------- commit latency runs to the epoch's durable fence ----------- *)
+
+let test_latency_to_fence () =
+  (* a tick clock: every call returns the next integer, so latencies
+     count clock calls — the serial loop calls it twice per txn
+     (latency 1 each), while the pipeline stamps all submissions before
+     the window's single fence stamp *)
+  let make_clock () =
+    let t = ref 0 in
+    fun () -> incr t; !t
+  in
+  let specs_for e =
+    (* non-conflicting inserts: no re-execution, deterministic shape *)
+    E.create_table e ~name:"t"
+      [| Schema.column ~indexed:true "k" Value.Int_t;
+         Schema.column "v" Value.Int_t |];
+    Array.init 4 (fun i txn ->
+        ignore (E.insert e txn "t" [| Value.Int i; Value.Int (i * i) |]))
+  in
+  (* serial: every latency is exactly one tick *)
+  let e = nvm_engine () in
+  let ops = specs_for e in
+  let h = Hist.create () in
+  E.set_writers e 1;
+  ignore (E.run_pipeline e ~clock:(make_clock ()) ~latencies:h ~epoch:2 ops);
+  Alcotest.(check int) "serial count" 4 (Hist.count h);
+  Alcotest.(check int) "serial min" 1 (Hist.min_value h);
+  Alcotest.(check int) "serial max" 1 (Hist.max_value h);
+  (* pipelined, epoch=2 over 4 txns: submissions 1,2 then (window 1
+     staged before window 0 seals) 3,4; fences at ticks 5 and 6 — so
+     latencies 4,3,3,2. A staging-append boundary would report 0s. *)
+  let e = nvm_engine () in
+  let ops = specs_for e in
+  let h = Hist.create () in
+  with_writers 2 e (fun () ->
+      ignore (E.run_pipeline e ~clock:(make_clock ()) ~latencies:h ~epoch:2 ops));
+  Alcotest.(check int) "pipelined count" 4 (Hist.count h);
+  Alcotest.(check int) "pipelined min (to fence)" 2 (Hist.min_value h);
+  Alcotest.(check int) "pipelined max (to fence)" 4 (Hist.max_value h);
+  Alcotest.(check int) "pipelined total" 12 (Hist.total h)
+
+(* -------- torn-epoch crash fuzzer: all-or-nothing per window --------- *)
+
+let sum_table e name =
+  E.with_txn e (fun txn ->
+      let acc = ref 0 in
+      E.scan e txn name (fun _ values ->
+          Array.iter
+            (fun v -> match v with Value.Int k -> acc := !acc + k | _ -> ())
+            values);
+      !acc)
+
+let test_torn_epoch () =
+  for seed = 0 to 34 do
+    let rng = Prng.create (Int64.of_int (1000 + seed)) in
+    let e = nvm_engine () in
+    E.set_writers e 2;
+    E.create_table e ~name:"t"
+      [| Schema.column ~indexed:true "k" Value.Int_t;
+         Schema.column "v" Value.Int_t |];
+    E.with_txn e (fun txn ->
+        for i = 0 to 19 do
+          ignore (E.insert e txn "t" [| Value.Int i; Value.Int (7 * i) |])
+        done);
+    let cid_pre = E.last_cid e in
+    let cnt_pre = E.with_txn e (fun txn -> E.count e txn "t") in
+    let sum_pre = sum_table e "t" in
+    (* hand-drive one epoch: stage k txns, seal a random prefix, then
+       power-fail either before or after finish_epoch *)
+    let m = E.mvcc e in
+    let k = 2 + Prng.int rng 4 in
+    let ep = Mvcc.begin_epoch m in
+    let txns = Array.init k (fun _ -> Mvcc.begin_staged m) in
+    Array.iteri
+      (fun i txn ->
+        ignore (E.insert e txn "t" [| Value.Int (1000 + i); Value.Int i |]))
+      txns;
+    let finished = Prng.int rng 2 = 0 in
+    let sealed = if finished then k else Prng.int rng (k + 1) in
+    for i = 0 to sealed - 1 do
+      if Mvcc.seal_check m ep txns.(i) then
+        ignore (Mvcc.commit_grouped m ep txns.(i))
+    done;
+    if finished then Mvcc.finish_epoch m ep;
+    let mode =
+      if Prng.int rng 2 = 0 then Region.Drop_unfenced
+      else Region.Adversarial (Prng.split rng)
+    in
+    let e2, _ = E.recover (E.crash e mode) in
+    let cnt = E.with_txn e2 (fun txn -> E.count e2 txn "t") in
+    let sum = sum_table e2 "t" in
+    let name what = Printf.sprintf "seed %d %s" seed what in
+    if finished then begin
+      (* the whole window is durable behind the epoch's last-CID write *)
+      Alcotest.(check int) (name "rows (committed epoch)") (cnt_pre + k) cnt;
+      Alcotest.(check bool)
+        (name "cid advanced")
+        true
+        (Int64.compare (E.last_cid e2 :> int64) (cid_pre :> int64) > 0)
+    end
+    else begin
+      (* torn epoch: CIDs were stamped but the durable last-CID write
+         never happened — recovery must roll the whole window back *)
+      Alcotest.(check int) (name "rows (torn epoch)") cnt_pre cnt;
+      Alcotest.(check int) (name "contents (torn epoch)") sum_pre sum;
+      Alcotest.(check int64)
+        (name "cid (torn epoch)")
+        (cid_pre :> int64)
+        (E.last_cid e2 :> int64)
+    end
+  done
+
+(* -------- WAL group commit: one flush window per epoch --------------- *)
+
+let tmpdir () =
+  let d = Filename.temp_file "pipelinetest" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let log_engine () =
+  E.create
+    {
+      E.region = Region.config_with_size (32 * mib);
+      durability =
+        E.Logging { Wal.Log.dir = tmpdir (); group_commit_size = 1; fsync = false };
+      salvage = None;
+    }
+
+let test_wal_group_window () =
+  let flushes w =
+    let rng = Prng.create 5L in
+    let e = log_engine () in
+    let sess = Ycsb.setup e (Prng.split rng) (contended 200) in
+    let specs = Ycsb.gen_specs sess (Prng.split rng) ~ops:64 in
+    let before = E.log_flushes e in
+    let st = with_writers w e (fun () -> Ycsb.run_specs sess specs) in
+    Alcotest.(check int)
+      (Printf.sprintf "writers %d all committed or aborted" w)
+      64
+      (st.Ycsb.reads + st.Ycsb.updates + st.Ycsb.inserts + st.Ycsb.aborted);
+    E.log_flushes e - before
+  in
+  let serial = flushes 1 in
+  let grouped = flushes 2 in
+  (* group_commit_size=1: the serial loop flushes per commit; the
+     pipeline holds the group window open across the epoch, so it
+     flushes per window (64 txns / epoch 4 = 16 windows) *)
+  Alcotest.(check bool)
+    (Printf.sprintf "grouped flushes (%d) < serial flushes (%d)" grouped serial)
+    true
+    (grouped < serial)
+
+(* -------- pipeline under the persist-order sanitizer ----------------- *)
+
+let test_sanitized_pipeline () =
+  let rng = Prng.create 17L in
+  let e = E.create ~sanitize:true (E.default_config ~size:(64 * mib) E.Nvm) in
+  let sess = Ycsb.setup e (Prng.split rng) (contended 300) in
+  let specs = Ycsb.gen_specs sess (Prng.split rng) ~ops:200 in
+  ignore (with_writers 2 e (fun () -> Ycsb.run_specs sess specs));
+  match E.sanitizer e with
+  | None -> Alcotest.fail "sanitize:true must attach a checker"
+  | Some san ->
+      Alcotest.(check int)
+        "zero correctness violations" 0
+        (Nvm.Sanitizer.correctness_violations san)
+
+(* -------- observability: lane and epoch counters move ---------------- *)
+
+let test_counters_move () =
+  let staged0 = Obs.counter_value (Obs.counter "txn.lane.staged") in
+  let sealed0 = Obs.counter_value (Obs.counter "commit.epoch.sealed") in
+  let txns0 = Obs.counter_value (Obs.counter "commit.epoch.txns") in
+  let rng = Prng.create 23L in
+  let e = nvm_engine () in
+  let sess = Ycsb.setup e (Prng.split rng) (contended 200) in
+  let specs = Ycsb.gen_specs sess (Prng.split rng) ~ops:100 in
+  ignore (with_writers 4 e (fun () -> Ycsb.run_specs sess specs));
+  Alcotest.(check int) "every txn staged" 100
+    (Obs.counter_value (Obs.counter "txn.lane.staged") - staged0);
+  Alcotest.(check int) "25 epochs of 4 sealed" 25
+    (Obs.counter_value (Obs.counter "commit.epoch.sealed") - sealed0);
+  Alcotest.(check bool) "grouped txns counted" true
+    (Obs.counter_value (Obs.counter "commit.epoch.txns") - txns0 > 0);
+  E.sync_metrics e;
+  Alcotest.(check int) "writers gauge" 4
+    (Obs.gauge_value (Obs.gauge "engine.writers"))
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "parity",
+        [
+          Alcotest.test_case "ycsb writers 1/2/4" `Quick test_ycsb_parity;
+          Alcotest.test_case "tpcc writers 1/2/4" `Quick test_tpcc_parity;
+          Alcotest.test_case "serial loop identity" `Quick
+            test_serial_loop_identity;
+          Alcotest.test_case "conflict fuzzer (40 seeds)" `Slow
+            test_conflict_fuzzer;
+        ] );
+      ( "latency",
+        [ Alcotest.test_case "to the durable fence" `Quick test_latency_to_fence ] );
+      ( "crash",
+        [ Alcotest.test_case "torn epoch (35 seeds)" `Slow test_torn_epoch ] );
+      ( "wal",
+        [ Alcotest.test_case "group window per epoch" `Quick test_wal_group_window ] );
+      ( "sanitizer",
+        [ Alcotest.test_case "pipelined run clean" `Quick test_sanitized_pipeline ] );
+      ( "obs",
+        [ Alcotest.test_case "counters move" `Quick test_counters_move ] );
+    ]
