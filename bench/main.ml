@@ -68,6 +68,126 @@ let timed name f =
 
 let fmt_pctl lat p = Tabular.fmt_ns (Util.Histogram.percentile lat p)
 
+module J = Obs.Json
+
+(* Every Rv_log phase field, machine-readable (the smoke CI asserts on
+   the per-phase keys and the per-slot device attribution). *)
+let rv_log_phases = function
+  | Engine.Rv_log
+      {
+        checkpoint_load_ns;
+        replay_ns;
+        replay_decode_ns;
+        replay_stage_ns;
+        replay_apply_ns;
+        replay_waves;
+        replay_jobs;
+        replay_dev_by_slot;
+        command_txns;
+        checkpoint_rows;
+        checkpoint_bytes;
+        log_records;
+        log_bytes;
+        committed_txns;
+      } ->
+      Some
+        ( J.Obj
+            [
+              ("checkpoint_load_ns", J.Int checkpoint_load_ns);
+              ("replay_ns", J.Int replay_ns);
+              ("replay_decode_ns", J.Int replay_decode_ns);
+              ("replay_stage_ns", J.Int replay_stage_ns);
+              ("replay_apply_ns", J.Int replay_apply_ns);
+              ("replay_waves", J.Int replay_waves);
+              ("replay_jobs", J.Int replay_jobs);
+              ( "replay_dev_by_slot",
+                J.List
+                  (Array.to_list (Array.map (fun n -> J.Int n) replay_dev_by_slot))
+              );
+              ("command_txns", J.Int command_txns);
+              ("checkpoint_rows", J.Int checkpoint_rows);
+              ("checkpoint_bytes", J.Int checkpoint_bytes);
+              ("log_records", J.Int log_records);
+              ("log_bytes", J.Int log_bytes);
+              ("committed_txns", J.Int committed_txns);
+            ],
+          replay_dev_by_slot )
+  | _ -> None
+
+(* The tentpole matrix: replay the same crashed log under jobs 1/2/4 for
+   one logging policy. Scratch replays ([reopen:false]) leave the log
+   bytes untouched, so every cell replays identical input; digests are
+   compared against the jobs-1 baseline and the modeled speedup is
+   serial total device time over the parallel critical path (the
+   worst-loaded slot), the core-count-independent number EXPERIMENTS.md
+   E1 tracks. *)
+let replay_matrix_for ~tag ~policy ~rows ~size ~jobs_axis =
+  let lc = log_config ~fsync:false () in
+  let cfg =
+    {
+      Engine.region = Region.config_with_size size;
+      durability = Engine.Logging lc;
+      salvage = None;
+    }
+  in
+  let engine = Engine.create cfg in
+  Engine.set_log_policy engine policy;
+  let ycfg = { Ycsb.default_config with rows } in
+  (* spec-driven population: spec bodies declare their command ops, so
+     the `Command/`Adaptive policies actually emit command records. The
+     checkpoint covers only the loaded table; the whole measured op run
+     rides in the log, so the matrix times a replay-dominated restart. *)
+  let sess = Ycsb.setup engine (Prng.create 1L) ycfg in
+  ignore (Engine.checkpoint engine);
+  ignore (Ycsb.run_specs sess (Ycsb.gen_specs sess (Prng.create 2L) ~ops:(rows / 5)));
+  let log_bytes = Engine.log_bytes engine in
+  let data_bytes = Engine.data_bytes engine in
+  let crashed = Engine.crash engine Region.Drop_unfenced in
+  let jobs0 = Par.jobs () in
+  let baseline = ref None (* (digest, dev_total) at jobs 1 *) in
+  let cells =
+    List.map
+      (fun j ->
+        Par.set_jobs j;
+        let (e, detail), dt =
+          timed
+            (Printf.sprintf "%s.replay.%s.j%d" tag (Engine.log_policy_name policy) j)
+            (fun () -> Engine.recover_log ~reopen:false cfg lc)
+        in
+        let digest = Engine.media_digest e in
+        let phases, dev =
+          match rv_log_phases detail with
+          | Some (p, d) -> (p, d)
+          | None -> (J.Obj [], [||])
+        in
+        let dev_total = Array.fold_left ( + ) 0 dev in
+        let dev_critical = Array.fold_left max 0 dev in
+        (match !baseline with
+        | None -> baseline := Some (digest, dev_total)
+        | Some _ -> ());
+        let base_digest, base_dev =
+          match !baseline with Some (d, t) -> (d, t) | None -> (digest, dev_total)
+        in
+        ignore (Engine.crash e Region.Drop_unfenced);
+        J.Obj
+          [
+            ("policy", J.Str (Engine.log_policy_name policy));
+            ("jobs", J.Int j);
+            ("wall_ns", J.Int dt);
+            ("dev_total_ns", J.Int dev_total);
+            ("dev_critical_ns", J.Int dev_critical);
+            ( "modeled_speedup",
+              J.Float
+                (if dev_critical = 0 then 1.0
+                 else float_of_int base_dev /. float_of_int dev_critical) );
+            ("digest_match", J.Bool (String.equal digest base_digest));
+            ("phases", phases);
+          ])
+      jobs_axis
+  in
+  Par.set_jobs jobs0;
+  (cells, crashed, cfg, lc, log_bytes, data_bytes)
+
 (* ------------------------------------------------------------------ *)
 (* E1: recovery time vs dataset size                                   *)
 (* ------------------------------------------------------------------ *)
@@ -132,7 +252,60 @@ let e1 ~fast () =
   done;
   Tabular.print table;
   print_endline
-    "expected shape: log replay grows ~linearly with data; Hyrise-NV stays flat."
+    "expected shape: log replay grows ~linearly with data; Hyrise-NV stays flat.";
+  (* partitioned-replay matrix at the largest scale: wall time and
+     modeled device speedup per policy x jobs (PROTOCOLS.md §14) *)
+  let rows = 1_000 * (1 lsl (scales - 1)) in
+  let size = 48 * mib * (1 lsl (scales - 1)) in
+  let mtable =
+    Tabular.create ~title:"E1: partitioned parallel replay (policy x jobs)"
+      [
+        ("policy", Tabular.Left);
+        ("jobs", Tabular.Right);
+        ("replay wall", Tabular.Right);
+        ("device critical", Tabular.Right);
+        ("modeled speedup", Tabular.Right);
+        ("digest", Tabular.Right);
+      ]
+  in
+  List.iter
+    (fun policy ->
+      let cells, _, _, _, _, _ =
+        replay_matrix_for ~tag:"e1" ~policy ~rows ~size ~jobs_axis:[ 1; 2; 4 ]
+      in
+      List.iter
+        (fun cell ->
+          match cell with
+          | Obs.Json.Obj fields ->
+              let geti k =
+                match List.assoc_opt k fields with
+                | Some (Obs.Json.Int n) -> n
+                | _ -> 0
+              in
+              let speedup =
+                match List.assoc_opt "modeled_speedup" fields with
+                | Some (Obs.Json.Float f) -> f
+                | _ -> 1.0
+              in
+              let ok =
+                List.assoc_opt "digest_match" fields = Some (Obs.Json.Bool true)
+              in
+              Tabular.add_row mtable
+                [
+                  Engine.log_policy_name policy;
+                  Tabular.fmt_int (geti "jobs");
+                  Tabular.fmt_ns (geti "wall_ns");
+                  Tabular.fmt_ns (geti "dev_critical_ns");
+                  Printf.sprintf "%.2fx" speedup;
+                  (if ok then "=" else "MISMATCH");
+                ]
+          | _ -> ())
+        cells)
+    [ `Value; `Command; `Adaptive ];
+  Tabular.print mtable;
+  print_endline
+    "expected shape: device critical path shrinks with jobs, identical digests;\n\
+     command/adaptive shrink log bytes for update-heavy tails."
 
 (* ------------------------------------------------------------------ *)
 (* E2: OLTP throughput per durability mechanism                        *)
@@ -1323,8 +1496,6 @@ let a4 ~fast () =
 (* Machine-readable output: BENCH_recovery.json, BENCH_throughput.json  *)
 (* ------------------------------------------------------------------ *)
 
-module J = Obs.Json
-
 let write_json path doc =
   let oc = open_out path in
   output_string oc (J.pretty doc);
@@ -1370,37 +1541,57 @@ let recovery_json ~scales () =
           (e2, rs)
         in
         (* log mode, checkpointed mid-run so recovery exercises both the
-           checkpoint-load and replay phases *)
-        let e_log = log_engine ~fsync:false size in
-        let sess = populate e_log in
-        ignore (Engine.checkpoint e_log);
-        ignore (Ycsb.run sess (Prng.create 3L) ~ops:(rows / 20));
-        let log_bytes = Engine.log_bytes e_log in
-        let log_data = Engine.data_bytes e_log in
-        let _, rs_log = crash_recover "json.recover_log" e_log in
+           checkpoint-load and replay phases. The value-policy engine
+           doubles as the legacy single-run measurement; the matrix adds
+           `Command and `Adaptive engines and jobs 1/2/4 scratch replays
+           of each. *)
+        let matrix, v_crashed, _, _, log_bytes, log_data =
+          replay_matrix_for ~tag:"json" ~policy:`Value ~rows ~size
+            ~jobs_axis:[ 1; 2; 4 ]
+        in
+        let matrix =
+          matrix
+          @ List.concat_map
+              (fun policy ->
+                let cells, _, _, _, _, _ =
+                  replay_matrix_for ~tag:"json" ~policy ~rows ~size
+                    ~jobs_axis:[ 1; 2; 4 ]
+                in
+                cells)
+              [ `Command; `Adaptive ]
+        in
+        let speedup_jobs2 =
+          (* the command-policy jobs-2 cell's modeled speedup (CI floor:
+             replay re-execution is the work partitioning parallelizes;
+             value-policy replay is append-bound and honestly ~1.0) *)
+          List.fold_left
+            (fun acc cell ->
+              match cell with
+              | J.Obj fields -> (
+                  match
+                    (List.assoc_opt "policy" fields, List.assoc_opt "jobs" fields)
+                  with
+                  | Some (J.Str "command"), Some (J.Int 2) ->
+                      List.assoc_opt "modeled_speedup" fields
+                  | _ -> acc)
+              | _ -> acc)
+            None matrix
+        in
+        let digests_equal =
+          List.for_all
+            (fun cell ->
+              match cell with
+              | J.Obj fields -> List.assoc_opt "digest_match" fields <> Some (J.Bool false)
+              | _ -> true)
+            matrix
+        in
+        let (_, rs_log), _ =
+          timed "json.recover_log" (fun () -> Engine.recover v_crashed)
+        in
         let log_phases =
-          match rs_log.Engine.detail with
-          | Engine.Rv_log
-              {
-                checkpoint_load_ns;
-                replay_ns;
-                checkpoint_rows;
-                checkpoint_bytes;
-                log_records;
-                log_bytes = replay_bytes;
-                committed_txns;
-              } ->
-              J.Obj
-                [
-                  ("checkpoint_load_ns", J.Int checkpoint_load_ns);
-                  ("replay_ns", J.Int replay_ns);
-                  ("checkpoint_rows", J.Int checkpoint_rows);
-                  ("checkpoint_bytes", J.Int checkpoint_bytes);
-                  ("log_records", J.Int log_records);
-                  ("log_bytes", J.Int replay_bytes);
-                  ("committed_txns", J.Int committed_txns);
-                ]
-          | _ -> J.Obj []
+          match rv_log_phases rs_log.Engine.detail with
+          | Some (p, _) -> p
+          | None -> J.Obj []
         in
         let e_nvm = nvm_engine size in
         ignore (populate e_nvm);
@@ -1446,6 +1637,10 @@ let recovery_json ~scales () =
                   ("log_bytes", J.Int log_bytes);
                   ("phases", log_phases);
                 ] );
+            ("replay_matrix", J.List matrix);
+            ( "replay_speedup_jobs2",
+              Option.value ~default:J.Null speedup_jobs2 );
+            ("replay_digests_equal", J.Bool digests_equal);
             ( "nvm",
               J.Obj
                 [
@@ -1961,6 +2156,12 @@ let () =
           match int_of_string_opt Sys.argv.(i + 1) with
           | Some n -> Par.set_jobs n
           | None -> failwith "--jobs expects an integer")
+      | "--log-policy" when i + 1 < Array.length Sys.argv ->
+          (* validate, then let every engine the bench creates pick it
+             up as its default (the E1 replay matrix still sweeps all
+             three policies explicitly) *)
+          ignore (Engine.log_policy_of_string Sys.argv.(i + 1));
+          Unix.putenv "HYRISE_NV_LOG_POLICY" Sys.argv.(i + 1)
       | _ -> ())
     Sys.argv;
   Printf.printf "jobs: %d (of %d recommended; --jobs N or HYRISE_NV_JOBS)\n"

@@ -46,6 +46,26 @@ let jobs_arg =
 
 let set_jobs = function Some n -> Par.set_jobs n | None -> ()
 
+let log_policy_arg =
+  let pol =
+    Arg.enum
+      [ ("value", `Value); ("command", `Command); ("adaptive", `Adaptive) ]
+  in
+  let doc =
+    "WAL record policy for log-mode engines: $(b,value) logs row images, \
+     $(b,command) logs re-executable operations, $(b,adaptive) prices \
+     both per transaction and writes the cheaper one (PROTOCOLS.md §14). \
+     Defaults to $(b,HYRISE_NV_LOG_POLICY) or $(b,value)."
+  in
+  Arg.(
+    value
+    & opt (some pol) None
+    & info [ "log-policy" ] ~docv:"POLICY" ~doc)
+
+let set_policy engine = function
+  | Some p -> Engine.set_log_policy engine p
+  | None -> ()
+
 let writers_arg =
   let doc =
     "Writer lanes for the epoch-batched commit pipeline (default: \
@@ -134,7 +154,7 @@ let tmpdir () =
   Sys.remove d;
   d
 
-let demo jobs scales seed =
+let demo jobs scales seed policy =
   set_jobs jobs;
   let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9)) in
   let table =
@@ -152,9 +172,16 @@ let demo jobs scales seed =
     let size = 64 * mib * (1 lsl s) in
     let run mk =
       let engine = mk () in
+      set_policy engine policy;
       let cfg = { Ycsb.default_config with rows } in
       let sess = Ycsb.setup engine (Prng.create (Int64.of_int seed)) cfg in
-      ignore (Ycsb.run sess (Prng.create (Int64.of_int (seed + 1))) ~ops:(rows / 10));
+      (* spec-driven: bodies declare their command form, so --log-policy
+         genuinely shapes the replayed WAL *)
+      ignore
+        (Ycsb.run_specs sess
+           (Ycsb.gen_specs sess
+              (Prng.create (Int64.of_int (seed + 1)))
+              ~ops:(rows / 10)));
       let bytes = Engine.data_bytes engine in
       let crashed = Engine.crash engine Region.Drop_unfenced in
       let t0 = now_ns () in
@@ -194,7 +221,7 @@ let demo_cmd =
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"The demo paper's comparison: log vs NVM restart.")
-    Term.(const demo $ jobs_arg $ scales $ seed_arg)
+    Term.(const demo $ jobs_arg $ scales $ seed_arg $ log_policy_arg)
 
 (* -- torture -- *)
 
@@ -379,7 +406,7 @@ let phase_table ~title parent phases =
   Tabular.print t;
   (sum, wall)
 
-let stats jobs writers size_mb seed ops trace json =
+let stats jobs writers size_mb seed ops trace json policy =
   set_jobs jobs;
   arm_trace trace;
   Obs.set_enabled true;
@@ -391,11 +418,17 @@ let stats jobs writers size_mb seed ops trace json =
   let run_mode label mk_engine ~checkpoint_midway parent phases =
     let rng = Prng.create (Int64.of_int seed) in
     let engine = mk_engine () in
+    set_policy engine policy;
     let ycfg = { Ycsb.default_config with rows } in
     let sess = Ycsb.setup engine (Prng.split rng) ycfg in
-    ignore (Ycsb.run sess (Prng.split rng) ~ops:(ops / 2));
+    (* spec-driven so transaction bodies declare their command form and
+       --log-policy genuinely shapes the WAL (PROTOCOLS.md §14) *)
+    let run_ops n =
+      ignore (Ycsb.run_specs sess (Ycsb.gen_specs sess (Prng.split rng) ~ops:n))
+    in
+    run_ops (ops / 2);
     if checkpoint_midway then ignore (Engine.checkpoint engine);
-    ignore (Ycsb.run sess (Prng.split rng) ~ops:(ops - (ops / 2)));
+    run_ops (ops - (ops / 2));
     let crashed = Engine.crash engine Region.Drop_unfenced in
     let e2, rstats = Engine.recover crashed in
     Engine.sync_metrics e2;
@@ -507,7 +540,7 @@ let stats_cmd =
              per-phase recovery breakdown and the full metrics registry.")
     Term.(
       const stats $ jobs_arg $ writers_arg $ size_arg $ seed_arg $ ops
-      $ trace_arg $ json)
+      $ trace_arg $ json $ log_policy_arg)
 
 (* -- scrub -- *)
 

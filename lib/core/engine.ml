@@ -45,6 +45,64 @@ type txn = Mvcc.txn
 
 exception Closed
 
+(* -- adaptive logging policy (docs/PROTOCOLS.md §14) --
+
+   Under [`Value] every write is logged as a row image (the classic
+   baseline). A transaction whose body also {e declares} its writes as
+   command ops can instead be logged as one [Command] record that replay
+   re-executes; [`Command] forces that for every declared transaction,
+   [`Adaptive] chooses per transaction by comparing the bytes saved on
+   the log device against the estimated re-execution cost at replay. *)
+
+type log_policy = [ `Value | `Command | `Adaptive ]
+
+let log_policy_of_string_opt s : log_policy option =
+  match String.lowercase_ascii (String.trim s) with
+  | "value" -> Some `Value
+  | "command" -> Some `Command
+  | "adaptive" -> Some `Adaptive
+  | _ -> None
+
+let log_policy_of_string s =
+  match log_policy_of_string_opt s with
+  | Some p -> p
+  | None ->
+      invalid_arg
+        (Printf.sprintf "log_policy_of_string: %S (want value|command|adaptive)"
+           s)
+
+let log_policy_name = function
+  | `Value -> "value"
+  | `Command -> "command"
+  | `Adaptive -> "adaptive"
+
+(* [HYRISE_NV_LOG_POLICY] selects the default process-wide (the CI
+   policy legs); [set_log_policy] overrides per engine. *)
+let default_log_policy () : log_policy =
+  match Sys.getenv_opt "HYRISE_NV_LOG_POLICY" with
+  | Some s -> Option.value ~default:`Value (log_policy_of_string_opt s)
+  | None -> `Value
+
+type cell_op = Wal.Codec.cell_op = Set of Value.t | Add_int of int
+
+type command_op =
+  | C_insert of { table : string; values : Value.t array }
+  | C_update of {
+      table : string;
+      key_col : string;
+      key : Value.t;
+      sets : (string * cell_op) list;
+    }
+  | C_delete of { table : string; key_col : string; key : Value.t }
+
+(* A declared transaction's commit-time buffer: its resolved command ops
+   plus the value records the observer withholds while the choice is
+   open. Guarded by a mutex — staged bodies declare from pool lanes. *)
+type pending = {
+  p_ops : Wal.Codec.cmd_op array;
+  mutable p_records : Wal.Log.record list; (* reversed *)
+}
+
 (* Engine control block (root slot 0):
      +0  last committed CID   (the durable commit point)
      +8  catalog handle
@@ -76,6 +134,9 @@ type t = {
   mutable writers : int; (* > 1 arms the epoch-batched commit pipeline *)
   publish_mode : Mvcc.publish_mode;
   san : Nvm.Sanitizer.t option;
+  mutable log_policy : log_policy;
+  pending_mu : Mutex.t;
+  pending : (int, pending) Hashtbl.t; (* tid -> declared-command buffer *)
   mutable quarantined : string list; (* damaged tables we could not salvage *)
   mutable closed : bool;
   mutable replaying : bool; (* suppress logging during replay *)
@@ -123,21 +184,95 @@ let persist_commit_hook region ctrl cid =
 let read_commit_point region ctrl =
   Int64.of_int (Seal.read region ~what:"engine commit point" ctrl)
 
+let pending_find t tid =
+  Mutex.protect t.pending_mu (fun () -> Hashtbl.find_opt t.pending tid)
+
+let pending_take t tid =
+  Mutex.protect t.pending_mu (fun () ->
+      match Hashtbl.find_opt t.pending tid with
+      | Some p ->
+          Hashtbl.remove t.pending tid;
+          Some p
+      | None -> None)
+
+let cmd_txns_c = Obs.counter "wal.policy.command_txns"
+let val_txns_c = Obs.counter "wal.policy.value_txns"
+
+(* Adaptive estimator constants: what a log byte costs at commit
+   (amortized write + fsync share) vs. what a key lookup + row rebuild
+   costs at replay. A command record wins when the bytes it saves on
+   every commit outweigh the lookups replay must re-execute once —
+   updates of wide rows compress to a key + cell edits and win; inserts
+   carry the full row either way and stay value-logged. *)
+let log_byte_ns = 25
+let replay_lookup_ns = 4000
+
+let command_wins t (p : pending) ~commit =
+  match t.log_policy with
+  | `Value -> false
+  | `Command -> true
+  | `Adaptive ->
+      let frame = 8 in
+      let value_bytes =
+        List.fold_left
+          (fun a r -> a + frame + Wal.Log.encoded_size r)
+          (frame + Wal.Log.encoded_size commit)
+          p.p_records
+      in
+      let command_bytes =
+        frame
+        + Wal.Log.encoded_size (Wal.Log.Command { tid = 0; ops = p.p_ops })
+        + frame + 21 (* the empty-invalidation commit that follows *)
+      in
+      let lookups =
+        Array.fold_left
+          (fun a op ->
+            match op with
+            | Wal.Codec.Cmd_update _ | Wal.Codec.Cmd_delete _ -> a + 1
+            | Wal.Codec.Cmd_insert _ -> a)
+          0 p.p_ops
+      in
+      (value_bytes - command_bytes) * log_byte_ns > lookups * replay_lookup_ns
+
 let observer t event =
   if not t.replaying then
     match (t.log, event) with
     | None, _ -> ()
-    | Some log, Mvcc.Ev_insert { tid; table; values } ->
-        Wal.Log.append log
-          (Wal.Log.Insert { tid; table_id = table_id t (Table.name table); values })
-    | Some log, Mvcc.Ev_commit { tid; cid; invalidated } ->
+    | Some log, Mvcc.Ev_insert { tid; table; values } -> (
+        let r =
+          Wal.Log.Insert { tid; table_id = table_id t (Table.name table); values }
+        in
+        (* a declared transaction's value records are withheld until its
+           commit decides the record shape *)
+        match pending_find t tid with
+        | Some p -> p.p_records <- r :: p.p_records
+        | None -> Wal.Log.append log r)
+    | Some log, Mvcc.Ev_commit { tid; cid; invalidated } -> (
         let invalidated =
           List.map
             (fun (table, row) -> (table_id t (Table.name table), row))
             invalidated
         in
-        Wal.Log.append log (Wal.Log.Commit { tid; cid; invalidated })
+        let commit = Wal.Log.Commit { tid; cid; invalidated } in
+        match pending_take t tid with
+        | None -> Wal.Log.append log commit
+        | Some p when Array.length p.p_ops > 0 && command_wins t p ~commit ->
+            Obs.incr cmd_txns_c;
+            Wal.Log.append log (Wal.Log.Command { tid; ops = p.p_ops });
+            (* the paired commit carries no invalidation list: replay's
+               re-execution recomputes it from the ops *)
+            Wal.Log.append log (Wal.Log.Commit { tid; cid; invalidated = [] })
+        | Some p ->
+            Obs.incr val_txns_c;
+            List.iter (Wal.Log.append log) (List.rev p.p_records);
+            Wal.Log.append log commit)
     | Some log, Mvcc.Ev_abort { tid } ->
+        (* flush the withheld value records even for an abort: replay
+           must re-append these rows so later logged row references keep
+           resolving against identical physical numbering *)
+        (match pending_take t tid with
+        | Some p -> List.iter (Wal.Log.append log) (List.rev p.p_records)
+        | None -> ());
         Wal.Log.append log (Wal.Log.Abort { tid })
 
 let make_manager t ~last_cid =
@@ -167,6 +302,9 @@ let assemble ?(publish_mode = `Batched) ?san cfg region alloc ctrl catalog
       writers = default_writers ();
       publish_mode;
       san;
+      log_policy = default_log_policy ();
+      pending_mu = Mutex.create ();
+      pending = Hashtbl.create 16;
       quarantined = [];
       closed = false;
       replaying = false;
@@ -290,6 +428,55 @@ let with_txn t f =
   | exception e ->
       if Mvcc.is_active txn then abort t txn;
       raise e
+
+(* -- adaptive logging (docs/PROTOCOLS.md §14) -- *)
+
+let set_log_policy t p = t.log_policy <- p
+let log_policy t = t.log_policy
+
+(* Declare the transaction's writes as command ops (from the body,
+   before the writes happen). Resolution of names to log ids and column
+   indices happens here; the buffer keyed by tid is what the observer
+   consults at every subsequent event for this transaction. Safe from a
+   staged body on a pool lane: the volatile [tables]/[ids] maps are
+   read-only during a run, and the pending map is mutex-guarded.
+
+   Determinism contract (§14): the declared ops, re-executed in commit
+   order against replayed state, must reproduce exactly the writes the
+   body performs — key lookups must resolve a unique live row, and the
+   body must not read its own writes. Workload specs (PR 8) satisfy
+   this by construction. *)
+let declare_command t txn ops =
+  check_open t;
+  if t.log <> None && (not t.replaying) && t.log_policy <> `Value then begin
+    let col tbl name = Schema.find_column (Table.schema tbl) name in
+    let resolve = function
+      | C_insert { table = name; values } ->
+          ignore (table t name);
+          Wal.Codec.Cmd_insert { table_id = table_id t name; values }
+      | C_update { table = name; key_col; key; sets } ->
+          let tbl = table t name in
+          Wal.Codec.Cmd_update
+            {
+              table_id = table_id t name;
+              key_col = col tbl key_col;
+              key;
+              sets =
+                Array.of_list
+                  (List.map (fun (c, op) -> (col tbl c, op)) sets);
+            }
+      | C_delete { table = name; key_col; key } ->
+          let tbl = table t name in
+          Wal.Codec.Cmd_delete
+            { table_id = table_id t name; key_col = col tbl key_col; key }
+    in
+    let p_ops = Array.of_list (List.map resolve ops) in
+    let tid = Mvcc.tid txn in
+    Mutex.protect t.pending_mu (fun () ->
+        (* replace: a re-executed body (pipeline overlap miss) declares
+           again for the same tid *)
+        Hashtbl.replace t.pending tid { p_ops; p_records = [] })
+  end
 
 (* -- writer pipeline (docs/PROTOCOLS.md §13) -- *)
 
@@ -768,6 +955,15 @@ type recovery_detail =
   | Rv_log of {
       checkpoint_load_ns : int;
       replay_ns : int;
+      replay_decode_ns : int; (* frame scan + payload parse *)
+      replay_stage_ns : int; (* lane-side witness staging (jobs > 1) *)
+      replay_apply_ns : int; (* serial CID-ordered apply pass *)
+      replay_waves : int;
+      replay_jobs : int; (* Par.jobs () the replay ran under *)
+      replay_dev_by_slot : int array;
+          (* modeled device ns attributed to each pool slot during the
+             replay span; slot 0 is the serial applier *)
+      command_txns : int; (* transactions re-executed from Command records *)
       checkpoint_rows : int;
       checkpoint_bytes : int;
       log_records : int;
@@ -799,6 +995,21 @@ let load_checkpoint_tables e (c : Wal.Checkpoint.t) =
     c.Wal.Checkpoint.tables;
   !rows
 
+(* wal.replay.* — the partitioned parallel replay's phase metrics *)
+let replay_waves_c = Obs.counter "wal.replay.waves"
+let replay_partitions_c = Obs.counter "wal.replay.partitions"
+let replay_staged_c = Obs.counter "wal.replay.staged_rows"
+let replay_stale_c = Obs.counter "wal.replay.stale_witness"
+let replay_stale_lookups_c = Obs.counter "wal.replay.stale_lookups"
+let replay_cmd_txns_c = Obs.counter "wal.replay.command_txns"
+let replay_lookups_c = Obs.counter "wal.replay.command_lookups"
+
+(* records per replay wave: small enough that staging witnesses are at
+   most one wave stale (delta dictionaries only grow, so staleness only
+   costs a fallback re-walk, never correctness), large enough to keep
+   the worker lanes busy between joins *)
+let replay_wave = 256
+
 (* Rebuild from checkpoint + retained logs. The ladder:
    1. checkpoint.bin plus its epoch's log;
    2. (current checkpoint rejected) checkpoint.bak plus the previous
@@ -808,11 +1019,14 @@ let load_checkpoint_tables e (c : Wal.Checkpoint.t) =
       epoch from 0, with a merge at each boundary.
    [bound] (NVM salvage) drops commit records beyond the NVM durable
    commit point so the rebuilt state matches the surviving image;
-   [reopen] re-arms the log for appending (off for scratch replays). *)
-let recover_log_at ?bound ?(reopen = true) cfg lc =
+   [reopen] re-arms the log for appending (off for scratch replays);
+   [sanitize] traces the fresh region (tests drive the parallel replay
+   under the armed sanitizer with it). *)
+let recover_log_at ?bound ?(reopen = true) ?sanitize cfg lc =
   Obs.Span.with_ ~name:"recover.log" @@ fun () ->
   let e =
-    Obs.Span.with_ ~name:"format" (fun () -> create_raw cfg ~with_log:false)
+    Obs.Span.with_ ~name:"format" (fun () ->
+        create_raw ?sanitize cfg ~with_log:false)
   in
   e.replaying <- true;
   let t0 = now_ns () in
@@ -841,65 +1055,479 @@ let recover_log_at ?bound ?(reopen = true) cfg lc =
     | None -> (Cid.zero, 0)
   in
   let top_epoch = List.fold_left max base_epoch (Wal.Log.epochs ~dir) in
-  (* replay: reproduce physical row numbering by applying every logged
-     insert, then stamping at commit records *)
-  let staged : (int, (Table.t * int) list) Hashtbl.t = Hashtbl.create 64 in
+  (* -- partitioned parallel replay (docs/PROTOCOLS.md §14) --
+
+     Replay reproduces physical row numbering by applying every logged
+     insert, then stamping CIDs at commit records. The parallel shape
+     mirrors the writer pipeline (§13): records are processed in waves;
+     a wave's insert payloads are partitioned by table and their
+     dictionary probes staged on the worker lanes ([Table.stage_probe],
+     pure Region reads, deterministic chunk striding via
+     [Par.parallel_for ~caller:false]); the next wave stages before the
+     current one applies — the sequential rendering of the overlap. All
+     NVM writes happen in the serial apply pass on slot 0, which walks
+     records in log order — that pass IS the cross-partition commit
+     ordering rule: per-record CIDs are stamped exactly in log order, so
+     the result is byte-identical to [--jobs 1] (witnesses only change
+     read paths; a stale witness falls back to the ordinary walk). *)
+  (* staged rows carry their log table id and full values so the commit
+     stamp can bump the key versions they make live *)
+  let staged : (int, (Table.t * int * int * Value.t array) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  (* command re-execution records the rows it invalidates as intents
+     keyed by tid (with the lookup key whose liveness the stamp will
+     change); the commit record stamps them (or, beyond [bound], drops
+     them together with the staged rows) *)
+  let intents : (int, (Table.t * int * int * (int * Value.t)) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
   let last = ref base_cid in
   let committed = ref 0 in
   let total_records = ref 0 and total_bytes = ref 0 in
   let final_bytes = ref 0 in
+  let decode_ns = ref 0 and stage_ns = ref 0 and apply_ns = ref 0 in
+  let waves = ref 0 in
+  let stale = ref 0 in
+  let cmd_txns = ref 0 in
+  let jobs = Par.jobs () in
   let table_by_id id =
     match List.nth_opt (List.rev e.names_by_id) id with
     | Some name -> table e name
     | None -> failwith "Engine.recover: log references unknown table"
   in
-  let apply r =
+  let snapshot_tables () =
+    Array.of_list (List.rev_map (Hashtbl.find e.tables) e.names_by_id)
+  in
+  let push map tid entry =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt map tid) in
+    Hashtbl.replace map tid (entry :: prev)
+  in
+  (* first committed-live row holding the key, ascending physical order —
+     the row the live body's lookup resolved per the §14 determinism
+     contract (at apply time every preceding transaction has already
+     committed, so committed-live equals visible) *)
+  let live_row tbl key_col key =
+    List.find_opt
+      (fun row ->
+        Table.begin_cid tbl row <> Cid.infinity
+        && Table.end_cid tbl row = Cid.infinity)
+      (Table.rows_with_value tbl key_col key)
+  in
+  (* -- staged key lookups --
+
+     The committed-live row a command lookup resolves changes ONLY when a
+     commit stamp begins or ends a row holding that key (appends alone
+     stage begin = end = infinity, invisible to [live_row]). So a lookup
+     walked on a pool lane a wave ahead stays valid as long as its key's
+     version below is unbumped; the serial applier checks the version and
+     re-walks on a mismatch (counted as [wal.replay.stale_lookups]). The
+     version table is keyed per (table log id, key column, key value) —
+     the columns registered from the epoch's own command records. *)
+  let key_cols : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+  let register_key table_id col =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt key_cols table_id) in
+    if not (List.mem col cur) then Hashtbl.replace key_cols table_id (col :: cur)
+  in
+  let keyver : (int * int * Value.t, int) Hashtbl.t = Hashtbl.create 512 in
+  let kver k = Option.value ~default:0 (Hashtbl.find_opt keyver k) in
+  (* resolved-lookup cache, maintained synchronously by the serial apply
+     pass: under the §14 contract a key resolves at most one live row, so
+     a committed command update/delete determines the key's next
+     resolution outright (the appended version / nothing), and repeated
+     hot-key lookups — inherently serial chains, each depending on the
+     previous commit — cost O(1) instead of a table walk. Any other
+     liveness change for the key (a value-logged commit) just evicts. *)
+  let lcache : (int * int * Value.t, int option) Hashtbl.t =
+    Hashtbl.create 512
+  in
+  let bump table_id col v =
+    let k = (table_id, col, v) in
+    Hashtbl.remove lcache k;
+    Hashtbl.replace keyver k (1 + kver k)
+  in
+  let bump_registered table_id (values : Value.t array) =
+    match Hashtbl.find_opt key_cols table_id with
+    | None -> ()
+    | Some cols ->
+        List.iter
+          (fun c -> if c < Array.length values then bump table_id c values.(c))
+          cols
+  in
+  let append_with tbl w values =
+    match w with
+    | Some vids -> Table.append_row_prepared ~stale tbl ~vids values
+    | None -> Table.append_row tbl values
+  in
+  (* [cells] holds the wave's staged witnesses; the plan maps each
+     record's op index to a witness cell and a lookup cell, -1 = not
+     staged. [lres] holds staged lookup results (resolved row plus, for
+     updates, its prefetched values); [lmeta] the key-version each was
+     walked under. *)
+  let witness cells pcells oi =
+    if oi < Array.length pcells && pcells.(oi) >= 0 then cells.(pcells.(oi))
+    else None
+  in
+  let stale_lookups = ref 0 in
+  let apply cells pcells lcells lres lmeta r =
+    let staged_lookup oi tbl key_col key table_id =
+      (* (resolved row, prefetched values if still usable) *)
+      let k = (table_id, key_col, key) in
+      match Hashtbl.find_opt lcache k with
+      | Some row -> (row, None)
+      | None ->
+          let res =
+            if oi < Array.length lcells && lcells.(oi) >= 0 then begin
+              let c = lcells.(oi) in
+              let _, _, _, v0 = lmeta.(c) in
+              if kver k = v0 then lres.(c)
+              else begin
+                incr stale_lookups;
+                (live_row tbl key_col key, None)
+              end
+            end
+            else (live_row tbl key_col key, None)
+          in
+          Hashtbl.replace lcache k (fst res);
+          res
+    in
     match r with
     | Wal.Log.Create_table { name; schema } -> create_table e ~name schema
     | Wal.Log.Insert { tid; table_id; values } ->
-        let table = table_by_id table_id in
-        let row = Table.append_row table values in
-        let prev = Option.value ~default:[] (Hashtbl.find_opt staged tid) in
-        Hashtbl.replace staged tid ((table, row) :: prev)
+        let tbl = table_by_id table_id in
+        let row = append_with tbl (witness cells pcells 0) values in
+        push staged tid (tbl, row, table_id, values)
+    | Wal.Log.Command { tid; ops } ->
+        (* re-execute the declared ops against replayed state; the key
+           lookups are the replay cost the adaptive policy's estimator
+           prices (staged on the pool a wave ahead when jobs > 1) *)
+        incr cmd_txns;
+        Obs.incr replay_cmd_txns_c;
+        Array.iteri
+          (fun oi op ->
+            match op with
+            | Wal.Codec.Cmd_insert { table_id; values } ->
+                let tbl = table_by_id table_id in
+                let row = append_with tbl (witness cells pcells oi) values in
+                push staged tid (tbl, row, table_id, values)
+            | Wal.Codec.Cmd_update { table_id; key_col; key; sets } -> (
+                Obs.incr replay_lookups_c;
+                let tbl = table_by_id table_id in
+                match staged_lookup oi tbl key_col key table_id with
+                | None, _ -> () (* the live body's lookup missed too (§14) *)
+                | Some row, pre ->
+                    let nv =
+                      match pre with
+                      | Some v -> Array.copy v
+                      | None -> Array.copy (Table.get_row tbl row)
+                    in
+                    Array.iter
+                      (fun (c, cop) ->
+                        nv.(c) <-
+                          (match (cop, nv.(c)) with
+                          | Set v, _ -> v
+                          | Add_int d, Value.Int x -> Value.Int (x + d)
+                          | Add_int _, v -> v))
+                      sets;
+                    let nr = Table.append_row tbl nv in
+                    push staged tid (tbl, nr, table_id, nv);
+                    push intents tid (tbl, row, table_id, (key_col, key)))
+            | Wal.Codec.Cmd_delete { table_id; key_col; key } -> (
+                Obs.incr replay_lookups_c;
+                let tbl = table_by_id table_id in
+                match staged_lookup oi tbl key_col key table_id with
+                | None, _ -> ()
+                | Some row, _ ->
+                    push intents tid (tbl, row, table_id, (key_col, key))))
+          ops
     | Wal.Log.Commit { tid; cid; invalidated } ->
         let beyond =
           match bound with Some b -> Int64.compare cid b > 0 | None -> false
         in
-        if beyond then
+        if beyond then begin
           (* the NVM image never made this commit durable: its rows stay
-             uncommitted, exactly like the image-side rollback leaves them *)
-          Hashtbl.remove staged tid
+             uncommitted and its invalidation intents are dropped,
+             exactly like the image-side rollback leaves them *)
+          Hashtbl.remove staged tid;
+          Hashtbl.remove intents tid
+        end
         else begin
+          let srows = Option.value ~default:[] (Hashtbl.find_opt staged tid) in
+          let irows =
+            Option.value ~default:[] (Hashtbl.find_opt intents tid)
+          in
           List.iter
-            (fun (table, row) -> Table.set_begin_cid table row cid)
-            (Option.value ~default:[] (Hashtbl.find_opt staged tid));
+            (fun (tbl, row, table_id, values) ->
+              Table.set_begin_cid tbl row cid;
+              bump_registered table_id values)
+            srows;
           Hashtbl.remove staged tid;
           List.iter
             (fun (table_id, row) ->
-              Table.set_end_cid (table_by_id table_id) row cid)
+              let tbl = table_by_id table_id in
+              Table.set_end_cid tbl row cid;
+              (* a value-logged invalidation kills a live row: bump its
+                 registered keys so staged lookups notice *)
+              match Hashtbl.find_opt key_cols table_id with
+              | None -> ()
+              | Some cols ->
+                  List.iter (fun c -> bump table_id c (Table.get tbl row c)) cols)
             invalidated;
+          List.iter
+            (fun (tbl, row, table_id, (kc, key)) ->
+              Table.set_end_cid tbl row cid;
+              bump table_id kc key)
+            irows;
+          Hashtbl.remove intents tid;
+          (* the commit itself determines each intent key's next
+             resolution (§14: at most one live row per key): an update
+             staged the key's replacement version, a delete left nothing.
+             Runs after the bumps, which evicted these entries. *)
+          List.iter
+            (fun (_, _, table_id, (kc, key)) ->
+              let next =
+                List.find_map
+                  (fun (_, r, id, values) ->
+                    if
+                      id = table_id
+                      && kc < Array.length values
+                      && values.(kc) = key
+                    then Some r
+                    else None)
+                  srows
+              in
+              Hashtbl.replace lcache (table_id, kc, key) next)
+            irows;
           if Int64.compare cid !last > 0 then last := cid;
           incr committed
         end
-    | Wal.Log.Abort { tid } -> Hashtbl.remove staged tid
+    | Wal.Log.Abort { tid } ->
+        Hashtbl.remove staged tid;
+        Hashtbl.remove intents tid
   in
+  let dev0 = Region.sim_ns_by_slot e.region in
   Obs.Span.with_ ~name:"replay" (fun () ->
       for epoch = base_epoch to top_epoch do
-        let records, log_bytes = Wal.Log.read_all ~dir ~expected_epoch:epoch in
-        List.iter apply records;
-        total_records := !total_records + List.length records;
+        (* decode: frame scan serially, then parse payload chunks on the
+           pool (pure volatile work, no Region access) *)
+        let td0 = now_ns () in
+        let payloads, log_bytes =
+          Wal.Log.read_payloads ~dir ~expected_epoch:epoch
+        in
+        let records =
+          Array.concat
+            (Array.to_list
+               (Par.map_chunks ~chunk:512 ~n:(Array.length payloads)
+                  (fun ~lo ~hi ->
+                    Array.init (hi - lo) (fun i ->
+                        Wal.Log.decode_record payloads.(lo + i)))))
+        in
+        decode_ns := !decode_ns + (now_ns () - td0);
+        let n = Array.length records in
+        (* register every key column this epoch's command records look
+           up, before any lookup is staged against the version table *)
+        Array.iter
+          (function
+            | Wal.Log.Command { ops; _ } ->
+                Array.iter
+                  (function
+                    | Wal.Codec.Cmd_update { table_id; key_col; _ }
+                    | Wal.Codec.Cmd_delete { table_id; key_col; _ } ->
+                        register_key table_id key_col
+                    | Wal.Codec.Cmd_insert _ -> ())
+                  ops
+            | _ -> ())
+          records;
+        (* stage one wave: partition its insert payloads by table and
+           probe their dictionaries on the worker lanes; walk its command
+           key lookups across ALL lanes (caller included — the applier's
+           slot takes its fair share of the read work between applies).
+           Returns empty arrays at jobs 1 so the serial baseline replays
+           on the pristine pre-parallel path. *)
+        let build_stage lo hi =
+          if jobs <= 1 then ([||], [||], [||], [||])
+          else begin
+            let ts0 = now_ns () in
+            let tbls = snapshot_tables () in
+            (* tables created inside this wave are not in the snapshot:
+               their inserts stay unstaged (cell -1, plain append) *)
+            let tbl_of id =
+              if id >= 0 && id < Array.length tbls then Some tbls.(id)
+              else None
+            in
+            let acc = ref [] and count = ref 0 in
+            let take id tbl values =
+              let c = !count in
+              incr count;
+              acc := (id, tbl, values, c) :: !acc;
+              c
+            in
+            let lacc = ref [] and lcount = ref 0 in
+            let lseen = Hashtbl.create 64 in
+            let ltake id tbl key_col key want_values =
+              (* hot keys repeat: each occurrence after the first depends
+                 on the commit before it (an inherently serial chain), and
+                 the apply pass answers it from [lcache] in O(1) — walking
+                 it on a lane would be pure waste. Stage only keys not
+                 already resolved and not already staged this wave. *)
+              let k = (id, key_col, key) in
+              if Hashtbl.mem lcache k || Hashtbl.mem lseen k then -1
+              else begin
+                Hashtbl.add lseen k ();
+                let c = !lcount in
+                incr lcount;
+                (* the version the walk runs under: read here, on the
+                   serial side, before any of this wave's applies *)
+                let v0 = kver k in
+                lacc := (tbl, key_col, key, want_values, id, v0, c) :: !lacc;
+                c
+              end
+            in
+            let plan =
+              Array.init (hi - lo) (fun j ->
+                  match records.(lo + j) with
+                  | Wal.Log.Insert { table_id; values; _ } -> (
+                      match tbl_of table_id with
+                      | Some tbl -> ([| take table_id tbl values |], [| -1 |])
+                      | None -> ([| -1 |], [| -1 |]))
+                  | Wal.Log.Command { ops; _ } ->
+                      let pc = Array.make (Array.length ops) (-1) in
+                      let lc = Array.make (Array.length ops) (-1) in
+                      Array.iteri
+                        (fun oi op ->
+                          match op with
+                          | Wal.Codec.Cmd_insert { table_id; values } -> (
+                              match tbl_of table_id with
+                              | Some tbl -> pc.(oi) <- take table_id tbl values
+                              | None -> ())
+                          | Wal.Codec.Cmd_update { table_id; key_col; key; _ }
+                            -> (
+                              match tbl_of table_id with
+                              | Some tbl ->
+                                  lc.(oi) <- ltake table_id tbl key_col key true
+                              | None -> ())
+                          | Wal.Codec.Cmd_delete { table_id; key_col; key } -> (
+                              match tbl_of table_id with
+                              | Some tbl ->
+                                  lc.(oi) <-
+                                    ltake table_id tbl key_col key false
+                              | None -> ()))
+                        ops;
+                      (pc, lc)
+                  | _ -> ([||], [||]))
+            in
+            let items = Array.of_list (List.rev !acc) in
+            (* partition: stable sort on the table's log id keeps log
+               order within each table's run of probes *)
+            Array.stable_sort
+              (fun (a, _, _, _) (b, _, _, _) -> compare (a : int) b)
+              items;
+            let parts = ref 0 in
+            Array.iteri
+              (fun k (id, _, _, _) ->
+                if k = 0 || id <> (let p, _, _, _ = items.(k - 1) in p) then
+                  incr parts)
+              items;
+            Obs.add replay_partitions_c !parts;
+            Obs.add replay_staged_c !count;
+            let cells = Array.make !count None in
+            Par.parallel_for ~caller:false ~min_chunk:8
+              ~n:(Array.length items) (fun ~lo:ilo ~hi:ihi ->
+                for k = ilo to ihi - 1 do
+                  let _, tbl, values, c = items.(k) in
+                  cells.(c) <- Some (Table.stage_probe tbl values)
+                done);
+            let litems = Array.of_list (List.rev !lacc) in
+            Array.stable_sort
+              (fun (_, _, _, _, a, _, _) (_, _, _, _, b, _, _) ->
+                compare (a : int) b)
+              litems;
+            let lres = Array.make !lcount (None, None) in
+            let lmeta = Array.make !lcount (0, 0, Value.Int 0, 0) in
+            Array.iter
+              (fun (_, kc, key, _, id, v0, c) -> lmeta.(c) <- (id, kc, key, v0))
+              litems;
+            (* lookups are coarse (a full key walk each): chunk at 1 and
+               let the static stride spread them over every lane *)
+            Par.parallel_for ~min_chunk:1 ~n:(Array.length litems)
+              (fun ~lo:ilo ~hi:ihi ->
+                for k = ilo to ihi - 1 do
+                  let tbl, kc, key, want_values, _, _, c = litems.(k) in
+                  let row = live_row tbl kc key in
+                  let pre =
+                    match (row, want_values) with
+                    | Some r, true -> Some (Table.get_row tbl r)
+                    | _ -> None
+                  in
+                  lres.(c) <- (row, pre)
+                done);
+            stage_ns := !stage_ns + (now_ns () - ts0);
+            (plan, cells, lres, lmeta)
+          end
+        in
+        let nwaves = if n = 0 then 0 else ((n + replay_wave - 1) / replay_wave) in
+        let bounds w = (w * replay_wave, min n ((w + 1) * replay_wave)) in
+        if nwaves > 0 then begin
+          let cur =
+            ref
+              (let lo, hi = bounds 0 in
+               build_stage lo hi)
+          in
+          for w = 0 to nwaves - 1 do
+            Obs.incr replay_waves_c;
+            incr waves;
+            (* stage the next wave before this one applies — the
+               sequential rendering of the stage/apply overlap (§13) *)
+            let next =
+              if w + 1 < nwaves then
+                Some
+                  (let nlo, nhi = bounds (w + 1) in
+                   build_stage nlo nhi)
+              else None
+            in
+            let lo, hi = bounds w in
+            let plan, cells, lres, lmeta = !cur in
+            let ta0 = now_ns () in
+            for j = lo to hi - 1 do
+              let pcells, lcells =
+                if Array.length plan = 0 then ([||], [||]) else plan.(j - lo)
+              in
+              apply cells pcells lcells lres lmeta records.(j)
+            done;
+            apply_ns := !apply_ns + (now_ns () - ta0);
+            match next with Some x -> cur := x | None -> ()
+          done
+        end;
+        total_records := !total_records + n;
         total_bytes := !total_bytes + log_bytes;
         final_bytes := log_bytes;
         if epoch < top_epoch then begin
           (* reproduce the merge the checkpoint at this boundary performed,
              so the next epoch's row references resolve *)
           Hashtbl.reset staged;
+          Hashtbl.reset intents;
+          (* the merge renumbers physical rows: cached resolutions and
+             key versions are meaningless across the boundary *)
+          Hashtbl.reset lcache;
+          Hashtbl.reset keyver;
           e.mgr <- make_manager e ~last_cid:!last;
           List.iter (fun n -> ignore (merge_one e n)) (table_names e)
         end
       done;
+      Obs.add replay_stale_c !stale;
+      Obs.add replay_stale_lookups_c !stale_lookups;
       Obs.Span.attr "records" !total_records;
-      Obs.Span.attr "committed_txns" !committed);
+      Obs.Span.attr "committed_txns" !committed;
+      Obs.Span.attr "jobs" jobs;
+      Obs.Span.attr "waves" !waves;
+      Obs.Span.attr "decode_ns" !decode_ns;
+      Obs.Span.attr "stage_ns" !stage_ns;
+      Obs.Span.attr "apply_ns" !apply_ns);
+  let dev1 = Region.sim_ns_by_slot e.region in
+  let replay_dev_by_slot =
+    Array.init (Array.length dev1) (fun i ->
+        dev1.(i) - (if i < Array.length dev0 then dev0.(i) else 0))
+  in
   let t2 = now_ns () in
   e.replaying <- false;
   Obs.Span.with_ ~name:"reopen_log" (fun () ->
@@ -920,6 +1548,13 @@ let recover_log_at ?bound ?(reopen = true) cfg lc =
       {
         checkpoint_load_ns = t1 - t0;
         replay_ns = t2 - t1;
+        replay_decode_ns = !decode_ns;
+        replay_stage_ns = !stage_ns;
+        replay_apply_ns = !apply_ns;
+        replay_waves = !waves;
+        replay_jobs = jobs;
+        replay_dev_by_slot;
+        command_txns = !cmd_txns;
         checkpoint_rows = !ckpt_rows;
         checkpoint_bytes = !ckpt_bytes;
         log_records = !total_records;
@@ -1296,12 +1931,22 @@ let recover ?verify crashed =
            no pre-crash ring to read back — the restart timeline starts
            at the markers *)
         install_ring_sink e;
+        Obs.Blackbox.emit ~arg:Obs.Event.ph_ckpt_load Obs.Event.Recovery_phase;
+        Obs.Blackbox.emit ~arg:Obs.Event.ph_replay_decode
+          Obs.Event.Recovery_phase;
+        Obs.Blackbox.emit ~arg:Obs.Event.ph_replay_apply
+          Obs.Event.Recovery_phase;
         Obs.Blackbox.emit ~arg:Obs.Event.ph_replay Obs.Event.Recovery_phase;
         Obs.Blackbox.emit Obs.Event.Engine_ready;
         Obs.Blackbox.emit Obs.Event.Full_health;
         (e, d)
   in
   (e, { wall_ns = now_ns () - t0; detail })
+
+(* exported surface of [recover_log_at]: scratch replays (tests, salvage
+   tooling) bound the replay and skip log re-arming *)
+let recover_log ?bound ?reopen ?sanitize cfg lc =
+  recover_log_at ?bound ?reopen ?sanitize cfg lc
 
 let save_image t path =
   check_open t;

@@ -82,6 +82,60 @@ val with_txn : t -> (txn -> 'a) -> 'a
 (** Run, then commit; aborts and re-raises on exception (including
     {!Txn.Mvcc.Write_conflict}). *)
 
+(** {1 Adaptive command/value logging}
+
+    [Logging] mode writes {e value} records by default: every inserted
+    row's full payload. A transaction whose body is a deterministic
+    function of the database state may instead {!declare_command} its
+    logical operations; the engine then chooses per transaction — at its
+    commit record, from the actual encoded sizes — between the value
+    records and one compact {e command} record that replay re-executes
+    (docs/PROTOCOLS.md §14). *)
+
+type log_policy =
+  [ `Value  (** always value records (the pre-PR-9 log) *)
+  | `Command  (** always the command record when one is declared *)
+  | `Adaptive
+    (** per transaction: command iff the bytes it saves outweigh the
+        estimated replay re-execution cost *) ]
+
+val log_policy_of_string : string -> log_policy
+(** ["value" | "command" | "adaptive"] (the [--log-policy] CLI axis).
+    Raises [Invalid_argument] otherwise. *)
+
+val log_policy_name : log_policy -> string
+
+val set_log_policy : t -> log_policy -> unit
+(** Defaults to [HYRISE_NV_LOG_POLICY] (else [`Value]). No effect on
+    transactions already committed. *)
+
+val log_policy : t -> log_policy
+
+type cell_op = Wal.Codec.cell_op =
+  | Set of Storage.Value.t
+  | Add_int of int  (** increment an [Int] cell (no-op on other types) *)
+
+type command_op =
+  | C_insert of { table : string; values : Storage.Value.t array }
+  | C_update of {
+      table : string;
+      key_col : string;
+      key : Storage.Value.t;
+      sets : (string * cell_op) list;
+    }
+      (** update the unique live row whose [key_col] equals [key] by
+          appending a new version with [sets] applied *)
+  | C_delete of { table : string; key_col : string; key : Storage.Value.t }
+
+val declare_command : t -> txn -> command_op list -> unit
+(** Declare that [txn]'s writes are exactly the given logical operations,
+    in order, making it eligible for command logging. The §14 determinism
+    contract is the caller's to uphold: each [C_update]/[C_delete] key
+    must resolve to at most one live row, and the body must not read its
+    own writes through those keys. A no-op under [`Value] policy, outside
+    [Logging] mode, and during replay. Re-declaring (pipeline
+    re-execution) replaces the previous declaration. *)
+
 (** {1 Writer pipeline}
 
     The multi-lane commit pipeline (docs/PROTOCOLS.md §13): transaction
@@ -243,6 +297,19 @@ type recovery_detail =
   | Rv_log of {
       checkpoint_load_ns : int;
       replay_ns : int;
+      replay_decode_ns : int;  (** frame scan + pool-side payload parse *)
+      replay_stage_ns : int;
+          (** lane-side witness staging (0 when [replay_jobs <= 1]) *)
+      replay_apply_ns : int;  (** serial CID-ordered apply pass *)
+      replay_waves : int;
+      replay_jobs : int;  (** {!Par.jobs} the replay ran under *)
+      replay_dev_by_slot : int array;
+          (** modeled device ns per pool slot over the replay span; slot
+              0 is the serial applier — its time is the parallel replay's
+              modeled critical path, the number E1's speedup compares
+              against the serial baseline's total *)
+      command_txns : int;
+          (** transactions re-executed from command records *)
       checkpoint_rows : int;
       checkpoint_bytes : int;
       log_records : int;
@@ -271,6 +338,23 @@ val recover : ?verify:verify_level -> crashed -> t * recovery_stats
 val quarantined : t -> string list
 (** Tables quarantined by the last recovery and not salvaged; they raise
     [Not_found] when addressed. *)
+
+val recover_log :
+  ?bound:Storage.Cid.t ->
+  ?reopen:bool ->
+  ?sanitize:bool ->
+  config ->
+  Wal.Log.config ->
+  t * recovery_detail
+(** Log recovery with its knobs exposed (tests, salvage tooling; {!recover}
+    is the normal entry). [bound] replays only commits at or below the CID
+    (beyond-bound transactions stay uncommitted {e and} their command-side
+    invalidation intents are dropped); [reopen] (default [true]) re-arms
+    the log for appending — scratch replays pass [false] and leave every
+    log byte untouched; [sanitize] attaches a persist-order checker for
+    the whole replay. Parallelism follows {!Par.jobs}: at 1 the replay is
+    the pre-PR-9 serial loop, above it the wave-pipelined partitioned
+    replay — byte-identical {!media_digest} either way. *)
 
 val scrub : ?deep:bool -> t -> (string * string) list
 (** Offline damage audit over the live engine: the allocator heap

@@ -332,6 +332,9 @@ module Event = struct
   let ph_salvage = 4
   let ph_rollback = 5
   let ph_replay = 6
+  let ph_ckpt_load = 7
+  let ph_replay_decode = 8
+  let ph_replay_apply = 9
 
   let phase_name = function
     | 0 -> "heap_scan"
@@ -341,6 +344,9 @@ module Event = struct
     | 4 -> "salvage"
     | 5 -> "rollback"
     | 6 -> "replay"
+    | 7 -> "ckpt_load"
+    | 8 -> "replay_decode"
+    | 9 -> "replay_apply"
     | n -> Printf.sprintf "phase-%d" n
 
   let arg_mask = 0xFFFF_FFFF_FFFF (* 48 bits *)

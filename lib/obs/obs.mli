@@ -177,6 +177,16 @@ module Event : sig
   val ph_salvage : int
   val ph_rollback : int
   val ph_replay : int
+
+  val ph_ckpt_load : int
+  (** checkpoint image decoded + tables rebuilt (log-mode restart) *)
+
+  val ph_replay_decode : int
+  (** all WAL epochs' frames decoded to records (log-mode restart) *)
+
+  val ph_replay_apply : int
+  (** staged partition replay + serial commit-order pass done *)
+
   val phase_name : int -> string
 
   val pack : t -> int64 * int64

@@ -247,22 +247,35 @@ let run_lanes body =
 
 let effective_lanes force_serial = if force_serial then 1 else !requested
 
-let parallel_for ?(force_serial = false) ?(min_chunk = 1) ~n body =
+(* [~caller:false] keeps slot 0 out of the strided chunk walk: chunks
+   stride over the worker slots only (worker slot s takes chunks s-1,
+   s-1+(lanes-1), …), still a static deterministic assignment, while the
+   caller only dispatches and joins. The parallel WAL replay uses this so
+   the committer slot's device clock carries serial apply work only and
+   the worker slots carry the staging reads — mirroring [submit_all]'s
+   dedicated-committer shape but with deterministic lane attribution.
+   Ignored (the caller works, stride over all lanes) when no worker
+   exists to take the chunks. *)
+let parallel_for ?(force_serial = false) ?(caller = true) ?(min_chunk = 1) ~n
+    body =
   if n > 0 then begin
     let lanes = effective_lanes force_serial in
     if lanes <= 1 || n <= min_chunk then body ~lo:0 ~hi:n
     else begin
-      let chunk = max min_chunk ((n + (lanes * 4) - 1) / (lanes * 4)) in
+      let stride = if caller then lanes else lanes - 1 in
+      let chunk = max min_chunk ((n + (stride * 4) - 1) / (stride * 4)) in
       let nchunks = (n + chunk - 1) / chunk in
       run_lanes (fun () ->
           let lane = Util.Domain_slot.get () in
-          let j = ref lane in
-          while !j < nchunks do
-            sync (fun h -> h.on_chunk !j);
-            let lo = !j * chunk in
-            body ~lo ~hi:(min n (lo + chunk));
-            j := !j + lanes
-          done);
+          if caller || lane <> 0 then begin
+            let j = ref (if caller then lane else lane - 1) in
+            while !j < nchunks do
+              sync (fun h -> h.on_chunk !j);
+              let lo = !j * chunk in
+              body ~lo ~hi:(min n (lo + chunk));
+              j := !j + stride
+            done
+          end);
       Obs.add c_tasks nchunks
     end
   end

@@ -52,14 +52,24 @@ val set_sync_hook : sync_hook option -> unit
     multiplexes all attached sanitizers behind it. *)
 
 val parallel_for :
-  ?force_serial:bool -> ?min_chunk:int -> n:int -> (lo:int -> hi:int -> unit) -> unit
+  ?force_serial:bool ->
+  ?caller:bool ->
+  ?min_chunk:int ->
+  n:int ->
+  (lo:int -> hi:int -> unit) ->
+  unit
 (** [parallel_for ~n body] runs [body ~lo ~hi] over a partition of
     [0, n): lane [l] takes chunks [l, l+lanes, ...] in a static
     round-robin stride, so which lane touches which indices is
     deterministic for a given lane count (the per-slot Region accounting
     the bench models from is scheduling-independent). [min_chunk] bounds
     the chunk size from below (and any [n] at or below it runs inline on
-    the caller). *)
+    the caller). [~caller:false] keeps slot 0 out of the walk: chunks
+    stride over the worker slots only (worker slot [s] takes chunks
+    [s-1, s-1+(lanes-1), ...]), still statically attributed, while the
+    caller dispatches and joins — the parallel WAL replay's staging
+    phase uses this to keep the committer slot's device clock clean.
+    Ignored when there is no worker to take the chunks. *)
 
 val map_chunks :
   ?force_serial:bool -> chunk:int -> n:int -> (lo:int -> hi:int -> 'a) -> 'a array

@@ -440,7 +440,7 @@ let stage_probe t values =
       | [], snap -> Dict_miss snap)
     values
 
-let append_row_prepared t ~vids values =
+let append_row_prepared ?stale t ~vids values =
   if Array.length vids <> Array.length t.cols then
     invalid_arg "Table.append_row_prepared: vid count mismatch";
   append_row_with t values (fun i col v ->
@@ -449,10 +449,12 @@ let append_row_prepared t ~vids values =
       | Dict_miss snap ->
           if Pbtree.snap_valid col.delta_dict_idx snap then
             delta_vid_new t col v
-          else
+          else begin
             (* an epoch peer touched the probed leaves (possibly
                inserting this very value): fall back to the full walk *)
-            delta_vid_for_insert t col v)
+            (match stale with Some c -> incr c | None -> ());
+            delta_vid_for_insert t col v
+          end)
 
 let stage_publish_secondary t =
   Array.iter (fun col -> Pvector.publish_unfenced col.delta_avec) t.cols;

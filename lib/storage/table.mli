@@ -113,14 +113,16 @@ val stage_probe : t -> Value.t array -> dict_probe array
     delta dictionaries are append-only); a [Dict_miss] remembers which
     index leaves proved the absence. *)
 
-val append_row_prepared : t -> vids:dict_probe array -> Value.t array -> row
+val append_row_prepared :
+  ?stale:int ref -> t -> vids:dict_probe array -> Value.t array -> row
 (** [append_row] with the dictionary probe pre-paid by {!stage_probe}:
     cached value-ids are used as-is; a miss whose leaf witness is still
     valid ({!Pstruct.Pbtree.snap_valid}) proves the value is still
     absent and takes the fresh-encode path without re-walking the index;
-    a stale witness falls back to the ordinary encode-and-insert path.
-    Byte-identical NVM effects to [append_row] called in the same engine
-    state. *)
+    a stale witness falls back to the ordinary encode-and-insert path
+    (incrementing [stale] when given — the parallel WAL replay surfaces
+    the fallback rate as [wal.replay.stale_witness]). Byte-identical NVM
+    effects to [append_row] called in the same engine state. *)
 
 val publish : t -> unit
 (** Commit-side durability: makes staged data durable, then the secondary

@@ -12,13 +12,27 @@ type table_dump = {
 
 type t = { cid : Storage.Cid.t; epoch : int; tables : table_dump list }
 
-let magic = "HYRCKP02"
+let magic = "HYRCKP03"
+
+(* previous generation: identical layout except the column blobs are
+   inlined with no length directory, so decoding is inherently serial *)
+let magic_v2 = "HYRCKP02"
 
 let path ~dir = Filename.concat dir "checkpoint.bin"
 let bak_path ~dir = Filename.concat dir "checkpoint.bak"
 
 let rejected = Obs.counter "wal.checkpoint_rejected"
 
+let encode_column cd =
+  let buf = Buffer.create 1024 in
+  Codec.w_u32 buf (Array.length cd.dict);
+  Array.iter (Codec.w_value buf) cd.dict;
+  Array.iter (Codec.w_u32 buf) cd.avec;
+  Buffer.contents buf
+
+(* v3: each table header carries a directory of column-blob byte lengths,
+   so a reader can slice the payload and decode columns on the [Par]
+   pool (volatile string parsing, no shared state) *)
 let encode t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf magic;
@@ -31,49 +45,116 @@ let encode t =
       Codec.w_schema buf td.schema;
       Codec.w_u32 buf td.rows;
       Codec.w_u32 buf (Array.length td.columns);
-      Array.iter
-        (fun cd ->
-          Codec.w_u32 buf (Array.length cd.dict);
-          Array.iter (Codec.w_value buf) cd.dict;
-          Array.iter (Codec.w_u32 buf) cd.avec)
-        td.columns)
+      let blobs = Array.map encode_column td.columns in
+      Array.iter (fun b -> Codec.w_u32 buf (String.length b)) blobs;
+      Array.iter (Buffer.add_string buf) blobs)
     t.tables;
   Buffer.contents buf
 
+let encode_v2 t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic_v2;
+  Codec.w_i64 buf t.cid;
+  Codec.w_i64 buf (Int64.of_int t.epoch);
+  Codec.w_u32 buf (List.length t.tables);
+  List.iter
+    (fun td ->
+      Codec.w_string buf td.name;
+      Codec.w_schema buf td.schema;
+      Codec.w_u32 buf td.rows;
+      Codec.w_u32 buf (Array.length td.columns);
+      Array.iter (fun cd -> Buffer.add_string buf (encode_column cd)) td.columns)
+    t.tables;
+  Buffer.contents buf
+
+let decode_column ~rows data off len =
+  let r = Codec.reader_of_string (String.sub data off len) in
+  let dict_len = Codec.r_u32 r in
+  let dict = Array.init dict_len (fun _ -> Codec.r_value r) in
+  let avec = Array.init rows (fun _ -> Codec.r_u32 r) in
+  { dict; avec }
+
+let decode_v3 data =
+  let r = Codec.reader_of_string data in
+  Codec.skip r (String.length magic);
+  let cid = Codec.r_i64 r in
+  let epoch = Int64.to_int (Codec.r_i64 r) in
+  let n = Codec.r_u32 r in
+  (* serial directory walk: table headers + (rows, offset, len) slice
+     descriptors per column *)
+  let headers =
+    List.init n (fun _ ->
+        let name = Codec.r_string r in
+        let schema = Codec.r_schema r in
+        let rows = Codec.r_u32 r in
+        let n_cols = Codec.r_u32 r in
+        let lens = Array.init n_cols (fun _ -> Codec.r_u32 r) in
+        let descs =
+          Array.map
+            (fun len ->
+              let off = Codec.pos r in
+              Codec.skip r len;
+              (rows, off, len))
+            lens
+        in
+        (name, schema, rows, descs))
+  in
+  (* parallel leg: every column blob of every table is an independent
+     decode task (pure volatile parsing — no Region, no registry) *)
+  let descs =
+    Array.concat (List.map (fun (_, _, _, d) -> d) headers)
+  in
+  let cols =
+    Par.map_array (fun (rows, off, len) -> decode_column ~rows data off len) descs
+  in
+  let cursor = ref 0 in
+  let tables =
+    List.map
+      (fun (name, schema, rows, d) ->
+        let columns =
+          Array.init (Array.length d) (fun i -> cols.(!cursor + i))
+        in
+        cursor := !cursor + Array.length d;
+        { name; schema; rows; columns })
+      headers
+  in
+  { cid; epoch; tables }
+
+let decode_v2 data =
+  let r = Codec.reader_of_string data in
+  Codec.skip r (String.length magic_v2);
+  let cid = Codec.r_i64 r in
+  let epoch = Int64.to_int (Codec.r_i64 r) in
+  let n = Codec.r_u32 r in
+  let tables =
+    List.init n (fun _ ->
+        let name = Codec.r_string r in
+        let schema = Codec.r_schema r in
+        let rows = Codec.r_u32 r in
+        let n_cols = Codec.r_u32 r in
+        let columns =
+          Array.init n_cols (fun _ ->
+              let dict_len = Codec.r_u32 r in
+              let dict = Array.init dict_len (fun _ -> Codec.r_value r) in
+              let avec = Array.init rows (fun _ -> Codec.r_u32 r) in
+              { dict; avec })
+        in
+        { name; schema; rows; columns })
+  in
+  { cid; epoch; tables }
+
 let decode data =
-  if
-    String.length data < String.length magic + 4
-    || String.sub data 0 (String.length magic) <> magic
-  then None
-  else begin
-    let r = Codec.reader_of_string data in
-    for _ = 1 to String.length magic do
-      ignore (Codec.r_u8 r)
-    done;
-    match
-      let cid = Codec.r_i64 r in
-      let epoch = Int64.to_int (Codec.r_i64 r) in
-      let n = Codec.r_u32 r in
-      let tables =
-        List.init n (fun _ ->
-            let name = Codec.r_string r in
-            let schema = Codec.r_schema r in
-            let rows = Codec.r_u32 r in
-            let n_cols = Codec.r_u32 r in
-            let columns =
-              Array.init n_cols (fun _ ->
-                  let dict_len = Codec.r_u32 r in
-                  let dict = Array.init dict_len (fun _ -> Codec.r_value r) in
-                  let avec = Array.init rows (fun _ -> Codec.r_u32 r) in
-                  { dict; avec })
-            in
-            { name; schema; rows; columns })
-      in
-      { cid; epoch; tables }
-    with
-    | t -> Some t
-    | exception _ -> None
-  end
+  let has m =
+    String.length data >= String.length m + 4
+    && String.sub data 0 (String.length m) = m
+  in
+  match
+    if has magic then Some (decode_v3 data)
+    else if has magic_v2 then Some (decode_v2 data)
+    else None
+  with
+  | t -> t
+  | exception _ -> None
 
 let write ?(on_step = fun _ -> ()) ~dir t =
   Obs.Span.with_ ~name:"checkpoint_write" @@ fun () ->

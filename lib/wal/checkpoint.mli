@@ -42,6 +42,14 @@ val read : dir:string -> t option
     that exists but fails its trailer CRC or decode is counted in the
     [wal.checkpoint_rejected] metric. *)
 
+val encode_v2 : t -> string
+(** The previous on-disk payload generation (HYRCKP02, inline column
+    blobs with no length directory), kept as a writer so tests can pin
+    that {!read} still accepts pre-existing images. New checkpoints are
+    always written in the current format (HYRCKP03), whose per-table
+    column-length directory lets the reader slice the payload and decode
+    columns on the [Par] pool. *)
+
 val read_bak : dir:string -> t option
 (** The previous checkpoint generation ([checkpoint.bak], kept by the
     rename in [write]) — the salvage fallback when the current file is

@@ -107,3 +107,107 @@ let r_frame r =
   | exception Short ->
       r.pos <- saved;
       Torn
+
+(* -- command-log operations (adaptive logging, PROTOCOLS.md §14) --
+
+   A command record captures a transaction's writes as operations over
+   logical names (log table ids, an indexed key column) instead of row
+   images; replay re-executes them deterministically. Cell edits are
+   absolute [Set]s or integer deltas, so the op stream is closed under
+   the workload specs PR 8 introduced. *)
+
+type cell_op = Set of Value.t | Add_int of int
+
+type cmd_op =
+  | Cmd_insert of { table_id : int; values : Value.t array }
+  | Cmd_update of {
+      table_id : int;
+      key_col : int;
+      key : Value.t;
+      sets : (int * cell_op) array;
+    }
+  | Cmd_delete of { table_id : int; key_col : int; key : Value.t }
+
+let w_cell_op buf = function
+  | Set v ->
+      w_u8 buf 0;
+      w_value buf v
+  | Add_int d ->
+      w_u8 buf 1;
+      w_i64 buf (Int64.of_int d)
+
+let r_cell_op r =
+  match r_u8 r with
+  | 0 -> Set (r_value r)
+  | 1 -> Add_int (Int64.to_int (r_i64 r))
+  | k -> failwith (Printf.sprintf "Wal.Codec: unknown cell op %d" k)
+
+let w_cmd_op buf = function
+  | Cmd_insert { table_id; values } ->
+      w_u8 buf 0;
+      w_u32 buf table_id;
+      w_u32 buf (Array.length values);
+      Array.iter (w_value buf) values
+  | Cmd_update { table_id; key_col; key; sets } ->
+      w_u8 buf 1;
+      w_u32 buf table_id;
+      w_u32 buf key_col;
+      w_value buf key;
+      w_u32 buf (Array.length sets);
+      Array.iter
+        (fun (col, op) ->
+          w_u32 buf col;
+          w_cell_op buf op)
+        sets
+  | Cmd_delete { table_id; key_col; key } ->
+      w_u8 buf 2;
+      w_u32 buf table_id;
+      w_u32 buf key_col;
+      w_value buf key
+
+let r_cmd_op r =
+  match r_u8 r with
+  | 0 ->
+      let table_id = r_u32 r in
+      let n = r_u32 r in
+      let values = Array.init n (fun _ -> r_value r) in
+      Cmd_insert { table_id; values }
+  | 1 ->
+      let table_id = r_u32 r in
+      let key_col = r_u32 r in
+      let key = r_value r in
+      let n = r_u32 r in
+      let sets =
+        Array.init n (fun _ ->
+            let col = r_u32 r in
+            let op = r_cell_op r in
+            (col, op))
+      in
+      Cmd_update { table_id; key_col; key; sets }
+  | 2 ->
+      let table_id = r_u32 r in
+      let key_col = r_u32 r in
+      let key = r_value r in
+      Cmd_delete { table_id; key_col; key }
+  | k -> failwith (Printf.sprintf "Wal.Codec: unknown command op %d" k)
+
+(* encoded sizes without materializing a buffer — the adaptive policy's
+   commit-time estimator prices both record shapes from these *)
+
+let value_size = function
+  | Value.Int _ | Value.Float _ -> 9
+  | Value.Text s -> 5 + String.length s
+
+let cell_op_size = function Set v -> 1 + value_size v | Add_int _ -> 9
+
+let cmd_op_size = function
+  | Cmd_insert { values; _ } ->
+      9 + Array.fold_left (fun a v -> a + value_size v) 0 values
+  | Cmd_update { key; sets; _ } ->
+      13 + value_size key
+      + Array.fold_left (fun a (_, op) -> a + 4 + cell_op_size op) 0 sets
+  | Cmd_delete { key; _ } -> 9 + value_size key
+
+let skip r n =
+  need r n;
+  r.pos <- r.pos + n

@@ -26,6 +26,10 @@ val reader_of_string : string -> reader
 val pos : reader -> int
 val at_end : reader -> bool
 
+val skip : reader -> int -> unit
+(** Advance past [n] bytes (the checkpoint directory walk skips over
+    column blobs it will decode out-of-line). *)
+
 val r_u8 : reader -> int
 val r_u32 : reader -> int
 val r_i64 : reader -> int64
@@ -42,3 +46,35 @@ val r_frame : reader -> frame_result
 (** Next framed payload. [Torn] and [Bad_crc] leave the reader position
     on the bad frame
     (replay treats both as end-of-log). *)
+
+(** {1 Command-log operations}
+
+    The operation vocabulary of adaptive command logging (PROTOCOLS.md
+    §14): a command record stores these instead of row images, and replay
+    re-executes them. *)
+
+type cell_op =
+  | Set of Storage.Value.t  (** absolute assignment *)
+  | Add_int of int  (** integer delta (blind increment) *)
+
+type cmd_op =
+  | Cmd_insert of { table_id : int; values : Storage.Value.t array }
+  | Cmd_update of {
+      table_id : int;
+      key_col : int;  (** indexed column the key addresses *)
+      key : Storage.Value.t;
+      sets : (int * cell_op) array;  (** (column, edit) *)
+    }
+  | Cmd_delete of { table_id : int; key_col : int; key : Storage.Value.t }
+
+val w_cell_op : Buffer.t -> cell_op -> unit
+val r_cell_op : reader -> cell_op
+val w_cmd_op : Buffer.t -> cmd_op -> unit
+val r_cmd_op : reader -> cmd_op
+
+val value_size : Storage.Value.t -> int
+(** Encoded byte size of [w_value], without writing it. *)
+
+val cmd_op_size : cmd_op -> int
+(** Encoded byte size of [w_cmd_op], without writing it — the adaptive
+    policy's commit-time estimator. *)

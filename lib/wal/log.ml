@@ -11,6 +11,7 @@ type record =
       invalidated : (int * int) list;
     }
   | Abort of { tid : int }
+  | Command of { tid : int; ops : Codec.cmd_op array }
 
 type t = {
   config : config;
@@ -66,8 +67,31 @@ let encode_record r =
         invalidated
   | Abort { tid } ->
       Codec.w_u8 buf 4;
-      Codec.w_i64 buf (Int64.of_int tid));
+      Codec.w_i64 buf (Int64.of_int tid)
+  | Command { tid; ops } ->
+      Codec.w_u8 buf 5;
+      Codec.w_i64 buf (Int64.of_int tid);
+      Codec.w_u32 buf (Array.length ops);
+      Array.iter (Codec.w_cmd_op buf) ops);
   Buffer.contents buf
+
+(* payload bytes [encode_record] would produce, without materializing the
+   buffer — the adaptive policy prices the value/command alternatives of
+   a commit from this before choosing which to write *)
+let encoded_size r =
+  match r with
+  | Create_table { name; schema } ->
+      1 + 4 + String.length name + 4
+      + Array.fold_left
+          (fun a (c : Storage.Schema.column) ->
+            a + 4 + String.length c.Storage.Schema.name + 2)
+          0 schema
+  | Insert { values; _ } ->
+      17 + Array.fold_left (fun a v -> a + Codec.value_size v) 0 values
+  | Commit { invalidated; _ } -> 21 + (12 * List.length invalidated)
+  | Abort _ -> 9
+  | Command { ops; _ } ->
+      13 + Array.fold_left (fun a op -> a + Codec.cmd_op_size op) 0 ops
 
 let decode_record payload =
   let r = Codec.reader_of_string payload in
@@ -94,6 +118,11 @@ let decode_record payload =
       in
       Commit { tid; cid; invalidated }
   | 4 -> Abort { tid = Int64.to_int (Codec.r_i64 r) }
+  | 5 ->
+      let tid = Int64.to_int (Codec.r_i64 r) in
+      let n = Codec.r_u32 r in
+      let ops = Array.init n (fun _ -> Codec.r_cmd_op r) in
+      Command { tid; ops }
   | k -> failwith (Printf.sprintf "Wal.Log: unknown record kind %d" k)
 
 let create config ~epoch =
@@ -161,7 +190,7 @@ let append t r =
       (* DDL is flushed eagerly: table existence must not sit in the
          group-commit window *)
       do_flush t
-  | Insert _ | Abort _ -> ())
+  | Insert _ | Abort _ | Command _ -> ())
 
 let flush t =
   if t.closed then invalid_arg "Wal.Log.flush: closed";
@@ -198,9 +227,13 @@ let crash t =
 let bytes_written t = t.bytes_written
 let flushes t = t.flushes
 
-let read_all ~dir ~expected_epoch =
+(* Frame-boundary scan only: collect raw payloads up to the first torn or
+   corrupt frame. Decoding is separable from framing so replay can decode
+   payload chunks on the [Par] pool ([decode_record] touches no shared
+   state). *)
+let read_payloads ~dir ~expected_epoch =
   let path = log_path ~dir ~epoch:expected_epoch in
-  if not (Sys.file_exists path) then ([], 0)
+  if not (Sys.file_exists path) then ([||], 0)
   else begin
     let ic = open_in_bin path in
     let data =
@@ -210,12 +243,12 @@ let read_all ~dir ~expected_epoch =
     in
     let hlen = String.length magic + 8 in
     if String.length data < hlen || String.sub data 0 (String.length magic) <> magic
-    then ([], 0)
+    then ([||], 0)
     else begin
       let epoch =
         Int64.to_int (String.get_int64_le data (String.length magic))
       in
-      if epoch <> expected_epoch then ([], 0)
+      if epoch <> expected_epoch then ([||], 0)
       else begin
         let rd = Codec.reader_of_string data in
         (* skip header *)
@@ -224,7 +257,7 @@ let read_all ~dir ~expected_epoch =
         done;
         let rec go acc =
           match Codec.r_frame rd with
-          | Codec.Frame payload -> go (decode_record payload :: acc)
+          | Codec.Frame payload -> go (payload :: acc)
           | Codec.Torn ->
               (* expected crash artifact: the tail stops at a clean frame
                  boundary and replay simply ends there *)
@@ -236,8 +269,12 @@ let read_all ~dir ~expected_epoch =
               Obs.incr bad_frames;
               List.rev acc
         in
-        let records = go [] in
-        (records, Codec.pos rd)
+        let payloads = go [] in
+        (Array.of_list payloads, Codec.pos rd)
       end
     end
   end
+
+let read_all ~dir ~expected_epoch =
+  let payloads, good = read_payloads ~dir ~expected_epoch in
+  (Array.to_list (Array.map decode_record payloads), good)

@@ -32,6 +32,11 @@ type record =
       invalidated : (int * int) list;  (** (table_id, row) *)
     }
   | Abort of { tid : int }
+  | Command of { tid : int; ops : Codec.cmd_op array }
+      (** Command-logged transaction (adaptive logging, PROTOCOLS.md
+          §14): replay re-executes [ops] instead of replaying row images.
+          Always followed by its [Commit] record (with an empty
+          [invalidated] list — the re-execution recomputes it). *)
 
 val create : config -> epoch:int -> t
 (** Start a fresh (truncated) log for the given epoch. *)
@@ -70,6 +75,22 @@ val bytes_written : t -> int
 (** Bytes that reached the device so far. *)
 
 val flushes : t -> int
+
+val encoded_size : record -> int
+(** Payload bytes the record encodes to, without materializing it — the
+    adaptive policy prices a commit's value/command alternatives from
+    this. (Frame overhead, 8 bytes, is the same for both shapes.) *)
+
+val decode_record : string -> record
+(** Decode one frame payload. Pure (no shared state): replay decodes
+    payload chunks on the [Par] pool with this. Raises [Failure] on an
+    unknown record kind. *)
+
+val read_payloads : dir:string -> expected_epoch:int -> string array * int
+(** Frame-boundary scan only: raw payloads of every well-formed frame up
+    to the first torn or corrupt one, plus the byte count read, with the
+    same degradation rules as {!read_all}. Feed the payloads to
+    {!decode_record} (serially or chunked on the pool). *)
 
 val read_all : dir:string -> expected_epoch:int -> record list * int
 (** Parse one epoch's log for replay: all well-formed records up to the

@@ -186,7 +186,28 @@ let gen_specs t rng ~ops =
   done;
   Array.of_list (List.rev !acc)
 
-let exec_spec t txn = function
+let exec_spec t txn spec =
+  (* a spec body is a deterministic function of the database (keys are
+     pre-drawn and unique), so its writes are declared as command ops —
+     the engine's log policy then chooses value vs command records per
+     transaction (Engine.declare_command is a no-op under `Value) *)
+  (match spec with
+  | S_read _ -> ()
+  | S_update (key, f, text) ->
+      Engine.declare_command t.engine txn
+        [
+          Engine.C_update
+            {
+              table = table_name;
+              key_col = "key";
+              key = Value.Int key;
+              sets = [ (Printf.sprintf "field%d" (f - 1), Engine.Set (Value.Text text)) ];
+            };
+        ]
+  | S_insert row ->
+      Engine.declare_command t.engine txn
+        [ Engine.C_insert { table = table_name; values = row } ]);
+  match spec with
   | S_read key ->
       ignore (Engine.lookup t.engine txn table_name ~col:"key" (Value.Int key))
   | S_update (key, f, text) -> (

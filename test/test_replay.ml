@@ -1,0 +1,275 @@
+(* Differential tests for partitioned parallel WAL replay and adaptive
+   command/value logging (docs/PROTOCOLS.md §14).
+
+   The contract: [Engine.recover_log] over the same log produces a
+   byte-identical NVM image ([Engine.media_digest]) at any [Par.jobs],
+   under any log policy, through torn log tails and CID bounds — jobs=1
+   is the exact pre-parallel serial loop, jobs>1 the wave-pipelined
+   partitioned replay. Scratch replays ([~reopen:false]) must leave the
+   log bytes untouched and must not re-arm the log. *)
+
+module E = Core.Engine
+module Region = Nvm.Region
+module Value = Storage.Value
+module Prng = Util.Prng
+module Ycsb = Workload.Ycsb
+module Log = Wal.Log
+
+let mib = 1024 * 1024
+
+let tmpdir () =
+  let d = Filename.temp_file "replaytest" "" in
+  Sys.remove d;
+  d
+
+let with_jobs n f =
+  let was = Par.jobs () in
+  Par.set_jobs n;
+  Fun.protect ~finally:(fun () -> Par.set_jobs was) f
+
+let log_setup ?(size = 64 * mib) () =
+  let lc = { (Log.default_config ~dir:(tmpdir ())) with Log.fsync = false } in
+  let cfg =
+    {
+      E.region = Region.config_with_size size;
+      durability = E.Logging lc;
+      salvage = None;
+    }
+  in
+  (cfg, lc)
+
+let ycsb_cfg rows =
+  { Ycsb.default_config with rows; read_pct = 10; update_pct = 60;
+    zipf_theta = 0.99 }
+
+(* Build a crashed log-mode database: seeded YCSB spec stream under the
+   given log policy (checkpoint right after setup, so the whole op
+   stream rides in the log and replays), then power failure. Returns the
+   engine config + log config the replays attach to. *)
+let build ?(rows = 300) ?(ops = 120) ?(writers = 1) ?(cfg_mix = ycsb_cfg)
+    ~seed ~policy () =
+  let cfg, lc = log_setup () in
+  let e = E.create cfg in
+  E.set_log_policy e policy;
+  let rng = Prng.create (Int64.of_int seed) in
+  let sess = Ycsb.setup e (Prng.split rng) (cfg_mix rows) in
+  ignore (E.checkpoint e);
+  let specs = Ycsb.gen_specs sess (Prng.split rng) ~ops in
+  if writers <= 1 then ignore (Ycsb.run_specs sess specs)
+  else begin
+    E.set_writers e writers;
+    ignore
+      (with_jobs (writers + 1) (fun () -> Ycsb.run_specs sess specs))
+  end;
+  ignore (E.crash e Region.Drop_unfenced);
+  (cfg, lc)
+
+(* One scratch replay at [jobs]: the image digest plus the detail the
+   assertions read. The replayed engine is disposed via crash (its
+   [~reopen:false] recovery never re-armed the log). *)
+let replay ?bound ?sanitize ~jobs cfg lc =
+  with_jobs jobs (fun () ->
+      let e, detail = E.recover_log ?bound ?sanitize ~reopen:false cfg lc in
+      let digest = E.media_digest e in
+      let restart_events = List.length (E.blackbox e).E.restart in
+      ignore (E.crash e Region.Drop_unfenced);
+      (digest, detail, restart_events))
+
+let committed = function
+  | E.Rv_log { committed_txns; _ } -> committed_txns
+  | _ -> Alcotest.fail "expected Rv_log detail"
+
+let cmd_txns = function
+  | E.Rv_log { command_txns; _ } -> command_txns
+  | _ -> Alcotest.fail "expected Rv_log detail"
+
+let replay_jobs = function
+  | E.Rv_log { replay_jobs; _ } -> replay_jobs
+  | _ -> Alcotest.fail "expected Rv_log detail"
+
+(* -------- policy x jobs differential fuzzer -------- *)
+
+let check_jobs_parity ~name cfg lc =
+  let d1, detail1, _ = replay ~jobs:1 cfg lc in
+  Alcotest.(check int) (name ^ " serial detail jobs") 1 (replay_jobs detail1);
+  List.iter
+    (fun jobs ->
+      let dj, detailj, _ = replay ~jobs cfg lc in
+      Alcotest.(check string)
+        (Printf.sprintf "%s jobs %d media digest" name jobs)
+        d1 dj;
+      Alcotest.(check int)
+        (Printf.sprintf "%s jobs %d committed" name jobs)
+        (committed detail1) (committed detailj);
+      Alcotest.(check int)
+        (Printf.sprintf "%s jobs %d command txns" name jobs)
+        (cmd_txns detail1) (cmd_txns detailj))
+    [ 2; 4 ]
+
+let test_policy_jobs_matrix () =
+  List.iter
+    (fun (pname, policy) ->
+      List.iter
+        (fun seed ->
+          let cfg, lc = build ~seed ~policy () in
+          check_jobs_parity
+            ~name:(Printf.sprintf "%s seed %d" pname seed)
+            cfg lc)
+        [ 3; 17 ])
+    [ ("value", `Value); ("command", `Command); ("adaptive", `Adaptive) ]
+
+(* aborts through the pipeline: buffered command-policy records must
+   flush before the Abort record, or replayed row numbering diverges *)
+let test_pipeline_aborts_parity () =
+  let contended rows =
+    { Ycsb.default_config with rows; read_pct = 0; update_pct = 80;
+      zipf_theta = 0.99 }
+  in
+  List.iter
+    (fun (pname, policy) ->
+      let cfg, lc =
+        build ~seed:29 ~rows:150 ~ops:160 ~writers:2 ~cfg_mix:contended
+          ~policy ()
+      in
+      check_jobs_parity ~name:("pipeline " ^ pname) cfg lc)
+    [ ("command", `Command); ("adaptive", `Adaptive) ]
+
+(* -------- torn log tail -------- *)
+
+let test_torn_tail_parity () =
+  let cfg, lc = build ~seed:7 ~policy:`Command () in
+  let _, whole, _ = replay ~jobs:1 cfg lc in
+  (* tear the newest epoch's file mid-frame: a partial record past the
+     last complete commit *)
+  let epoch = List.fold_left max 0 (Log.epochs ~dir:lc.Log.dir) in
+  let path = Log.log_path ~dir:lc.Log.dir ~epoch in
+  let len = (Unix.stat path).Unix.st_size in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd (len - 7);
+  Unix.close fd;
+  let d1, torn, _ = replay ~jobs:1 cfg lc in
+  Alcotest.(check bool) "tear dropped the tail" true
+    (committed torn < committed whole);
+  List.iter
+    (fun jobs ->
+      let dj, tornj, _ = replay ~jobs cfg lc in
+      Alcotest.(check string)
+        (Printf.sprintf "torn tail jobs %d digest" jobs)
+        d1 dj;
+      Alcotest.(check int)
+        (Printf.sprintf "torn tail jobs %d committed" jobs)
+        (committed torn) (committed tornj))
+    [ 2; 4 ]
+
+(* -------- armed sanitizer -------- *)
+
+let test_sanitized_parallel_replay () =
+  let cfg, lc = build ~seed:5 ~policy:`Adaptive () in
+  let d1, _, _ = replay ~jobs:1 cfg lc in
+  let d4, _, _ = replay ~sanitize:true ~jobs:4 cfg lc in
+  Alcotest.(check string) "sanitized parallel replay digest" d1 d4
+
+(* -------- bound handling and scratch-replay hygiene -------- *)
+
+let dir_fingerprint dir =
+  List.sort compare
+    (List.filter_map
+       (fun f ->
+         let p = Filename.concat dir f in
+         if Sys.is_directory p then None else Some (f, Digest.file p))
+       (Array.to_list (Sys.readdir dir)))
+
+let test_bound_exact () =
+  let cfg, lc = build ~seed:13 ~policy:`Command () in
+  let before = dir_fingerprint lc.Log.dir in
+  let _, whole, _ = replay ~jobs:1 cfg lc in
+  let e_last, _ = E.recover_log ~reopen:false cfg lc in
+  let last = E.last_cid e_last in
+  ignore (E.crash e_last Region.Drop_unfenced);
+  (* serial transactions take consecutive CIDs: cutting the bound k
+     commits short must replay exactly k fewer transactions *)
+  let k = 5 in
+  let bound = Int64.sub last (Int64.of_int k) in
+  let d1, b1, _ = replay ~bound ~jobs:1 cfg lc in
+  Alcotest.(check int) "bound drops exactly k commits"
+    (committed whole - k) (committed b1);
+  List.iter
+    (fun jobs ->
+      let dj, bj, _ = replay ~bound ~jobs cfg lc in
+      Alcotest.(check string)
+        (Printf.sprintf "bounded jobs %d digest" jobs)
+        d1 dj;
+      Alcotest.(check int)
+        (Printf.sprintf "bounded jobs %d committed" jobs)
+        (committed b1) (committed bj))
+    [ 2; 4 ];
+  Alcotest.(check bool) "scratch replays left every log byte untouched"
+    true
+    (dir_fingerprint lc.Log.dir = before)
+
+let test_no_blackbox_double_emission () =
+  (* a command record re-executes engine mutations; none of them may
+     reach the flight recorder twice — two scratch replays of the same
+     log record identical restart timelines *)
+  let cfg, lc = build ~seed:19 ~policy:`Command () in
+  let _, _, ev1 = replay ~jobs:1 cfg lc in
+  let _, _, ev1' = replay ~jobs:1 cfg lc in
+  let _, _, ev4 = replay ~jobs:4 cfg lc in
+  Alcotest.(check int) "replay timeline is reproducible" ev1 ev1';
+  Alcotest.(check int) "parallel replay emits the same timeline" ev1 ev4
+
+(* -------- adaptive policy choice -------- *)
+
+let test_adaptive_picks_command_for_updates () =
+  let update_heavy rows =
+    { Ycsb.default_config with rows; read_pct = 0; update_pct = 100;
+      zipf_theta = 0.99 }
+  in
+  let cfg, lc =
+    build ~seed:23 ~cfg_mix:update_heavy ~policy:`Adaptive ()
+  in
+  let _, detail, _ = replay ~jobs:1 cfg lc in
+  Alcotest.(check bool) "update txns command-logged" true (cmd_txns detail > 0);
+  Alcotest.(check int) "every update txn command-logged" (committed detail)
+    (cmd_txns detail)
+
+let test_adaptive_picks_value_for_inserts () =
+  let insert_only rows =
+    { Ycsb.default_config with rows; read_pct = 0; update_pct = 0;
+      zipf_theta = 0.99 }
+  in
+  let cfg, lc =
+    build ~seed:23 ~cfg_mix:insert_only ~policy:`Adaptive ()
+  in
+  let _, detail, _ = replay ~jobs:1 cfg lc in
+  Alcotest.(check bool) "insert txns replayed" true (committed detail > 0);
+  Alcotest.(check int) "insert txns value-logged" 0 (cmd_txns detail)
+
+let () =
+  Alcotest.run "replay"
+    [
+      ( "parity",
+        [
+          Alcotest.test_case "policy x jobs matrix (2 seeds)" `Quick
+            test_policy_jobs_matrix;
+          Alcotest.test_case "pipelined aborts" `Quick
+            test_pipeline_aborts_parity;
+          Alcotest.test_case "torn log tail" `Quick test_torn_tail_parity;
+          Alcotest.test_case "sanitized parallel replay" `Quick
+            test_sanitized_parallel_replay;
+        ] );
+      ( "scratch",
+        [
+          Alcotest.test_case "bound honored exactly, log untouched" `Quick
+            test_bound_exact;
+          Alcotest.test_case "no blackbox double emission" `Quick
+            test_no_blackbox_double_emission;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "adaptive: updates go command" `Quick
+            test_adaptive_picks_command_for_updates;
+          Alcotest.test_case "adaptive: inserts go value" `Quick
+            test_adaptive_picks_value_for_inserts;
+        ] );
+    ]

@@ -88,6 +88,43 @@ let test_codec_corrupt_frame () =
   Alcotest.(check bool) "crc catches corruption" true
     (Codec.r_frame r = Codec.Bad_crc)
 
+let test_codec_cmd_ops () =
+  let ops =
+    [
+      Codec.Cmd_insert
+        { table_id = 3; values = [| Value.Int 9; Value.Text "row" |] };
+      Codec.Cmd_update
+        {
+          table_id = 0;
+          key_col = 0;
+          key = Value.Int 41;
+          sets = [| (1, Codec.Set (Value.Text "new")); (0, Codec.Add_int (-2)) |];
+        };
+      Codec.Cmd_delete { table_id = 1; key_col = 0; key = Value.Text "k" };
+    ]
+  in
+  let buf = Buffer.create 64 in
+  List.iter (Codec.w_cmd_op buf) ops;
+  let r = Codec.reader_of_string (Buffer.contents buf) in
+  List.iter
+    (fun op ->
+      let before = Codec.pos r in
+      Alcotest.(check bool) "cmd op roundtrip" true (Codec.r_cmd_op r = op);
+      (* the adaptive estimator prices records without encoding them:
+         the size oracle must match the bytes actually written *)
+      Alcotest.(check int) "cmd_op_size exact" (Codec.cmd_op_size op)
+        (Codec.pos r - before))
+    ops;
+  Alcotest.(check bool) "at end" true (Codec.at_end r);
+  List.iter
+    (fun v ->
+      let b = Buffer.create 16 in
+      Codec.w_value b v;
+      Alcotest.(check int)
+        ("value_size " ^ Value.to_string v)
+        (Buffer.length b) (Codec.value_size v))
+    [ Value.Int 7; Value.Float 1.5; Value.Text "some text" ]
+
 let test_crc32_known () =
   (* standard test vector *)
   Alcotest.(check int32) "crc32 of '123456789'" 0xCBF43926l
@@ -103,15 +140,45 @@ let test_log_roundtrip () =
       Log.Create_table { name = "t"; schema };
       Log.Insert { tid = 1; table_id = 0; values = [| Value.Int 1; Value.Text "a" |] };
       Log.Commit { tid = 1; cid = 1L; invalidated = [ (0, 7) ] };
+      Log.Command
+        {
+          tid = 3;
+          ops =
+            [|
+              Codec.Cmd_update
+                {
+                  table_id = 0;
+                  key_col = 0;
+                  key = Value.Int 1;
+                  sets = [| (1, Codec.Set (Value.Text "b")) |];
+                };
+              Codec.Cmd_delete { table_id = 0; key_col = 0; key = Value.Int 2 };
+            |];
+        };
+      Log.Commit { tid = 3; cid = 2L; invalidated = [] };
       Log.Abort { tid = 2 };
     ]
   in
   List.iter (Log.append log) records;
   Log.close log;
   let read, bytes = Log.read_all ~dir ~expected_epoch:0 in
-  Alcotest.(check int) "record count" 4 (List.length read);
+  Alcotest.(check int) "record count" 6 (List.length read);
   Alcotest.(check bool) "bytes > 0" true (bytes > 0);
-  Alcotest.(check bool) "roundtrip equal" true (read = records)
+  Alcotest.(check bool) "roundtrip equal" true (read = records);
+  (* the parallel replay's split read path: frame scan + per-payload
+     decode must agree with the one-pass reader, and the adaptive
+     estimator's size oracle with the bytes actually framed *)
+  let payloads, pbytes = Log.read_payloads ~dir ~expected_epoch:0 in
+  Alcotest.(check int) "payload bytes agree" bytes pbytes;
+  Alcotest.(check bool) "payload decode parity" true
+    (Array.to_list (Array.map Log.decode_record payloads) = records);
+  List.iteri
+    (fun i r ->
+      Alcotest.(check int)
+        (Printf.sprintf "encoded_size exact (record %d)" i)
+        (String.length payloads.(i))
+        (Log.encoded_size r))
+    records
 
 let test_log_group_commit_window () =
   let dir = tmpdir () in
@@ -227,6 +294,25 @@ let test_checkpoint_corruption_detected () =
   Unix.close fd;
   Alcotest.(check bool) "crc rejects" true (Checkpoint.read ~dir = None)
 
+let test_checkpoint_v2_compat () =
+  (* images checkpointed before the sliced v3 format must keep loading:
+     a file in the v2 layout reads back the same dump *)
+  let dir = tmpdir () in
+  let payload = Checkpoint.encode_v2 dump in
+  let buf = Buffer.create (String.length payload + 4) in
+  Buffer.add_string buf payload;
+  Buffer.add_int32_le buf (Codec.crc32 payload);
+  let oc = open_out_bin (Checkpoint.path ~dir) in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  match Checkpoint.read ~dir with
+  | None -> Alcotest.fail "v2 checkpoint unreadable"
+  | Some c ->
+      Alcotest.(check int64) "cid" 42L c.Checkpoint.cid;
+      Alcotest.(check int) "epoch" 2 c.Checkpoint.epoch;
+      Alcotest.(check bool) "tables equal" true
+        (c.Checkpoint.tables = dump.Checkpoint.tables)
+
 let test_checkpoint_overwrite_is_atomic () =
   let dir = tmpdir () in
   ignore (Checkpoint.write ~dir dump);
@@ -252,6 +338,30 @@ let gen_record =
             (fun tid cid ->
               Log.Commit { tid; cid = Int64.of_int cid; invalidated = [ (0, cid) ] })
             (int_bound 100) (int_bound 10_000) );
+        ( 2,
+          map3
+            (fun tid key delta ->
+              Log.Command
+                {
+                  tid;
+                  ops =
+                    [|
+                      Codec.Cmd_update
+                        {
+                          table_id = 0;
+                          key_col = 0;
+                          key = Value.Int key;
+                          sets =
+                            [|
+                              (1, Codec.Set (Value.Text (string_of_int key)));
+                              (0, Codec.Add_int delta);
+                            |];
+                        };
+                      Codec.Cmd_delete
+                        { table_id = 1; key_col = 0; key = Value.Int key };
+                    |];
+                })
+            (int_bound 100) (int_bound 10_000) (int_bound 50) );
         (1, map (fun tid -> Log.Abort { tid }) (int_bound 100));
       ])
 
@@ -278,6 +388,7 @@ let () =
           Alcotest.test_case "torn frame" `Quick test_codec_torn_frame;
           Alcotest.test_case "corrupt frame" `Quick test_codec_corrupt_frame;
           Alcotest.test_case "crc32 vector" `Quick test_crc32_known;
+          Alcotest.test_case "command ops" `Quick test_codec_cmd_ops;
         ] );
       ( "log",
         [
@@ -294,6 +405,7 @@ let () =
       ( "checkpoint",
         [
           Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "v2 compatibility" `Quick test_checkpoint_v2_compat;
           Alcotest.test_case "missing" `Quick test_checkpoint_missing;
           Alcotest.test_case "corruption detected" `Quick
             test_checkpoint_corruption_detected;
