@@ -547,9 +547,13 @@ let stats_cmd =
 (* Exit codes (documented in the man page and README):
      0  image verifies clean
      2  damage confined to individual tables (quarantinable/salvageable)
-     3  structural damage — heap, catalog, or an unrecoverable image *)
+     3  structural damage — heap, catalog, or an unrecoverable image
+   [--online] judges the residual instead: recovery runs the deep verify
+   ladder, the serve-while-salvaging restore map drains (segment repairs,
+   deferred rebuilds, reseals), and only damage that survives the heal
+   counts toward the exit code. *)
 
-let scrub jobs image size_mb shallow inject seed =
+let scrub jobs image size_mb shallow inject seed online =
   set_jobs jobs;
   let cfg = Engine.default_config ~size:(size_mb * mib) Engine.Nvm in
   let image =
@@ -569,14 +573,26 @@ let scrub jobs image size_mb shallow inject seed =
     end
   in
   Printf.printf "mapping %s ...\n%!" image;
-  match Engine.open_image ~verify:`Off cfg image with
+  match Engine.open_image ~verify:(if online then `Deep else `Off) cfg image with
   | exception exn ->
       Printf.printf "UNRECOVERABLE  image did not attach: %s\n"
         (Printexc.to_string exn);
       exit 3
   | engine, _ ->
-      let report = Engine.scrub ~deep:(not shallow) engine in
+      let report = Engine.scrub ~deep:(not shallow) ~online engine in
       let crc = Obs.counter_value (Obs.counter "media.crc_failures") in
+      if online then begin
+        let c n = Obs.counter_value (Obs.counter n) in
+        Printf.printf
+          "online restore: %d segment(s) healed, %d table(s) rebuilt, %d \
+           segment(s) still pending\n"
+          (c "media.segment.salvaged")
+          (c "media.salvaged_tables")
+          (List.fold_left
+             (fun acc (_, segs) -> acc + max 1 (List.length segs))
+             0
+             (Engine.quarantined_segments engine))
+      end;
       if report = [] then begin
         Printf.printf "image is clean: %d table(s) verified, %d CRC failure(s)\n"
           (List.length (Engine.table_names engine)) crc;
@@ -608,13 +624,24 @@ let scrub_cmd =
                  $(b,--seed)) into a scratch copy of the image, then scrub \
                  that copy. The original file is never modified.")
   in
+  let online =
+    Arg.(value & flag & info [ "online" ]
+           ~doc:"Serve-while-salvaging audit: recover through the deep \
+                 verify ladder, drain the online restore map (segment \
+                 repairs, deferred rebuilds, reseals), then judge only the \
+                 residual damage. Exit codes keep their offline meaning — \
+                 0 now means $(i,healed or clean), 2 means damage survived \
+                 the heal, 3 means structural damage.")
+  in
   Cmd.v
     (Cmd.info "scrub"
        ~doc:"Verify every checksummed structure of an NVM image. Exits 0 if \
              clean, 2 if damage is confined to individual tables, 3 on \
-             heap or catalog damage.")
+             heap or catalog damage. With $(b,--online), heals what the \
+             serve-while-salvaging restore path can repair first and judges \
+             the residual.")
     Term.(const scrub $ jobs_arg $ image $ size_arg $ shallow $ inject
-          $ seed_arg)
+          $ seed_arg $ online)
 
 (* -- blackbox -- *)
 

@@ -138,6 +138,9 @@ type t = {
   pending_mu : Mutex.t;
   pending : (int, pending) Hashtbl.t; (* tid -> declared-command buffer *)
   mutable quarantined : string list; (* damaged tables we could not salvage *)
+  mutable restore : Restore.t option;
+      (* segment-granular damage map + online restore scheduler (§15);
+         [Some] iff recovery deferred repairs instead of running them *)
   mutable closed : bool;
   mutable replaying : bool; (* suppress logging during replay *)
   (* flight recorder: the NVM ring plus the volatile timeline mirrors *)
@@ -162,6 +165,45 @@ let default_writers () =
   | None -> 1
 
 let check_open t = if t.closed then raise Closed
+
+(* -- serve-while-salvaging gates (docs/PROTOCOLS.md §15) --
+
+   Every read and write path funnels through one of these before touching
+   table data: a quarantined segment under the access is restored right
+   here, in the caller's foreground, bounded by segment size. All of them
+   no-op in O(1) when nothing is pending. *)
+
+let gate_rows t name ~pos ~len origin =
+  match t.restore with
+  | Some rs -> Restore.touch_rows rs name ~pos ~len origin
+  | None -> ()
+
+let gate_table t name origin =
+  match t.restore with
+  | Some rs -> Restore.touch_table rs name origin
+  | None -> ()
+
+let gate_structural t name origin =
+  match t.restore with
+  | Some rs -> Restore.touch_structural rs name origin
+  | None -> ()
+
+(* The block-scan hook. Worker lanes must never write NVM (§10), so when
+   the pool would fan the scan out we pre-restore the whole table and
+   hand the scan no gate; a serial scan heals block by block instead —
+   that is the degraded-serving mode the bench curves measure. *)
+let scan_gate t name =
+  match t.restore with
+  | None -> None
+  | Some rs ->
+      if not (Restore.is_pending rs name) then None
+      else if Par.jobs () > 1 then begin
+        Restore.touch_table rs name Restore.Demand;
+        None
+      end
+      else
+        Some
+          (fun ~pos ~len -> Restore.touch_rows rs name ~pos ~len Restore.Demand)
 
 let config t = t.cfg
 let region t = t.region
@@ -277,6 +319,13 @@ let observer t event =
 
 let make_manager t ~last_cid =
   Mvcc.create_manager ~observer:(observer t) ~publish_mode:t.publish_mode
+    ~write_gate:(fun table row ->
+      (* backstop for direct Mvcc users: a serial claim landing on a
+         quarantined segment restores it first, so the end-CID stamp is
+         never clobbered by a later twin copy. Fires on the serial claim
+         path only — staged (lane) claims are pre-gated by the epoch
+         driver instead (§10: no NVM writes on worker lanes). *)
+      gate_rows t (Table.name table) ~pos:row ~len:1 Restore.Write)
     ~persist_commit:(persist_commit_hook t.region t.ctrl)
     ~last_cid ()
 
@@ -306,6 +355,7 @@ let assemble ?(publish_mode = `Batched) ?san cfg region alloc ctrl catalog
       pending_mu = Mutex.create ();
       pending = Hashtbl.create 16;
       quarantined = [];
+      restore = None;
       closed = false;
       replaying = false;
       bb_ring = None;
@@ -376,12 +426,15 @@ let quarantined t = t.quarantined
 
 (* -- DDL -- *)
 
-let register_table t name table =
-  Hashtbl.replace t.tables name table;
+let register_name t name =
   if not (Hashtbl.mem t.ids name) then begin
     Hashtbl.replace t.ids name (List.length t.names_by_id);
     t.names_by_id <- name :: t.names_by_id
   end
+
+let register_table t name table =
+  Hashtbl.replace t.tables name table;
+  register_name t name
 
 let create_table t ~name schema =
   check_open t;
@@ -397,6 +450,10 @@ let create_table t ~name schema =
 
 let table t name =
   check_open t;
+  (* structurally damaged tables are named in the catalog but carry no
+     usable generation until their deferred rebuild runs — the first
+     lookup is that first touch *)
+  gate_structural t name Restore.Demand;
   match Hashtbl.find_opt t.tables name with
   | Some table -> table
   | None -> raise Not_found
@@ -540,6 +597,9 @@ let run_epoch t ?(clock = now_ns) ?latencies (ops : (txn -> unit) array) =
     let m = t.mgr in
     if Mvcc.active_count m > 0 then
       invalid_arg "Engine.run_epoch: transactions already active";
+    (* staged bodies run on worker lanes, which must not write NVM (§10),
+       so they cannot restore-on-demand: heal everything first *)
+    (match t.restore with Some rs -> Restore.drain rs | None -> ());
     let ep = Mvcc.begin_epoch m in
     let submit = Array.make n 0 in
     let txns =
@@ -633,6 +693,8 @@ let run_pipeline t ?(clock = now_ns) ?latencies ?(epoch = 4)
     let m = t.mgr in
     if Mvcc.active_count m > 0 then
       invalid_arg "Engine.run_pipeline: transactions already active";
+    (* same rule as [run_epoch]: lanes cannot restore, so drain first *)
+    (match t.restore with Some rs -> Restore.drain rs | None -> ());
     let submit = Array.make n 0 in
     let stage lo hi =
       let w = hi - lo in
@@ -721,21 +783,32 @@ let run_pipeline t ?(clock = now_ns) ?latencies ?(epoch = 4)
 
 (* -- DML / queries -- *)
 
+(* Gates below skip staged transactions: their bodies run on worker
+   lanes, which must not write NVM (§10) — the epoch drivers drain the
+   restore map before staging, so a staged body never meets a
+   quarantined segment anyway. *)
+
 let insert t txn name values =
   check_open t;
   Mvcc.insert t.mgr txn (table t name) values
 
 let update t txn name row values =
   check_open t;
-  Mvcc.update t.mgr txn (table t name) row values
+  let tbl = table t name in
+  if not (Mvcc.is_staged txn) then gate_rows t name ~pos:row ~len:1 Restore.Write;
+  Mvcc.update t.mgr txn tbl row values
 
 let delete t txn name row =
   check_open t;
-  Mvcc.delete t.mgr txn (table t name) row
+  let tbl = table t name in
+  if not (Mvcc.is_staged txn) then gate_rows t name ~pos:row ~len:1 Restore.Write;
+  Mvcc.delete t.mgr txn tbl row
 
 let get_row t txn name row =
   check_open t;
   let table = table t name in
+  if not (Mvcc.is_staged txn) then
+    gate_rows t name ~pos:row ~len:1 Restore.Demand;
   Mvcc.read_row txn table row;
   if row < 0 || row >= Table.row_count table then None
   else if Mvcc.row_visible txn table row then Some (Table.get_row table row)
@@ -744,6 +817,7 @@ let get_row t txn name row =
 let scan t txn name f =
   check_open t;
   let table = table t name in
+  if not (Mvcc.is_staged txn) then gate_table t name Restore.Demand;
   Mvcc.read_table txn table;
   for row = 0 to Table.row_count table - 1 do
     if Mvcc.row_visible txn table row then f row (Table.get_row table row)
@@ -757,6 +831,9 @@ let select t txn name ~where =
 let lookup t txn name ~col value =
   check_open t;
   let table = table t name in
+  (* an index probe walks the dictionary and the full attribute vector:
+     whole-table read surface *)
+  if not (Mvcc.is_staged txn) then gate_table t name Restore.Demand;
   let ci = Schema.find_column (Table.schema table) col in
   Mvcc.read_point txn table ~col:ci value;
   List.filter_map
@@ -773,6 +850,7 @@ let count t txn name =
 let sum_int t txn name ~col =
   check_open t;
   let table = table t name in
+  if not (Mvcc.is_staged txn) then gate_table t name Restore.Demand;
   Mvcc.read_table txn table;
   let ci = Schema.find_column (Table.schema table) col in
   let acc = ref 0 in
@@ -794,19 +872,22 @@ let where ?impl t txn name fs =
   check_open t;
   let table = table t name in
   Mvcc.read_table txn table;
-  Query.Scan.select ?impl txn table ~filters:(to_filters fs)
+  let gate = if Mvcc.is_staged txn then None else scan_gate t name in
+  Query.Scan.select ?impl ?gate txn table ~filters:(to_filters fs)
 
 let count_where ?impl t txn name fs =
   check_open t;
   let table = table t name in
   Mvcc.read_table txn table;
-  Query.Scan.count ?impl txn table ~filters:(to_filters fs)
+  let gate = if Mvcc.is_staged txn then None else scan_gate t name in
+  Query.Scan.count ?impl ?gate txn table ~filters:(to_filters fs)
 
 let aggregate ?impl t txn name ?group_by ~specs ?(filters = []) () =
   check_open t;
   let table = table t name in
   Mvcc.read_table txn table;
-  Query.Aggregate.run ?impl txn table ?group_by ~specs
+  let gate = if Mvcc.is_staged txn then None else scan_gate t name in
+  Query.Aggregate.run ?impl ?gate txn table ?group_by ~specs
     ~filters:(to_filters filters) ()
 
 (* -- merge / checkpoint -- *)
@@ -814,6 +895,8 @@ let aggregate ?impl t txn name ?group_by ~specs ?(filters = []) () =
 let merge_one t name =
   if Mvcc.active_count t.mgr > 0 then
     invalid_arg "Engine.merge: active transactions";
+  (* a merge reads every row of both partitions: heal the table first *)
+  gate_table t name Restore.Demand;
   let tid = Option.value ~default:0 (Hashtbl.find_opt t.ids name) in
   (* replay reproduces historical merges; recording them again would
      duplicate the pre-crash timeline the ring already holds *)
@@ -898,10 +981,35 @@ let vacuum t =
   check_open t;
   if Mvcc.active_count t.mgr > 0 then
     invalid_arg "Engine.vacuum: active transactions";
-  if t.quarantined <> [] then
+  (* Only damage whose table has no registered (block-enumerable)
+     generation blocks the sweep: unsalvageable PR-5 quarantines and
+     structurally damaged tables awaiting their deferred rebuild — their
+     blocks cannot be marked live, so sweeping would destroy the salvage
+     evidence. Segment-quarantined tables ARE registered: their blocks
+     are simply kept, and the sweep proceeds around them. *)
+  let blockers =
+    List.map (fun n -> (n, [])) t.quarantined
+    @ (match t.restore with
+      | None -> []
+      | Some rs ->
+          List.filter
+            (fun (n, _) -> not (Hashtbl.mem t.tables n))
+            (Restore.pending rs))
+  in
+  if blockers <> [] then
     invalid_arg
-      "Engine.vacuum: quarantined tables present (their blocks are \
-       preserved as salvage evidence)";
+      (Printf.sprintf
+         "Engine.vacuum: unrestored quarantine evidence for %s (blocks not \
+          enumerable; restore or scrub first)"
+         (String.concat ", "
+            (List.map
+               (fun (n, segs) ->
+                 match segs with
+                 | [] -> n
+                 | _ ->
+                     Printf.sprintf "%s[segments %s]" n
+                       (String.concat "," (List.map string_of_int segs)))
+               blockers)));
   let live = Hashtbl.create 4096 in
   Hashtbl.replace live t.ctrl ();
   (match t.bb_ring with
@@ -948,6 +1056,9 @@ type recovery_detail =
       tables : int;
       quarantined : string list;
       salvaged : string list;
+      deferred : (string * int list) list;
+          (* segment-quarantined tables whose repair was deferred to the
+             online restore scheduler (table, damaged segments) *)
       heap_reset : bool;
       blackbox_records : int; (* pre-crash events decoded from the ring *)
       blackbox_ns : int; (* ring attach + decode phase *)
@@ -1706,91 +1817,175 @@ let recover_nvm ?(verify = `Shallow) ?san cfg region =
         Obs.Span.attr "truncated_lanes" !decoded_truncated);
     Obs.Blackbox.emit ~arg:Obs.Event.ph_blackbox Obs.Event.Recovery_phase;
     let t2b = now_ns () in
-    let verified =
+    (* segment-granular verify (§15): the same ladder, but media damage
+       maps to 4K-row segments instead of condemning whole tables; only
+       damage no row range can name stays table-granular (structural).
+       Pure reads — safe to fan out; the reseal-only repair below runs
+       serially after the join. *)
+    let health =
       Obs.Span.with_ ~name:"verify" @@ fun () ->
       match verify with
-      | `Off -> attached
+      | `Off ->
+          Array.map
+            (function
+              | Ok table -> `Healthy table
+              | Error reason -> `Structural reason)
+            attached
       | (`Shallow | `Deep) as level ->
           Par.map_array
             (fun r ->
               match r with
-              | Error _ -> r
-              | Ok table -> (
-                  try
-                    Table.verify ~deep:(level = `Deep) ~last_cid:last table;
-                    r
-                  with exn -> Error (damage_reason exn)))
+              | Error reason -> `Structural reason
+              | Ok table ->
+                  let rep =
+                    Table.verify_segments ~deep:(level = `Deep) ~last_cid:last
+                      table
+                  in
+                  if rep.Table.sr_structural then
+                    `Structural "damage outside any row segment"
+                  else if rep.Table.sr_damaged = [] && rep.Table.sr_reseal = []
+                  then `Healthy table
+                  else `Seg (table, rep.Table.sr_damaged, rep.Table.sr_reseal))
             attached
     in
+    (* reseal-only findings (the whole-payload CRC word itself took the
+       hit while every per-segment CRC vouches for the data): restamp in
+       place, no twin needed *)
+    Array.iteri
+      (fun i h ->
+        match h with
+        | `Seg (table, [], reseal) ->
+            List.iter (Table.reseal_main_avec table) reseal;
+            L.warn (fun m ->
+                m "table %s: payload CRC restamped (segment directory clean)"
+                  (Option.get views.(i).Catalog.name))
+        | _ -> ())
+      health;
     Obs.Blackbox.emit ~arg:Obs.Event.ph_verify Obs.Event.Recovery_phase;
     let t3 = now_ns () in
-    let quarantine =
-      let acc = ref [] in
-      Array.iteri
-        (fun i r ->
-          match r with
-          | Ok _ -> ()
-          | Error reason ->
-              acc := (i, Option.get views.(i).Catalog.name, reason) :: !acc)
-        verified;
-      List.rev !acc
-    in
-    List.iter
-      (fun (i, name, reason) ->
-        Obs.incr quarantined_tables_c;
-        Obs.Blackbox.emit ~arg:i Obs.Event.Quarantine;
-        L.warn (fun m -> m "table %s quarantined: %s" name reason))
-      quarantine;
-    let salvaged = ref [] in
-    Obs.Span.with_ ~name:"salvage" (fun () ->
-        let scratch =
-          if quarantine = [] then None
-          else
-            match cfg.salvage with
-            | None -> None
-            | Some lc ->
-                (* rebuild the pre-crash committed state in a scratch
-                   volatile engine; only damaged tables are copied out *)
-                let scratch_cfg =
-                  { cfg with durability = Volatile; salvage = None }
-                in
-                let scratch, _ =
-                  recover_log_at ~bound:last ~reopen:false scratch_cfg lc
-                in
-                Some scratch
+    Array.iteri
+      (fun i h ->
+        let quarantined reason =
+          Obs.incr quarantined_tables_c;
+          Obs.Blackbox.emit ~arg:i Obs.Event.Quarantine;
+          L.warn (fun m ->
+              m "table %s quarantined: %s" (Option.get views.(i).Catalog.name)
+                reason)
         in
+        match h with
+        | `Healthy _ | `Seg (_, [], _) -> ()
+        | `Structural reason -> quarantined reason
+        | `Seg (_, segs, _) ->
+            quarantined
+              (Printf.sprintf "%d damaged segment(s)" (List.length segs)))
+      health;
+    let salvaged = ref [] in
+    let deferred = ref [] in
+    Obs.Span.with_ ~name:"salvage" (fun () ->
+        let have_archive = cfg.salvage <> None in
+        (* pending damage for the online scheduler:
+           (name, rows-at-quarantine, structural, segments, reseal cols) *)
+        let entries = ref [] in
+        (* registration pass in catalog order, so log table ids stay
+           stable no matter where the damage landed *)
         Array.iteri
-          (fun i r ->
+          (fun i h ->
             let name = Option.get views.(i).Catalog.name in
-            match r with
-            | Ok table -> register_table e name table
-            | Error _ -> (
-                match scratch with
-                | None ->
-                    (* graceful degradation: serve the healthy tables *)
-                    e.quarantined <- e.quarantined @ [ name ]
-                | Some scratch -> (
-                    match Hashtbl.find_opt scratch.tables name with
-                    | None ->
-                        (* the archive does not know this table at all:
-                           beyond per-table salvage, rebuild everything *)
-                        raise
-                          (A.Heap_corrupt
-                             {
-                               at = 0;
-                               what = name ^ " missing from salvage archive";
-                             })
-                    | Some src ->
-                        let nt = rebuild_table e.alloc ~name src in
-                        Catalog.swap_table e.catalog ~name
-                          ~new_ctrl:(Table.handle nt);
-                        register_table e name nt;
-                        Obs.incr salvaged_tables_c;
-                        Obs.Blackbox.emit ~arg:i Obs.Event.Salvage;
-                        salvaged := name :: !salvaged;
-                        L.warn (fun m ->
-                            m "table %s salvaged from checkpoint + log" name))))
-          verified);
+            match h with
+            | `Healthy table | `Seg (table, [], _) ->
+                register_table e name table
+            | `Seg (table, segs, reseal) ->
+                if have_archive then begin
+                  (* serve-while-salvaging: the damaged generation stays
+                     registered — healthy segments answer queries now,
+                     damaged ones heal on first touch or in the drain *)
+                  register_table e name table;
+                  deferred := (name, segs) :: !deferred;
+                  entries :=
+                    (name, Table.row_count table, false, segs, reseal)
+                    :: !entries
+                end
+                else
+                  (* graceful degradation: serve the healthy tables *)
+                  e.quarantined <- e.quarantined @ [ name ]
+            | `Structural _ ->
+                if have_archive then begin
+                  (* named in the directory but no usable generation: the
+                     first touch runs the full checkpoint+log rebuild *)
+                  register_name e name;
+                  deferred := (name, []) :: !deferred;
+                  entries := (name, 0, true, [], []) :: !entries
+                end
+                else e.quarantined <- e.quarantined @ [ name ])
+          health;
+        match List.rev !entries with
+        | [] -> ()
+        | entries ->
+            let lc = Option.get cfg.salvage in
+            (* the salvage twin is shared by every repair and built
+               lazily on the first one — an engine-ready that defers all
+               repairs pays nothing for the archive replay *)
+            let scratch = ref None in
+            let get_scratch () =
+              match !scratch with
+              | Some s -> s
+              | None ->
+                  let scratch_cfg =
+                    { cfg with durability = Volatile; salvage = None }
+                  in
+                  let s, _ =
+                    recover_log_at ~bound:last ~reopen:false scratch_cfg lc
+                  in
+                  scratch := Some s;
+                  s
+            in
+            let index_of = Hashtbl.create 8 in
+            Array.iteri
+              (fun i (v : Catalog.entry_view) ->
+                match v.Catalog.name with
+                | Some n -> Hashtbl.replace index_of n i
+                | None -> ())
+              views;
+            let rs =
+              Restore.create
+                {
+                  Restore.s_live = (fun name -> Hashtbl.find e.tables name);
+                  s_twin =
+                    (fun name ->
+                      Hashtbl.find_opt (get_scratch ()).tables name);
+                  s_rebuild =
+                    (fun name ->
+                      match Hashtbl.find_opt (get_scratch ()).tables name with
+                      | None ->
+                          (* the archive does not know this table at all:
+                             nothing can rebuild it *)
+                          raise
+                            (A.Heap_corrupt
+                               {
+                                 at = 0;
+                                 what = name ^ " missing from salvage archive";
+                               })
+                      | Some src ->
+                          let nt = rebuild_table e.alloc ~name src in
+                          Catalog.swap_table e.catalog ~name
+                            ~new_ctrl:(Table.handle nt);
+                          register_table e name nt;
+                          Obs.incr salvaged_tables_c;
+                          L.warn (fun m ->
+                              m "table %s salvaged from checkpoint + log" name));
+                  s_index =
+                    (fun name ->
+                      Option.value ~default:0 (Hashtbl.find_opt index_of name));
+                  s_on_full_health =
+                    (fun () -> Obs.Blackbox.emit Obs.Event.Full_health);
+                }
+            in
+            e.restore <- Some rs;
+            List.iter
+              (fun (name, rows, structural, segments, reseal) ->
+                Restore.quarantine rs ~name ~rows ~structural ~segments
+                  ~reseal)
+              entries);
     Obs.Blackbox.emit ~arg:Obs.Event.ph_salvage Obs.Event.Recovery_phase;
     let t4 = now_ns () in
     let rolled = ref 0 in
@@ -1799,7 +1994,11 @@ let recover_nvm ?(verify = `Shallow) ?san cfg region =
            (the writes), in creation order for a deterministic persist
            sequence *)
         let tbls =
-          Array.of_list (List.map (Hashtbl.find e.tables) (table_names e))
+          (* structurally damaged tables have no registered generation
+             yet; their rebuild (bounded at the durable commit point)
+             needs no rollback *)
+          Array.of_list
+            (List.filter_map (Hashtbl.find_opt e.tables) (table_names e))
         in
         let plans =
           Par.map_array
@@ -1833,9 +2032,16 @@ let recover_nvm ?(verify = `Shallow) ?san cfg region =
       Obs.Blackbox.emit ~arg:crc_delta Obs.Event.Crc_failure;
     (* the restart markers: the engine serves queries from here
        (time-to-first-query), and is fully healthy iff nothing stayed
-       quarantined (time-to-full-health) *)
+       quarantined and no segment awaits its online restore — otherwise
+       [Full_health] fires later, when the restore map empties
+       (time-to-full-health) *)
     Obs.Blackbox.emit Obs.Event.Engine_ready;
-    if e.quarantined = [] then Obs.Blackbox.emit Obs.Event.Full_health;
+    if
+      e.quarantined = []
+      && match e.restore with
+         | Some rs -> Restore.pending rs = []
+         | None -> true
+    then Obs.Blackbox.emit Obs.Event.Full_health;
     let heap_blocks =
       match A.last_recovery alloc with
       | Some r -> r.A.scanned_blocks
@@ -1860,6 +2066,7 @@ let recover_nvm ?(verify = `Shallow) ?san cfg region =
           tables = Hashtbl.length e.tables;
           quarantined = e.quarantined;
           salvaged = List.rev !salvaged;
+          deferred = List.rev !deferred;
           heap_reset = false;
           blackbox_records = List.length e.bb_precrash;
           blackbox_ns = t2b - t2;
@@ -1913,6 +2120,7 @@ let recover_nvm ?(verify = `Shallow) ?san cfg region =
                 tables = List.length names;
                 quarantined = [];
                 salvaged = names;
+                deferred = [];
                 heap_reset = true;
                 blackbox_records = List.length !decoded_precrash;
                 blackbox_ns = 0;
@@ -1965,8 +2173,13 @@ let open_image ?verify ?(sanitize = false) (cfg : config) path =
 
 (* -- scrub -- *)
 
-let scrub ?(deep = true) t =
+let scrub ?(deep = true) ?(online = false) t =
   check_open t;
+  (* online mode heals before it judges: drain the restore map (every
+     pending segment and structural rebuild), then verify what remains *)
+  (match (online, t.restore) with
+  | true, Some rs -> Restore.drain rs
+  | _ -> ());
   let dmg = ref [] in
   let guard comp f =
     try f () with exn -> dmg := (comp, damage_reason exn) :: !dmg
@@ -1976,13 +2189,46 @@ let scrub ?(deep = true) t =
   let last = last_cid t in
   List.iter
     (fun name ->
-      guard ("table:" ^ name) (fun () ->
-          Table.verify ~deep ~last_cid:last (table t name)))
+      (* deliberately not [table t name]: an offline scrub diagnoses, it
+         must not trigger the restore-on-demand gate; tables with no
+         registered generation are reported from the restore map below *)
+      match Hashtbl.find_opt t.tables name with
+      | None -> ()
+      | Some tbl ->
+          guard ("table:" ^ name) (fun () ->
+              Table.verify ~deep ~last_cid:last tbl))
     (table_names t);
+  (match t.restore with
+  | None -> ()
+  | Some rs ->
+      List.iter
+        (fun (name, segs) ->
+          dmg :=
+            ( "table:" ^ name,
+              match segs with
+              | [] -> "structural damage pending online rebuild"
+              | _ ->
+                  Printf.sprintf "segment(s) %s pending online restore"
+                    (String.concat "," (List.map string_of_int segs)) )
+            :: !dmg)
+        (Restore.pending rs));
   List.iter
     (fun name -> dmg := ("table:" ^ name, "quarantined at recovery") :: !dmg)
     t.quarantined;
   List.rev !dmg
+
+(* -- online restore (docs/PROTOCOLS.md §15) -- *)
+
+let quarantined_segments t =
+  match t.restore with Some rs -> Restore.pending rs | None -> []
+
+let restore_step t =
+  check_open t;
+  match t.restore with Some rs -> Restore.drain_step rs | None -> false
+
+let restore_drain t =
+  check_open t;
+  match t.restore with Some rs -> Restore.drain rs | None -> ()
 
 (* -- flight recorder -- *)
 

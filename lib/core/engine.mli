@@ -254,9 +254,13 @@ val vacuum : t -> int * int
     any allocated heap block outside that set. Such blocks exist only as
     leaks from crash windows between allocation/publication or
     retirement/free (docs/PROTOCOLS.md §7). Requires no active
-    transactions, and raises [Invalid_argument] while quarantined tables
-    exist (their blocks must be preserved as salvage evidence). Returns
-    (blocks, bytes) reclaimed. *)
+    transactions. Tables with quarantined {e segments} do not block the
+    sweep: their registered generation enumerates its blocks, which are
+    simply kept (the damage heals online later). Only damage with no
+    registered generation refuses — unsalvageable quarantines and
+    structural damage awaiting its deferred rebuild — with the blocking
+    tables (and segments) named in the [Invalid_argument] message.
+    Returns (blocks, bytes) reclaimed. *)
 
 val checkpoint : t -> Storage.Merge.stats list
 (** Merge every table; in [Logging] mode additionally dump a checkpoint
@@ -287,6 +291,13 @@ type recovery_detail =
           (** damaged tables with no salvage archive: present in the
               catalog but not served *)
       salvaged : string list;  (** damaged tables rebuilt from the archive *)
+      deferred : (string * int list) list;
+          (** serve-while-salvaging (docs/PROTOCOLS.md §15): tables whose
+              repair recovery handed to the online restore scheduler
+              instead of running — [(table, damaged segment indices)];
+              an empty segment list means structural damage (full rebuild
+              on first touch). Healthy segments of these tables serve
+              immediately. *)
       heap_reset : bool;
           (** the NVM image was beyond repair; everything was rebuilt
               from the archive onto a fresh region *)
@@ -329,15 +340,40 @@ type verify_level = [ `Off | `Shallow | `Deep ]
 
 val recover : ?verify:verify_level -> crashed -> t * recovery_stats
 (** Bring the database back per its durability mechanism. Under [Nvm],
-    structures failing [verify] are quarantined; with [config.salvage]
-    set they are rebuilt from the checkpoint + WAL archive (and a damaged
-    heap or catalog degrades to a full archive rebuild) — otherwise the
+    the [verify] ladder maps media damage to 4K-row segments
+    ({!Storage.Table.segment_rows}). With [config.salvage] set, damaged
+    segments are {e quarantined, not repaired}: the engine opens
+    immediately ([engine-ready]), healthy segments serve, and each
+    quarantined segment is rebuilt from the checkpoint + WAL archive on
+    first touch (query, point read, or write) or by the background drain
+    ({!restore_step} / {!restore_drain}) — the [full-health] marker fires
+    when the map empties. Structural damage (control words, dictionaries
+    — nothing a row range can name) defers a whole-table rebuild to the
+    first touch the same way, and a damaged heap or catalog still
+    degrades to a full archive rebuild up front. Without an archive the
     engine serves only the healthy tables, and the damaged names are
     reported by {!quarantined}. *)
 
 val quarantined : t -> string list
 (** Tables quarantined by the last recovery and not salvaged; they raise
     [Not_found] when addressed. *)
+
+(** {1 Online restore (serve-while-salvaging)} *)
+
+val quarantined_segments : t -> (string * int list) list
+(** Outstanding damage by table, ascending segment indices (an empty
+    list for a table = structural damage pending its full rebuild).
+    Empty when the engine is at full health. *)
+
+val restore_step : t -> bool
+(** One background repair — a single segment (lowest (table, segment)
+    first; anything a query wanted was already healed on demand), or one
+    structural rebuild. [false] when nothing is pending. NVM writes run
+    on the calling domain only (PROTOCOLS.md §10); call between query
+    batches as the background lane. *)
+
+val restore_drain : t -> unit
+(** Run {!restore_step} to empty; emits [full-health] when done. *)
 
 val recover_log :
   ?bound:Storage.Cid.t ->
@@ -356,12 +392,16 @@ val recover_log :
     the pre-PR-9 serial loop, above it the wave-pipelined partitioned
     replay — byte-identical {!media_digest} either way. *)
 
-val scrub : ?deep:bool -> t -> (string * string) list
-(** Offline damage audit over the live engine: the allocator heap
-    ("heap"), the catalog directory ("catalog") and every table
-    ("table:<name>"), each paired with a damage description. An empty
-    list means the image is clean. [deep] (default [true]) recomputes
-    payload checksums. *)
+val scrub : ?deep:bool -> ?online:bool -> t -> (string * string) list
+(** Damage audit over the live engine: the allocator heap ("heap"), the
+    catalog directory ("catalog") and every table ("table:<name>"), each
+    paired with a damage description; segments awaiting online restore
+    are reported per table. An empty list means the image is clean.
+    [deep] (default [true]) recomputes payload checksums. [online]
+    (default [false]) heals before judging: the restore map is drained
+    first — every pending segment and deferred rebuild runs — so a
+    healable image scrubs clean. The offline audit never mutates the
+    image. *)
 
 val save_image : t -> string -> unit
 (** Dump the durable NVM image to a file (NVM mode only) — the moral

@@ -1,0 +1,216 @@
+module Table = Storage.Table
+
+(* Serve-while-salvaging scheduler (PROTOCOLS.md §15).
+
+   Recovery no longer rebuilds damaged tables before opening: the verify
+   ladder maps media faults to 4K-row segments, each damaged segment is
+   quarantined here, and the engine opens immediately. Repairs then run
+   in two lanes:
+
+   - demand: a query (or write) touching a quarantined segment restores
+     exactly that segment in its own foreground, bounded by segment size
+     — healthy segments never wait;
+   - background: the drain loop walks the remaining segments (the ones no
+     query asked for — lowest priority by definition) until the map is
+     empty and the engine emits the [Full_health] marker.
+
+   Segment content comes from the salvage twin: a volatile rebuild from
+   checkpoint + salvage log bounded at the durable commit point, built
+   lazily on the first repair (an undamaged restart never pays for it)
+   and shared by every entry. All NVM writes happen on the calling
+   domain — worker lanes stay read-only per the sanitizer contract
+   (§10); the twin rebuild itself fans its replay out on the pool.
+
+   Structural damage (control words, dictionaries, trees — nothing a row
+   range can name) quarantines the whole table: the first touch performs
+   the PR-5 full rebuild (checkpoint+log twin, rebuild, catalog swap)
+   through the engine-provided callback. *)
+
+type origin = Demand | Background | Write
+
+type source = {
+  s_live : string -> Table.t;
+      (* the currently registered live table (post-attach generation) *)
+  s_twin : string -> Table.t option;
+      (* salvage-twin accessor; [None] = table absent from the archive *)
+  s_rebuild : string -> unit;
+      (* full checkpoint+log rebuild & catalog swap (structural damage) *)
+  s_index : string -> int;  (* catalog index, for blackbox event args *)
+  s_on_full_health : unit -> unit;
+}
+
+type entry = {
+  e_name : string;
+  e_structural : bool;
+  e_rows : int;  (* row count when the damage map was taken *)
+  e_damaged : (int, unit) Hashtbl.t;
+  e_reseal : int list;
+}
+
+type t = {
+  src : source;
+  entries : (string, entry) Hashtbl.t;
+  mutable announced : bool;  (* full health fires once *)
+}
+
+let seg_quarantined_c = Obs.counter "media.segment.quarantined"
+let seg_salvaged_c = Obs.counter "media.segment.salvaged"
+let seg_demand_c = Obs.counter "media.segment.demand"
+let seg_background_c = Obs.counter "media.segment.background"
+let seg_write_gated_c = Obs.counter "media.segment.write_gated"
+
+let create src = { src; entries = Hashtbl.create 4; announced = false }
+
+let event_arg rs name seg = (rs.src.s_index name * 65536) + (seg land 0xFFFF)
+
+let quarantine rs ~name ~rows ~structural ~segments ~reseal =
+  let damaged = Hashtbl.create 8 in
+  let segments =
+    (* structural damage condemns every segment the table had *)
+    if structural then
+      List.init ((rows + Table.segment_rows - 1) / Table.segment_rows) Fun.id
+    else segments
+  in
+  List.iter (fun s -> Hashtbl.replace damaged s ()) segments;
+  Hashtbl.replace rs.entries name
+    {
+      e_name = name;
+      e_structural = structural;
+      e_rows = rows;
+      e_damaged = damaged;
+      e_reseal = reseal;
+    };
+  rs.announced <- false;
+  List.iter
+    (fun s ->
+      Obs.incr seg_quarantined_c;
+      Obs.Blackbox.emit ~arg:(event_arg rs name s) Obs.Event.Segment_quarantine)
+    segments
+
+let is_pending rs name = Hashtbl.mem rs.entries name
+
+let pending rs =
+  Hashtbl.fold
+    (fun name e acc ->
+      let segs =
+        List.sort compare (Hashtbl.fold (fun s () l -> s :: l) e.e_damaged [])
+      in
+      (name, segs) :: acc)
+    rs.entries []
+  |> List.sort compare
+
+let pending_segments rs =
+  Hashtbl.fold (fun _ e n -> n + Hashtbl.length e.e_damaged) rs.entries 0
+
+let check_full_health rs =
+  if Hashtbl.length rs.entries = 0 && not rs.announced then begin
+    rs.announced <- true;
+    rs.src.s_on_full_health ()
+  end
+
+let count_origin = function
+  | Demand -> Obs.incr seg_demand_c
+  | Background -> Obs.incr seg_background_c
+  | Write ->
+      Obs.incr seg_write_gated_c;
+      Obs.incr seg_demand_c
+
+let finish_entry rs e =
+  (match e.e_reseal with
+  | [] -> ()
+  | cols ->
+      let live = rs.src.s_live e.e_name in
+      List.iter (Table.reseal_main_avec live) cols);
+  Hashtbl.remove rs.entries e.e_name
+
+(* Structural repair: one full rebuild clears every segment at once. *)
+let restore_structural rs e origin =
+  rs.src.s_rebuild e.e_name;
+  let segs = Hashtbl.length e.e_damaged in
+  for _ = 1 to max 1 segs do
+    count_origin origin;
+    Obs.incr seg_salvaged_c
+  done;
+  Obs.Blackbox.emit ~arg:(rs.src.s_index e.e_name) Obs.Event.Salvage;
+  Hashtbl.remove rs.entries e.e_name;
+  check_full_health rs
+
+let restore_one rs e seg origin =
+  let live = rs.src.s_live e.e_name in
+  match rs.src.s_twin e.e_name with
+  | None ->
+      (* the salvage archive never saw this table: unhealable *)
+      failwith ("Restore: table " ^ e.e_name ^ " missing from salvage archive")
+  | Some twin ->
+      Table.restore_segment live ~from:twin ~seg ~rows:e.e_rows;
+      Hashtbl.remove e.e_damaged seg;
+      count_origin origin;
+      Obs.incr seg_salvaged_c;
+      Obs.Blackbox.emit
+        ~arg:(event_arg rs e.e_name seg)
+        Obs.Event.Segment_salvaged;
+      if Hashtbl.length e.e_damaged = 0 then begin
+        finish_entry rs e;
+        check_full_health rs
+      end
+
+let touch_entry_rows rs e ~pos ~len origin =
+  if e.e_structural then restore_structural rs e origin
+  else begin
+    let s_lo = max 0 pos / Table.segment_rows in
+    let s_hi = (max 0 (pos + len - 1)) / Table.segment_rows in
+    for s = s_lo to s_hi do
+      if Hashtbl.mem e.e_damaged s then restore_one rs e s origin
+    done
+  end
+
+let touch_rows rs name ~pos ~len origin =
+  if len > 0 then
+    match Hashtbl.find_opt rs.entries name with
+    | None -> ()
+    | Some e -> touch_entry_rows rs e ~pos ~len origin
+
+let touch_structural rs name origin =
+  match Hashtbl.find_opt rs.entries name with
+  | Some e when e.e_structural -> restore_structural rs e origin
+  | _ -> ()
+
+let touch_table rs name origin =
+  match Hashtbl.find_opt rs.entries name with
+  | None -> ()
+  | Some e ->
+      if e.e_structural then restore_structural rs e origin
+      else begin
+        let segs =
+          List.sort compare
+            (Hashtbl.fold (fun s () l -> s :: l) e.e_damaged [])
+        in
+        List.iter (fun s -> restore_one rs e s origin) segs
+      end
+
+(* One background step: repair a single segment (or one structural
+   table). Ascending (table, segment) order — anything a query wanted
+   was already healed on demand, so what's left is uniformly lowest
+   priority and the stable order keeps the drain deterministic. *)
+let drain_step rs =
+  match pending rs with
+  | [] ->
+      check_full_health rs;
+      false
+  | (name, _) :: _ -> (
+      match Hashtbl.find_opt rs.entries name with
+      | None -> true
+      | Some e ->
+          (if e.e_structural then restore_structural rs e Background
+           else
+             match
+               List.sort compare
+                 (Hashtbl.fold (fun s () l -> s :: l) e.e_damaged [])
+             with
+             | [] ->
+                 finish_entry rs e;
+                 check_full_health rs
+             | s :: _ -> restore_one rs e s Background);
+          true)
+
+let drain rs = while drain_step rs do () done

@@ -1,0 +1,74 @@
+(** Serve-while-salvaging: segment-granular quarantine and the online
+    instant-restore scheduler (PROTOCOLS.md §15).
+
+    Recovery maps media damage to 4K-row segments ({!Storage.Table.segment_rows})
+    and registers them here instead of rebuilding tables before the engine
+    opens. Queries and writes that touch a quarantined segment trigger a
+    bounded foreground repair of exactly that segment; a background drain
+    walks the remainder lowest-priority-first; the engine's [Full_health]
+    blackbox marker fires when the map empties. All repairs write NVM on
+    the calling domain only (sanitizer contract §10). *)
+
+type origin =
+  | Demand  (** a read touched the segment *)
+  | Background  (** the drain loop got to it first *)
+  | Write  (** a write was gated on it (restore-then-apply) *)
+
+type source = {
+  s_live : string -> Storage.Table.t;
+  s_twin : string -> Storage.Table.t option;
+      (** lazily built salvage twin (checkpoint + salvage log, bounded at
+          the durable commit point); [None] = absent from the archive *)
+  s_rebuild : string -> unit;
+      (** full rebuild + catalog swap, for structural damage *)
+  s_index : string -> int;  (** catalog index for blackbox event args *)
+  s_on_full_health : unit -> unit;
+}
+
+type t
+
+val create : source -> t
+
+val quarantine :
+  t ->
+  name:string ->
+  rows:int ->
+  structural:bool ->
+  segments:int list ->
+  reseal:int list ->
+  unit
+(** Register a table's damage map ([rows] = its row count right now; the
+    clamp for later repairs — rows appended afterwards are fresh writes).
+    Emits one [Segment_quarantine] blackbox event per damaged segment. *)
+
+val is_pending : t -> string -> bool
+
+val pending : t -> (string * int list) list
+(** Outstanding (table, ascending damaged segments) pairs, sorted. *)
+
+val pending_segments : t -> int
+
+val touch_rows : t -> string -> pos:int -> len:int -> origin -> unit
+(** Restore-on-demand gate: repair every quarantined segment
+    intersecting global rows [pos, pos+len) of the named table (no-op
+    when the table has no pending damage). Structural damage repairs the
+    whole table. *)
+
+val touch_structural : t -> string -> origin -> unit
+(** Rebuild the table now iff its pending damage is structural; no-op
+    otherwise. Appends need this (an insert lands on a fresh row, which
+    segment-granular damage can't reach, but a structurally damaged
+    table must be swapped for its rebuild before rows land on the doomed
+    generation). *)
+
+val touch_table : t -> string -> origin -> unit
+(** Repair everything pending for one table (full-table reads, and the
+    pre-restore step before a parallel scan fans out — workers must not
+    write NVM). *)
+
+val drain_step : t -> bool
+(** One background repair (one segment, or one structural rebuild);
+    [false] when nothing is pending. *)
+
+val drain : t -> unit
+(** Run [drain_step] to empty — the background lane's main loop. *)

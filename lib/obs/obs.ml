@@ -257,6 +257,8 @@ module Event = struct
     | Full_health
     | Epoch_seal
     | Group_commit
+    | Segment_quarantine
+    | Segment_salvaged
 
   type t = { seq : int; lane : int; kind : kind; arg : int; t_ns : int }
 
@@ -280,6 +282,8 @@ module Event = struct
     | Full_health -> 16
     | Epoch_seal -> 17
     | Group_commit -> 18
+    | Segment_quarantine -> 19
+    | Segment_salvaged -> 20
 
   let kind_of_code = function
     | 0 -> Some Txn_begin
@@ -301,6 +305,8 @@ module Event = struct
     | 16 -> Some Full_health
     | 17 -> Some Epoch_seal
     | 18 -> Some Group_commit
+    | 19 -> Some Segment_quarantine
+    | 20 -> Some Segment_salvaged
     | _ -> None
 
   let kind_name = function
@@ -323,6 +329,8 @@ module Event = struct
     | Full_health -> "full-health"
     | Epoch_seal -> "epoch-seal"
     | Group_commit -> "group-commit"
+    | Segment_quarantine -> "segment-quarantine"
+    | Segment_salvaged -> "segment-salvaged"
 
   (* Recovery_phase arg codes: which phase just completed *)
   let ph_heap_scan = 0

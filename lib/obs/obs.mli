@@ -155,6 +155,12 @@ module Event : sig
     | Group_commit
         (** writer pipeline: the epoch's single durable last-CID persist
             completed; arg = write transactions covered by it *)
+    | Segment_quarantine
+        (** arg = catalog index * 65536 + segment index of a
+            quarantined row segment *)
+    | Segment_salvaged
+        (** arg = catalog index * 65536 + segment index of a segment
+            restored online *)
 
   type t = { seq : int; lane : int; kind : kind; arg : int; t_ns : int }
   (** [seq] is a process-global monotonic sequence number (merge key

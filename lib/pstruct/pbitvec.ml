@@ -6,11 +6,21 @@ module Seal = Nvm.Seal
            +8  bits per entry                   (sealed)
            +16 CRC32 of the packed data         (sealed)
            +24 packed data, little-endian within 64-bit words
+           +24+words*8  per-segment CRC32 directory, one sealed word per
+                        4096-entry segment (ceil(length/4096) entries)
 
-   The structure is write-once ([build] persists the whole block in one
-   publication), so the payload checksum is computed exactly once and
-   never maintained incrementally. Readers skip it; [verify ~deep:true]
-   recomputes it during a scrub. *)
+   The structure is write-once in normal operation ([build] persists the
+   whole block in one publication), so the payload checksums are computed
+   exactly once and never maintained incrementally. Readers skip them;
+   [verify ~deep:true] recomputes the whole-payload CRC during a scrub.
+
+   The segment directory makes media damage row-addressable: 4096*bits is
+   always a multiple of 64, so every segment covers a whole-word span and
+   [verify_segments] can blame a CRC mismatch on one 4K-row segment
+   instead of condemning the vector. [patch_segment] is the online-restore
+   write path: it rewrites one segment's span byte-exactly from salvaged
+   values and re-seals that segment's directory entry, leaving the
+   (still-valid) whole-payload CRC untouched. *)
 
 type t = {
   region : Region.t;
@@ -31,6 +41,14 @@ let bits_needed max_v =
 
 let data_words n bits = ((n * bits) + 63) / 64
 
+let segment_entries = 4096
+
+let seg_count n = (n + segment_entries - 1) / segment_entries
+
+(* whole-word span of segment [s]: 4096*bits bits = 64*bits words *)
+let seg_word_lo bits s = s * 64 * bits
+let seg_word_hi n bits s = min (data_words n bits) ((s + 1) * 64 * bits)
+
 let build alloc values =
   let region = A.region alloc in
   Region.with_label region "pbitvec.build" @@ fun () ->
@@ -39,7 +57,8 @@ let build alloc values =
   Array.iter (fun v -> if v < 0 then invalid_arg "Pbitvec.build: negative") values;
   let bits = bits_needed max_v in
   let words = data_words n bits in
-  let handle = A.alloc alloc (24 + (words * 8)) in
+  let nseg = seg_count n in
+  let handle = A.alloc alloc (24 + (words * 8) + (nseg * 8)) in
   Seal.write region handle n;
   Seal.write region (handle + 8) bits;
   (* pack into a staging buffer, then one blit *)
@@ -62,7 +81,14 @@ let build alloc values =
   Seal.write region (handle + 16)
     (Int32.to_int (Util.Crc.bytes buf) land 0xFFFFFFFF);
   if words > 0 then Region.write_bytes region (handle + 24) buf;
-  Region.persist region handle (24 + (words * 8));
+  let dir = handle + 24 + (words * 8) in
+  for s = 0 to nseg - 1 do
+    let lo = seg_word_lo bits s and hi = seg_word_hi n bits s in
+    Seal.write region (dir + (s * 8))
+      (Int32.to_int (Util.Crc.bytes_sub buf (lo * 8) ((hi - lo) * 8))
+      land 0xFFFFFFFF)
+  done;
+  Region.persist region handle (24 + (words * 8) + (nseg * 8));
   A.activate alloc handle;
   {
     region;
@@ -183,7 +209,10 @@ let destroy t = A.free t.alloc t.handle
 
 let owned_blocks t = [ t.handle ]
 
-let bytes_on_nvm t = 24 + (data_words t.length t.bits * 8)
+let bytes_on_nvm t =
+  24 + (data_words t.length t.bits * 8) + (seg_count t.length * 8)
+
+let dir_off t = t.handle + 24 + (data_words t.length t.bits * 8)
 
 let verify ?(deep = false) t =
   Pcheck.require (t.length >= 0) ~at:t.handle "pbitvec negative length";
@@ -192,7 +221,8 @@ let verify ?(deep = false) t =
     ~at:(t.handle + 8) "pbitvec bits out of range";
   let words = data_words t.length t.bits in
   Pcheck.require
-    (A.usable_size t.alloc t.handle >= 24 + (words * 8))
+    (A.usable_size t.alloc t.handle
+    >= 24 + (words * 8) + (seg_count t.length * 8))
     ~at:t.handle "pbitvec data exceeds its block";
   if deep then begin
     let stored = Seal.read t.region ~what:"pbitvec data crc" (t.handle + 16) in
@@ -204,3 +234,119 @@ let verify ?(deep = false) t =
       Pcheck.fail ~at:(t.handle + 24) "pbitvec data checksum mismatch"
     end
   end
+
+type segment_report = { sr_damaged : int list; sr_reseal : bool }
+
+let verify_segments ?(deep = false) t =
+  let words = data_words t.length t.bits in
+  let nseg = seg_count t.length in
+  let dir = dir_off t in
+  let damaged = ref [] in
+  let flag s = if not (List.mem s !damaged) then damaged := s :: !damaged in
+  (* tolerant reads throughout: a bad word condemns one segment, never
+     raises — the caller keeps serving the healthy ones *)
+  let payload =
+    if deep && words > 0 then begin
+      let buf = Bytes.create (words * 8) in
+      Region.read_into_bytes t.region (t.handle + 24) buf 0 (words * 8);
+      Some buf
+    end
+    else None
+  in
+  for s = 0 to nseg - 1 do
+    match Seal.unseal (Region.get_i64 t.region (dir + (s * 8))) with
+    | None ->
+        Seal.count_failure ();
+        flag s
+    | Some stored -> (
+        match payload with
+        | None -> ()
+        | Some buf ->
+            let lo = seg_word_lo t.bits s and hi = seg_word_hi t.length t.bits s in
+            let actual =
+              Int32.to_int (Util.Crc.bytes_sub buf (lo * 8) ((hi - lo) * 8))
+              land 0xFFFFFFFF
+            in
+            if actual <> stored then begin
+              Seal.count_failure ();
+              flag s
+            end)
+  done;
+  (* the whole-payload CRC adds nothing beyond the directory, but its own
+     seal word may have been hit: flag it for a post-restore reseal *)
+  let reseal =
+    match Seal.unseal (Region.get_i64 t.region (t.handle + 16)) with
+    | None ->
+        Seal.count_failure ();
+        true
+    | Some stored -> (
+        match payload with
+        | Some buf when !damaged = [] ->
+            let actual = Int32.to_int (Util.Crc.bytes buf) land 0xFFFFFFFF in
+            if actual <> stored then begin
+              (* directory and data agree with each other but not with the
+                 whole-payload seal: blame every segment, restore decides *)
+              Seal.count_failure ();
+              for s = 0 to nseg - 1 do
+                flag s
+              done;
+              true
+            end
+            else false
+        | _ -> false)
+  in
+  { sr_damaged = List.sort compare !damaged; sr_reseal = reseal }
+
+let patch_segment t ~seg values =
+  let n = t.length in
+  if seg < 0 || seg >= seg_count n then
+    invalid_arg (Printf.sprintf "Pbitvec.patch_segment: segment %d" seg);
+  let base = seg * segment_entries in
+  let len = min segment_entries (n - base) in
+  if Array.length values <> len then
+    invalid_arg
+      (Printf.sprintf "Pbitvec.patch_segment: want %d values, got %d" len
+         (Array.length values));
+  Region.with_label t.region "pbitvec.patch_segment" @@ fun () ->
+  let lo = seg_word_lo t.bits seg and hi = seg_word_hi n t.bits seg in
+  let buf = Bytes.make ((hi - lo) * 8) '\000' in
+  if t.bits > 0 then
+    Array.iteri
+      (fun i v ->
+        if v < 0 || (t.bits < 63 && v >= 1 lsl t.bits) then
+          invalid_arg "Pbitvec.patch_segment: value out of width";
+        let bit = i * t.bits in
+        let word = bit / 64 and shift = bit mod 64 in
+        let cur = Bytes.get_int64_le buf (word * 8) in
+        Bytes.set_int64_le buf (word * 8)
+          (Int64.logor cur (Int64.shift_left (Int64.of_int v) shift));
+        if shift + t.bits > 64 then begin
+          let cur = Bytes.get_int64_le buf ((word + 1) * 8) in
+          Bytes.set_int64_le buf ((word + 1) * 8)
+            (Int64.logor cur
+               (Int64.shift_right_logical (Int64.of_int v) (64 - shift)))
+        end)
+      values
+  else Array.iter (fun v -> if v <> 0 then invalid_arg "Pbitvec.patch_segment: value out of width") values;
+  let entry = dir_off t + (seg * 8) in
+  if hi > lo then begin
+    Region.write_bytes t.region (t.handle + 24 + (lo * 8)) buf;
+    Region.persist t.region (t.handle + 24 + (lo * 8)) ((hi - lo) * 8);
+    (* the directory seal is the segment's publication word: the span
+       must be durable before the seal can land *)
+    Region.expect_ordered t.region ~label:"pbitvec.patch_segment"
+      ~before:[ (t.handle + 24 + (lo * 8), (hi - lo) * 8) ]
+      ~after:entry
+  end;
+  Seal.write t.region entry
+    (Int32.to_int (Util.Crc.bytes buf) land 0xFFFFFFFF);
+  Region.persist t.region entry 8
+
+let reseal t =
+  let words = data_words t.length t.bits in
+  let buf = Bytes.create (words * 8) in
+  if words > 0 then
+    Region.read_into_bytes t.region (t.handle + 24) buf 0 (words * 8);
+  Seal.write t.region (t.handle + 16)
+    (Int32.to_int (Util.Crc.bytes buf) land 0xFFFFFFFF);
+  Region.persist t.region (t.handle + 16) 8

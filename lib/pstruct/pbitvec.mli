@@ -50,3 +50,34 @@ val verify : ?deep:bool -> t -> unit
     the payload CRC32 over the packed words (the structure is
     write-once, so the stored checksum is authoritative).
     @raise Pcheck.Invalid on damage. *)
+
+val segment_entries : int
+(** Entries per quarantine segment (4096). [4096 * bits] is a multiple
+    of 64 for every width, so segments always cover whole-word spans. *)
+
+type segment_report = {
+  sr_damaged : int list;
+      (** ascending segment indices whose span or directory seal fails *)
+  sr_reseal : bool;
+      (** the whole-payload CRC word itself needs recomputing after the
+          damaged segments are patched *)
+}
+
+val verify_segments : ?deep:bool -> t -> segment_report
+(** Segment-granular damage map. Shallow mode checks each directory
+    entry's seal; [~deep:true] additionally recomputes every segment's
+    CRC32. Never raises: unreadable words condemn their segment (and bump
+    the CRC-failure counter) instead of aborting the sweep. *)
+
+val patch_segment : t -> seg:int -> int array -> unit
+(** [patch_segment t ~seg values] rewrites segment [seg]'s whole-word
+    span from [values] (exactly the segment's entries, i.e.
+    [min segment_entries (length - seg*segment_entries)] of them),
+    persists it, then re-seals the segment's directory CRC — the
+    publication word, ordered after the span under the sanitizer. Values
+    must fit the vector's existing bit width. *)
+
+val reseal : t -> unit
+(** Recompute and rewrite the whole-payload CRC word from the current
+    packed data (used after patching when the seal word itself was
+    damaged). *)

@@ -24,7 +24,7 @@ let numeric = function
 
 let col_of table name = Schema.find_column (Table.schema table) name
 
-let run ?impl txn table ?group_by ~specs ~filters () =
+let run ?impl ?gate txn table ?group_by ~specs ~filters () =
   let key_col = Option.map (col_of table) group_by in
   let spec_cols =
     List.map
@@ -82,7 +82,7 @@ let run ?impl txn table ?group_by ~specs ~filters () =
   (* ungrouped aggregation has exactly one accumulator set — resolve it
      outside the row loop *)
   let ungrouped = if key_col = None then Some (get_group None) else None in
-  Scan.run ?impl txn table ~filters (fun r ->
+  Scan.run ?impl ?gate txn table ~filters (fun r ->
       let accs =
         match ungrouped with
         | Some accs -> accs

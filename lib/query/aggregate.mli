@@ -25,6 +25,7 @@ type result = {
 
 val run :
   ?impl:Scan.impl ->
+  ?gate:(pos:int -> len:int -> unit) ->
   Txn.Mvcc.txn ->
   Storage.Table.t ->
   ?group_by:string ->
@@ -33,6 +34,7 @@ val run :
   unit ->
   result
 (** [?impl] selects the scan engine (default [`Block]); results are
-    identical either way. *)
+    identical either way. [?gate] is forwarded to {!Scan.run} — the
+    restore-on-demand hook for scans over quarantined tables. *)
 
 val cell_to_string : cell -> string

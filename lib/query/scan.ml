@@ -82,7 +82,7 @@ let prep compile cols =
     Array.sort (fun (_, a) (_, b) -> compare (Kernel.cost a) (Kernel.cost b)) arr;
     Some arr
 
-let scan_partition ~base ~count ~vids_into ~read_cids preds f =
+let scan_partition ?gate ~base ~count ~vids_into ~read_cids preds f =
   if count > 0 then begin
     let vids = Array.make block_rows 0 in
     let sel = Kernel.create block_rows in
@@ -90,6 +90,12 @@ let scan_partition ~base ~count ~vids_into ~read_cids preds f =
     let pos = ref 0 in
     while !pos < count do
       let len = min block_rows (count - !pos) in
+      (* restore-on-demand hook: global row coordinates of the block the
+         engine is about to read — a quarantined segment under it gets
+         salvaged right here, before the first decode touches it *)
+      (match gate with
+      | Some g -> g ~pos:(base + !pos) ~len
+      | None -> ());
       let t0 = if Obs.is_enabled () then now_ns () else 0 in
       Obs.incr c_blocks;
       Obs.add c_rows_in len;
@@ -122,7 +128,7 @@ let scan_partition ~base ~count ~vids_into ~read_cids preds f =
     done
   end
 
-let run_block txn table ~filters f =
+let run_block ?gate txn table ~filters f =
   let alloc = Table.allocator table in
   let cols = compile_cols table ~filters in
   let main_rows = Table.main_rows table in
@@ -144,7 +150,7 @@ let run_block txn table ~filters f =
         Mvcc.visible_block txn table ~base:(base + pos) ~end_cids
           sel.Kernel.data sel.Kernel.len
       in
-      scan_partition ~base:0 ~count:main_rows
+      scan_partition ?gate ~base:0 ~count:main_rows
         ~vids_into:(fun ci ~pos ~len dst ->
           Table.main_vids_into table ci ~pos ~len dst)
         ~read_cids preds f);
@@ -167,7 +173,7 @@ let run_block txn table ~filters f =
           ~base:(base + pos)
           ~begin_cids ~end_cids sel.Kernel.data sel.Kernel.len
       in
-      scan_partition ~base:main_rows ~count:delta_rows
+      scan_partition ?gate ~base:main_rows ~count:delta_rows
         ~vids_into:(fun ci ~pos ~len dst ->
           Table.delta_vids_into table ci ~pos ~len dst)
         ~read_cids preds f
@@ -301,26 +307,40 @@ let run_block_par txn table ~filters f =
           Table.delta_vids_into table ci ~pos ~len dst)
         ~mk_read_cids preds f
 
-let run ?(impl = `Block) txn table ~filters f =
+let run ?(impl = `Block) ?gate txn table ~filters f =
   match impl with
-  | `Block ->
-      (* traced (sanitizer) runs fan out like any other — the sanitizer
-         buffers per-lane traces and merges at the join (PROTOCOLS.md
-         §10); tiny tables aren't worth the fan-out *)
-      if
-        Par.jobs () > 1
-        && Table.main_rows table + Table.delta_rows table > block_rows
-      then run_block_par txn table ~filters f
-      else run_block txn table ~filters f
-  | `Row -> run_row txn table ~filters f
+  | `Block -> (
+      match gate with
+      | Some _ ->
+          (* a gate means quarantined segments may need restoring mid-scan
+             — NVM writes, which worker lanes must never issue (§10), so a
+             gated scan stays serial. The engine pre-restores the table
+             instead when it wants the fan-out. *)
+          run_block ?gate txn table ~filters f
+      | None ->
+          (* traced (sanitizer) runs fan out like any other — the sanitizer
+             buffers per-lane traces and merges at the join (PROTOCOLS.md
+             §10); tiny tables aren't worth the fan-out *)
+          if
+            Par.jobs () > 1
+            && Table.main_rows table + Table.delta_rows table > block_rows
+          then run_block_par txn table ~filters f
+          else run_block txn table ~filters f)
+  | `Row ->
+      (* the row oracle reads every row up front: restore everything *)
+      (match gate with
+      | Some g ->
+          g ~pos:0 ~len:(Table.main_rows table + Table.delta_rows table)
+      | None -> ());
+      run_row txn table ~filters f
 
-let select ?impl txn table ~filters =
+let select ?impl ?gate txn table ~filters =
   let acc = ref [] in
-  run ?impl txn table ~filters (fun r ->
+  run ?impl ?gate txn table ~filters (fun r ->
       acc := (r, Table.get_row table r) :: !acc);
   List.rev !acc
 
-let count ?impl txn table ~filters =
+let count ?impl ?gate txn table ~filters =
   let n = ref 0 in
-  run ?impl txn table ~filters (fun _ -> incr n);
+  run ?impl ?gate txn table ~filters (fun _ -> incr n);
   !n

@@ -36,16 +36,27 @@ val block_rows : int
 
 val run :
   ?impl:impl ->
+  ?gate:(pos:int -> len:int -> unit) ->
   Txn.Mvcc.txn ->
   Storage.Table.t ->
   filters:filter list ->
   (int -> unit) ->
   unit
 (** Invoke the callback with every visible, matching physical row id, in
-    row order. *)
+    row order.
+
+    [?gate] is the serve-while-salvaging restore-on-demand hook: it runs
+    before each block is decoded, with the block's global row range
+    ([pos] counts main rows then delta rows, the same physical row-id
+    space the callback sees). The engine points it at
+    [Core.Restore.touch_rows] so a block touching a quarantined segment
+    salvages exactly that segment first. A gated [`Block] scan never
+    takes the parallel path — the gate may write NVM, which worker lanes
+    must not (PROTOCOLS.md §10); [`Row] gates the whole table up front. *)
 
 val select :
   ?impl:impl ->
+  ?gate:(pos:int -> len:int -> unit) ->
   Txn.Mvcc.txn ->
   Storage.Table.t ->
   filters:filter list ->
@@ -53,4 +64,9 @@ val select :
 (** Materialized variant. *)
 
 val count :
-  ?impl:impl -> Txn.Mvcc.txn -> Storage.Table.t -> filters:filter list -> int
+  ?impl:impl ->
+  ?gate:(pos:int -> len:int -> unit) ->
+  Txn.Mvcc.txn ->
+  Storage.Table.t ->
+  filters:filter list ->
+  int

@@ -780,6 +780,212 @@ let verify ?(deep = false) ?last_cid t =
       t.cols
   end
 
+(* -- segment-granular damage map (online instant restore) -- *)
+
+let segment_rows = Pbitvec.segment_entries
+
+let segment_count t = (row_count t + segment_rows - 1) / segment_rows
+
+type segment_report = {
+  sr_damaged : int list;
+  sr_structural : bool;
+  sr_reseal : int list;
+}
+
+(* Row-addressable damage condemns one 4K-row segment; anything whose
+   blast radius cannot be mapped to a row range (control words,
+   dictionaries, trees, the arena, the invalidation journal) condemns
+   the table structurally. Unlike [verify], this never raises: it is
+   the serve-while-salvaging damage map, so a bad word must flag and
+   move on, not abort the sweep. *)
+let verify_segments ?(deep = false) ?last_cid t =
+  let dr = delta_rows t in
+  let damaged = Hashtbl.create 8 in
+  let flag_seg s = Hashtbl.replace damaged s () in
+  let flag r = flag_seg (r / segment_rows) in
+  let reseal = ref [] in
+  let structural = ref false in
+  (try
+     (* structure first: the non-row-addressable subset of [verify] *)
+     Pvector.verify t.begin_v;
+     Pvector.verify t.end_v;
+     Pvector.verify t.main_end;
+     Pvector.verify t.inval;
+     Parena.verify t.arena;
+     Pcheck.require (t.main_rows >= 0) ~at:(t.ctrl + 16)
+       "negative main row count";
+     Pcheck.require
+       (Pvector.length t.main_end = t.main_rows)
+       ~at:(t.ctrl + 40) "main-end vector length mismatch";
+     Pcheck.require
+       (Pvector.length t.inval land 1 = 0)
+       ~at:(t.ctrl + 48) "invalidation log has odd length";
+     Array.iteri
+       (fun i col ->
+         let e = col_entry_off t.ctrl i in
+         Pvector.verify col.main_dict;
+         Pbitvec.verify col.main_avec;
+         Pvector.verify col.delta_dictvec;
+         Pbtree.verify ~deep col.delta_dict_idx;
+         Pvector.verify col.delta_avec;
+         Option.iter (Pbtree.verify ~deep) col.delta_row_idx;
+         Pcheck.require
+           (Pbitvec.length col.main_avec = t.main_rows)
+           ~at:(e + 24) "main attribute vector length mismatch";
+         if deep then begin
+           let stored =
+             Seal.read t.region ~what:"main dictionary checksum" (e + 64)
+           in
+           let words =
+             Array.init (Pvector.length col.main_dict)
+               (Pvector.get col.main_dict)
+           in
+           if crc_of_words words <> stored then begin
+             Nvm.Seal.count_failure ();
+             Pcheck.fail ~at:(e + 64) "main dictionary checksum mismatch"
+           end;
+           if col.cschema.ty = Value.Text_t then begin
+             verify_dict_strings t.region col.main_dict;
+             verify_dict_strings t.region col.delta_dictvec
+           end
+         end)
+       t.cols;
+     if deep then begin
+       Pstruct.Pstring.verify t.alloc
+         (Seal.read t.region ~what:"table name offset" t.ctrl);
+       Array.iteri
+         (fun i _ ->
+           Pstruct.Pstring.verify t.alloc
+             (Seal.read t.region ~what:"column name offset"
+                (col_entry_off t.ctrl i)))
+         t.cols
+     end
+   with
+  | Pcheck.Invalid _ | Seal.Corrupt _ | A.Heap_corrupt _ | Invalid_argument _
+  | Not_found
+  | Failure _ ->
+      structural := true);
+  if not !structural then begin
+    (* row-addressable sweeps (tolerant; garbage values flag, never raise) *)
+    Array.iteri
+      (fun i col ->
+        let rep = Pbitvec.verify_segments ~deep col.main_avec in
+        List.iter flag_seg rep.Pbitvec.sr_damaged;
+        if rep.Pbitvec.sr_reseal then reseal := i :: !reseal;
+        if deep then begin
+          let ndict = Pvector.length col.main_dict in
+          for r = 0 to t.main_rows - 1 do
+            if Pbitvec.get col.main_avec r >= ndict then begin
+              Nvm.Seal.count_failure ();
+              flag r
+            end
+          done;
+          let ndelta = Pvector.length col.delta_dictvec in
+          for p = 0 to dr - 1 do
+            if Int64.to_int (Pvector.get col.delta_avec p) >= ndelta then begin
+              Nvm.Seal.count_failure ();
+              flag (t.main_rows + p)
+            end
+          done
+        end)
+      t.cols;
+    match last_cid with
+    | Some last when deep ->
+        let neg v = Int64.compare v 0L < 0 && v <> Cid.infinity in
+        for p = 0 to dr - 1 do
+          if neg (Pvector.get t.begin_v p) || neg (Pvector.get t.end_v p)
+          then begin
+            Nvm.Seal.count_failure ();
+            flag (t.main_rows + p)
+          end
+        done;
+        let entries = Pvector.length t.inval / 2 in
+        let journal = Hashtbl.create (max 16 entries) in
+        for k = 0 to entries - 1 do
+          let r = Pvector.get_int t.inval (2 * k) in
+          let cid = Pvector.get t.inval ((2 * k) + 1) in
+          if r < 0 || r >= t.main_rows || neg cid then begin
+            (* the journal is rollback's healing authority: a corrupt
+               entry is not addressable to the row it claims *)
+            Nvm.Seal.count_failure ();
+            structural := true
+          end
+          else Hashtbl.replace journal (r, cid) ()
+        done;
+        if not !structural then
+          for r = 0 to t.main_rows - 1 do
+            let e = Pvector.get t.main_end r in
+            if
+              neg e
+              || e <> Cid.infinity
+                 && Int64.compare e last > 0
+                 && not (Hashtbl.mem journal (r, e))
+            then begin
+              Nvm.Seal.count_failure ();
+              flag r
+            end
+          done
+    | _ -> ()
+  end;
+  {
+    sr_damaged = List.sort compare (Hashtbl.fold (fun s () l -> s :: l) damaged []);
+    sr_structural = !structural;
+    sr_reseal = List.sort compare !reseal;
+  }
+
+(* -- online restore: byte-exact in-place segment repair -- *)
+
+(* [src] is the salvage twin — a volatile rebuild from checkpoint +
+   salvage log bounded at the durable commit point, so its rows are the
+   committed truth with the same row numbering. [rows] clamps the repair
+   to the row count captured at quarantine time: rows appended after the
+   damage map was taken are fresh writes, not casualties. Twin rows are
+   re-encoded against [t]'s own dictionaries (identical by construction,
+   since dictionary damage is structural and takes the full-rebuild path
+   instead), so the patch reproduces the original bytes and the stored
+   whole-payload CRCs remain authoritative. *)
+let restore_segment t ~from:src ~seg ~rows =
+  if main_rows src <> t.main_rows then
+    invalid_arg "Table.restore_segment: main row-count mismatch with twin";
+  let lo = seg * segment_rows in
+  let hi = min rows ((seg + 1) * segment_rows) in
+  if hi > lo then begin
+    Region.with_label t.region "table.restore_segment" @@ fun () ->
+    let mhi = min hi t.main_rows in
+    if mhi > lo then begin
+      Array.iteri
+        (fun i col ->
+          let vids = Pbitvec.get_block src.cols.(i).main_avec ~pos:lo ~len:(mhi - lo) in
+          Pbitvec.patch_segment col.main_avec ~seg vids)
+        t.cols;
+      for r = lo to mhi - 1 do
+        Pvector.set t.main_end r (Pvector.get src.main_end r)
+      done
+    end;
+    let dlo = max lo t.main_rows in
+    let src_rows = row_count src in
+    for r = dlo to hi - 1 do
+      let p = r - t.main_rows in
+      if r < src_rows then begin
+        Array.iteri
+          (fun i col ->
+            let vid = delta_vid_for_insert t col (get src r i) in
+            Pvector.set_int col.delta_avec p vid)
+          t.cols;
+        Pvector.set t.begin_v p (Pvector.get src.begin_v p);
+        Pvector.set t.end_v p (Pvector.get src.end_v p)
+      end
+      else begin
+        (* beyond the twin: the row was uncommitted at the crash — dead *)
+        Pvector.set t.begin_v p Cid.infinity;
+        Pvector.set t.end_v p Cid.infinity
+      end
+    done;
+    Region.fence_if_pending t.region
+  end
+
+let reseal_main_avec t i = Pbitvec.reseal t.cols.(i).main_avec
+
 let destroy t =
   Array.iter
     (fun col ->

@@ -244,6 +244,47 @@ val verify : ?deep:bool -> ?last_cid:Cid.t -> t -> unit
     restores such a table exactly).
     @raise Pstruct.Pcheck.Invalid or [Nvm.Seal.Corrupt] on damage. *)
 
+(** {1 Segment-granular damage map & online restore} *)
+
+val segment_rows : int
+(** Rows per quarantine segment (4096). Segment [s] covers global rows
+    [s*segment_rows, (s+1)*segment_rows). *)
+
+val segment_count : t -> int
+
+type segment_report = {
+  sr_damaged : int list;  (** ascending damaged segment indices *)
+  sr_structural : bool;
+      (** damage not addressable to a row range (control words,
+          dictionaries, trees, arena, invalidation journal): the whole
+          table needs a rebuild *)
+  sr_reseal : int list;
+      (** columns whose main attribute vector needs its whole-payload
+          CRC word recomputed after the damaged segments are patched *)
+}
+
+val verify_segments : ?deep:bool -> ?last_cid:Cid.t -> t -> segment_report
+(** Segment-granular variant of [verify] for serve-while-salvaging:
+    the same ladder (shallow seals / deep payload CRCs + id-domain +
+    CID-domain checks), but damage is mapped to 4K-row segments instead
+    of raised, so healthy segments keep serving. Never raises. *)
+
+val restore_segment : t -> from:t -> seg:int -> rows:int -> unit
+(** [restore_segment t ~from:twin ~seg ~rows] repairs segment [seg] of
+    [t] in place from the salvage twin (a rebuild from checkpoint +
+    salvage log bounded at the durable commit point): main-partition
+    attribute bits are re-packed byte-exactly and published per segment
+    behind their directory seal, main end-CIDs and delta CID words are
+    reset to committed values, and twin delta rows are re-encoded
+    against [t]'s own dictionaries. Rows beyond the twin's count are
+    reset dead (uncommitted at the crash); rows at or beyond [rows]
+    (the count captured at quarantine) are untouched. Row numbering is
+    preserved exactly. *)
+
+val reseal_main_avec : t -> int -> unit
+(** Recompute column [i]'s main attribute-vector whole-payload CRC
+    (after restore, when the seal word itself took the fault). *)
+
 val name_string_offsets : t -> int list
 (** Offsets of the table-name and column-name strings (for reclamation
     when a table generation is retired). *)

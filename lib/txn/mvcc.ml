@@ -78,18 +78,26 @@ type manager = {
   observer : event -> unit;
   publish_mode : publish_mode;
   persist_commit : Cid.t -> unit;
+  write_gate : Table.t -> int -> unit;
+      (* serve-while-salvaging hook: called before a serial claim touches
+         a row, so a write landing on a quarantined segment restores it
+         first (restore-then-apply; the engine queues the repair against
+         the salvage log). Runs on the calling domain only — staged
+         (lane-side) claims are pre-gated by the engine wrapper, since
+         worker lanes must not write NVM. *)
   locks : (rowkey, int) Hashtbl.t; (* row claims: first writer wins *)
   active : (int, txn) Hashtbl.t;
 }
 
 let create_manager ?(observer = fun _ -> ()) ?(publish_mode = `Batched)
-    ~persist_commit ~last_cid () =
+    ?(write_gate = fun _ _ -> ()) ~persist_commit ~last_cid () =
   {
     last = last_cid;
     next_tid = 1;
     observer;
     publish_mode;
     persist_commit;
+    write_gate;
     locks = Hashtbl.create 64;
     active = Hashtbl.create 16;
   }
@@ -271,6 +279,7 @@ let claim m t table row =
       t.invalidated <- (table, row) :: t.invalidated;
       Hashtbl.replace t.invalidated_set k ()
   | None ->
+      m.write_gate table row;
       (match Hashtbl.find_opt m.locks k with
       | Some owner when owner <> t.tid ->
           conflict "row %d of %s claimed by txn %d" row (Table.name table)

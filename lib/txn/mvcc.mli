@@ -51,13 +51,16 @@ type publish_mode = [ `Batched | `Per_table | `Per_vector ]
 val create_manager :
   ?observer:(event -> unit) ->
   ?publish_mode:publish_mode ->
+  ?write_gate:(Storage.Table.t -> int -> unit) ->
   persist_commit:(Storage.Cid.t -> unit) ->
   last_cid:Storage.Cid.t ->
   unit ->
   manager
 (** [persist_commit cid] must make [cid] the durable last-CID; it is the
     commit point. [last_cid] seeds the CID counter (recovery passes the
-    recovered value). *)
+    recovered value). [write_gate table row] runs before a serial claim
+    touches [row] — the serve-while-salvaging engine uses it to restore a
+    quarantined segment before any write lands on it (default no-op). *)
 
 val last_cid : manager -> Storage.Cid.t
 val active_count : manager -> int

@@ -276,15 +276,30 @@ let test_salvage_rebuilds_table () =
   flip region ~off:(ctrl_b + 16) ~bit:3;
   let e2, rs = E.recover ~verify:`Shallow crashed in
   (match rs.E.detail with
-  | E.Rv_nvm { quarantined; salvaged; heap_reset; _ } ->
-      Alcotest.(check (list string)) "salvaged" [ "b" ] salvaged;
-      Alcotest.(check (list string)) "nothing quarantined" [] quarantined;
+  | E.Rv_nvm { quarantined; salvaged; deferred; heap_reset; _ } ->
+      Alcotest.(check (list string)) "nothing rebuilt up front" [] salvaged;
+      Alcotest.(check (list string)) "nothing unsalvageable" [] quarantined;
+      Alcotest.(check (list (pair string (list int)))) "repair deferred online"
+        [ ("b", []) ] deferred;
       Alcotest.(check bool) "instant path kept" false heap_reset
   | _ -> Alcotest.fail "expected Rv_nvm");
-  Alcotest.(check int) "counter bumped" (s0 + 1) (counter "media.salvaged_tables");
+  (* serve-while-salvaging: the engine opens with the repair still
+     pending, and healthy tables answer before any salvage runs *)
+  Alcotest.(check int) "no rebuild ran at recovery" s0
+    (counter "media.salvaged_tables");
+  Alcotest.(check bool) "healthy table served first" true
+    (dump e2 "a" = oracle_a);
+  Alcotest.(check bool) "full health withheld while damage pends" true
+    ((E.blackbox e2).E.full_health_ns = None);
+  (* first touch of the damaged table triggers its foreground rebuild *)
   Alcotest.(check bool) "salvaged table equals pre-crash state" true
     (dump e2 "b" = oracle_b);
-  Alcotest.(check bool) "healthy table untouched" true (dump e2 "a" = oracle_a);
+  Alcotest.(check int) "rebuild counted on first touch" (s0 + 1)
+    (counter "media.salvaged_tables");
+  Alcotest.(check (list (pair string (list int)))) "restore map drained" []
+    (E.quarantined_segments e2);
+  Alcotest.(check bool) "full health announced after the heal" true
+    ((E.blackbox e2).E.full_health_ns <> None);
   (* the engine must stay fully writable after salvage *)
   E.with_txn e2 (fun txn -> ignore (E.insert e2 txn "b" (kv 951 "after")));
   Alcotest.(check int) "post-salvage commit lands"
@@ -387,18 +402,20 @@ let fuzz_trial ~salvage seed =
       Alcotest.failf "trial %d (salvage=%b) panicked: %s" seed salvage
         (Printexc.to_string exn)
   | e2, rs ->
-      let quarantined, salvaged, heap_reset =
+      let quarantined, salvaged, deferred, heap_reset =
         match rs.E.detail with
-        | E.Rv_nvm { quarantined; salvaged; heap_reset; _ } ->
-            (quarantined, salvaged, heap_reset)
-        | _ -> ([], [], false)
+        | E.Rv_nvm { quarantined; salvaged; deferred; heap_reset; _ } ->
+            (quarantined, salvaged, deferred, heap_reset)
+        | _ -> ([], [], [], false)
       in
       (* the counter tallies detections: tables that failed verification,
-         whether or not salvage then rebuilt them (the full-rebuild path
-         abandons the instant walk, so its tally is partial) *)
+         whether quarantined outright or deferred to online restore (the
+         full-rebuild path abandons the instant walk, so its tally is
+         partial) *)
       if not heap_reset then
         Alcotest.(check int) "quarantine counter accounts for the trial"
-          (q0 + List.length salvaged + List.length quarantined)
+          (q0 + List.length salvaged + List.length quarantined
+         + List.length deferred)
           (counter "media.quarantined_tables");
       if salvage then
         Alcotest.(check (list string))
@@ -406,7 +423,7 @@ let fuzz_trial ~salvage seed =
           [] quarantined;
       record
         (if heap_reset then "rebuilt"
-         else if salvaged <> [] then "salvaged"
+         else if salvaged <> [] || deferred <> [] then "salvaged"
          else if quarantined <> [] then "quarantined"
          else "clean");
       List.iter
@@ -419,7 +436,13 @@ let fuzz_trial ~salvage seed =
             Alcotest.failf
               "trial %d (salvage=%b): table %s differs from committed state"
               seed salvage name)
-        [ ("a", oracle_a); ("b", oracle_b) ]
+        [ ("a", oracle_a); ("b", oracle_b) ];
+      if salvage && not heap_reset then begin
+        E.restore_drain e2;
+        Alcotest.(check (list (pair string (list int))))
+          (Printf.sprintf "trial %d: restore map drains to empty" seed)
+          [] (E.quarantined_segments e2)
+      end
 
 let test_fuzz_salvage () =
   for seed = 0 to 59 do
